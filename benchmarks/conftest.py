@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (DESIGN.md section 4) through
+its experiment driver, records the rendered report under
+``benchmarks/results/`` and asserts the reproduction bands.  The
+``benchmark`` fixture times one full regeneration (``rounds=1`` — these
+are end-to-end experiment replays, not microbenchmarks).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Dynamic instructions per benchmark run used by the EPI benches.  The
+#: paper's trends are stable from ~30k on; 120k keeps the full harness
+#: within a few minutes.
+TRACE_LENGTH = 120_000
+
+
+def record_report(experiment_id: str, rendered: str) -> pathlib.Path:
+    """Persist a rendered experiment report for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment_id}.txt"
+    path.write_text(rendered + "\n", encoding="utf-8")
+    return path
+
+
+def run_once(benchmark, func, **kwargs):
+    """Run one experiment driver exactly once under the benchmark timer."""
+    return benchmark.pedantic(
+        func, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    )

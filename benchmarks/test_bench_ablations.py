@@ -1,0 +1,70 @@
+"""Benches ``ablation-ways`` and ``ablation-memlat``.
+
+Design-choice robustness claims from Section IV-A: the 7+1 split is
+representative ("other designs did not provide further insights") and the
+trends hold across memory latencies.
+"""
+
+from conftest import record_report, run_once
+
+from repro.experiments.ablations import (
+    run_memory_latency_ablation,
+    run_way_split_ablation,
+)
+
+
+def test_way_split_ablation(benchmark):
+    result = run_once(benchmark, run_way_split_ablation, trace_length=60_000)
+    record_report("ablation-ways", result.render())
+
+    # The proposal wins at every split, in both modes.
+    for key, saving in result.data.items():
+        assert saving > 5.0, key
+    # More ULE ways replaced -> more HP-mode savings (monotone trend).
+    assert result.data["4+4:HP"] > result.data["6+2:HP"] > (
+        result.data["7+1:HP"]
+    )
+
+
+def test_memory_latency_ablation(benchmark):
+    result = run_once(
+        benchmark, run_memory_latency_ablation, trace_length=60_000
+    )
+    record_report("ablation-memlat", result.render())
+
+    savings = list(result.data.values())
+    # Paper: "other memory latencies do not change the trends".
+    assert max(savings) - min(savings) < 6.0
+    for saving in savings:
+        assert 8.0 < saving < 25.0
+
+
+def test_cache_size_ablation(benchmark):
+    from repro.experiments.ablations import run_cache_size_ablation
+
+    result = run_once(
+        benchmark, run_cache_size_ablation, trace_length=60_000
+    )
+    record_report("ablation-cachesize", result.render())
+
+    # The proposal wins at every size; the ULE advantage grows with the
+    # cache (more 10T capacity replaced).
+    for entry in result.data.values():
+        assert entry["hp_saving"] > 5.0
+        assert entry["ule_saving"] > 25.0
+    assert result.data[16]["ule_saving"] > result.data[4]["ule_saving"]
+
+
+def test_vdd_ablation(benchmark):
+    from repro.experiments.ablations import run_vdd_ablation
+
+    result = run_once(benchmark, run_vdd_ablation, trace_length=60_000)
+    record_report("ablation-vdd", result.render())
+
+    for entry in result.data.values():
+        assert entry["ule_saving"] > 25.0
+    # Deeper NST -> heavier 10T up-sizing required.
+    s10_values = [
+        entry["s10"] for _, entry in sorted(result.data.items())
+    ]
+    assert s10_values == sorted(s10_values, reverse=True)

@@ -1,0 +1,26 @@
+"""Bench ``tab-area``: cache area, baseline vs proposed.
+
+The paper claims area savings without quantifying them; the bench records
+the measured figure (the ULE way shrinks >2x; whole-cache area drops
+~20-25 % since the 6T HP ways are shared).
+"""
+
+from conftest import record_report, run_once
+
+from repro.experiments.area_table import run_area
+
+
+def test_area_table(benchmark):
+    result = run_once(benchmark, run_area)
+    record_report("tab-area", result.render())
+
+    for scenario in ("A", "B"):
+        assert 0.10 < result.data["savings"][scenario] < 0.45
+        base_ule = result.data[f"{scenario}-baseline"]["ule"]
+        prop_ule = result.data[f"{scenario}-proposed"]["ule"]
+        assert base_ule > 1.8 * prop_ule  # the ULE way itself shrinks >2x
+        # HP ways are identical between the configurations.
+        assert abs(
+            result.data[f"{scenario}-baseline"]["hp"]
+            - result.data[f"{scenario}-proposed"]["hp"]
+        ) < 1e-6 * result.data[f"{scenario}-baseline"]["hp"]

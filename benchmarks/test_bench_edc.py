@@ -1,0 +1,29 @@
+"""Bench ``tab-edc``: codec characterization (HSPICE substitute).
+
+Anchors: 7/13 check bits; the DECTED decoder settles well within the
+200 ns ULE cycle (the basis of the +1-cycle architecture choice); every
+codec honours its correction/detection envelope.
+"""
+
+from conftest import record_report, run_once
+
+from repro.experiments.edc_table import run_edc_table
+
+
+def test_edc_characterization(benchmark):
+    result = run_once(benchmark, run_edc_table)
+    record_report("tab-edc", result.render())
+
+    secded = result.data["hsiao(39,32)"]
+    dected = result.data["dected(45,32)"]
+    assert secded["n"] - secded["k"] == 7
+    assert dected["n"] - dected["k"] == 13
+    for entry in result.data.values():
+        assert entry["singles_ok"]
+        assert entry["doubles_ok"]
+        assert entry["triples_detected"]
+    # DECTED decoding hardware is much heavier than SECDED's — the
+    # mechanism behind scenario B's smaller savings.
+    assert dected["decoder_gates"] > 4 * secded["decoder_gates"]
+    # Codec energy at ULE stays tiny in absolute terms (< 100 fJ).
+    assert dected["decode_energy_ule"] < 100e-15

@@ -1,0 +1,21 @@
+"""Bench ``tab-exectime``: the EDC-cycle execution-time overhead.
+
+Paper: "around 3 % increase in execution time in all cases" (ULE mode).
+"""
+
+from conftest import TRACE_LENGTH, record_report, run_once
+
+from repro.experiments.exec_time import run_exec_time
+
+
+def test_exec_time_overhead(benchmark):
+    result = run_once(benchmark, run_exec_time, trace_length=TRACE_LENGTH)
+    record_report("tab-exectime", result.render())
+
+    for scenario in ("A", "B"):
+        average = result.data[f"avg_{scenario}"]
+        assert 1.01 < average < 1.06   # paper: ~1.03
+    # Per-benchmark ratios all small and positive.
+    for key, ratio in result.data.items():
+        if ":" in key:
+            assert 1.0 <= ratio < 1.08

@@ -1,0 +1,25 @@
+"""Bench ``fig4``: regenerate Figure 4 (ULE-mode normalized EPI).
+
+Paper values: 42 % (scenario A) and 39 % (scenario B) average EPI
+reductions at ULE mode; ~3 % execution-time increase from the EDC cycle.
+"""
+
+from conftest import TRACE_LENGTH, record_report, run_once
+
+from repro.experiments.epi_figures import run_fig4
+
+
+def test_fig4_ule_epi(benchmark):
+    result = run_once(benchmark, run_fig4, trace_length=TRACE_LENGTH)
+    record_report("fig4", result.render())
+
+    assert 35.0 < result.data["saving_A"] < 48.0   # paper: 42 %
+    assert 33.0 < result.data["saving_B"] < 45.0   # paper: 39 %
+    assert result.data["saving_A"] >= result.data["saving_B"] - 0.5
+    # The EDC cycle costs a few percent of execution time.
+    for scenario in ("A", "B"):
+        ratio = result.data[f"exec_ratio_{scenario}"]
+        assert 1.01 < ratio < 1.06                 # paper: ~3 %
+    for scenario in ("A", "B"):
+        ratios = list(result.data[f"rows_{scenario}"].values())
+        assert max(ratios) - min(ratios) < 0.08

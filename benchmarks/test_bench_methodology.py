@@ -1,0 +1,25 @@
+"""Bench ``tab-sizing``: the Fig. 2 design-methodology intermediates.
+
+Anchors: Pf = 1.22e-6 for the 99 %-yield example; 7/13 check bits; the
+10T >> 8T sizing gap that carries the whole paper.
+"""
+
+from conftest import record_report, run_once
+
+from repro.experiments.methodology_table import run_methodology
+
+
+def test_methodology_sizing(benchmark):
+    result = run_once(benchmark, run_methodology)
+    record_report("tab-sizing", result.render())
+
+    for scenario in ("A", "B"):
+        entry = result.data[scenario]
+        assert abs(entry["pf_target"] - 1.22e-6) / 1.22e-6 < 0.005
+        # Sizing ordering: s6 mild < s8 moderate < s10 heavy.
+        assert 1.0 <= entry["s6"] < 1.5
+        assert entry["s6"] < entry["s8"] < entry["s10"]
+        assert entry["s10"] > 3.0
+        # The methodology's defining constraint.
+        assert entry["yield_proposed"] >= entry["yield_baseline"]
+        assert entry["yield_baseline"] > 0.97

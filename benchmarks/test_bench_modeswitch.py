@@ -1,0 +1,21 @@
+"""Bench ``tab-modeswitch``: quantify "overheads are negligible" (§III-B)."""
+
+from conftest import TRACE_LENGTH, record_report, run_once
+
+from repro.experiments.modeswitch_table import run_modeswitch
+
+
+def test_modeswitch_overhead(benchmark):
+    result = run_once(benchmark, run_modeswitch, trace_length=TRACE_LENGTH)
+    record_report("tab-modeswitch", result.render())
+
+    for scenario in ("A", "B"):
+        entry = result.data[scenario]
+        # Against even one short ULE phase the switch cost is < 2 %;
+        # against realistic multi-second phases it vanishes entirely.
+        assert entry["overhead"] < 0.02
+    # Scenario A pays the re-encode pass that scenario B's always-DECTED
+    # stored format avoids.
+    assert result.data["A"]["switch_energy"] > (
+        result.data["B"]["switch_energy"]
+    )

@@ -1,0 +1,29 @@
+"""Bench ``tab-reliability``: yield equivalence + Monte Carlo validation.
+
+The proposed 8T+EDC way must match the 10T baseline's yield (paper's
+central reliability claim), and simulated dies must agree with Eq. (1)-(2)
+with zero silent data corruptions.
+"""
+
+from conftest import record_report, run_once
+
+from repro.experiments.reliability_check import run_reliability
+
+
+def test_reliability_equivalence(benchmark):
+    result = run_once(benchmark, run_reliability, dies=400)
+    record_report("tab-reliability", result.render())
+
+    for scenario in ("A", "B"):
+        entry = result.data[scenario]
+        # No silent corruption, ever: the EDC layer either returns the
+        # right data or flags the word.
+        assert entry["silent_errors"] == 0
+        # The methodology's yield constraint holds analytically.
+        assert entry["yield_proposed"] >= entry["yield_baseline"]
+        # Monte Carlo agrees with Eq. (2) within sampling noise.
+        analytic = entry["analytic_data_yield"]
+        sigma = (analytic * (1 - analytic) / entry["dies"]) ** 0.5
+        assert abs(entry["empirical_yield"] - analytic) < max(
+            4 * sigma, 0.02
+        )

@@ -1,0 +1,27 @@
+"""Bench ``tab-wcet``: the predictability argument, quantified.
+
+Paper Sections I-II: entry-disabling schemes "fail to provide strong
+timing guarantees required for WCET estimation"; the EDC design keeps
+full capacity on every yielding die, so its deterministic execution *is*
+its WCET behaviour.
+"""
+
+from conftest import TRACE_LENGTH, record_report, run_once
+
+from repro.experiments.wcet_table import run_wcet
+
+
+def test_wcet_predictability(benchmark):
+    result = run_once(benchmark, run_wcet, trace_length=TRACE_LENGTH)
+    record_report("tab-wcet", result.render())
+
+    # Entry disabling at the min-size 8T fault rate degenerates: most
+    # lines disabled, and with near-certainty some set is fully dead.
+    assert result.data["p_line_disabled"] > 0.5
+    assert result.data["p_some_set_dead"] > 0.99
+    # The portable WCET bound blows up by an order of magnitude.
+    assert result.data["mean_blowup"] > 5.0
+    # The EDC design's WCET equals its executed cycles (die-independent).
+    for name, entry in result.data.items():
+        if isinstance(entry, dict):
+            assert entry["wcet_edc"] == entry["executed"]

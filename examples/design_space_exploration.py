@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the Fig. 2 methodology.
+
+An architect's view beyond the paper's single design point: sweep the
+yield target and the NST supply voltage and watch how the 10T baseline
+cell and the EDC-protected 8T replacement respond.  The 8T+SECDED design
+stays near minimum size across the whole space while the 10T cell blows
+up — the generalized version of the paper's argument.
+
+Usage::
+
+    python examples/design_space_exploration.py
+"""
+
+from repro.core.methodology import default_ule_geometry
+from repro.core.scenarios import Scenario, plan_for
+from repro.reliability.yield_model import paper_pf_target
+from repro.sram.cells import CELL_8T, CELL_10T
+from repro.sram.failure import CellFailureModel
+from repro.sram.sizing import minimal_size_step, size_for_pf
+from repro.util.tables import Table
+
+
+def size_8t_for_yield(vdd: float, target_yield: float) -> tuple[float, float]:
+    """Grow the 8T cell until the SECDED-coded yield meets the target."""
+    geometry = default_ule_geometry()
+    plan = plan_for(Scenario.A)
+    organization = geometry.organization(
+        plan.proposed_ule_way.ule, hard_budget=1
+    )
+    model = CellFailureModel(CELL_8T)
+    size = 1.0
+    while True:
+        pf = model.pf(vdd, size)
+        if organization.yield_at(pf) >= target_yield:
+            return size, pf
+        size = round(size + minimal_size_step(), 9)
+        if size > 64:
+            raise RuntimeError("no feasible 8T size")
+
+
+def main() -> None:
+    print("Sweep 1: yield target at the paper's 350 mV\n")
+    table = Table(
+        ["yield target", "Pf target", "s10 (fault-free)",
+         "s8 (+SECDED)", "area ratio 10T/8T"],
+    )
+    for target_yield in (0.95, 0.99, 0.999):
+        pf_target = paper_pf_target(target_yield)
+        s10 = size_for_pf(CELL_10T, 0.35, pf_target)
+        s8, _ = size_8t_for_yield(0.35, target_yield)
+        from repro.sram.cells import CellDesign
+
+        ratio = (
+            CellDesign(CELL_10T, s10).area / CellDesign(CELL_8T, s8).area
+        )
+        table.add_row(
+            [f"{target_yield:.3f}", f"{pf_target:.2e}", s10, s8,
+             f"{ratio:.2f}x"]
+        )
+    print(table.render())
+
+    print("\nSweep 2: NST supply voltage at the paper's 99 % yield\n")
+    table = Table(
+        ["Vdd (mV)", "s10", "s8 (+SECDED)", "note"],
+    )
+    pf_target = paper_pf_target(0.99)
+    for vdd in (0.45, 0.40, 0.35, 0.32):
+        s8, _ = size_8t_for_yield(vdd, 0.99)
+        try:
+            s10 = size_for_pf(CELL_10T, vdd, pf_target)
+            note = ""
+        except ValueError as error:
+            s10, note = float("nan"), str(error)
+        note = note or (
+            "8T near write-ability floor" if vdd < 0.33 else ""
+        )
+        table.add_row([f"{vdd * 1e3:.0f}", s10, s8, note])
+    print(table.render())
+    print(
+        "\nThe coded 8T design tracks the whole space near minimum size;"
+        "\nthe fault-free 10T baseline pays quadratically for margin."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: design the paper's cache and reproduce a headline number.
+
+Runs the Fig. 2 design methodology for scenario A, prints the sizing
+table, then compares baseline and proposed chips on one SmallBench
+workload at ULE mode — the 60-second version of the paper.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import Scenario, build_chips, design_scenario
+from repro.tech.operating import Mode
+from repro.util.units import si
+from repro.workloads import generate_trace
+
+
+def main() -> None:
+    # 1. Run the paper's design methodology (Fig. 2) for scenario A:
+    #    size 6T for HP mode, 10T for fault-free ULE operation, and find
+    #    the smallest 8T cell whose SECDED-protected yield matches.
+    design = design_scenario(Scenario.A)
+    print(design.summary())
+    print()
+
+    # 2. Build the two chips it compares: the 6T+10T baseline and the
+    #    proposed 6T+8T+SECDED cache (identical cores and geometry).
+    chips = build_chips(design)
+    print("baseline cache :", chips.baseline.config.il1.describe())
+    print("proposed cache :", chips.proposed.config.il1.describe())
+    print()
+
+    # 3. Run one ULE-mode workload on both chips.
+    trace = generate_trace("adpcm_c", length=50_000)
+    baseline = chips.baseline.run(trace, Mode.ULE)
+    proposed = chips.proposed.run(trace, Mode.ULE)
+
+    print(f"workload: {trace.name} ({len(trace)} instructions at ULE mode)")
+    print(f"  baseline EPI : {si(baseline.epi, 'J')}")
+    print(f"  proposed EPI : {si(proposed.epi, 'J')}")
+    saving = 1.0 - proposed.epi / baseline.epi
+    slowdown = proposed.timing.cycles / baseline.timing.cycles - 1.0
+    print(f"  energy saving: {100 * saving:.1f} %  (paper: ~42 %)")
+    print(f"  exec overhead: {100 * slowdown:.1f} %  (paper: ~3 %)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for legacy editable installs (offline env lacks `wheel`).
+
+All project metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517 --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

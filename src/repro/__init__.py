@@ -1,0 +1,60 @@
+"""repro — reproduction of the DATE 2013 paper by Maric, Abella and Valero:
+
+    "Efficient Cache Architectures for Reliable Hybrid Voltage Operation
+     Using EDC Codes"
+
+The package is organised bottom-up:
+
+* :mod:`repro.tech` — 32 nm technology substrate (device model, variation).
+* :mod:`repro.sram` — 6T / 8T / 10T bitcell models, failure probability and
+  yield-driven sizing (Chen-style importance sampling).
+* :mod:`repro.edc` — Hsiao SECDED and BCH-based DECTED codes plus a
+  gate-level codec energy/delay model.
+* :mod:`repro.reliability` — the paper's yield equations (Eq. 1-2), fault
+  maps and soft-error models.
+* :mod:`repro.cacti` — CACTI-like cache array energy / area / timing model.
+* :mod:`repro.cache` — functional set-associative / hybrid cache simulator.
+* :mod:`repro.cpu` — trace-driven in-order chip simulator with an energy
+  ledger (MPSim + Wattch substitute).
+* :mod:`repro.workloads` — synthetic MediaBench-like trace generators.
+* :mod:`repro.core` — the paper's contribution: scenarios A/B, the Fig. 2
+  design methodology, and the EPI evaluation pipeline.
+* :mod:`repro.experiments` — one driver per paper figure / table.
+
+Quickstart::
+
+    from repro.core import design_scenario, Scenario
+    from repro.experiments import run_experiment
+
+    design = design_scenario(Scenario.A)
+    print(design.summary())
+    result = run_experiment("fig4")
+    print(result.render())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Scenario",
+    "design_scenario",
+    "list_experiments",
+    "run_experiment",
+    "__version__",
+]
+
+_LAZY_EXPORTS = {
+    "Scenario": ("repro.core.scenarios", "Scenario"),
+    "design_scenario": ("repro.core.methodology", "design_scenario"),
+    "list_experiments": ("repro.experiments.registry", "list_experiments"),
+    "run_experiment": ("repro.experiments.registry", "run_experiment"),
+}
+
+
+def __getattr__(name: str):
+    """Lazy top-level exports (PEP 562) to keep import time low."""
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        module_name, attr = _LAZY_EXPORTS[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

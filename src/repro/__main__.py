@@ -1,0 +1,123 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig4
+    python -m repro run fig3 --trace-length 60000 --out fig3.txt
+    python -m repro design A
+    python -m repro all --trace-length 60000 --out-dir results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Efficient Cache Architectures for Reliable "
+            "Hybrid Voltage Operation Using EDC Codes' (DATE 2013)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list experiment ids")
+
+    run_parser = commands.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="experiment id (see list)")
+    run_parser.add_argument(
+        "--trace-length", type=int, default=None,
+        help="dynamic instructions per benchmark (EPI experiments)",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=None, help="root random seed"
+    )
+    run_parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="also write the report to this file",
+    )
+
+    design_parser = commands.add_parser(
+        "design", help="run the Fig. 2 methodology for a scenario"
+    )
+    design_parser.add_argument("scenario", choices=["A", "B"])
+
+    all_parser = commands.add_parser(
+        "all", help="run every experiment and write the reports"
+    )
+    all_parser.add_argument(
+        "--trace-length", type=int, default=None,
+        help="dynamic instructions per benchmark (EPI experiments)",
+    )
+    all_parser.add_argument(
+        "--out-dir", type=pathlib.Path, default=pathlib.Path("results"),
+        help="directory for the rendered reports",
+    )
+    return parser
+
+
+def _run_kwargs(args: argparse.Namespace, experiment_id: str) -> dict:
+    """Forward only the options the chosen driver accepts."""
+    takes_trace = experiment_id in (
+        "fig3", "fig4", "tab-exectime", "tab-wcet",
+        "ablation-ways", "ablation-memlat",
+    )
+    kwargs = {}
+    if takes_trace and getattr(args, "trace_length", None):
+        kwargs["trace_length"] = args.trace_length
+    if takes_trace and getattr(args, "seed", None):
+        kwargs["seed"] = args.seed
+    return kwargs
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    from repro.experiments import list_experiments, run_experiment
+
+    if args.command == "list":
+        for experiment_id in list_experiments():
+            print(experiment_id)
+        return 0
+
+    if args.command == "design":
+        from repro.core import Scenario, design_scenario
+
+        design = design_scenario(Scenario(args.scenario))
+        print(design.summary())
+        return 0
+
+    if args.command == "run":
+        result = run_experiment(
+            args.experiment, **_run_kwargs(args, args.experiment)
+        )
+        rendered = result.render()
+        print(rendered)
+        if args.out:
+            args.out.write_text(rendered + "\n", encoding="utf-8")
+        return 0
+
+    if args.command == "all":
+        args.out_dir.mkdir(parents=True, exist_ok=True)
+        for experiment_id in list_experiments():
+            result = run_experiment(
+                experiment_id, **_run_kwargs(args, experiment_id)
+            )
+            path = args.out_dir / f"{experiment_id}.txt"
+            path.write_text(result.render() + "\n", encoding="utf-8")
+            print(f"[done] {experiment_id} -> {path}")
+        return 0
+
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `python -m repro design A | head`
+        sys.exit(0)

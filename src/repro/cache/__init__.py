@@ -1,0 +1,42 @@
+"""Functional cache modelling: configuration, simulation, faults, EDC layer.
+
+* :mod:`repro.cache.config` — the hybrid cache *configuration* language:
+  way groups (HP ways / ULE ways) with their bitcells, per-mode protection
+  schemes and per-mode activation, plus derived geometry;
+* :mod:`repro.cache.replacement` — LRU / FIFO / random / tree-PLRU;
+* :mod:`repro.cache.setassoc` — a set-associative write-back,
+  write-allocate functional simulator with per-way-group statistics;
+* :mod:`repro.cache.hybrid` — mode switching (way gating + flush) on top
+  of the set-associative core;
+* :mod:`repro.cache.edc_layer` — stored-word simulation through stuck-at
+  fault maps and the EDC codecs (used by the reliability validation
+  experiments).
+"""
+
+from repro.cache.config import CacheConfig, WayGroupConfig
+from repro.cache.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    PlruPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.cache.setassoc import AccessResult, CacheStats, SetAssociativeCache
+from repro.cache.hybrid import HybridCache
+from repro.cache.edc_layer import ProtectedArray, WordReadRecord
+
+__all__ = [
+    "CacheConfig",
+    "WayGroupConfig",
+    "LruPolicy",
+    "FifoPolicy",
+    "RandomPolicy",
+    "PlruPolicy",
+    "make_policy",
+    "SetAssociativeCache",
+    "HybridCache",
+    "AccessResult",
+    "CacheStats",
+    "ProtectedArray",
+    "WordReadRecord",
+]

@@ -1,0 +1,152 @@
+"""Stored-word simulation through hard faults and the EDC codec.
+
+:class:`ProtectedArray` models one physical word array of a ULE way: every
+write encodes the value; every read passes the stored codeword through the
+die's stuck-at fault map (and optional soft-error flips) and decodes it.
+Against a shadow copy of the written values it classifies each read as
+clean / corrected / detected / **silent** (decoder claimed success but
+returned wrong data) — the last category must stay empty whenever the
+fault map respects the code's budget, which is what the reliability
+experiments verify against Eq. (1)-(2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.edc.base import DecodeStatus, LinearBlockCode
+from repro.edc.protection import ProtectionScheme, make_code
+from repro.reliability.fault_maps import FaultMap
+
+
+@dataclass(frozen=True)
+class WordReadRecord:
+    """One read through the protected array.
+
+    Attributes:
+        value: the data returned to the consumer.
+        status: decoder outcome (CLEAN for unprotected arrays).
+        correct: whether ``value`` matches what was last written.
+    """
+
+    value: int
+    status: DecodeStatus
+    correct: bool
+
+
+class ProtectedArray:
+    """A fault-injected, EDC-protected array of fixed-width words."""
+
+    def __init__(
+        self,
+        words: int,
+        data_bits: int,
+        scheme: ProtectionScheme,
+        fault_map: FaultMap | None = None,
+    ):
+        if words <= 0 or data_bits <= 0:
+            raise ValueError("bad geometry")
+        self.words = words
+        self.data_bits = data_bits
+        self.scheme = scheme
+        self.code: LinearBlockCode | None = make_code(scheme, data_bits)
+        self.stored_bits = (
+            self.code.n if self.code is not None else data_bits
+        )
+        if fault_map is not None:
+            if fault_map.words < words:
+                raise ValueError("fault map smaller than the array")
+            if fault_map.word_bits != self.stored_bits:
+                raise ValueError(
+                    f"fault map is {fault_map.word_bits} bits/word; "
+                    f"array stores {self.stored_bits}"
+                )
+        self.fault_map = fault_map
+        self._stored = [0] * words
+        self._shadow = [0] * words
+        self._written = [False] * words
+        self.reads = 0
+        self.corrected_reads = 0
+        self.detected_reads = 0
+        self.silent_errors = 0
+
+    # --------------------------------------------------------------- API
+    def write(self, index: int, value: int) -> None:
+        """Encode and store ``value`` at ``index``."""
+        self._check_index(index)
+        if value < 0 or value >> self.data_bits:
+            raise ValueError(f"value does not fit in {self.data_bits} bits")
+        stored = self.code.encode(value) if self.code else value
+        self._stored[index] = stored
+        self._shadow[index] = value
+        self._written[index] = True
+
+    def read(
+        self,
+        index: int,
+        soft_error_bits: tuple[int, ...] = (),
+    ) -> WordReadRecord:
+        """Read ``index`` through faults (+ optional transient flips)."""
+        self._check_index(index)
+        if not self._written[index]:
+            raise ValueError(f"word {index} read before written")
+        raw = self._stored[index]
+        if self.fault_map is not None:
+            raw = self.fault_map.apply(index, raw)
+        for bit in soft_error_bits:
+            if not 0 <= bit < self.stored_bits:
+                raise ValueError("soft-error bit out of range")
+            raw ^= 1 << bit
+        self.reads += 1
+        if self.code is None:
+            value = raw
+            status = DecodeStatus.CLEAN
+        else:
+            result = self.code.decode(raw)
+            value = result.data
+            status = result.status
+        correct = (
+            status is not DecodeStatus.DETECTED
+            and value == self._shadow[index]
+        )
+        if status is DecodeStatus.CORRECTED:
+            self.corrected_reads += 1
+        elif status is DecodeStatus.DETECTED:
+            self.detected_reads += 1
+        if status is not DecodeStatus.DETECTED and not correct:
+            self.silent_errors += 1
+        return WordReadRecord(value=value, status=status, correct=correct)
+
+    # --------------------------------------------------------- analysis
+    def word_is_usable(self, index: int, hard_budget: int) -> bool:
+        """Static check: does the word's fault count fit the budget?"""
+        self._check_index(index)
+        if self.fault_map is None:
+            return True
+        return self.fault_map.faults_in_word(index) <= hard_budget
+
+    def usable(self, hard_budget: int) -> bool:
+        """Whether every word of the array fits the budget (die works)."""
+        return all(
+            self.word_is_usable(index, hard_budget)
+            for index in range(self.words)
+        )
+
+    def exercise(self, rng: np.random.Generator, rounds: int = 1) -> None:
+        """Write random data everywhere and read it back ``rounds`` times.
+
+        Used by the Monte Carlo yield validation: after exercising, the
+        ``silent_errors`` /  ``detected_reads`` counters tell whether this
+        die behaved as a yielding part.
+        """
+        for _ in range(rounds):
+            for index in range(self.words):
+                self.write(index, int(rng.integers(0, 1 << self.data_bits)))
+            for index in range(self.words):
+                self.read(index)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.words:
+            raise IndexError(f"word index {index} out of range")

@@ -1,0 +1,181 @@
+"""Replacement policies for the set-associative simulator.
+
+Policies operate on per-set state objects they create themselves, and the
+victim choice takes an explicit candidate list — the hybrid cache restricts
+candidates to the powered ways of the current mode.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class ReplacementPolicy(ABC):
+    """Interface: per-set bookkeeping plus victim selection."""
+
+    def __init__(self, ways: int):
+        if ways <= 0:
+            raise ValueError("ways must be positive")
+        self.ways = ways
+
+    @abstractmethod
+    def new_set_state(self) -> object:
+        """Fresh per-set state."""
+
+    @abstractmethod
+    def on_access(self, state: object, way: int) -> None:
+        """Record a hit on ``way``."""
+
+    @abstractmethod
+    def on_fill(self, state: object, way: int) -> None:
+        """Record a fill into ``way``."""
+
+    @abstractmethod
+    def victim(self, state: object, candidates: list[int]) -> int:
+        """Choose the way to evict among ``candidates``."""
+
+
+class LruPolicy(ReplacementPolicy):
+    """Least-recently-used; state is a recency list (MRU first)."""
+
+    def new_set_state(self) -> list[int]:
+        return []
+
+    def on_access(self, state: list[int], way: int) -> None:
+        if way in state:
+            state.remove(way)
+        state.insert(0, way)
+
+    def on_fill(self, state: list[int], way: int) -> None:
+        self.on_access(state, way)
+
+    def victim(self, state: list[int], candidates: list[int]) -> int:
+        if not candidates:
+            raise ValueError("no candidate ways")
+        # Least recent candidate: last position in the recency list;
+        # never-touched ways are the coldest of all.
+        untouched = [way for way in candidates if way not in state]
+        if untouched:
+            return untouched[0]
+        for way in reversed(state):
+            if way in candidates:
+                return way
+        raise AssertionError("unreachable")
+
+
+class FifoPolicy(ReplacementPolicy):
+    """First-in-first-out; hits do not refresh."""
+
+    def new_set_state(self) -> list[int]:
+        return []
+
+    def on_access(self, state: list[int], way: int) -> None:
+        del state, way  # FIFO ignores hits
+
+    def on_fill(self, state: list[int], way: int) -> None:
+        if way in state:
+            state.remove(way)
+        state.insert(0, way)
+
+    def victim(self, state: list[int], candidates: list[int]) -> int:
+        if not candidates:
+            raise ValueError("no candidate ways")
+        untouched = [way for way in candidates if way not in state]
+        if untouched:
+            return untouched[0]
+        for way in reversed(state):
+            if way in candidates:
+                return way
+        raise AssertionError("unreachable")
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniformly random victim (seeded for reproducibility)."""
+
+    def __init__(self, ways: int, seed: int = 0):
+        super().__init__(ways)
+        self._rng = np.random.default_rng(seed)
+
+    def new_set_state(self) -> None:
+        return None
+
+    def on_access(self, state: None, way: int) -> None:
+        del state, way
+
+    def on_fill(self, state: None, way: int) -> None:
+        del state, way
+
+    def victim(self, state: None, candidates: list[int]) -> int:
+        if not candidates:
+            raise ValueError("no candidate ways")
+        return candidates[int(self._rng.integers(len(candidates)))]
+
+
+class PlruPolicy(ReplacementPolicy):
+    """Tree pseudo-LRU (binary tree of direction bits).
+
+    With restricted candidates (hybrid modes) the tree walk is followed
+    where possible and the first candidate in tree order is used as a
+    fallback.
+    """
+
+    def new_set_state(self) -> list[int]:
+        return [0] * max(self.ways - 1, 1)
+
+    def _leaf_path(self, way: int) -> list[tuple[int, int]]:
+        """(node, direction) pairs from root to the leaf of ``way``."""
+        path = []
+        node = 0
+        low, high = 0, self.ways
+        while high - low > 1:
+            mid = (low + high) // 2
+            direction = 0 if way < mid else 1
+            path.append((node, direction))
+            node = 2 * node + 1 + direction
+            if direction == 0:
+                high = mid
+            else:
+                low = mid
+        return path
+
+    def on_access(self, state: list[int], way: int) -> None:
+        for node, direction in self._leaf_path(way):
+            if node < len(state):
+                state[node] = 1 - direction  # point away from the hit
+
+    def on_fill(self, state: list[int], way: int) -> None:
+        self.on_access(state, way)
+
+    def victim(self, state: list[int], candidates: list[int]) -> int:
+        if not candidates:
+            raise ValueError("no candidate ways")
+        node = 0
+        low, high = 0, self.ways
+        while high - low > 1:
+            mid = (low + high) // 2
+            direction = state[node] if node < len(state) else 0
+            node = 2 * node + 1 + direction
+            if direction == 0:
+                high = mid
+            else:
+                low = mid
+        chosen = low
+        if chosen in candidates:
+            return chosen
+        return candidates[0]
+
+
+def make_policy(name: str, ways: int, seed: int = 0) -> ReplacementPolicy:
+    """Factory: "lru", "fifo", "random" or "plru"."""
+    lowered = name.lower()
+    if lowered == "lru":
+        return LruPolicy(ways)
+    if lowered == "fifo":
+        return FifoPolicy(ways)
+    if lowered == "random":
+        return RandomPolicy(ways, seed=seed)
+    if lowered == "plru":
+        return PlruPolicy(ways)
+    raise ValueError(f"unknown replacement policy {name!r}")

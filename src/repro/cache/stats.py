@@ -1,0 +1,89 @@
+"""Counters collected by the functional cache simulator."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Access statistics, global and per way group.
+
+    Invariants (checked by tests): ``reads + writes == accesses``,
+    ``hits + misses == accesses``, each per-group counter sums to its
+    global counterpart.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    read_hits: int = 0
+    write_hits: int = 0
+    read_misses: int = 0
+    write_misses: int = 0
+    fills: int = 0
+    writebacks: int = 0
+    flush_writebacks: int = 0
+    group_read_hits: dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    group_write_hits: dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    group_fills: dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    group_writebacks: dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+
+    @property
+    def accesses(self) -> int:
+        """Total probes."""
+        return self.reads + self.writes
+
+    @property
+    def hits(self) -> int:
+        """Total hits."""
+        return self.read_hits + self.write_hits
+
+    @property
+    def misses(self) -> int:
+        """Total misses."""
+        return self.read_misses + self.write_misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access (0 when idle)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate another stats object into this one."""
+        self.reads += other.reads
+        self.writes += other.writes
+        self.read_hits += other.read_hits
+        self.write_hits += other.write_hits
+        self.read_misses += other.read_misses
+        self.write_misses += other.write_misses
+        self.fills += other.fills
+        self.writebacks += other.writebacks
+        self.flush_writebacks += other.flush_writebacks
+        for attr in (
+            "group_read_hits",
+            "group_write_hits",
+            "group_fills",
+            "group_writebacks",
+        ):
+            mine = getattr(self, attr)
+            for key, value in getattr(other, attr).items():
+                mine[key] += value
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return (
+            f"{self.accesses} accesses, {self.hits} hits "
+            f"({100 * (1 - self.miss_rate):.1f} %), "
+            f"{self.fills} fills, {self.writebacks} writebacks"
+        )

@@ -1,0 +1,35 @@
+"""CACTI-like cache array energy / area / timing model.
+
+The paper modelled its caches "using CACTI 6.5 ... extended in order to
+implement accurate energy models for 8T and 10T SRAM cells when operating
+at high and NST Vcc by adapting capacitances, resistances and geometry".
+This package is that custom CACTI (DESIGN.md substitution #3): a component
+model (decoder, wordline, bitline, sense, output) parameterized by the
+bitcell design and the operating point, assembled per way group into a
+cache-level energy/area/timing model.
+
+* :mod:`repro.cacti.wires` — RC wire segments;
+* :mod:`repro.cacti.components` — per-component energy/delay formulas;
+* :mod:`repro.cacti.array` — one SRAM subarray (rows x cols of one cell);
+* :mod:`repro.cacti.model` — the hybrid cache built from way groups, with
+  per-mode access energies, leakage, area and the EDC codec overheads.
+"""
+
+from repro.cacti.wires import WireSegment
+from repro.cacti.array import SramArray
+from repro.cacti.organization import PartitionedArray, optimal_partition
+from repro.cacti.model import (
+    AccessEnergy,
+    CacheEnergyModel,
+    WayGroupArrays,
+)
+
+__all__ = [
+    "WireSegment",
+    "SramArray",
+    "PartitionedArray",
+    "optimal_partition",
+    "CacheEnergyModel",
+    "WayGroupArrays",
+    "AccessEnergy",
+]

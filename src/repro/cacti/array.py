@@ -1,0 +1,183 @@
+"""One SRAM subarray: rows x cols of a single bitcell design.
+
+All the cell-type-specific physics enters here through
+:class:`repro.sram.energy.CellElectricals`: wordline/bitline loading,
+differential vs single-ended sensing, cell area and cell leakage.  This is
+exactly the part of CACTI the paper had to extend for 8T/10T cells and NST
+operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.cacti.components import (
+    DecoderModel,
+    OUTPUT_DRIVER_CAP,
+    periphery_leakage_power,
+    read_swing,
+    sense_energy,
+)
+from repro.cacti.wires import WireSegment
+from repro.sram.cells import CellDesign
+from repro.sram.energy import CellElectricals
+from repro.tech.transistor import fo4_delay
+
+
+@dataclass(frozen=True)
+class SramArray:
+    """A rows x cols array of one sized bitcell.
+
+    Attributes:
+        rows: wordlines (one cache set per row here — the caches of the
+            paper are small enough for a single subarray per way).
+        cols: bitcell columns (data bits + provisioned check bits).
+        cell: the sized bitcell design.
+    """
+
+    rows: int
+    cols: int
+    cell: CellDesign
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("array dimensions must be positive")
+
+    @cached_property
+    def electricals(self) -> CellElectricals:
+        return CellElectricals(self.cell)
+
+    @cached_property
+    def decoder(self) -> DecoderModel:
+        return DecoderModel(rows=self.rows, node=self.cell.node)
+
+    # -------------------------------------------------------------- wires
+    @cached_property
+    def wordline_wire(self) -> WireSegment:
+        return WireSegment(
+            length=self.cols * self.electricals.cell_width,
+            node=self.cell.node,
+        )
+
+    @cached_property
+    def bitline_wire(self) -> WireSegment:
+        return WireSegment(
+            length=self.rows * self.electricals.cell_height,
+            node=self.cell.node,
+        )
+
+    def _wordline_cap(self, write: bool) -> float:
+        per_cell = (
+            self.electricals.write_wordline_cap
+            if write
+            else self.electricals.read_wordline_cap
+        )
+        return self.cols * per_cell + self.wordline_wire.capacitance
+
+    def _bitline_cap(self, write: bool) -> float:
+        per_cell = (
+            self.electricals.write_bitline_cap
+            if write
+            else self.electricals.read_bitline_cap
+        )
+        return self.rows * per_cell + self.bitline_wire.capacitance
+
+    # ------------------------------------------------------------- energy
+    def read_energy(
+        self,
+        vdd: float,
+        active_cols: int | None = None,
+        out_bits: int = 0,
+    ) -> float:
+        """Dynamic energy of one read access (J).
+
+        Args:
+            vdd: supply voltage.
+            active_cols: columns whose bitlines are precharged and sensed
+                (check-bit columns are gated off when their code is off);
+                defaults to all columns.
+            out_bits: bits driven onto the output bus by this access —
+                only the way selected by the hit drives outputs, so probe
+                pricing passes 0 here and the hit path adds the word.
+        """
+        cols = self.cols if active_cols is None else active_cols
+        if not 0 <= cols <= self.cols:
+            raise ValueError("active_cols out of range")
+        swing = read_swing(vdd, self.electricals.differential_read)
+        bitline_cap = self._bitline_cap(write=False)
+        bitline = (
+            self.electricals.read_bitlines * bitline_cap * vdd * swing
+        )
+        sensing = sense_energy(vdd, bitline_cap)
+        wordline = self._wordline_cap(write=False) * vdd * vdd
+        output = out_bits * OUTPUT_DRIVER_CAP * vdd * vdd
+        return (
+            self.decoder.access_energy(vdd)
+            + wordline
+            + cols * (bitline + sensing)
+            + output
+        )
+
+    def write_energy(self, vdd: float, active_cols: int | None = None) -> float:
+        """Dynamic energy of one write access (J).
+
+        Writes drive full-rail differential bitlines on the written
+        columns only.
+        """
+        cols = self.cols if active_cols is None else active_cols
+        if not 0 <= cols <= self.cols:
+            raise ValueError("active_cols out of range")
+        bitline = (
+            self.electricals.write_bitlines
+            * self._bitline_cap(write=True)
+            * vdd
+            * vdd
+        )
+        wordline = self._wordline_cap(write=True) * vdd * vdd
+        return self.decoder.access_energy(vdd) + wordline + cols * bitline
+
+    def leakage_power(self, vdd: float) -> float:
+        """Static power of the array incl. periphery (W)."""
+        cells = self.rows * self.cols * self.electricals.leakage_power(vdd)
+        periphery = periphery_leakage_power(
+            self.rows, self.cols, vdd, self.cell.node
+        )
+        return cells + self.decoder.leakage_power(vdd) + periphery
+
+    # --------------------------------------------------------------- area
+    @property
+    def area(self) -> float:
+        """Array area (m^2), cells / 70 % array efficiency."""
+        return self.rows * self.cols * self.electricals.area / 0.70
+
+    # ------------------------------------------------------------- timing
+    def access_time(self, vdd: float) -> float:
+        """Read access time (s): decode + wordline + bitline + sense."""
+        wordline_delay = self.wordline_wire.elmore_delay + 2.0 * fo4_delay(
+            vdd, self.cell.node
+        )
+        swing = read_swing(vdd, self.electricals.differential_read)
+        current = self.cell_read_current(vdd)
+        bitline_delay = (
+            self._bitline_cap(write=False) * swing / max(current, 1e-15)
+            + self.bitline_wire.elmore_delay
+        )
+        sense_delay = 3.0 * fo4_delay(vdd, self.cell.node)
+        return (
+            self.decoder.delay(vdd)
+            + wordline_delay
+            + bitline_delay
+            + sense_delay
+        )
+
+    def cell_read_current(self, vdd: float) -> float:
+        """Read discharge current of one cell (A): the access device
+        throttled by the pull-down stack (factor 0.7)."""
+        roles = self.cell.topology.read_wordline_roles
+        for spec, transistor in zip(
+            self.cell.topology.transistors, self.cell.transistors
+        ):
+            if spec.role in roles:
+                return 0.7 * transistor.on_current(vdd)
+        raise ValueError("cell has no read access transistor")

@@ -1,0 +1,125 @@
+"""Peripheral component models: decoder, sensing, drivers.
+
+Numbers follow the usual CACTI decomposition but with deliberately simple
+formulas — every figure the paper reports is a ratio between caches sharing
+this periphery model, so only the *scaling* with rows/cols/cell/Vdd needs
+to be right.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.tech.node import TechnologyNode, ptm32
+from repro.tech.transistor import Transistor, fo4_delay
+
+#: Differential sense-amplifier input swing at super-threshold (V).
+DIFFERENTIAL_SWING = 0.15
+#: Pseudo-differential / hierarchical single-ended swing at super-threshold.
+SINGLE_ENDED_SWING = 0.25
+#: Below this supply, sense amplifiers are unreliable: full-rail reads.
+FULL_SWING_BELOW_VDD = 0.60
+
+#: Sense-amplifier input devices are sized to their bitline load; this is
+#: the effective fraction of the bitline capacitance switched in the amp.
+SENSE_CAP_RATIO = 0.15
+#: Latch/precharge floor of one sense amplifier (F).
+SENSE_CAP_FLOOR = 0.3e-15
+#: Effective capacitance of a full-swing receiver (inverter) (F).
+RECEIVER_CAP = 0.25e-15
+#: Capacitance each read-out bit drives toward the core (F) — charged
+#: once per access by the way-select mux, not per way.
+OUTPUT_DRIVER_CAP = 4.0e-15
+
+
+def read_swing(vdd: float, differential: bool) -> float:
+    """Bitline voltage swing developed on a read at supply ``vdd``.
+
+    At near-threshold supplies sensing margin evaporates, so NST designs
+    read full rail (this is why dynamic energy does not shrink as fast as
+    V^2 would suggest at ULE mode); at high supply, differential cells
+    sense a small swing and single-ended 8T read ports a moderate one.
+    """
+    if vdd < FULL_SWING_BELOW_VDD:
+        return vdd
+    return DIFFERENTIAL_SWING if differential else SINGLE_ENDED_SWING
+
+
+def sense_energy(vdd: float, bitline_cap: float) -> float:
+    """Per-column sensing energy (J).
+
+    Above the sensing floor the amplifier's input/latch devices scale with
+    the bitline they listen to (CACTI sizes them from the BL load); at NST
+    supplies a plain full-swing receiver is used instead.
+    """
+    if vdd < FULL_SWING_BELOW_VDD:
+        return RECEIVER_CAP * vdd * vdd
+    cap = max(SENSE_CAP_RATIO * bitline_cap, SENSE_CAP_FLOOR)
+    return cap * vdd * vdd
+
+
+@dataclass(frozen=True)
+class DecoderModel:
+    """Row decoder: predecoders plus one driver per row.
+
+    Gate count scales with the address width (predecode) and the row
+    count (final NAND + driver per row); only a handful of gates toggle
+    per access.
+    """
+
+    rows: int
+    node: TechnologyNode = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.node is None:
+            object.__setattr__(self, "node", ptm32())
+        if self.rows <= 0:
+            raise ValueError("rows must be positive")
+
+    @property
+    def address_bits(self) -> int:
+        return max(1, (self.rows - 1).bit_length())
+
+    @property
+    def total_gates(self) -> int:
+        """All decoder gates (for leakage)."""
+        return 4 * self.address_bits + 2 * self.rows
+
+    @property
+    def switched_gates(self) -> int:
+        """Gates that toggle on one access."""
+        return 4 * self.address_bits + 6
+
+    def access_energy(self, vdd: float) -> float:
+        """Dynamic energy of one decode (J)."""
+        return self.switched_gates * 2.0 * self.node.logic_gate_cap * vdd**2
+
+    def leakage_power(self, vdd: float) -> float:
+        """Static power of the decoder (W)."""
+        return self.total_gates * gate_leakage(vdd, self.node)
+
+    def delay(self, vdd: float) -> float:
+        """Decode delay (s): ~2 FO4 per predecode level."""
+        levels = math.ceil(self.address_bits / 2) + 1
+        return 2.0 * levels * fo4_delay(vdd, self.node)
+
+
+def gate_leakage(vdd: float, node: TechnologyNode) -> float:
+    """Leakage power of one minimum logic gate at ``vdd`` (W)."""
+    probe = Transistor(width=node.wmin, node=node)
+    scale = probe.leakage_current(vdd) / probe.leakage_current(
+        node.vdd_nominal
+    )
+    return node.logic_gate_leak * scale * vdd
+
+
+def periphery_leakage_power(
+    rows: int, cols: int, vdd: float, node: TechnologyNode
+) -> float:
+    """Static power of precharge / write drivers / sensing (W).
+
+    Roughly four minimum gates per column plus two per row.
+    """
+    gates = 4 * cols + 2 * rows
+    return gates * gate_leakage(vdd, node)

@@ -1,0 +1,213 @@
+"""Array partitioning: splitting a logical array into banked subarrays.
+
+CACTI's core optimization is dividing a large logical array into Ndwl x
+Ndbl physical subarrays to trade wordline/bitline length against decoder,
+periphery and H-tree overhead:
+
+* **row splits** (Ndbl) cut the bitlines: an access activates only the
+  bank stripe holding the addressed row — a genuine dynamic-energy win,
+  paid for with replicated sense-amp/precharge periphery;
+* **column splits** (Ndwl) cut the wordlines: the addressed row spans
+  *all* column banks (the full line width must still be read), so the
+  win is wordline RC, not bitline energy, at the price of replicated
+  row decoders.
+
+Subarrays below ~32 rows or ~64 columns are not physically sensible (the
+sense-amplifier pitch and periphery strip stop amortizing), which is why
+the paper's 8 KB caches — 32 rows per way — stay unbanked; the
+:func:`optimal_partition` search reproduces that choice and banks larger
+arrays (the cache-size ablation's 16+ KB points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.cacti.array import SramArray
+from repro.cacti.wires import WireSegment
+from repro.sram.cells import CellDesign
+from repro.tech.node import ptm32
+
+#: Minimum viable subarray geometry (sense-amp pitch / periphery
+#: amortization floors).
+MIN_BANK_ROWS = 32
+MIN_BANK_COLS = 64
+
+#: Periphery strip per bank, in equivalent cell-rows (sense amps,
+#: precharge, write drivers).
+PERIPHERY_ROWS_EQUIV = 12
+
+#: Control/predecode gates that switch per activated bank.
+BANK_CONTROL_GATES = 30
+
+
+@dataclass(frozen=True)
+class PartitionedArray:
+    """A logical array banked into equal subarrays.
+
+    Attributes:
+        rows / cols: logical array dimensions.
+        row_splits / col_splits: bank grid (Ndbl / Ndwl in CACTI terms).
+        cell: the bitcell design of every subarray.
+    """
+
+    rows: int
+    cols: int
+    cell: CellDesign
+    row_splits: int = 1
+    col_splits: int = 1
+
+    def __post_init__(self) -> None:
+        if self.row_splits <= 0 or self.col_splits <= 0:
+            raise ValueError("splits must be positive")
+        if self.rows % self.row_splits or self.cols % self.col_splits:
+            raise ValueError("splits must divide the array evenly")
+
+    @cached_property
+    def subarray(self) -> SramArray:
+        """One physical bank."""
+        return SramArray(
+            rows=self.rows // self.row_splits,
+            cols=self.cols // self.col_splits,
+            cell=self.cell,
+        )
+
+    @property
+    def banks(self) -> int:
+        """Number of physical subarrays."""
+        return self.row_splits * self.col_splits
+
+    @property
+    def activated_banks(self) -> int:
+        """Banks touched per access: one row stripe, all its columns."""
+        return self.col_splits
+
+    @cached_property
+    def _htree(self) -> WireSegment:
+        """Wire from the bank grid's corner to its centre (per access)."""
+        width = self.cols * self.subarray.electricals.cell_width
+        height = self.rows * self.subarray.electricals.cell_height
+        return WireSegment(
+            length=0.5 * (width + height), node=self.cell.node
+        )
+
+    def _control_energy(self, vdd: float) -> float:
+        node = ptm32()
+        return (
+            self.activated_banks
+            * BANK_CONTROL_GATES
+            * 2.0
+            * node.logic_gate_cap
+            * vdd
+            * vdd
+        )
+
+    # ------------------------------------------------------------- energy
+    def read_energy(
+        self,
+        vdd: float,
+        active_cols: int | None = None,
+        out_bits: int = 0,
+    ) -> float:
+        """One read: the addressed row stripe across all col banks (J)."""
+        total_active = self.cols if active_cols is None else active_cols
+        per_bank_cols = max(1, total_active // self.col_splits)
+        per_bank_out = out_bits // max(self.col_splits, 1)
+        bank = self.subarray.read_energy(
+            vdd, active_cols=per_bank_cols, out_bits=per_bank_out
+        )
+        htree = self._htree.switch_energy(vdd) * max(out_bits, 1) / 32
+        return (
+            self.activated_banks * bank
+            + self._control_energy(vdd)
+            + htree
+        )
+
+    def write_energy(
+        self, vdd: float, active_cols: int | None = None
+    ) -> float:
+        """One write into the addressed row stripe (J)."""
+        total_active = self.cols if active_cols is None else active_cols
+        per_bank_cols = max(1, total_active // self.col_splits)
+        bank = self.subarray.write_energy(vdd, active_cols=per_bank_cols)
+        return (
+            self.activated_banks * bank
+            + self._control_energy(vdd)
+            + self._htree.switch_energy(vdd)
+        )
+
+    def leakage_power(self, vdd: float) -> float:
+        """All banks leak (W)."""
+        return self.banks * self.subarray.leakage_power(vdd)
+
+    @property
+    def area(self) -> float:
+        """Total area incl. per-bank periphery strips and routing (m^2)."""
+        cell_area = self.subarray.electricals.area
+        bank_cells = self.subarray.rows + PERIPHERY_ROWS_EQUIV
+        bank_area = self.subarray.cols * bank_cells * cell_area / 0.70
+        routing = 1.0 + 0.03 * (self.banks - 1)
+        return self.banks * bank_area * routing
+
+    def access_time(self, vdd: float) -> float:
+        """Bank access plus H-tree flight time (s)."""
+        return self.subarray.access_time(vdd) + self._htree.elmore_delay
+
+
+def candidate_partitions(
+    rows: int, cols: int, max_splits: int = 8
+) -> list[tuple[int, int]]:
+    """Legal (row_splits, col_splits) grids respecting the bank floors."""
+    candidates = []
+    for row_splits in range(1, max_splits + 1):
+        if rows % row_splits:
+            continue
+        if rows // row_splits < MIN_BANK_ROWS:
+            break
+        for col_splits in range(1, max_splits + 1):
+            if cols % col_splits:
+                continue
+            if cols // col_splits < MIN_BANK_COLS:
+                break
+            candidates.append((row_splits, col_splits))
+    return candidates or [(1, 1)]
+
+
+def optimal_partition(
+    rows: int,
+    cols: int,
+    cell: CellDesign,
+    vdd: float,
+    max_splits: int = 8,
+) -> PartitionedArray:
+    """The bank grid minimizing the energy-delay-area product.
+
+    Candidates are visited in increasing bank count and a finer grid is
+    only accepted when it improves the cost by >= 3 % — the usual design
+    practice of not paying banking complexity for noise-level wins.
+    """
+    best: PartitionedArray | None = None
+    best_cost = float("inf")
+    ordered = sorted(
+        candidate_partitions(rows, cols, max_splits),
+        key=lambda grid: (grid[0] * grid[1], grid),
+    )
+    for row_splits, col_splits in ordered:
+        array = PartitionedArray(
+            rows=rows,
+            cols=cols,
+            cell=cell,
+            row_splits=row_splits,
+            col_splits=col_splits,
+        )
+        cost = (
+            array.read_energy(vdd)
+            * array.access_time(vdd)
+            * array.area
+        )
+        if cost < 0.97 * best_cost:
+            best_cost = cost
+            best = array
+    assert best is not None
+    return best

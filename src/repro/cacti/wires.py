@@ -1,0 +1,47 @@
+"""RC wire segments (local interconnect: wordlines, bitlines, output buses)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.node import TechnologyNode, ptm32
+
+
+@dataclass(frozen=True)
+class WireSegment:
+    """A straight local-metal wire of a given length.
+
+    Attributes:
+        length: wire length (m).
+        node: technology node supplying per-metre R and C.
+    """
+
+    length: float
+    node: TechnologyNode = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.node is None:
+            object.__setattr__(self, "node", ptm32())
+        if self.length < 0:
+            raise ValueError("length must be non-negative")
+
+    @property
+    def capacitance(self) -> float:
+        """Total wire capacitance (F)."""
+        return self.node.cwire_per_m * self.length
+
+    @property
+    def resistance(self) -> float:
+        """Total wire resistance (ohm)."""
+        return self.node.rwire_per_m * self.length
+
+    @property
+    def elmore_delay(self) -> float:
+        """Distributed RC delay (s), 0.38 * R * C."""
+        return 0.38 * self.resistance * self.capacitance
+
+    def switch_energy(self, vdd: float, swing: float | None = None) -> float:
+        """Energy to swing the wire by ``swing`` (defaults to full rail)."""
+        if swing is None:
+            swing = vdd
+        return self.capacitance * vdd * swing

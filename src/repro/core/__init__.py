@@ -1,0 +1,48 @@
+"""The paper's contribution: hybrid EDC cache scenarios and methodology.
+
+* :mod:`repro.core.calibration` — every free constant of the physical
+  models, each tied to a paper anchor;
+* :mod:`repro.core.scenarios` — scenario A and B (baseline vs proposed
+  cache configurations, Section III-B);
+* :mod:`repro.core.methodology` — the Fig. 2 design methodology: size the
+  cells, compute yields, grow the 8T cell until the coded yield matches
+  the 10T baseline;
+* :mod:`repro.core.architect` — full chip configurations for a designed
+  scenario;
+* :mod:`repro.core.evaluation` — the EPI evaluation pipeline behind the
+  paper's Figures 3 and 4.
+"""
+
+from repro.core.scenarios import Scenario
+from repro.core.methodology import DesignResult, design_scenario
+from repro.core.architect import build_cache_pair, build_chips
+from repro.core.evaluation import (
+    BenchmarkComparison,
+    ScenarioEvaluation,
+    cached_chips,
+    cached_design,
+    evaluate_scenario,
+)
+from repro.core.predictability import (
+    disable_statistics,
+    wcet_all_miss,
+    wcet_guaranteed_capacity,
+)
+from repro.core.transitions import ModeTransitionModel
+
+__all__ = [
+    "Scenario",
+    "DesignResult",
+    "design_scenario",
+    "build_chips",
+    "build_cache_pair",
+    "evaluate_scenario",
+    "cached_design",
+    "cached_chips",
+    "ScenarioEvaluation",
+    "BenchmarkComparison",
+    "disable_statistics",
+    "wcet_all_miss",
+    "wcet_guaranteed_capacity",
+    "ModeTransitionModel",
+]

@@ -1,0 +1,165 @@
+"""From a designed scenario to executable chip configurations.
+
+Builds the baseline and proposed chips of a scenario: identical cores,
+identical 10T non-L1 arrays, identical cache geometry — differing only in
+the ULE way's bitcells and coding, exactly the comparison of Section IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.config import CacheConfig, WayGroupConfig
+from repro.core import calibration
+from repro.core.methodology import DesignResult
+from repro.core.scenarios import ProtectionPlan
+from repro.cpu.arrays import CoreArrays
+from repro.cpu.chip import Chip, ChipConfig
+from repro.sram.cells import CellDesign
+from repro.tech.operating import Mode
+
+
+def _way_groups(
+    hp_cell: CellDesign,
+    ule_cell: CellDesign,
+    hp_plan: ProtectionPlan,
+    ule_plan: ProtectionPlan,
+    ule_edc_inline: bool,
+    hp_ways: int = calibration.HP_WAYS,
+    ule_ways: int = calibration.ULE_WAYS,
+) -> tuple[WayGroupConfig, ...]:
+    groups = []
+    if hp_ways:
+        groups.append(
+            WayGroupConfig(
+                name="hp",
+                ways=hp_ways,
+                cell=hp_cell,
+                data_protection=hp_plan.as_mapping(),
+                tag_protection=hp_plan.as_mapping(),
+                active_modes=frozenset({Mode.HP}),
+            )
+        )
+    groups.append(
+        WayGroupConfig(
+            name="ule",
+            ways=ule_ways,
+            cell=ule_cell,
+            data_protection=ule_plan.as_mapping(),
+            tag_protection=ule_plan.as_mapping(),
+            active_modes=frozenset({Mode.HP, Mode.ULE}),
+            edc_inline_modes=(
+                frozenset({Mode.ULE}) if ule_edc_inline else frozenset()
+            ),
+        )
+    )
+    return tuple(groups)
+
+
+def _cache_config(
+    name: str,
+    groups: tuple[WayGroupConfig, ...],
+    size_bytes: int,
+    line_bytes: int,
+) -> CacheConfig:
+    return CacheConfig(
+        name=name,
+        size_bytes=size_bytes,
+        line_bytes=line_bytes,
+        way_groups=groups,
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioChips:
+    """The two chips of one scenario's comparison."""
+
+    baseline: Chip
+    proposed: Chip
+
+    def pair(self) -> tuple[Chip, Chip]:
+        return self.baseline, self.proposed
+
+
+def build_cache_pair(
+    design: DesignResult,
+    hp_ways: int = calibration.HP_WAYS,
+    ule_ways: int = calibration.ULE_WAYS,
+    size_bytes: int = calibration.CACHE_SIZE_BYTES,
+    line_bytes: int = calibration.CACHE_LINE_BYTES,
+) -> tuple[CacheConfig, CacheConfig]:
+    """Baseline and proposed cache configurations for a design."""
+    plan = design.plan
+    tag = f"{design.scenario.value}{hp_ways}+{ule_ways}"
+    baseline = _cache_config(
+        f"{tag}-baseline",
+        _way_groups(
+            hp_cell=design.cell_6t,
+            ule_cell=design.cell_10t,
+            hp_plan=plan.baseline_hp_ways,
+            ule_plan=plan.baseline_ule_way,
+            ule_edc_inline=False,
+            hp_ways=hp_ways,
+            ule_ways=ule_ways,
+        ),
+        size_bytes=size_bytes,
+        line_bytes=line_bytes,
+    )
+    proposed = _cache_config(
+        f"{tag}-proposed",
+        _way_groups(
+            hp_cell=design.cell_6t,
+            ule_cell=design.cell_8t,
+            hp_plan=plan.proposed_hp_ways,
+            ule_plan=plan.proposed_ule_way,
+            ule_edc_inline=True,
+            hp_ways=hp_ways,
+            ule_ways=ule_ways,
+        ),
+        size_bytes=size_bytes,
+        line_bytes=line_bytes,
+    )
+    return baseline, proposed
+
+
+def _chip(name: str, cache: CacheConfig, design: DesignResult) -> Chip:
+    core_arrays = CoreArrays(cell=design.cell_10t)
+    return Chip(
+        ChipConfig(
+            name=name,
+            il1=cache,
+            dl1=cache,
+            core_arrays=core_arrays,
+            core_logic_cap=calibration.CORE_LOGIC_CAP,
+            core_leak_gates=calibration.CORE_LEAK_GATES,
+        )
+    )
+
+
+def build_chips(
+    design: DesignResult,
+    hp_ways: int = calibration.HP_WAYS,
+    ule_ways: int = calibration.ULE_WAYS,
+    size_bytes: int = calibration.CACHE_SIZE_BYTES,
+    line_bytes: int = calibration.CACHE_LINE_BYTES,
+) -> ScenarioChips:
+    """The baseline and proposed chips for a designed scenario.
+
+    IL1 and DL1 share the cache configuration (both 8 KB 8-way in the
+    paper); the non-L1 arrays use the NST-sized 10T cell in *both* chips.
+    """
+    baseline_cache, proposed_cache = build_cache_pair(
+        design,
+        hp_ways=hp_ways,
+        ule_ways=ule_ways,
+        size_bytes=size_bytes,
+        line_bytes=line_bytes,
+    )
+    return ScenarioChips(
+        baseline=_chip(
+            f"{design.scenario.value}-baseline", baseline_cache, design
+        ),
+        proposed=_chip(
+            f"{design.scenario.value}-proposed", proposed_cache, design
+        ),
+    )

@@ -1,0 +1,55 @@
+"""Calibration constants and the paper anchors they serve.
+
+The reproduction replaces the paper's HSPICE / CACTI / MPSim stack with
+analytic models (DESIGN.md section 3).  Each free constant below is pinned
+to something the paper states; everything downstream (Figures 3-4, the
+area and execution-time claims) is *derived*, not fitted per-figure.
+
+Cell-level margin constants live with the topologies in
+:mod:`repro.sram.cells`; they are calibrated so that:
+
+* 6T needs mild up-sizing at 1 V to reach the example Pf and is
+  inoperable at 350 mV (Sections I, III);
+* 10T reaches the same Pf at 350 mV only when up-sized ~3.6x (the
+  baseline's cost the paper attacks);
+* min-size 8T sits at Pf ~ 6e-3 at 350 mV, reaching the coded yield
+  target with ~2x up-sizing (the proposal's win).
+"""
+
+from __future__ import annotations
+
+from repro.reliability.yield_model import paper_pf_target
+
+#: Target cache yield of the worked example (Section III-C).
+YIELD_TARGET = 0.99
+
+#: Bit count of the paper's linearized Pf example: the 8192 data bits of
+#: one 1 KB way (the quantity that must be fault-free at ULE mode).
+PAPER_PF_BITS = 8192
+
+#: The paper's example hard-fault rate target: 1.22e-6 (Section III-C).
+PF_TARGET = paper_pf_target(YIELD_TARGET, PAPER_PF_BITS)
+
+#: Cache geometry of the evaluation (Section IV-A): 8 KB, 8-way, 7+1.
+CACHE_SIZE_BYTES = 8 * 1024
+CACHE_LINE_BYTES = 32
+CACHE_WAYS = 8
+HP_WAYS = 7
+ULE_WAYS = 1
+
+#: Lumped switched capacitance of the in-order core logic per instruction.
+#: Anchor: "caches become the main energy consumer on the chip" (Section I)
+#: — with this value the caches carry ~70-80 % of HP-mode EPI, core logic +
+#: RF/TLB the rest, matching the breakdown narrative of Section IV-B.
+CORE_LOGIC_CAP = 700e-15
+
+#: Equivalent minimum-gate count for core-logic leakage.  The target
+#: market's core is microcontroller-class ("very simple system design",
+#: Section I) — ~20k gates with stacking folded in at half weight.
+CORE_LEAK_GATES = 10_000
+
+#: Default trace length for evaluation runs (dynamic instructions).
+DEFAULT_TRACE_LENGTH = 120_000
+
+#: Root seed for all evaluation randomness.
+DEFAULT_SEED = 2013

@@ -1,0 +1,202 @@
+"""The design methodology of the paper's Figure 2.
+
+Steps, exactly as printed:
+
+1. For the chosen NST Vcc (350 mV) and reduced frequency, size the 10T
+   bitcell to match the hard bit failure rate (Pf) of the 6T bitcells at
+   HP mode, using the (importance-sampling-based) failure analysis.
+2. Compute the cache yield Y10T from the cache size and Pf.
+3. For the replacement: start the 8T bitcell at the minimum size of the
+   technology; compute its failure probability Pf8T; compute the failure
+   probability of the EDC-protected cache via Eq. (1) and the yield via
+   Eq. (2); while the yield is below Y10T, grow the transistors by the
+   technology's minimal increment and repeat.  The first size that meets
+   the target is the optimal cell size.
+
+The yield constraint is evaluated over the region that must work at ULE
+mode: the ULE way's data and tag words (plus their check bits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import calibration
+from repro.core.scenarios import Scenario, ScenarioPlan, plan_for
+from repro.edc.protection import ProtectionScheme, check_bits_for
+from repro.reliability.yield_model import WordOrganization
+from repro.sram.cells import CELL_6T, CELL_8T, CELL_10T, CellDesign
+from repro.sram.failure import CellFailureModel
+from repro.sram.sizing import minimal_size_step, size_for_pf
+from repro.tech.node import TechnologyNode, ptm32
+from repro.tech.operating import HP_OPERATING_POINT, ULE_OPERATING_POINT
+from repro.util.tables import Table
+
+
+@dataclass(frozen=True)
+class UleWayGeometry:
+    """Word structure of the region that must survive at ULE mode."""
+
+    sets: int
+    words_per_line: int
+    data_word_bits: int
+    tag_bits: int
+
+    @property
+    def data_words(self) -> int:
+        return self.sets * self.words_per_line
+
+    @property
+    def tag_words(self) -> int:
+        return self.sets
+
+    def organization(
+        self, scheme: ProtectionScheme, hard_budget: int
+    ) -> WordOrganization:
+        """Eq. (2) organization for one protection scheme."""
+        return WordOrganization(
+            data_words=self.data_words,
+            data_word_bits=self.data_word_bits
+            + check_bits_for(scheme, self.data_word_bits),
+            tag_words=self.tag_words,
+            tag_word_bits=self.tag_bits
+            + check_bits_for(scheme, self.tag_bits),
+            hard_fault_budget=hard_budget,
+        )
+
+
+def default_ule_geometry(
+    cache_bytes: int = calibration.CACHE_SIZE_BYTES,
+    line_bytes: int = calibration.CACHE_LINE_BYTES,
+    ways: int = calibration.CACHE_WAYS,
+    ule_ways: int = calibration.ULE_WAYS,
+) -> UleWayGeometry:
+    """The region that must survive ULE mode: the ULE way(s).
+
+    Defaults reproduce the paper's 8 KB 8-way 7+1 evaluation point; the
+    cache-size and way-split ablations pass other geometries.
+    """
+    sets = cache_bytes // (line_bytes * ways)
+    if sets <= 0:
+        raise ValueError("cache too small for the way count")
+    return UleWayGeometry(
+        sets=sets * ule_ways,
+        words_per_line=line_bytes * 8 // 32,
+        data_word_bits=32,
+        tag_bits=26,
+    )
+
+
+@dataclass(frozen=True)
+class DesignResult:
+    """Everything the Fig. 2 methodology produces for one scenario."""
+
+    scenario: Scenario
+    plan: ScenarioPlan
+    pf_target: float
+    cell_6t: CellDesign
+    cell_10t: CellDesign
+    cell_8t: CellDesign
+    pf_6t_hp: float
+    pf_10t_ule: float
+    pf_8t_ule: float
+    yield_baseline: float
+    yield_proposed: float
+    sizing_iterations: int
+
+    def summary(self) -> str:
+        """Render the methodology's intermediate numbers as a table."""
+        table = Table(
+            ["quantity", "value"],
+            title=f"Fig. 2 methodology — scenario {self.scenario.value}",
+        )
+        table.add_row(["Pf target (paper anchor)", f"{self.pf_target:.3g}"])
+        table.add_row(["6T size factor @ 1 V", self.cell_6t.size_factor])
+        table.add_row(["6T Pf @ 1 V", f"{self.pf_6t_hp:.3g}"])
+        table.add_row(["10T size factor @ 350 mV", self.cell_10t.size_factor])
+        table.add_row(["10T Pf @ 350 mV", f"{self.pf_10t_ule:.3g}"])
+        table.add_row(["8T size factor @ 350 mV", self.cell_8t.size_factor])
+        table.add_row(["8T Pf @ 350 mV", f"{self.pf_8t_ule:.3g}"])
+        table.add_row(["baseline ULE-way yield", f"{self.yield_baseline:.5f}"])
+        table.add_row(["proposed ULE-way yield", f"{self.yield_proposed:.5f}"])
+        table.add_row(["8T sizing iterations", self.sizing_iterations])
+        table.add_row(
+            [
+                "cell area 10T / 8T",
+                f"{self.cell_10t.area / self.cell_8t.area:.2f}x",
+            ]
+        )
+        return table.render()
+
+
+def design_scenario(
+    scenario: Scenario,
+    geometry: UleWayGeometry | None = None,
+    pf_target: float | None = None,
+    node: TechnologyNode | None = None,
+    vdd_hp: float | None = None,
+    vdd_ule: float | None = None,
+) -> DesignResult:
+    """Run the Fig. 2 methodology for one scenario.
+
+    ``vdd_hp`` / ``vdd_ule`` default to the paper's operating points
+    (1 V / 350 mV); the Vcc ablation passes other NST supplies — "our
+    architecture is not limited to any particular Vcc level" (§III-B).
+    """
+    node = node or ptm32()
+    geometry = geometry or default_ule_geometry()
+    pf_target = pf_target if pf_target is not None else calibration.PF_TARGET
+    plan = plan_for(scenario)
+    vdd_hp = vdd_hp if vdd_hp is not None else HP_OPERATING_POINT.vdd
+    vdd_ule = vdd_ule if vdd_ule is not None else ULE_OPERATING_POINT.vdd
+
+    # Step 0 (baseline HP ways): size 6T for the Pf target at HP mode.
+    s6 = size_for_pf(CELL_6T, vdd_hp, pf_target, node)
+    cell_6t = CellDesign(CELL_6T, s6, node)
+    pf_6t = CellFailureModel(CELL_6T, node).pf(vdd_hp, s6)
+
+    # Step 1-2: size 10T at ULE mode to match Pf; baseline yield.
+    s10 = size_for_pf(CELL_10T, vdd_ule, pf_target, node)
+    cell_10t = CellDesign(CELL_10T, s10, node)
+    pf_10t = CellFailureModel(CELL_10T, node).pf(vdd_ule, s10)
+    baseline_org = geometry.organization(
+        plan.baseline_ule_way.ule, hard_budget=0
+    )
+    yield_baseline = baseline_org.yield_at(pf_10t)
+
+    # Steps 3-6: grow the 8T cell until the coded yield reaches Y10T.
+    proposed_org = geometry.organization(
+        plan.proposed_ule_way.ule,
+        hard_budget=plan.proposed_ule_hard_budget,
+    )
+    failure_8t = CellFailureModel(CELL_8T, node)
+    step = minimal_size_step(node)
+    size = 1.0
+    iterations = 0
+    while True:
+        iterations += 1
+        pf_8t = failure_8t.pf(vdd_ule, size)
+        yield_proposed = proposed_org.yield_at(pf_8t)
+        if yield_proposed >= yield_baseline:
+            break
+        size = round(size + step, 9)
+        if size > 64.0:
+            raise RuntimeError(
+                "8T sizing diverged; calibration is inconsistent"
+            )
+    cell_8t = CellDesign(CELL_8T, size, node)
+
+    return DesignResult(
+        scenario=scenario,
+        plan=plan,
+        pf_target=pf_target,
+        cell_6t=cell_6t,
+        cell_10t=cell_10t,
+        cell_8t=cell_8t,
+        pf_6t_hp=pf_6t,
+        pf_10t_ule=pf_10t,
+        pf_8t_ule=pf_8t,
+        yield_baseline=yield_baseline,
+        yield_proposed=yield_proposed,
+        sizing_iterations=iterations,
+    )

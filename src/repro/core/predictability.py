@@ -1,0 +1,151 @@
+"""Performance predictability: WCET guarantees of the competing schemes.
+
+The paper's market requires "strong functional and timing guarantees
+required for the worst-case execution time (WCET) estimation" (Section I)
+and dismisses the classic low-Vcc alternative — *disabling faulty cache
+entries* (Wilkerson ISCA'08, Abella MICRO'09, Choi DAC'11) — because it
+"fail[s] to provide strong timing guarantees" (Section II).  This module
+quantifies that argument:
+
+* With **entry disabling**, which lines survive at low Vcc is a
+  die-specific random map.  A portable WCET bound (one binary, any
+  yielding die) cannot assume *any* access hits: the worst die may have
+  disabled exactly the lines the program needs.  The resulting WCET
+  treats every access as a miss.
+* With the **paper's EDC design**, every yielding die has its *full*
+  capacity (the Fig. 2 methodology guarantees it), and inline correction
+  is constant-time (+1 cycle).  Cache behaviour is identical on every
+  die, so the deterministic simulation *is* the guaranteed behaviour.
+
+The module also exposes the underlying per-line disable statistics, which
+show why entry disabling degenerates at NST voltages: at the min-size 8T
+failure rate, most lines contain at least one faulty word.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.config import CacheConfig
+from repro.cpu.timing import TimingParams, TimingResult, compute_timing
+from repro.cpu.trace import TraceSummary
+
+
+def line_disable_probability(
+    pf_bit: float,
+    words_per_line: int,
+    data_word_bits: int,
+    tag_word_bits: int,
+    hard_fault_budget: int = 0,
+) -> float:
+    """Probability that one cache line must be disabled.
+
+    A line is unusable when its tag word or any of its data words carries
+    more hard faults than the (per-word) correction budget.
+    """
+    from repro.reliability.yield_model import word_survival_probability
+
+    if words_per_line <= 0:
+        raise ValueError("words_per_line must be positive")
+    p_data = word_survival_probability(
+        pf_bit, data_word_bits, hard_fault_budget
+    )
+    p_tag = word_survival_probability(
+        pf_bit, tag_word_bits, hard_fault_budget
+    )
+    return 1.0 - (p_data**words_per_line) * p_tag
+
+
+@dataclass(frozen=True)
+class DisableStatistics:
+    """Disable-scheme statistics for one cache at one fault rate."""
+
+    lines: int
+    sets: int
+    ways: int
+    p_line_disabled: float
+
+    @property
+    def expected_disabled_lines(self) -> float:
+        """Mean number of disabled lines per die."""
+        return self.lines * self.p_line_disabled
+
+    @property
+    def p_some_set_fully_disabled(self) -> float:
+        """Probability that at least one set loses *all* its ways.
+
+        When that happens, accesses mapping to the set can never hit —
+        the case a portable WCET bound must assume for every set.
+        """
+        p_set_dead = self.p_line_disabled**self.ways
+        return 1.0 - (1.0 - p_set_dead) ** self.sets
+
+
+def disable_statistics(
+    config: CacheConfig,
+    pf_bit: float,
+    active_ways: int,
+    hard_fault_budget: int = 0,
+) -> DisableStatistics:
+    """Entry-disable statistics for ``config`` at a per-bit fault rate."""
+    if not 0 < active_ways <= config.ways:
+        raise ValueError("bad active way count")
+    p_disabled = line_disable_probability(
+        pf_bit,
+        words_per_line=config.words_per_line,
+        data_word_bits=config.data_word_bits,
+        tag_word_bits=config.tag_bits,
+        hard_fault_budget=hard_fault_budget,
+    )
+    return DisableStatistics(
+        lines=config.sets * active_ways,
+        sets=config.sets,
+        ways=active_ways,
+        p_line_disabled=p_disabled,
+    )
+
+
+def wcet_all_miss(
+    summary: TraceSummary,
+    il1_hit_latency: int,
+    dl1_hit_latency: int,
+    params: TimingParams | None = None,
+) -> TimingResult:
+    """WCET bound when no cache hit can be guaranteed (entry disabling).
+
+    Every instruction fetch and every data access pays the memory
+    latency — the bound a portable WCET analysis must publish when the
+    usable-line map varies die to die.
+    """
+    return compute_timing(
+        summary,
+        il1_misses=summary.instructions,
+        dl1_misses=summary.memory_ops,
+        il1_hit_latency=il1_hit_latency,
+        dl1_hit_latency=dl1_hit_latency,
+        params=params,
+    )
+
+
+def wcet_guaranteed_capacity(
+    summary: TraceSummary,
+    il1_misses: int,
+    dl1_misses: int,
+    il1_hit_latency: int,
+    dl1_hit_latency: int,
+    params: TimingParams | None = None,
+) -> TimingResult:
+    """WCET bound under the paper's design: full capacity on every die.
+
+    The deterministic miss counts of the functional simulation hold on
+    every yielding die (EDC absorbs the per-die fault map in constant
+    time), so they are usable inside the WCET bound.
+    """
+    return compute_timing(
+        summary,
+        il1_misses=il1_misses,
+        dl1_misses=dl1_misses,
+        il1_hit_latency=il1_hit_latency,
+        dl1_hit_latency=dl1_hit_latency,
+        params=params,
+    )

@@ -1,0 +1,105 @@
+"""The paper's two evaluation scenarios (Section III-B).
+
+Scenario A — the baseline cache has **no coding**:
+
+    baseline : 6T + 10T            (10T sized for fault-free 350 mV)
+    proposed : 6T + 8T + SECDED    (SECDED active at ULE mode only)
+
+Scenario B — the baseline is **SECDED-protected everywhere** (soft
+errors):
+
+    baseline : 6T+SECDED + 10T+SECDED
+    proposed : 6T+SECDED + 8T+DECTED   (DECTED at ULE; SECDED at HP)
+
+In both scenarios only the proposed 8T way corrects *hard* faults inline,
+so only it pays the +1 EDC cycle (at ULE mode).  The baselines' SECDED
+handles rare soft errors and corrects lazily off the critical path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.edc.protection import ProtectionScheme
+from repro.tech.operating import Mode
+
+
+class Scenario(enum.Enum):
+    """The two baseline-reliability scenarios of the paper."""
+
+    A = "A"
+    B = "B"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"scenario {self.value}"
+
+
+@dataclass(frozen=True)
+class ProtectionPlan:
+    """Per-mode protection of one way class in one configuration."""
+
+    hp: ProtectionScheme
+    ule: ProtectionScheme
+
+    def as_mapping(self) -> dict[Mode, ProtectionScheme]:
+        return {Mode.HP: self.hp, Mode.ULE: self.ule}
+
+
+@dataclass(frozen=True)
+class ScenarioPlan:
+    """The protection layout of baseline and proposed caches.
+
+    ``*_hp_ways`` applies to the 6T HP ways (only powered at HP mode);
+    ``*_ule_way`` to the ULE way (10T baseline, 8T proposed).
+    """
+
+    scenario: Scenario
+    baseline_hp_ways: ProtectionPlan
+    baseline_ule_way: ProtectionPlan
+    proposed_hp_ways: ProtectionPlan
+    proposed_ule_way: ProtectionPlan
+
+    @property
+    def proposed_ule_hard_budget(self) -> int:
+        """Hard faults per word the proposed ULE way absorbs (Eq. 1)."""
+        return self.proposed_ule_way.ule.hard_fault_budget
+
+
+_PLANS = {
+    Scenario.A: ScenarioPlan(
+        scenario=Scenario.A,
+        baseline_hp_ways=ProtectionPlan(
+            hp=ProtectionScheme.NONE, ule=ProtectionScheme.NONE
+        ),
+        baseline_ule_way=ProtectionPlan(
+            hp=ProtectionScheme.NONE, ule=ProtectionScheme.NONE
+        ),
+        proposed_hp_ways=ProtectionPlan(
+            hp=ProtectionScheme.NONE, ule=ProtectionScheme.NONE
+        ),
+        proposed_ule_way=ProtectionPlan(
+            hp=ProtectionScheme.NONE, ule=ProtectionScheme.SECDED
+        ),
+    ),
+    Scenario.B: ScenarioPlan(
+        scenario=Scenario.B,
+        baseline_hp_ways=ProtectionPlan(
+            hp=ProtectionScheme.SECDED, ule=ProtectionScheme.SECDED
+        ),
+        baseline_ule_way=ProtectionPlan(
+            hp=ProtectionScheme.SECDED, ule=ProtectionScheme.SECDED
+        ),
+        proposed_hp_ways=ProtectionPlan(
+            hp=ProtectionScheme.SECDED, ule=ProtectionScheme.SECDED
+        ),
+        proposed_ule_way=ProtectionPlan(
+            hp=ProtectionScheme.SECDED, ule=ProtectionScheme.DECTED
+        ),
+    ),
+}
+
+
+def plan_for(scenario: Scenario) -> ScenarioPlan:
+    """The protection plan of a scenario."""
+    return _PLANS[scenario]

@@ -1,0 +1,173 @@
+"""Mode-transition costs: is switching HP <-> ULE really negligible?
+
+The paper (Section III-B, citing Powell's gated-Vdd) asserts that gating
+or ungating the HP ways and the EDC block on a Vcc change has negligible
+overhead.  This module prices the whole transition so the claim can be
+checked quantitatively:
+
+* **HP -> ULE**: the 7 HP ways are flushed (dirty lines written back),
+  then gated.  In scenario A the ULE way's resident lines additionally
+  need an *encode pass* (they were written with coding off, and SECDED
+  becomes active) — a read + encode + write of every valid ULE-way line.
+  In scenario B the stored format is already DECTED; nothing to do.
+* **ULE -> HP**: the HP ways get ungated (they return empty; their
+  gate capacitance must be recharged) and, in scenario A, the check-bit
+  columns are simply ignored again.
+
+The relevant comparison is against the energy of the phase the switch
+enables; with the paper's duty cycles (phases of >= milliseconds) the
+transition amortizes to well below a percent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cacti.model import CacheEnergyModel
+from repro.tech.operating import (
+    HP_OPERATING_POINT,
+    Mode,
+    OperatingPoint,
+    ULE_OPERATING_POINT,
+)
+
+#: Energy to recharge the virtual-rail of one gated way, as a fraction of
+#: one full read access of that way (Powell et al. report small constants).
+GATE_RECHARGE_ACCESS_FRACTION = 2.0
+
+
+@dataclass(frozen=True)
+class TransitionCost:
+    """Energy and time of one mode switch for one cache."""
+
+    direction: str
+    flush_writebacks: int
+    flush_energy: float
+    reencode_energy: float
+    gating_energy: float
+    cycles: float
+
+    @property
+    def total_energy(self) -> float:
+        """Total transition energy (J)."""
+        return self.flush_energy + self.reencode_energy + self.gating_energy
+
+
+class ModeTransitionModel:
+    """Prices HP<->ULE transitions for a cache configuration."""
+
+    def __init__(self, model: CacheEnergyModel):
+        self.model = model
+        self.config = model.config
+
+    def _ule_group_name(self) -> str:
+        for group in self.config.way_groups:
+            if Mode.ULE in group.active_modes:
+                return group.name
+        raise ValueError("no ULE-capable way group")
+
+    def hp_to_ule(
+        self,
+        dirty_hp_lines: int,
+        valid_ule_lines: int,
+        reencode_needed: bool,
+    ) -> TransitionCost:
+        """Cost of entering ULE mode.
+
+        Args:
+            dirty_hp_lines: dirty lines resident in the HP ways (from the
+                functional simulator; each is written back).
+            valid_ule_lines: valid lines in the ULE way (re-encoded when
+                the stored format changes, i.e. scenario A).
+            reencode_needed: whether entering ULE changes the stored
+                format (scenario A: coding was off at HP).
+        """
+        if dirty_hp_lines < 0 or valid_ule_lines < 0:
+            raise ValueError("line counts must be non-negative")
+        op_hp: OperatingPoint = HP_OPERATING_POINT
+        ule_group = self._ule_group_name()
+        hp_groups = [
+            name
+            for name, arrays in self.model.groups.items()
+            if name != ule_group
+        ]
+        # Flush: each dirty line is read out of its HP way at HP voltage.
+        flush_energy = 0.0
+        if hp_groups and dirty_hp_lines:
+            per_line = self.model.writeback_energy(hp_groups[0], op_hp)
+            flush_energy = dirty_hp_lines * per_line.total
+
+        # Re-encode pass over the ULE way (still at HP voltage, before
+        # the rail drops): read line + write line under the ULE format.
+        reencode_energy = 0.0
+        if reencode_needed and valid_ule_lines:
+            op_ule_format = OperatingPoint(
+                mode=Mode.ULE,
+                vdd=op_hp.vdd,
+                frequency=op_hp.frequency,
+            )
+            read_out = self.model.writeback_energy(ule_group, op_ule_format)
+            write_back = self.model.fill_energy(ule_group, op_ule_format)
+            reencode_energy = valid_ule_lines * (
+                read_out.total + write_back.total
+            )
+
+        # Gating: draining the virtual rails costs ~nothing; account a
+        # small constant per gated way.
+        gating_energy = self._gating_energy(hp_groups, op_hp)
+
+        cycles = float(
+            dirty_hp_lines
+            + (2 * valid_ule_lines if reencode_needed else 0)
+            + 10
+        )
+        return TransitionCost(
+            direction="HP->ULE",
+            flush_writebacks=dirty_hp_lines,
+            flush_energy=flush_energy,
+            reencode_energy=reencode_energy,
+            gating_energy=gating_energy,
+            cycles=cycles,
+        )
+
+    def ule_to_hp(self) -> TransitionCost:
+        """Cost of returning to HP mode (ungating the HP ways)."""
+        ule_group = self._ule_group_name()
+        hp_groups = [
+            name for name in self.model.groups if name != ule_group
+        ]
+        gating_energy = self._gating_energy(hp_groups, HP_OPERATING_POINT)
+        return TransitionCost(
+            direction="ULE->HP",
+            flush_writebacks=0,
+            flush_energy=0.0,
+            reencode_energy=0.0,
+            gating_energy=gating_energy,
+            cycles=10.0,
+        )
+
+    def _gating_energy(
+        self, group_names: list[str], op: OperatingPoint
+    ) -> float:
+        energy = 0.0
+        for name in group_names:
+            arrays = self.model.groups[name]
+            per_way = (
+                arrays.tag_probe_energy(op) + arrays.data_read_energy(op)
+            ).total
+            energy += (
+                arrays.group.ways
+                * GATE_RECHARGE_ACCESS_FRACTION
+                * per_way
+            )
+        return energy
+
+    def amortized_fraction(
+        self,
+        cost: TransitionCost,
+        phase_energy: float,
+    ) -> float:
+        """Transition energy as a fraction of the phase it enables."""
+        if phase_energy <= 0:
+            raise ValueError("phase energy must be positive")
+        return cost.total_energy / phase_energy

@@ -1,0 +1,34 @@
+"""Trace-driven in-order chip simulator (MPSim + Wattch substitute).
+
+* :mod:`repro.cpu.trace` — the instruction-trace record format produced by
+  :mod:`repro.workloads`;
+* :mod:`repro.cpu.timing` — the in-order timing model (cache-miss,
+  load-use, redirect and EDC stalls);
+* :mod:`repro.cpu.power` — the Wattch-style energy ledger;
+* :mod:`repro.cpu.arrays` — non-L1 SRAM structures (register file, TLBs),
+  built from 10T cells "so they operate properly at any voltage level
+  considered" (Section IV-A.3);
+* :mod:`repro.cpu.chip` — the full chip: caches + core + ledger; its
+  :meth:`~repro.cpu.chip.Chip.run` produces the EPI numbers behind the
+  paper's Figures 3 and 4.
+"""
+
+from repro.cpu.trace import InstrKind, Trace, TraceSummary
+from repro.cpu.power import EnergyLedger
+from repro.cpu.timing import TimingParams, TimingResult, compute_timing
+from repro.cpu.arrays import CoreArrays
+from repro.cpu.chip import Chip, ChipConfig, RunResult
+
+__all__ = [
+    "InstrKind",
+    "Trace",
+    "TraceSummary",
+    "EnergyLedger",
+    "TimingParams",
+    "TimingResult",
+    "compute_timing",
+    "CoreArrays",
+    "Chip",
+    "ChipConfig",
+    "RunResult",
+]

@@ -1,0 +1,209 @@
+"""The full chip: in-order core + IL1 + DL1 + core arrays + energy ledger.
+
+:class:`Chip.run` is the reproduction's MPSim: it streams a trace through
+the functional caches, derives the cycle count from the timing model, and
+prices every event with the CACTI-like energy models — producing the
+energy-per-instruction (EPI) breakdowns of the paper's Figures 3 and 4.
+
+Memory energy is deliberately excluded, as in the paper ("we did not
+include memory energy in our results"); memory *latency* is included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.config import CacheConfig
+from repro.cache.hybrid import HybridCache
+from repro.cache.stats import CacheStats
+from repro.cacti.model import CacheEnergyModel
+from repro.cpu.arrays import CoreArrays
+from repro.cpu.power import EnergyLedger
+from repro.cpu.timing import TimingParams, TimingResult, compute_timing
+from repro.cpu.trace import Trace
+from repro.tech.operating import Mode, OperatingPoint, operating_point_for
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """A complete chip configuration.
+
+    Attributes:
+        name: configuration label (e.g. "A-baseline").
+        il1 / dl1: the L1 cache configurations.
+        core_arrays: register file / TLB models (10T, shared design).
+        core_logic_cap: effective switched capacitance of the core logic
+            per instruction (F) — the Wattch-style lumped core model.
+        core_leak_gates: equivalent minimum-gate count for core logic
+            leakage.
+        timing: pipeline timing constants.
+    """
+
+    name: str
+    il1: CacheConfig
+    dl1: CacheConfig
+    core_arrays: CoreArrays
+    core_logic_cap: float
+    core_leak_gates: int
+    timing: TimingParams = field(default_factory=TimingParams)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything measured in one benchmark run on one chip."""
+
+    chip_name: str
+    trace_name: str
+    mode: Mode
+    timing: TimingResult
+    energy: EnergyLedger
+    il1_stats: CacheStats
+    dl1_stats: CacheStats
+
+    @property
+    def epi(self) -> float:
+        """Energy per instruction (J)."""
+        return self.energy.total / max(self.timing.instructions, 1)
+
+    @property
+    def execution_seconds(self) -> float:
+        """Wall-clock run time implied by the cycle count."""
+        return self._op.cycle_time * self.timing.cycles
+
+    @property
+    def _op(self) -> OperatingPoint:
+        return operating_point_for(self.mode)
+
+
+class Chip:
+    """Executable model of one chip configuration."""
+
+    def __init__(self, config: ChipConfig):
+        self.config = config
+        self.il1_model = CacheEnergyModel(config.il1)
+        self.dl1_model = CacheEnergyModel(config.dl1)
+
+    # ------------------------------------------------------------- running
+    def run(
+        self,
+        trace: Trace,
+        mode: Mode,
+        operating_point: OperatingPoint | None = None,
+    ) -> RunResult:
+        """Execute a trace in ``mode`` and account time and energy."""
+        op = operating_point or operating_point_for(mode)
+        if op.mode is not mode:
+            raise ValueError("operating point does not match mode")
+
+        il1 = HybridCache(self.config.il1, mode=mode)
+        dl1 = HybridCache(self.config.dl1, mode=mode)
+
+        # Functional simulation: instruction fetches then data accesses.
+        for pc in trace.pc:
+            il1.access(int(pc), is_write=False)
+        addresses, is_write = trace.memory_stream()
+        for address, write in zip(addresses, is_write):
+            dl1.access(int(address), is_write=bool(write))
+
+        timing = compute_timing(
+            trace.summary,
+            il1_misses=il1.stats.misses,
+            dl1_misses=dl1.stats.misses,
+            il1_hit_latency=self.il1_model.hit_latency_cycles(op),
+            dl1_hit_latency=self.dl1_model.hit_latency_cycles(op),
+            params=self.config.timing,
+        )
+        energy = self._account_energy(trace, op, timing, il1, dl1)
+        return RunResult(
+            chip_name=self.config.name,
+            trace_name=trace.name,
+            mode=mode,
+            timing=timing,
+            energy=energy,
+            il1_stats=il1.stats,
+            dl1_stats=dl1.stats,
+        )
+
+    # -------------------------------------------------------------- energy
+    def _account_energy(
+        self,
+        trace: Trace,
+        op: OperatingPoint,
+        timing: TimingResult,
+        il1: HybridCache,
+        dl1: HybridCache,
+    ) -> EnergyLedger:
+        ledger = EnergyLedger()
+        self._account_cache(ledger, "il1", self.il1_model, il1.stats, op)
+        self._account_cache(ledger, "dl1", self.dl1_model, dl1.stats, op)
+
+        seconds = timing.cycles * op.cycle_time
+        for label, model in (("il1", self.il1_model), ("dl1", self.dl1_model)):
+            leak = model.leakage_power(op)
+            ledger.add(f"{label}.leakage", leak.array * seconds)
+            ledger.add(f"{label}.edc.leakage", leak.edc * seconds)
+
+        # Core: lumped logic plus the 10T arrays.
+        summary = trace.summary
+        logic = (
+            summary.instructions
+            * self.config.core_logic_cap
+            * op.vdd
+            * op.vdd
+        )
+        ledger.add("core.logic", logic)
+        arrays = self.config.core_arrays
+        ledger.add(
+            "core.arrays.dynamic",
+            arrays.dynamic_energy(
+                op,
+                instructions=summary.instructions,
+                memory_ops=summary.memory_ops,
+            ),
+        )
+        ledger.add(
+            "core.arrays.leakage", arrays.leakage_power(op) * seconds
+        )
+        ledger.add(
+            "core.leakage",
+            self._core_logic_leakage(op) * seconds,
+        )
+        return ledger
+
+    def _core_logic_leakage(self, op: OperatingPoint) -> float:
+        from repro.cacti.components import gate_leakage
+
+        return self.config.core_leak_gates * gate_leakage(
+            op.vdd, self.config.core_arrays.cell.node
+        )
+
+    def _account_cache(
+        self,
+        ledger: EnergyLedger,
+        label: str,
+        model: CacheEnergyModel,
+        stats: CacheStats,
+        op: OperatingPoint,
+    ) -> None:
+        probe_read = model.probe_read_energy(op)
+        probe_write = model.probe_write_energy(op)
+        ledger.add(f"{label}.dynamic", stats.reads * probe_read.array)
+        ledger.add(f"{label}.edc", stats.reads * probe_read.edc)
+        ledger.add(f"{label}.dynamic", stats.writes * probe_write.array)
+        ledger.add(f"{label}.edc", stats.writes * probe_write.edc)
+
+        for group_name in model.groups:
+            read_hits = stats.group_read_hits.get(group_name, 0)
+            write_hits = stats.group_write_hits.get(group_name, 0)
+            fills = stats.group_fills.get(group_name, 0)
+            writebacks = stats.group_writebacks.get(group_name, 0)
+            events = (
+                (read_hits, model.read_hit_extra_energy(group_name, op)),
+                (write_hits, model.write_hit_energy(group_name, op)),
+                (fills, model.fill_energy(group_name, op)),
+                (writebacks, model.writeback_energy(group_name, op)),
+            )
+            for count, access in events:
+                if count:
+                    ledger.add(f"{label}.dynamic", count * access.array)
+                    ledger.add(f"{label}.edc", count * access.edc)

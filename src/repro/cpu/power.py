@@ -1,0 +1,93 @@
+"""Wattch-style energy accounting: a named ledger of joules.
+
+Component names are dotted paths ("il1.dynamic", "dl1.edc", "core.logic");
+the reporting layer groups them into the categories shown in the paper's
+EPI breakdown figures.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+
+
+class EnergyLedger:
+    """An additive map component-name -> energy (J)."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, float] = defaultdict(float)
+
+    def add(self, component: str, joules: float) -> None:
+        """Accumulate energy into a component."""
+        if joules < 0:
+            raise ValueError(f"negative energy for {component}: {joules}")
+        self._entries[component] += joules
+
+    def get(self, component: str) -> float:
+        """Energy of one component (0 if never touched)."""
+        return self._entries.get(component, 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum over all components (J)."""
+        return sum(self._entries.values())
+
+    def components(self) -> list[str]:
+        """Sorted component names."""
+        return sorted(self._entries)
+
+    def items(self) -> Iterable[tuple[str, float]]:
+        """(name, joules) pairs, sorted by name."""
+        return sorted(self._entries.items())
+
+    def group(self, prefix: str) -> float:
+        """Sum of all components under a dotted prefix."""
+        dotted = prefix if prefix.endswith(".") else prefix + "."
+        return sum(
+            value
+            for name, value in self._entries.items()
+            if name == prefix or name.startswith(dotted)
+        )
+
+    def merged(self, other: "EnergyLedger") -> "EnergyLedger":
+        """A new ledger with both contributions."""
+        result = EnergyLedger()
+        for name, value in self._entries.items():
+            result.add(name, value)
+        for name, value in other._entries.items():
+            result.add(name, value)
+        return result
+
+    def scaled(self, factor: float) -> "EnergyLedger":
+        """A new ledger with every entry multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        result = EnergyLedger()
+        for name, value in self._entries.items():
+            result.add(name, value * factor)
+        return result
+
+    def categories(self) -> dict[str, float]:
+        """The paper-figure breakdown categories.
+
+        * ``il1 dynamic`` / ``dl1 dynamic`` — cache array switching;
+        * ``l1 leakage`` — cache static energy;
+        * ``edc`` — codec switching + static energy;
+        * ``core`` — everything else (logic, RF, TLBs).
+        """
+        il1_dyn = self.get("il1.dynamic")
+        dl1_dyn = self.get("dl1.dynamic")
+        l1_leak = self.get("il1.leakage") + self.get("dl1.leakage")
+        edc = sum(
+            value
+            for name, value in self._entries.items()
+            if ".edc" in name or name.startswith("edc")
+        )
+        known = il1_dyn + dl1_dyn + l1_leak + edc
+        return {
+            "il1 dynamic": il1_dyn,
+            "dl1 dynamic": dl1_dyn,
+            "l1 leakage": l1_leak,
+            "edc": edc,
+            "core": self.total - known,
+        }

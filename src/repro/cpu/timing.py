@@ -1,0 +1,91 @@
+"""In-order pipeline timing: counts in, cycles out.
+
+The paper's processor is a simple single-issue in-order core (Section
+IV-A).  For such a core the cycle count decomposes exactly into a base of
+one cycle per instruction plus stall terms, which is what this model
+computes from the trace summary and the cache statistics:
+
+* instruction / data cache misses stall for the memory latency;
+* loads whose value is consumed by the very next instruction stall for
+  the part of the hit latency that exceeds one cycle — this is where the
+  inline EDC cycle of the proposed ULE ways shows up;
+* fetch redirects (mispredicted branches) pay a front-end bubble of the
+  IL1 hit latency plus one decode cycle — the other place the EDC cycle
+  appears.
+
+Hit latencies come from the cache models (1 cycle, +1 when inline EDC is
+active in the mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.trace import TraceSummary
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Fixed microarchitecture timing constants.
+
+    Attributes:
+        memory_latency_cycles: flat main-memory latency (the paper uses
+            "in the order of 20 cycles" for this market).
+        decode_redirect_overhead: extra front-end cycles after a redirect
+            beyond the IL1 hit latency.
+    """
+
+    memory_latency_cycles: int = 20
+    decode_redirect_overhead: int = 1
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Cycle count and its decomposition."""
+
+    instructions: int
+    cycles: float
+    base_cycles: float
+    il1_miss_cycles: float
+    dl1_miss_cycles: float
+    load_use_cycles: float
+    redirect_cycles: float
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction."""
+        return self.cycles / max(self.instructions, 1)
+
+    def execution_time(self, frequency: float) -> float:
+        """Wall-clock execution time (s) at the given clock."""
+        return self.cycles / frequency
+
+
+def compute_timing(
+    summary: TraceSummary,
+    il1_misses: int,
+    dl1_misses: int,
+    il1_hit_latency: int,
+    dl1_hit_latency: int,
+    params: TimingParams | None = None,
+) -> TimingResult:
+    """Assemble the cycle count from trace and cache statistics."""
+    params = params or TimingParams()
+    if il1_hit_latency < 1 or dl1_hit_latency < 1:
+        raise ValueError("hit latencies are at least one cycle")
+    base = float(summary.instructions)
+    il1_stall = il1_misses * params.memory_latency_cycles
+    dl1_stall = dl1_misses * params.memory_latency_cycles
+    load_use = summary.dep_next_loads * (dl1_hit_latency - 1)
+    redirect = summary.redirects * (
+        il1_hit_latency - 1 + params.decode_redirect_overhead
+    )
+    return TimingResult(
+        instructions=summary.instructions,
+        cycles=base + il1_stall + dl1_stall + load_use + redirect,
+        base_cycles=base,
+        il1_miss_cycles=float(il1_stall),
+        dl1_miss_cycles=float(dl1_stall),
+        load_use_cycles=float(load_use),
+        redirect_cycles=float(redirect),
+    )

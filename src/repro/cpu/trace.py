@@ -1,0 +1,105 @@
+"""Instruction traces: the interface between workloads and the chip model.
+
+A trace is a struct-of-arrays record of a dynamic instruction stream:
+
+* ``pc`` — fetch address of every instruction (drives the IL1);
+* ``kind`` — ALU / LOAD / STORE / BRANCH;
+* ``addr`` — data address for memory operations (drives the DL1);
+* ``dep_next`` — marks loads whose result the *next* instruction consumes
+  (the only loads that stall an in-order pipeline when the hit latency
+  grows, e.g. by the EDC cycle);
+* ``redirect`` — marks instructions that redirect the fetch stream
+  (mispredicted/taken-unpredicted branches), which pay the front-end
+  bubble.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+
+class InstrKind(enum.IntEnum):
+    """Dynamic instruction classes."""
+
+    ALU = 0
+    LOAD = 1
+    STORE = 2
+    BRANCH = 3
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """The aggregate counts the timing model consumes."""
+
+    instructions: int
+    loads: int
+    stores: int
+    branches: int
+    dep_next_loads: int
+    redirects: int
+
+    @property
+    def memory_ops(self) -> int:
+        """Loads + stores."""
+        return self.loads + self.stores
+
+
+@dataclass(frozen=True)
+class Trace:
+    """One benchmark's dynamic instruction stream."""
+
+    name: str
+    pc: np.ndarray
+    kind: np.ndarray
+    addr: np.ndarray
+    dep_next: np.ndarray
+    redirect: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.pc)
+        for field_name in ("kind", "addr", "dep_next", "redirect"):
+            if len(getattr(self, field_name)) != n:
+                raise ValueError(f"{field_name} length mismatch")
+        if n == 0:
+            raise ValueError("empty trace")
+
+    def __len__(self) -> int:
+        return len(self.pc)
+
+    @cached_property
+    def summary(self) -> TraceSummary:
+        """Aggregate counts (cached; traces are immutable)."""
+        kind = self.kind
+        loads = int(np.count_nonzero(kind == InstrKind.LOAD))
+        stores = int(np.count_nonzero(kind == InstrKind.STORE))
+        branches = int(np.count_nonzero(kind == InstrKind.BRANCH))
+        return TraceSummary(
+            instructions=len(self.pc),
+            loads=loads,
+            stores=stores,
+            branches=branches,
+            dep_next_loads=int(np.count_nonzero(self.dep_next)),
+            redirects=int(np.count_nonzero(self.redirect)),
+        )
+
+    def memory_stream(self) -> tuple[np.ndarray, np.ndarray]:
+        """(addresses, is_write flags) of the data accesses, in order."""
+        mask = (self.kind == InstrKind.LOAD) | (self.kind == InstrKind.STORE)
+        return self.addr[mask], (self.kind[mask] == InstrKind.STORE)
+
+    def working_set_bytes(self, granularity: int = 32) -> int:
+        """Distinct data bytes touched, rounded to ``granularity`` blocks."""
+        addresses, _ = self.memory_stream()
+        if len(addresses) == 0:
+            return 0
+        blocks = np.unique(addresses // granularity)
+        return int(len(blocks) * granularity)
+
+    def code_footprint_bytes(self, granularity: int = 32) -> int:
+        """Distinct instruction bytes, rounded to ``granularity`` blocks."""
+        blocks = np.unique(self.pc // granularity)
+        return int(len(blocks) * granularity)

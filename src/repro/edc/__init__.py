@@ -1,0 +1,42 @@
+"""Error detection and correction codes (EDC) for cache words.
+
+The paper protects 32-bit data words and 26-bit tag words with:
+
+* **Hsiao SECDED** (single-error-correct, double-error-detect) — 7 check
+  bits per word (scenario A at ULE mode; everywhere in scenario B's
+  baseline);
+* **DECTED** (double-error-correct, triple-error-detect) — 13 check bits
+  per word, built here as a shortened binary BCH(t=2) code extended with an
+  overall parity bit (scenario B's proposed ULE way).
+
+Everything is implemented from first principles: GF(2) linear algebra,
+GF(2^m) field arithmetic, BCH generator construction, Berlekamp/Peterson
+decoding with Chien search, and the classic Hsiao odd-weight-column
+construction.  :mod:`repro.edc.circuits` derives gate-level encoder/decoder
+cost models (the HSPICE substitute of DESIGN.md substitution #3).
+"""
+
+from repro.edc.base import DecodeResult, DecodeStatus, LinearBlockCode
+from repro.edc.parity import ParityCode
+from repro.edc.hsiao import HsiaoSecDed
+from repro.edc.gf2m import GF2m
+from repro.edc.bch import BchCode
+from repro.edc.dected import DectedCode
+from repro.edc.protection import ProtectionScheme, check_bits_for, make_code
+from repro.edc.circuits import CodecCircuit, circuit_for_code
+
+__all__ = [
+    "DecodeStatus",
+    "DecodeResult",
+    "LinearBlockCode",
+    "ParityCode",
+    "HsiaoSecDed",
+    "GF2m",
+    "BchCode",
+    "DectedCode",
+    "ProtectionScheme",
+    "make_code",
+    "check_bits_for",
+    "CodecCircuit",
+    "circuit_for_code",
+]

@@ -1,0 +1,88 @@
+"""Common interface of the block codes used to protect cache words."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class DecodeStatus(enum.Enum):
+    """Outcome of decoding one received word."""
+
+    CLEAN = "clean"              #: syndrome zero, word accepted as-is
+    CORRECTED = "corrected"      #: correctable error fixed
+    DETECTED = "detected"        #: uncorrectable error flagged
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Result of decoding one codeword.
+
+    Attributes:
+        data: the decoded data word (meaningful unless ``status`` is
+            ``DETECTED``).
+        status: see :class:`DecodeStatus`.
+        corrected_positions: codeword bit positions that were flipped.
+    """
+
+    data: int
+    status: DecodeStatus
+    corrected_positions: tuple[int, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when the data field is trustworthy."""
+        return self.status is not DecodeStatus.DETECTED
+
+
+class LinearBlockCode:
+    """Abstract (n, k) binary linear block code over integer words.
+
+    Bit convention: LSB-first; data occupies the *low* ``k`` bits of the
+    data word argument.  Codeword layout is implementation-defined but
+    stable, with :meth:`extract_data` as the accessor used by tests.
+    """
+
+    #: codeword length in bits
+    n: int
+    #: data length in bits
+    k: int
+    #: guaranteed number of correctable random bit errors
+    correctable: int
+    #: guaranteed number of detectable random bit errors
+    detectable: int
+
+    @property
+    def check_bits(self) -> int:
+        """Number of redundancy bits (n - k)."""
+        return self.n - self.k
+
+    def encode(self, data: int) -> int:
+        """Encode ``data`` (k bits) into an n-bit codeword."""
+        raise NotImplementedError
+
+    def decode(self, received: int) -> DecodeResult:
+        """Decode an n-bit received word."""
+        raise NotImplementedError
+
+    def extract_data(self, codeword: int) -> int:
+        """Strip check bits from an (assumed clean) codeword."""
+        raise NotImplementedError
+
+    def _check_data_range(self, data: int) -> None:
+        if data < 0 or data >> self.k:
+            raise ValueError(f"data must fit in {self.k} bits")
+
+    def _check_word_range(self, word: int) -> None:
+        if word < 0 or word >> self.n:
+            raise ValueError(f"received word must fit in {self.n} bits")
+
+    def describe(self) -> str:
+        """Short human-readable identification."""
+        return (
+            f"{type(self).__name__}(n={self.n}, k={self.k}, "
+            f"correct={self.correctable}, detect={self.detectable})"
+        )

@@ -1,0 +1,225 @@
+"""Binary BCH codes with Berlekamp-Massey decoding and Chien search.
+
+Used as the inner code of the paper's DECTED scheme (t = 2), but the
+implementation is generic in ``t`` and the field degree ``m``.
+
+Representation: a codeword is an int whose bit ``i`` is the coefficient of
+``x^i``.  Systematic layout: check bits (the remainder) occupy the *low*
+``r = deg(g)`` positions, data bits the positions ``r .. n-1`` — the usual
+``c(x) = d(x) * x^r + (d(x) * x^r mod g(x))`` construction.  Codes are
+*shortened* from the natural length ``2^m - 1`` down to ``k + r`` by fixing
+the high-order data bits to zero; errors decoded into the shortened region
+are reported as uncorrectable.
+"""
+
+from __future__ import annotations
+
+from repro.edc.base import DecodeResult, DecodeStatus, LinearBlockCode
+from repro.edc.gf2m import GF2m
+
+
+def _gf2_poly_mul(a: int, b: int) -> int:
+    """Carry-less product of two GF(2) polynomials (bitmask form)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def _gf2_poly_mod(value: int, modulus: int) -> int:
+    """Remainder of GF(2) polynomial division (bitmask form)."""
+    if modulus == 0:
+        raise ZeroDivisionError("polynomial modulus is zero")
+    mod_degree = modulus.bit_length() - 1
+    while value.bit_length() - 1 >= mod_degree and value:
+        shift = value.bit_length() - 1 - mod_degree
+        value ^= modulus << shift
+    return value
+
+
+def _gf2_poly_lcm(polys: list[int]) -> int:
+    """LCM of GF(2) polynomials (they are minimal polys, pairwise coprime
+    or equal, so the LCM is the product of the distinct ones)."""
+    distinct: list[int] = []
+    for poly in polys:
+        if poly not in distinct:
+            distinct.append(poly)
+    result = 1
+    for poly in distinct:
+        result = _gf2_poly_mul(result, poly)
+    return result
+
+
+class BchCode(LinearBlockCode):
+    """Shortened binary BCH code correcting ``t`` errors.
+
+    Args:
+        data_bits: number of data bits after shortening.
+        t: error-correction capability (designed distance 2t + 1).
+        m: field degree; default is the smallest m with
+            ``2^m - 1 >= data_bits + t*m`` (enough room after shortening).
+    """
+
+    def __init__(self, data_bits: int, t: int, m: int | None = None):
+        if data_bits <= 0:
+            raise ValueError("data_bits must be positive")
+        if t < 1:
+            raise ValueError("t must be >= 1")
+        if m is None:
+            m = 3
+            while (1 << m) - 1 < data_bits + t * m:
+                m += 1
+        self.field = GF2m(m)
+        self.t = t
+        self.correctable = t
+        self.detectable = t  # without extension; DECTED extends this
+
+        minimal_polys = [
+            self.field.minimal_polynomial(2 * i + 1) for i in range(t)
+        ]
+        self.generator = _gf2_poly_lcm(minimal_polys)
+        self._r = self.generator.bit_length() - 1
+
+        self.k = data_bits
+        self.n = data_bits + self._r
+        self.natural_length = (1 << m) - 1
+        if self.n > self.natural_length:
+            raise ValueError(
+                f"data_bits={data_bits} too large for GF(2^{m}) BCH "
+                f"(n={self.n} > {self.natural_length})"
+            )
+
+    # ---------------------------------------------------------------- codec
+    def encode(self, data: int) -> int:
+        self._check_data_range(data)
+        shifted = data << self._r
+        remainder = _gf2_poly_mod(shifted, self.generator)
+        return shifted | remainder
+
+    def extract_data(self, codeword: int) -> int:
+        self._check_word_range(codeword)
+        return codeword >> self._r
+
+    def is_codeword(self, word: int) -> bool:
+        """Exact membership test (used by tests and the parity extension)."""
+        self._check_word_range(word)
+        return _gf2_poly_mod(word, self.generator) == 0
+
+    def syndromes(self, received: int) -> list[int]:
+        """Power-sum syndromes S_1 .. S_2t of the received word."""
+        field = self.field
+        values = []
+        for j in range(1, 2 * self.t + 1):
+            acc = 0
+            word = received
+            position = 0
+            while word:
+                if word & 1:
+                    acc ^= field.alpha_pow(j * position)
+                word >>= 1
+                position += 1
+            values.append(acc)
+        return values
+
+    def _berlekamp_massey(self, syndromes: list[int]) -> list[int]:
+        """Error-locator polynomial sigma(x) from the syndromes.
+
+        Returns coefficient list, sigma[0] == 1.
+        """
+        field = self.field
+        sigma = [1]
+        prev_sigma = [1]
+        length = 0
+        shift = 1
+        prev_discrepancy = 1
+        for step, syndrome in enumerate(syndromes):
+            # Discrepancy of the current locator against syndrome 'step'.
+            discrepancy = syndrome
+            for i in range(1, length + 1):
+                if i < len(sigma) and sigma[i]:
+                    discrepancy ^= field.mul(
+                        sigma[i], syndromes[step - i]
+                    )
+            if discrepancy == 0:
+                shift += 1
+                continue
+            scale = field.div(discrepancy, prev_discrepancy)
+            correction = [0] * shift + [
+                field.mul(scale, coeff) for coeff in prev_sigma
+            ]
+            new_sigma = list(sigma) + [0] * max(
+                0, len(correction) - len(sigma)
+            )
+            for index, coeff in enumerate(correction):
+                new_sigma[index] ^= coeff
+            if 2 * length <= step:
+                prev_sigma = sigma
+                prev_discrepancy = discrepancy
+                length = step + 1 - length
+                shift = 1
+            else:
+                shift += 1
+            sigma = new_sigma
+        # Trim trailing zeros.
+        while len(sigma) > 1 and sigma[-1] == 0:
+            sigma.pop()
+        return sigma
+
+    def _chien_search(self, sigma: list[int]) -> list[int] | None:
+        """Error positions in ``[0, n)`` or None if the roots are bad.
+
+        The locator of an error at position ``i`` is ``alpha^i``; sigma has
+        a root at its inverse.  All roots must be distinct and fall inside
+        the shortened length.
+        """
+        field = self.field
+        degree = len(sigma) - 1
+        positions = []
+        for position in range(self.natural_length):
+            x_inverse = field.alpha_pow(-position)
+            if field.poly_eval(sigma, x_inverse) == 0:
+                positions.append(position)
+                if len(positions) > degree:
+                    return None
+        if len(positions) != degree:
+            return None
+        if any(position >= self.n for position in positions):
+            return None  # error located in the shortened (absent) region
+        return positions
+
+    def decode(self, received: int) -> DecodeResult:
+        self._check_word_range(received)
+        syndromes = self.syndromes(received)
+        if all(s == 0 for s in syndromes):
+            return DecodeResult(
+                data=self.extract_data(received), status=DecodeStatus.CLEAN
+            )
+        sigma = self._berlekamp_massey(syndromes)
+        degree = len(sigma) - 1
+        if degree == 0 or degree > self.t:
+            return DecodeResult(
+                data=self.extract_data(received),
+                status=DecodeStatus.DETECTED,
+            )
+        positions = self._chien_search(sigma)
+        if positions is None:
+            return DecodeResult(
+                data=self.extract_data(received),
+                status=DecodeStatus.DETECTED,
+            )
+        corrected = received
+        for position in positions:
+            corrected ^= 1 << position
+        if not self.is_codeword(corrected):
+            return DecodeResult(
+                data=self.extract_data(received),
+                status=DecodeStatus.DETECTED,
+            )
+        return DecodeResult(
+            data=self.extract_data(corrected),
+            status=DecodeStatus.CORRECTED,
+            corrected_positions=tuple(sorted(positions)),
+        )

@@ -1,0 +1,104 @@
+"""DECTED: double-error-correct / triple-error-detect cache-word code.
+
+Built exactly the way hardware DECTED is: a shortened binary BCH code with
+t = 2 (designed distance 5) *extended* by one overall parity bit, raising
+the minimum distance to 6 — enough to correct 2 errors while still
+detecting any 3.
+
+For the paper's word sizes this gives 13 check bits (12 BCH + 1 parity)
+for both 32-bit data words and 26-bit tags, matching Section III-C.
+
+Layout: inner BCH codeword at positions ``0 .. n-2`` (checks low, data
+high, see :mod:`repro.edc.bch`), overall parity at position ``n-1``.
+"""
+
+from __future__ import annotations
+
+from repro.edc.base import DecodeResult, DecodeStatus, LinearBlockCode
+from repro.edc.bch import BchCode
+from repro.util.bitvec import parity
+
+
+class DectedCode(LinearBlockCode):
+    """(k + 13, k) DECTED code for k <= 51 (GF(2^6) inner BCH)."""
+
+    correctable = 2
+    detectable = 3
+
+    def __init__(self, data_bits: int, m: int | None = None):
+        self.inner = BchCode(data_bits, t=2, m=m)
+        self.k = data_bits
+        self.n = self.inner.n + 1
+
+    @property
+    def parity_position(self) -> int:
+        """Codeword position of the overall parity bit."""
+        return self.n - 1
+
+    def encode(self, data: int) -> int:
+        self._check_data_range(data)
+        inner_word = self.inner.encode(data)
+        return inner_word | (parity(inner_word) << self.parity_position)
+
+    def extract_data(self, codeword: int) -> int:
+        self._check_word_range(codeword)
+        inner_mask = (1 << self.inner.n) - 1
+        return self.inner.extract_data(codeword & inner_mask)
+
+    def decode(self, received: int) -> DecodeResult:
+        self._check_word_range(received)
+        inner_mask = (1 << self.inner.n) - 1
+        inner_word = received & inner_mask
+        overall_parity_odd = parity(received) == 1
+        inner_result = self.inner.decode(inner_word)
+
+        if inner_result.status is DecodeStatus.CLEAN:
+            if not overall_parity_odd:
+                return DecodeResult(
+                    data=inner_result.data, status=DecodeStatus.CLEAN
+                )
+            # The parity bit itself flipped (or >= 5 errors, beyond spec).
+            return DecodeResult(
+                data=inner_result.data,
+                status=DecodeStatus.CORRECTED,
+                corrected_positions=(self.parity_position,),
+            )
+
+        if inner_result.status is DecodeStatus.DETECTED:
+            return DecodeResult(
+                data=self.extract_data(received),
+                status=DecodeStatus.DETECTED,
+            )
+
+        # Inner code corrected 1 or 2 bits; check consistency with parity.
+        inner_errors = len(inner_result.corrected_positions)
+        if overall_parity_odd:
+            if inner_errors == 1:
+                # One inner error, parity bit intact: total 1 error.
+                return DecodeResult(
+                    data=inner_result.data,
+                    status=DecodeStatus.CORRECTED,
+                    corrected_positions=inner_result.corrected_positions,
+                )
+            # Two inner corrections with odd parity = three total errors:
+            # the TED case; never miscorrect it.
+            return DecodeResult(
+                data=self.extract_data(received),
+                status=DecodeStatus.DETECTED,
+            )
+        # Even parity:
+        if inner_errors == 2:
+            # Two inner errors, parity consistent: correct both.
+            return DecodeResult(
+                data=inner_result.data,
+                status=DecodeStatus.CORRECTED,
+                corrected_positions=inner_result.corrected_positions,
+            )
+        # One inner error with even overall parity: the parity bit must
+        # have flipped too (2 errors total).
+        return DecodeResult(
+            data=inner_result.data,
+            status=DecodeStatus.CORRECTED,
+            corrected_positions=inner_result.corrected_positions
+            + (self.parity_position,),
+        )

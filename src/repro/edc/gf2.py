@@ -1,0 +1,80 @@
+"""Dense GF(2) linear algebra on numpy uint8 matrices.
+
+Matrices hold values in {0, 1}; arithmetic is mod 2.  Used by the Hsiao
+construction and by tests that verify parity-check/generator consistency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_gf2(matrix: np.ndarray) -> np.ndarray:
+    array = np.asarray(matrix, dtype=np.uint8) & 1
+    if array.ndim != 2:
+        raise ValueError("expected a 2-D matrix")
+    return array.copy()
+
+
+def rref(matrix: np.ndarray) -> tuple[np.ndarray, list[int]]:
+    """Reduced row-echelon form over GF(2).
+
+    Returns:
+        (reduced matrix, list of pivot column indices).
+    """
+    work = _as_gf2(matrix)
+    rows, cols = work.shape
+    pivots: list[int] = []
+    row = 0
+    for col in range(cols):
+        if row >= rows:
+            break
+        support = np.nonzero(work[row:, col])[0]
+        if len(support) == 0:
+            continue
+        pivot_row = row + int(support[0])
+        if pivot_row != row:
+            work[[row, pivot_row]] = work[[pivot_row, row]]
+        # Eliminate the column everywhere else.
+        mask = work[:, col].copy()
+        mask[row] = 0
+        work[mask == 1] ^= work[row]
+        pivots.append(col)
+        row += 1
+    return work, pivots
+
+
+def rank(matrix: np.ndarray) -> int:
+    """Rank over GF(2)."""
+    _, pivots = rref(matrix)
+    return len(pivots)
+
+
+def nullspace(matrix: np.ndarray) -> np.ndarray:
+    """A basis of the right nullspace, rows = basis vectors.
+
+    Satisfies ``matrix @ basis.T % 2 == 0``.
+    """
+    reduced, pivots = rref(matrix)
+    rows, cols = reduced.shape
+    free_cols = [c for c in range(cols) if c not in pivots]
+    basis = np.zeros((len(free_cols), cols), dtype=np.uint8)
+    for index, free in enumerate(free_cols):
+        basis[index, free] = 1
+        for pivot_row, pivot_col in enumerate(pivots):
+            if reduced[pivot_row, free]:
+                basis[index, pivot_col] = 1
+    return basis
+
+
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(2)."""
+    return (np.asarray(a, dtype=np.uint8) @ np.asarray(b, dtype=np.uint8)) & 1
+
+
+def solve_is_consistent(matrix: np.ndarray, rhs: np.ndarray) -> bool:
+    """Whether ``matrix @ x = rhs`` has a solution over GF(2)."""
+    augmented = np.concatenate(
+        [_as_gf2(matrix), _as_gf2(rhs.reshape(-1, 1))], axis=1
+    )
+    return rank(matrix) == rank(augmented)

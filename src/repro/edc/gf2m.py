@@ -1,0 +1,132 @@
+"""Finite-field arithmetic GF(2^m) via exp/log tables.
+
+Elements are ints in ``[0, 2^m)`` interpreted as polynomials over GF(2)
+modulo a primitive polynomial.  Supports the BCH construction and decoding
+in :mod:`repro.edc.bch`.
+"""
+
+from __future__ import annotations
+
+#: Default primitive polynomials (x^m + ... + 1) per field degree.
+PRIMITIVE_POLYS = {
+    3: 0b1011,
+    4: 0b10011,
+    5: 0b100101,
+    6: 0b1000011,
+    7: 0b10001001,
+    8: 0b100011101,
+    9: 0b1000010001,
+    10: 0b10000001001,
+}
+
+
+class GF2m:
+    """The field GF(2^m) with generator alpha = x."""
+
+    def __init__(self, m: int, primitive_poly: int | None = None):
+        if primitive_poly is None:
+            if m not in PRIMITIVE_POLYS:
+                raise ValueError(f"no default primitive polynomial for m={m}")
+            primitive_poly = PRIMITIVE_POLYS[m]
+        if primitive_poly >> m != 1:
+            raise ValueError("primitive polynomial must have degree m")
+        self.m = m
+        self.size = 1 << m
+        self.order = self.size - 1  # multiplicative group order
+        self.primitive_poly = primitive_poly
+
+        self._exp = [0] * (2 * self.order)
+        self._log = [0] * self.size
+        value = 1
+        for exponent in range(self.order):
+            self._exp[exponent] = value
+            self._log[value] = exponent
+            value <<= 1
+            if value & self.size:
+                value ^= primitive_poly
+        if value != 1:
+            raise ValueError("polynomial is not primitive")
+        # Duplicate the exp table so mul can skip a modulo.
+        for exponent in range(self.order, 2 * self.order):
+            self._exp[exponent] = self._exp[exponent - self.order]
+
+    # ------------------------------------------------------------- basics
+    def alpha_pow(self, exponent: int) -> int:
+        """alpha^exponent (exponent may be any integer)."""
+        return self._exp[exponent % self.order]
+
+    def log(self, element: int) -> int:
+        """Discrete log base alpha; element must be non-zero."""
+        if element == 0:
+            raise ZeroDivisionError("log of zero")
+        return self._log[element]
+
+    def mul(self, a: int, b: int) -> int:
+        """Field product."""
+        if a == 0 or b == 0:
+            return 0
+        return self._exp[self._log[a] + self._log[b]]
+
+    def div(self, a: int, b: int) -> int:
+        """Field quotient a / b."""
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^m)")
+        if a == 0:
+            return 0
+        return self._exp[(self._log[a] - self._log[b]) % self.order]
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse."""
+        return self.div(1, a)
+
+    def pow(self, a: int, exponent: int) -> int:
+        """a^exponent (a != 0 for negative exponents)."""
+        if a == 0:
+            if exponent <= 0:
+                raise ZeroDivisionError("0 to a non-positive power")
+            return 0
+        return self._exp[(self._log[a] * exponent) % self.order]
+
+    # --------------------------------------------- polynomials over GF(2^m)
+    def poly_eval(self, coeffs: list[int], x: int) -> int:
+        """Evaluate a polynomial (coeffs[i] is the x^i coefficient)."""
+        result = 0
+        for coeff in reversed(coeffs):
+            result = self.mul(result, x) ^ coeff
+        return result
+
+    def poly_mul(self, a: list[int], b: list[int]) -> list[int]:
+        """Product of two coefficient lists."""
+        result = [0] * (len(a) + len(b) - 1)
+        for i, ca in enumerate(a):
+            if ca == 0:
+                continue
+            for j, cb in enumerate(b):
+                if cb:
+                    result[i + j] ^= self.mul(ca, cb)
+        return result
+
+    def minimal_polynomial(self, exponent: int) -> int:
+        """Minimal polynomial over GF(2) of alpha^exponent, as a bitmask.
+
+        Bit i of the result is the x^i coefficient; all coefficients are
+        guaranteed to be 0/1 by conjugacy.
+        """
+        # Collect the conjugacy class {e, 2e, 4e, ...} mod (2^m - 1).
+        conjugates = []
+        current = exponent % self.order
+        while current not in conjugates:
+            conjugates.append(current)
+            current = (current * 2) % self.order
+        poly = [1]
+        for conj in conjugates:
+            poly = self.poly_mul(poly, [self.alpha_pow(conj), 1])
+        mask = 0
+        for index, coeff in enumerate(poly):
+            if coeff not in (0, 1):
+                raise AssertionError(
+                    "minimal polynomial has non-binary coefficient"
+                )
+            if coeff:
+                mask |= 1 << index
+        return mask

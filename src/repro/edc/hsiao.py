@@ -1,0 +1,202 @@
+"""Hsiao single-error-correct / double-error-detect (SECDED) codes.
+
+The paper uses the Hsiao codes of Chen & Hsiao (IBM JRD 1984): an
+odd-weight-column parity-check matrix where
+
+* check-bit columns are the identity (weight 1),
+* data-bit columns are *distinct odd-weight* columns of weight >= 3,
+  selected to balance the row weights (which minimizes the widest XOR tree
+  in the encoder — the property Hsiao codes are famous for).
+
+Odd-weight columns give the SECDED property directly: any single error has
+an odd syndrome equal to one column; any double error has a non-zero *even*
+syndrome, which can never be confused with a single error.
+
+Layout: data bits at codeword positions ``0 .. k-1``, check bits at
+``k .. n-1`` (LSB-first ints).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.edc.base import DecodeResult, DecodeStatus, LinearBlockCode
+from repro.util.bitvec import int_to_bits, popcount
+
+
+def _odd_weight_columns(r: int, count: int) -> list[int]:
+    """Choose ``count`` distinct odd-weight (>=3) r-bit columns, balanced.
+
+    Candidates are consumed weight-class by weight-class (3, 5, ...); within
+    a class a greedy pass keeps the per-row ones-counts as equal as
+    possible, which reproduces the balanced row weights of Hsiao's tables.
+    """
+    available = 0
+    weights = []
+    for weight in range(3, r + 1, 2):
+        size = len(list(combinations(range(r), weight)))
+        weights.append(weight)
+        available += size
+    if count > available:
+        raise ValueError(
+            f"{r} check bits support at most {available} data bits "
+            f"with odd-weight columns; requested {count}"
+        )
+
+    chosen: list[int] = []
+    row_load = np.zeros(r, dtype=np.int64)
+    for weight in weights:
+        if len(chosen) >= count:
+            break
+        candidates = [
+            sum(1 << bit for bit in combo)
+            for combo in combinations(range(r), weight)
+        ]
+        while candidates and len(chosen) < count:
+            # Greedy: pick the candidate whose rows are currently least
+            # loaded (ties broken by numeric value for determinism).
+            def load_key(column: int) -> tuple[int, int, int]:
+                rows = [b for b in range(r) if (column >> b) & 1]
+                loads = sorted((int(row_load[b]) for b in rows), reverse=True)
+                return (loads[0], sum(loads), column)
+
+            best = min(candidates, key=load_key)
+            candidates.remove(best)
+            chosen.append(best)
+            for bit in range(r):
+                if (best >> bit) & 1:
+                    row_load[bit] += 1
+    return chosen
+
+
+class HsiaoSecDed(LinearBlockCode):
+    """(k + r, k) Hsiao SECDED code.
+
+    Args:
+        data_bits: number of data bits k.
+        check_bits: number of check bits r; defaults to the smallest r
+            whose odd-weight column pool covers k (the paper fixes r = 7
+            for both 32-bit data and 26-bit tag words — pass it
+            explicitly to match).
+    """
+
+    correctable = 1
+    detectable = 2
+
+    def __init__(self, data_bits: int, check_bits: int | None = None):
+        if data_bits <= 0:
+            raise ValueError("data_bits must be positive")
+        if check_bits is None:
+            check_bits = self._minimal_check_bits(data_bits)
+        if check_bits < 4:
+            raise ValueError("SECDED needs at least 4 check bits")
+        self.k = data_bits
+        self.n = data_bits + check_bits
+        self._r = check_bits
+        self._columns = _odd_weight_columns(check_bits, data_bits)
+        # Syndrome -> position lookup for correction: data columns first,
+        # then the identity columns of the check bits themselves.
+        self._syndrome_to_position = {
+            column: position for position, column in enumerate(self._columns)
+        }
+        for check_index in range(check_bits):
+            self._syndrome_to_position[1 << check_index] = (
+                data_bits + check_index
+            )
+
+    @staticmethod
+    def _minimal_check_bits(data_bits: int) -> int:
+        r = 4
+        while True:
+            pool = sum(
+                len(list(combinations(range(r), w)))
+                for w in range(3, r + 1, 2)
+            )
+            if pool >= data_bits:
+                return r
+            r += 1
+
+    # -------------------------------------------------------------- matrix
+    @property
+    def parity_check_matrix(self) -> np.ndarray:
+        """H as an (r, n) uint8 matrix (columns: data then identity)."""
+        matrix = np.zeros((self._r, self.n), dtype=np.uint8)
+        for position, column in enumerate(self._columns):
+            matrix[:, position] = int_to_bits(column, self._r)
+        for check_index in range(self._r):
+            matrix[check_index, self.k + check_index] = 1
+        return matrix
+
+    @property
+    def row_weights(self) -> list[int]:
+        """Ones per H row (balanced by construction)."""
+        return [int(w) for w in self.parity_check_matrix.sum(axis=1)]
+
+    # --------------------------------------------------------------- codec
+    def encode(self, data: int) -> int:
+        self._check_data_range(data)
+        checks = 0
+        for check_index in range(self._r):
+            mask = 0
+            for position, column in enumerate(self._columns):
+                if (column >> check_index) & 1:
+                    mask |= 1 << position
+            checks |= (popcount(data & mask) & 1) << check_index
+        return data | (checks << self.k)
+
+    def _syndrome(self, received: int) -> int:
+        syndrome = 0
+        for check_index in range(self._r):
+            acc = (received >> (self.k + check_index)) & 1
+            for position, column in enumerate(self._columns):
+                if (column >> check_index) & 1:
+                    acc ^= (received >> position) & 1
+            syndrome |= acc << check_index
+        return syndrome
+
+    def decode(self, received: int) -> DecodeResult:
+        self._check_word_range(received)
+        syndrome = self._syndrome(received)
+        data_mask = (1 << self.k) - 1
+        if syndrome == 0:
+            return DecodeResult(
+                data=received & data_mask, status=DecodeStatus.CLEAN
+            )
+        if popcount(syndrome) % 2 == 1:
+            position = self._syndrome_to_position.get(syndrome)
+            if position is not None:
+                corrected = received ^ (1 << position)
+                return DecodeResult(
+                    data=corrected & data_mask,
+                    status=DecodeStatus.CORRECTED,
+                    corrected_positions=(position,),
+                )
+            # Odd syndrome matching no column: an odd (>= 3) error burst.
+            return DecodeResult(
+                data=received & data_mask, status=DecodeStatus.DETECTED
+            )
+        # Non-zero even syndrome: double (or even-count) error.
+        return DecodeResult(
+            data=received & data_mask, status=DecodeStatus.DETECTED
+        )
+
+    def extract_data(self, codeword: int) -> int:
+        self._check_word_range(codeword)
+        return codeword & ((1 << self.k) - 1)
+
+    # Encoding is also what a fast precomputed implementation would use;
+    # expose the per-check input counts for the circuit model.
+    def encoder_fanins(self) -> list[int]:
+        """Number of data bits feeding each check bit's XOR tree."""
+        fanins = []
+        for check_index in range(self._r):
+            fanins.append(
+                sum(
+                    1
+                    for column in self._columns
+                    if (column >> check_index) & 1
+                )
+            )
+        return fanins

@@ -1,0 +1,38 @@
+"""Single-parity code: detects any odd number of bit errors, corrects none.
+
+Not used by the paper's scenarios directly, but a useful baseline for the
+EDC ablation benches and the simplest exercise of the codec interface.
+"""
+
+from __future__ import annotations
+
+from repro.edc.base import DecodeResult, DecodeStatus, LinearBlockCode
+from repro.util.bitvec import parity
+
+
+class ParityCode(LinearBlockCode):
+    """(k+1, k) even-parity code; parity bit stored at position k."""
+
+    correctable = 0
+    detectable = 1
+
+    def __init__(self, data_bits: int):
+        if data_bits <= 0:
+            raise ValueError("data_bits must be positive")
+        self.k = data_bits
+        self.n = data_bits + 1
+
+    def encode(self, data: int) -> int:
+        self._check_data_range(data)
+        return data | (parity(data) << self.k)
+
+    def decode(self, received: int) -> DecodeResult:
+        self._check_word_range(received)
+        data = received & ((1 << self.k) - 1)
+        if parity(received) == 0:
+            return DecodeResult(data=data, status=DecodeStatus.CLEAN)
+        return DecodeResult(data=data, status=DecodeStatus.DETECTED)
+
+    def extract_data(self, codeword: int) -> int:
+        self._check_word_range(codeword)
+        return codeword & ((1 << self.k) - 1)

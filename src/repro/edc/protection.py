@@ -1,0 +1,86 @@
+"""Protection schemes as used by the paper's cache scenarios.
+
+The paper fixes word granularity and redundancy (Section III-C / IV-A.3):
+tag words of 26 bits and data words of 32 bits, extended with **7 check
+bits for SECDED** and **13 check bits for DECTED** each.  This module maps
+the scheme names to concrete codec instances with exactly those geometries.
+"""
+
+from __future__ import annotations
+
+import enum
+from functools import lru_cache
+
+from repro.edc.base import LinearBlockCode
+from repro.edc.dected import DectedCode
+from repro.edc.hsiao import HsiaoSecDed
+from repro.edc.parity import ParityCode
+
+#: Paper anchor: SECDED check bits per tag/data word (Section III-C).
+SECDED_CHECK_BITS = 7
+#: Paper anchor: DECTED check bits per tag/data word (12 BCH + 1 parity).
+DECTED_CHECK_BITS = 13
+
+
+class ProtectionScheme(enum.Enum):
+    """Per-way word protection, ordered by strength."""
+
+    NONE = "none"
+    PARITY = "parity"
+    SECDED = "secded"
+    DECTED = "dected"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def hard_fault_budget(self) -> int:
+        """Hard faults per word that the scheme can absorb while keeping
+        the baseline's soft-error coverage (the paper's Eq. 1 upper limit).
+
+        SECDED in scenario A spends its single correction on the hard
+        fault; DECTED in scenario B spends one correction on the hard
+        fault and keeps one for a soft error.  Either way the *hard*
+        budget is 1; uncoded or parity words have none.
+        """
+        if self in (ProtectionScheme.SECDED, ProtectionScheme.DECTED):
+            return 1
+        return 0
+
+
+def check_bits_for(scheme: ProtectionScheme, data_bits: int) -> int:
+    """Redundancy bits the scheme adds to a ``data_bits`` word."""
+    del data_bits  # the paper uses fixed redundancy for 26/32-bit words
+    if scheme is ProtectionScheme.NONE:
+        return 0
+    if scheme is ProtectionScheme.PARITY:
+        return 1
+    if scheme is ProtectionScheme.SECDED:
+        return SECDED_CHECK_BITS
+    return DECTED_CHECK_BITS
+
+
+@lru_cache(maxsize=None)
+def make_code(
+    scheme: ProtectionScheme, data_bits: int
+) -> LinearBlockCode | None:
+    """Instantiate the codec for ``scheme`` over ``data_bits``-bit words.
+
+    Returns ``None`` for :data:`ProtectionScheme.NONE`.  Codecs are cached:
+    they are immutable and construction (Hsiao column selection, BCH
+    generator) is not free.
+    """
+    if scheme is ProtectionScheme.NONE:
+        return None
+    if scheme is ProtectionScheme.PARITY:
+        return ParityCode(data_bits)
+    if scheme is ProtectionScheme.SECDED:
+        return HsiaoSecDed(data_bits, check_bits=SECDED_CHECK_BITS)
+    if scheme is ProtectionScheme.DECTED:
+        code = DectedCode(data_bits)
+        if code.check_bits != DECTED_CHECK_BITS:
+            raise AssertionError(
+                f"DECTED geometry drifted: {code.check_bits} check bits"
+            )
+        return code
+    raise ValueError(f"unknown scheme {scheme!r}")

@@ -1,0 +1,19 @@
+"""Experiment drivers — one per figure/table of the paper's evaluation.
+
+Every experiment is registered in :mod:`repro.experiments.registry` under
+the ids of DESIGN.md section 4 (``fig3``, ``fig4``, ``tab-sizing``,
+``tab-area``, ``tab-exectime``, ``tab-reliability``, ``tab-edc``,
+``ablation-ways``, ``ablation-memlat``) and returns an
+:class:`~repro.experiments.report.ExperimentResult` that renders the same
+rows/series the paper reports, next to the paper's published values.
+"""
+
+from repro.experiments.report import ExperimentResult, PaperComparison
+from repro.experiments.registry import list_experiments, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "PaperComparison",
+    "list_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,107 @@
+"""Figures 3 and 4: normalized EPI breakdowns at HP and ULE mode.
+
+Figure 3 (HP mode, BigBench): the paper reports average EPI savings of
+14 % (scenario A) and 12 % (scenario B), no performance degradation.
+
+Figure 4 (ULE mode, SmallBench): average EPI reductions of 42 % (A) and
+39 % (B), with ~3 % execution-time increase from the extra EDC cycle.
+"""
+
+from __future__ import annotations
+
+from repro.core import calibration
+from repro.core.evaluation import evaluate_scenario
+from repro.core.scenarios import Scenario
+from repro.experiments.report import ExperimentResult, PaperComparison
+from repro.tech.operating import Mode
+
+#: The paper's average savings per (scenario, mode), in percent.
+PAPER_SAVINGS = {
+    (Scenario.A, Mode.HP): 14.0,
+    (Scenario.B, Mode.HP): 12.0,
+    (Scenario.A, Mode.ULE): 42.0,
+    (Scenario.B, Mode.ULE): 39.0,
+}
+
+#: The paper's execution-time overhead at ULE mode ("around 3 %").
+PAPER_ULE_EXEC_OVERHEAD = 3.0
+
+
+def _run_mode(
+    experiment_id: str,
+    title: str,
+    mode: Mode,
+    trace_length: int,
+    seed: int,
+) -> ExperimentResult:
+    bodies = []
+    comparisons = []
+    data: dict = {}
+    for scenario in (Scenario.A, Scenario.B):
+        evaluation = evaluate_scenario(
+            scenario, mode, trace_length=trace_length, seed=seed
+        )
+        bodies.append(evaluation.render())
+        saving_pct = 100.0 * evaluation.average_epi_saving
+        comparisons.append(
+            PaperComparison(
+                quantity=f"scenario {scenario.value} avg EPI saving",
+                paper=PAPER_SAVINGS[(scenario, mode)],
+                measured=saving_pct,
+                unit="%",
+            )
+        )
+        data[f"saving_{scenario.value}"] = saving_pct
+        data[f"exec_ratio_{scenario.value}"] = (
+            evaluation.average_exec_time_ratio
+        )
+        data[f"rows_{scenario.value}"] = {
+            row.benchmark: row.epi_ratio for row in evaluation.rows
+        }
+        if mode is Mode.ULE:
+            comparisons.append(
+                PaperComparison(
+                    quantity=(
+                        f"scenario {scenario.value} exec-time overhead"
+                    ),
+                    paper=PAPER_ULE_EXEC_OVERHEAD,
+                    measured=100.0
+                    * (evaluation.average_exec_time_ratio - 1.0),
+                    unit="%",
+                )
+            )
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        body="\n\n".join(bodies),
+        comparisons=tuple(comparisons),
+        data=data,
+    )
+
+
+def run_fig3(
+    trace_length: int = calibration.DEFAULT_TRACE_LENGTH,
+    seed: int = calibration.DEFAULT_SEED,
+) -> ExperimentResult:
+    """Regenerate Figure 3 (HP mode, BigBench)."""
+    return _run_mode(
+        "fig3",
+        "Normalized average EPI at HP mode (scenarios A and B)",
+        Mode.HP,
+        trace_length,
+        seed,
+    )
+
+
+def run_fig4(
+    trace_length: int = calibration.DEFAULT_TRACE_LENGTH,
+    seed: int = calibration.DEFAULT_SEED,
+) -> ExperimentResult:
+    """Regenerate Figure 4 (ULE mode, SmallBench)."""
+    return _run_mode(
+        "fig4",
+        "Normalized EPI breakdowns at ULE mode (scenarios A and B)",
+        Mode.ULE,
+        trace_length,
+        seed,
+    )

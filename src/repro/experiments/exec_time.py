@@ -1,0 +1,61 @@
+"""tab-exectime: ULE-mode execution-time overhead of the EDC cycle.
+
+Paper, Section IV-B.2: "Performance variation due to the extra cycle for
+EDC encoding/decoding is negligible (around 3 % increase in execution time
+in all cases)."
+"""
+
+from __future__ import annotations
+
+from repro.core import calibration
+from repro.core.evaluation import evaluate_scenario
+from repro.core.scenarios import Scenario
+from repro.experiments.report import ExperimentResult, PaperComparison
+from repro.tech.operating import Mode
+from repro.util.tables import Table
+
+
+def run_exec_time(
+    trace_length: int = calibration.DEFAULT_TRACE_LENGTH,
+    seed: int = calibration.DEFAULT_SEED,
+) -> ExperimentResult:
+    """Per-benchmark execution-time ratios at ULE mode."""
+    table = Table(
+        ["scenario", "benchmark", "baseline CPI", "proposed CPI", "ratio"],
+        title="Execution time at ULE mode (proposed / baseline)",
+    )
+    data: dict = {}
+    comparisons = []
+    for scenario in (Scenario.A, Scenario.B):
+        evaluation = evaluate_scenario(
+            scenario, Mode.ULE, trace_length=trace_length, seed=seed
+        )
+        for row in evaluation.rows:
+            table.add_row(
+                [
+                    scenario.value,
+                    row.benchmark,
+                    row.baseline.timing.cpi,
+                    row.proposed.timing.cpi,
+                    row.exec_time_ratio,
+                ]
+            )
+            data[f"{scenario.value}:{row.benchmark}"] = row.exec_time_ratio
+        overhead_pct = 100.0 * (evaluation.average_exec_time_ratio - 1.0)
+        comparisons.append(
+            PaperComparison(
+                quantity=f"scenario {scenario.value} ULE exec overhead",
+                paper=3.0,
+                measured=overhead_pct,
+                unit="%",
+            )
+        )
+        data[f"avg_{scenario.value}"] = evaluation.average_exec_time_ratio
+        table.add_separator()
+    return ExperimentResult(
+        experiment_id="tab-exectime",
+        title="EDC-cycle execution-time overhead at ULE mode (§IV-B.2)",
+        body=table.render(),
+        comparisons=tuple(comparisons),
+        data=data,
+    )

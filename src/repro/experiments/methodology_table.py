@@ -1,0 +1,56 @@
+"""tab-sizing: the Fig. 2 design-methodology intermediates.
+
+Anchors from the paper text: the Pf example (1.22e-6 for the 99 %-yield
+8 KB case, Section III-C) and the check-bit counts (7 SECDED / 13 DECTED).
+"""
+
+from __future__ import annotations
+
+from repro.core.methodology import design_scenario
+from repro.core.scenarios import Scenario
+from repro.edc.protection import DECTED_CHECK_BITS, SECDED_CHECK_BITS
+from repro.experiments.report import ExperimentResult, PaperComparison
+
+
+def run_methodology() -> ExperimentResult:
+    """Run the Fig. 2 methodology for both scenarios and tabulate."""
+    bodies = []
+    data: dict = {}
+    for scenario in (Scenario.A, Scenario.B):
+        design = design_scenario(scenario)
+        bodies.append(design.summary())
+        data[scenario.value] = {
+            "s6": design.cell_6t.size_factor,
+            "s10": design.cell_10t.size_factor,
+            "s8": design.cell_8t.size_factor,
+            "pf_target": design.pf_target,
+            "yield_baseline": design.yield_baseline,
+            "yield_proposed": design.yield_proposed,
+        }
+    design_a = design_scenario(Scenario.A)
+    comparisons = (
+        PaperComparison(
+            quantity="Pf target for 99% yield example",
+            paper=1.22e-6,
+            measured=design_a.pf_target,
+        ),
+        PaperComparison(
+            quantity="SECDED check bits per word",
+            paper=SECDED_CHECK_BITS,
+            measured=SECDED_CHECK_BITS,
+            unit="bits",
+        ),
+        PaperComparison(
+            quantity="DECTED check bits per word",
+            paper=DECTED_CHECK_BITS,
+            measured=DECTED_CHECK_BITS,
+            unit="bits",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="tab-sizing",
+        title="Design methodology intermediates (paper Fig. 2 / §III-C)",
+        body="\n\n".join(bodies),
+        comparisons=comparisons,
+        data=data,
+    )

@@ -1,0 +1,54 @@
+"""Experiment registry: ids -> drivers (see DESIGN.md section 4)."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.experiments.ablations import (
+    run_cache_size_ablation,
+    run_memory_latency_ablation,
+    run_vdd_ablation,
+    run_way_split_ablation,
+)
+from repro.experiments.area_table import run_area
+from repro.experiments.edc_table import run_edc_table
+from repro.experiments.epi_figures import run_fig3, run_fig4
+from repro.experiments.exec_time import run_exec_time
+from repro.experiments.methodology_table import run_methodology
+from repro.experiments.modeswitch_table import run_modeswitch
+from repro.experiments.reliability_check import run_reliability
+from repro.experiments.report import ExperimentResult
+from repro.experiments.wcet_table import run_wcet
+
+_REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "tab-sizing": run_methodology,
+    "tab-area": run_area,
+    "tab-exectime": run_exec_time,
+    "tab-reliability": run_reliability,
+    "tab-edc": run_edc_table,
+    "tab-wcet": run_wcet,
+    "tab-modeswitch": run_modeswitch,
+    "ablation-ways": run_way_split_ablation,
+    "ablation-memlat": run_memory_latency_ablation,
+    "ablation-cachesize": run_cache_size_ablation,
+    "ablation-vdd": run_vdd_ablation,
+}
+
+
+def list_experiments() -> list[str]:
+    """All registered experiment ids."""
+    return sorted(_REGISTRY)
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id; kwargs pass through to its driver."""
+    try:
+        driver = _REGISTRY[experiment_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {list_experiments()}"
+        ) from None
+    return driver(**kwargs)

@@ -1,0 +1,64 @@
+"""Common result container for experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PaperComparison:
+    """One paper-reported value next to its reproduction.
+
+    Attributes:
+        quantity: what is being compared.
+        paper: the paper's value.
+        measured: the reproduction's value.
+        unit: display unit.
+    """
+
+    quantity: str
+    paper: float
+    measured: float
+    unit: str = ""
+
+    @property
+    def delta(self) -> float:
+        """measured - paper."""
+        return self.measured - self.paper
+
+    def render(self) -> str:
+        unit = f" {self.unit}" if self.unit else ""
+        return (
+            f"{self.quantity}: paper {self.paper:g}{unit}, "
+            f"measured {self.measured:.3g}{unit} "
+            f"(delta {self.delta:+.3g})"
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Output of one experiment driver.
+
+    Attributes:
+        experiment_id: registry id (e.g. "fig4").
+        title: human-readable experiment title.
+        body: the rendered tables (the paper's rows/series).
+        comparisons: paper-vs-measured anchors.
+        data: machine-readable results for tests/benches.
+    """
+
+    experiment_id: str
+    title: str
+    body: str
+    comparisons: tuple[PaperComparison, ...] = ()
+    data: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Full report text."""
+        lines = [f"== {self.experiment_id}: {self.title} ==", "", self.body]
+        if self.comparisons:
+            lines.append("")
+            lines.append("Paper vs measured:")
+            for comparison in self.comparisons:
+                lines.append("  " + comparison.render())
+        return "\n".join(lines)

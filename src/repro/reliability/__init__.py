@@ -1,0 +1,31 @@
+"""Reliability analysis: the paper's yield equations, fault maps, soft errors.
+
+* :mod:`repro.reliability.yield_model` — Eq. (1) and (2) of the paper:
+  word-level survival probability under a correctable-fault budget and
+  whole-cache yield, plus the paper's linearized Pf-target example;
+* :mod:`repro.reliability.fault_maps` — concrete stuck-at hard-fault maps
+  for simulation (Monte Carlo validation of the analytic yield);
+* :mod:`repro.reliability.soft_errors` — particle-strike upset model used
+  to reason about scenario B (SECDED/DECTED soft-error budgets).
+"""
+
+from repro.reliability.yield_model import (
+    WordOrganization,
+    cache_yield,
+    exact_pf_for_yield,
+    paper_pf_target,
+    word_survival_probability,
+)
+from repro.reliability.fault_maps import FaultMap, generate_fault_map
+from repro.reliability.soft_errors import SoftErrorModel
+
+__all__ = [
+    "word_survival_probability",
+    "cache_yield",
+    "paper_pf_target",
+    "exact_pf_for_yield",
+    "WordOrganization",
+    "FaultMap",
+    "generate_fault_map",
+    "SoftErrorModel",
+]

@@ -1,0 +1,106 @@
+"""Soft-error (particle upset) model for scenario B's reliability argument.
+
+Scenario B exists because the baseline protects every way with SECDED
+against soft errors.  Replacing 10T with 8T cells introduces *hard* faults,
+so a word may permanently consume the SECDED correction — leaving no budget
+for a soft strike.  DECTED restores the budget: one correction absorbs the
+hard fault, the other remains for the soft error.
+
+The model is the standard one: upsets are a Poisson process per bit with a
+rate that grows as the supply voltage (hence the critical charge) drops.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Hours per FIT interval (1 FIT = 1 failure per 1e9 device-hours).
+_FIT_HOURS = 1e9
+
+
+@dataclass(frozen=True)
+class SoftErrorModel:
+    """Per-bit upset rates and word-level uncorrectable probabilities.
+
+    Attributes:
+        fit_per_mbit_nominal: upset rate at nominal Vdd, in FIT/Mbit
+            (a typical terrestrial figure for deep-submicron SRAM).
+        voltage_sensitivity: exponential SER growth per volt of supply
+            reduction (SER ~ exp(sensitivity * (Vnom - Vdd))), reflecting
+            the linear drop of critical charge with Vdd.
+        vdd_nominal: reference supply for the FIT figure.
+    """
+
+    fit_per_mbit_nominal: float = 1000.0
+    voltage_sensitivity: float = 3.0
+    vdd_nominal: float = 1.0
+
+    def upset_rate_per_bit(self, vdd: float) -> float:
+        """Per-bit upsets per second at supply ``vdd``."""
+        if vdd <= 0:
+            raise ValueError("vdd must be positive")
+        fit_per_bit = self.fit_per_mbit_nominal / (1 << 20)
+        per_hour = fit_per_bit / _FIT_HOURS
+        scale = math.exp(self.voltage_sensitivity * (self.vdd_nominal - vdd))
+        return per_hour / 3600.0 * scale
+
+    def word_upset_probability(
+        self, vdd: float, word_bits: int, exposure_seconds: float, upsets: int
+    ) -> float:
+        """P(exactly ``upsets`` strikes in a word within the exposure).
+
+        Poisson with rate ``word_bits * upset_rate * exposure``.
+        """
+        if word_bits <= 0 or exposure_seconds < 0:
+            raise ValueError("bad word geometry or exposure")
+        mean = (
+            word_bits * self.upset_rate_per_bit(vdd) * exposure_seconds
+        )
+        return math.exp(-mean) * mean**upsets / math.factorial(upsets)
+
+    def word_uncorrectable_probability(
+        self,
+        vdd: float,
+        word_bits: int,
+        exposure_seconds: float,
+        soft_budget: int,
+    ) -> float:
+        """P(more soft errors accumulate than the word's remaining budget).
+
+        ``soft_budget`` is the number of strikes the word's code can still
+        absorb given its hard faults (e.g. 1 for a clean SECDED word or a
+        DECTED word carrying one hard fault; 0 for a SECDED word whose
+        correction is already consumed by a hard fault).
+        """
+        if soft_budget < 0:
+            raise ValueError("soft_budget must be >= 0")
+        covered = sum(
+            self.word_upset_probability(
+                vdd, word_bits, exposure_seconds, upsets
+            )
+            for upsets in range(soft_budget + 1)
+        )
+        return max(0.0, 1.0 - covered)
+
+    def cache_fit(
+        self,
+        vdd: float,
+        words: int,
+        word_bits: int,
+        scrub_interval_seconds: float,
+        soft_budget: int,
+    ) -> float:
+        """Uncorrectable-error rate of a region in FIT.
+
+        Words accumulate strikes between scrubs (or natural refreshes by
+        writes); each interval is an independent exposure window.
+        """
+        if words < 0 or scrub_interval_seconds <= 0:
+            raise ValueError("bad geometry or scrub interval")
+        p_word = self.word_uncorrectable_probability(
+            vdd, word_bits, scrub_interval_seconds, soft_budget
+        )
+        intervals_per_hour = 3600.0 / scrub_interval_seconds
+        failures_per_hour = words * p_word * intervals_per_hour
+        return failures_per_hour * _FIT_HOURS

@@ -1,0 +1,151 @@
+"""Cache yield under hard faults — Equations (1) and (2) of the paper.
+
+Equation (1): the probability that one protected word (n data bits + k
+check bits) is *usable*, i.e. contains at most ``i_max`` hard-faulty bits,
+where ``i_max`` is the number of hard faults the word's code can absorb
+(1 for 8T+SECDED in scenario A and 8T+DECTED in scenario B — DECTED's
+second correction stays reserved for soft errors):
+
+    P(word) = sum_{i=0}^{i_max} C(n+k, i) * Pf^i * (1-Pf)^(n+k-i)
+
+Equation (2): the cache yields when every data and tag word is usable:
+
+    Y = P(data)^DW * P(tag)^TW
+
+The module also reproduces the paper's worked example: "to have a 99 %
+yield for an 8 KB cache, faulty bit rate Pf must be 1.22e-6", which matches
+the *linearized* form ``Pf = (1 - Y) / bits`` with ``bits = 8192`` (the
+data bits of one 1 KB way — see DESIGN.md, "Known paper quirk").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+
+import numpy as np
+
+
+def word_survival_probability(
+    pf_bit: float, word_bits: int, correctable: int
+) -> float:
+    """Paper Eq. (1): P(word usable) with a hard-fault budget.
+
+    Args:
+        pf_bit: per-bit hard-failure probability.
+        word_bits: total stored bits of the word (data + check bits).
+        correctable: hard faults the word tolerates (``i_max``).
+    """
+    if not 0.0 <= pf_bit <= 1.0:
+        raise ValueError("pf_bit must be a probability")
+    if word_bits <= 0:
+        raise ValueError("word_bits must be positive")
+    if correctable < 0:
+        raise ValueError("correctable must be >= 0")
+    survive = 0.0
+    for i in range(min(correctable, word_bits) + 1):
+        survive += (
+            comb(word_bits, i)
+            * pf_bit**i
+            * (1.0 - pf_bit) ** (word_bits - i)
+        )
+    return min(survive, 1.0)
+
+
+@dataclass(frozen=True)
+class WordOrganization:
+    """The word structure of one protected cache region (paper Eq. 2).
+
+    Attributes:
+        data_words: number of data words (DW).
+        data_word_bits: stored bits per data word, n + k.
+        tag_words: number of tag words (TW).
+        tag_word_bits: stored bits per tag word, n + k.
+        hard_fault_budget: correctable hard faults per word (i_max).
+    """
+
+    data_words: int
+    data_word_bits: int
+    tag_words: int
+    tag_word_bits: int
+    hard_fault_budget: int = 0
+
+    @property
+    def total_bits(self) -> int:
+        """All stored bits of the organization."""
+        return (
+            self.data_words * self.data_word_bits
+            + self.tag_words * self.tag_word_bits
+        )
+
+    def yield_at(self, pf_bit: float) -> float:
+        """Paper Eq. (2) for this organization at a per-bit fault rate."""
+        return cache_yield(
+            pf_bit,
+            data_words=self.data_words,
+            data_word_bits=self.data_word_bits,
+            tag_words=self.tag_words,
+            tag_word_bits=self.tag_word_bits,
+            correctable=self.hard_fault_budget,
+        )
+
+
+def cache_yield(
+    pf_bit: float,
+    data_words: int,
+    data_word_bits: int,
+    tag_words: int,
+    tag_word_bits: int,
+    correctable: int,
+) -> float:
+    """Paper Eq. (2): ``Y = P(data)^DW * P(tag)^TW``."""
+    if data_words < 0 or tag_words < 0:
+        raise ValueError("word counts must be non-negative")
+    p_data = word_survival_probability(pf_bit, data_word_bits, correctable)
+    p_tag = word_survival_probability(pf_bit, tag_word_bits, correctable)
+    # Work in log space: DW can be large and P close to 1.
+    log_yield = data_words * np.log(max(p_data, 1e-300)) + tag_words * np.log(
+        max(p_tag, 1e-300)
+    )
+    return float(np.exp(log_yield))
+
+
+def paper_pf_target(yield_target: float, bits: int = 8192) -> float:
+    """The paper's linearized Pf target: ``(1 - Y) / bits``.
+
+    With the defaults this reproduces the worked example of Section III-C:
+
+    >>> round(paper_pf_target(0.99) * 1e6, 2)
+    1.22
+    """
+    if not 0.0 < yield_target < 1.0:
+        raise ValueError("yield_target must be in (0, 1)")
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    return (1.0 - yield_target) / bits
+
+
+def exact_pf_for_yield(
+    yield_target: float, bits: int, correctable: int = 0
+) -> float:
+    """Per-bit Pf achieving ``yield_target`` over ``bits`` fault-free bits.
+
+    For ``correctable = 0`` the closed form ``1 - Y^(1/bits)`` applies; for
+    positive budgets a bisection against Eq. (1) is used (treating the
+    whole region as a single word — callers with word structure should use
+    :class:`WordOrganization` instead).
+    """
+    if not 0.0 < yield_target < 1.0:
+        raise ValueError("yield_target must be in (0, 1)")
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    if correctable == 0:
+        return 1.0 - yield_target ** (1.0 / bits)
+    low, high = 0.0, 1.0
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        if word_survival_probability(mid, bits, correctable) >= yield_target:
+            low = mid
+        else:
+            high = mid
+    return low

@@ -1,0 +1,56 @@
+"""SRAM bitcell substrate: 6T / 8T / 10T-ST cells, failure models, sizing.
+
+This package is the substitute for the paper's HSPICE bitcell
+characterization plus the yield analysis of Chen et al. (ICCAD 2007), which
+the design methodology of the paper (Fig. 2) invokes at every sizing step:
+
+* :mod:`repro.sram.cells` — parametric cell topologies (transistor roles,
+  widths, port structure, area) for differential 6T, read-decoupled 8T and
+  Schmitt-trigger 10T cells;
+* :mod:`repro.sram.margins` — an analytic operating-margin model with
+  per-transistor Vt sensitivities (the linearized "SPICE" of this repo);
+* :mod:`repro.sram.failure` — analytic cell failure probability
+  ``Pf(cell, Vdd, size)``;
+* :mod:`repro.sram.montecarlo` — plain Monte Carlo and mean-shift
+  importance-sampling estimators of the same quantity (Chen-style);
+* :mod:`repro.sram.sizing` — yield-driven sizing searches used by the
+  paper's methodology;
+* :mod:`repro.sram.energy` — per-cell capacitance/leakage aggregates
+  consumed by the array model in :mod:`repro.cacti`.
+"""
+
+from repro.sram.cells import (
+    CELL_6T,
+    CELL_8T,
+    CELL_10T,
+    CellDesign,
+    CellTopology,
+    TransistorSpec,
+    cell_by_name,
+)
+from repro.sram.margins import MarginModel
+from repro.sram.failure import CellFailureModel, analytic_pf
+from repro.sram.montecarlo import (
+    ImportanceSamplingResult,
+    importance_sampling_pf,
+    monte_carlo_pf,
+)
+from repro.sram.sizing import minimal_size_step, size_for_pf
+
+__all__ = [
+    "TransistorSpec",
+    "CellTopology",
+    "CellDesign",
+    "CELL_6T",
+    "CELL_8T",
+    "CELL_10T",
+    "cell_by_name",
+    "MarginModel",
+    "CellFailureModel",
+    "analytic_pf",
+    "monte_carlo_pf",
+    "importance_sampling_pf",
+    "ImportanceSamplingResult",
+    "size_for_pf",
+    "minimal_size_step",
+]

@@ -1,0 +1,294 @@
+"""Parametric SRAM bitcell topologies: differential 6T, 8T, Schmitt-trigger 10T.
+
+Each topology records, per transistor, its circuit role, device type, width
+multiplier (relative to ``wmin`` at size factor 1) and an *operating-margin
+sensitivity* weight: how strongly a +1 V shift of that device's threshold
+voltage degrades the cell's worst-case margin.  The sensitivities define the
+linearized failure model in :mod:`repro.sram.margins`.
+
+Calibration notes (see DESIGN.md section 6 and ``repro.core.calibration``):
+
+* ``margin_slope`` / ``margin_v0`` are chosen so that the paper's anchor
+  points hold: 6T needs mild up-sizing at 1 V to reach the paper's example
+  failure rate (Pf = 1.22e-6) and fails catastrophically at 350 mV; the 10T
+  Schmitt-trigger cell reaches the same Pf at 350 mV only when up-sized
+  ~3.6x; a min-size 8T sits at Pf ~ 6e-3 at 350 mV, which SECDED/DECTED
+  turns into cache yields *above* the 10T baseline with ~2x up-sizing only.
+* ``vmin_functional`` is the write-ability floor that no amount of up-sizing
+  fixes (the reason the baseline architecture picked 10T in the first
+  place): ~0.60 V for 6T, ~0.30 V for 8T, ~0.16 V for the Schmitt-trigger
+  10T (Kulkarni et al., ISLPED 2007).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.tech.node import TechnologyNode, ptm32
+from repro.tech.transistor import Transistor
+
+
+@dataclass(frozen=True)
+class TransistorSpec:
+    """One transistor of a bitcell topology.
+
+    Attributes:
+        role: circuit role ("pu" pull-up, "pd" pull-down, "pg" access,
+            "rpd"/"rpg" read-port devices, "nf" Schmitt feedback...).
+        kind: "n" or "p".
+        width_mult: width in units of ``wmin`` at size factor 1.
+        sensitivity: margin degradation (V of margin per V of local Vt
+            shift); the Euclidean norm over the cell defines its composite
+            variation sigma.
+    """
+
+    role: str
+    kind: str
+    width_mult: float
+    sensitivity: float
+
+
+@dataclass(frozen=True)
+class CellTopology:
+    """A bitcell circuit family, before sizing.
+
+    ``read_bitlines`` / ``write_bitlines`` count the bitlines that swing on
+    the respective operation; ``*_drains_per_bitline`` give the diffusion
+    load each cell adds to one of those bitlines; ``*_wordline_roles`` list
+    the transistor roles whose gates load the respective wordline.
+    """
+
+    name: str
+    transistors: tuple[TransistorSpec, ...]
+    base_area_f2: float
+    margin_slope: float
+    margin_v0: float
+    vmin_functional: float
+    read_bitlines: int
+    write_bitlines: int
+    read_drains_per_bitline: float
+    write_drains_per_bitline: float
+    read_wordline_roles: tuple[str, ...]
+    write_wordline_roles: tuple[str, ...]
+    differential_read: bool
+
+    @property
+    def transistor_count(self) -> int:
+        return len(self.transistors)
+
+    def roles(self) -> list[str]:
+        return [spec.role for spec in self.transistors]
+
+
+# The shared 6T storage core (2 cross-coupled inverters + 2 access devices).
+_CORE_6T = (
+    TransistorSpec("pu", "p", 0.8, 0.25),
+    TransistorSpec("pu", "p", 0.8, 0.25),
+    TransistorSpec("pd", "n", 1.5, 0.70),
+    TransistorSpec("pd", "n", 1.5, 0.70),
+    TransistorSpec("pg", "n", 1.0, 0.45),
+    TransistorSpec("pg", "n", 1.0, 0.45),
+)
+
+CELL_6T = CellTopology(
+    name="6T",
+    transistors=_CORE_6T,
+    base_area_f2=146.0,
+    margin_slope=0.62,
+    margin_v0=0.55,
+    vmin_functional=0.60,
+    read_bitlines=2,
+    write_bitlines=2,
+    read_drains_per_bitline=1.0,
+    write_drains_per_bitline=1.0,
+    read_wordline_roles=("pg", "pg"),
+    write_wordline_roles=("pg", "pg"),
+    differential_read=True,
+)
+
+CELL_8T = CellTopology(
+    name="8T",
+    transistors=_CORE_6T
+    + (
+        TransistorSpec("rpd", "n", 1.3, 0.30),
+        TransistorSpec("rpg", "n", 1.0, 0.20),
+    ),
+    base_area_f2=190.0,
+    margin_slope=0.94,
+    margin_v0=0.18,
+    vmin_functional=0.30,
+    read_bitlines=1,
+    write_bitlines=2,
+    read_drains_per_bitline=1.0,
+    write_drains_per_bitline=1.0,
+    read_wordline_roles=("rpg",),
+    write_wordline_roles=("pg", "pg"),
+    differential_read=False,
+)
+
+CELL_10T = CellTopology(
+    name="10T",
+    transistors=(
+        TransistorSpec("pu", "p", 0.8, 0.25),
+        TransistorSpec("pu", "p", 0.8, 0.25),
+        TransistorSpec("pd1", "n", 1.3, 0.55),
+        TransistorSpec("pd1", "n", 1.3, 0.55),
+        TransistorSpec("pd2", "n", 1.3, 0.55),
+        TransistorSpec("pd2", "n", 1.3, 0.55),
+        TransistorSpec("nf", "n", 1.0, 0.40),
+        TransistorSpec("nf", "n", 1.0, 0.40),
+        TransistorSpec("pg", "n", 1.0, 0.45),
+        TransistorSpec("pg", "n", 1.0, 0.45),
+    ),
+    base_area_f2=256.0,
+    margin_slope=0.66,
+    margin_v0=0.10,
+    vmin_functional=0.16,
+    read_bitlines=2,
+    write_bitlines=2,
+    read_drains_per_bitline=1.0,
+    write_drains_per_bitline=1.0,
+    read_wordline_roles=("pg", "pg"),
+    write_wordline_roles=("pg", "pg"),
+    differential_read=True,
+)
+
+_TOPOLOGIES = {t.name: t for t in (CELL_6T, CELL_8T, CELL_10T)}
+
+
+def cell_by_name(name: str) -> CellTopology:
+    """Look up a topology by its name ("6T", "8T", "10T")."""
+    try:
+        return _TOPOLOGIES[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown cell {name!r}; choose from {sorted(_TOPOLOGIES)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class CellDesign:
+    """A sized instance of a topology on a technology node.
+
+    ``size_factor`` multiplies every transistor width (length stays at the
+    node minimum), which is the up-sizing move of the paper's methodology:
+    capacitance, leakage and area grow ~linearly with it while the local
+    variation sigma shrinks as its inverse square root.
+    """
+
+    topology: CellTopology
+    size_factor: float = 1.0
+    node: TechnologyNode = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.node is None:
+            object.__setattr__(self, "node", ptm32())
+        if self.size_factor <= 0:
+            raise ValueError("size_factor must be positive")
+
+    # ---------------------------------------------------------------- sizing
+    def resized(self, size_factor: float) -> "CellDesign":
+        """The same topology at a different size factor."""
+        return CellDesign(self.topology, size_factor, self.node)
+
+    def width_of(self, spec: TransistorSpec) -> float:
+        """Physical width (m) of one transistor at this size factor."""
+        return spec.width_mult * self.node.wmin * self.size_factor
+
+    @cached_property
+    def transistors(self) -> tuple[Transistor, ...]:
+        """Sized device instances (nominal Vt, no variation)."""
+        return tuple(
+            Transistor(width=self.width_of(spec), kind=spec.kind, node=self.node)
+            for spec in self.topology.transistors
+        )
+
+    # ------------------------------------------------------------------ area
+    @property
+    def area(self) -> float:
+        """Cell area (m^2).
+
+        ~35 % of a bitcell is sizing-independent overhead (contacts,
+        well spacing); the rest scales with transistor width.
+        """
+        scale = 0.35 + 0.65 * self.size_factor
+        return self.topology.base_area_f2 * self.node.f2 * scale
+
+    @property
+    def width_m(self) -> float:
+        """Physical cell width (m); SRAM cells are laid out ~2:1 wide."""
+        return (2.0 * self.area) ** 0.5
+
+    @property
+    def height_m(self) -> float:
+        """Physical cell height (m)."""
+        return (self.area / 2.0) ** 0.5
+
+    # ------------------------------------------------------------- loading
+    def _gate_cap_of_roles(self, roles: tuple[str, ...]) -> float:
+        cap = 0.0
+        remaining = list(roles)
+        for spec in self.topology.transistors:
+            if spec.role in remaining:
+                remaining.remove(spec.role)
+                cap += self.node.cgate_per_m * self.width_of(spec)
+        return cap
+
+    @property
+    def read_wordline_cap_per_cell(self) -> float:
+        """Gate load a cell puts on the read wordline (F)."""
+        return self._gate_cap_of_roles(self.topology.read_wordline_roles)
+
+    @property
+    def write_wordline_cap_per_cell(self) -> float:
+        """Gate load a cell puts on the write wordline (F)."""
+        return self._gate_cap_of_roles(self.topology.write_wordline_roles)
+
+    def _access_width(self, roles: tuple[str, ...]) -> float:
+        for spec in self.topology.transistors:
+            if spec.role in roles:
+                return self.width_of(spec)
+        raise ValueError(f"no transistor with role in {roles}")
+
+    @property
+    def read_bitline_cap_per_cell(self) -> float:
+        """Diffusion load a cell puts on ONE read bitline (F)."""
+        width = self._access_width(self.topology.read_wordline_roles)
+        return (
+            self.topology.read_drains_per_bitline
+            * self.node.cdrain_per_m
+            * width
+        )
+
+    @property
+    def write_bitline_cap_per_cell(self) -> float:
+        """Diffusion load a cell puts on ONE write bitline (F)."""
+        width = self._access_width(self.topology.write_wordline_roles)
+        return (
+            self.topology.write_drains_per_bitline
+            * self.node.cdrain_per_m
+            * width
+        )
+
+    # ------------------------------------------------------------- leakage
+    def leakage_current(self, vdd: float) -> float:
+        """Static current of one cell at ``vdd`` (A).
+
+        Roughly half the devices of a static cell see the full supply as
+        Vds while being off; the 0.55 factor folds in stack effects.
+        """
+        total = sum(t.leakage_current(vdd) for t in self.transistors)
+        return 0.55 * total
+
+    def leakage_power(self, vdd: float) -> float:
+        """Static power of one cell at ``vdd`` (W)."""
+        return self.leakage_current(vdd) * vdd
+
+    def describe(self) -> str:
+        """Short human-readable summary."""
+        um2 = self.area * 1e12
+        return (
+            f"{self.topology.name} x{self.size_factor:.2f} "
+            f"({self.topology.transistor_count}T, {um2:.3f} um^2)"
+        )

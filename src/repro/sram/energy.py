@@ -1,0 +1,75 @@
+"""Per-cell electrical aggregates consumed by the array model.
+
+The CACTI-like model in :mod:`repro.cacti` computes array energy from a few
+per-cell quantities that depend on the topology and its size factor; this
+module gathers them in one read-only view so the array model stays agnostic
+of bitcell internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.sram.cells import CellDesign
+
+
+@dataclass(frozen=True)
+class CellElectricals:
+    """Capacitive loading and leakage of one sized bitcell."""
+
+    design: CellDesign
+
+    @cached_property
+    def read_bitline_cap(self) -> float:
+        """Diffusion cap added to each read bitline by one cell (F)."""
+        return self.design.read_bitline_cap_per_cell
+
+    @cached_property
+    def write_bitline_cap(self) -> float:
+        """Diffusion cap added to each write bitline by one cell (F)."""
+        return self.design.write_bitline_cap_per_cell
+
+    @cached_property
+    def read_wordline_cap(self) -> float:
+        """Gate cap added to the read wordline by one cell (F)."""
+        return self.design.read_wordline_cap_per_cell
+
+    @cached_property
+    def write_wordline_cap(self) -> float:
+        """Gate cap added to the write wordline by one cell (F)."""
+        return self.design.write_wordline_cap_per_cell
+
+    @property
+    def read_bitlines(self) -> int:
+        """Bitlines that swing on a read (2 for differential cells)."""
+        return self.design.topology.read_bitlines
+
+    @property
+    def write_bitlines(self) -> int:
+        """Bitlines that swing on a write."""
+        return self.design.topology.write_bitlines
+
+    @property
+    def differential_read(self) -> bool:
+        """Whether reads can use low-swing differential sensing."""
+        return self.design.topology.differential_read
+
+    @property
+    def cell_width(self) -> float:
+        """Cell layout width (m) — sets wordline wire length per column."""
+        return self.design.width_m
+
+    @property
+    def cell_height(self) -> float:
+        """Cell layout height (m) — sets bitline wire length per row."""
+        return self.design.height_m
+
+    @property
+    def area(self) -> float:
+        """Cell area (m^2)."""
+        return self.design.area
+
+    def leakage_power(self, vdd: float) -> float:
+        """Static power of one cell (W)."""
+        return self.design.leakage_power(vdd)

@@ -1,0 +1,106 @@
+"""Analytic operating-margin model for sized bitcells.
+
+This is the linearized "SPICE" of the reproduction (DESIGN.md substitution
+#2).  A cell's worst-case static margin (the minimum over read-stability,
+write-ability and hold margins) is modelled as
+
+    margin(Vdd, dVt) = slope * (Vdd - v0)  -  sum_i  g_i * dVt_i
+
+where ``slope``/``v0`` are per-topology constants, ``g_i`` the per-transistor
+sensitivities and ``dVt_i`` the local threshold-voltage deviations.  The cell
+*fails* when the margin is negative.  Because the ``dVt_i`` are independent
+Gaussians (Pelgrom), the failure probability has the closed form used by
+:func:`repro.sram.failure.analytic_pf`, and the same margin function is what
+the Monte Carlo / importance-sampling estimators evaluate sample-by-sample —
+so the estimators can be validated exactly against the analytic value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.sram.cells import CellDesign
+
+
+@dataclass(frozen=True)
+class MarginModel:
+    """Margin evaluation for one :class:`CellDesign`."""
+
+    design: CellDesign
+
+    def margin_at(self, vdd: float) -> float:
+        """Variation-free worst-case margin at ``vdd`` (V).
+
+        Negative below the topology's ``margin_v0`` knee: at that point the
+        nominal cell itself no longer works (e.g. 6T at 350 mV).
+        """
+        topo = self.design.topology
+        return topo.margin_slope * (vdd - topo.margin_v0)
+
+    @cached_property
+    def sensitivities(self) -> np.ndarray:
+        """Per-transistor margin sensitivities ``g_i`` (V/V)."""
+        return np.array(
+            [spec.sensitivity for spec in self.design.topology.transistors]
+        )
+
+    @cached_property
+    def widths(self) -> np.ndarray:
+        """Per-transistor widths (m) at the design's size factor."""
+        return np.array(
+            [
+                self.design.width_of(spec)
+                for spec in self.design.topology.transistors
+            ]
+        )
+
+    @cached_property
+    def device_sigmas(self) -> np.ndarray:
+        """Per-transistor Vt mismatch sigmas (V) from Pelgrom's law."""
+        node = self.design.node
+        return np.array([node.sigma_vt(w) for w in self.widths])
+
+    @cached_property
+    def composite_sigma(self) -> float:
+        """Sigma of the margin's variation term, ``||g * sigma||_2`` (V)."""
+        weighted = self.sensitivities * self.device_sigmas
+        return float(np.sqrt(np.sum(weighted * weighted)))
+
+    def beta(self, vdd: float) -> float:
+        """Margin in sigma units; ``Pf = Phi(-beta)``."""
+        return self.margin_at(vdd) / self.composite_sigma
+
+    def sample_margins(self, vdd: float, offsets: np.ndarray) -> np.ndarray:
+        """Evaluate margins for a matrix of Vt offset samples.
+
+        Args:
+            vdd: supply voltage.
+            offsets: shape ``(count, n_transistors)`` Vt deviations (V).
+
+        Returns:
+            Array of ``count`` margins (V); negative means the cell fails.
+        """
+        offsets = np.asarray(offsets, dtype=float)
+        if offsets.ndim != 2 or offsets.shape[1] != len(self.sensitivities):
+            raise ValueError(
+                "offsets must have shape (count, "
+                f"{len(self.sensitivities)})"
+            )
+        return self.margin_at(vdd) - offsets @ self.sensitivities
+
+    def most_probable_failure_point(self, vdd: float) -> np.ndarray:
+        """The design point: the most likely Vt vector on the failure surface.
+
+        For a linear limit state with Gaussian variables this is the point
+        that mean-shift importance sampling should centre on (Chen et al.'s
+        estimator does the same around its SPICE-found failure corner).
+        """
+        margin = self.margin_at(vdd)
+        weights = self.sensitivities * self.device_sigmas**2
+        norm_sq = self.composite_sigma**2
+        if norm_sq <= 0:
+            raise ValueError("degenerate variation model")
+        return weights * (margin / norm_sq)

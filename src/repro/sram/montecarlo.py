@@ -1,0 +1,121 @@
+"""Monte Carlo and importance-sampling failure estimation (Chen substitute).
+
+The paper sizes every bitcell "using the analysis based on importance
+sampling proposed by Chen et al. [ICCAD 2007]".  That analysis estimates the
+tiny failure probabilities of SRAM cells (1e-6 .. 1e-9) by sampling the
+per-transistor threshold-voltage deviations from a *mean-shifted* proposal
+centred on the most probable failure point, then re-weighting each sample by
+the likelihood ratio between the true and the shifted Gaussian.
+
+We reimplement exactly that estimator on top of the analytic margin model —
+the only difference to the original is that margins come from
+:class:`repro.sram.margins.MarginModel` instead of HSPICE runs, so the
+estimator can be validated against the closed form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sram.cells import CellDesign
+from repro.sram.margins import MarginModel
+from repro.tech.variation import VariationModel
+
+
+@dataclass(frozen=True)
+class ImportanceSamplingResult:
+    """Outcome of an importance-sampling run.
+
+    Attributes:
+        pf: the failure-probability estimate.
+        stderr: standard error of the estimate.
+        samples: number of samples used.
+        hits: number of failing samples (before weighting).
+    """
+
+    pf: float
+    stderr: float
+    samples: int
+    hits: int
+
+    @property
+    def relative_error(self) -> float:
+        """stderr / pf (inf when the estimate is zero)."""
+        if self.pf <= 0:
+            return float("inf")
+        return self.stderr / self.pf
+
+
+def monte_carlo_pf(
+    design: CellDesign,
+    vdd: float,
+    samples: int,
+    rng: np.random.Generator,
+) -> ImportanceSamplingResult:
+    """Plain Monte Carlo estimate of the cell failure probability.
+
+    Only practical for Pf above ~1e-4; the importance-sampling variant
+    below covers the realistic sizing range.
+    """
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    model = MarginModel(design)
+    variation = VariationModel(node=design.node)
+    offsets = variation.sample_offsets(model.widths, rng, samples)
+    margins = model.sample_margins(vdd, offsets)
+    fails = margins < 0.0
+    hits = int(np.count_nonzero(fails))
+    pf = hits / samples
+    stderr = float(np.sqrt(max(pf * (1.0 - pf), 1e-300) / samples))
+    return ImportanceSamplingResult(pf=pf, stderr=stderr, samples=samples, hits=hits)
+
+
+def importance_sampling_pf(
+    design: CellDesign,
+    vdd: float,
+    samples: int,
+    rng: np.random.Generator,
+    shift_scale: float = 1.0,
+) -> ImportanceSamplingResult:
+    """Mean-shift importance-sampling estimate of the failure probability.
+
+    The proposal distribution is the variation Gaussian translated to
+    ``shift_scale`` times the most probable failure point (the "design
+    point"); each failing sample is weighted by the density ratio
+    ``p(x)/q(x)``.  With ``shift_scale = 1`` roughly half the samples fail,
+    which is what gives the estimator its efficiency at tiny Pf.
+
+    Args:
+        design: the sized cell.
+        vdd: supply voltage.
+        samples: number of shifted samples.
+        rng: random stream.
+        shift_scale: multiplier on the design-point shift (1.0 is optimal
+            for a linear limit state; values != 1 are useful in tests).
+    """
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    model = MarginModel(design)
+    variation = VariationModel(node=design.node)
+    shift = model.most_probable_failure_point(vdd) * shift_scale
+
+    offsets = variation.sample_offsets(
+        model.widths, rng, samples, mean_shift=shift
+    )
+    margins = model.sample_margins(vdd, offsets)
+    fails = margins < 0.0
+    log_ratio = variation.log_density_ratio(offsets, model.widths, shift)
+    # Clip to avoid overflow in pathological corners; weights beyond e^80
+    # carry no practical estimate mass at the sample counts we use.
+    weights = np.exp(np.clip(log_ratio, -80.0, 80.0)) * fails
+
+    pf = float(np.mean(weights))
+    stderr = float(np.std(weights, ddof=1) / np.sqrt(samples))
+    return ImportanceSamplingResult(
+        pf=pf,
+        stderr=stderr,
+        samples=samples,
+        hits=int(np.count_nonzero(fails)),
+    )

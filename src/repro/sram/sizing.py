@@ -1,0 +1,88 @@
+"""Yield-driven bitcell sizing — step 1 of the paper's Fig. 2 methodology.
+
+Two searches are provided:
+
+* :func:`size_for_pf` — the smallest size factor at which a topology meets a
+  target failure probability at a given supply (used to size the 6T cells at
+  HP mode and the 10T cells at ULE mode: "size 10T bitcell to match the same
+  hard bit failure rate (Pf) as 6T bitcells at HP mode");
+* the incremental loop of Fig. 2 (start at minimum size, grow by the
+  "minimal amount possible for the targeted technology" until the coded
+  yield target is met) lives in :mod:`repro.core.methodology`, which calls
+  :func:`minimal_size_step` for the increment.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sram.cells import CellTopology
+from repro.sram.failure import CellFailureModel
+from repro.tech.node import TechnologyNode, ptm32
+
+#: Width quantization of the target technology: widths move in steps of 5 %
+#: of wmin, the "minimal amount possible" of Fig. 2 step 5a.
+_SIZE_STEP = 0.05
+
+#: Safety bound for the searches; no realistic design exceeds this.
+_MAX_SIZE = 64.0
+
+
+def minimal_size_step(node: TechnologyNode | None = None) -> float:
+    """The smallest width increment of the technology (as a size factor)."""
+    del node  # single-node library; kept for interface symmetry
+    return _SIZE_STEP
+
+
+def quantize_size(size_factor: float) -> float:
+    """Round a size factor up to the technology's width grid."""
+    steps = math.ceil(round(size_factor / _SIZE_STEP, 9))
+    return max(1.0, steps * _SIZE_STEP)
+
+
+def size_for_pf(
+    topology: CellTopology,
+    vdd: float,
+    pf_target: float,
+    node: TechnologyNode | None = None,
+) -> float:
+    """Smallest quantized size factor with ``Pf <= pf_target`` at ``vdd``.
+
+    Raises:
+        ValueError: if the topology cannot function at ``vdd`` at all
+            (write-ability floor) or if no size within the search bound
+            reaches the target — both correspond to real design failures
+            (e.g. trying to size a 6T cell for 350 mV).
+    """
+    if not 0.0 < pf_target < 1.0:
+        raise ValueError("pf_target must be in (0, 1)")
+    model = CellFailureModel(topology, node or ptm32())
+    if not model.is_operable(vdd):
+        raise ValueError(
+            f"{topology.name} is not functional at {vdd:.3f} V "
+            f"(floor {topology.vmin_functional:.2f} V)"
+        )
+    if model.pf(vdd, 1.0) <= pf_target:
+        return 1.0
+
+    # The margin model is monotone in size (beta ~ sqrt(size)), so solve
+    # analytically and then snap up to the width grid, verifying.
+    beta_min = model.beta(vdd, 1.0)
+    if beta_min <= 0:
+        raise ValueError(
+            f"{topology.name} has no positive nominal margin at "
+            f"{vdd:.3f} V; up-sizing cannot fix it"
+        )
+    from repro.sram.failure import beta_for_pf
+
+    needed = beta_for_pf(pf_target)
+    exact = (needed / beta_min) ** 2
+    size = quantize_size(exact)
+    while model.pf(vdd, size) > pf_target:
+        size = round(size + _SIZE_STEP, 9)
+        if size > _MAX_SIZE:
+            raise ValueError(
+                f"cannot reach Pf={pf_target:g} for {topology.name} "
+                f"at {vdd:.3f} V within size {_MAX_SIZE}"
+            )
+    return size

@@ -1,0 +1,35 @@
+"""Technology substrate: a 32 nm PTM-like device model.
+
+This package replaces the paper's HSPICE + 32 nm Predictive Technology Model
+characterization (see DESIGN.md, substitution #1).  It provides:
+
+* :class:`~repro.tech.node.TechnologyNode` — process constants (capacitances,
+  leakage, variation coefficient, minimum geometry);
+* :func:`~repro.tech.node.ptm32` — the default 32 nm node;
+* :class:`~repro.tech.transistor.Transistor` — a device with EKV-style
+  on-current valid from super- to sub-threshold, subthreshold + DIBL leakage
+  and Pelgrom mismatch;
+* :class:`~repro.tech.operating.OperatingPoint` — (Vdd, frequency,
+  temperature) tuples, with the paper's HP and ULE points as constants.
+"""
+
+from repro.tech.node import TechnologyNode, ptm32
+from repro.tech.transistor import Transistor
+from repro.tech.variation import VariationModel
+from repro.tech.operating import (
+    HP_OPERATING_POINT,
+    ULE_OPERATING_POINT,
+    Mode,
+    OperatingPoint,
+)
+
+__all__ = [
+    "TechnologyNode",
+    "ptm32",
+    "Transistor",
+    "VariationModel",
+    "OperatingPoint",
+    "Mode",
+    "HP_OPERATING_POINT",
+    "ULE_OPERATING_POINT",
+]

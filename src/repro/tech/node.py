@@ -1,0 +1,91 @@
+"""Process-technology constants for the 32 nm node used throughout the paper.
+
+The values are representative of published 32 nm data (ITRS / PTM / CACTI
+technology tables).  Absolute accuracy is not required for the reproduction —
+all paper results are *normalized* — but the relative scaling laws (cap with
+width, leakage with Vt and Vdd, variation with area) are the real inputs to
+the paper's methodology and are modelled faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """A CMOS process node.
+
+    Lengths are metres, capacitances farads, currents amperes, voltages volts.
+
+    Attributes:
+        name: human-readable node name.
+        feature_size: drawn gate length (``L_min``).
+        wmin: minimum transistor width.
+        vdd_nominal: nominal supply voltage.
+        vt_n / vt_p: nominal NMOS/PMOS threshold voltages (magnitude).
+        cgate_per_m: gate capacitance per metre of transistor width.
+        cdrain_per_m: drain junction + overlap capacitance per metre of width.
+        cwire_per_m: wire capacitance per metre of wire length.
+        rwire_per_m: wire resistance per metre of wire length.
+        ion_per_m: saturation on-current per metre of width at nominal Vdd.
+        ioff_per_m: subthreshold off-current per metre of width at nominal
+            Vdd and nominal Vt (25C).
+        subthreshold_slope: subthreshold swing in volts/decade.
+        dibl: drain-induced barrier lowering coefficient (V of Vt shift per
+            V of Vds).
+        body_effect_n: EKV slope factor ``n`` (dimensionless).
+        thermal_voltage: kT/q at operating temperature.
+        avt: Pelgrom area coefficient for Vt mismatch (V * m); the mismatch
+            sigma of a W x L device is ``avt / sqrt(W * L)``.
+        logic_gate_cap: input capacitance of a minimum-size 2-input gate,
+            used by the EDC codec circuit model.
+        logic_gate_leak: leakage current of a minimum 2-input gate at
+            nominal Vdd.
+    """
+
+    name: str = "ptm32"
+    feature_size: float = 32e-9
+    wmin: float = 64e-9
+    vdd_nominal: float = 1.0
+    vt_n: float = 0.30
+    vt_p: float = 0.32
+    cgate_per_m: float = 1.0e-9          # 1 fF/um
+    cdrain_per_m: float = 0.55e-9        # 0.55 fF/um
+    cwire_per_m: float = 0.20e-9         # 0.20 fF/um (local metal)
+    rwire_per_m: float = 2.0e6           # 2 ohm/um
+    ion_per_m: float = 1.1e3             # 1.1 mA/um
+    ioff_per_m: float = 2.5e-2           # 25 nA/um (low-power flavour)
+    subthreshold_slope: float = 0.095    # 95 mV/dec
+    dibl: float = 0.18
+    body_effect_n: float = 1.45
+    thermal_voltage: float = 0.0259
+    avt: float = 2.5e-9                  # 2.5 mV*um
+    logic_gate_cap: float = 0.12e-15
+    logic_gate_leak: float = 6.0e-9
+
+    def sigma_vt(self, width: float, length: float | None = None) -> float:
+        """Pelgrom mismatch sigma of a ``width`` x ``length`` device (V)."""
+        if length is None:
+            length = self.feature_size
+        if width <= 0 or length <= 0:
+            raise ValueError("device dimensions must be positive")
+        return self.avt / (width * length) ** 0.5
+
+    @property
+    def sigma_vt_min(self) -> float:
+        """Mismatch sigma of a minimum-size device (the worst case)."""
+        return self.sigma_vt(self.wmin, self.feature_size)
+
+    @property
+    def f2(self) -> float:
+        """Area of one squared feature size, the usual SRAM area unit."""
+        return self.feature_size * self.feature_size
+
+
+_DEFAULT_NODE = TechnologyNode()
+
+
+def ptm32() -> TechnologyNode:
+    """The default 32 nm node instance (shared, immutable)."""
+    return _DEFAULT_NODE

@@ -1,0 +1,62 @@
+"""Operating points: the paper's HP and ULE modes.
+
+The paper (Section IV-A.2) fixes two operating points for the single-Vcc
+domain, in line with the Intel 280 mV-1.2 V IA-32 demonstration chip [10]:
+
+* HP mode  — Vcc = 1 V,    f = 1 GHz  (high-performance bursts)
+* ULE mode — Vcc = 350 mV, f = 5 MHz  (ultra-low-energy steady state)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Mode(enum.Enum):
+    """The two operating modes of the hybrid cache."""
+
+    HP = "hp"
+    ULE = "ule"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value.upper()
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A (mode, Vdd, frequency, temperature) operating corner."""
+
+    mode: Mode
+    vdd: float
+    frequency: float
+    temperature: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise ValueError("vdd must be positive")
+        if self.frequency <= 0:
+            raise ValueError("frequency must be positive")
+
+    @property
+    def cycle_time(self) -> float:
+        """Clock period in seconds."""
+        return 1.0 / self.frequency
+
+    def describe(self) -> str:
+        """Short human-readable description."""
+        return (
+            f"{self.mode}: {self.vdd * 1e3:.0f} mV @ "
+            f"{self.frequency / 1e6:.3g} MHz"
+        )
+
+
+HP_OPERATING_POINT = OperatingPoint(mode=Mode.HP, vdd=1.0, frequency=1e9)
+ULE_OPERATING_POINT = OperatingPoint(mode=Mode.ULE, vdd=0.35, frequency=5e6)
+
+
+def operating_point_for(mode: Mode) -> OperatingPoint:
+    """The paper's operating point for ``mode``."""
+    if mode is Mode.HP:
+        return HP_OPERATING_POINT
+    return ULE_OPERATING_POINT

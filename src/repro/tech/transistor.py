@@ -1,0 +1,122 @@
+"""A simple analytic MOSFET model valid from sub- to super-threshold.
+
+The paper's sizing methodology needs, for each transistor, three quantities
+as smooth functions of supply voltage and width:
+
+* gate / drain capacitance (linear in width) — sets dynamic energy;
+* drive current (EKV-style interpolation) — sets delay, hence the maximum
+  frequency at near-threshold voltages;
+* leakage current (subthreshold conduction with DIBL) — sets static power.
+
+This is the HSPICE substitute: it reproduces the qualitative regimes that the
+paper's conclusions rest on (delay explodes below ~0.5 V, leakage power drops
+steeply with Vdd, capacitance scales with width).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.tech.node import TechnologyNode, ptm32
+
+
+@dataclass(frozen=True)
+class Transistor:
+    """A single MOSFET of a given width (metres) on a node.
+
+    ``kind`` is "n" or "p"; the PMOS uses its own nominal Vt.  ``vt_offset``
+    models a local variation sample (added to the nominal Vt).
+    """
+
+    width: float
+    kind: str = "n"
+    vt_offset: float = 0.0
+    node: TechnologyNode = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.node is None:
+            object.__setattr__(self, "node", ptm32())
+        if self.width <= 0:
+            raise ValueError("transistor width must be positive")
+        if self.kind not in ("n", "p"):
+            raise ValueError("kind must be 'n' or 'p'")
+
+    @property
+    def vt(self) -> float:
+        """Effective threshold voltage including the local offset."""
+        base = self.node.vt_n if self.kind == "n" else self.node.vt_p
+        return base + self.vt_offset
+
+    @property
+    def gate_cap(self) -> float:
+        """Gate capacitance (F)."""
+        return self.node.cgate_per_m * self.width
+
+    @property
+    def drain_cap(self) -> float:
+        """Drain junction + overlap capacitance (F)."""
+        return self.node.cdrain_per_m * self.width
+
+    def on_current(self, vdd: float) -> float:
+        """Drive current at ``Vgs = Vds = vdd`` (A), EKV interpolation.
+
+        Smoothly covers strong inversion (quadratic in overdrive) down to
+        subthreshold (exponential), which is what makes the ULE-mode delay
+        model meaningful at 350 mV.
+        """
+        if vdd <= 0:
+            return 0.0
+        node = self.node
+        n_phi_t = node.body_effect_n * node.thermal_voltage
+        # DIBL improves drive a little at high Vds; include it in the
+        # effective threshold for symmetry with the leakage model.
+        vt_eff = self.vt - node.dibl * (vdd - node.vdd_nominal) * 0.5
+        overdrive = (vdd - vt_eff) / (2.0 * n_phi_t)
+        # Inversion charge in volts; ~ (vdd - vt) in strong inversion and
+        # ~ exp(overdrive) in weak inversion.
+        charge = 2.0 * n_phi_t * math.log1p(math.exp(min(overdrive, 60.0)))
+        # Normalize so that the nominal-Vdd current matches ion_per_m.
+        vt_nom = node.vt_n if self.kind == "n" else node.vt_p
+        nominal_overdrive = (node.vdd_nominal - vt_nom) / (2.0 * n_phi_t)
+        nominal_charge = 2.0 * n_phi_t * math.log1p(math.exp(nominal_overdrive))
+        scale = node.ion_per_m / (nominal_charge * nominal_charge)
+        return scale * self.width * charge * charge
+
+    def leakage_current(self, vdd: float) -> float:
+        """Subthreshold leakage at ``Vgs = 0, Vds = vdd`` (A)."""
+        if vdd <= 0:
+            return 0.0
+        node = self.node
+        vt_nom = node.vt_n if self.kind == "n" else node.vt_p
+        # Vt shift relative to the characterization point: local variation
+        # plus DIBL relief when Vdd is below nominal.
+        delta_vt = self.vt_offset - node.dibl * (vdd - node.vdd_nominal)
+        decades = -delta_vt / node.subthreshold_slope
+        # Drain saturation factor (1 - exp(-Vds/phi_t)), ~1 except near 0 V.
+        saturation = 1.0 - math.exp(-vdd / node.thermal_voltage)
+        del vt_nom  # characterization point already folded into ioff_per_m
+        return node.ioff_per_m * self.width * (10.0 ** decades) * saturation
+
+    def leakage_power(self, vdd: float) -> float:
+        """Static power at supply ``vdd`` (W)."""
+        return self.leakage_current(vdd) * vdd
+
+    def delay(self, load_cap: float, vdd: float) -> float:
+        """RC-style switching delay driving ``load_cap`` at ``vdd`` (s)."""
+        current = self.on_current(vdd)
+        if current <= 0:
+            return math.inf
+        return load_cap * vdd / current
+
+
+def fo4_delay(vdd: float, node: TechnologyNode | None = None) -> float:
+    """Fanout-of-4 inverter delay at ``vdd`` — the unit of logic depth.
+
+    Used by the timing model to check that the chosen operating frequencies
+    (1 GHz at 1 V, 5 MHz at 350 mV) are feasible for the modelled arrays.
+    """
+    node = node or ptm32()
+    driver = Transistor(width=2 * node.wmin, kind="n", node=node)
+    load = 4 * (driver.gate_cap * 2.5)  # n + p gate of the fanout gates
+    return driver.delay(load, vdd)

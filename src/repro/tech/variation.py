@@ -1,0 +1,92 @@
+"""Process-variation model (random within-die Vt mismatch).
+
+The paper's yield methodology rests on Pelgrom's law: the threshold-voltage
+mismatch sigma of a device shrinks with the square root of its gate area,
+
+    sigma_Vt(W, L) = A_VT / sqrt(W * L)
+
+which is why up-sizing bitcell transistors buys failure probability.  The
+:class:`VariationModel` samples per-transistor Vt offsets for Monte Carlo /
+importance sampling (see :mod:`repro.sram.montecarlo`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tech.node import TechnologyNode, ptm32
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Samples independent Gaussian Vt offsets for a set of transistors.
+
+    Attributes:
+        node: the process node supplying the Pelgrom coefficient.
+        global_sigma: optional die-to-die component (added in quadrature on
+            top of local mismatch; 0 by default because the paper's analysis
+            is local-mismatch driven).
+    """
+
+    node: TechnologyNode = None  # type: ignore[assignment]
+    global_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.node is None:
+            object.__setattr__(self, "node", ptm32())
+
+    def sigma_for(self, width: float, length: float | None = None) -> float:
+        """Total Vt sigma for one device of the given geometry (V)."""
+        local = self.node.sigma_vt(width, length)
+        return (local * local + self.global_sigma * self.global_sigma) ** 0.5
+
+    def sample_offsets(
+        self,
+        widths: np.ndarray,
+        rng: np.random.Generator,
+        count: int,
+        mean_shift: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Draw ``count`` vectors of per-transistor Vt offsets.
+
+        Args:
+            widths: array of transistor widths (one per device in the cell).
+            rng: the random stream.
+            count: number of Monte Carlo samples.
+            mean_shift: optional importance-sampling mean shift per device
+                (in volts); ``None`` means unshifted sampling.
+
+        Returns:
+            Array of shape ``(count, len(widths))`` of Vt offsets in volts.
+        """
+        widths = np.asarray(widths, dtype=float)
+        if np.any(widths <= 0):
+            raise ValueError("widths must be positive")
+        sigmas = np.array([self.sigma_for(w) for w in widths])
+        samples = rng.standard_normal((count, len(widths))) * sigmas
+        if mean_shift is not None:
+            samples = samples + np.asarray(mean_shift, dtype=float)
+        return samples
+
+    def log_density_ratio(
+        self,
+        offsets: np.ndarray,
+        widths: np.ndarray,
+        mean_shift: np.ndarray,
+    ) -> np.ndarray:
+        """Log of ``p(offsets) / q(offsets)`` for mean-shifted sampling.
+
+        This is the importance-sampling likelihood ratio: ``p`` is the true
+        zero-mean Gaussian, ``q`` the shifted proposal actually sampled from.
+        """
+        widths = np.asarray(widths, dtype=float)
+        sigmas = np.array([self.sigma_for(w) for w in widths])
+        shift = np.asarray(mean_shift, dtype=float)
+        # log p - log q for Gaussians with equal covariance:
+        #   (-x.mu + mu^2/2) / sigma^2 summed over devices
+        return np.sum(
+            (-offsets * shift + 0.5 * shift * shift) / (sigmas * sigmas),
+            axis=1,
+        )

@@ -1,0 +1,46 @@
+"""Shared low-level helpers: units, bit vectors, seeded RNG streams, tables."""
+
+from repro.util.units import (
+    FEMTO,
+    GIGA,
+    KILO,
+    MEGA,
+    MICRO,
+    MILLI,
+    NANO,
+    PICO,
+    from_si,
+    si,
+)
+from repro.util.bitvec import (
+    bits_to_int,
+    int_to_bits,
+    pack_words,
+    parity,
+    popcount,
+    random_word,
+)
+from repro.util.rng import RngStreams, derive_seed
+from repro.util.tables import Table
+
+__all__ = [
+    "FEMTO",
+    "PICO",
+    "NANO",
+    "MICRO",
+    "MILLI",
+    "KILO",
+    "MEGA",
+    "GIGA",
+    "si",
+    "from_si",
+    "bits_to_int",
+    "int_to_bits",
+    "pack_words",
+    "parity",
+    "popcount",
+    "random_word",
+    "RngStreams",
+    "derive_seed",
+    "Table",
+]

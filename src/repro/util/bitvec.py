@@ -1,0 +1,78 @@
+"""Bit-vector helpers shared by the EDC codecs and the cache fault layer.
+
+Words are represented in two interchangeable forms:
+
+* an ``int`` (bit ``i`` is ``(word >> i) & 1``), convenient for storage, and
+* a :class:`numpy.ndarray` of ``uint8`` values in {0, 1} with index ``i``
+  holding bit ``i`` (LSB first), convenient for GF(2) linear algebra.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def int_to_bits(word: int, width: int) -> np.ndarray:
+    """Expand ``word`` into a LSB-first uint8 bit array of length ``width``.
+
+    Raises :class:`ValueError` if ``word`` does not fit in ``width`` bits or
+    is negative.
+    """
+    if word < 0:
+        raise ValueError("words must be non-negative")
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if word >> width:
+        raise ValueError(f"value {word:#x} does not fit in {width} bits")
+    bits = np.zeros(width, dtype=np.uint8)
+    index = 0
+    while word:
+        if word & 1:
+            bits[index] = 1
+        word >>= 1
+        index += 1
+    return bits
+
+
+def bits_to_int(bits: np.ndarray) -> int:
+    """Inverse of :func:`int_to_bits` (LSB-first)."""
+    value = 0
+    for index in range(len(bits) - 1, -1, -1):
+        value = (value << 1) | int(bits[index] & 1)
+    return value
+
+
+def popcount(word: int) -> int:
+    """Number of set bits in a non-negative integer."""
+    if word < 0:
+        raise ValueError("popcount of a negative value is undefined here")
+    return bin(word).count("1")
+
+
+def parity(word: int) -> int:
+    """Even/odd parity (0 or 1) of the set bits of ``word``."""
+    return popcount(word) & 1
+
+
+def random_word(rng: np.random.Generator, width: int) -> int:
+    """A uniformly random ``width``-bit word drawn from ``rng``."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    word = 0
+    remaining = width
+    while remaining > 0:
+        chunk = min(remaining, 32)
+        word = (word << chunk) | int(rng.integers(0, 1 << chunk))
+        remaining -= chunk
+    return word
+
+
+def pack_words(words: list[int], width: int) -> np.ndarray:
+    """Pack a list of ``width``-bit words into a 2-D bit matrix.
+
+    Row ``r`` of the result is ``int_to_bits(words[r], width)``.
+    """
+    matrix = np.zeros((len(words), width), dtype=np.uint8)
+    for row, word in enumerate(words):
+        matrix[row] = int_to_bits(word, width)
+    return matrix

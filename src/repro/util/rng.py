@@ -1,0 +1,52 @@
+"""Deterministic random-number streams.
+
+Every stochastic component (workload generators, fault maps, Monte Carlo
+estimators) takes an explicit seed and derives child seeds through
+:func:`derive_seed`, so that experiments are reproducible bit-for-bit while
+independent components draw from decorrelated streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(root_seed: int, *labels: object) -> int:
+    """Derive a 63-bit child seed from a root seed and a label path.
+
+    The derivation is a SHA-256 hash of the textual path, which makes child
+    streams independent of the order in which they are created.
+    """
+    text = f"{root_seed}:" + "/".join(str(label) for label in labels)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") & ((1 << 63) - 1)
+
+
+class RngStreams:
+    """A factory of named, decorrelated :class:`numpy.random.Generator`\\ s.
+
+    >>> streams = RngStreams(1234)
+    >>> a = streams.get("faults", "il1")
+    >>> b = streams.get("faults", "dl1")
+    >>> a is not b
+    True
+    """
+
+    def __init__(self, root_seed: int):
+        self.root_seed = int(root_seed)
+        self._cache: dict[tuple[object, ...], np.random.Generator] = {}
+
+    def get(self, *labels: object) -> np.random.Generator:
+        """Return (and memoize) the generator for a label path."""
+        key = tuple(labels)
+        if key not in self._cache:
+            self._cache[key] = np.random.default_rng(
+                derive_seed(self.root_seed, *labels)
+            )
+        return self._cache[key]
+
+    def fresh(self, *labels: object) -> np.random.Generator:
+        """Return a new, non-memoized generator for a label path."""
+        return np.random.default_rng(derive_seed(self.root_seed, *labels))

@@ -1,0 +1,67 @@
+"""Minimal ASCII table rendering used by the experiment reports."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+class Table:
+    """A simple left/right-aligned monospace table.
+
+    >>> t = Table(["name", "value"])
+    >>> t.add_row(["alpha", 1.5])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: str | None = None):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = [str(c) for c in columns]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, cells: Sequence[object]) -> None:
+        """Append a row; cells are stringified (floats to 4 significant digits)."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        rendered = []
+        for cell in cells:
+            if isinstance(cell, float):
+                rendered.append(f"{cell:.4g}")
+            else:
+                rendered.append(str(cell))
+        self.rows.append(rendered)
+
+    def add_separator(self) -> None:
+        """Append a horizontal separator row."""
+        self.rows.append(["---"] * len(self.columns))
+
+    def render(self) -> str:
+        """Render the table to a string."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(
+                cell.ljust(widths[index]) for index, cell in enumerate(cells)
+            )
+
+        rule = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt(self.columns))
+        lines.append(rule)
+        for row in self.rows:
+            if row[0] == "---":
+                lines.append(rule)
+            else:
+                lines.append(fmt(row))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

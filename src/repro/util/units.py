@@ -1,0 +1,78 @@
+"""SI-unit helpers.
+
+All physical quantities inside :mod:`repro` are stored in base SI units
+(volts, farads, joules, seconds, amperes, metres).  These helpers exist only
+for readable construction (``3 * NANO`` seconds) and pretty-printing
+(``si(1.3e-14, "J") == "13.00 fJ"``).
+"""
+
+from __future__ import annotations
+
+import math
+
+FEMTO = 1e-15
+PICO = 1e-12
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+_PREFIXES = [
+    (1e-18, "a"),
+    (1e-15, "f"),
+    (1e-12, "p"),
+    (1e-9, "n"),
+    (1e-6, "u"),
+    (1e-3, "m"),
+    (1.0, ""),
+    (1e3, "k"),
+    (1e6, "M"),
+    (1e9, "G"),
+    (1e12, "T"),
+]
+
+
+def si(value: float, unit: str = "", digits: int = 2) -> str:
+    """Format ``value`` with an engineering SI prefix.
+
+    >>> si(1.3e-14, "J")
+    '13.00 fJ'
+    >>> si(0.0, "W")
+    '0.00 W'
+    """
+    if value == 0 or not math.isfinite(value):
+        return f"{value:.{digits}f} {unit}".rstrip()
+    magnitude = abs(value)
+    scale, prefix = _PREFIXES[0]
+    for candidate_scale, candidate_prefix in _PREFIXES:
+        if magnitude >= candidate_scale:
+            scale, prefix = candidate_scale, candidate_prefix
+    return f"{value / scale:.{digits}f} {prefix}{unit}".rstrip()
+
+
+def from_si(text: str) -> float:
+    """Parse a string like ``"13 fJ"`` or ``"350mV"`` into a base-SI float.
+
+    The unit letters after the prefix are ignored; only the numeric value and
+    the prefix are interpreted.  Raises :class:`ValueError` for garbage.
+    """
+    stripped = text.strip()
+    number_end = 0
+    for index, char in enumerate(stripped):
+        if char.isdigit() or char in "+-.eE":
+            number_end = index + 1
+        else:
+            break
+    if number_end == 0:
+        raise ValueError(f"no numeric part in {text!r}")
+    value = float(stripped[:number_end])
+    rest = stripped[number_end:].strip()
+    if not rest:
+        return value
+    prefix_map = {p: s for s, p in _PREFIXES if p}
+    prefix = rest[0]
+    if len(rest) > 1 and prefix in prefix_map:
+        return value * prefix_map[prefix]
+    return value

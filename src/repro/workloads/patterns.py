@@ -1,0 +1,140 @@
+"""Address-stream primitives for the synthetic benchmark generators.
+
+Each primitive produces a numpy array of byte addresses with a
+characteristic locality structure:
+
+* :func:`loop_pc_stream` — instruction fetch addresses from nested-loop
+  execution (tight bodies iterated many times, occasional body changes);
+* :func:`streaming_addresses` — a sequential sweep over a buffer
+  (samples/pixels in, samples out), the dominant media-codec pattern;
+* :func:`table_addresses` — random lookups into a constant table
+  (quantizer/codebook lookups of g721/gsm);
+* :func:`stack_addresses` — high-locality accesses to a small stack frame
+  region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def loop_pc_stream(
+    count: int,
+    code_bytes: int,
+    rng: np.random.Generator,
+    base: int = 0x0040_0000,
+    body_words_range: tuple[int, int] = (12, 96),
+    mean_iterations: int = 40,
+) -> np.ndarray:
+    """PC stream of loopy code confined to a ``code_bytes`` footprint.
+
+    Execution proceeds in episodes: a loop body (contiguous word range
+    inside the footprint) is iterated a geometrically-distributed number
+    of times, then control moves to another body.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if code_bytes < 64:
+        raise ValueError("code footprint too small")
+    code_words = code_bytes // 4
+    low, high = body_words_range
+    high = min(high, code_words)
+    low = min(low, high)
+    chunks: list[np.ndarray] = []
+    produced = 0
+    while produced < count:
+        body_words = int(rng.integers(low, high + 1))
+        start_word = int(rng.integers(0, max(code_words - body_words, 1)))
+        iterations = 1 + int(rng.geometric(1.0 / mean_iterations))
+        body = base + 4 * (start_word + np.arange(body_words, dtype=np.int64))
+        episode = np.tile(body, iterations)[: count - produced]
+        chunks.append(episode)
+        produced += len(episode)
+    return np.concatenate(chunks).astype(np.uint64)
+
+
+def streaming_addresses(
+    count: int,
+    buffer_bytes: int,
+    rng: np.random.Generator,
+    base: int = 0x1000_0100,
+    stride: int = 4,
+    revisit: float = 0.0,
+) -> np.ndarray:
+    """Sequential sweep over a circular buffer, with optional revisits.
+
+    ``revisit`` is the fraction of accesses that go back a short random
+    distance (filter taps reading their recent window).
+    """
+    if count <= 0 or buffer_bytes <= 0 or stride <= 0:
+        raise ValueError("bad stream parameters")
+    offsets = (np.arange(count, dtype=np.int64) * stride) % buffer_bytes
+    if revisit > 0:
+        mask = rng.random(count) < revisit
+        back = rng.integers(1, 16, size=count) * stride
+        offsets = np.where(
+            mask, (offsets - back) % buffer_bytes, offsets
+        )
+    return (base + offsets).astype(np.uint64)
+
+
+def table_addresses(
+    count: int,
+    table_bytes: int,
+    rng: np.random.Generator,
+    base: int = 0x2000_0200,
+    element: int = 4,
+) -> np.ndarray:
+    """Uniform random lookups into a constant table."""
+    if count <= 0 or table_bytes < element:
+        raise ValueError("bad table parameters")
+    entries = table_bytes // element
+    picks = rng.integers(0, entries, size=count, dtype=np.int64)
+    return (base + picks * element).astype(np.uint64)
+
+
+def stack_addresses(
+    count: int,
+    frame_bytes: int,
+    rng: np.random.Generator,
+    base: int = 0x7FFF_0000,
+) -> np.ndarray:
+    """Accesses to a small, hot stack frame (word-granular)."""
+    if count <= 0 or frame_bytes < 4:
+        raise ValueError("bad stack parameters")
+    words = frame_bytes // 4
+    picks = rng.integers(0, words, size=count, dtype=np.int64)
+    return (base + picks * 4).astype(np.uint64)
+
+
+def blocked_addresses(
+    count: int,
+    image_bytes: int,
+    block_bytes: int,
+    rng: np.random.Generator,
+    base: int = 0x3000_0300,
+) -> np.ndarray:
+    """2-D block traversal (mpeg2/epic macroblocks): sweep a block, jump.
+
+    Addresses walk sequentially inside a block; blocks are visited in a
+    shuffled order over the image.
+    """
+    if count <= 0 or block_bytes < 4 or image_bytes < block_bytes:
+        raise ValueError("bad block parameters")
+    words_per_block = block_bytes // 4
+    blocks = image_bytes // block_bytes
+    out = np.empty(count, dtype=np.int64)
+    produced = 0
+    while produced < count:
+        order = rng.permutation(blocks)
+        for block in order:
+            take = min(words_per_block, count - produced)
+            out[produced : produced + take] = (
+                base
+                + int(block) * block_bytes
+                + 4 * np.arange(take, dtype=np.int64)
+            )
+            produced += take
+            if produced >= count:
+                break
+    return out.astype(np.uint64)

@@ -1,0 +1,28 @@
+"""Benchmark suites: the paper's SmallBench / BigBench split.
+
+"SmallBench benchmarks are used during ULE operation whereas BigBench ones
+are used during HP operation" (Section IV-A.1).
+"""
+
+from __future__ import annotations
+
+from repro.tech.operating import Mode
+from repro.workloads.mediabench import BENCHMARKS, BenchmarkSpec
+
+#: Workloads that fit very small caches; run at ULE mode.
+SMALLBENCH: tuple[BenchmarkSpec, ...] = tuple(
+    spec for spec in BENCHMARKS if spec.category == "small"
+)
+
+#: Workloads needing larger cache space; run at HP mode.
+BIGBENCH: tuple[BenchmarkSpec, ...] = tuple(
+    spec for spec in BENCHMARKS if spec.category == "big"
+)
+
+#: Every benchmark.
+ALL_BENCHMARKS: tuple[BenchmarkSpec, ...] = BENCHMARKS
+
+
+def suite_for_mode(mode: Mode) -> tuple[BenchmarkSpec, ...]:
+    """The paper's suite assignment for an operating mode."""
+    return SMALLBENCH if mode is Mode.ULE else BIGBENCH

@@ -1,0 +1,71 @@
+"""Tests for the hybrid (mode-switching) cache."""
+
+import pytest
+
+from repro.cache.hybrid import HybridCache
+from repro.core.architect import build_cache_pair
+from repro.tech.operating import Mode
+
+
+@pytest.fixture()
+def hybrid(design_a) -> HybridCache:
+    baseline, _ = build_cache_pair(design_a)
+    return HybridCache(baseline, mode=Mode.HP)
+
+
+class TestModeSwitching:
+    def test_initial_mode_masks(self, design_a):
+        baseline, _ = build_cache_pair(design_a)
+        at_ule = HybridCache(baseline, mode=Mode.ULE)
+        assert at_ule.active_ways() == [7]
+
+    def test_switch_to_ule_gates_hp_ways(self, hybrid):
+        assert len(hybrid.active_ways()) == 8
+        hybrid.set_mode(Mode.ULE)
+        assert hybrid.active_ways() == [7]
+        assert hybrid.mode is Mode.ULE
+
+    def test_switch_flushes_dirty_hp_lines(self, hybrid):
+        # Dirty a line that lands in an HP way (fill order starts at 0).
+        hybrid.access(0x1000, is_write=True)
+        assert hybrid.access(0x1000, False).way < 7
+        writebacks = hybrid.set_mode(Mode.ULE)
+        assert writebacks == 1
+
+    def test_ule_way_contents_survive_switch(self, hybrid):
+        """Lines resident in the ULE way stay valid across the switch."""
+        # Fill one set's 8 ways; the last fill lands in way 7.
+        sets = hybrid.config.sets
+        line = hybrid.config.line_bytes
+        addresses = [0x2000 + i * sets * line for i in range(8)]
+        for address in addresses:
+            hybrid.access(address, False)
+        ule_resident = [
+            a for a in addresses if hybrid.access(a, False).way == 7
+        ]
+        assert ule_resident
+        hybrid.set_mode(Mode.ULE)
+        for address in ule_resident:
+            assert hybrid.access(address, False).hit
+
+    def test_hp_ways_empty_after_return(self, hybrid):
+        hybrid.access(0x3000, False)  # lands in an HP way
+        hybrid.set_mode(Mode.ULE)
+        hybrid.set_mode(Mode.HP)
+        assert not hybrid.access(0x3000, False).hit
+
+    def test_noop_switch(self, hybrid):
+        assert hybrid.set_mode(Mode.HP) == 0
+        assert hybrid.mode_switches == 0
+
+    def test_switch_counter(self, hybrid):
+        hybrid.set_mode(Mode.ULE)
+        hybrid.set_mode(Mode.HP)
+        assert hybrid.mode_switches == 2
+
+    def test_ule_mode_only_fills_ule_way(self, hybrid):
+        hybrid.set_mode(Mode.ULE)
+        for i in range(64):
+            result = hybrid.access(0x9000 + 32 * i, False)
+            assert result.way == 7
+            assert result.group == "ule"

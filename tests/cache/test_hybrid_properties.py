@@ -1,0 +1,73 @@
+"""Hypothesis: hybrid-cache invariants under random access/switch mixes."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.hybrid import HybridCache
+from repro.core.architect import build_cache_pair
+from repro.tech.operating import Mode
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    operations=st.integers(100, 600),
+    switch_period=st.integers(20, 150),
+)
+def test_invariants_under_random_switching(
+    seed, operations, switch_period, design_a
+):
+    """Whatever the access/switch interleaving:
+
+    * counter identities hold;
+    * the active-way set always matches the mode;
+    * at ULE mode no HP-way ever produces a hit or a fill;
+    * resident lines never exceed the active capacity.
+    """
+    _, proposed = build_cache_pair(design_a)
+    cache = HybridCache(proposed, mode=Mode.HP)
+    rng = np.random.default_rng(seed)
+    addresses = rng.integers(0, 1 << 16, size=operations)
+    writes = rng.random(operations) < 0.3
+
+    for step, (address, write) in enumerate(zip(addresses, writes)):
+        if step and step % switch_period == 0:
+            cache.set_mode(
+                Mode.ULE if cache.mode is Mode.HP else Mode.HP
+            )
+        result = cache.access(int(address), bool(write))
+        if cache.mode is Mode.ULE:
+            assert result.group == "ule"
+        active = cache.active_ways()
+        expected_count = 1 if cache.mode is Mode.ULE else 8
+        assert len(active) == expected_count
+
+    stats = cache.stats
+    assert stats.reads + stats.writes == operations
+    assert stats.hits + stats.misses == operations
+    assert stats.fills == stats.misses
+    assert sum(stats.group_fills.values()) == stats.fills
+    capacity = len(cache.active_ways()) * proposed.sets
+    assert cache.core.resident_lines() <= max(
+        capacity, proposed.sets * 8
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_flush_conservation(seed, design_a):
+    """Every dirty line flushed on a switch is counted exactly once."""
+    _, proposed = build_cache_pair(design_a)
+    cache = HybridCache(proposed, mode=Mode.HP)
+    rng = np.random.default_rng(seed)
+    for address in rng.integers(0, 1 << 14, size=300):
+        cache.access(int(address), is_write=True)
+    dirty_before = sum(
+        1
+        for index in range(proposed.sets)
+        for way in range(proposed.ways - 1)  # HP ways only
+        if cache.core._tags[index][way] is not None
+        and cache.core._dirty[index][way]
+    )
+    flushed = cache.set_mode(Mode.ULE)
+    assert flushed == dirty_before

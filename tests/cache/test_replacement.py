@@ -1,0 +1,111 @@
+"""Tests for the replacement policies."""
+
+import pytest
+
+from repro.cache.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    PlruPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestLru:
+    def test_evicts_least_recent(self):
+        policy = LruPolicy(4)
+        state = policy.new_set_state()
+        for way in (0, 1, 2, 3):
+            policy.on_fill(state, way)
+        policy.on_access(state, 0)  # refresh way 0
+        assert policy.victim(state, [0, 1, 2, 3]) == 1
+
+    def test_untouched_way_preferred(self):
+        policy = LruPolicy(4)
+        state = policy.new_set_state()
+        policy.on_fill(state, 0)
+        assert policy.victim(state, [0, 1]) == 1
+
+    def test_restricted_candidates(self):
+        """Hybrid mode: only active ways are candidates."""
+        policy = LruPolicy(4)
+        state = policy.new_set_state()
+        for way in (0, 1, 2, 3):
+            policy.on_fill(state, way)
+        assert policy.victim(state, [3]) == 3
+
+    def test_no_candidates(self):
+        policy = LruPolicy(2)
+        with pytest.raises(ValueError):
+            policy.victim(policy.new_set_state(), [])
+
+
+class TestFifo:
+    def test_hits_do_not_refresh(self):
+        policy = FifoPolicy(3)
+        state = policy.new_set_state()
+        for way in (0, 1, 2):
+            policy.on_fill(state, way)
+        policy.on_access(state, 0)  # irrelevant for FIFO
+        assert policy.victim(state, [0, 1, 2]) == 0
+
+    def test_refill_moves_to_back(self):
+        policy = FifoPolicy(2)
+        state = policy.new_set_state()
+        policy.on_fill(state, 0)
+        policy.on_fill(state, 1)
+        policy.on_fill(state, 0)
+        assert policy.victim(state, [0, 1]) == 1
+
+
+class TestRandom:
+    def test_uniformity(self):
+        policy = RandomPolicy(4, seed=1)
+        counts = {0: 0, 1: 0, 2: 0, 3: 0}
+        for _ in range(4000):
+            counts[policy.victim(None, [0, 1, 2, 3])] += 1
+        for count in counts.values():
+            assert 800 < count < 1200
+
+    def test_candidates_respected(self):
+        policy = RandomPolicy(4, seed=2)
+        for _ in range(100):
+            assert policy.victim(None, [2, 3]) in (2, 3)
+
+
+class TestPlru:
+    def test_victim_avoids_recent(self):
+        policy = PlruPolicy(4)
+        state = policy.new_set_state()
+        for way in (0, 1, 2, 3):
+            policy.on_fill(state, way)
+        policy.on_access(state, 3)
+        assert policy.victim(state, [0, 1, 2, 3]) != 3
+
+    def test_restricted_fallback(self):
+        policy = PlruPolicy(8)
+        state = policy.new_set_state()
+        victim = policy.victim(state, [5])
+        assert victim == 5
+
+
+class TestFactory:
+    def test_all_names(self):
+        for name, cls in (
+            ("lru", LruPolicy),
+            ("fifo", FifoPolicy),
+            ("random", RandomPolicy),
+            ("plru", PlruPolicy),
+        ):
+            assert isinstance(make_policy(name, 4), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_policy("LRU", 4), LruPolicy)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_policy("mru", 4)
+
+    def test_bad_ways(self):
+        with pytest.raises(ValueError):
+            LruPolicy(0)

@@ -1,0 +1,141 @@
+"""Tests for the set-associative functional simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.setassoc import SetAssociativeCache
+from repro.core.architect import build_cache_pair
+
+
+@pytest.fixture()
+def cache(design_a) -> SetAssociativeCache:
+    baseline, _ = build_cache_pair(design_a)
+    return SetAssociativeCache(baseline)
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self, cache):
+        first = cache.access(0x1000, is_write=False)
+        assert not first.hit
+        second = cache.access(0x1000, is_write=False)
+        assert second.hit
+        assert second.way == first.way
+
+    def test_same_line_hits(self, cache):
+        cache.access(0x1000, False)
+        assert cache.access(0x101F, False).hit      # same 32 B line
+        assert not cache.access(0x1020, False).hit  # next line
+
+    def test_write_allocate(self, cache):
+        result = cache.access(0x2000, is_write=True)
+        assert not result.hit
+        assert cache.stats.fills == 1
+        assert cache.access(0x2000, is_write=False).hit
+
+    def test_dirty_eviction_writes_back(self, cache):
+        sets = cache.config.sets
+        line = cache.config.line_bytes
+        target = 0x3000
+        cache.access(target, is_write=True)  # dirty line
+        # Fill the same set with 8 more distinct lines to evict it.
+        for i in range(1, 9):
+            cache.access(target + i * sets * line, is_write=False)
+        assert cache.stats.writebacks >= 1
+
+    def test_clean_eviction_silent(self, cache):
+        sets, line = cache.config.sets, cache.config.line_bytes
+        for i in range(9):
+            cache.access(0x4000 + i * sets * line, is_write=False)
+        assert cache.stats.writebacks == 0
+
+    def test_lru_order_within_set(self, cache):
+        sets, line = cache.config.sets, cache.config.line_bytes
+        base = 0x5000
+        lines = [base + i * sets * line for i in range(8)]
+        for address in lines:
+            cache.access(address, False)
+        cache.access(lines[0], False)          # refresh line 0
+        cache.access(base + 8 * sets * line, False)  # evict LRU (line 1)
+        assert cache.access(lines[0], False).hit
+        assert not cache.access(lines[1], False).hit
+
+
+class TestStatsInvariants:
+    def test_counts_consistent(self, cache, rng):
+        addresses = rng.integers(0, 1 << 20, size=3000)
+        writes = rng.random(3000) < 0.3
+        for address, write in zip(addresses, writes):
+            cache.access(int(address) & ~3, bool(write))
+        stats = cache.stats
+        assert stats.reads + stats.writes == stats.accesses == 3000
+        assert stats.hits + stats.misses == stats.accesses
+        assert stats.fills == stats.misses
+        assert sum(stats.group_fills.values()) == stats.fills
+        assert sum(stats.group_read_hits.values()) == stats.read_hits
+        assert sum(stats.group_write_hits.values()) == stats.write_hits
+        assert 0.0 <= stats.miss_rate <= 1.0
+
+    def test_resident_lines_bounded(self, cache, rng):
+        for address in rng.integers(0, 1 << 22, size=5000):
+            cache.access(int(address), False)
+        assert cache.resident_lines() <= cache.config.lines
+
+
+class TestWayMasking:
+    def test_masked_ways_not_used(self, cache):
+        mask = [False] * 7 + [True]
+        cache.set_active_ways(mask)
+        for i in range(100):
+            result = cache.access(0x8000 + i * 32, False)
+            assert result.way == 7
+
+    def test_all_masked_rejected(self, cache):
+        with pytest.raises(ValueError):
+            cache.set_active_ways([False] * 8)
+
+    def test_flush_returns_dirty_count(self, cache):
+        cache.access(0x9000, is_write=True)
+        cache.access(0xA000, is_write=False)
+        flushed = cache.flush_ways(list(range(8)))
+        assert flushed == 1
+        assert cache.resident_lines() == 0
+
+
+class TestWorkingSetBehaviour:
+    def test_fitting_working_set_has_high_hit_rate(self, cache):
+        """A 4 KB working set streams through an 8 KB cache cleanly."""
+        for _ in range(4):
+            for offset in range(0, 4096, 32):
+                cache.access(0x10_0000 + offset, False)
+        # After the cold pass, everything hits.
+        assert cache.stats.misses == 128
+        assert cache.stats.hits == 3 * 128
+
+    def test_oversized_working_set_thrashes(self, design_a):
+        baseline, _ = build_cache_pair(design_a)
+        cache = SetAssociativeCache(baseline)
+        for _ in range(2):
+            for offset in range(0, 64 * 1024, 32):
+                cache.access(0x20_0000 + offset, False)
+        assert cache.stats.miss_rate > 0.9
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_direct_mapped_equivalence(seed, design_a):
+    """With all but one way masked, the cache behaves direct-mapped:
+    hit iff the last line mapped to that set matches."""
+    baseline, _ = build_cache_pair(design_a)
+    cache = SetAssociativeCache(baseline)
+    cache.set_active_ways([False] * 7 + [True])
+    rng = np.random.default_rng(seed)
+    shadow: dict[int, int] = {}
+    for address in rng.integers(0, 1 << 16, size=300):
+        address = int(address)
+        index = baseline.index_of(address)
+        tag = baseline.tag_of(address)
+        expected_hit = shadow.get(index) == tag
+        result = cache.access(address, False)
+        assert result.hit == expected_hit
+        shadow[index] = tag

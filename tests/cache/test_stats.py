@@ -1,0 +1,38 @@
+"""Tests for repro.cache.stats."""
+
+from repro.cache.stats import CacheStats
+
+
+class TestCacheStats:
+    def test_defaults(self):
+        stats = CacheStats()
+        assert stats.accesses == 0
+        assert stats.miss_rate == 0.0
+
+    def test_derived_counts(self):
+        stats = CacheStats(
+            reads=10, writes=5, read_hits=8, write_hits=3,
+            read_misses=2, write_misses=2,
+        )
+        assert stats.accesses == 15
+        assert stats.hits == 11
+        assert stats.misses == 4
+        assert stats.miss_rate == 4 / 15
+
+    def test_merge(self):
+        a = CacheStats(reads=5, read_hits=4, read_misses=1, fills=1)
+        a.group_fills["hp"] = 1
+        b = CacheStats(reads=3, read_hits=3, writebacks=2)
+        b.group_fills["hp"] = 0
+        b.group_fills["ule"] = 0
+        a.merge(b)
+        assert a.reads == 8
+        assert a.read_hits == 7
+        assert a.writebacks == 2
+        assert a.group_fills["hp"] == 1
+
+    def test_describe(self):
+        stats = CacheStats(reads=4, read_hits=2, read_misses=2, fills=2)
+        text = stats.describe()
+        assert "4 accesses" in text
+        assert "2 fills" in text

@@ -1,0 +1,113 @@
+"""Tests for repro.cacti.array (one SRAM subarray)."""
+
+import pytest
+
+from repro.cacti.array import SramArray
+from repro.sram.cells import CELL_6T, CELL_8T, CELL_10T, CellDesign
+from repro.tech.operating import ULE_OPERATING_POINT
+
+
+def _array(topo=CELL_6T, size=1.0, rows=32, cols=282) -> SramArray:
+    return SramArray(rows=rows, cols=cols, cell=CellDesign(topo, size))
+
+
+class TestGeometry:
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            SramArray(rows=0, cols=10, cell=CellDesign(CELL_6T))
+
+    def test_area_scales_with_cells(self):
+        assert _array(cols=512).area == pytest.approx(
+            2 * _array(cols=256).area
+        )
+
+    def test_area_includes_periphery_overhead(self):
+        array = _array()
+        cells_only = array.rows * array.cols * array.electricals.area
+        assert array.area > cells_only
+
+
+class TestReadEnergy:
+    def test_positive_and_vdd_monotone(self):
+        array = _array()
+        assert 0 < array.read_energy(0.35) < array.read_energy(1.0)
+
+    def test_column_gating_saves(self):
+        """Gated check columns cost nothing dynamically — how 'SECDED is
+        simply turned off' works at HP mode."""
+        array = _array(cols=312)
+        assert array.read_energy(1.0, active_cols=256) < array.read_energy(
+            1.0, active_cols=312
+        )
+
+    def test_out_bits_add_energy(self):
+        array = _array()
+        assert array.read_energy(1.0, out_bits=39) > array.read_energy(
+            1.0, out_bits=0
+        )
+
+    def test_active_cols_range_checked(self):
+        array = _array(cols=100)
+        with pytest.raises(ValueError):
+            array.read_energy(1.0, active_cols=101)
+
+    def test_upsized_10t_way_costs_more_than_coded_8t_way(self, design_a):
+        """The HP-mode savings mechanism of Fig. 3 at array level."""
+        ten_t = SramArray(rows=32, cols=282, cell=design_a.cell_10t)
+        eight_t = SramArray(rows=32, cols=282, cell=design_a.cell_8t)
+        assert ten_t.read_energy(1.0) > 1.5 * eight_t.read_energy(
+            1.0, active_cols=282
+        )
+
+    def test_nst_read_not_v_squared_cheap(self):
+        """Full-swing NST reads: energy falls slower than V^2 between
+        1 V and 350 mV would naively suggest for the swing part."""
+        array = _array()
+        ratio = array.read_energy(1.0) / array.read_energy(0.35)
+        assert ratio > 1.0
+
+
+class TestWriteEnergy:
+    def test_full_line_costs_more_than_word(self):
+        array = _array(cols=312)
+        assert array.write_energy(1.0, active_cols=39) < array.write_energy(
+            1.0, active_cols=312
+        )
+
+    def test_write_costs_more_than_read_per_column_at_high_vdd(self):
+        """Writes swing full rail; differential reads only ~150 mV."""
+        array = _array()
+        assert array.write_energy(1.0, active_cols=32) > array.read_energy(
+            1.0, active_cols=32
+        )
+
+
+class TestLeakage:
+    def test_scales_with_cells(self):
+        small = _array(cols=128).leakage_power(1.0)
+        large = _array(cols=256).leakage_power(1.0)
+        assert large > 1.5 * small
+
+    def test_cell_type_ordering(self, design_a):
+        """NST-sized 10T arrays leak far more than designed-8T arrays."""
+        ten_t = SramArray(rows=32, cols=256, cell=design_a.cell_10t)
+        eight_t = SramArray(rows=32, cols=256, cell=design_a.cell_8t)
+        assert ten_t.leakage_power(0.35) > 1.5 * eight_t.leakage_power(0.35)
+
+
+class TestTiming:
+    def test_access_fits_cycle_at_both_points(self, design_a):
+        """1 GHz at HP and 5 MHz at ULE are feasible for the arrays."""
+        hp_array = SramArray(rows=32, cols=282, cell=design_a.cell_6t)
+        assert hp_array.access_time(1.0) < 1e-9
+        ule_array = SramArray(rows=32, cols=312, cell=design_a.cell_8t)
+        assert ule_array.access_time(
+            ULE_OPERATING_POINT.vdd
+        ) < ULE_OPERATING_POINT.cycle_time
+
+    def test_nst_much_slower(self):
+        array = _array(CELL_10T, 4.0)
+        assert array.access_time(0.35) > 5 * array.access_time(1.0)
+
+    def test_read_current_positive(self):
+        assert _array(CELL_8T).cell_read_current(0.35) > 0

@@ -1,0 +1,71 @@
+"""Hypothesis property tests on the array energy model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cacti.array import SramArray
+from repro.sram.cells import CELL_6T, CELL_8T, CELL_10T, CellDesign
+
+TOPOLOGIES = {"6T": CELL_6T, "8T": CELL_8T, "10T": CELL_10T}
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    topo=st.sampled_from(sorted(TOPOLOGIES)),
+    size=st.floats(min_value=1.0, max_value=5.0),
+    rows=st.sampled_from([16, 32, 64]),
+    cols=st.sampled_from([64, 282, 312]),
+    vdd=st.floats(min_value=0.3, max_value=1.1),
+)
+def test_energies_positive_and_finite(topo, size, rows, cols, vdd):
+    array = SramArray(
+        rows=rows, cols=cols, cell=CellDesign(TOPOLOGIES[topo], size)
+    )
+    for value in (
+        array.read_energy(vdd),
+        array.write_energy(vdd),
+        array.leakage_power(vdd),
+        array.access_time(vdd),
+        array.area,
+    ):
+        assert value > 0
+        assert value < float("inf")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    size_small=st.floats(min_value=1.0, max_value=3.0),
+    scale=st.floats(min_value=1.1, max_value=2.0),
+    vdd=st.sampled_from([0.35, 1.0]),
+)
+def test_bigger_cells_cost_more(size_small, scale, vdd):
+    """Up-sizing monotonically increases energy, leakage and area —
+    the premise that makes the paper's small-8T replacement a win."""
+    small = SramArray(
+        rows=32, cols=282, cell=CellDesign(CELL_10T, size_small)
+    )
+    large = SramArray(
+        rows=32, cols=282, cell=CellDesign(CELL_10T, size_small * scale)
+    )
+    assert large.read_energy(vdd) > small.read_energy(vdd)
+    assert large.write_energy(vdd) > small.write_energy(vdd)
+    assert large.leakage_power(vdd) > small.leakage_power(vdd)
+    assert large.area > small.area
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    active=st.integers(min_value=0, max_value=312),
+)
+def test_read_energy_monotone_in_active_columns(active):
+    array = SramArray(rows=32, cols=312, cell=CellDesign(CELL_8T, 2.0))
+    partial = array.read_energy(1.0, active_cols=active)
+    full = array.read_energy(1.0, active_cols=312)
+    assert partial <= full + 1e-21
+
+
+@settings(max_examples=20, deadline=None)
+@given(vdd_low=st.floats(0.3, 0.59), vdd_high=st.floats(0.61, 1.1))
+def test_leakage_monotone_in_vdd(vdd_low, vdd_high):
+    array = SramArray(rows=32, cols=128, cell=CellDesign(CELL_6T, 1.2))
+    assert array.leakage_power(vdd_low) < array.leakage_power(vdd_high)

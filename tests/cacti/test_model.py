@@ -1,0 +1,151 @@
+"""Tests for the cache-level energy model (repro.cacti.model)."""
+
+import pytest
+
+from repro.cacti.model import AccessEnergy, CacheEnergyModel
+from repro.core.architect import build_cache_pair
+from repro.tech.operating import (
+    HP_OPERATING_POINT,
+    Mode,
+    ULE_OPERATING_POINT,
+)
+
+
+@pytest.fixture(scope="module")
+def models_a(design_a_module):
+    baseline, proposed = build_cache_pair(design_a_module)
+    return CacheEnergyModel(baseline), CacheEnergyModel(proposed)
+
+
+@pytest.fixture(scope="module")
+def models_b(design_b_module):
+    baseline, proposed = build_cache_pair(design_b_module)
+    return CacheEnergyModel(baseline), CacheEnergyModel(proposed)
+
+
+@pytest.fixture(scope="module")
+def design_a_module():
+    from repro.core.methodology import design_scenario
+    from repro.core.scenarios import Scenario
+
+    return design_scenario(Scenario.A)
+
+
+@pytest.fixture(scope="module")
+def design_b_module():
+    from repro.core.methodology import design_scenario
+    from repro.core.scenarios import Scenario
+
+    return design_scenario(Scenario.B)
+
+
+class TestAccessEnergy:
+    def test_addition_and_scaling(self):
+        a = AccessEnergy(array=1.0, edc=0.5)
+        b = AccessEnergy(array=2.0, edc=0.25)
+        total = a + b
+        assert total.array == 3.0
+        assert total.edc == 0.75
+        assert total.total == 3.75
+        assert a.scaled(2.0).total == 3.0
+
+
+class TestProbeEnergies:
+    def test_proposed_cheaper_at_both_modes(self, models_a):
+        baseline, proposed = models_a
+        for op in (HP_OPERATING_POINT, ULE_OPERATING_POINT):
+            assert proposed.probe_read_energy(op).total < (
+                baseline.probe_read_energy(op).total
+            )
+
+    def test_ule_probe_far_cheaper_than_hp_probe(self, models_a):
+        """Only one way is powered at ULE mode (and Vdd is 0.35)."""
+        baseline, _ = models_a
+        hp = baseline.probe_read_energy(HP_OPERATING_POINT).total
+        ule = baseline.probe_read_energy(ULE_OPERATING_POINT).total
+        assert ule < hp / 5
+
+    def test_write_probe_cheaper_than_read_probe(self, models_a):
+        baseline, _ = models_a
+        op = HP_OPERATING_POINT
+        assert baseline.probe_write_energy(op).total < (
+            baseline.probe_read_energy(op).total
+        )
+
+    def test_scenario_a_no_edc_energy_at_hp(self, models_a):
+        """'At HP mode, SECDED is simply turned off.'"""
+        _, proposed = models_a
+        assert proposed.probe_read_energy(HP_OPERATING_POINT).edc == 0.0
+        extra = proposed.read_hit_extra_energy("ule", HP_OPERATING_POINT)
+        assert extra.edc == 0.0
+
+    def test_scenario_a_edc_active_at_ule(self, models_a):
+        _, proposed = models_a
+        assert proposed.probe_read_energy(ULE_OPERATING_POINT).edc > 0
+        extra = proposed.read_hit_extra_energy("ule", ULE_OPERATING_POINT)
+        assert extra.edc > 0
+
+    def test_scenario_b_edc_energy_in_both_configs_at_hp(self, models_b):
+        baseline, proposed = models_b
+        assert baseline.probe_read_energy(HP_OPERATING_POINT).edc > 0
+        assert proposed.probe_read_energy(HP_OPERATING_POINT).edc > 0
+
+
+class TestOperations:
+    def test_fill_more_expensive_than_word_write(self, models_a):
+        baseline, _ = models_a
+        op = HP_OPERATING_POINT
+        assert baseline.fill_energy("hp", op).total > (
+            baseline.write_hit_energy("hp", op).total
+        )
+
+    def test_writeback_positive(self, models_a):
+        baseline, _ = models_a
+        assert baseline.writeback_energy("ule", HP_OPERATING_POINT).total > 0
+
+
+class TestLeakage:
+    def test_gated_hp_ways_leak_residually_at_ule(self, models_a):
+        """Gated-Vdd: HP ways cost ~3% of their nominal leakage."""
+        baseline, _ = models_a
+        hp_leak = baseline.groups["hp"].leakage_power(ULE_OPERATING_POINT)
+        active_leak = baseline.groups["hp"].leakage_power(
+            HP_OPERATING_POINT
+        )
+        assert hp_leak.array < active_leak.array  # gated and at lower Vdd
+
+    def test_proposed_leaks_less(self, models_a):
+        baseline, proposed = models_a
+        for op in (HP_OPERATING_POINT, ULE_OPERATING_POINT):
+            assert proposed.leakage_power(op).array < (
+                baseline.leakage_power(op).array
+            )
+
+
+class TestAreaAndLatency:
+    def test_proposed_smaller(self, models_a, models_b):
+        for baseline, proposed in (models_a, models_b):
+            assert proposed.area < baseline.area
+
+    def test_area_by_group_sums(self, models_a):
+        baseline, _ = models_a
+        assert sum(baseline.area_by_group().values()) == pytest.approx(
+            baseline.area
+        )
+
+    def test_hit_latency_edc_cycle(self, models_a):
+        """+1 cycle only for the proposed cache at ULE mode."""
+        baseline, proposed = models_a
+        assert baseline.hit_latency_cycles(ULE_OPERATING_POINT) == 1
+        assert proposed.hit_latency_cycles(ULE_OPERATING_POINT) == 2
+        assert proposed.hit_latency_cycles(HP_OPERATING_POINT) == 1
+
+    def test_access_times_fit_cycles(self, models_a):
+        baseline, proposed = models_a
+        for model in (baseline, proposed):
+            assert model.access_time(HP_OPERATING_POINT) < (
+                HP_OPERATING_POINT.cycle_time
+            )
+            assert model.access_time(ULE_OPERATING_POINT) < (
+                ULE_OPERATING_POINT.cycle_time
+            )

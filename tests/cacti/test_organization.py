@@ -1,0 +1,93 @@
+"""Tests for array banking (repro.cacti.organization)."""
+
+import pytest
+
+from repro.cacti.array import SramArray
+from repro.cacti.organization import (
+    PartitionedArray,
+    candidate_partitions,
+    optimal_partition,
+)
+from repro.sram.cells import CELL_6T, CellDesign
+
+
+def _partitioned(rows=256, cols=512, row_splits=1, col_splits=1):
+    return PartitionedArray(
+        rows=rows,
+        cols=cols,
+        cell=CellDesign(CELL_6T),
+        row_splits=row_splits,
+        col_splits=col_splits,
+    )
+
+
+class TestConstruction:
+    def test_uneven_split_rejected(self):
+        with pytest.raises(ValueError):
+            _partitioned(rows=100, row_splits=3)
+
+    def test_bank_count(self):
+        assert _partitioned(row_splits=2, col_splits=4).banks == 8
+
+    def test_unbanked_matches_flat_array(self):
+        banked = _partitioned()
+        flat = SramArray(rows=256, cols=512, cell=CellDesign(CELL_6T))
+        # Same bank geometry; only the H-tree term differs.
+        assert banked.subarray.rows == flat.rows
+        assert banked.subarray.cols == flat.cols
+
+
+class TestEnergyTradeoffs:
+    def test_banking_cuts_dynamic_energy_for_large_arrays(self):
+        """Activating one small bank beats swinging kilobit bitlines."""
+        flat = _partitioned()
+        banked = _partitioned(row_splits=4, col_splits=2)
+        assert banked.read_energy(1.0) < flat.read_energy(1.0)
+
+    def test_banking_never_cuts_leakage(self):
+        flat = _partitioned()
+        banked = _partitioned(row_splits=4, col_splits=2)
+        assert banked.leakage_power(1.0) >= 0.99 * flat.leakage_power(1.0)
+
+    def test_area_overhead_grows_with_banks(self):
+        flat = _partitioned()
+        banked = _partitioned(row_splits=4, col_splits=4)
+        assert banked.area > flat.area
+
+    def test_access_time_improves_with_banking(self):
+        flat = _partitioned(rows=512, cols=512)
+        banked = PartitionedArray(
+            rows=512, cols=512, cell=CellDesign(CELL_6T),
+            row_splits=8, col_splits=2,
+        )
+        assert banked.access_time(1.0) < flat.access_time(1.0)
+
+
+class TestOptimizer:
+    def test_candidates_legal(self):
+        for row_splits, col_splits in candidate_partitions(256, 512):
+            assert 256 % row_splits == 0
+            assert 512 % col_splits == 0
+
+    def test_small_paper_array_stays_unbanked(self, design_a):
+        """The paper's 32-row way arrays do not benefit from banking —
+        the single-subarray modelling choice, verified."""
+        best = optimal_partition(
+            rows=32, cols=312, cell=design_a.cell_8t, vdd=1.0
+        )
+        assert (best.row_splits, best.col_splits) == (1, 1)
+
+    def test_large_array_gets_banked(self):
+        best = optimal_partition(
+            rows=1024, cols=1024, cell=CellDesign(CELL_6T), vdd=1.0
+        )
+        assert best.banks > 1
+
+    def test_optimum_beats_flat(self):
+        flat = _partitioned(rows=1024, cols=1024)
+        best = optimal_partition(
+            rows=1024, cols=1024, cell=CellDesign(CELL_6T), vdd=1.0
+        )
+        cost_flat = flat.read_energy(1.0) * flat.access_time(1.0)
+        cost_best = best.read_energy(1.0) * best.access_time(1.0)
+        assert cost_best <= cost_flat

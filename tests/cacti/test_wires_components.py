@@ -1,0 +1,100 @@
+"""Tests for repro.cacti.wires and repro.cacti.components."""
+
+import pytest
+
+from repro.cacti.components import (
+    DecoderModel,
+    FULL_SWING_BELOW_VDD,
+    gate_leakage,
+    periphery_leakage_power,
+    read_swing,
+    sense_energy,
+)
+from repro.cacti.wires import WireSegment
+from repro.tech.node import ptm32
+
+
+class TestWires:
+    def test_cap_linear_in_length(self):
+        assert WireSegment(2e-4).capacitance == pytest.approx(
+            2 * WireSegment(1e-4).capacitance
+        )
+
+    def test_elmore_quadratic_in_length(self):
+        assert WireSegment(2e-4).elmore_delay == pytest.approx(
+            4 * WireSegment(1e-4).elmore_delay
+        )
+
+    def test_switch_energy_swing(self):
+        wire = WireSegment(1e-4)
+        full = wire.switch_energy(1.0)
+        partial = wire.switch_energy(1.0, swing=0.15)
+        assert partial == pytest.approx(0.15 * full)
+
+    def test_negative_length(self):
+        with pytest.raises(ValueError):
+            WireSegment(-1.0)
+
+
+class TestSwing:
+    def test_full_swing_at_nst(self):
+        """No sense amps at 350 mV: reads are full rail."""
+        assert read_swing(0.35, differential=True) == pytest.approx(0.35)
+        assert read_swing(0.35, differential=False) == pytest.approx(0.35)
+
+    def test_small_swing_at_high_vdd(self):
+        assert read_swing(1.0, differential=True) < 0.2
+        assert read_swing(1.0, differential=False) < 0.35
+
+    def test_single_ended_swings_more(self):
+        assert read_swing(1.0, differential=False) > read_swing(
+            1.0, differential=True
+        )
+
+    def test_threshold_boundary(self):
+        below = read_swing(FULL_SWING_BELOW_VDD - 0.01, True)
+        assert below == pytest.approx(FULL_SWING_BELOW_VDD - 0.01)
+
+
+class TestSenseEnergy:
+    def test_scales_with_bitline_at_high_vdd(self):
+        small = sense_energy(1.0, 2e-15)
+        large = sense_energy(1.0, 10e-15)
+        assert large == pytest.approx(5 * small)
+
+    def test_floor_applies(self):
+        tiny = sense_energy(1.0, 1e-18)
+        assert tiny > 0
+
+    def test_receiver_at_nst_independent_of_bitline(self):
+        assert sense_energy(0.35, 2e-15) == sense_energy(0.35, 10e-15)
+
+
+class TestDecoder:
+    def test_gate_counts_grow_with_rows(self):
+        small = DecoderModel(rows=16)
+        large = DecoderModel(rows=64)
+        assert large.total_gates > small.total_gates
+        assert large.address_bits == 6
+
+    def test_energy_much_smaller_than_typical_access(self):
+        decoder = DecoderModel(rows=32)
+        assert decoder.access_energy(1.0) < 100e-15
+
+    def test_delay_positive_and_voltage_monotone(self):
+        decoder = DecoderModel(rows=32)
+        assert 0 < decoder.delay(1.0) < decoder.delay(0.35)
+
+    def test_bad_rows(self):
+        with pytest.raises(ValueError):
+            DecoderModel(rows=0)
+
+
+class TestLeakageHelpers:
+    def test_gate_leakage_voltage_scaling(self):
+        assert gate_leakage(0.35, ptm32()) < gate_leakage(1.0, ptm32()) / 3
+
+    def test_periphery_scales_with_geometry(self):
+        narrow = periphery_leakage_power(32, 64, 1.0, ptm32())
+        wide = periphery_leakage_power(32, 256, 1.0, ptm32())
+        assert wide > 2 * narrow

@@ -1,0 +1,53 @@
+"""Shared fixtures: designed scenarios, chips and small traces.
+
+Session-scoped because the design methodology and chip construction are
+deterministic and immutable — recomputing them per test would dominate the
+suite's runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.architect import ScenarioChips, build_chips
+from repro.core.methodology import DesignResult, design_scenario
+from repro.core.scenarios import Scenario
+from repro.workloads.mediabench import generate_trace
+
+
+@pytest.fixture(scope="session")
+def design_a() -> DesignResult:
+    return design_scenario(Scenario.A)
+
+
+@pytest.fixture(scope="session")
+def design_b() -> DesignResult:
+    return design_scenario(Scenario.B)
+
+
+@pytest.fixture(scope="session")
+def chips_a(design_a) -> ScenarioChips:
+    return build_chips(design_a)
+
+
+@pytest.fixture(scope="session")
+def chips_b(design_b) -> ScenarioChips:
+    return build_chips(design_b)
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A short SmallBench trace (ULE-suite representative)."""
+    return generate_trace("adpcm_c", length=8_000, seed=42)
+
+
+@pytest.fixture(scope="session")
+def big_trace():
+    """A short BigBench trace (HP-suite representative)."""
+    return generate_trace("g721_c", length=8_000, seed=42)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,92 @@
+"""Tests for chip construction and the EPI evaluation pipeline."""
+
+import pytest
+
+from repro.core.architect import build_cache_pair, build_chips
+from repro.core.evaluation import evaluate_scenario
+from repro.core.scenarios import Scenario
+from repro.tech.operating import Mode
+from repro.workloads.suites import BIGBENCH, SMALLBENCH
+
+
+class TestArchitect:
+    def test_cache_pair_identical_geometry(self, design_a):
+        baseline, proposed = build_cache_pair(design_a)
+        assert baseline.sets == proposed.sets
+        assert baseline.ways == proposed.ways
+        assert baseline.line_bytes == proposed.line_bytes
+
+    def test_only_ule_way_differs(self, design_a):
+        baseline, proposed = build_cache_pair(design_a)
+        assert baseline.group_of_way(0).cell == proposed.group_of_way(0).cell
+        base_ule = baseline.group_of_way(7)
+        prop_ule = proposed.group_of_way(7)
+        assert base_ule.cell.topology.name == "10T"
+        assert prop_ule.cell.topology.name == "8T"
+
+    def test_custom_split(self, design_a):
+        chips = build_chips(design_a, hp_ways=6, ule_ways=2)
+        assert chips.baseline.config.il1.ways == 8
+        assert chips.baseline.config.il1.active_ways(Mode.ULE) == 2
+
+    def test_shared_core_arrays_cell(self, chips_a):
+        base_cell = chips_a.baseline.config.core_arrays.cell
+        prop_cell = chips_a.proposed.config.core_arrays.cell
+        assert base_cell == prop_cell
+        assert base_cell.topology.name == "10T"
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def eval_a_ule(self):
+        return evaluate_scenario(Scenario.A, Mode.ULE, trace_length=15_000)
+
+    def test_uses_paper_suites(self, eval_a_ule):
+        names = {row.benchmark for row in eval_a_ule.rows}
+        assert names == {spec.name for spec in SMALLBENCH}
+        hp_eval = evaluate_scenario(
+            Scenario.A, Mode.HP, trace_length=8_000,
+            benchmarks=BIGBENCH[:2],
+        )
+        assert len(hp_eval.rows) == 2
+
+    def test_proposal_wins_every_benchmark(self, eval_a_ule):
+        for row in eval_a_ule.rows:
+            assert row.epi_ratio < 1.0
+
+    def test_exec_time_never_improves(self, eval_a_ule):
+        """The proposal adds latency; it can never run faster."""
+        for row in eval_a_ule.rows:
+            assert row.exec_time_ratio >= 1.0
+
+    def test_functional_behaviour_identical(self, eval_a_ule):
+        """Baseline and proposed have identical hit/miss behaviour —
+        only energy and latency differ."""
+        for row in eval_a_ule.rows:
+            assert row.baseline.il1_stats.misses == (
+                row.proposed.il1_stats.misses
+            )
+            assert row.baseline.dl1_stats.hits == (
+                row.proposed.dl1_stats.hits
+            )
+
+    def test_breakdown_normalization(self, eval_a_ule):
+        for row in eval_a_ule.rows:
+            baseline = row.baseline_breakdown()
+            assert sum(baseline.values()) == pytest.approx(1.0)
+            proposed = row.normalized_breakdown()
+            assert sum(proposed.values()) == pytest.approx(row.epi_ratio)
+
+    def test_averages(self, eval_a_ule):
+        ratios = [row.epi_ratio for row in eval_a_ule.rows]
+        assert eval_a_ule.average_epi_ratio == pytest.approx(
+            sum(ratios) / len(ratios)
+        )
+        assert eval_a_ule.average_epi_saving == pytest.approx(
+            1 - eval_a_ule.average_epi_ratio
+        )
+
+    def test_render(self, eval_a_ule):
+        text = eval_a_ule.render()
+        assert "average" in text
+        assert "adpcm_c" in text

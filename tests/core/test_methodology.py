@@ -1,0 +1,112 @@
+"""Tests for the Fig. 2 design methodology."""
+
+import pytest
+
+from repro.core.calibration import PF_TARGET
+from repro.core.methodology import (
+    DesignResult,
+    default_ule_geometry,
+    design_scenario,
+)
+from repro.core.scenarios import Scenario
+from repro.sram.failure import CellFailureModel
+from repro.sram.sizing import minimal_size_step
+
+
+class TestGeometry:
+    def test_default_is_one_1kb_way(self):
+        geometry = default_ule_geometry()
+        assert geometry.sets == 32
+        assert geometry.words_per_line == 8
+        assert geometry.data_words == 256
+        assert geometry.tag_words == 32
+
+    def test_organization_budget(self):
+        from repro.edc.protection import ProtectionScheme
+
+        geometry = default_ule_geometry()
+        org = geometry.organization(ProtectionScheme.SECDED, 1)
+        assert org.data_word_bits == 39
+        assert org.tag_word_bits == 33
+        assert org.hard_fault_budget == 1
+
+
+class TestDesignScenarioA:
+    def test_pf_target_is_paper_anchor(self, design_a):
+        assert design_a.pf_target == pytest.approx(1.22e-6, rel=0.005)
+        assert design_a.pf_target == PF_TARGET
+
+    def test_cells_meet_pf_targets(self, design_a):
+        assert design_a.pf_6t_hp <= design_a.pf_target
+        assert design_a.pf_10t_ule <= design_a.pf_target
+
+    def test_sizing_ordering(self, design_a):
+        """s6 small, s8 moderate, s10 large — the paper's premise."""
+        s6 = design_a.cell_6t.size_factor
+        s8 = design_a.cell_8t.size_factor
+        s10 = design_a.cell_10t.size_factor
+        assert 1.0 <= s6 < 1.5
+        assert 1.5 < s8 < 3.0
+        assert 3.0 < s10 < 6.0
+
+    def test_yield_constraint_met(self, design_a):
+        assert design_a.yield_proposed >= design_a.yield_baseline
+
+    def test_yield_minimality(self, design_a):
+        """One size step smaller must violate the yield constraint
+        (Fig. 2 finds the *optimal* cell size)."""
+        geometry = default_ule_geometry()
+        plan = design_a.plan
+        smaller = design_a.cell_8t.size_factor - minimal_size_step()
+        pf_smaller = CellFailureModel(
+            design_a.cell_8t.topology, design_a.cell_8t.node
+        ).pf(0.35, smaller)
+        org = geometry.organization(
+            plan.proposed_ule_way.ule, plan.proposed_ule_hard_budget
+        )
+        assert org.yield_at(pf_smaller) < design_a.yield_baseline
+
+    def test_8t_far_smaller_than_10t(self, design_a):
+        """The headline: the coded 8T cell is much smaller than the
+        fault-free 10T cell."""
+        ratio = design_a.cell_10t.area / design_a.cell_8t.area
+        assert ratio > 2.0
+
+    def test_yields_near_target(self, design_a):
+        assert 0.97 < design_a.yield_baseline < 1.0
+        assert 0.97 < design_a.yield_proposed < 1.0
+
+    def test_summary_renders(self, design_a):
+        text = design_a.summary()
+        assert "Pf target" in text
+        assert "8T sizing iterations" in text
+
+
+class TestDesignScenarioB:
+    def test_same_cells_different_words(self, design_a, design_b):
+        """10T/6T sizing is scenario-independent; the 8T may differ
+        slightly because DECTED words are longer."""
+        assert design_b.cell_10t.size_factor == (
+            design_a.cell_10t.size_factor
+        )
+        assert design_b.cell_6t.size_factor == design_a.cell_6t.size_factor
+        assert abs(
+            design_b.cell_8t.size_factor - design_a.cell_8t.size_factor
+        ) < 0.5
+
+    def test_yield_constraint_met(self, design_b):
+        assert design_b.yield_proposed >= design_b.yield_baseline
+
+    def test_baseline_yield_below_scenario_a(self, design_a, design_b):
+        """SECDED check bits add fault sites to the 10T baseline."""
+        assert design_b.yield_baseline < design_a.yield_baseline
+
+
+class TestCustomTargets:
+    def test_tighter_pf_grows_cells(self):
+        loose = design_scenario(Scenario.A, pf_target=1e-5)
+        tight = design_scenario(Scenario.A, pf_target=1e-7)
+        assert tight.cell_10t.size_factor > loose.cell_10t.size_factor
+
+    def test_result_type(self, design_a):
+        assert isinstance(design_a, DesignResult)

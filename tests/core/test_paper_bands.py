@@ -1,0 +1,74 @@
+"""Reproduction-band tests: the paper's headline numbers.
+
+These run the real Fig. 3 / Fig. 4 pipeline at a reduced trace length and
+assert the *shape* criteria of the reproduction: who wins, by roughly what
+factor, in what order.  The full-length numbers are produced by the
+benchmark harness (see benchmarks/ and EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.core.evaluation import evaluate_scenario
+from repro.core.scenarios import Scenario
+from repro.tech.operating import Mode
+
+TRACE_LENGTH = 30_000
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for scenario in (Scenario.A, Scenario.B):
+        for mode in (Mode.HP, Mode.ULE):
+            out[(scenario, mode)] = evaluate_scenario(
+                scenario, mode, trace_length=TRACE_LENGTH
+            )
+    return out
+
+
+class TestHeadlineBands:
+    def test_hp_savings_band(self, results):
+        """Paper: 14 % (A) / 12 % (B) average savings at HP mode."""
+        for scenario, paper in ((Scenario.A, 14.0), (Scenario.B, 12.0)):
+            measured = 100 * results[(scenario, Mode.HP)].average_epi_saving
+            assert paper - 6 < measured < paper + 6
+
+    def test_ule_savings_band(self, results):
+        """Paper: 42 % (A) / 39 % (B) average savings at ULE mode."""
+        for scenario, paper in ((Scenario.A, 42.0), (Scenario.B, 39.0)):
+            measured = 100 * results[(scenario, Mode.ULE)].average_epi_saving
+            assert paper - 6 < measured < paper + 6
+
+    def test_ule_saves_much_more_than_hp(self, results):
+        """The defining shape of the paper's result."""
+        for scenario in (Scenario.A, Scenario.B):
+            assert (
+                results[(scenario, Mode.ULE)].average_epi_saving
+                > 1.8 * results[(scenario, Mode.HP)].average_epi_saving
+            )
+
+    def test_scenario_ordering(self, results):
+        """A saves at least as much as B in both modes (paper: 14>12,
+        42>39)."""
+        for mode in (Mode.HP, Mode.ULE):
+            assert (
+                results[(Scenario.A, mode)].average_epi_saving
+                >= results[(Scenario.B, mode)].average_epi_saving - 0.005
+            )
+
+    def test_exec_overhead_band(self, results):
+        """Paper: 'around 3 % increase in execution time in all cases'
+        at ULE mode, and none at HP mode."""
+        for scenario in (Scenario.A, Scenario.B):
+            ule_ratio = results[(scenario, Mode.ULE)].average_exec_time_ratio
+            assert 1.005 < ule_ratio < 1.06
+            hp_ratio = results[(scenario, Mode.HP)].average_exec_time_ratio
+            assert hp_ratio == pytest.approx(1.0)
+
+    def test_benchmarks_cluster_around_average(self, results):
+        """Paper: 'All benchmarks show minor differences to the
+        average' (Fig. 3/4 bars are flat)."""
+        for key, evaluation in results.items():
+            ratios = [row.epi_ratio for row in evaluation.rows]
+            spread = max(ratios) - min(ratios)
+            assert spread < 0.08, key

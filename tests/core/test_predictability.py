@@ -1,0 +1,110 @@
+"""Tests for the WCET/predictability module."""
+
+import pytest
+
+from repro.core.architect import build_cache_pair
+from repro.core.predictability import (
+    disable_statistics,
+    line_disable_probability,
+    wcet_all_miss,
+    wcet_guaranteed_capacity,
+)
+from repro.cpu.trace import TraceSummary
+from repro.sram.cells import CELL_8T, CellDesign
+from repro.sram.failure import analytic_pf
+
+
+def _summary() -> TraceSummary:
+    return TraceSummary(
+        instructions=10_000,
+        loads=2_200,
+        stores=900,
+        branches=1_200,
+        dep_next_loads=330,
+        redirects=120,
+    )
+
+
+class TestLineDisableProbability:
+    def test_zero_pf(self):
+        assert line_disable_probability(0.0, 8, 32, 26) == 0.0
+
+    def test_budget_helps(self):
+        pf = 5e-3
+        without = line_disable_probability(pf, 8, 39, 33, 0)
+        with_budget = line_disable_probability(pf, 8, 39, 33, 1)
+        assert with_budget < without / 5
+
+    def test_minsize_8t_mostly_disabled(self):
+        """The quantitative core of the paper's Section II argument."""
+        pf = analytic_pf(CellDesign(CELL_8T, 1.0), 0.35)
+        p = line_disable_probability(pf, 8, 32, 26)
+        assert p > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_disable_probability(0.1, 0, 32, 26)
+
+
+class TestDisableStatistics:
+    def test_geometry(self, design_a):
+        _, proposed = build_cache_pair(design_a)
+        stats = disable_statistics(proposed, 1e-3, active_ways=1)
+        assert stats.lines == proposed.sets
+        assert stats.expected_disabled_lines == pytest.approx(
+            stats.lines * stats.p_line_disabled
+        )
+
+    def test_dead_set_probability_monotone_in_ways(self, design_a):
+        _, proposed = build_cache_pair(design_a)
+        one_way = disable_statistics(proposed, 5e-3, active_ways=1)
+        two_ways = disable_statistics(proposed, 5e-3, active_ways=2)
+        assert two_ways.p_some_set_fully_disabled < (
+            one_way.p_some_set_fully_disabled
+        )
+
+    def test_bad_ways(self, design_a):
+        _, proposed = build_cache_pair(design_a)
+        with pytest.raises(ValueError):
+            disable_statistics(proposed, 1e-3, active_ways=9)
+
+
+class TestWcetBounds:
+    def test_all_miss_dominates(self):
+        summary = _summary()
+        all_miss = wcet_all_miss(summary, 1, 1)
+        guaranteed = wcet_guaranteed_capacity(
+            summary, il1_misses=50, dl1_misses=80,
+            il1_hit_latency=2, dl1_hit_latency=2,
+        )
+        assert all_miss.cycles > 5 * guaranteed.cycles
+
+    def test_all_miss_formula(self):
+        summary = _summary()
+        result = wcet_all_miss(summary, 1, 1)
+        expected_miss_stall = 20 * (
+            summary.instructions + summary.memory_ops
+        )
+        assert result.il1_miss_cycles + result.dl1_miss_cycles == (
+            expected_miss_stall
+        )
+
+    def test_guaranteed_bound_uses_real_misses(self):
+        summary = _summary()
+        result = wcet_guaranteed_capacity(
+            summary, il1_misses=10, dl1_misses=20,
+            il1_hit_latency=2, dl1_hit_latency=2,
+        )
+        assert result.il1_miss_cycles == 200
+        assert result.dl1_miss_cycles == 400
+
+
+class TestExperimentDriver:
+    def test_wcet_experiment(self):
+        from repro.experiments import run_experiment
+
+        result = run_experiment("tab-wcet", trace_length=8_000)
+        assert result.data["mean_blowup"] > 3.0
+        for name, entry in result.data.items():
+            if isinstance(entry, dict):
+                assert entry["wcet_disable"] > entry["wcet_edc"]

@@ -1,0 +1,50 @@
+"""Tests for the scenario plans (paper Section III-B)."""
+
+from repro.core.scenarios import Scenario, plan_for
+from repro.edc.protection import ProtectionScheme
+
+
+class TestScenarioA:
+    def test_baseline_uncoded(self):
+        plan = plan_for(Scenario.A)
+        assert plan.baseline_hp_ways.hp is ProtectionScheme.NONE
+        assert plan.baseline_ule_way.ule is ProtectionScheme.NONE
+
+    def test_proposed_secded_at_ule_only(self):
+        """'by adding SECDED whenever no coding is in place ... At HP
+        mode, SECDED is simply turned off'."""
+        plan = plan_for(Scenario.A)
+        assert plan.proposed_ule_way.ule is ProtectionScheme.SECDED
+        assert plan.proposed_ule_way.hp is ProtectionScheme.NONE
+        assert plan.proposed_hp_ways.hp is ProtectionScheme.NONE
+
+    def test_hard_budget(self):
+        assert plan_for(Scenario.A).proposed_ule_hard_budget == 1
+
+
+class TestScenarioB:
+    def test_baseline_secded_everywhere(self):
+        plan = plan_for(Scenario.B)
+        assert plan.baseline_hp_ways.hp is ProtectionScheme.SECDED
+        assert plan.baseline_ule_way.hp is ProtectionScheme.SECDED
+        assert plan.baseline_ule_way.ule is ProtectionScheme.SECDED
+
+    def test_proposed_dected_at_ule(self):
+        """'by replacing SECDED (only for ULE ways) by DECTED' with
+        SECDED retained at HP mode."""
+        plan = plan_for(Scenario.B)
+        assert plan.proposed_ule_way.ule is ProtectionScheme.DECTED
+        assert plan.proposed_ule_way.hp is ProtectionScheme.SECDED
+        assert plan.proposed_hp_ways.hp is ProtectionScheme.SECDED
+
+    def test_hard_budget_reserves_soft_correction(self):
+        """DECTED's second correction is reserved for soft errors, so
+        the hard budget stays 1 (the paper's Eq. 1 upper limit)."""
+        assert plan_for(Scenario.B).proposed_ule_hard_budget == 1
+
+    def test_mapping_conversion(self):
+        from repro.tech.operating import Mode
+
+        mapping = plan_for(Scenario.B).proposed_ule_way.as_mapping()
+        assert mapping[Mode.HP] is ProtectionScheme.SECDED
+        assert mapping[Mode.ULE] is ProtectionScheme.DECTED

@@ -1,0 +1,88 @@
+"""Tests for the mode-transition cost model."""
+
+import pytest
+
+from repro.core.transitions import ModeTransitionModel, TransitionCost
+
+
+@pytest.fixture()
+def model_a(chips_a) -> ModeTransitionModel:
+    return ModeTransitionModel(chips_a.proposed.il1_model)
+
+
+@pytest.fixture()
+def model_baseline(chips_a) -> ModeTransitionModel:
+    return ModeTransitionModel(chips_a.baseline.il1_model)
+
+
+class TestHpToUle:
+    def test_components_positive(self, model_a):
+        cost = model_a.hp_to_ule(
+            dirty_hp_lines=50, valid_ule_lines=32, reencode_needed=True
+        )
+        assert cost.flush_energy > 0
+        assert cost.reencode_energy > 0
+        assert cost.gating_energy > 0
+        assert cost.total_energy == pytest.approx(
+            cost.flush_energy + cost.reencode_energy + cost.gating_energy
+        )
+        assert cost.cycles > 50
+
+    def test_scales_with_dirty_lines(self, model_a):
+        few = model_a.hp_to_ule(10, 0, False)
+        many = model_a.hp_to_ule(100, 0, False)
+        assert many.flush_energy == pytest.approx(
+            10 * few.flush_energy
+        )
+
+    def test_no_reencode_for_format_stable_configs(self, model_a):
+        cost = model_a.hp_to_ule(
+            dirty_hp_lines=10, valid_ule_lines=32, reencode_needed=False
+        )
+        assert cost.reencode_energy == 0.0
+
+    def test_baseline_never_reencodes(self, model_baseline):
+        cost = model_baseline.hp_to_ule(
+            dirty_hp_lines=10, valid_ule_lines=32, reencode_needed=False
+        )
+        assert cost.reencode_energy == 0.0
+
+    def test_validation(self, model_a):
+        with pytest.raises(ValueError):
+            model_a.hp_to_ule(-1, 0, False)
+
+
+class TestUleToHp:
+    def test_only_gating(self, model_a):
+        cost = model_a.ule_to_hp()
+        assert cost.flush_energy == 0.0
+        assert cost.reencode_energy == 0.0
+        assert cost.gating_energy > 0
+        assert cost.direction == "ULE->HP"
+
+
+class TestAmortization:
+    def test_negligible_against_phase(self, model_a, chips_a, small_trace):
+        from repro.tech.operating import Mode
+
+        phase = chips_a.proposed.run(small_trace, Mode.ULE)
+        cost = model_a.hp_to_ule(56, 32, True)
+        fraction = model_a.amortized_fraction(cost, phase.energy.total)
+        assert fraction < 0.05  # the paper's 'negligible' claim
+
+    def test_validation(self, model_a):
+        cost = TransitionCost("x", 0, 0.0, 0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            model_a.amortized_fraction(cost, 0.0)
+
+
+class TestExperimentDriver:
+    def test_modeswitch_experiment(self):
+        from repro.experiments import run_experiment
+
+        result = run_experiment("tab-modeswitch", trace_length=6_000)
+        for scenario in ("A", "B"):
+            assert result.data[scenario]["overhead"] < 0.05
+        assert result.data["A"]["switch_energy"] > (
+            result.data["B"]["switch_energy"]
+        )

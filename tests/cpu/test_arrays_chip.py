@@ -1,0 +1,99 @@
+"""Tests for the core arrays and the full chip model."""
+
+import pytest
+
+from repro.cpu.arrays import CoreArrays
+from repro.tech.operating import (
+    HP_OPERATING_POINT,
+    Mode,
+    ULE_OPERATING_POINT,
+)
+
+
+class TestCoreArrays:
+    def test_dynamic_energy_scales_with_activity(self, design_a):
+        arrays = CoreArrays(cell=design_a.cell_10t)
+        low = arrays.dynamic_energy(
+            HP_OPERATING_POINT, instructions=1000, memory_ops=300
+        )
+        high = arrays.dynamic_energy(
+            HP_OPERATING_POINT, instructions=2000, memory_ops=600
+        )
+        assert high == pytest.approx(2 * low)
+
+    def test_leakage_positive(self, design_a):
+        arrays = CoreArrays(cell=design_a.cell_10t)
+        assert arrays.leakage_power(ULE_OPERATING_POINT) > 0
+
+    def test_counts_validated(self, design_a):
+        arrays = CoreArrays(cell=design_a.cell_10t)
+        with pytest.raises(ValueError):
+            arrays.dynamic_energy(HP_OPERATING_POINT, -1, 0)
+
+    def test_arrays_work_at_both_voltages(self, design_a):
+        """10T arrays must be functional at 350 mV — the reason the
+        paper picks them for all non-L1 structures."""
+        assert design_a.cell_10t.topology.vmin_functional < 0.35
+
+
+class TestChipRun:
+    def test_energy_breakdown_sums_to_epi(self, chips_a, small_trace):
+        result = chips_a.baseline.run(small_trace, Mode.ULE)
+        categories = result.energy.categories()
+        assert sum(categories.values()) == pytest.approx(
+            result.energy.total
+        )
+        assert result.epi == pytest.approx(
+            result.energy.total / len(small_trace)
+        )
+
+    def test_deterministic(self, chips_a, small_trace):
+        first = chips_a.baseline.run(small_trace, Mode.ULE)
+        second = chips_a.baseline.run(small_trace, Mode.ULE)
+        assert first.epi == second.epi
+        assert first.timing.cycles == second.timing.cycles
+
+    def test_mode_mismatch_rejected(self, chips_a, small_trace):
+        with pytest.raises(ValueError):
+            chips_a.baseline.run(
+                small_trace, Mode.ULE, operating_point=HP_OPERATING_POINT
+            )
+
+    def test_hp_runs_all_ways(self, chips_a, big_trace):
+        result = chips_a.baseline.run(big_trace, Mode.HP)
+        hp_fills = result.il1_stats.group_fills.get("hp", 0)
+        assert hp_fills > 0  # HP ways in use
+
+    def test_ule_runs_single_way(self, chips_a, small_trace):
+        result = chips_a.baseline.run(small_trace, Mode.ULE)
+        assert result.il1_stats.group_fills.get("hp", 0) == 0
+        assert result.il1_stats.group_fills.get("ule", 0) > 0
+
+    def test_epi_orders_of_magnitude(self, chips_a, big_trace):
+        """HP-mode EPI of a simple 32 nm core: a few pJ/instruction."""
+        result = chips_a.baseline.run(big_trace, Mode.HP)
+        assert 1e-12 < result.epi < 100e-12
+
+    def test_ule_epi_below_hp_epi(self, chips_a, small_trace, big_trace):
+        """The whole point of ULE mode: far less energy per instruction."""
+        hp = chips_a.baseline.run(big_trace, Mode.HP)
+        ule = chips_a.baseline.run(small_trace, Mode.ULE)
+        assert ule.epi < hp.epi
+
+    def test_execution_seconds(self, chips_a, small_trace):
+        result = chips_a.baseline.run(small_trace, Mode.ULE)
+        assert result.execution_seconds == pytest.approx(
+            result.timing.cycles * 200e-9
+        )
+
+    def test_caches_dominate_chip_energy(self, chips_a, big_trace):
+        """Paper §I: 'caches become the main energy consumer on the
+        chip' — the calibration anchor for CORE_LOGIC_CAP."""
+        result = chips_a.baseline.run(big_trace, Mode.HP)
+        categories = result.energy.categories()
+        cache_energy = (
+            categories["il1 dynamic"]
+            + categories["dl1 dynamic"]
+            + categories["l1 leakage"]
+        )
+        assert cache_energy > 0.55 * result.energy.total

@@ -1,0 +1,60 @@
+"""Tests for the energy ledger."""
+
+import pytest
+
+from repro.cpu.power import EnergyLedger
+
+
+class TestLedger:
+    def test_accumulation(self):
+        ledger = EnergyLedger()
+        ledger.add("il1.dynamic", 1.0)
+        ledger.add("il1.dynamic", 2.0)
+        assert ledger.get("il1.dynamic") == 3.0
+        assert ledger.total == 3.0
+
+    def test_negative_rejected(self):
+        ledger = EnergyLedger()
+        with pytest.raises(ValueError):
+            ledger.add("x", -1.0)
+
+    def test_group_prefix(self):
+        ledger = EnergyLedger()
+        ledger.add("core.logic", 1.0)
+        ledger.add("core.arrays.dynamic", 2.0)
+        ledger.add("corex", 100.0)
+        assert ledger.group("core") == 3.0
+
+    def test_merged_and_scaled(self):
+        a = EnergyLedger()
+        a.add("x", 1.0)
+        b = EnergyLedger()
+        b.add("x", 2.0)
+        b.add("y", 3.0)
+        merged = a.merged(b)
+        assert merged.get("x") == 3.0
+        assert merged.total == 6.0
+        assert a.total == 1.0  # originals untouched
+        assert merged.scaled(0.5).total == 3.0
+
+    def test_categories_partition_total(self):
+        ledger = EnergyLedger()
+        ledger.add("il1.dynamic", 1.0)
+        ledger.add("il1.edc", 0.5)
+        ledger.add("il1.leakage", 0.25)
+        ledger.add("dl1.dynamic", 2.0)
+        ledger.add("dl1.leakage", 0.25)
+        ledger.add("dl1.edc.leakage", 0.125)
+        ledger.add("core.logic", 4.0)
+        categories = ledger.categories()
+        assert sum(categories.values()) == pytest.approx(ledger.total)
+        assert categories["il1 dynamic"] == 1.0
+        assert categories["edc"] == pytest.approx(0.625)
+        assert categories["l1 leakage"] == pytest.approx(0.5)
+        assert categories["core"] == pytest.approx(4.0)
+
+    def test_components_sorted(self):
+        ledger = EnergyLedger()
+        ledger.add("b", 1.0)
+        ledger.add("a", 1.0)
+        assert ledger.components() == ["a", "b"]

@@ -1,0 +1,82 @@
+"""Tests for the in-order timing model."""
+
+import pytest
+
+from repro.cpu.timing import TimingParams, compute_timing
+from repro.cpu.trace import TraceSummary
+
+
+def _summary(**overrides) -> TraceSummary:
+    defaults = dict(
+        instructions=1000,
+        loads=220,
+        stores=90,
+        branches=120,
+        dep_next_loads=30,
+        redirects=12,
+    )
+    defaults.update(overrides)
+    return TraceSummary(**defaults)
+
+
+class TestComputeTiming:
+    def test_ideal_pipeline(self):
+        result = compute_timing(
+            _summary(dep_next_loads=0, redirects=0),
+            il1_misses=0,
+            dl1_misses=0,
+            il1_hit_latency=1,
+            dl1_hit_latency=1,
+        )
+        assert result.cycles == 1000
+        assert result.cpi == 1.0
+
+    def test_miss_stalls(self):
+        result = compute_timing(
+            _summary(dep_next_loads=0, redirects=0),
+            il1_misses=10,
+            dl1_misses=5,
+            il1_hit_latency=1,
+            dl1_hit_latency=1,
+            params=TimingParams(memory_latency_cycles=20),
+        )
+        assert result.cycles == 1000 + 15 * 20
+        assert result.il1_miss_cycles == 200
+        assert result.dl1_miss_cycles == 100
+
+    def test_edc_cycle_costs_load_use_and_redirects(self):
+        """The +1 EDC hit latency surfaces only via dependent loads and
+        fetch redirects — the paper's 'negligible' overhead mechanism."""
+        base = compute_timing(
+            _summary(), 0, 0, il1_hit_latency=1, dl1_hit_latency=1
+        )
+        with_edc = compute_timing(
+            _summary(), 0, 0, il1_hit_latency=2, dl1_hit_latency=2
+        )
+        delta = with_edc.cycles - base.cycles
+        assert delta == 30 + 12  # dep_next_loads + redirects
+
+    def test_overhead_in_paper_band(self):
+        """With SmallBench-like fractions the EDC overhead is ~2-4 %."""
+        summary = _summary(
+            instructions=100_000,
+            loads=22_000,
+            stores=9_000,
+            branches=12_000,
+            dep_next_loads=3_300,
+            redirects=1_200,
+        )
+        base = compute_timing(summary, 50, 50, 1, 1)
+        edc = compute_timing(summary, 50, 50, 2, 2)
+        overhead = edc.cycles / base.cycles - 1
+        assert 0.01 < overhead < 0.06
+
+    def test_execution_time(self):
+        result = compute_timing(_summary(), 0, 0, 1, 1)
+        assert result.execution_time(5e6) == pytest.approx(
+            result.cycles / 5e6
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compute_timing(_summary(), 0, 0, 0, 1)

@@ -1,0 +1,75 @@
+"""Tests for repro.cpu.trace."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.trace import InstrKind, Trace
+
+
+def _trace(n=100) -> Trace:
+    rng = np.random.default_rng(0)
+    kind = rng.choice(4, size=n, p=[0.5, 0.25, 0.1, 0.15]).astype(np.uint8)
+    addr = np.where(
+        (kind == InstrKind.LOAD) | (kind == InstrKind.STORE),
+        rng.integers(0, 1 << 16, n),
+        0,
+    ).astype(np.uint64)
+    return Trace(
+        name="t",
+        pc=(0x400000 + 4 * np.arange(n)).astype(np.uint64),
+        kind=kind,
+        addr=addr,
+        dep_next=(kind == InstrKind.LOAD) & (rng.random(n) < 0.3),
+        redirect=(kind == InstrKind.BRANCH) & (rng.random(n) < 0.2),
+    )
+
+
+class TestTrace:
+    def test_length(self):
+        assert len(_trace(50)) == 50
+
+    def test_summary_counts(self):
+        trace = _trace(500)
+        summary = trace.summary
+        assert summary.instructions == 500
+        assert summary.loads == int(
+            np.count_nonzero(trace.kind == InstrKind.LOAD)
+        )
+        assert summary.memory_ops == summary.loads + summary.stores
+        assert summary.dep_next_loads <= summary.loads
+        assert summary.redirects <= summary.branches
+
+    def test_memory_stream_order(self):
+        trace = _trace(200)
+        addresses, is_write = trace.memory_stream()
+        assert len(addresses) == trace.summary.memory_ops
+        assert is_write.sum() == trace.summary.stores
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(
+                name="bad",
+                pc=np.zeros(4, dtype=np.uint64),
+                kind=np.zeros(3, dtype=np.uint8),
+                addr=np.zeros(4, dtype=np.uint64),
+                dep_next=np.zeros(4, dtype=bool),
+                redirect=np.zeros(4, dtype=bool),
+            )
+
+    def test_empty_rejected(self):
+        empty = np.array([], dtype=np.uint64)
+        with pytest.raises(ValueError):
+            Trace(
+                name="empty",
+                pc=empty,
+                kind=empty.astype(np.uint8),
+                addr=empty,
+                dep_next=empty.astype(bool),
+                redirect=empty.astype(bool),
+            )
+
+    def test_footprints(self):
+        trace = _trace(400)
+        assert trace.code_footprint_bytes() > 0
+        assert trace.working_set_bytes() > 0
+        assert trace.code_footprint_bytes() % 32 == 0

@@ -1,0 +1,152 @@
+"""Tests for the BCH machinery (generic t, used at t=2 by DECTED)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.edc.base import DecodeStatus
+from repro.edc.bch import BchCode, _gf2_poly_mod, _gf2_poly_mul
+
+CODE_T2 = BchCode(32, t=2)   # the DECTED inner code
+
+
+class TestPolyHelpers:
+    def test_mul_known(self):
+        # (x+1)(x+1) = x^2+1 over GF(2)
+        assert _gf2_poly_mul(0b11, 0b11) == 0b101
+
+    def test_mod_exact_division(self):
+        product = _gf2_poly_mul(0b1011, 0b110111)
+        assert _gf2_poly_mod(product, 0b1011) == 0
+
+    def test_mod_degree_bound(self):
+        modulus = 0b1000011
+        remainder = _gf2_poly_mod((1 << 20) | 0b1101, modulus)
+        assert remainder.bit_length() <= modulus.bit_length() - 1
+
+
+class TestConstruction:
+    def test_paper_geometry(self):
+        """BCH(t=2) over GF(2^6): 12 check bits for 32 data bits."""
+        assert CODE_T2.check_bits == 12
+        assert CODE_T2.n == 44
+        assert CODE_T2.field.m == 6
+
+    def test_generator_divides_x_order_minus_1(self):
+        order = CODE_T2.natural_length
+        x_n_1 = (1 << order) | 1
+        assert _gf2_poly_mod(x_n_1, CODE_T2.generator) == 0
+
+    def test_t3_code(self):
+        code = BchCode(32, t=3, m=6)
+        assert code.check_bits == 18
+
+    def test_too_much_data_rejected(self):
+        with pytest.raises(ValueError):
+            BchCode(60, t=2, m=6)
+
+    def test_bad_t(self):
+        with pytest.raises(ValueError):
+            BchCode(32, t=0)
+
+
+class TestCodec:
+    def test_roundtrip(self, rng):
+        for _ in range(50):
+            data = int(rng.integers(0, 1 << 32))
+            result = CODE_T2.decode(CODE_T2.encode(data))
+            assert result.status is DecodeStatus.CLEAN
+            assert result.data == data
+
+    def test_every_codeword_is_codeword(self, rng):
+        for _ in range(20):
+            data = int(rng.integers(0, 1 << 32))
+            assert CODE_T2.is_codeword(CODE_T2.encode(data))
+
+    def test_all_single_errors(self, rng):
+        data = int(rng.integers(0, 1 << 32))
+        codeword = CODE_T2.encode(data)
+        for position in range(CODE_T2.n):
+            result = CODE_T2.decode(codeword ^ (1 << position))
+            assert result.status is DecodeStatus.CORRECTED
+            assert result.data == data
+
+    def test_all_double_errors_exhaustive(self, rng):
+        """Exhaustive over all C(44,2) = 946 double errors."""
+        data = int(rng.integers(0, 1 << 32))
+        codeword = CODE_T2.encode(data)
+        for a, b in itertools.combinations(range(CODE_T2.n), 2):
+            result = CODE_T2.decode(codeword ^ (1 << a) ^ (1 << b))
+            assert result.status is DecodeStatus.CORRECTED
+            assert result.data == data
+            assert result.corrected_positions == (a, b)
+
+    def test_triple_errors_never_miscorrect_silently_to_wrong_count(
+        self, rng
+    ):
+        """With d_min = 5, 3 errors are either detected or miscorrected
+        to a *different* codeword (never claimed CLEAN)."""
+        data = int(rng.integers(0, 1 << 32))
+        codeword = CODE_T2.encode(data)
+        for _ in range(300):
+            picks = rng.choice(CODE_T2.n, size=3, replace=False)
+            corrupted = codeword
+            for p in picks:
+                corrupted ^= 1 << int(p)
+            result = CODE_T2.decode(corrupted)
+            assert result.status is not DecodeStatus.CLEAN
+
+    def test_t3_corrects_triples(self, rng):
+        code = BchCode(24, t=3, m=6)
+        data = int(rng.integers(0, 1 << 24))
+        codeword = code.encode(data)
+        for _ in range(100):
+            picks = rng.choice(code.n, size=3, replace=False)
+            corrupted = codeword
+            for p in picks:
+                corrupted ^= 1 << int(p)
+            result = code.decode(corrupted)
+            assert result.status is DecodeStatus.CORRECTED
+            assert result.data == data
+
+
+class TestSyndromes:
+    def test_zero_for_codewords(self, rng):
+        data = int(rng.integers(0, 1 << 32))
+        assert all(
+            s == 0 for s in CODE_T2.syndromes(CODE_T2.encode(data))
+        )
+
+    def test_single_error_power_sums(self, rng):
+        """S_j of a single error at position p equals alpha^(j p)."""
+        data = int(rng.integers(0, 1 << 32))
+        position = 17
+        received = CODE_T2.encode(data) ^ (1 << position)
+        syndromes = CODE_T2.syndromes(received)
+        field = CODE_T2.field
+        for j, syndrome in enumerate(syndromes, start=1):
+            assert syndrome == field.alpha_pow(j * position)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    errors=st.sets(
+        st.integers(min_value=0, max_value=CODE_T2.n - 1),
+        min_size=0,
+        max_size=2,
+    ),
+)
+def test_within_capacity_always_recovered(data, errors):
+    """Hypothesis: any <= 2 errors on any codeword are corrected."""
+    corrupted = CODE_T2.encode(data)
+    for position in errors:
+        corrupted ^= 1 << position
+    result = CODE_T2.decode(corrupted)
+    assert result.data == data
+    expected = (
+        DecodeStatus.CLEAN if not errors else DecodeStatus.CORRECTED
+    )
+    assert result.status is expected

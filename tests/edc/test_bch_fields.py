@@ -1,0 +1,71 @@
+"""BCH machinery across different field degrees and capacities.
+
+The scenarios only need GF(2^6)/t=2, but the substrate is generic; these
+tests pin that down (and guard the generator construction against field
+regressions).
+"""
+
+import numpy as np
+import pytest
+
+from repro.edc.base import DecodeStatus
+from repro.edc.bch import BchCode
+from repro.edc.gf2m import GF2m
+
+
+@pytest.mark.parametrize("m", [4, 5, 6, 7, 8])
+def test_field_construction(m):
+    field = GF2m(m)
+    assert field.order == (1 << m) - 1
+    # Spot-check the group structure.
+    a = field.alpha_pow(1)
+    assert field.pow(a, field.order) == 1
+
+
+@pytest.mark.parametrize(
+    "data_bits,t,m",
+    [
+        (11, 1, 4),   # Hamming-like (15,11) BCH
+        (16, 2, 5),   # shortened (31,21)
+        (32, 2, 6),   # the paper's inner code
+        (45, 3, 7),   # deep-shortened triple-corrector
+    ],
+)
+def test_bch_capacity_contract(data_bits, t, m):
+    """Any <= t errors are corrected on several random codewords."""
+    code = BchCode(data_bits, t=t, m=m)
+    rng = np.random.default_rng(m * 100 + t)
+    for _ in range(10):
+        data = int(rng.integers(0, 1 << data_bits))
+        codeword = code.encode(data)
+        assert code.decode(codeword).status is DecodeStatus.CLEAN
+        for errors in range(1, t + 1):
+            picks = rng.choice(code.n, size=errors, replace=False)
+            corrupted = codeword
+            for position in picks:
+                corrupted ^= 1 << int(position)
+            result = code.decode(corrupted)
+            assert result.status is DecodeStatus.CORRECTED
+            assert result.data == data
+
+
+def test_check_bits_scale_with_t():
+    r_values = [
+        BchCode(20, t=t, m=6).check_bits for t in (1, 2, 3)
+    ]
+    assert r_values == sorted(r_values)
+    assert r_values[0] == 6       # one minimal polynomial
+    assert r_values[1] == 12      # two
+
+
+def test_shortening_preserves_guarantees(rng):
+    """A heavily shortened code keeps its correction capability."""
+    code = BchCode(8, t=2, m=6)   # shortened from 63 to 20 bits
+    data = int(rng.integers(0, 1 << 8))
+    codeword = code.encode(data)
+    import itertools
+
+    for a, b in itertools.combinations(range(code.n), 2):
+        result = code.decode(codeword ^ (1 << a) ^ (1 << b))
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data

@@ -1,0 +1,77 @@
+"""Tests for the gate-level codec cost model (HSPICE substitute)."""
+
+import pytest
+
+from repro.edc.bch import BchCode
+from repro.edc.circuits import CodecCircuit, circuit_for_code
+from repro.edc.dected import DectedCode
+from repro.edc.hsiao import HsiaoSecDed
+from repro.edc.parity import ParityCode
+from repro.tech.operating import HP_OPERATING_POINT, ULE_OPERATING_POINT
+
+
+class TestCircuitConstruction:
+    def test_all_codecs_have_models(self):
+        for code in (
+            HsiaoSecDed(32, check_bits=7),
+            DectedCode(32),
+            BchCode(32, t=2),
+            ParityCode(32),
+        ):
+            circuit = circuit_for_code(code)
+            assert circuit.encoder_gates > 0
+            assert circuit.decoder_gates > 0
+            assert circuit.decoder_depth >= circuit.encoder_depth
+
+    def test_unknown_code_rejected(self):
+        class FakeCode:
+            pass
+
+        with pytest.raises(TypeError):
+            circuit_for_code(FakeCode())  # type: ignore[arg-type]
+
+    def test_dected_much_bigger_than_secded(self):
+        """Real DECTED decoders (Chien search) dwarf SECDED — the
+        mechanism behind scenario B's smaller savings."""
+        secded = circuit_for_code(HsiaoSecDed(32, check_bits=7))
+        dected = circuit_for_code(DectedCode(32))
+        assert dected.decoder_gates > 4 * secded.decoder_gates
+
+
+class TestEnergyAndDelay:
+    def test_energy_scales_with_vdd_squared(self):
+        circuit = circuit_for_code(HsiaoSecDed(32, check_bits=7))
+        ratio = circuit.decode_energy(1.0) / circuit.decode_energy(0.5)
+        assert ratio == pytest.approx(4.0)
+
+    def test_decode_fits_ule_cycle(self):
+        """The +1-cycle architecture choice is feasible: even the DECTED
+        decoder settles well inside one 200 ns ULE cycle."""
+        circuit = circuit_for_code(DectedCode(32))
+        assert circuit.decode_delay(ULE_OPERATING_POINT.vdd) < (
+            ULE_OPERATING_POINT.cycle_time / 4
+        )
+
+    def test_codec_energy_small_vs_array(self, design_a):
+        """EDC energy must be a fraction of an array access, or the
+        paper's savings could not survive the codec overhead."""
+        from repro.cacti.array import SramArray
+
+        array = SramArray(rows=32, cols=312, cell=design_a.cell_8t)
+        access = array.read_energy(0.35)
+        decode = circuit_for_code(HsiaoSecDed(32, check_bits=7)).decode_energy(
+            0.35
+        )
+        assert decode < access / 5
+
+    def test_leakage_positive_and_voltage_monotone(self):
+        circuit = circuit_for_code(DectedCode(32))
+        low = circuit.leakage_power(ULE_OPERATING_POINT.vdd)
+        high = circuit.leakage_power(HP_OPERATING_POINT.vdd)
+        assert 0 < low < high
+
+    def test_total_gates(self):
+        circuit = circuit_for_code(ParityCode(8))
+        assert circuit.total_gates == (
+            circuit.encoder_gates + circuit.decoder_gates
+        )

@@ -1,0 +1,132 @@
+"""Tests for the DECTED code — the paper's scenario-B workhorse."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.edc.base import DecodeStatus
+from repro.edc.dected import DectedCode
+
+CODE = DectedCode(32)      # (45, 32): 13 check bits, the paper's anchor
+TAG_CODE = DectedCode(26)  # (39, 26)
+
+
+class TestGeometry:
+    def test_paper_check_bits(self):
+        assert CODE.check_bits == 13
+        assert TAG_CODE.check_bits == 13
+
+    def test_parity_position_is_msb(self):
+        assert CODE.parity_position == CODE.n - 1
+
+    def test_codeword_has_even_parity(self, rng):
+        from repro.util.bitvec import parity
+
+        for _ in range(30):
+            data = int(rng.integers(0, 1 << 32))
+            assert parity(CODE.encode(data)) == 0
+
+
+class TestGuarantees:
+    def test_roundtrip(self, rng):
+        for _ in range(50):
+            data = int(rng.integers(0, 1 << 32))
+            result = CODE.decode(CODE.encode(data))
+            assert result.status is DecodeStatus.CLEAN
+            assert result.data == data
+
+    def test_all_single_errors_corrected(self, rng):
+        data = int(rng.integers(0, 1 << 32))
+        codeword = CODE.encode(data)
+        for position in range(CODE.n):
+            result = CODE.decode(codeword ^ (1 << position))
+            assert result.status is DecodeStatus.CORRECTED
+            assert result.data == data
+
+    def test_all_double_errors_corrected_exhaustive(self, rng):
+        """DEC: exhaustive over all C(45,2) = 990 double errors,
+        including pairs touching the overall parity bit."""
+        data = int(rng.integers(0, 1 << 32))
+        codeword = CODE.encode(data)
+        for a, b in itertools.combinations(range(CODE.n), 2):
+            result = CODE.decode(codeword ^ (1 << a) ^ (1 << b))
+            assert result.status is DecodeStatus.CORRECTED, (a, b)
+            assert result.data == data, (a, b)
+
+    def test_triple_errors_always_detected_sampled(self, rng):
+        """TED: no triple error may be miscorrected (2000 samples)."""
+        data = int(rng.integers(0, 1 << 32))
+        codeword = CODE.encode(data)
+        for _ in range(2000):
+            picks = rng.choice(CODE.n, size=3, replace=False)
+            corrupted = codeword
+            for p in picks:
+                corrupted ^= 1 << int(p)
+            result = CODE.decode(corrupted)
+            assert result.status is DecodeStatus.DETECTED, tuple(picks)
+
+    def test_triple_errors_exhaustive_on_tag_code(self, rng):
+        """Full TED sweep on the smaller tag code: all C(39,3) = 9139."""
+        data = int(rng.integers(0, 1 << 26))
+        codeword = TAG_CODE.encode(data)
+        for picks in itertools.combinations(range(TAG_CODE.n), 3):
+            corrupted = codeword
+            for p in picks:
+                corrupted ^= 1 << p
+            assert TAG_CODE.decode(corrupted).status is (
+                DecodeStatus.DETECTED
+            ), picks
+
+
+class TestHardPlusSoftScenario:
+    def test_one_hard_one_soft_corrected(self, rng):
+        """Scenario B's reliability argument: a word carrying one hard
+        fault still absorbs one soft strike."""
+        data = int(rng.integers(0, 1 << 32))
+        codeword = CODE.encode(data)
+        hard_bit = 7
+        for soft_bit in range(CODE.n):
+            if soft_bit == hard_bit:
+                continue
+            corrupted = codeword ^ (1 << hard_bit) ^ (1 << soft_bit)
+            result = CODE.decode(corrupted)
+            assert result.status is DecodeStatus.CORRECTED
+            assert result.data == data
+
+    def test_one_hard_two_soft_detected(self, rng):
+        """Beyond budget: hard fault + 2 strikes is detected, not lied
+        about."""
+        data = int(rng.integers(0, 1 << 32))
+        codeword = CODE.encode(data) ^ (1 << 3)
+        for _ in range(200):
+            picks = rng.choice(
+                [p for p in range(CODE.n) if p != 3], size=2, replace=False
+            )
+            corrupted = codeword
+            for p in picks:
+                corrupted ^= 1 << int(p)
+            assert CODE.decode(corrupted).status is DecodeStatus.DETECTED
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    errors=st.sets(
+        st.integers(min_value=0, max_value=CODE.n - 1),
+        min_size=0,
+        max_size=3,
+    ),
+)
+def test_decode_contract(data, errors):
+    """Hypothesis: <=2 errors corrected to the right data; 3 detected."""
+    corrupted = CODE.encode(data)
+    for position in errors:
+        corrupted ^= 1 << position
+    result = CODE.decode(corrupted)
+    if len(errors) <= 2:
+        assert result.data == data
+        assert result.status is not DecodeStatus.DETECTED
+    else:
+        assert result.status is DecodeStatus.DETECTED

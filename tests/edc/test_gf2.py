@@ -1,0 +1,81 @@
+"""Tests for repro.edc.gf2 (GF(2) linear algebra)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.edc.gf2 import matmul, nullspace, rank, rref, solve_is_consistent
+
+
+def _random_matrix(rows: int, cols: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2, size=(rows, cols), dtype=np.uint8)
+
+
+class TestRref:
+    def test_identity_fixed_point(self):
+        eye = np.eye(4, dtype=np.uint8)
+        reduced, pivots = rref(eye)
+        assert np.array_equal(reduced, eye)
+        assert pivots == [0, 1, 2, 3]
+
+    def test_idempotent(self):
+        matrix = _random_matrix(5, 8, 1)
+        once, _ = rref(matrix)
+        twice, _ = rref(once)
+        assert np.array_equal(once, twice)
+
+    def test_pivot_columns_are_unit_vectors(self):
+        matrix = _random_matrix(6, 9, 2)
+        reduced, pivots = rref(matrix)
+        for row_index, col in enumerate(pivots):
+            column = reduced[:, col]
+            assert column[row_index] == 1
+            assert column.sum() == 1
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            rref(np.array([1, 0, 1], dtype=np.uint8))
+
+
+class TestRankNullspace:
+    def test_rank_of_zero(self):
+        assert rank(np.zeros((3, 5), dtype=np.uint8)) == 0
+
+    def test_rank_nullity_theorem(self):
+        for seed in range(5):
+            matrix = _random_matrix(6, 10, seed)
+            assert rank(matrix) + len(nullspace(matrix)) == 10
+
+    def test_nullspace_annihilated(self):
+        matrix = _random_matrix(5, 9, 7)
+        basis = nullspace(matrix)
+        if len(basis):
+            product = matmul(matrix, basis.T)
+            assert not product.any()
+
+    def test_nullspace_vectors_independent(self):
+        matrix = _random_matrix(4, 8, 3)
+        basis = nullspace(matrix)
+        assert rank(basis) == len(basis)
+
+
+class TestSolveConsistency:
+    def test_consistent_system(self):
+        matrix = _random_matrix(4, 6, 11)
+        x = np.array([1, 0, 1, 1, 0, 1], dtype=np.uint8)
+        rhs = matmul(matrix, x.reshape(-1, 1)).ravel()
+        assert solve_is_consistent(matrix, rhs)
+
+    def test_inconsistent_system(self):
+        matrix = np.zeros((2, 3), dtype=np.uint8)
+        rhs = np.array([1, 0], dtype=np.uint8)
+        assert not solve_is_consistent(matrix, rhs)
+
+
+@settings(max_examples=25)
+@given(st.integers(0, 1000))
+def test_rank_invariant_under_row_swap(seed):
+    matrix = _random_matrix(5, 7, seed)
+    swapped = matrix[::-1].copy()
+    assert rank(matrix) == rank(swapped)

@@ -1,0 +1,115 @@
+"""Tests for repro.edc.gf2m (field arithmetic)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.edc.gf2m import GF2m
+
+FIELD = GF2m(6)
+elements = st.integers(min_value=0, max_value=FIELD.size - 1)
+nonzero = st.integers(min_value=1, max_value=FIELD.size - 1)
+
+
+class TestConstruction:
+    def test_table_sizes(self):
+        assert FIELD.order == 63
+        assert FIELD.size == 64
+
+    def test_non_primitive_rejected(self):
+        # x^4 + x^2 + 1 = (x^2+x+1)^2 is not primitive.
+        with pytest.raises(ValueError):
+            GF2m(4, primitive_poly=0b10101)
+
+    def test_wrong_degree_rejected(self):
+        with pytest.raises(ValueError):
+            GF2m(6, primitive_poly=0b1011)
+
+    def test_unknown_m_without_poly(self):
+        with pytest.raises(ValueError):
+            GF2m(20)
+
+
+class TestBasicOps:
+    def test_alpha_cycle(self):
+        assert FIELD.alpha_pow(0) == 1
+        assert FIELD.alpha_pow(FIELD.order) == 1
+
+    def test_log_exp_inverse(self):
+        for exp in range(FIELD.order):
+            assert FIELD.log(FIELD.alpha_pow(exp)) == exp
+
+    def test_log_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            FIELD.log(0)
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            FIELD.div(3, 0)
+
+    def test_pow_zero_base(self):
+        assert FIELD.pow(0, 3) == 0
+        with pytest.raises(ZeroDivisionError):
+            FIELD.pow(0, -1)
+
+
+class TestFieldAxioms:
+    @settings(max_examples=80)
+    @given(elements, elements)
+    def test_commutativity(self, a, b):
+        assert FIELD.mul(a, b) == FIELD.mul(b, a)
+
+    @settings(max_examples=80)
+    @given(elements, elements, elements)
+    def test_associativity(self, a, b, c):
+        assert FIELD.mul(FIELD.mul(a, b), c) == FIELD.mul(a, FIELD.mul(b, c))
+
+    @settings(max_examples=80)
+    @given(elements, elements, elements)
+    def test_distributivity(self, a, b, c):
+        left = FIELD.mul(a, b ^ c)
+        right = FIELD.mul(a, b) ^ FIELD.mul(a, c)
+        assert left == right
+
+    @settings(max_examples=80)
+    @given(nonzero)
+    def test_multiplicative_inverse(self, a):
+        assert FIELD.mul(a, FIELD.inv(a)) == 1
+
+    @settings(max_examples=80)
+    @given(elements)
+    def test_multiplicative_identity(self, a):
+        assert FIELD.mul(a, 1) == a
+
+    @settings(max_examples=80)
+    @given(nonzero, st.integers(-20, 40))
+    def test_pow_is_repeated_mul(self, a, exponent):
+        expected = 1
+        for _ in range(abs(exponent)):
+            expected = FIELD.mul(expected, a)
+        if exponent < 0:
+            expected = FIELD.inv(expected)
+        assert FIELD.pow(a, exponent) == expected
+
+
+class TestPolynomials:
+    def test_eval_constant(self):
+        assert FIELD.poly_eval([5], 7) == 5
+
+    def test_eval_linear(self):
+        # p(x) = 3 + 2x at x = alpha
+        alpha = FIELD.alpha_pow(1)
+        assert FIELD.poly_eval([3, 2], alpha) == 3 ^ FIELD.mul(2, alpha)
+
+    def test_minimal_polynomial_annihilates(self):
+        """m_i(alpha^i) == 0, evaluated over the extension field."""
+        for exponent in (1, 3, 5):
+            mask = FIELD.minimal_polynomial(exponent)
+            coeffs = [(mask >> i) & 1 for i in range(mask.bit_length())]
+            value = FIELD.poly_eval(coeffs, FIELD.alpha_pow(exponent))
+            assert value == 0
+
+    def test_minimal_polynomial_degree_divides_m(self):
+        for exponent in (1, 3, 5, 9):
+            mask = FIELD.minimal_polynomial(exponent)
+            degree = mask.bit_length() - 1
+            assert FIELD.m % degree == 0

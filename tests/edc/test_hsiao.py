@@ -1,0 +1,118 @@
+"""Tests for the Hsiao SECDED code — exhaustive where it matters."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.edc.base import DecodeStatus
+from repro.edc.gf2 import rank
+from repro.edc.hsiao import HsiaoSecDed
+
+CODE = HsiaoSecDed(32, check_bits=7)   # the paper's data-word code
+TAG_CODE = HsiaoSecDed(26, check_bits=7)
+
+
+class TestConstruction:
+    def test_paper_geometry(self):
+        assert (CODE.n, CODE.k, CODE.check_bits) == (39, 32, 7)
+        assert (TAG_CODE.n, TAG_CODE.k) == (33, 26)
+
+    def test_columns_distinct_and_odd(self):
+        matrix = CODE.parity_check_matrix
+        columns = [tuple(matrix[:, c]) for c in range(CODE.n)]
+        assert len(set(columns)) == CODE.n
+        for column in columns:
+            assert sum(column) % 2 == 1
+
+    def test_row_weights_balanced(self):
+        """Hsiao's defining property: row weights differ by at most 1
+        over the data columns (minimizes the worst XOR tree)."""
+        weights = CODE.row_weights
+        assert max(weights) - min(weights) <= 1
+
+    def test_full_rank(self):
+        assert rank(CODE.parity_check_matrix) == CODE.check_bits
+
+    def test_minimal_check_bits_auto(self):
+        auto = HsiaoSecDed(26)
+        assert auto.check_bits == 6  # 26 data bits fit r=6 odd columns
+
+    def test_capacity_exceeded(self):
+        with pytest.raises(ValueError):
+            HsiaoSecDed(64, check_bits=6)
+
+    def test_too_few_check_bits(self):
+        with pytest.raises(ValueError):
+            HsiaoSecDed(4, check_bits=3)
+
+
+class TestCodecExhaustive:
+    def test_roundtrip_random_words(self, rng):
+        for _ in range(100):
+            data = int(rng.integers(0, 1 << 32))
+            result = CODE.decode(CODE.encode(data))
+            assert result.status is DecodeStatus.CLEAN
+            assert result.data == data
+
+    def test_all_single_errors_corrected(self, rng):
+        data = int(rng.integers(0, 1 << 32))
+        codeword = CODE.encode(data)
+        for position in range(CODE.n):
+            result = CODE.decode(codeword ^ (1 << position))
+            assert result.status is DecodeStatus.CORRECTED
+            assert result.data == data
+            assert result.corrected_positions == (position,)
+
+    def test_all_double_errors_detected(self, rng):
+        """Exhaustive over all C(39,2) = 741 double errors."""
+        data = int(rng.integers(0, 1 << 32))
+        codeword = CODE.encode(data)
+        for a, b in itertools.combinations(range(CODE.n), 2):
+            corrupted = codeword ^ (1 << a) ^ (1 << b)
+            assert CODE.decode(corrupted).status is DecodeStatus.DETECTED
+
+    def test_data_encoding_systematic(self, rng):
+        data = int(rng.integers(0, 1 << 32))
+        codeword = CODE.encode(data)
+        assert CODE.extract_data(codeword) == data
+
+    def test_encode_range_checked(self):
+        with pytest.raises(ValueError):
+            CODE.encode(1 << 32)
+        with pytest.raises(ValueError):
+            CODE.decode(1 << 39)
+
+
+class TestEncoderFanins:
+    def test_fanins_match_row_weights(self):
+        fanins = CODE.encoder_fanins()
+        matrix = CODE.parity_check_matrix
+        for check_index, fanin in enumerate(fanins):
+            data_weight = int(matrix[check_index, : CODE.k].sum())
+            assert fanin == data_weight
+
+
+@settings(max_examples=60)
+@given(
+    data=st.integers(min_value=0, max_value=(1 << 26) - 1),
+    position=st.integers(min_value=0, max_value=TAG_CODE.n - 1),
+)
+def test_tag_code_single_error_property(data, position):
+    """Hypothesis: any tag word, any single error -> corrected."""
+    codeword = TAG_CODE.encode(data)
+    result = TAG_CODE.decode(codeword ^ (1 << position))
+    assert result.status is DecodeStatus.CORRECTED
+    assert result.data == data
+
+
+@settings(max_examples=60)
+@given(data=st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_parity_check_annihilates_codewords(data):
+    """H c^T = 0 for every codeword (the linear-code invariant)."""
+    from repro.util.bitvec import int_to_bits
+
+    codeword_bits = int_to_bits(CODE.encode(data), CODE.n)
+    syndrome = (CODE.parity_check_matrix @ codeword_bits) % 2
+    assert not syndrome.any()

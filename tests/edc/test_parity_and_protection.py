@@ -1,0 +1,80 @@
+"""Tests for the parity code and the protection-scheme factory."""
+
+import pytest
+
+from repro.edc.base import DecodeStatus
+from repro.edc.dected import DectedCode
+from repro.edc.hsiao import HsiaoSecDed
+from repro.edc.parity import ParityCode
+from repro.edc.protection import (
+    DECTED_CHECK_BITS,
+    SECDED_CHECK_BITS,
+    ProtectionScheme,
+    check_bits_for,
+    make_code,
+)
+
+
+class TestParityCode:
+    def test_roundtrip(self):
+        code = ParityCode(8)
+        for data in range(256):
+            result = code.decode(code.encode(data))
+            assert result.status is DecodeStatus.CLEAN
+            assert result.data == data
+
+    def test_single_errors_detected(self):
+        code = ParityCode(8)
+        codeword = code.encode(0b10110011)
+        for position in range(code.n):
+            result = code.decode(codeword ^ (1 << position))
+            assert result.status is DecodeStatus.DETECTED
+
+    def test_double_errors_invisible(self):
+        """Parity's known blind spot, kept honest in the model."""
+        code = ParityCode(8)
+        codeword = code.encode(0x5A)
+        assert code.decode(codeword ^ 0b11).status is DecodeStatus.CLEAN
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            ParityCode(0)
+
+
+class TestProtectionFactory:
+    def test_none_scheme(self):
+        assert make_code(ProtectionScheme.NONE, 32) is None
+        assert check_bits_for(ProtectionScheme.NONE, 32) == 0
+
+    def test_paper_check_bits(self):
+        """Section III-C: 7 bits for SECDED, 13 for DECTED."""
+        assert SECDED_CHECK_BITS == 7
+        assert DECTED_CHECK_BITS == 13
+        for bits in (26, 32):
+            assert check_bits_for(ProtectionScheme.SECDED, bits) == 7
+            assert check_bits_for(ProtectionScheme.DECTED, bits) == 13
+
+    def test_factory_types(self):
+        assert isinstance(make_code(ProtectionScheme.SECDED, 32), HsiaoSecDed)
+        assert isinstance(make_code(ProtectionScheme.DECTED, 32), DectedCode)
+        assert isinstance(make_code(ProtectionScheme.PARITY, 32), ParityCode)
+
+    def test_factory_cached(self):
+        a = make_code(ProtectionScheme.SECDED, 32)
+        b = make_code(ProtectionScheme.SECDED, 32)
+        assert a is b
+
+    def test_hard_fault_budget(self):
+        """Eq. (1)'s i_max: 1 for SECDED and DECTED (one correction is
+        reserved for soft errors in scenario B), 0 otherwise."""
+        assert ProtectionScheme.SECDED.hard_fault_budget == 1
+        assert ProtectionScheme.DECTED.hard_fault_budget == 1
+        assert ProtectionScheme.NONE.hard_fault_budget == 0
+        assert ProtectionScheme.PARITY.hard_fault_budget == 0
+
+    def test_geometry_consistency(self):
+        for scheme in (ProtectionScheme.SECDED, ProtectionScheme.DECTED):
+            for bits in (26, 32):
+                code = make_code(scheme, bits)
+                assert code.k == bits
+                assert code.check_bits == check_bits_for(scheme, bits)

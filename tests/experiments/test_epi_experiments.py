@@ -1,0 +1,83 @@
+"""Tests for the EPI experiment drivers at reduced trace lengths."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def fig4_result():
+    return run_experiment("fig4", trace_length=15_000)
+
+
+class TestFig4Driver:
+    def test_savings_data_present(self, fig4_result):
+        assert 30 < fig4_result.data["saving_A"] < 50
+        assert 30 < fig4_result.data["saving_B"] < 50
+
+    def test_per_benchmark_rows(self, fig4_result):
+        rows = fig4_result.data["rows_A"]
+        assert set(rows) == {"adpcm_c", "adpcm_d", "epic_c", "epic_d"}
+        for ratio in rows.values():
+            assert 0.4 < ratio < 0.8
+
+    def test_comparisons_include_exec_time(self, fig4_result):
+        quantities = [c.quantity for c in fig4_result.comparisons]
+        assert any("exec-time" in q for q in quantities)
+
+    def test_render(self, fig4_result):
+        text = fig4_result.render()
+        assert "Scenario A @ ULE" in text
+        assert "Scenario B @ ULE" in text
+
+
+class TestFig3Driver:
+    def test_hp_savings(self):
+        result = run_experiment("fig3", trace_length=10_000)
+        assert 8 < result.data["saving_A"] < 22
+        assert 8 < result.data["saving_B"] < 22
+        assert result.data["exec_ratio_A"] == pytest.approx(1.0)
+
+
+class TestExecTimeDriver:
+    def test_overhead_band(self):
+        result = run_experiment("tab-exectime", trace_length=15_000)
+        for scenario in ("A", "B"):
+            ratio = result.data[f"avg_{scenario}"]
+            assert 1.005 < ratio < 1.06
+
+
+class TestAblations:
+    def test_way_split_monotone_at_hp(self):
+        """More ULE ways replaced -> more savings at HP."""
+        result = run_experiment(
+            "ablation-ways", trace_length=8_000,
+            splits=((7, 1), (6, 2)),
+        )
+        assert result.data["6+2:HP"] > result.data["7+1:HP"]
+
+    def test_memlat_trend_robust(self):
+        result = run_experiment(
+            "ablation-memlat", trace_length=8_000, latencies=(10, 40)
+        )
+        for saving in result.data.values():
+            assert 8 < saving < 25
+
+
+class TestNewAblations:
+    def test_cache_size_redesigns(self):
+        result = run_experiment(
+            "ablation-cachesize", trace_length=6_000, sizes_kb=(4, 8)
+        )
+        assert set(result.data) == {4, 8}
+        for entry in result.data.values():
+            assert entry["ule_saving"] > 20.0
+
+    def test_vdd_ablation_resizes_cells(self):
+        result = run_experiment(
+            "ablation-vdd", trace_length=6_000, vdds=(0.45, 0.35)
+        )
+        assert result.data[0.35]["s10"] > result.data[0.45]["s10"]
+        assert result.data[0.35]["s8"] >= result.data[0.45]["s8"]
+        for entry in result.data.values():
+            assert entry["ule_saving"] > 20.0

@@ -1,0 +1,83 @@
+"""Tests for the experiment registry and the light-weight drivers."""
+
+import pytest
+
+from repro.experiments import list_experiments, run_experiment
+from repro.experiments.report import ExperimentResult, PaperComparison
+
+
+class TestRegistry:
+    def test_expected_ids(self):
+        ids = list_experiments()
+        for expected in (
+            "fig3",
+            "fig4",
+            "tab-sizing",
+            "tab-area",
+            "tab-exectime",
+            "tab-reliability",
+            "tab-edc",
+            "ablation-ways",
+            "ablation-memlat",
+        ):
+            assert expected in ids
+
+    def test_unknown_id(self):
+        with pytest.raises(ValueError):
+            run_experiment("fig99")
+
+
+class TestReportTypes:
+    def test_paper_comparison(self):
+        comparison = PaperComparison("x", paper=10.0, measured=12.0, unit="%")
+        assert comparison.delta == pytest.approx(2.0)
+        assert "paper 10" in comparison.render()
+
+    def test_result_render(self):
+        result = ExperimentResult(
+            experiment_id="t",
+            title="title",
+            body="body",
+            comparisons=(PaperComparison("q", 1.0, 1.5),),
+        )
+        text = result.render()
+        assert "== t: title ==" in text
+        assert "Paper vs measured" in text
+
+
+class TestFastDrivers:
+    def test_tab_sizing(self):
+        result = run_experiment("tab-sizing")
+        assert result.data["A"]["pf_target"] == pytest.approx(
+            1.22e-6, rel=0.005
+        )
+        assert result.data["A"]["s10"] > result.data["A"]["s8"]
+
+    def test_tab_edc(self):
+        result = run_experiment("tab-edc")
+        for entry in result.data.values():
+            assert entry["singles_ok"]
+        dected = result.data["dected(45,32)"]
+        assert dected["doubles_ok"]
+        assert dected["triples_detected"]
+
+    def test_tab_area(self):
+        result = run_experiment("tab-area")
+        for scenario in ("A", "B"):
+            assert result.data["savings"][scenario] > 0.10
+
+    def test_tab_reliability_small(self):
+        result = run_experiment("tab-reliability", dies=40)
+        for scenario in ("A", "B"):
+            entry = result.data[scenario]
+            assert entry["silent_errors"] == 0
+            assert entry["yield_proposed"] >= entry["yield_baseline"]
+            # Empirical yield within 4 sigma of the analytic value.
+            sigma = (
+                entry["analytic_data_yield"]
+                * (1 - entry["analytic_data_yield"])
+                / entry["dies"]
+            ) ** 0.5
+            assert abs(
+                entry["empirical_yield"] - entry["analytic_data_yield"]
+            ) < max(4 * sigma, 0.05)

@@ -1,0 +1,115 @@
+"""Integration tests across the full stack."""
+
+import numpy as np
+import pytest
+
+from repro.cache.hybrid import HybridCache
+from repro.core.architect import build_cache_pair
+from repro.core.scenarios import Scenario
+from repro.tech.operating import Mode
+from repro.workloads.mediabench import generate_trace
+
+
+class TestHybridDayInTheLife:
+    """The paper's usage story: long ULE phases with HP bursts."""
+
+    def test_phase_switching_workload(self, design_a):
+        _, proposed = build_cache_pair(design_a)
+        cache = HybridCache(proposed, mode=Mode.ULE)
+        small = generate_trace("adpcm_c", length=4000, seed=9)
+        big = generate_trace("gsm_c", length=4000, seed=9)
+
+        # ULE phase.
+        for pc in small.pc:
+            cache.access(int(pc), False)
+        ule_misses = cache.stats.misses
+
+        # Event: switch to HP, burst, switch back.
+        cache.set_mode(Mode.HP)
+        for pc in big.pc:
+            cache.access(int(pc), False)
+        cache.set_mode(Mode.ULE)
+
+        # Second ULE phase: the small loop is still warm in the ULE way
+        # unless the HP burst evicted it through the shared way.
+        before = cache.stats.misses
+        for pc in small.pc:
+            cache.access(int(pc), False)
+        second_phase_misses = cache.stats.misses - before
+
+        assert cache.mode_switches == 2
+        assert second_phase_misses <= ule_misses
+
+    def test_stats_conserved_across_switches(self, design_a):
+        baseline, _ = build_cache_pair(design_a)
+        cache = HybridCache(baseline, mode=Mode.HP)
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            for address in rng.integers(0, 1 << 14, size=500):
+                cache.access(int(address), bool(address & 1))
+            cache.set_mode(
+                Mode.ULE if cache.mode is Mode.HP else Mode.HP
+            )
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses == 2500
+
+
+class TestChipLevelConsistency:
+    def test_epi_stable_across_trace_lengths(self, chips_a):
+        """EPI is an intensive quantity: doubling the trace barely
+        moves it (cold-start effects decay)."""
+        short = chips_a.baseline.run(
+            generate_trace("adpcm_c", length=10_000, seed=4), Mode.ULE
+        )
+        long = chips_a.baseline.run(
+            generate_trace("adpcm_c", length=40_000, seed=4), Mode.ULE
+        )
+        assert long.epi == pytest.approx(short.epi, rel=0.1)
+
+    def test_savings_insensitive_to_seed(self, chips_a):
+        """The headline ratios are a property of the design, not of one
+        particular random trace."""
+        ratios = []
+        for seed in (1, 2, 3):
+            trace = generate_trace("epic_c", length=10_000, seed=seed)
+            baseline = chips_a.baseline.run(trace, Mode.ULE)
+            proposed = chips_a.proposed.run(trace, Mode.ULE)
+            ratios.append(proposed.epi / baseline.epi)
+        assert max(ratios) - min(ratios) < 0.03
+
+    def test_scenarios_share_baseline_behaviour(
+        self, chips_a, chips_b, small_trace
+    ):
+        """Scenario A and B baselines differ only in coding, so their
+        cache *behaviour* is identical."""
+        result_a = chips_a.baseline.run(small_trace, Mode.ULE)
+        result_b = chips_b.baseline.run(small_trace, Mode.ULE)
+        assert result_a.il1_stats.misses == result_b.il1_stats.misses
+        # ... but scenario B burns more energy (SECDED bits + codecs).
+        assert result_b.epi > result_a.epi
+
+
+class TestFaultToleranceEndToEnd:
+    def test_designed_cache_survives_its_own_fault_rate(self, design_a):
+        """Generate fault maps at the designed 8T Pf and verify the
+        SECDED layer returns correct data for every word — the
+        end-to-end version of the paper's reliability claim."""
+        from repro.cache.edc_layer import ProtectedArray
+        from repro.edc.protection import ProtectionScheme
+        from repro.reliability.fault_maps import generate_fault_map
+
+        rng = np.random.default_rng(11)
+        clean_dies = 0
+        for _ in range(20):
+            fault_map = generate_fault_map(
+                design_a.pf_8t_ule, words=256, word_bits=39, rng=rng
+            )
+            array = ProtectedArray(
+                256, 32, ProtectionScheme.SECDED, fault_map=fault_map
+            )
+            array.exercise(rng)
+            assert array.silent_errors == 0
+            if array.detected_reads == 0:
+                clean_dies += 1
+        # The yield target is ~99 %; 20 dies should almost all be clean.
+        assert clean_dies >= 18

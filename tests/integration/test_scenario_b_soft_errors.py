@@ -1,0 +1,107 @@
+"""Scenario B end-to-end: hard faults and soft errors together.
+
+The whole reason scenario B uses DECTED: an 8T ULE way carries permanent
+stuck bits *and* must still absorb particle strikes, like the baseline's
+clean-cell SECDED does.  These tests drive the real codecs through that
+combined threat model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.edc_layer import ProtectedArray
+from repro.edc.base import DecodeStatus
+from repro.edc.protection import ProtectionScheme
+from repro.reliability.fault_maps import generate_fault_map
+
+
+@pytest.fixture(scope="module")
+def faulty_dected_array(design_b):
+    """A DECTED-protected ULE-way data array on a faulty-but-yielding
+    die at the designed scenario-B fault rate."""
+    rng = np.random.default_rng(99)
+    while True:
+        fault_map = generate_fault_map(
+            design_b.pf_8t_ule, words=256, word_bits=45, rng=rng
+        )
+        if fault_map.max_faults_per_word() == 1 and fault_map.faulty_words():
+            return ProtectedArray(
+                256, 32, ProtectionScheme.DECTED, fault_map=fault_map
+            ), fault_map
+
+
+class TestHardPlusSoft:
+    def test_strike_on_faulty_word_still_corrected(
+        self, faulty_dected_array, rng
+    ):
+        """One stuck bit + one strike in the same word: corrected."""
+        array, fault_map = faulty_dected_array
+        word = fault_map.faulty_words()[0]
+        stuck_bit = fault_map.fault_masks[word].bit_length() - 1
+        for _ in range(30):
+            value = int(rng.integers(0, 1 << 32))
+            array.write(word, value)
+            strike = int(rng.integers(0, 45))
+            if strike == stuck_bit:
+                continue
+            record = array.read(word, soft_error_bits=(strike,))
+            assert record.correct
+            assert record.value == value
+        assert array.silent_errors == 0
+
+    def test_secded_would_fail_the_same_die(
+        self, faulty_dected_array, rng
+    ):
+        """Counterfactual: 8T+SECDED on the identical threat (stuck bit
+        + strike in one word) is *detected-not-corrected* at best —
+        the data is lost, breaking the baseline's soft-error SLA."""
+        _, fault_map = faulty_dected_array
+        word = fault_map.faulty_words()[0]
+        from repro.edc.protection import make_code
+
+        secded = make_code(ProtectionScheme.SECDED, 32)
+        failures = 0
+        trials = 0
+        for _ in range(40):
+            value = int(rng.integers(0, 1 << 32))
+            codeword = secded.encode(value)
+            stuck_bit = int(rng.integers(0, secded.n))
+            strike = int(rng.integers(0, secded.n))
+            if strike == stuck_bit:
+                continue
+            corrupted = codeword ^ (1 << stuck_bit) ^ (1 << strike)
+            result = secded.decode(corrupted)
+            trials += 1
+            if result.status is DecodeStatus.DETECTED or (
+                result.data != value
+            ):
+                failures += 1
+        assert failures == trials  # every double error is unrecoverable
+
+    def test_two_strikes_on_faulty_word_detected(
+        self, faulty_dected_array, rng
+    ):
+        """Beyond the budget (1 hard + 2 soft): detected, never silent."""
+        array, fault_map = faulty_dected_array
+        word = fault_map.faulty_words()[0]
+        stuck_mask = fault_map.fault_masks[word]
+        detections = 0
+        for _ in range(60):
+            value = int(rng.integers(0, 1 << 32))
+            array.write(word, value)
+            strikes = rng.choice(
+                [b for b in range(45) if not (stuck_mask >> b) & 1],
+                size=2,
+                replace=False,
+            )
+            record = array.read(
+                word, soft_error_bits=tuple(int(s) for s in strikes)
+            )
+            # Either the stuck bit agreed with the written data (only 2
+            # effective errors -> corrected) or it is detected.
+            if record.status is DecodeStatus.DETECTED:
+                detections += 1
+            else:
+                assert record.correct
+        assert detections > 0
+        assert array.silent_errors == 0

@@ -1,0 +1,89 @@
+"""Tests for repro.reliability.fault_maps."""
+
+import numpy as np
+import pytest
+
+from repro.reliability.fault_maps import FaultMap, generate_fault_map
+
+
+class TestGeneration:
+    def test_zero_pf_clean_map(self, rng):
+        fmap = generate_fault_map(0.0, words=100, word_bits=39, rng=rng)
+        assert fmap.faulty_bit_count == 0
+        assert fmap.faulty_words() == []
+
+    def test_statistics_match_pf(self, rng):
+        pf = 0.01
+        fmap = generate_fault_map(pf, words=2000, word_bits=40, rng=rng)
+        total_bits = 2000 * 40
+        expected = total_bits * pf
+        assert fmap.faulty_bit_count == pytest.approx(expected, rel=0.25)
+
+    def test_deterministic(self):
+        a = generate_fault_map(
+            0.01, 100, 39, np.random.default_rng(3)
+        )
+        b = generate_fault_map(
+            0.01, 100, 39, np.random.default_rng(3)
+        )
+        assert a.fault_masks == b.fault_masks
+        assert a.stuck_values == b.stuck_values
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            generate_fault_map(2.0, 10, 10, rng)
+        with pytest.raises(ValueError):
+            generate_fault_map(0.1, 10, 0, rng)
+
+
+class TestApplication:
+    def test_clean_word_passthrough(self):
+        fmap = FaultMap(word_bits=8, words=4)
+        assert fmap.apply(2, 0xAB) == 0xAB
+
+    def test_stuck_at_one(self):
+        fmap = FaultMap(
+            word_bits=8,
+            words=1,
+            fault_masks={0: 0b0001},
+            stuck_values={0: 0b0001},
+        )
+        assert fmap.apply(0, 0b0000) == 0b0001
+        assert fmap.apply(0, 0b0001) == 0b0001  # idempotent on match
+
+    def test_stuck_at_zero(self):
+        fmap = FaultMap(
+            word_bits=8,
+            words=1,
+            fault_masks={0: 0b1000},
+            stuck_values={0: 0},
+        )
+        assert fmap.apply(0, 0b1111) == 0b0111
+
+    def test_counters(self):
+        fmap = FaultMap(
+            word_bits=8,
+            words=3,
+            fault_masks={0: 0b11, 2: 0b100},
+            stuck_values={0: 0b10},
+        )
+        assert fmap.faulty_bit_count == 3
+        assert fmap.faulty_words() == [0, 2]
+        assert fmap.faults_in_word(0) == 2
+        assert fmap.faults_in_word(1) == 0
+        assert fmap.max_faults_per_word() == 2
+
+    def test_flip_probability_half_for_random_data(self, rng):
+        """A stuck bit corrupts random data with probability 1/2 —
+        the property the EDC layer's expected behaviour relies on."""
+        fmap = generate_fault_map(0.02, 500, 32, rng)
+        flips = 0
+        trials = 0
+        for word in fmap.faulty_words():
+            for _ in range(20):
+                value = int(rng.integers(0, 1 << 32))
+                read = fmap.apply(word, value)
+                flipped = bin(read ^ value).count("1")
+                flips += flipped
+                trials += fmap.faults_in_word(word)
+        assert flips / trials == pytest.approx(0.5, abs=0.05)

@@ -1,0 +1,86 @@
+"""Tests for repro.reliability.soft_errors."""
+
+import math
+
+import pytest
+
+from repro.reliability.soft_errors import SoftErrorModel
+
+MODEL = SoftErrorModel()
+
+
+class TestUpsetRate:
+    def test_positive(self):
+        assert MODEL.upset_rate_per_bit(1.0) > 0
+
+    def test_grows_at_low_vdd(self):
+        """Lower Vdd, lower critical charge, higher SER."""
+        assert MODEL.upset_rate_per_bit(0.35) > 5 * (
+            MODEL.upset_rate_per_bit(1.0)
+        )
+
+    def test_fit_conversion(self):
+        """1000 FIT/Mbit at nominal = 1000/2^20 upsets/1e9 bit-hours."""
+        rate = MODEL.upset_rate_per_bit(1.0)
+        per_bit_hour = rate * 3600
+        expected = 1000.0 / (1 << 20) / 1e9
+        assert per_bit_hour == pytest.approx(expected)
+
+    def test_bad_vdd(self):
+        with pytest.raises(ValueError):
+            MODEL.upset_rate_per_bit(0.0)
+
+
+class TestWordProbabilities:
+    def test_poisson_normalization(self):
+        total = sum(
+            MODEL.word_upset_probability(0.35, 39, 3600.0, k)
+            for k in range(10)
+        )
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_uncorrectable_complements_budget(self):
+        p0 = MODEL.word_upset_probability(0.35, 39, 3600.0, 0)
+        p1 = MODEL.word_upset_probability(0.35, 39, 3600.0, 1)
+        uncorrectable = MODEL.word_uncorrectable_probability(
+            0.35, 39, 3600.0, soft_budget=1
+        )
+        assert uncorrectable == pytest.approx(1.0 - p0 - p1)
+
+    def test_budget_monotone(self):
+        values = [
+            MODEL.word_uncorrectable_probability(0.35, 45, 3600.0, b)
+            for b in range(3)
+        ]
+        assert values == sorted(values, reverse=True)
+
+
+class TestScenarioBEquivalence:
+    def test_dected_with_hard_fault_matches_clean_secded(self):
+        """The paper's scenario-B argument: a DECTED word carrying one
+        hard fault retains soft budget 1 — exactly a clean SECDED word's
+        budget.  FIT rates are then equivalent (same order)."""
+        exposure = 24 * 3600.0
+        secded_clean = MODEL.cache_fit(
+            0.35, words=288, word_bits=39, scrub_interval_seconds=exposure,
+            soft_budget=1,
+        )
+        dected_one_hard = MODEL.cache_fit(
+            0.35, words=288, word_bits=45, scrub_interval_seconds=exposure,
+            soft_budget=1,
+        )
+        assert dected_one_hard == pytest.approx(secded_clean, rel=0.5)
+
+    def test_secded_with_hard_fault_is_catastrophically_worse(self):
+        """And the converse: 8T+SECDED in scenario B would be unsafe —
+        a hard fault eats the only correction, leaving budget 0."""
+        exposure = 24 * 3600.0
+        healthy = MODEL.cache_fit(0.35, 288, 39, exposure, soft_budget=1)
+        consumed = MODEL.cache_fit(0.35, 288, 39, exposure, soft_budget=0)
+        assert consumed > 100 * healthy
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MODEL.cache_fit(0.35, -1, 39, 100.0, 1)
+        with pytest.raises(ValueError):
+            MODEL.word_uncorrectable_probability(0.35, 39, 10.0, -1)

@@ -1,0 +1,133 @@
+"""Tests for the paper's Eq. (1)-(2) yield model."""
+
+from math import comb
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.reliability.yield_model import (
+    WordOrganization,
+    cache_yield,
+    exact_pf_for_yield,
+    paper_pf_target,
+    word_survival_probability,
+)
+
+
+class TestEquationOne:
+    def test_zero_pf(self):
+        assert word_survival_probability(0.0, 39, 1) == 1.0
+
+    def test_certain_failure(self):
+        assert word_survival_probability(1.0, 39, 1) == pytest.approx(0.0)
+
+    def test_uncoded_word_closed_form(self):
+        pf = 1e-4
+        expected = (1 - pf) ** 39
+        assert word_survival_probability(pf, 39, 0) == pytest.approx(expected)
+
+    def test_secded_word_closed_form(self):
+        """i_max = 1: survive with 0 or exactly 1 faulty bit."""
+        pf, n = 1e-3, 39
+        expected = (1 - pf) ** n + n * pf * (1 - pf) ** (n - 1)
+        assert word_survival_probability(pf, n, 1) == pytest.approx(expected)
+
+    def test_budget_monotonicity(self):
+        pf = 5e-3
+        values = [word_survival_probability(pf, 45, t) for t in range(4)]
+        assert values == sorted(values)
+
+    def test_matches_direct_enumeration(self):
+        """Cross-check Eq. (1) against explicit binomial enumeration."""
+        pf, n, t = 0.01, 20, 2
+        direct = sum(
+            comb(n, i) * pf**i * (1 - pf) ** (n - i) for i in range(t + 1)
+        )
+        assert word_survival_probability(pf, n, t) == pytest.approx(direct)
+
+    def test_matches_monte_carlo(self, rng):
+        """Empirical word-survival frequency agrees with Eq. (1)."""
+        pf, n, t = 0.05, 39, 1
+        faults = rng.random((200_000, n)) < pf
+        survived = (faults.sum(axis=1) <= t).mean()
+        assert survived == pytest.approx(
+            word_survival_probability(pf, n, t), abs=0.005
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            word_survival_probability(-0.1, 10, 0)
+        with pytest.raises(ValueError):
+            word_survival_probability(0.5, 0, 0)
+        with pytest.raises(ValueError):
+            word_survival_probability(0.5, 10, -1)
+
+
+class TestEquationTwo:
+    def test_composition(self):
+        pf = 1e-4
+        y = cache_yield(
+            pf,
+            data_words=256,
+            data_word_bits=39,
+            tag_words=32,
+            tag_word_bits=33,
+            correctable=1,
+        )
+        p_data = word_survival_probability(pf, 39, 1)
+        p_tag = word_survival_probability(pf, 33, 1)
+        assert y == pytest.approx(p_data**256 * p_tag**32)
+
+    def test_organization_wrapper(self):
+        org = WordOrganization(
+            data_words=256,
+            data_word_bits=39,
+            tag_words=32,
+            tag_word_bits=33,
+            hard_fault_budget=1,
+        )
+        assert org.total_bits == 256 * 39 + 32 * 33
+        assert org.yield_at(1e-4) == pytest.approx(
+            cache_yield(1e-4, 256, 39, 32, 33, 1)
+        )
+
+    def test_monotone_in_pf(self):
+        org = WordOrganization(256, 39, 32, 33, 1)
+        yields = [org.yield_at(pf) for pf in (1e-6, 1e-4, 1e-2)]
+        assert yields == sorted(yields, reverse=True)
+
+
+class TestPaperAnchor:
+    def test_pf_example_reproduced(self):
+        """'to have a 99 % yield for an 8 KB cache, faulty bit rate Pf
+        must be 1.22e-6' — the linearized 8192-bit form (DESIGN.md)."""
+        assert paper_pf_target(0.99) == pytest.approx(1.22e-6, rel=0.005)
+
+    def test_exact_form_close_to_linearized(self):
+        exact = exact_pf_for_yield(0.99, 8192)
+        assert exact == pytest.approx(paper_pf_target(0.99), rel=0.01)
+
+    def test_exact_with_budget_bisection(self):
+        pf = exact_pf_for_yield(0.99, 8192, correctable=1)
+        assert word_survival_probability(pf, 8192, 1) == pytest.approx(
+            0.99, abs=1e-4
+        )
+        assert pf > exact_pf_for_yield(0.99, 8192)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paper_pf_target(1.0)
+        with pytest.raises(ValueError):
+            exact_pf_for_yield(0.5, 0)
+
+
+@settings(max_examples=50)
+@given(
+    pf=st.floats(min_value=1e-9, max_value=0.2),
+    bits=st.integers(min_value=1, max_value=128),
+    budget=st.integers(min_value=0, max_value=3),
+)
+def test_survival_is_probability(pf, bits, budget):
+    value = word_survival_probability(pf, bits, budget)
+    assert 0.0 <= value <= 1.0

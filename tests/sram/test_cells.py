@@ -1,0 +1,113 @@
+"""Tests for repro.sram.cells."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sram.cells import (
+    CELL_6T,
+    CELL_8T,
+    CELL_10T,
+    CellDesign,
+    cell_by_name,
+)
+
+
+class TestTopologies:
+    def test_transistor_counts(self):
+        assert CELL_6T.transistor_count == 6
+        assert CELL_8T.transistor_count == 8
+        assert CELL_10T.transistor_count == 10
+
+    def test_area_ordering_at_equal_size(self):
+        assert CELL_6T.base_area_f2 < CELL_8T.base_area_f2 < (
+            CELL_10T.base_area_f2
+        )
+
+    def test_vmin_ordering(self):
+        """10T-ST works deepest into NST; 6T shallowest."""
+        assert CELL_10T.vmin_functional < CELL_8T.vmin_functional < (
+            CELL_6T.vmin_functional
+        )
+
+    def test_8t_read_decoupled(self):
+        assert CELL_8T.read_bitlines == 1
+        assert not CELL_8T.differential_read
+        assert CELL_8T.read_wordline_roles == ("rpg",)
+
+    def test_differential_cells(self):
+        for topo in (CELL_6T, CELL_10T):
+            assert topo.read_bitlines == 2
+            assert topo.differential_read
+
+    def test_lookup(self):
+        assert cell_by_name("8t") is CELL_8T
+        with pytest.raises(ValueError):
+            cell_by_name("12T")
+
+    def test_paper_nst_anchor_350mv(self):
+        """8T and 10T are functional at the paper's 350 mV; 6T is not."""
+        assert CELL_8T.vmin_functional <= 0.35
+        assert CELL_10T.vmin_functional <= 0.35
+        assert CELL_6T.vmin_functional > 0.35
+
+
+class TestCellDesign:
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            CellDesign(CELL_6T, 0.0)
+
+    def test_resized(self):
+        design = CellDesign(CELL_6T)
+        bigger = design.resized(2.0)
+        assert bigger.size_factor == 2.0
+        assert bigger.topology is CELL_6T
+
+    def test_area_grows_sublinearly(self):
+        """Fixed layout overhead: doubling widths < doubles the area."""
+        small = CellDesign(CELL_8T, 1.0).area
+        big = CellDesign(CELL_8T, 2.0).area
+        assert small < big < 2 * small
+
+    def test_area_realistic_um2(self):
+        """A min-size 32 nm 6T cell is ~0.1-0.2 um^2."""
+        area_um2 = CellDesign(CELL_6T).area * 1e12
+        assert 0.08 < area_um2 < 0.3
+
+    def test_aspect_ratio(self):
+        design = CellDesign(CELL_6T)
+        assert design.width_m == pytest.approx(2 * design.height_m)
+        assert design.width_m * design.height_m == pytest.approx(design.area)
+
+    def test_wordline_caps_positive(self):
+        for topo in (CELL_6T, CELL_8T, CELL_10T):
+            design = CellDesign(topo)
+            assert design.read_wordline_cap_per_cell > 0
+            assert design.write_wordline_cap_per_cell > 0
+
+    def test_8t_read_wordline_lighter_than_write(self):
+        """The single read access device loads less than the write pair."""
+        design = CellDesign(CELL_8T)
+        assert design.read_wordline_cap_per_cell < (
+            design.write_wordline_cap_per_cell
+        )
+
+    def test_leakage_scales_with_size(self):
+        lo = CellDesign(CELL_10T, 1.0).leakage_current(1.0)
+        hi = CellDesign(CELL_10T, 3.0).leakage_current(1.0)
+        assert hi == pytest.approx(3 * lo, rel=1e-6)
+
+    def test_leakage_drops_at_nst(self):
+        design = CellDesign(CELL_10T, 2.0)
+        assert design.leakage_power(0.35) < design.leakage_power(1.0) / 3
+
+    def test_describe_mentions_name(self):
+        assert "10T" in CellDesign(CELL_10T, 2.5).describe()
+
+
+@given(st.floats(min_value=0.5, max_value=8.0))
+def test_caps_linear_in_size(size):
+    base = CellDesign(CELL_6T, 1.0)
+    scaled = CellDesign(CELL_6T, size)
+    assert scaled.read_bitline_cap_per_cell == pytest.approx(
+        size * base.read_bitline_cap_per_cell
+    )

@@ -1,0 +1,38 @@
+"""Tests for repro.sram.energy (CellElectricals)."""
+
+import pytest
+
+from repro.sram.cells import CELL_6T, CELL_8T, CELL_10T, CellDesign
+from repro.sram.energy import CellElectricals
+
+
+class TestCellElectricals:
+    def test_mirrors_design(self):
+        design = CellDesign(CELL_8T, 2.0)
+        electricals = CellElectricals(design)
+        assert electricals.read_bitlines == 1
+        assert electricals.write_bitlines == 2
+        assert not electricals.differential_read
+        assert electricals.area == design.area
+
+    def test_10t_heavier_than_6t(self):
+        """At equal size factor, 10T loads its bitlines at least as much
+        and leaks more (more, wider devices)."""
+        e6 = CellElectricals(CellDesign(CELL_6T, 1.0))
+        e10 = CellElectricals(CellDesign(CELL_10T, 1.0))
+        assert e10.leakage_power(1.0) > e6.leakage_power(1.0)
+        assert e10.area > e6.area
+
+    def test_nst_sized_10t_dwarfs_coded_8t(self, design_a):
+        """The energy story of the paper in one assertion: the designed
+        10T cell leaks much more than the designed 8T cell."""
+        e10 = CellElectricals(design_a.cell_10t)
+        e8 = CellElectricals(design_a.cell_8t)
+        assert e10.leakage_power(0.35) > 1.5 * e8.leakage_power(0.35)
+        assert e10.area > 1.8 * e8.area
+
+    def test_geometry_consistency(self):
+        electricals = CellElectricals(CellDesign(CELL_6T))
+        assert electricals.cell_width * electricals.cell_height == (
+            pytest.approx(electricals.area)
+        )

@@ -1,0 +1,74 @@
+"""Tests for repro.sram.margins."""
+
+import numpy as np
+import pytest
+
+from repro.sram.cells import CELL_6T, CELL_8T, CELL_10T, CellDesign
+from repro.sram.margins import MarginModel
+
+
+class TestNominalMargin:
+    def test_positive_above_knee(self):
+        model = MarginModel(CellDesign(CELL_8T))
+        assert model.margin_at(0.35) > 0
+
+    def test_negative_below_knee(self):
+        model = MarginModel(CellDesign(CELL_6T))
+        assert model.margin_at(0.35) < 0  # 6T fails at NST
+
+    def test_linear_in_vdd(self):
+        model = MarginModel(CellDesign(CELL_10T))
+        m1, m2, m3 = (model.margin_at(v) for v in (0.3, 0.4, 0.5))
+        assert m3 - m2 == pytest.approx(m2 - m1)
+
+
+class TestCompositeSigma:
+    def test_shrinks_with_upsizing(self):
+        small = MarginModel(CellDesign(CELL_8T, 1.0)).composite_sigma
+        large = MarginModel(CellDesign(CELL_8T, 4.0)).composite_sigma
+        assert large == pytest.approx(small / 2.0)
+
+    def test_beta_grows_with_vdd(self):
+        model = MarginModel(CellDesign(CELL_10T, 2.0))
+        assert model.beta(1.0) > model.beta(0.35) > 0
+
+
+class TestSampleMargins:
+    def test_zero_offsets_give_nominal(self):
+        design = CellDesign(CELL_6T)
+        model = MarginModel(design)
+        offsets = np.zeros((5, design.topology.transistor_count))
+        margins = model.sample_margins(1.0, offsets)
+        assert np.allclose(margins, model.margin_at(1.0))
+
+    def test_positive_vt_shift_degrades(self):
+        design = CellDesign(CELL_6T)
+        model = MarginModel(design)
+        offsets = np.full((1, design.topology.transistor_count), 0.05)
+        assert model.sample_margins(1.0, offsets)[0] < model.margin_at(1.0)
+
+    def test_shape_validation(self):
+        model = MarginModel(CellDesign(CELL_6T))
+        with pytest.raises(ValueError):
+            model.sample_margins(1.0, np.zeros((3, 4)))
+
+
+class TestDesignPoint:
+    def test_on_failure_surface(self):
+        """The most probable failure point has exactly zero margin."""
+        design = CellDesign(CELL_8T, 1.5)
+        model = MarginModel(design)
+        point = model.most_probable_failure_point(0.35)
+        margin = model.sample_margins(0.35, point.reshape(1, -1))[0]
+        assert margin == pytest.approx(0.0, abs=1e-12)
+
+    def test_distance_is_beta(self):
+        """The design point sits beta sigmas from the origin (in the
+        whitened space), the defining property of the IS mean shift."""
+        design = CellDesign(CELL_10T, 2.0)
+        model = MarginModel(design)
+        point = model.most_probable_failure_point(0.35)
+        whitened = point / model.device_sigmas
+        assert np.linalg.norm(whitened) == pytest.approx(
+            model.beta(0.35), rel=1e-9
+        )

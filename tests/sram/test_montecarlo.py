@@ -1,0 +1,73 @@
+"""Tests for repro.sram.montecarlo (the Chen-analysis substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.sram.cells import CELL_8T, CELL_10T, CellDesign
+from repro.sram.failure import analytic_pf
+from repro.sram.montecarlo import importance_sampling_pf, monte_carlo_pf
+
+
+class TestMonteCarlo:
+    def test_matches_analytic_at_high_pf(self, rng):
+        design = CellDesign(CELL_8T, 1.0)  # Pf ~ 6e-3 at 350 mV
+        result = monte_carlo_pf(design, 0.35, 200_000, rng)
+        expected = analytic_pf(design, 0.35)
+        assert result.pf == pytest.approx(expected, rel=0.15)
+
+    def test_stderr_reported(self, rng):
+        design = CellDesign(CELL_8T, 1.0)
+        result = monte_carlo_pf(design, 0.35, 50_000, rng)
+        assert result.stderr > 0
+        assert result.samples == 50_000
+
+    def test_bad_samples(self, rng):
+        with pytest.raises(ValueError):
+            monte_carlo_pf(CellDesign(CELL_8T), 0.35, 0, rng)
+
+
+class TestImportanceSampling:
+    def test_matches_analytic_at_tiny_pf(self, rng):
+        """The whole point: estimate Pf ~ 1e-6 with only 20k samples."""
+        design = CellDesign(CELL_10T, 4.5)
+        expected = analytic_pf(design, 0.35)
+        assert expected < 1e-5  # plain MC would need > 1e7 samples
+        result = importance_sampling_pf(design, 0.35, 20_000, rng)
+        assert result.pf == pytest.approx(expected, rel=0.10)
+
+    def test_efficiency_half_samples_fail(self, rng):
+        """Mean-shift to the design point makes ~half the samples fail."""
+        design = CellDesign(CELL_8T, 2.0)
+        result = importance_sampling_pf(design, 0.35, 10_000, rng)
+        assert 0.3 < result.hits / result.samples < 0.7
+
+    def test_relative_error_small(self, rng):
+        design = CellDesign(CELL_8T, 2.0)
+        result = importance_sampling_pf(design, 0.35, 20_000, rng)
+        assert result.relative_error < 0.05
+
+    def test_shift_scale_robustness(self, rng):
+        """A mis-centred proposal is less efficient but still unbiased."""
+        design = CellDesign(CELL_8T, 1.5)
+        expected = analytic_pf(design, 0.35)
+        result = importance_sampling_pf(
+            design, 0.35, 60_000, rng, shift_scale=1.3
+        )
+        assert result.pf == pytest.approx(expected, rel=0.15)
+
+    def test_agrees_with_plain_mc_in_overlap(self, rng):
+        """Where both estimators work, they agree."""
+        design = CellDesign(CELL_8T, 1.0)
+        mc = monte_carlo_pf(design, 0.35, 300_000, rng)
+        is_ = importance_sampling_pf(design, 0.35, 30_000, rng)
+        assert is_.pf == pytest.approx(mc.pf, rel=0.2)
+
+    def test_deterministic_given_rng(self):
+        design = CellDesign(CELL_8T, 1.5)
+        a = importance_sampling_pf(
+            design, 0.35, 5_000, np.random.default_rng(3)
+        )
+        b = importance_sampling_pf(
+            design, 0.35, 5_000, np.random.default_rng(3)
+        )
+        assert a.pf == b.pf

@@ -1,0 +1,57 @@
+"""Tests for repro.sram.sizing."""
+
+import pytest
+
+from repro.sram.cells import CELL_6T, CELL_8T, CELL_10T
+from repro.sram.failure import CellFailureModel
+from repro.sram.sizing import minimal_size_step, quantize_size, size_for_pf
+
+
+class TestQuantize:
+    def test_rounds_up_to_grid(self):
+        assert quantize_size(1.23) == pytest.approx(1.25)
+
+    def test_exact_grid_point_stays(self):
+        assert quantize_size(1.25) == pytest.approx(1.25)
+
+    def test_never_below_min_size(self):
+        assert quantize_size(0.3) == 1.0
+
+
+class TestSizeForPf:
+    def test_meets_target(self):
+        size = size_for_pf(CELL_10T, 0.35, 1.22e-6)
+        assert CellFailureModel(CELL_10T).pf(0.35, size) <= 1.22e-6
+
+    def test_minimal_on_grid(self):
+        """One grid step smaller must miss the target (minimality)."""
+        size = size_for_pf(CELL_10T, 0.35, 1.22e-6)
+        step = minimal_size_step()
+        assert size > 1.0
+        assert CellFailureModel(CELL_10T).pf(0.35, size - step) > 1.22e-6
+
+    def test_min_size_when_sufficient(self):
+        """At 1 V a min-size 8T already beats the target."""
+        assert size_for_pf(CELL_8T, 1.0, 1.22e-6) == 1.0
+
+    def test_6t_at_nst_rejected(self):
+        """No up-sizing rescues a 6T at 350 mV (negative margin)."""
+        with pytest.raises(ValueError):
+            size_for_pf(CELL_6T, 0.35, 1.22e-6)
+
+    def test_tighter_target_larger_cell(self):
+        loose = size_for_pf(CELL_8T, 0.35, 1e-3)
+        tight = size_for_pf(CELL_8T, 0.35, 1e-5)
+        assert tight > loose
+
+    def test_bad_target(self):
+        with pytest.raises(ValueError):
+            size_for_pf(CELL_8T, 0.35, 0.0)
+
+    def test_paper_sizing_ordering(self):
+        """The paper's premise as an inequality chain: 6T@HP needs a
+        little, 10T@ULE needs a lot, coded-8T@ULE sits in between."""
+        s6 = size_for_pf(CELL_6T, 1.0, 1.22e-6)
+        s10 = size_for_pf(CELL_10T, 0.35, 1.22e-6)
+        s8_relaxed = size_for_pf(CELL_8T, 0.35, 2e-4)
+        assert s6 < s8_relaxed < s10

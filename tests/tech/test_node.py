@@ -1,0 +1,55 @@
+"""Tests for repro.tech.node."""
+
+import pytest
+
+from repro.tech.node import TechnologyNode, ptm32
+
+
+class TestPtm32:
+    def test_shared_instance(self):
+        assert ptm32() is ptm32()
+
+    def test_is_32nm(self):
+        assert ptm32().feature_size == pytest.approx(32e-9)
+
+    def test_nominal_supply(self):
+        assert ptm32().vdd_nominal == 1.0
+
+    def test_f2_area_unit(self):
+        node = ptm32()
+        assert node.f2 == pytest.approx(node.feature_size**2)
+
+
+class TestSigmaVt:
+    def test_minimum_device_sigma_realistic(self):
+        """Min-size 32nm mismatch sigma should be tens of millivolts."""
+        sigma = ptm32().sigma_vt_min
+        assert 0.030 < sigma < 0.090
+
+    def test_pelgrom_scaling(self):
+        """Doubling the width cuts sigma by sqrt(2)."""
+        node = ptm32()
+        narrow = node.sigma_vt(node.wmin)
+        wide = node.sigma_vt(2 * node.wmin)
+        assert wide == pytest.approx(narrow / 2**0.5)
+
+    def test_bad_geometry_raises(self):
+        with pytest.raises(ValueError):
+            ptm32().sigma_vt(0.0)
+
+    def test_explicit_length(self):
+        node = ptm32()
+        assert node.sigma_vt(node.wmin, 2 * node.feature_size) < (
+            node.sigma_vt(node.wmin)
+        )
+
+
+class TestCustomNode:
+    def test_frozen(self):
+        node = TechnologyNode()
+        with pytest.raises(AttributeError):
+            node.vdd_nominal = 1.2  # type: ignore[misc]
+
+    def test_override(self):
+        node = TechnologyNode(name="test", avt=1e-9)
+        assert node.sigma_vt_min < ptm32().sigma_vt_min

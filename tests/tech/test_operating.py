@@ -1,0 +1,44 @@
+"""Tests for repro.tech.operating."""
+
+import pytest
+
+from repro.tech.operating import (
+    HP_OPERATING_POINT,
+    ULE_OPERATING_POINT,
+    Mode,
+    OperatingPoint,
+    operating_point_for,
+)
+
+
+class TestPaperOperatingPoints:
+    def test_hp_point(self):
+        assert HP_OPERATING_POINT.vdd == 1.0
+        assert HP_OPERATING_POINT.frequency == 1e9
+        assert HP_OPERATING_POINT.mode is Mode.HP
+
+    def test_ule_point(self):
+        assert ULE_OPERATING_POINT.vdd == pytest.approx(0.35)
+        assert ULE_OPERATING_POINT.frequency == 5e6
+        assert ULE_OPERATING_POINT.mode is Mode.ULE
+
+    def test_cycle_times(self):
+        assert HP_OPERATING_POINT.cycle_time == pytest.approx(1e-9)
+        assert ULE_OPERATING_POINT.cycle_time == pytest.approx(200e-9)
+
+    def test_lookup(self):
+        assert operating_point_for(Mode.HP) is HP_OPERATING_POINT
+        assert operating_point_for(Mode.ULE) is ULE_OPERATING_POINT
+
+
+class TestValidation:
+    def test_bad_vdd(self):
+        with pytest.raises(ValueError):
+            OperatingPoint(mode=Mode.HP, vdd=0.0, frequency=1e9)
+
+    def test_bad_frequency(self):
+        with pytest.raises(ValueError):
+            OperatingPoint(mode=Mode.HP, vdd=1.0, frequency=0.0)
+
+    def test_describe(self):
+        assert "350" in ULE_OPERATING_POINT.describe()

@@ -1,0 +1,106 @@
+"""Tests for repro.tech.transistor."""
+
+import math
+
+import pytest
+
+from repro.tech.node import ptm32
+from repro.tech.transistor import Transistor, fo4_delay
+
+
+def _nmos(width_mult: float = 1.0, vt_offset: float = 0.0) -> Transistor:
+    node = ptm32()
+    return Transistor(
+        width=width_mult * node.wmin, kind="n", vt_offset=vt_offset
+    )
+
+
+class TestConstruction:
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            Transistor(width=0.0)
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            Transistor(width=1e-7, kind="x")
+
+    def test_pmos_vt(self):
+        node = ptm32()
+        pmos = Transistor(width=node.wmin, kind="p")
+        assert pmos.vt == pytest.approx(node.vt_p)
+
+
+class TestCapacitance:
+    def test_linear_in_width(self):
+        assert _nmos(2.0).gate_cap == pytest.approx(2 * _nmos(1.0).gate_cap)
+
+    def test_drain_smaller_than_gate(self):
+        device = _nmos()
+        assert device.drain_cap < device.gate_cap
+
+
+class TestOnCurrent:
+    def test_monotone_in_vdd(self):
+        device = _nmos()
+        currents = [device.on_current(v) for v in (0.2, 0.35, 0.6, 1.0)]
+        assert currents == sorted(currents)
+        assert currents[0] > 0
+
+    def test_nominal_matches_node_spec(self):
+        node = ptm32()
+        device = _nmos()
+        expected = node.ion_per_m * device.width
+        assert device.on_current(1.0) == pytest.approx(expected, rel=1e-6)
+
+    def test_subthreshold_conduction_nonzero(self):
+        """EKV model conducts (weakly) below Vt."""
+        assert _nmos().on_current(0.2) > 0
+
+    def test_near_threshold_ratio(self):
+        """Drive at 350 mV is orders of magnitude below nominal."""
+        device = _nmos()
+        ratio = device.on_current(1.0) / device.on_current(0.35)
+        assert 10 < ratio < 1e4
+
+    def test_zero_vdd(self):
+        assert _nmos().on_current(0.0) == 0.0
+
+
+class TestLeakage:
+    def test_scales_with_width(self):
+        assert _nmos(3.0).leakage_current(1.0) == pytest.approx(
+            3 * _nmos(1.0).leakage_current(1.0)
+        )
+
+    def test_dibl_relief_at_low_vdd(self):
+        """Leakage per device drops superlinearly with Vdd (DIBL)."""
+        device = _nmos()
+        ratio = device.leakage_current(1.0) / device.leakage_current(0.35)
+        assert ratio > 5.0
+
+    def test_high_vt_leaks_less(self):
+        assert _nmos(vt_offset=0.1).leakage_current(1.0) < _nmos(
+            vt_offset=0.0
+        ).leakage_current(1.0)
+
+    def test_leakage_power_is_iv(self):
+        device = _nmos()
+        assert device.leakage_power(0.8) == pytest.approx(
+            device.leakage_current(0.8) * 0.8
+        )
+
+
+class TestDelay:
+    def test_delay_explodes_at_nst(self):
+        """The reason ULE mode runs at 5 MHz instead of 1 GHz."""
+        ratio = fo4_delay(0.35) / fo4_delay(1.0)
+        assert ratio > 10
+
+    def test_infinite_delay_without_drive(self):
+        device = _nmos()
+        assert math.isinf(device.delay(1e-15, 0.0))
+
+    def test_frequencies_feasible(self):
+        """1 GHz at 1 V and 5 MHz at 350 mV leave logic-depth headroom."""
+        assert fo4_delay(1.0) < 1e-9 / 20      # >= 20 FO4 per 1 GHz cycle
+        assert fo4_delay(0.35) < 200e-9 / 20   # >= 20 FO4 per 5 MHz cycle

@@ -1,0 +1,76 @@
+"""Tests for repro.tech.variation."""
+
+import numpy as np
+import pytest
+
+from repro.tech.node import ptm32
+from repro.tech.variation import VariationModel
+
+
+class TestSigmaFor:
+    def test_matches_node(self):
+        node = ptm32()
+        model = VariationModel()
+        assert model.sigma_for(node.wmin) == pytest.approx(
+            node.sigma_vt(node.wmin)
+        )
+
+    def test_global_component_adds_in_quadrature(self):
+        node = ptm32()
+        local = VariationModel().sigma_for(node.wmin)
+        combined = VariationModel(global_sigma=local).sigma_for(node.wmin)
+        assert combined == pytest.approx(local * 2**0.5)
+
+
+class TestSampling:
+    def test_shape(self, rng):
+        node = ptm32()
+        widths = np.array([node.wmin, 2 * node.wmin])
+        samples = VariationModel().sample_offsets(widths, rng, 100)
+        assert samples.shape == (100, 2)
+
+    def test_sample_std_matches_sigma(self, rng):
+        node = ptm32()
+        widths = np.array([node.wmin] * 3)
+        model = VariationModel()
+        samples = model.sample_offsets(widths, rng, 40_000)
+        measured = samples.std(axis=0)
+        expected = model.sigma_for(node.wmin)
+        assert np.allclose(measured, expected, rtol=0.05)
+
+    def test_mean_shift_applied(self, rng):
+        node = ptm32()
+        widths = np.array([node.wmin])
+        shift = np.array([0.123])
+        samples = VariationModel().sample_offsets(
+            widths, rng, 20_000, mean_shift=shift
+        )
+        assert samples.mean() == pytest.approx(0.123, abs=0.005)
+
+    def test_bad_widths(self, rng):
+        with pytest.raises(ValueError):
+            VariationModel().sample_offsets(np.array([-1.0]), rng, 10)
+
+
+class TestLikelihoodRatio:
+    def test_zero_shift_gives_unity(self, rng):
+        node = ptm32()
+        widths = np.array([node.wmin, node.wmin])
+        model = VariationModel()
+        offsets = model.sample_offsets(widths, rng, 50)
+        log_ratio = model.log_density_ratio(
+            offsets, widths, np.zeros(2)
+        )
+        assert np.allclose(log_ratio, 0.0)
+
+    def test_is_estimator_unbiased_mean(self, rng):
+        """E_q[p/q] == 1: the IS weights must average to one."""
+        node = ptm32()
+        widths = np.array([node.wmin] * 4)
+        model = VariationModel()
+        shift = np.full(4, 0.5 * model.sigma_for(node.wmin))
+        offsets = model.sample_offsets(
+            widths, rng, 60_000, mean_shift=shift
+        )
+        weights = np.exp(model.log_density_ratio(offsets, widths, shift))
+        assert weights.mean() == pytest.approx(1.0, rel=0.05)

@@ -1,0 +1,69 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "fig4" in out
+        assert "tab-wcet" in out
+
+
+class TestDesign:
+    def test_scenario_a_summary(self, capsys):
+        assert main(["design", "A"]) == 0
+        out = capsys.readouterr().out
+        assert "Pf target" in out
+        assert "scenario A" in out
+
+    def test_bad_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["design", "C"])
+
+
+class TestRun:
+    def test_run_fast_experiment(self, capsys):
+        assert main(["run", "tab-sizing"]) == 0
+        out = capsys.readouterr().out
+        assert "tab-sizing" in out
+        assert "Paper vs measured" in out
+
+    def test_run_with_output_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.txt"
+        assert main(["run", "tab-area", "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        assert "tab-area" in out_file.read_text()
+
+    def test_trace_length_forwarded(self, capsys):
+        assert main(
+            ["run", "tab-exectime", "--trace-length", "5000"]
+        ) == 0
+        assert "exec" in capsys.readouterr().out.lower()
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            main(["run", "fig99"])
+
+
+class TestAll:
+    def test_all_writes_reports(self, tmp_path, capsys, monkeypatch):
+        """Run 'all' against a registry trimmed to the fast drivers."""
+        import repro.experiments.registry as registry
+
+        trimmed = {
+            "tab-sizing": registry._REGISTRY["tab-sizing"],
+            "tab-area": registry._REGISTRY["tab-area"],
+        }
+        monkeypatch.setattr(registry, "_REGISTRY", trimmed)
+        out_dir = tmp_path / "results"
+        assert main(["all", "--out-dir", str(out_dir)]) == 0
+        capsys.readouterr()
+        assert (out_dir / "tab-sizing.txt").exists()
+        assert (out_dir / "tab-area.txt").exists()

@@ -1,0 +1,34 @@
+"""Tests for the top-level package API (lazy exports, version)."""
+
+import pytest
+
+import repro
+
+
+class TestLazyExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_scenario_export(self):
+        from repro.core.scenarios import Scenario
+
+        assert repro.Scenario is Scenario
+
+    def test_design_scenario_export(self):
+        design = repro.design_scenario(repro.Scenario.A)
+        assert design.scenario is repro.Scenario.A
+
+    def test_experiment_exports(self):
+        assert "fig4" in repro.list_experiments()
+        result = repro.run_experiment("tab-sizing")
+        assert result.experiment_id == "tab-sizing"
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.not_a_symbol  # noqa: B018
+
+    def test_all_declared(self):
+        for name in repro.__all__:
+            if name.startswith("__"):
+                continue
+            assert getattr(repro, name) is not None

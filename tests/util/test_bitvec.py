@@ -1,0 +1,89 @@
+"""Tests for repro.util.bitvec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bitvec import (
+    bits_to_int,
+    int_to_bits,
+    pack_words,
+    parity,
+    popcount,
+    random_word,
+)
+
+
+class TestIntToBits:
+    def test_basic(self):
+        bits = int_to_bits(0b1011, 4)
+        assert list(bits) == [1, 1, 0, 1]  # LSB first
+
+    def test_zero(self):
+        assert list(int_to_bits(0, 3)) == [0, 0, 0]
+
+    def test_overflow_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+
+    def test_zero_width_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bits(0, 0)
+
+
+class TestPopcountParity:
+    def test_popcount(self):
+        assert popcount(0b1011) == 3
+
+    def test_popcount_zero(self):
+        assert popcount(0) == 0
+
+    def test_popcount_negative_raises(self):
+        with pytest.raises(ValueError):
+            popcount(-3)
+
+    def test_parity_even(self):
+        assert parity(0b101000001010) == 0
+
+    def test_parity_odd(self):
+        assert parity(0b111) == 1
+
+
+class TestRandomWord:
+    def test_width_respected(self):
+        rng = np.random.default_rng(0)
+        for width in (1, 7, 31, 32, 64, 100):
+            word = random_word(rng, width)
+            assert 0 <= word < (1 << width)
+
+    def test_deterministic(self):
+        a = random_word(np.random.default_rng(5), 64)
+        b = random_word(np.random.default_rng(5), 64)
+        assert a == b
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            random_word(np.random.default_rng(0), 0)
+
+
+class TestPackWords:
+    def test_shape_and_content(self):
+        matrix = pack_words([0b01, 0b10], 2)
+        assert matrix.shape == (2, 2)
+        assert list(matrix[0]) == [1, 0]
+        assert list(matrix[1]) == [0, 1]
+
+
+@given(st.integers(min_value=0, max_value=(1 << 80) - 1))
+def test_roundtrip(word):
+    """bits_to_int(int_to_bits(w)) == w for any 80-bit word."""
+    assert bits_to_int(int_to_bits(word, 80)) == word
+
+
+@given(st.integers(min_value=0, max_value=(1 << 40) - 1))
+def test_parity_matches_popcount(word):
+    assert parity(word) == popcount(word) % 2

@@ -1,0 +1,43 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import Table
+
+
+class TestTable:
+    def test_render_contains_cells(self):
+        table = Table(["name", "value"], title="t")
+        table.add_row(["alpha", 1.5])
+        text = table.render()
+        assert "alpha" in text
+        assert "1.5" in text
+        assert text.startswith("t")
+
+    def test_column_count_enforced(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_float_formatting(self):
+        table = Table(["x"])
+        table.add_row([0.123456789])
+        assert "0.1235" in table.render()
+
+    def test_separator(self):
+        table = Table(["a"])
+        table.add_row([1])
+        table.add_separator()
+        table.add_row([2])
+        lines = table.render().splitlines()
+        assert len(lines) == 5  # header, rule, row, rule, row
+
+    def test_alignment_width(self):
+        table = Table(["col"])
+        table.add_row(["averyverylongcell"])
+        header, rule, row = table.render().splitlines()
+        assert len(header) == len(rule) == len(row)
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])

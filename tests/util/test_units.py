@@ -1,0 +1,69 @@
+"""Tests for repro.util.units."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.units import FEMTO, GIGA, NANO, PICO, from_si, si
+
+
+class TestSiFormatting:
+    def test_femtojoule(self):
+        assert si(13.0e-15, "J") == "13.00 fJ"
+
+    def test_zero(self):
+        assert si(0.0, "W") == "0.00 W"
+
+    def test_unit_scale(self):
+        assert si(1.0, "V") == "1.00 V"
+
+    def test_kilo(self):
+        assert si(2.5e3, "Hz") == "2.50 kHz"
+
+    def test_giga(self):
+        assert si(1e9, "Hz") == "1.00 GHz"
+
+    def test_negative_value(self):
+        assert si(-3.3e-9, "s") == "-3.30 ns"
+
+    def test_digits_parameter(self):
+        assert si(1.23456e-12, "F", digits=4) == "1.2346 pF"
+
+    def test_non_finite(self):
+        assert "inf" in si(math.inf, "J")
+
+
+class TestFromSi:
+    def test_plain_number(self):
+        assert from_si("42") == 42.0
+
+    def test_millivolts(self):
+        assert from_si("350mV") == pytest.approx(0.350)
+
+    def test_femto(self):
+        assert from_si("13 fJ") == pytest.approx(13e-15)
+
+    def test_nano_with_space(self):
+        assert from_si("2.5 ns") == pytest.approx(2.5e-9)
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            from_si("volts")
+
+    def test_unknown_prefix_ignored(self):
+        # 'V' is a unit letter, not a prefix: value passes through.
+        assert from_si("3 V") == 3.0
+
+
+class TestConstants:
+    def test_prefix_ladder(self):
+        assert FEMTO < PICO < NANO < 1 < GIGA
+
+
+@given(st.floats(min_value=1e-17, max_value=1e13, allow_nan=False))
+def test_si_roundtrip_magnitude(value):
+    """Formatting then parsing recovers the value to format precision."""
+    text = si(value, "X", digits=6)
+    recovered = from_si(text)
+    assert recovered == pytest.approx(value, rel=1e-4)

@@ -1,0 +1,75 @@
+"""Tests for the address-stream primitives."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import patterns
+
+
+class TestLoopPcStream:
+    def test_confined_to_footprint(self, rng):
+        stream = patterns.loop_pc_stream(5000, 1024, rng)
+        assert stream.min() >= 0x0040_0000
+        assert stream.max() < 0x0040_0000 + 1024
+
+    def test_loopy_reuse(self, rng):
+        """Loop execution revisits addresses heavily."""
+        stream = patterns.loop_pc_stream(10_000, 2048, rng)
+        unique = len(np.unique(stream))
+        assert unique < len(stream) / 5
+
+    def test_word_aligned(self, rng):
+        stream = patterns.loop_pc_stream(1000, 512, rng)
+        assert not (stream % 4).any()
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            patterns.loop_pc_stream(0, 1024, rng)
+        with pytest.raises(ValueError):
+            patterns.loop_pc_stream(10, 32, rng)
+
+
+class TestStreaming:
+    def test_sequential_structure(self, rng):
+        stream = patterns.streaming_addresses(100, 4096, rng)
+        deltas = np.diff(stream.astype(np.int64))
+        assert (deltas == 4).mean() > 0.9
+
+    def test_confined_to_buffer(self, rng):
+        stream = patterns.streaming_addresses(10_000, 512, rng)
+        assert stream.max() - stream.min() < 512
+
+    def test_revisits(self, rng):
+        stream = patterns.streaming_addresses(
+            5000, 4096, rng, revisit=0.5
+        )
+        deltas = np.diff(stream.astype(np.int64))
+        assert (deltas != 4).mean() > 0.2
+
+
+class TestTableAndStack:
+    def test_table_alignment_and_range(self, rng):
+        table = patterns.table_addresses(1000, 256, rng)
+        assert not ((table - 0x2000_0200) % 4).any()
+        assert table.max() < 0x2000_0200 + 256
+
+    def test_stack_range(self, rng):
+        stack = patterns.stack_addresses(1000, 128, rng)
+        assert stack.min() >= 0x7FFF_0000
+        assert stack.max() < 0x7FFF_0000 + 128
+
+
+class TestBlocked:
+    def test_in_image(self, rng):
+        stream = patterns.blocked_addresses(5000, 16384, 256, rng)
+        assert stream.max() < 0x3000_0300 + 16384
+
+    def test_block_locality(self, rng):
+        """Consecutive accesses mostly stay within one block."""
+        stream = patterns.blocked_addresses(5000, 16384, 256, rng)
+        deltas = np.abs(np.diff(stream.astype(np.int64)))
+        assert (deltas <= 256).mean() > 0.9
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            patterns.blocked_addresses(10, 128, 256, rng)
