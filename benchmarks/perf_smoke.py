@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Performance smoke test: vectorized vs reference backend on fig3.
+
+Times one fig3-style evaluation (scenario A at HP mode — the heaviest
+per-access workload: BigBench on all eight ways) on both simulation
+backends, checks they agree bit-for-bit, and writes ``BENCH_engine.json``
+at the repo root so future PRs can track the speedup trajectory.
+
+The vectorized engine must be at least MIN_SPEEDUP times faster; the
+script exits non-zero otherwise, so CI catches fast-path regressions.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.core.evaluation import cached_chips, evaluate_scenario
+from repro.core.scenarios import Scenario
+from repro.engine.session import SimulationSession, use_session
+from repro.tech.operating import Mode
+
+#: Floor on the end-to-end evaluation speedup (observed ~20x).
+MIN_SPEEDUP = 5.0
+
+#: Dynamic instructions per benchmark; big enough to dominate setup.
+TRACE_LENGTH = 60_000
+
+RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_engine.json"
+)
+
+
+def _timed_evaluation(backend: str) -> tuple[float, object]:
+    """Wall-clock one fig3 evaluation under a fresh session."""
+    with use_session(SimulationSession(backend=backend)):
+        start = time.perf_counter()
+        evaluation = evaluate_scenario(
+            Scenario.A, Mode.HP, trace_length=TRACE_LENGTH
+        )
+        return time.perf_counter() - start, evaluation
+
+
+def main() -> int:
+    cached_chips(Scenario.A)  # design + chip construction out of the timing
+
+    # Vectorized first: it pays trace generation cold while the
+    # reference run inherits the memoized traces — conservative for the
+    # reported speedup.
+    vectorized_seconds, vectorized = _timed_evaluation("vectorized")
+    reference_seconds, reference = _timed_evaluation("reference")
+
+    if reference.render() != vectorized.render():
+        print("FAIL: backends rendered different tables", file=sys.stderr)
+        return 1
+
+    speedup = reference_seconds / vectorized_seconds
+    record = {
+        "experiment": "fig3 evaluation (scenario A, HP, BigBench)",
+        "trace_length": TRACE_LENGTH,
+        "benchmarks": len(reference.rows),
+        "reference_seconds": round(reference_seconds, 4),
+        "vectorized_seconds": round(vectorized_seconds, 4),
+        "speedup": round(speedup, 2),
+        "min_speedup": MIN_SPEEDUP,
+        "identical_render": True,
+    }
+    RESULT_PATH.write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+    print(json.dumps(record, indent=2))
+    print(f"wrote {RESULT_PATH}")
+
+    if speedup < MIN_SPEEDUP:
+        print(
+            f"FAIL: speedup {speedup:.1f}x below floor {MIN_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: vectorized backend {speedup:.1f}x faster (floor "
+          f"{MIN_SPEEDUP}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,8 @@
 
 Runs the Fig. 2 design methodology for scenario A, prints the sizing
 table, then compares baseline and proposed chips on one SmallBench
-workload at ULE mode — the 60-second version of the paper.
+workload at ULE mode via the batched simulation engine — the 60-second
+version of the paper.
 
 Usage::
 
@@ -11,9 +12,9 @@ Usage::
 """
 
 from repro.core import Scenario, build_chips, design_scenario
+from repro.engine import SimulationJob, SimulationSession, TraceSpec
 from repro.tech.operating import Mode
 from repro.util.units import si
-from repro.workloads import generate_trace
 
 
 def main() -> None:
@@ -31,12 +32,24 @@ def main() -> None:
     print("proposed cache :", chips.proposed.config.il1.describe())
     print()
 
-    # 3. Run one ULE-mode workload on both chips.
-    trace = generate_trace("adpcm_c", length=50_000)
-    baseline = chips.baseline.run(trace, Mode.ULE)
-    proposed = chips.proposed.run(trace, Mode.ULE)
+    # 3. Run one ULE-mode workload on both chips, submitted as a batch
+    #    through the simulation engine (the session deduplicates shared
+    #    work and can fan out across processes via jobs=N).
+    session = SimulationSession()
+    trace = TraceSpec("adpcm_c", length=50_000, seed=2013)
+    baseline, proposed = session.run_jobs(
+        [
+            SimulationJob(chip=chips.baseline.config, trace=trace,
+                          mode=Mode.ULE),
+            SimulationJob(chip=chips.proposed.config, trace=trace,
+                          mode=Mode.ULE),
+        ]
+    )
 
-    print(f"workload: {trace.name} ({len(trace)} instructions at ULE mode)")
+    print(
+        f"workload: {trace.benchmark} "
+        f"({trace.length} instructions at ULE mode)"
+    )
     print(f"  baseline EPI : {si(baseline.epi, 'J')}")
     print(f"  proposed EPI : {si(proposed.epi, 'J')}")
     saving = 1.0 - proposed.epi / baseline.epi

@@ -16,6 +16,8 @@ The package is organised bottom-up:
 * :mod:`repro.cache` — functional set-associative / hybrid cache simulator.
 * :mod:`repro.cpu` — trace-driven in-order chip simulator with an energy
   ledger (MPSim + Wattch substitute).
+* :mod:`repro.engine` — batched vectorized simulation engine and the
+  parallel/memoizing job session (see DESIGN.md section 5).
 * :mod:`repro.workloads` — synthetic MediaBench-like trace generators.
 * :mod:`repro.core` — the paper's contribution: scenarios A/B, the Fig. 2
   design methodology, and the EPI evaluation pipeline.
@@ -36,6 +38,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Scenario",
+    "SimulationJob",
+    "SimulationSession",
+    "TraceSpec",
     "design_scenario",
     "list_experiments",
     "run_experiment",
@@ -47,6 +52,9 @@ _LAZY_EXPORTS = {
     "design_scenario": ("repro.core.methodology", "design_scenario"),
     "list_experiments": ("repro.experiments.registry", "list_experiments"),
     "run_experiment": ("repro.experiments.registry", "run_experiment"),
+    "SimulationJob": ("repro.engine.jobs", "SimulationJob"),
+    "SimulationSession": ("repro.engine.session", "SimulationSession"),
+    "TraceSpec": ("repro.engine.jobs", "TraceSpec"),
 }
 
 

@@ -5,8 +5,21 @@ Usage::
     python -m repro list
     python -m repro run fig4
     python -m repro run fig3 --trace-length 60000 --out fig3.txt
+    python -m repro run fig3 --jobs 4 --backend vectorized
     python -m repro design A
-    python -m repro all --trace-length 60000 --out-dir results/
+    python -m repro all --jobs 4 --out-dir results/
+    python -m repro run fig4 --profile
+
+Engine options (``run`` and ``all``):
+
+* ``--jobs N`` — dispatch independent work across N processes;
+* ``--backend {auto,vectorized,reference}`` — simulation backend
+  (bit-identical; "auto" picks the vectorized fast path where it
+  applies);
+* ``--cache-dir DIR`` — memoize simulation results on disk, keyed by a
+  content hash of the full job description;
+* ``--profile`` — print per-phase wall-clock (trace generation,
+  simulation, energy accounting) after the run.
 """
 
 from __future__ import annotations
@@ -14,6 +27,33 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be at least 1")
+    return value
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by every command that simulates."""
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="worker processes for independent jobs (default: 1)",
+    )
+    parser.add_argument(
+        "--backend", choices=("auto", "vectorized", "reference"),
+        default="auto", help="simulation backend (default: auto)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=pathlib.Path, default=None,
+        help="enable the on-disk simulation result cache here",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print per-phase wall-clock after the run (forces --jobs 1)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -41,6 +81,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", type=pathlib.Path, default=None,
         help="also write the report to this file",
     )
+    _add_engine_options(run_parser)
 
     design_parser = commands.add_parser(
         "design", help="run the Fig. 2 methodology for a scenario"
@@ -58,39 +99,44 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out-dir", type=pathlib.Path, default=pathlib.Path("results"),
         help="directory for the rendered reports",
     )
+    _add_engine_options(all_parser)
     return parser
 
 
 def _run_kwargs(args: argparse.Namespace, experiment_id: str) -> dict:
     """Forward only the options the chosen driver accepts."""
-    takes_trace = experiment_id in (
-        "fig3", "fig4", "tab-exectime", "tab-wcet",
-        "ablation-ways", "ablation-memlat",
-    )
+    from repro.experiments.registry import experiment_parameters
+
+    accepted = experiment_parameters(experiment_id)
     kwargs = {}
-    if takes_trace and getattr(args, "trace_length", None):
-        kwargs["trace_length"] = args.trace_length
-    if takes_trace and getattr(args, "seed", None):
-        kwargs["seed"] = args.seed
+    trace_length = getattr(args, "trace_length", None)
+    if "trace_length" in accepted and trace_length is not None:
+        kwargs["trace_length"] = trace_length
+    seed = getattr(args, "seed", None)
+    if "seed" in accepted and seed is not None:
+        kwargs["seed"] = seed
     return kwargs
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
+def _make_session(args: argparse.Namespace):
+    """A SimulationSession configured from the engine options."""
+    from repro.engine.session import SimulationSession
 
+    jobs = args.jobs
+    if args.profile and jobs > 1:
+        print(
+            "[note] --profile times the driving process only; "
+            "forcing --jobs 1",
+            file=sys.stderr,
+        )
+        jobs = 1
+    return SimulationSession(
+        jobs=jobs, backend=args.backend, cache_dir=args.cache_dir
+    )
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     from repro.experiments import list_experiments, run_experiment
-
-    if args.command == "list":
-        for experiment_id in list_experiments():
-            print(experiment_id)
-        return 0
-
-    if args.command == "design":
-        from repro.core import Scenario, design_scenario
-
-        design = design_scenario(Scenario(args.scenario))
-        print(design.summary())
-        return 0
 
     if args.command == "run":
         result = run_experiment(
@@ -103,17 +149,69 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "all":
+        from repro.engine.session import current_session
+
         args.out_dir.mkdir(parents=True, exist_ok=True)
-        for experiment_id in list_experiments():
-            result = run_experiment(
-                experiment_id, **_run_kwargs(args, experiment_id)
-            )
+        experiment_ids = list_experiments()
+
+        def write_report(experiment_id: str, result) -> None:
             path = args.out_dir / f"{experiment_id}.txt"
             path.write_text(result.render() + "\n", encoding="utf-8")
             print(f"[done] {experiment_id} -> {path}")
+
+        session = current_session()
+        if session.jobs > 1 and len(experiment_ids) > 1:
+            # Reports are written from the completion callback, so one
+            # failing experiment cannot discard the finished ones.
+            session.run_experiments(
+                experiment_ids,
+                {
+                    experiment_id: _run_kwargs(args, experiment_id)
+                    for experiment_id in experiment_ids
+                },
+                on_result=write_report,
+            )
+        else:
+            # Serial: persist each report as its experiment completes,
+            # so a late failure or interrupt keeps the finished work.
+            for experiment_id in experiment_ids:
+                result = run_experiment(
+                    experiment_id, **_run_kwargs(args, experiment_id)
+                )
+                write_report(experiment_id, result)
         return 0
 
     raise AssertionError("unreachable")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        from repro.experiments import list_experiments
+
+        for experiment_id in list_experiments():
+            print(experiment_id)
+        return 0
+
+    if args.command == "design":
+        from repro.core import Scenario, design_scenario
+
+        design = design_scenario(Scenario(args.scenario))
+        print(design.summary())
+        return 0
+
+    from repro.engine.session import use_session
+    from repro.util.profiling import profiled
+
+    with _make_session(args) as session, use_session(session):
+        if args.profile:
+            with profiled() as profiler:
+                status = _dispatch(args)
+            print()
+            print(profiler.render())
+            return status
+        return _dispatch(args)
 
 
 if __name__ == "__main__":

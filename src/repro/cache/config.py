@@ -82,6 +82,22 @@ class WayGroupConfig:
                     f"group {self.name!r}: no tag protection for {mode}"
                 )
 
+    # Mapping proxies cannot pickle; configs must cross process
+    # boundaries for the engine's parallel dispatch, so state round-trips
+    # through plain dicts and re-freezes on load.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["data_protection"] = dict(self.data_protection)
+        state["tag_protection"] = dict(self.tag_protection)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        state = dict(state)
+        state["data_protection"] = _freeze(state["data_protection"])
+        state["tag_protection"] = _freeze(state["tag_protection"])
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
     def is_active(self, mode: Mode) -> bool:
         """Whether the group's ways are powered in ``mode``."""
         return mode in self.active_modes

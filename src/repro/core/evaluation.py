@@ -4,6 +4,11 @@ For one scenario and one operating mode, every benchmark of the mode's
 suite is run on the baseline chip and on the proposed chip; results are
 reported as EPI ratios and per-category breakdowns normalized to the
 baseline — exactly the presentation of the paper's figures.
+
+All runs are submitted as one batch through the simulation engine's
+session (:mod:`repro.engine.session`), which deduplicates shared work,
+memoizes results and — when the session is configured with ``jobs > 1``
+— dispatches the independent (chip, benchmark) jobs across processes.
 """
 
 from __future__ import annotations
@@ -16,9 +21,16 @@ from repro.core.architect import ScenarioChips, build_chips
 from repro.core.methodology import DesignResult, design_scenario
 from repro.core.scenarios import Scenario
 from repro.cpu.chip import RunResult
+from repro.cpu.trace import Trace
+from repro.engine.jobs import SimulationJob, TraceSpec
+from repro.engine.session import SimulationSession, current_session
 from repro.tech.operating import Mode
 from repro.util.tables import Table
-from repro.workloads.mediabench import BenchmarkSpec, generate_trace
+from repro.workloads.mediabench import (
+    BenchmarkSpec,
+    benchmark_by_name,
+    generate_trace,
+)
 from repro.workloads.suites import suite_for_mode
 
 
@@ -154,6 +166,24 @@ _cached_design = cached_design
 _cached_chips = cached_chips
 
 
+def _trace_handle(
+    spec: BenchmarkSpec, trace_length: int, seed: int
+) -> TraceSpec | Trace:
+    """A job-ready trace reference for one benchmark.
+
+    Registered benchmarks travel as symbolic :class:`TraceSpec`\\ s (so
+    worker processes regenerate — and memoize — them locally); ad-hoc
+    specs are generated here and embedded in the job.
+    """
+    try:
+        registered = benchmark_by_name(spec.name) is spec
+    except ValueError:
+        registered = False
+    if registered:
+        return TraceSpec(spec.name, trace_length, seed)
+    return generate_trace(spec, length=trace_length, seed=seed)
+
+
 def evaluate_scenario(
     scenario: Scenario,
     mode: Mode,
@@ -163,12 +193,24 @@ def evaluate_scenario(
     chips: ScenarioChips | None = None,
     design: DesignResult | None = None,
     operating_point=None,
+    session: SimulationSession | None = None,
 ) -> ScenarioEvaluation:
     """Run the paper's comparison for one scenario at one mode.
 
     Defaults follow the paper: SmallBench at ULE mode, BigBench at HP
     mode, the designed 7+1 8 KB caches at the published operating points;
     ``operating_point`` overrides the latter (used by the Vcc ablation).
+
+    All (chip, benchmark) runs are submitted as one batch through
+    ``session`` (default: the current engine session).  Note that jobs
+    carry the chips' *configurations*: workers rebuild ``Chip`` objects
+    from config, so everything that shapes the results must live in the
+    ``ChipConfig`` — per-instance mutations of a passed ``chips`` pair
+    (or ``Chip`` subclass overrides) do not travel.  Sessions also
+    memoize results by job content across calls; after changing model
+    behaviour at runtime (monkeypatching), clear the session
+    (``session.clear_memo()`` /
+    :func:`repro.engine.session.reset_default_session`).
     """
     design = design or cached_design(scenario)
     chips = chips or (
@@ -176,15 +218,25 @@ def evaluate_scenario(
         else build_chips(design)
     )
     benchmarks = benchmarks or suite_for_mode(mode)
-    rows = []
+    session = session or current_session()
+
+    jobs = []
     for spec in benchmarks:
-        trace = generate_trace(spec, length=trace_length, seed=seed)
-        baseline = chips.baseline.run(
-            trace, mode, operating_point=operating_point
-        )
-        proposed = chips.proposed.run(
-            trace, mode, operating_point=operating_point
-        )
+        handle = _trace_handle(spec, trace_length, seed)
+        for chip in chips.pair():
+            jobs.append(
+                SimulationJob(
+                    chip=chip.config,
+                    trace=handle,
+                    mode=mode,
+                    operating_point=operating_point,
+                )
+            )
+    results = session.run_jobs(jobs)
+
+    rows = []
+    for position, spec in enumerate(benchmarks):
+        baseline, proposed = results[2 * position], results[2 * position + 1]
         rows.append(
             BenchmarkComparison(
                 benchmark=spec.name, baseline=baseline, proposed=proposed

@@ -1,9 +1,11 @@
 """The full chip: in-order core + IL1 + DL1 + core arrays + energy ledger.
 
 :class:`Chip.run` is the reproduction's MPSim: it streams a trace through
-the functional caches, derives the cycle count from the timing model, and
-prices every event with the CACTI-like energy models — producing the
-energy-per-instruction (EPI) breakdowns of the paper's Figures 3 and 4.
+the functional caches via the simulation engine
+(:func:`repro.engine.backends.simulate_cache`), derives the cycle count
+from the timing model, and prices every event with the CACTI-like energy
+models — producing the energy-per-instruction (EPI) breakdowns of the
+paper's Figures 3 and 4.
 
 Memory energy is deliberately excluded, as in the paper ("we did not
 include memory energy in our results"); memory *latency* is included.
@@ -14,14 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cache.config import CacheConfig
-from repro.cache.hybrid import HybridCache
 from repro.cache.stats import CacheStats
 from repro.cacti.model import CacheEnergyModel
 from repro.cpu.arrays import CoreArrays
 from repro.cpu.power import EnergyLedger
 from repro.cpu.timing import TimingParams, TimingResult, compute_timing
 from repro.cpu.trace import Trace
+from repro.engine.backends import simulate_cache
 from repro.tech.operating import Mode, OperatingPoint, operating_point_for
+from repro.util.profiling import phase
 
 
 @dataclass(frozen=True)
@@ -55,6 +58,7 @@ class RunResult:
     chip_name: str
     trace_name: str
     mode: Mode
+    operating_point: OperatingPoint
     timing: TimingResult
     energy: EnergyLedger
     il1_stats: CacheStats
@@ -67,12 +71,13 @@ class RunResult:
 
     @property
     def execution_seconds(self) -> float:
-        """Wall-clock run time implied by the cycle count."""
-        return self._op.cycle_time * self.timing.cycles
+        """Wall-clock run time at the operating point the run used.
 
-    @property
-    def _op(self) -> OperatingPoint:
-        return operating_point_for(self.mode)
+        Uses the stored :attr:`operating_point` — an overridden point
+        (e.g. the Vcc ablation's) changes the implied wall clock, not
+        just the energy.
+        """
+        return self.operating_point.cycle_time * self.timing.cycles
 
 
 class Chip:
@@ -89,39 +94,44 @@ class Chip:
         trace: Trace,
         mode: Mode,
         operating_point: OperatingPoint | None = None,
+        backend: str = "auto",
     ) -> RunResult:
-        """Execute a trace in ``mode`` and account time and energy."""
+        """Execute a trace in ``mode`` and account time and energy.
+
+        ``backend`` selects the functional simulation engine ("auto",
+        "vectorized" or "reference"); all backends are bit-identical.
+        """
         op = operating_point or operating_point_for(mode)
         if op.mode is not mode:
             raise ValueError("operating point does not match mode")
 
-        il1 = HybridCache(self.config.il1, mode=mode)
-        dl1 = HybridCache(self.config.dl1, mode=mode)
-
         # Functional simulation: instruction fetches then data accesses.
-        for pc in trace.pc:
-            il1.access(int(pc), is_write=False)
+        il1_stats = simulate_cache(
+            self.config.il1, mode, trace.pc, backend=backend
+        )
         addresses, is_write = trace.memory_stream()
-        for address, write in zip(addresses, is_write):
-            dl1.access(int(address), is_write=bool(write))
+        dl1_stats = simulate_cache(
+            self.config.dl1, mode, addresses, is_write, backend=backend
+        )
 
         timing = compute_timing(
             trace.summary,
-            il1_misses=il1.stats.misses,
-            dl1_misses=dl1.stats.misses,
+            il1_misses=il1_stats.misses,
+            dl1_misses=dl1_stats.misses,
             il1_hit_latency=self.il1_model.hit_latency_cycles(op),
             dl1_hit_latency=self.dl1_model.hit_latency_cycles(op),
             params=self.config.timing,
         )
-        energy = self._account_energy(trace, op, timing, il1, dl1)
+        energy = self._account_energy(trace, op, timing, il1_stats, dl1_stats)
         return RunResult(
             chip_name=self.config.name,
             trace_name=trace.name,
             mode=mode,
+            operating_point=op,
             timing=timing,
             energy=energy,
-            il1_stats=il1.stats,
-            dl1_stats=dl1.stats,
+            il1_stats=il1_stats,
+            dl1_stats=dl1_stats,
         )
 
     # -------------------------------------------------------------- energy
@@ -130,45 +140,53 @@ class Chip:
         trace: Trace,
         op: OperatingPoint,
         timing: TimingResult,
-        il1: HybridCache,
-        dl1: HybridCache,
+        il1_stats: CacheStats,
+        dl1_stats: CacheStats,
     ) -> EnergyLedger:
-        ledger = EnergyLedger()
-        self._account_cache(ledger, "il1", self.il1_model, il1.stats, op)
-        self._account_cache(ledger, "dl1", self.dl1_model, dl1.stats, op)
+        with phase("energy.account"):
+            ledger = EnergyLedger()
+            self._account_cache(
+                ledger, "il1", self.il1_model, il1_stats, op
+            )
+            self._account_cache(
+                ledger, "dl1", self.dl1_model, dl1_stats, op
+            )
 
-        seconds = timing.cycles * op.cycle_time
-        for label, model in (("il1", self.il1_model), ("dl1", self.dl1_model)):
-            leak = model.leakage_power(op)
-            ledger.add(f"{label}.leakage", leak.array * seconds)
-            ledger.add(f"{label}.edc.leakage", leak.edc * seconds)
+            seconds = timing.cycles * op.cycle_time
+            for label, model in (
+                ("il1", self.il1_model),
+                ("dl1", self.dl1_model),
+            ):
+                leak = model.leakage_power(op)
+                ledger.add(f"{label}.leakage", leak.array * seconds)
+                ledger.add(f"{label}.edc.leakage", leak.edc * seconds)
 
-        # Core: lumped logic plus the 10T arrays.
-        summary = trace.summary
-        logic = (
-            summary.instructions
-            * self.config.core_logic_cap
-            * op.vdd
-            * op.vdd
-        )
-        ledger.add("core.logic", logic)
-        arrays = self.config.core_arrays
-        ledger.add(
-            "core.arrays.dynamic",
-            arrays.dynamic_energy(
-                op,
-                instructions=summary.instructions,
-                memory_ops=summary.memory_ops,
-            ),
-        )
-        ledger.add(
-            "core.arrays.leakage", arrays.leakage_power(op) * seconds
-        )
-        ledger.add(
-            "core.leakage",
-            self._core_logic_leakage(op) * seconds,
-        )
-        return ledger
+            # Core: lumped logic plus the 10T arrays.
+            summary = trace.summary
+            logic = (
+                summary.instructions
+                * self.config.core_logic_cap
+                * op.vdd
+                * op.vdd
+            )
+            ledger.add("core.logic", logic)
+            arrays = self.config.core_arrays
+            ledger.add(
+                "core.arrays.dynamic",
+                arrays.dynamic_energy(
+                    op,
+                    instructions=summary.instructions,
+                    memory_ops=summary.memory_ops,
+                ),
+            )
+            ledger.add(
+                "core.arrays.leakage", arrays.leakage_power(op) * seconds
+            )
+            ledger.add(
+                "core.leakage",
+                self._core_logic_leakage(op) * seconds,
+            )
+            return ledger
 
     def _core_logic_leakage(self, op: OperatingPoint) -> float:
         from repro.cacti.components import gate_leakage

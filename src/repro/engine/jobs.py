@@ -1,0 +1,199 @@
+"""Simulation job descriptions and the per-process execution worker.
+
+A :class:`SimulationJob` is a fully self-contained, picklable description
+of one (chip, trace, mode, operating point) run — the unit the
+:class:`repro.engine.session.SimulationSession` deduplicates, dispatches
+across processes and memoizes on disk.
+
+Traces are usually referenced symbolically (:class:`TraceSpec`) so that
+worker processes regenerate them locally instead of shipping megabytes of
+arrays through pickling; an inline :class:`repro.cpu.trace.Trace` is also
+accepted for ad-hoc streams.  Chips travel as :class:`ChipConfig` (pure
+frozen dataclasses) and are rebuilt — and memoized — per process.
+
+``job_key`` derives a content hash over everything that determines the
+result.  The simulation *backend* is deliberately excluded: backends are
+bit-identical by contract (enforced by ``tests/engine``), so results are
+shared across backend choices.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import pathlib
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Mapping
+
+import numpy as np
+
+from repro.cpu.chip import Chip, ChipConfig, RunResult
+from repro.cpu.trace import Trace
+from repro.tech.operating import Mode, OperatingPoint
+from repro.util.profiling import phase
+
+#: Bump when the key schema itself changes.
+ENGINE_CACHE_VERSION = 1
+
+
+@lru_cache(maxsize=1)
+def _code_fingerprint() -> str:
+    """Digest of the ``repro`` package sources.
+
+    Simulation results depend on the model code, not just the job
+    description — tuning a calibration constant must not be served a
+    stale on-disk result.  Folding a source digest into every job key
+    makes cache invalidation automatic on any package edit.
+    """
+    root = pathlib.Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A regenerable trace: registered benchmark name + length + seed."""
+
+    benchmark: str
+    length: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class SimulationJob:
+    """One (chip, trace, mode, operating point) simulation request.
+
+    Attributes:
+        chip: the chip configuration to run.
+        trace: a :class:`TraceSpec` (regenerated in the worker) or an
+            inline :class:`Trace`.
+        mode: operating mode of the run.
+        operating_point: optional override of the mode's paper default.
+        backend: simulation backend; None defers to the session default.
+    """
+
+    chip: ChipConfig
+    trace: TraceSpec | Trace
+    mode: Mode
+    operating_point: OperatingPoint | None = None
+    backend: str | None = None
+
+
+def _trace_token(trace: TraceSpec | Trace) -> str:
+    """Canonical text for the trace part of a job key."""
+    if isinstance(trace, TraceSpec):
+        return repr(trace)
+    digest = hashlib.sha256()
+    for array in (
+        trace.pc, trace.kind, trace.addr, trace.dep_next, trace.redirect
+    ):
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return f"Trace({trace.name!r}, n={len(trace)}, {digest.hexdigest()})"
+
+
+def _canonical(value) -> str:
+    """Deterministic content text for job-key hashing.
+
+    ``repr`` alone is not stable across interpreter invocations: set
+    iteration order follows randomized string hashing (PYTHONHASHSEED),
+    so ``repr(frozenset({Mode.HP, Mode.ULE}))`` flips between runs and
+    would silently defeat the cross-invocation disk cache.  This walker
+    recurses through dataclasses and containers, sorting unordered ones.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ", ".join(
+            f"{field.name}={_canonical(getattr(value, field.name))}"
+            for field in dataclasses.fields(value)
+        )
+        return f"{type(value).__name__}({fields})"
+    if isinstance(value, (frozenset, set)):
+        return "{" + ", ".join(sorted(_canonical(v) for v in value)) + "}"
+    if isinstance(value, Mapping):
+        entries = sorted(
+            (_canonical(key), _canonical(item))
+            for key, item in value.items()
+        )
+        return "{" + ", ".join(f"{k}: {v}" for k, v in entries) + "}"
+    if isinstance(value, (tuple, list)):
+        return "(" + ", ".join(_canonical(v) for v in value) + ")"
+    return repr(value)
+
+
+def _chip_token(config: ChipConfig) -> str:
+    """Canonical text for a chip configuration.
+
+    The canonical walk recursively includes every numeric parameter of
+    the cache geometry, bitcells, protection schemes and timing model,
+    so it is a faithful — and invocation-stable — content description.
+    """
+    return _canonical(config)
+
+
+def job_key(job: SimulationJob) -> str:
+    """Content hash identifying a job's result (backend-independent)."""
+    text = "\x1f".join(
+        (
+            f"engine-cache-v{ENGINE_CACHE_VERSION}",
+            _code_fingerprint(),
+            _chip_token(job.chip),
+            _trace_token(job.trace),
+            repr(job.mode),
+            _canonical(job.operating_point),
+        )
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------- workers
+#: Per-process memos: identical jobs in one batch share chip construction
+#: and trace generation, whichever process they land in.  The trace memo
+#: is bounded (traces are megabytes; sweeps over lengths/seeds must not
+#: pin every generated trace for the process lifetime) with FIFO
+#: eviction — batches reuse traces generated moments before.
+_CHIP_MEMO: dict[str, Chip] = {}
+_TRACE_MEMO: dict[TraceSpec, Trace] = {}
+_TRACE_MEMO_LIMIT = 32
+
+
+def chip_for(config: ChipConfig) -> Chip:
+    """Build (and memoize per process) the chip of a configuration."""
+    key = _chip_token(config)
+    chip = _CHIP_MEMO.get(key)
+    if chip is None:
+        chip = Chip(config)
+        _CHIP_MEMO[key] = chip
+    return chip
+
+
+def trace_for(trace: TraceSpec | Trace) -> Trace:
+    """Resolve a job's trace, regenerating specs at most once."""
+    if isinstance(trace, Trace):
+        return trace
+    resolved = _TRACE_MEMO.get(trace)
+    if resolved is None:
+        from repro.workloads.mediabench import generate_trace
+
+        resolved = generate_trace(
+            trace.benchmark, length=trace.length, seed=trace.seed
+        )
+        while len(_TRACE_MEMO) >= _TRACE_MEMO_LIMIT:
+            _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
+        _TRACE_MEMO[trace] = resolved
+    return resolved
+
+
+def execute_job(job: SimulationJob, backend: str = "auto") -> RunResult:
+    """Run one job to completion (module-level: picklable for pools)."""
+    chip = chip_for(job.chip)
+    trace = trace_for(job.trace)
+    with phase("jobs.execute"):
+        return chip.run(
+            trace,
+            job.mode,
+            operating_point=job.operating_point,
+            backend=job.backend or backend,
+        )

@@ -1,0 +1,352 @@
+"""Experiment orchestration: batched, parallel, memoized simulation.
+
+A :class:`SimulationSession` is the front door of the engine: callers
+submit batches of :class:`SimulationJob`\\ s (or whole experiment ids) and
+the session
+
+* **deduplicates** identical jobs within and across batches (the same
+  (chip, trace, mode, operating point) never simulates twice),
+* **dispatches** independent jobs across worker processes with
+  :class:`concurrent.futures.ProcessPoolExecutor` when ``jobs > 1``,
+* **memoizes** results in memory and, optionally, in a content-hash-keyed
+  on-disk cache that survives across invocations.
+
+A module-global *current session* (default: serial, in-process, no disk
+cache) lets the evaluation pipeline batch through the engine without
+threading a session argument through every driver; the CLI installs a
+configured session via :func:`use_session`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
+from dataclasses import dataclass
+from functools import partial
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterator,
+    Mapping,
+    Sequence,
+)
+
+from repro.cpu.chip import RunResult
+from repro.engine.backends import BACKENDS
+from repro.engine.jobs import SimulationJob, execute_job, job_key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.experiments.report import ExperimentResult
+
+
+class DiskResultCache:
+    """Content-hash-keyed pickle store for simulation results.
+
+    Entries live under a generation directory named by the
+    package-source fingerprint: any source edit changes every job key
+    (see :func:`repro.engine.jobs.job_key`), orphaning prior entries —
+    grouping them per generation keeps stale pickles identifiable and
+    trivially prunable (`rm -r cache/gen-*` minus the newest).
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        from repro.engine.jobs import _code_fingerprint
+
+        self.base = Path(root)
+        self.root = self.base / f"gen-{_code_fingerprint()[:16]}"
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str) -> RunResult | None:
+        """The cached result for a key, or None (corrupt files ignored)."""
+        try:
+            payload = self._path(key).read_bytes()
+        except OSError:
+            return None
+        try:
+            return pickle.loads(payload)
+        except Exception:
+            return None
+
+    def put(self, key: str, result: RunResult) -> None:
+        """Store a result atomically (concurrent writers tolerated)."""
+        path = self._path(key)
+        scratch = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        scratch.write_bytes(pickle.dumps(result))
+        os.replace(scratch, path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.pkl"))
+
+
+@dataclass
+class SessionStats:
+    """Where each requested job's result came from."""
+
+    executed: int = 0
+    memo_hits: int = 0
+    disk_hits: int = 0
+    deduplicated: int = 0
+
+    @property
+    def requested(self) -> int:
+        """Total jobs requested through the session."""
+        return (
+            self.executed
+            + self.memo_hits
+            + self.disk_hits
+            + self.deduplicated
+        )
+
+
+class SimulationSession:
+    """Batched job execution with dedup, process dispatch and memoization.
+
+    Args:
+        jobs: worker processes for independent jobs (1 = in-process).
+        backend: default simulation backend for submitted jobs.
+        cache_dir: enable the on-disk result cache rooted here.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        backend: str = "auto",
+        cache_dir: str | os.PathLike | None = None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; known: {list(BACKENDS)}"
+            )
+        self.jobs = jobs
+        self.backend = backend
+        self.stats = SessionStats()
+        self._memo: dict[str, RunResult] = {}
+        self._pool: ProcessPoolExecutor | None = None
+        self._disk = (
+            DiskResultCache(cache_dir) if cache_dir is not None else None
+        )
+
+    @property
+    def _cache_root(self) -> Path | None:
+        """The user-facing cache root (pre-generation-suffix)."""
+        return self._disk.base if self._disk is not None else None
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def clear_memo(self) -> None:
+        """Drop all in-memory memoized results.
+
+        Memoization keys capture the job *content* (config, trace, mode,
+        operating point) plus the on-disk package sources — not runtime
+        state.  Code that changes model behaviour at runtime (e.g.
+        monkeypatching an energy component in a test) must clear the
+        session it submits through, or use a fresh session.
+        """
+        self._memo.clear()
+
+    def __enter__(self) -> "SimulationSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ---------------------------------------------------- simulation jobs
+    def run_jobs(
+        self, jobs: Sequence[SimulationJob]
+    ) -> list[RunResult]:
+        """Run a batch, returning results in submission order.
+
+        Within the batch, duplicate jobs execute once; results already
+        known to the in-memory memo or the disk cache are not re-run.
+        """
+        jobs = list(jobs)
+        keys = [job_key(job) for job in jobs]
+        pending: dict[str, SimulationJob] = {}
+        for key, job in zip(keys, jobs):
+            if key in self._memo:
+                self.stats.memo_hits += 1
+                continue
+            if key in pending:
+                self.stats.deduplicated += 1
+                continue
+            if self._disk is not None:
+                cached = self._disk.get(key)
+                if cached is not None:
+                    self._memo[key] = cached
+                    self.stats.disk_hits += 1
+                    continue
+            pending[key] = job
+        if pending:
+            results = self._execute(list(pending.values()))
+            for key, result in zip(pending, results):
+                self._memo[key] = result
+                if self._disk is not None:
+                    self._disk.put(key, result)
+            self.stats.executed += len(pending)
+        return [self._memo[key] for key in keys]
+
+    def run_one(self, job: SimulationJob) -> RunResult:
+        """Run a single job through the batching machinery."""
+        return self.run_jobs([job])[0]
+
+    def _execute(
+        self, jobs: Sequence[SimulationJob]
+    ) -> list[RunResult]:
+        runner = partial(execute_job, backend=self.backend)
+        if self.jobs > 1 and len(jobs) > 1:
+            # The pool lives for the session: workers keep their
+            # chip/trace memos warm across batches (e.g. the per-Vdd
+            # evaluations of an ablation) instead of re-deriving them.
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            return list(self._pool.map(runner, jobs))
+        return [runner(job) for job in jobs]
+
+    # ------------------------------------------------- experiment batches
+    def run_experiments(
+        self,
+        experiment_ids: Sequence[str],
+        kwargs_by_id: Mapping[str, dict] | None = None,
+        on_result: Callable[[str, "ExperimentResult"], None] | None = None,
+    ) -> dict[str, "ExperimentResult"]:
+        """Run registry experiments, in parallel when ``jobs > 1``.
+
+        ``on_result`` is invoked as each experiment finishes (completion
+        order under parallel dispatch) — callers use it to persist
+        reports incrementally, so one failing experiment does not
+        discard the others' finished work.
+
+        Each experiment runs in its own worker with a serial inner
+        session using this session's backend and disk cache, so process
+        counts stay bounded by ``jobs`` whatever the drivers submit
+        internally, while results are still shared across experiments
+        (and invocations) through the disk cache.  The serial path runs
+        under this session itself, sharing the in-memory memo too.
+        """
+        kwargs_by_id = dict(kwargs_by_id or {})
+        if self.jobs > 1 and len(experiment_ids) > 1:
+            # Workers are separate processes: the in-memory memo cannot
+            # be shared, so cross-experiment result sharing goes through
+            # a disk cache — the configured one, or a scratch directory
+            # for the duration of the batch.
+            scratch: tempfile.TemporaryDirectory | None = None
+            if self._cache_root is not None:
+                cache_dir: Path | None = self._cache_root
+            else:
+                scratch = tempfile.TemporaryDirectory(
+                    prefix="repro-engine-"
+                )
+                cache_dir = Path(scratch.name)
+            items = [
+                (
+                    experiment_id,
+                    kwargs_by_id.get(experiment_id, {}),
+                    self.backend,
+                    cache_dir,
+                )
+                for experiment_id in experiment_ids
+            ]
+            results: dict[str, "ExperimentResult"] = {}
+            first_error: BaseException | None = None
+            try:
+                workers = min(self.jobs, len(items))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        pool.submit(_execute_experiment, item)
+                        for item in items
+                    ]
+                    # Drain every future: one failing experiment must
+                    # not discard the others' finished results (they
+                    # are streamed to on_result); re-raise afterwards.
+                    for future in as_completed(futures):
+                        try:
+                            experiment_id, result = future.result()
+                        except BaseException as error:
+                            if first_error is None:
+                                first_error = error
+                            continue
+                        results[experiment_id] = result
+                        if on_result is not None:
+                            on_result(experiment_id, result)
+            finally:
+                if scratch is not None:
+                    scratch.cleanup()
+            if first_error is not None:
+                raise first_error
+            return results
+
+        from repro.experiments.registry import run_experiment
+
+        results = {}
+        with use_session(self):
+            for experiment_id in experiment_ids:
+                result = run_experiment(
+                    experiment_id, **kwargs_by_id.get(experiment_id, {})
+                )
+                results[experiment_id] = result
+                if on_result is not None:
+                    on_result(experiment_id, result)
+        return results
+
+
+def _execute_experiment(
+    item: tuple[str, dict, str, os.PathLike | None]
+) -> tuple[str, "ExperimentResult"]:
+    """Worker: run one registry experiment under a serial session."""
+    experiment_id, kwargs, backend, cache_dir = item
+    from repro.experiments.registry import run_experiment
+
+    session = SimulationSession(
+        jobs=1, backend=backend, cache_dir=cache_dir
+    )
+    with use_session(session):
+        return experiment_id, run_experiment(experiment_id, **kwargs)
+
+
+# ------------------------------------------------------- current session
+#: Fallback session: serial, in-process, memory memo only.
+_DEFAULT_SESSION = SimulationSession()
+_CURRENT: SimulationSession | None = None
+
+
+def current_session() -> SimulationSession:
+    """The session the evaluation pipeline submits through."""
+    if _CURRENT is not None:
+        return _CURRENT
+    return _DEFAULT_SESSION
+
+
+def reset_default_session() -> None:
+    """Replace the process-global fallback session with a fresh one.
+
+    Use after runtime model changes (monkeypatching, hot reloads) that
+    would make the default session's memoized results stale.
+    """
+    global _DEFAULT_SESSION
+    _DEFAULT_SESSION.close()
+    _DEFAULT_SESSION = SimulationSession()
+
+
+@contextmanager
+def use_session(session: SimulationSession) -> Iterator[SimulationSession]:
+    """Install ``session`` as the current session for the block."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = session
+    try:
+        yield session
+    finally:
+        _CURRENT = previous

@@ -8,14 +8,14 @@ re-encode pass, gating — against the energy of a single ULE phase.
 from __future__ import annotations
 
 from repro.core import calibration
-from repro.core.architect import build_chips
 from repro.core.evaluation import cached_chips, cached_design
 from repro.core.scenarios import Scenario
 from repro.core.transitions import ModeTransitionModel
+from repro.engine.jobs import SimulationJob, TraceSpec
+from repro.engine.session import current_session
 from repro.experiments.report import ExperimentResult, PaperComparison
 from repro.tech.operating import Mode
 from repro.util.tables import Table
-from repro.workloads.mediabench import generate_trace
 
 
 def run_modeswitch(
@@ -56,8 +56,13 @@ def run_modeswitch(
         back = transition.ule_to_hp()
         switch_energy = cost.total_energy + back.total_energy
 
-        trace = generate_trace("adpcm_c", length=trace_length, seed=seed)
-        phase = chip.run(trace, Mode.ULE)
+        phase = current_session().run_one(
+            SimulationJob(
+                chip=chip.config,
+                trace=TraceSpec("adpcm_c", trace_length, seed),
+                mode=Mode.ULE,
+            )
+        )
         # Both L1s transition; the phase uses both too.
         overhead = 2 * switch_energy / phase.energy.total
         table.add_row(

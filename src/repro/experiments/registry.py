@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from collections.abc import Callable
 
 from repro.experiments.ablations import (
@@ -40,6 +41,23 @@ _REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
 def list_experiments() -> list[str]:
     """All registered experiment ids."""
     return sorted(_REGISTRY)
+
+
+def experiment_parameters(experiment_id: str) -> frozenset[str]:
+    """Keyword parameters the experiment's driver accepts.
+
+    The CLI uses this to forward only applicable options (e.g.
+    ``--trace-length``) instead of maintaining a per-experiment
+    allowlist that drifts as drivers are added.
+    """
+    try:
+        driver = _REGISTRY[experiment_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {list_experiments()}"
+        ) from None
+    return frozenset(inspect.signature(driver).parameters)
 
 
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:

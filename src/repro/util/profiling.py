@@ -1,0 +1,108 @@
+"""Lightweight phase profiling for the simulation pipeline.
+
+The engine, the trace generators and the energy accountant wrap their hot
+sections in :func:`phase` blocks.  When no profiler is active the wrapper
+is a no-op; under ``python -m repro ... --profile`` (or any code using
+:func:`profiled`) wall-clock time and call counts are accumulated per
+phase so hot spots stay visible as the engine evolves.
+
+Phases nest: time spent inside an inner phase is *also* counted in the
+enclosing one (the report shows wall-clock per phase, not an exclusive
+decomposition), which keeps the bookkeeping trivial and the numbers easy
+to interpret against total wall time.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.util.tables import Table
+
+
+@dataclass
+class PhaseRecord:
+    """Accumulated wall-clock of one phase."""
+
+    seconds: float = 0.0
+    calls: int = 0
+
+
+@dataclass
+class Profiler:
+    """Per-phase wall-clock accumulator."""
+
+    phases: dict[str, PhaseRecord] = field(default_factory=dict)
+    started_at: float = field(default_factory=time.perf_counter)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Add one timed call to a phase."""
+        record = self.phases.setdefault(name, PhaseRecord())
+        record.seconds += seconds
+        record.calls += 1
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a block under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - start)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall clock since the profiler was created."""
+        return time.perf_counter() - self.started_at
+
+    def render(self) -> str:
+        """ASCII table of per-phase wall-clock."""
+        total = self.total_seconds
+        table = Table(
+            ["phase", "calls", "seconds", "% of wall"],
+            title=f"Per-phase wall-clock (total {total:.3f} s)",
+        )
+        ordered = sorted(
+            self.phases.items(), key=lambda item: -item[1].seconds
+        )
+        for name, record in ordered:
+            share = 100.0 * record.seconds / total if total > 0 else 0.0
+            table.add_row(
+                [name, record.calls, record.seconds, f"{share:.1f} %"]
+            )
+        return table.render()
+
+
+#: The active profiler, if any (module-global; the simulation pipeline is
+#: synchronous within one process, so no thread-local is needed).
+_ACTIVE: Profiler | None = None
+
+
+def active_profiler() -> Profiler | None:
+    """The currently installed profiler (None when profiling is off)."""
+    return _ACTIVE
+
+
+@contextmanager
+def profiled() -> Iterator[Profiler]:
+    """Install a fresh profiler for the duration of the block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    profiler = Profiler()
+    _ACTIVE = profiler
+    try:
+        yield profiler
+    finally:
+        _ACTIVE = previous
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Time a block under ``name`` if a profiler is active (else no-op)."""
+    if _ACTIVE is None:
+        yield
+        return
+    with _ACTIVE.phase(name):
+        yield

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cpu.trace import InstrKind, Trace
+from repro.util import profiling
 from repro.util.rng import derive_seed
 from repro.workloads import patterns
 
@@ -197,6 +198,13 @@ def generate_trace(
         seed: root seed (the per-benchmark stream is derived from it, so
             different benchmarks decorrelate under the same root seed).
     """
+    with profiling.phase("trace.generate"):
+        return _generate_trace(spec, length, seed)
+
+
+def _generate_trace(
+    spec: BenchmarkSpec | str, length: int, seed: int
+) -> Trace:
     if isinstance(spec, str):
         spec = benchmark_by_name(spec)
     if length <= 0:

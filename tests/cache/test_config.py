@@ -132,3 +132,36 @@ class TestStoredFormats:
         assert "8 KB" in baseline.describe() or "8 KB" in str(
             baseline.describe()
         )
+
+
+class TestPicklability:
+    def test_config_round_trips_through_pickle(self, design_a):
+        """Engine workers receive configs by pickling: the frozen mapping
+        proxies must survive the round trip re-frozen and equal."""
+        import pickle
+
+        baseline, proposed = build_cache_pair(design_a)
+        for config in (baseline, proposed):
+            clone = pickle.loads(pickle.dumps(config))
+            assert clone.name == config.name
+            assert clone.ways == config.ways
+            for original, copied in zip(
+                config.way_groups, clone.way_groups
+            ):
+                assert dict(copied.data_protection) == dict(
+                    original.data_protection
+                )
+                assert dict(copied.tag_protection) == dict(
+                    original.tag_protection
+                )
+                assert copied.active_modes == original.active_modes
+                assert copied.edc_inline_modes == original.edc_inline_modes
+            # Proxies must be re-frozen, not left as mutable dicts.
+            with pytest.raises(TypeError):
+                clone.way_groups[0].data_protection[Mode.HP] = None
+            # The engine's canonical content token (the basis of job
+            # keys) must survive the round trip.  Plain repr is NOT
+            # order-stable for frozenset fields, so compare canonically.
+            from repro.engine.jobs import _canonical
+
+            assert _canonical(clone) == _canonical(config)

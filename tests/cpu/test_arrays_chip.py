@@ -82,8 +82,26 @@ class TestChipRun:
 
     def test_execution_seconds(self, chips_a, small_trace):
         result = chips_a.baseline.run(small_trace, Mode.ULE)
+        assert result.operating_point == ULE_OPERATING_POINT
         assert result.execution_seconds == pytest.approx(
             result.timing.cycles * 200e-9
+        )
+
+    def test_execution_seconds_uses_overridden_point(
+        self, chips_a, small_trace
+    ):
+        """An overridden operating point changes the implied wall clock:
+        the run result must report the point it actually used, not the
+        mode's paper default."""
+        from repro.tech.operating import OperatingPoint
+
+        slow = OperatingPoint(mode=Mode.ULE, vdd=0.40, frequency=1e6)
+        result = chips_a.baseline.run(
+            small_trace, Mode.ULE, operating_point=slow
+        )
+        assert result.operating_point == slow
+        assert result.execution_seconds == pytest.approx(
+            result.timing.cycles / 1e6
         )
 
     def test_caches_dominate_chip_energy(self, chips_a, big_trace):

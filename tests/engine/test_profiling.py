@@ -1,0 +1,64 @@
+"""Phase profiling: no-op when inactive, accurate accounting when on."""
+
+from repro.core.evaluation import evaluate_scenario
+from repro.core.scenarios import Scenario
+from repro.tech.operating import Mode
+from repro.util.profiling import active_profiler, phase, profiled
+
+
+class TestProfiler:
+    def test_inactive_phase_is_noop(self):
+        assert active_profiler() is None
+        with phase("anything"):
+            pass
+        assert active_profiler() is None
+
+    def test_records_phases(self):
+        with profiled() as profiler:
+            with phase("alpha"):
+                pass
+            with phase("alpha"):
+                pass
+            with phase("beta"):
+                pass
+        assert profiler.phases["alpha"].calls == 2
+        assert profiler.phases["beta"].calls == 1
+        assert profiler.phases["alpha"].seconds >= 0.0
+
+    def test_nested_profilers_restore(self):
+        with profiled() as outer:
+            with profiled() as inner:
+                with phase("inner-only"):
+                    pass
+            with phase("outer-only"):
+                pass
+        assert "inner-only" in inner.phases
+        assert "inner-only" not in outer.phases
+        assert "outer-only" in outer.phases
+
+    def test_render_lists_phases(self):
+        with profiled() as profiler:
+            with phase("simulate"):
+                pass
+        rendered = profiler.render()
+        assert "simulate" in rendered
+        assert "wall" in rendered
+
+    def test_pipeline_phases_show_up(self, chips_a, design_a):
+        """An end-to-end evaluation populates the canonical phases."""
+        from repro.engine.session import SimulationSession, use_session
+
+        # Fresh session and an odd trace length: nothing memoized, every
+        # stage actually executes under the profiler.
+        with profiled() as profiler, use_session(SimulationSession()):
+            evaluate_scenario(
+                Scenario.A,
+                Mode.ULE,
+                trace_length=2_347,
+                chips=chips_a,
+                design=design_a,
+            )
+        assert "trace.generate" in profiler.phases
+        assert "simulate.vectorized" in profiler.phases
+        assert "energy.account" in profiler.phases
+        assert "jobs.execute" in profiler.phases

@@ -1,0 +1,322 @@
+"""SimulationSession: batching, dedup, disk memoization, parallelism."""
+
+import pytest
+
+from repro.core.evaluation import evaluate_scenario
+from repro.core.scenarios import Scenario
+from repro.engine.jobs import SimulationJob, TraceSpec, job_key
+from repro.engine.session import (
+    SimulationSession,
+    current_session,
+    use_session,
+)
+from repro.tech.operating import Mode, OperatingPoint
+from repro.workloads.mediabench import generate_trace
+
+
+def _job(chips, which="baseline", bench="adpcm_c", length=4_000,
+         mode=Mode.ULE, operating_point=None):
+    chip = getattr(chips, which)
+    return SimulationJob(
+        chip=chip.config,
+        trace=TraceSpec(bench, length, 42),
+        mode=mode,
+        operating_point=operating_point,
+    )
+
+
+class TestJobKey:
+    def test_stable_for_equal_jobs(self, chips_a):
+        assert job_key(_job(chips_a)) == job_key(_job(chips_a))
+
+    def test_sensitive_to_every_field(self, chips_a):
+        base = job_key(_job(chips_a))
+        assert job_key(_job(chips_a, which="proposed")) != base
+        assert job_key(_job(chips_a, bench="epic_c")) != base
+        assert job_key(_job(chips_a, length=5_000)) != base
+        assert job_key(_job(chips_a, mode=Mode.HP)) != base
+        point = OperatingPoint(mode=Mode.ULE, vdd=0.4, frequency=5e6)
+        assert job_key(_job(chips_a, operating_point=point)) != base
+
+    def test_stable_across_interpreter_invocations(self):
+        """Keys must survive hash randomization: repr of frozensets
+        varies with PYTHONHASHSEED, which would defeat the disk cache
+        (regression)."""
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        import repro
+
+        src_dir = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+        code = (
+            "from repro.core.evaluation import cached_chips\n"
+            "from repro.core.scenarios import Scenario\n"
+            "from repro.engine.jobs import SimulationJob, TraceSpec, "
+            "job_key\n"
+            "from repro.tech.operating import Mode\n"
+            "chips = cached_chips(Scenario.A)\n"
+            "job = SimulationJob(chip=chips.proposed.config,\n"
+            "                    trace=TraceSpec('adpcm_c', 1000, 1),\n"
+            "                    mode=Mode.ULE)\n"
+            "print(job_key(job))\n"
+        )
+        keys = set()
+        for hash_seed in ("1", "2", "3"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                filter(None, [src_dir, env.get("PYTHONPATH", "")])
+            )
+            result = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            keys.add(result.stdout.strip())
+        assert len(keys) == 1
+
+    def test_inline_trace_hashes_content(self, chips_a):
+        short = generate_trace("adpcm_c", length=1_000, seed=1)
+        long = generate_trace("adpcm_c", length=2_000, seed=1)
+        job_short = SimulationJob(
+            chip=chips_a.baseline.config, trace=short, mode=Mode.ULE
+        )
+        job_long = SimulationJob(
+            chip=chips_a.baseline.config, trace=long, mode=Mode.ULE
+        )
+        assert job_key(job_short) != job_key(job_long)
+        assert job_key(job_short) == job_key(job_short)
+
+
+class TestSessionBatching:
+    def test_results_in_submission_order(self, chips_a):
+        session = SimulationSession()
+        jobs = [
+            _job(chips_a, which="baseline"),
+            _job(chips_a, which="proposed"),
+        ]
+        results = session.run_jobs(jobs)
+        assert results[0].chip_name == chips_a.baseline.config.name
+        assert results[1].chip_name == chips_a.proposed.config.name
+
+    def test_duplicate_jobs_execute_once(self, chips_a):
+        session = SimulationSession()
+        job = _job(chips_a)
+        first, second = session.run_jobs([job, job])
+        assert first is second
+        assert session.stats.executed == 1
+        assert session.stats.deduplicated == 1
+
+    def test_memo_across_batches(self, chips_a):
+        session = SimulationSession()
+        job = _job(chips_a)
+        first = session.run_one(job)
+        second = session.run_one(job)
+        assert first is second
+        assert session.stats.executed == 1
+        assert session.stats.memo_hits == 1
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationSession(jobs=0)
+        with pytest.raises(ValueError):
+            SimulationSession(backend="turbo")
+
+    def test_backend_choice_is_result_invariant(self, chips_a):
+        job = _job(chips_a)
+        reference = SimulationSession(backend="reference").run_one(job)
+        vectorized = SimulationSession(backend="vectorized").run_one(job)
+        assert reference.epi == vectorized.epi
+        assert reference.il1_stats == vectorized.il1_stats
+        assert reference.timing == vectorized.timing
+
+
+class TestDiskCache:
+    def test_second_session_hits_disk(self, chips_a, tmp_path):
+        job = _job(chips_a)
+        first = SimulationSession(cache_dir=tmp_path)
+        result = first.run_one(job)
+        assert first.stats.executed == 1
+        # Entries are grouped per source-fingerprint generation.
+        assert len(list(tmp_path.glob("gen-*/*.pkl"))) == 1
+
+        second = SimulationSession(cache_dir=tmp_path)
+        cached = second.run_one(job)
+        assert second.stats.executed == 0
+        assert second.stats.disk_hits == 1
+        assert cached.epi == result.epi
+        assert cached.il1_stats == result.il1_stats
+
+    def test_corrupt_entry_recomputed(self, chips_a, tmp_path):
+        job = _job(chips_a)
+        SimulationSession(cache_dir=tmp_path).run_one(job)
+        (entry,) = tmp_path.glob("gen-*/*.pkl")
+        entry.write_bytes(b"not a pickle")
+        session = SimulationSession(cache_dir=tmp_path)
+        session.run_one(job)
+        assert session.stats.executed == 1
+
+
+class TestParallelDispatch:
+    def test_parallel_matches_serial(self, chips_a):
+        """Process-pool dispatch returns bit-identical results."""
+        jobs = [
+            _job(chips_a, which=which, bench=bench)
+            for which in ("baseline", "proposed")
+            for bench in ("adpcm_c", "adpcm_d")
+        ]
+        serial = SimulationSession(jobs=1).run_jobs(jobs)
+        parallel = SimulationSession(jobs=2).run_jobs(jobs)
+        for left, right in zip(serial, parallel):
+            assert left.chip_name == right.chip_name
+            assert left.epi == right.epi
+            assert left.il1_stats == right.il1_stats
+            assert left.dl1_stats == right.dl1_stats
+            assert left.timing == right.timing
+            assert list(left.energy.items()) == list(right.energy.items())
+
+
+class TestCurrentSession:
+    def test_default_session_exists(self):
+        assert current_session() is not None
+
+    def test_clear_memo_forces_recompute(self, chips_a):
+        session = SimulationSession()
+        job = _job(chips_a)
+        session.run_one(job)
+        session.clear_memo()
+        session.run_one(job)
+        assert session.stats.executed == 2
+
+    def test_reset_default_session(self):
+        from repro.engine.session import reset_default_session
+
+        before = current_session()
+        reset_default_session()
+        after = current_session()
+        assert after is not before
+        # Restoreable invariant: still a working default.
+        assert after.jobs == 1
+
+    def test_use_session_installs_and_restores(self):
+        outer = current_session()
+        session = SimulationSession()
+        with use_session(session):
+            assert current_session() is session
+        assert current_session() is outer
+
+    def test_evaluation_goes_through_session(self, chips_a, design_a):
+        """evaluate_scenario submits its batch to the current session."""
+        session = SimulationSession()
+        with use_session(session):
+            evaluation = evaluate_scenario(
+                Scenario.A,
+                Mode.ULE,
+                trace_length=3_000,
+                chips=chips_a,
+                design=design_a,
+            )
+        # 4 SmallBench benchmarks x 2 chips.
+        assert session.stats.requested == 2 * len(evaluation.rows)
+        assert session.stats.executed == 2 * len(evaluation.rows)
+
+        # A repeated evaluation is served entirely from the memo.
+        with use_session(session):
+            evaluate_scenario(
+                Scenario.A,
+                Mode.ULE,
+                trace_length=3_000,
+                chips=chips_a,
+                design=design_a,
+            )
+        assert session.stats.executed == 2 * len(evaluation.rows)
+        assert session.stats.memo_hits == 2 * len(evaluation.rows)
+
+
+class TestExperimentBatch:
+    def test_run_experiments_serial(self):
+        session = SimulationSession()
+        results = session.run_experiments(["tab-sizing", "tab-area"])
+        assert set(results) == {"tab-sizing", "tab-area"}
+        assert "tab-sizing" in results["tab-sizing"].render()
+
+    def test_run_experiments_uses_disk_cache(self, tmp_path):
+        """Experiment batches must flow through the session's disk
+        cache (regression: `all --cache-dir` silently ignored it)."""
+        session = SimulationSession(cache_dir=tmp_path)
+        session.run_experiments(
+            ["tab-exectime"], {"tab-exectime": {"trace_length": 2_000}}
+        )
+        entries = list(tmp_path.glob("gen-*/*.pkl"))
+        assert entries
+
+        # A fresh session over the same cache dir executes nothing.
+        rerun = SimulationSession(cache_dir=tmp_path)
+        rerun.run_experiments(
+            ["tab-exectime"], {"tab-exectime": {"trace_length": 2_000}}
+        )
+        assert rerun.stats.executed == 0
+        assert rerun.stats.disk_hits > 0
+
+    def test_run_experiments_parallel_uses_disk_cache(self, tmp_path):
+        session = SimulationSession(jobs=2, cache_dir=tmp_path)
+        session.run_experiments(
+            ["tab-exectime", "tab-wcet"],
+            {
+                "tab-exectime": {"trace_length": 2_000},
+                "tab-wcet": {"trace_length": 2_000},
+            },
+        )
+        assert list(tmp_path.glob("gen-*/*.pkl"))
+
+    def test_on_result_streams_completions(self):
+        seen = []
+        SimulationSession().run_experiments(
+            ["tab-sizing", "tab-area"],
+            on_result=lambda experiment_id, result: seen.append(
+                (experiment_id, result.experiment_id)
+            ),
+        )
+        assert sorted(seen) == [
+            ("tab-area", "tab-area"),
+            ("tab-sizing", "tab-sizing"),
+        ]
+
+    def test_parallel_failure_keeps_completed_results(self, monkeypatch):
+        """One exploding experiment must not discard the finished ones:
+        successes stream to on_result, the error re-raises after."""
+        import repro.experiments.registry as registry
+
+        def boom():
+            raise RuntimeError("driver exploded")
+
+        patched = dict(registry._REGISTRY)
+        patched["boom"] = boom
+        monkeypatch.setattr(registry, "_REGISTRY", patched)
+
+        seen = []
+        session = SimulationSession(jobs=2)
+        with pytest.raises(RuntimeError, match="driver exploded"):
+            session.run_experiments(
+                ["tab-sizing", "boom", "tab-area"],
+                on_result=lambda experiment_id, result: seen.append(
+                    experiment_id
+                ),
+            )
+        assert sorted(seen) == ["tab-area", "tab-sizing"]
+
+    def test_run_experiments_parallel_matches_serial(self):
+        serial = SimulationSession(jobs=1).run_experiments(
+            ["tab-sizing", "tab-area"]
+        )
+        parallel = SimulationSession(jobs=2).run_experiments(
+            ["tab-sizing", "tab-area"]
+        )
+        for experiment_id in serial:
+            assert (
+                serial[experiment_id].render()
+                == parallel[experiment_id].render()
+            )

@@ -51,6 +51,40 @@ class TestRun:
         with pytest.raises(ValueError):
             main(["run", "fig99"])
 
+    def test_backend_flag(self, capsys):
+        assert main(
+            ["run", "tab-exectime", "--trace-length", "3000",
+             "--backend", "reference"]
+        ) == 0
+        assert "exec" in capsys.readouterr().out.lower()
+
+    def test_jobs_flag(self, capsys):
+        assert main(
+            ["run", "tab-exectime", "--trace-length", "3000", "--jobs", "2"]
+        ) == 0
+        assert "exec" in capsys.readouterr().out.lower()
+
+    def test_profile_flag(self, capsys):
+        assert main(
+            ["run", "tab-exectime", "--trace-length", "3000", "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Per-phase wall-clock" in out
+        assert "simulate.vectorized" in out
+
+    def test_cache_dir_flag(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(
+            ["run", "tab-exectime", "--trace-length", "3000",
+             "--cache-dir", str(cache_dir)]
+        ) == 0
+        capsys.readouterr()
+        assert list(cache_dir.glob("gen-*/*.pkl"))
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig3", "--backend", "turbo"])
+
 
 class TestAll:
     def test_all_writes_reports(self, tmp_path, capsys, monkeypatch):
@@ -67,3 +101,21 @@ class TestAll:
         capsys.readouterr()
         assert (out_dir / "tab-sizing.txt").exists()
         assert (out_dir / "tab-area.txt").exists()
+
+    def test_all_parallel_matches_serial(self, tmp_path, capsys):
+        """`all --jobs 2` writes the same reports as a serial run."""
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        assert main(
+            ["all", "--trace-length", "2000", "--out-dir", str(serial_dir)]
+        ) == 0
+        assert main(
+            ["all", "--trace-length", "2000", "--jobs", "2",
+             "--out-dir", str(parallel_dir)]
+        ) == 0
+        capsys.readouterr()
+        serial_reports = sorted(serial_dir.glob("*.txt"))
+        assert serial_reports
+        for report in serial_reports:
+            twin = parallel_dir / report.name
+            assert twin.read_text() == report.read_text()
