@@ -21,6 +21,9 @@ The package is organised bottom-up:
 * :mod:`repro.workloads` — synthetic MediaBench-like trace generators.
 * :mod:`repro.core` — the paper's contribution: scenarios A/B, the Fig. 2
   design methodology, and the EPI evaluation pipeline.
+* :mod:`repro.explore` — declarative design-space exploration: sweep
+  spaces, candidate chips, Pareto/sensitivity reductions (DESIGN.md
+  section 7).
 * :mod:`repro.experiments` — one driver per paper figure / table.
 
 Quickstart::
@@ -37,6 +40,8 @@ Quickstart::
 __version__ = "1.0.0"
 
 __all__ = [
+    "DesignSpace",
+    "ExplorationCampaign",
     "Scenario",
     "SimulationJob",
     "SimulationSession",
@@ -55,6 +60,11 @@ _LAZY_EXPORTS = {
     "SimulationJob": ("repro.engine.jobs", "SimulationJob"),
     "SimulationSession": ("repro.engine.session", "SimulationSession"),
     "TraceSpec": ("repro.engine.jobs", "TraceSpec"),
+    "DesignSpace": ("repro.explore.space", "DesignSpace"),
+    "ExplorationCampaign": (
+        "repro.explore.campaign",
+        "ExplorationCampaign",
+    ),
 }
 
 

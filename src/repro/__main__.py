@@ -9,8 +9,11 @@ Usage::
     python -m repro design A
     python -m repro all --jobs 4 --out-dir results/
     python -m repro run fig4 --profile
+    python -m repro sweep --samples 200 --jobs 4 --save-json sweep.json
+    python -m repro sweep --axes "size_kb=4,8,16;ule_scheme=secded,dected"
+    python -m repro pareto sweep.json --objectives epi_ule:min,area_mm2:min
 
-Engine options (``run`` and ``all``):
+Engine options (``run``, ``all`` and ``sweep``):
 
 * ``--jobs N`` — dispatch independent work across N processes;
 * ``--backend {auto,vectorized,reference}`` — simulation backend
@@ -34,6 +37,36 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError("must be at least 1")
     return value
+
+
+def _axis_value(text: str):
+    """Parse one axis value: int, then float, then bare string."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_axes(text: str) -> dict[str, tuple]:
+    """Parse ``"size_kb=4,8;ule_scheme=secded,dected"`` overrides."""
+    axes: dict[str, tuple] = {}
+    for clause in text.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        name, separator, values = clause.partition("=")
+        if not separator or not values:
+            raise argparse.ArgumentTypeError(
+                f"bad axis clause {clause!r}; expected name=v1,v2,..."
+            )
+        axes[name.strip()] = tuple(
+            _axis_value(value.strip()) for value in values.split(",")
+        )
+    if not axes:
+        raise argparse.ArgumentTypeError("empty --axes specification")
+    return axes
 
 
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
@@ -87,6 +120,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "design", help="run the Fig. 2 methodology for a scenario"
     )
     design_parser.add_argument("scenario", choices=["A", "B"])
+    design_parser.add_argument(
+        "--seed", type=int, default=None,
+        help=(
+            "root seed: also cross-check the analytic cell Pf values "
+            "with seeded importance sampling"
+        ),
+    )
 
     all_parser = commands.add_parser(
         "all", help="run every experiment and write the reports"
@@ -96,15 +136,97 @@ def _build_parser() -> argparse.ArgumentParser:
         help="dynamic instructions per benchmark (EPI experiments)",
     )
     all_parser.add_argument(
+        "--seed", type=int, default=None,
+        help=(
+            "root random seed; each experiment gets a derived child "
+            "seed, so batch runs are bit-reproducible"
+        ),
+    )
+    all_parser.add_argument(
         "--out-dir", type=pathlib.Path, default=pathlib.Path("results"),
         help="directory for the rendered reports",
     )
     _add_engine_options(all_parser)
+
+    sweep_parser = commands.add_parser(
+        "sweep",
+        help="explore the design space and report the Pareto frontier",
+    )
+    sweep_parser.add_argument(
+        "--samples", type=_positive_int, default=None,
+        help="candidate budget (default: the full constrained grid)",
+    )
+    sweep_parser.add_argument(
+        "--sampler", choices=("grid", "random", "halton"),
+        default=None,
+        help=(
+            "how to pick points from the space (default: the full "
+            "grid, or a low-discrepancy halton walk when --samples "
+            "bounds the budget — a truncated grid would only cover a "
+            "corner of the space)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--axes", type=_parse_axes, default=None,
+        help=(
+            "axis overrides, e.g. "
+            "\"size_kb=4,8,16;ule_scheme=secded,dected\""
+        ),
+    )
+    sweep_parser.add_argument(
+        "--trace-length", type=int, default=20_000,
+        help="dynamic instructions per benchmark (default: 20000)",
+    )
+    sweep_parser.add_argument(
+        "--seed", type=int, default=None, help="root random seed"
+    )
+    sweep_parser.add_argument(
+        "--top", type=_positive_int, default=20,
+        help="ranked candidates to print (default: 20)",
+    )
+    sweep_parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="also write the report to this file",
+    )
+    sweep_parser.add_argument(
+        "--save-json", type=pathlib.Path, default=None,
+        help="write machine-readable campaign results to this file",
+    )
+    _add_engine_options(sweep_parser)
+
+    pareto_parser = commands.add_parser(
+        "pareto",
+        help="re-reduce a saved sweep (from sweep --save-json)",
+    )
+    pareto_parser.add_argument(
+        "results", type=pathlib.Path,
+        help="campaign JSON written by sweep --save-json",
+    )
+    pareto_parser.add_argument(
+        "--objectives", default=None,
+        help=(
+            "comma-separated metric[:min|:max] list, e.g. "
+            "epi_ule:min,area_mm2:min,yield:max"
+        ),
+    )
+    pareto_parser.add_argument(
+        "--top", type=_positive_int, default=20,
+        help="ranked candidates to print (default: 20)",
+    )
     return parser
 
 
-def _run_kwargs(args: argparse.Namespace, experiment_id: str) -> dict:
-    """Forward only the options the chosen driver accepts."""
+def _run_kwargs(
+    args: argparse.Namespace,
+    experiment_id: str,
+    derive_child_seed: bool = False,
+) -> dict:
+    """Forward only the options the chosen driver accepts.
+
+    Batch commands set ``derive_child_seed`` so each experiment draws a
+    decorrelated child of the root ``--seed`` (the same child whatever
+    the batch order or parallelism — bit-reproducible).
+    """
     from repro.experiments.registry import experiment_parameters
 
     accepted = experiment_parameters(experiment_id)
@@ -114,6 +236,10 @@ def _run_kwargs(args: argparse.Namespace, experiment_id: str) -> dict:
         kwargs["trace_length"] = trace_length
     seed = getattr(args, "seed", None)
     if "seed" in accepted and seed is not None:
+        if derive_child_seed:
+            from repro.util.rng import derive_seed
+
+            seed = derive_seed(seed, "all", experiment_id)
         kwargs["seed"] = seed
     return kwargs
 
@@ -160,28 +286,150 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(f"[done] {experiment_id} -> {path}")
 
         session = current_session()
+        kwargs_by_id = {
+            experiment_id: _run_kwargs(
+                args, experiment_id, derive_child_seed=True
+            )
+            for experiment_id in experiment_ids
+        }
         if session.jobs > 1 and len(experiment_ids) > 1:
             # Reports are written from the completion callback, so one
             # failing experiment cannot discard the finished ones.
             session.run_experiments(
-                experiment_ids,
-                {
-                    experiment_id: _run_kwargs(args, experiment_id)
-                    for experiment_id in experiment_ids
-                },
-                on_result=write_report,
+                experiment_ids, kwargs_by_id, on_result=write_report
             )
         else:
             # Serial: persist each report as its experiment completes,
             # so a late failure or interrupt keeps the finished work.
             for experiment_id in experiment_ids:
                 result = run_experiment(
-                    experiment_id, **_run_kwargs(args, experiment_id)
+                    experiment_id, **kwargs_by_id[experiment_id]
                 )
                 write_report(experiment_id, result)
         return 0
 
+    if args.command == "sweep":
+        return _dispatch_sweep(args)
+
     raise AssertionError("unreachable")
+
+
+def _dispatch_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core import calibration
+    from repro.engine.session import current_session
+    from repro.explore import ExplorationCampaign, default_space
+
+    sampler = args.sampler
+    if sampler is None:
+        # A budgeted default sweep must cover the space, not a
+        # row-major corner of it: switch to the low-discrepancy walk.
+        sampler = "halton" if args.samples is not None else "grid"
+    if sampler != "grid" and args.samples is None:
+        print(
+            f"error: --sampler {sampler} needs --samples",
+            file=sys.stderr,
+        )
+        return 2
+
+    space = default_space()
+    if args.axes:
+        space = space.with_overrides(args.axes)
+    if args.backend == "vectorized":
+        policies = next(
+            (
+                axis.values
+                for axis in space.axes
+                if axis.name == "replacement"
+            ),
+            ("lru",),
+        )
+        non_lru = sorted(
+            str(p) for p in policies if str(p).lower() != "lru"
+        )
+        if non_lru:
+            print(
+                "error: --backend vectorized models LRU replacement "
+                f"only, but the space sweeps {non_lru}; use --backend "
+                "auto (falls back per candidate)",
+                file=sys.stderr,
+            )
+            return 2
+    seed = args.seed if args.seed is not None else calibration.DEFAULT_SEED
+    campaign = ExplorationCampaign(
+        space=space,
+        sampler=sampler,
+        samples=args.samples,
+        trace_length=args.trace_length,
+        seed=seed,
+    )
+
+    def progress(done: int, total: int) -> None:
+        stride = max(1, total // 10)
+        if done == total or done % stride == 0:
+            print(f"[sweep] {done}/{total} jobs", file=sys.stderr)
+
+    session = current_session()
+    result = campaign.run(session=session, progress=progress)
+    stats = session.stats
+    print(
+        f"[sweep] {stats.requested} jobs requested: "
+        f"{stats.executed} executed, {stats.deduplicated} deduplicated, "
+        f"{stats.memo_hits} memo hits, {stats.disk_hits} disk hits",
+        file=sys.stderr,
+    )
+    rendered = result.render_report(top=args.top)
+    print(rendered)
+    if args.out:
+        args.out.write_text(rendered + "\n", encoding="utf-8")
+    if args.save_json:
+        args.save_json.write_text(
+            json.dumps(result.to_dict(), sort_keys=True, indent=2)
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"[sweep] campaign saved -> {args.save_json}",
+              file=sys.stderr)
+    return 0
+
+
+def _design_mc_check(design, seed: int) -> str:
+    """Seeded importance-sampling cross-check of the analytic Pf values.
+
+    Child streams derive from the root seed and the quantity's label
+    path, so the same ``--seed`` reproduces the same table bit-for-bit
+    regardless of evaluation order.
+    """
+    from repro.sram.montecarlo import importance_sampling_pf
+    from repro.tech.operating import HP_OPERATING_POINT, ULE_OPERATING_POINT
+    from repro.util.rng import RngStreams
+    from repro.util.tables import Table
+
+    streams = RngStreams(seed)
+    scenario = design.scenario.value
+    table = Table(
+        ["cell @ Vdd", "analytic Pf", "sampled Pf", "rel. err"],
+        title=f"Importance-sampling cross-check (seed {seed})",
+    )
+    checks = (
+        ("6T", design.cell_6t, HP_OPERATING_POINT.vdd, design.pf_6t_hp),
+        ("10T", design.cell_10t, ULE_OPERATING_POINT.vdd,
+         design.pf_10t_ule),
+        ("8T", design.cell_8t, ULE_OPERATING_POINT.vdd, design.pf_8t_ule),
+    )
+    for name, cell, vdd, analytic in checks:
+        rng = streams.fresh("design", scenario, name)
+        estimate = importance_sampling_pf(cell, vdd, 20_000, rng)
+        table.add_row(
+            [
+                f"{name} @ {vdd * 1e3:.0f} mV",
+                f"{analytic:.3g}",
+                f"{estimate.pf:.3g}",
+                f"{estimate.relative_error:.2g}",
+            ]
+        )
+    return table.render()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -189,9 +437,13 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "list":
         from repro.experiments import list_experiments
+        from repro.experiments.registry import experiment_parameters
 
         for experiment_id in list_experiments():
-            print(experiment_id)
+            parameters = ", ".join(sorted(
+                experiment_parameters(experiment_id)
+            ))
+            print(f"{experiment_id:<20} ({parameters})")
         return 0
 
     if args.command == "design":
@@ -199,6 +451,56 @@ def main(argv: list[str] | None = None) -> int:
 
         design = design_scenario(Scenario(args.scenario))
         print(design.summary())
+        if args.seed is not None:
+            print()
+            print(_design_mc_check(design, args.seed))
+        return 0
+
+    if args.command == "pareto":
+        import json
+
+        from repro.explore.pareto import Objective, render_saved_campaign
+
+        try:
+            payload = json.loads(args.results.read_text(encoding="utf-8"))
+        except OSError as error:
+            print(f"error: cannot read {args.results}: {error}",
+                  file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as error:
+            print(f"error: {args.results} is not valid JSON: {error}",
+                  file=sys.stderr)
+            return 2
+        objectives = None
+        if args.objectives:
+            try:
+                objectives = tuple(
+                    Objective.parse(text.strip())
+                    for text in args.objectives.split(",")
+                    if text.strip()
+                )
+            except ValueError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            if not objectives:
+                print(
+                    "error: --objectives names no metrics; use "
+                    "metric[:min|:max][,...]",
+                    file=sys.stderr,
+                )
+                return 2
+        try:
+            rendered = render_saved_campaign(
+                payload, objectives, top=args.top
+            )
+        except KeyError as error:
+            print(
+                f"error: metric {error} not present in the saved "
+                "campaign's candidates",
+                file=sys.stderr,
+            )
+            return 2
+        print(rendered)
         return 0
 
     from repro.engine.session import use_session

@@ -23,10 +23,16 @@ from typing import Mapping
 from repro.edc.protection import ProtectionScheme, check_bits_for
 from repro.sram.cells import CellDesign
 from repro.tech.operating import Mode
+from repro.util.canonical import canonical_digest, canonical_form
 
 #: Paper constants (Section III-C / IV-A): word granularities.
 DATA_WORD_BITS = 32
 TAG_BITS = 26
+
+#: Replacement policies a configuration may name (see
+#: :mod:`repro.cache.replacement`).  Only LRU has a vectorized fast path;
+#: the others fall back to the reference backend automatically.
+REPLACEMENT_POLICIES = ("lru", "fifo", "plru", "random")
 
 
 def _freeze(
@@ -174,6 +180,10 @@ class WayGroupConfig:
             default=ProtectionScheme.NONE,
         )
 
+    def canonical(self) -> dict:
+        """Invocation-stable, JSON-able content description."""
+        return canonical_form(self)
+
 
 @dataclass(frozen=True)
 class CacheConfig:
@@ -184,6 +194,9 @@ class CacheConfig:
         size_bytes: total data capacity.
         line_bytes: cache line size.
         way_groups: the way groups, HP group(s) first by convention.
+        replacement: replacement policy name (see
+            :data:`REPLACEMENT_POLICIES`); non-LRU policies simulate on
+            the reference backend.
     """
 
     name: str
@@ -192,6 +205,7 @@ class CacheConfig:
     way_groups: tuple[WayGroupConfig, ...]
     data_word_bits: int = DATA_WORD_BITS
     tag_bits: int = TAG_BITS
+    replacement: str = "lru"
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0 or self.line_bytes <= 0:
@@ -204,6 +218,11 @@ class CacheConfig:
             raise ValueError("line must hold an integer number of words")
         if self.lines % self.ways:
             raise ValueError("lines must divide evenly into ways")
+        if self.replacement not in REPLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown replacement policy {self.replacement!r}; "
+                f"known: {list(REPLACEMENT_POLICIES)}"
+            )
 
     # ------------------------------------------------------------ geometry
     @property
@@ -290,12 +309,41 @@ class CacheConfig:
             (1 << self.tag_bits) - 1
         )
 
+    def canonical(self) -> dict:
+        """Invocation-stable, JSON-able content description.
+
+        Sweep points use this (via :func:`config_digest`) to key result
+        caches: two configurations built through different code paths
+        but describing the same hardware canonicalize identically.
+        """
+        return canonical_form(self)
+
+    def digest(self) -> str:
+        """SHA-256 content hash of :meth:`canonical`."""
+        return config_digest(self)
+
     def describe(self) -> str:
         """Human-readable one-paragraph summary."""
         groups = ", ".join(
             f"{g.ways}x{g.cell.describe()}" for g in self.way_groups
         )
+        policy = (
+            "" if self.replacement == "lru" else f", {self.replacement}"
+        )
         return (
             f"{self.name}: {self.size_bytes // 1024} KB {self.ways}-way, "
-            f"{self.line_bytes} B lines, {self.sets} sets [{groups}]"
+            f"{self.line_bytes} B lines, {self.sets} sets{policy} [{groups}]"
         )
+
+
+def config_digest(config: CacheConfig | WayGroupConfig) -> str:
+    """Stable content hash of a cache or way-group configuration.
+
+    The digest covers every *field* of the configuration — the numeric
+    parameters of the geometry, bitcells, protection schemes and
+    replacement policy, and also the ``name`` label — but not object
+    identity, so it is safe as a cross-invocation cache key.  Callers
+    needing label-independent hardware identity should blank the names
+    first (see ``repro.explore.candidates.Candidate.digest``).
+    """
+    return canonical_digest(config)

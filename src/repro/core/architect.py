@@ -1,8 +1,17 @@
-"""From a designed scenario to executable chip configurations.
+"""From designed cells to executable chip configurations.
 
-Builds the baseline and proposed chips of a scenario: identical cores,
-identical 10T non-L1 arrays, identical cache geometry — differing only in
-the ULE way's bitcells and coding, exactly the comparison of Section IV.
+Two levels of API:
+
+* the **candidate builders** (:func:`hybrid_way_groups`,
+  :func:`make_cache_config`, :func:`build_chip`) assemble a chip from
+  arbitrary ingredients — any way split, bitcell pair, per-mode
+  protection plan, geometry or replacement policy.  The design-space
+  exploration subsystem (:mod:`repro.explore`) drives these directly.
+* the **scenario builders** (:func:`build_cache_pair`,
+  :func:`build_chips`) specialize the candidate builders to the paper's
+  Section IV comparison: identical cores, identical 10T non-L1 arrays,
+  identical cache geometry — differing only in the ULE way's bitcells
+  and coding.
 """
 
 from __future__ import annotations
@@ -15,11 +24,12 @@ from repro.core.methodology import DesignResult
 from repro.core.scenarios import ProtectionPlan
 from repro.cpu.arrays import CoreArrays
 from repro.cpu.chip import Chip, ChipConfig
+from repro.cpu.timing import TimingParams
 from repro.sram.cells import CellDesign
 from repro.tech.operating import Mode
 
 
-def _way_groups(
+def hybrid_way_groups(
     hp_cell: CellDesign,
     ule_cell: CellDesign,
     hp_plan: ProtectionPlan,
@@ -28,6 +38,12 @@ def _way_groups(
     hp_ways: int = calibration.HP_WAYS,
     ule_ways: int = calibration.ULE_WAYS,
 ) -> tuple[WayGroupConfig, ...]:
+    """The paper's two-group hybrid layout for arbitrary ingredients.
+
+    An "hp" group (powered at HP mode only) of ``hp_ways`` ways plus a
+    "ule" group (powered in both modes) of ``ule_ways`` ways.  With
+    ``hp_ways=0`` the cache degenerates to ULE ways only.
+    """
     groups = []
     if hp_ways:
         groups.append(
@@ -56,18 +72,47 @@ def _way_groups(
     return tuple(groups)
 
 
-def _cache_config(
+def make_cache_config(
     name: str,
     groups: tuple[WayGroupConfig, ...],
     size_bytes: int,
     line_bytes: int,
+    replacement: str = "lru",
 ) -> CacheConfig:
+    """A cache configuration over explicit way groups."""
     return CacheConfig(
         name=name,
         size_bytes=size_bytes,
         line_bytes=line_bytes,
         way_groups=groups,
+        replacement=replacement,
     )
+
+
+def build_chip(
+    name: str,
+    cache: CacheConfig,
+    core_cell: CellDesign,
+    dl1: CacheConfig | None = None,
+    core_logic_cap: float = calibration.CORE_LOGIC_CAP,
+    core_leak_gates: int = calibration.CORE_LEAK_GATES,
+    timing: TimingParams | None = None,
+) -> Chip:
+    """A full chip around one L1 configuration (IL1 = DL1 by default).
+
+    ``core_cell`` populates the non-L1 arrays (register file, TLBs);
+    the paper uses the NST-sized 10T cell there in every chip.
+    """
+    config = ChipConfig(
+        name=name,
+        il1=cache,
+        dl1=dl1 if dl1 is not None else cache,
+        core_arrays=CoreArrays(cell=core_cell),
+        core_logic_cap=core_logic_cap,
+        core_leak_gates=core_leak_gates,
+        timing=timing if timing is not None else TimingParams(),
+    )
+    return Chip(config)
 
 
 @dataclass(frozen=True)
@@ -91,9 +136,9 @@ def build_cache_pair(
     """Baseline and proposed cache configurations for a design."""
     plan = design.plan
     tag = f"{design.scenario.value}{hp_ways}+{ule_ways}"
-    baseline = _cache_config(
+    baseline = make_cache_config(
         f"{tag}-baseline",
-        _way_groups(
+        hybrid_way_groups(
             hp_cell=design.cell_6t,
             ule_cell=design.cell_10t,
             hp_plan=plan.baseline_hp_ways,
@@ -105,9 +150,9 @@ def build_cache_pair(
         size_bytes=size_bytes,
         line_bytes=line_bytes,
     )
-    proposed = _cache_config(
+    proposed = make_cache_config(
         f"{tag}-proposed",
-        _way_groups(
+        hybrid_way_groups(
             hp_cell=design.cell_6t,
             ule_cell=design.cell_8t,
             hp_plan=plan.proposed_hp_ways,
@@ -120,20 +165,6 @@ def build_cache_pair(
         line_bytes=line_bytes,
     )
     return baseline, proposed
-
-
-def _chip(name: str, cache: CacheConfig, design: DesignResult) -> Chip:
-    core_arrays = CoreArrays(cell=design.cell_10t)
-    return Chip(
-        ChipConfig(
-            name=name,
-            il1=cache,
-            dl1=cache,
-            core_arrays=core_arrays,
-            core_logic_cap=calibration.CORE_LOGIC_CAP,
-            core_leak_gates=calibration.CORE_LEAK_GATES,
-        )
-    )
 
 
 def build_chips(
@@ -156,10 +187,14 @@ def build_chips(
         line_bytes=line_bytes,
     )
     return ScenarioChips(
-        baseline=_chip(
-            f"{design.scenario.value}-baseline", baseline_cache, design
+        baseline=build_chip(
+            f"{design.scenario.value}-baseline",
+            baseline_cache,
+            core_cell=design.cell_10t,
         ),
-        proposed=_chip(
-            f"{design.scenario.value}-proposed", proposed_cache, design
+        proposed=build_chip(
+            f"{design.scenario.value}-proposed",
+            proposed_cache,
+            core_cell=design.cell_10t,
         ),
     )

@@ -25,7 +25,13 @@ from repro.core import calibration
 from repro.core.scenarios import Scenario, ScenarioPlan, plan_for
 from repro.edc.protection import ProtectionScheme, check_bits_for
 from repro.reliability.yield_model import WordOrganization
-from repro.sram.cells import CELL_6T, CELL_8T, CELL_10T, CellDesign
+from repro.sram.cells import (
+    CELL_6T,
+    CELL_8T,
+    CELL_10T,
+    CellDesign,
+    CellTopology,
+)
 from repro.sram.failure import CellFailureModel
 from repro.sram.sizing import minimal_size_step, size_for_pf
 from repro.tech.node import TechnologyNode, ptm32
@@ -84,6 +90,103 @@ def default_ule_geometry(
         words_per_line=line_bytes * 8 // 32,
         data_word_bits=32,
         tag_bits=26,
+    )
+
+
+@dataclass(frozen=True)
+class WayDesign:
+    """One sized way: the generalized unit of the Fig. 2 methodology.
+
+    Attributes:
+        cell: the sized bitcell design.
+        scheme: the protection scheme the sizing assumed at the target
+            operating point.
+        pf: the cell's bit failure probability at that point.
+        yield_value: the way's yield under Eq. (2).
+        iterations: sizing-loop iterations (1 for pf-target sizing).
+    """
+
+    cell: CellDesign
+    scheme: ProtectionScheme
+    pf: float
+    yield_value: float
+    iterations: int
+
+
+def design_way_for_pf(
+    topology: CellTopology,
+    scheme: ProtectionScheme,
+    geometry: UleWayGeometry,
+    vdd: float,
+    pf_target: float | None = None,
+    hard_budget: int = 0,
+    node: TechnologyNode | None = None,
+) -> WayDesign:
+    """Size a way's cell to a bit-failure target; report its yield.
+
+    This is the baseline move of the paper's methodology (steps 1-2 of
+    Fig. 2, applied to the 10T cell), generalized to any topology,
+    protection scheme and supply so design-space exploration can build
+    arbitrary candidates.
+    """
+    node = node or ptm32()
+    pf_target = pf_target if pf_target is not None else calibration.PF_TARGET
+    size = size_for_pf(topology, vdd, pf_target, node)
+    cell = CellDesign(topology, size, node)
+    pf = CellFailureModel(topology, node).pf(vdd, size)
+    organization = geometry.organization(scheme, hard_budget=hard_budget)
+    return WayDesign(
+        cell=cell,
+        scheme=scheme,
+        pf=pf,
+        yield_value=organization.yield_at(pf),
+        iterations=1,
+    )
+
+
+def design_way_for_yield(
+    topology: CellTopology,
+    scheme: ProtectionScheme,
+    geometry: UleWayGeometry,
+    vdd: float,
+    yield_floor: float,
+    hard_budget: int | None = None,
+    node: TechnologyNode | None = None,
+) -> WayDesign:
+    """Grow a way's cell until its coded yield reaches ``yield_floor``.
+
+    The proposed-side move of Fig. 2 (steps 3-6), generalized: start at
+    the minimum size, compute the EDC-protected yield via Eq. (1)-(2),
+    and grow by the technology's minimal increment until the floor is
+    met.  ``hard_budget`` defaults to the scheme's own hard-fault budget.
+    """
+    node = node or ptm32()
+    if hard_budget is None:
+        hard_budget = scheme.hard_fault_budget
+    organization = geometry.organization(scheme, hard_budget=hard_budget)
+    failure = CellFailureModel(topology, node)
+    step = minimal_size_step(node)
+    size = 1.0
+    iterations = 0
+    while True:
+        iterations += 1
+        pf = failure.pf(vdd, size)
+        yield_value = organization.yield_at(pf)
+        if yield_value >= yield_floor:
+            break
+        size = round(size + step, 9)
+        if size > 64.0:
+            raise RuntimeError(
+                f"{topology.name}+{scheme} sizing diverged at "
+                f"{vdd * 1e3:.0f} mV; the combination cannot reach "
+                f"yield {yield_floor:.5f}"
+            )
+    return WayDesign(
+        cell=CellDesign(topology, size, node),
+        scheme=scheme,
+        pf=pf,
+        yield_value=yield_value,
+        iterations=iterations,
     )
 
 
@@ -155,48 +258,41 @@ def design_scenario(
     cell_6t = CellDesign(CELL_6T, s6, node)
     pf_6t = CellFailureModel(CELL_6T, node).pf(vdd_hp, s6)
 
-    # Step 1-2: size 10T at ULE mode to match Pf; baseline yield.
-    s10 = size_for_pf(CELL_10T, vdd_ule, pf_target, node)
-    cell_10t = CellDesign(CELL_10T, s10, node)
-    pf_10t = CellFailureModel(CELL_10T, node).pf(vdd_ule, s10)
-    baseline_org = geometry.organization(
-        plan.baseline_ule_way.ule, hard_budget=0
+    # Step 1-2: size 10T at ULE mode to match Pf; baseline yield.  The
+    # baseline's coding (scenario B's SECDED) is reserved for soft
+    # errors, so its hard-fault budget is zero.
+    baseline = design_way_for_pf(
+        CELL_10T,
+        plan.baseline_ule_way.ule,
+        geometry,
+        vdd_ule,
+        pf_target=pf_target,
+        hard_budget=0,
+        node=node,
     )
-    yield_baseline = baseline_org.yield_at(pf_10t)
 
     # Steps 3-6: grow the 8T cell until the coded yield reaches Y10T.
-    proposed_org = geometry.organization(
+    proposed = design_way_for_yield(
+        CELL_8T,
         plan.proposed_ule_way.ule,
+        geometry,
+        vdd_ule,
+        yield_floor=baseline.yield_value,
         hard_budget=plan.proposed_ule_hard_budget,
+        node=node,
     )
-    failure_8t = CellFailureModel(CELL_8T, node)
-    step = minimal_size_step(node)
-    size = 1.0
-    iterations = 0
-    while True:
-        iterations += 1
-        pf_8t = failure_8t.pf(vdd_ule, size)
-        yield_proposed = proposed_org.yield_at(pf_8t)
-        if yield_proposed >= yield_baseline:
-            break
-        size = round(size + step, 9)
-        if size > 64.0:
-            raise RuntimeError(
-                "8T sizing diverged; calibration is inconsistent"
-            )
-    cell_8t = CellDesign(CELL_8T, size, node)
 
     return DesignResult(
         scenario=scenario,
         plan=plan,
         pf_target=pf_target,
         cell_6t=cell_6t,
-        cell_10t=cell_10t,
-        cell_8t=cell_8t,
+        cell_10t=baseline.cell,
+        cell_8t=proposed.cell,
         pf_6t_hp=pf_6t,
-        pf_10t_ule=pf_10t,
-        pf_8t_ule=pf_8t,
-        yield_baseline=yield_baseline,
-        yield_proposed=yield_proposed,
-        sizing_iterations=iterations,
+        pf_10t_ule=baseline.pf,
+        pf_8t_ule=proposed.pf,
+        yield_baseline=baseline.yield_value,
+        yield_proposed=proposed.yield_value,
+        sizing_iterations=proposed.iterations,
     )

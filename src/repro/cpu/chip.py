@@ -106,12 +106,16 @@ class Chip:
             raise ValueError("operating point does not match mode")
 
         # Functional simulation: instruction fetches then data accesses.
+        # Each cache names its replacement policy; non-LRU policies make
+        # backend="auto" fall back to the reference model per cache.
         il1_stats = simulate_cache(
-            self.config.il1, mode, trace.pc, backend=backend
+            self.config.il1, mode, trace.pc,
+            policy=self.config.il1.replacement, backend=backend,
         )
         addresses, is_write = trace.memory_stream()
         dl1_stats = simulate_cache(
-            self.config.dl1, mode, addresses, is_write, backend=backend
+            self.config.dl1, mode, addresses, is_write,
+            policy=self.config.dl1.replacement, backend=backend,
         )
 
         timing = compute_timing(

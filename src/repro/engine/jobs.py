@@ -19,22 +19,21 @@ shared across backend choices.
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import pathlib
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Mapping
 
 import numpy as np
 
 from repro.cpu.chip import Chip, ChipConfig, RunResult
 from repro.cpu.trace import Trace
 from repro.tech.operating import Mode, OperatingPoint
+from repro.util.canonical import canonical_text
 from repro.util.profiling import phase
 
 #: Bump when the key schema itself changes.
-ENGINE_CACHE_VERSION = 1
+ENGINE_CACHE_VERSION = 2
 
 
 @lru_cache(maxsize=1)
@@ -101,26 +100,12 @@ def _canonical(value) -> str:
     ``repr`` alone is not stable across interpreter invocations: set
     iteration order follows randomized string hashing (PYTHONHASHSEED),
     so ``repr(frozenset({Mode.HP, Mode.ULE}))`` flips between runs and
-    would silently defeat the cross-invocation disk cache.  This walker
-    recurses through dataclasses and containers, sorting unordered ones.
+    would silently defeat the cross-invocation disk cache.  The shared
+    canonical walker (:mod:`repro.util.canonical` — the same machinery
+    that keys sweep candidates via ``CacheConfig.canonical``) recurses
+    through dataclasses and containers, sorting unordered ones.
     """
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        fields = ", ".join(
-            f"{field.name}={_canonical(getattr(value, field.name))}"
-            for field in dataclasses.fields(value)
-        )
-        return f"{type(value).__name__}({fields})"
-    if isinstance(value, (frozenset, set)):
-        return "{" + ", ".join(sorted(_canonical(v) for v in value)) + "}"
-    if isinstance(value, Mapping):
-        entries = sorted(
-            (_canonical(key), _canonical(item))
-            for key, item in value.items()
-        )
-        return "{" + ", ".join(f"{k}: {v}" for k, v in entries) + "}"
-    if isinstance(value, (tuple, list)):
-        return "(" + ", ".join(_canonical(v) for v in value) + ")"
-    return repr(value)
+    return canonical_text(value)
 
 
 def _chip_token(config: ChipConfig) -> str:

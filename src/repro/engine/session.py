@@ -165,12 +165,18 @@ class SimulationSession:
 
     # ---------------------------------------------------- simulation jobs
     def run_jobs(
-        self, jobs: Sequence[SimulationJob]
+        self,
+        jobs: Sequence[SimulationJob],
+        progress: Callable[[int, int], None] | None = None,
     ) -> list[RunResult]:
         """Run a batch, returning results in submission order.
 
         Within the batch, duplicate jobs execute once; results already
         known to the in-memory memo or the disk cache are not re-run.
+        ``progress(done, total)`` — when given — is invoked from the
+        driving process as executed jobs complete (``total`` counts only
+        the jobs that actually execute, after dedup and cache hits), so
+        campaign-scale batches can report without touching the workers.
         """
         jobs = list(jobs)
         keys = [job_key(job) for job in jobs]
@@ -190,7 +196,9 @@ class SimulationSession:
                     continue
             pending[key] = job
         if pending:
-            results = self._execute(list(pending.values()))
+            results = self._execute(
+                list(pending.values()), progress=progress
+            )
             for key, result in zip(pending, results):
                 self._memo[key] = result
                 if self._disk is not None:
@@ -203,17 +211,32 @@ class SimulationSession:
         return self.run_jobs([job])[0]
 
     def _execute(
-        self, jobs: Sequence[SimulationJob]
+        self,
+        jobs: Sequence[SimulationJob],
+        progress: Callable[[int, int], None] | None = None,
     ) -> list[RunResult]:
         runner = partial(execute_job, backend=self.backend)
-        if self.jobs > 1 and len(jobs) > 1:
+        total = len(jobs)
+        results: list[RunResult] = []
+        if self.jobs > 1 and total > 1:
             # The pool lives for the session: workers keep their
             # chip/trace memos warm across batches (e.g. the per-Vdd
             # evaluations of an ablation) instead of re-deriving them.
             if self._pool is None:
                 self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-            return list(self._pool.map(runner, jobs))
-        return [runner(job) for job in jobs]
+            # Chunking amortizes pickling for campaign-scale batches
+            # while keeping every worker busy near the tail.
+            chunksize = max(1, total // (self.jobs * 8))
+            for result in self._pool.map(runner, jobs, chunksize=chunksize):
+                results.append(result)
+                if progress is not None:
+                    progress(len(results), total)
+            return results
+        for job in jobs:
+            results.append(runner(job))
+            if progress is not None:
+                progress(len(results), total)
+        return results
 
     # ------------------------------------------------- experiment batches
     def run_experiments(

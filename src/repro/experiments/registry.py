@@ -19,6 +19,7 @@ from repro.experiments.methodology_table import run_methodology
 from repro.experiments.modeswitch_table import run_modeswitch
 from repro.experiments.reliability_check import run_reliability
 from repro.experiments.report import ExperimentResult
+from repro.experiments.sweeps import run_edc_sweep, run_space_sweep
 from repro.experiments.wcet_table import run_wcet
 
 _REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
@@ -35,6 +36,8 @@ _REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
     "ablation-memlat": run_memory_latency_ablation,
     "ablation-cachesize": run_cache_size_ablation,
     "ablation-vdd": run_vdd_ablation,
+    "sweep-space": run_space_sweep,
+    "sweep-edc": run_edc_sweep,
 }
 
 

@@ -1,0 +1,51 @@
+"""Design-space exploration: declarative sweeps over chip candidates.
+
+The subsystem in one breath::
+
+    DesignSpace  --sample-->  points  --build_candidate-->  Candidate
+        --ExplorationCampaign.run (one SimulationSession batch)-->
+    CampaignResult  --reduce-->  Pareto frontier + sensitivity + ranking
+
+See DESIGN.md section 7 and ``python -m repro sweep --help``.
+"""
+
+from repro.explore.campaign import (
+    CampaignResult,
+    CandidateOutcome,
+    ExplorationCampaign,
+)
+from repro.explore.candidates import (
+    Candidate,
+    CandidateError,
+    build_candidate,
+    default_constraints,
+    default_space,
+)
+from repro.explore.pareto import (
+    DEFAULT_OBJECTIVES,
+    Objective,
+    dominates,
+    pareto_indices,
+    rank_rows,
+    sensitivity,
+)
+from repro.explore.space import Axis, DesignSpace
+
+__all__ = [
+    "Axis",
+    "DesignSpace",
+    "Candidate",
+    "CandidateError",
+    "build_candidate",
+    "default_constraints",
+    "default_space",
+    "ExplorationCampaign",
+    "CampaignResult",
+    "CandidateOutcome",
+    "Objective",
+    "DEFAULT_OBJECTIVES",
+    "dominates",
+    "pareto_indices",
+    "rank_rows",
+    "sensitivity",
+]

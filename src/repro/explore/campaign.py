@@ -1,0 +1,420 @@
+"""Exploration campaigns: expand a space, simulate, reduce, rank.
+
+An :class:`ExplorationCampaign` turns a :class:`~repro.explore.space.
+DesignSpace` into candidate chips (:mod:`repro.explore.candidates`),
+submits the full cross product of (candidate x benchmark x mode) through
+the simulation engine's session **in one batch** — so shared work
+deduplicates, the disk cache keys every point, and ``jobs > 1`` fans the
+independent runs across processes — and reduces the results into:
+
+* per-candidate metrics (EPI and seconds-per-instruction at both modes,
+  cache area, ULE-way yield);
+* the Pareto frontier over the campaign objectives;
+* per-axis sensitivity tables;
+* a ranked, render-ready report.
+
+The reduction is pure arithmetic over deterministic simulation results,
+so a campaign renders byte-identically whatever the session's process
+count — the property the CLI's serial-vs-parallel contract tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.cacti.model import CacheEnergyModel
+from repro.core import calibration
+from repro.cpu.chip import RunResult
+from repro.engine.jobs import SimulationJob, TraceSpec
+from repro.engine.session import SimulationSession, current_session
+from repro.explore.candidates import (
+    Candidate,
+    CandidateError,
+    build_candidate,
+    default_space,
+)
+from repro.explore.pareto import (
+    DEFAULT_OBJECTIVES,
+    Objective,
+    pareto_indices,
+    rank_rows,
+    sensitivity,
+)
+from repro.explore.space import DesignSpace, Point
+from repro.tech.operating import HP_OPERATING_POINT, Mode
+from repro.util.tables import Table
+from repro.workloads.suites import suite_by_name
+
+
+@dataclass(frozen=True)
+class CandidateOutcome:
+    """One candidate with its reduced metrics."""
+
+    candidate: Candidate
+    metrics: dict[str, float]
+
+    def point_dict(self) -> Point:
+        return self.candidate.point_dict()
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Everything one campaign produced."""
+
+    outcomes: tuple[CandidateOutcome, ...]
+    infeasible: tuple[tuple[str, str], ...]
+    duplicates: int
+    objectives: tuple[Objective, ...]
+    trace_length: int
+    seed: int
+    sampler: str
+
+    # ------------------------------------------------------------ frontier
+    def _reduction(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """(frontier indices, ranked indices), computed once.
+
+        The dominance scan is O(n^2 x objectives); outcomes are frozen,
+        so the first caller pays and render/save paths share the result.
+        """
+        cached = self.__dict__.get("_reduction_cache")
+        if cached is None:
+            rows = [outcome.metrics for outcome in self.outcomes]
+            frontier = tuple(pareto_indices(rows, self.objectives))
+            ranked = tuple(
+                rank_rows(rows, self.objectives, frontier=set(frontier))
+            )
+            cached = (frontier, ranked)
+            object.__setattr__(self, "_reduction_cache", cached)
+        return cached
+
+    def frontier(self) -> tuple[CandidateOutcome, ...]:
+        """The non-dominated candidates under the objectives."""
+        return tuple(self.outcomes[i] for i in self._reduction()[0])
+
+    def ranked(self) -> tuple[CandidateOutcome, ...]:
+        """All candidates: frontier first, then by primary objective."""
+        return tuple(self.outcomes[i] for i in self._reduction()[1])
+
+    # --------------------------------------------------------- sensitivity
+    def axis_sensitivity(
+        self, axis: str, metric: str
+    ) -> dict[object, float]:
+        """Mean of ``metric`` per value of ``axis`` over the campaign."""
+        rows = [outcome.metrics for outcome in self.outcomes]
+        values = [
+            outcome.point_dict().get(axis) for outcome in self.outcomes
+        ]
+        return sensitivity(rows, values, metric)
+
+    def swept_axes(self) -> list[str]:
+        """Axes that actually vary across the feasible candidates."""
+        seen: dict[str, set] = {}
+        for outcome in self.outcomes:
+            for axis, value in outcome.candidate.point:
+                seen.setdefault(axis, set()).add(value)
+        return sorted(
+            axis for axis, values in seen.items() if len(values) > 1
+        )
+
+    # -------------------------------------------------------------- report
+    def render_report(self, top: int = 20) -> str:
+        """Ranked candidates + frontier + per-axis sensitivities."""
+        sections = [self._render_ranked(top), self._render_sensitivity()]
+        if self.infeasible:
+            sections.append(self._render_infeasible())
+        return "\n\n".join(section for section in sections if section)
+
+    def _render_ranked(self, top: int) -> str:
+        frontier_names = {
+            outcome.candidate.name for outcome in self.frontier()
+        }
+        objective_text = ", ".join(str(o) for o in self.objectives)
+        table = Table(
+            [
+                "rank",
+                "candidate",
+                "pareto",
+                "EPI ULE (pJ)",
+                "EPI HP (pJ)",
+                "t/instr ULE (us)",
+                "area (mm^2)",
+                "yield",
+                "ule cell",
+            ],
+            title=(
+                f"Exploration ranking — {len(self.outcomes)} candidates, "
+                f"{len(frontier_names)} on the frontier "
+                f"[{objective_text}]"
+            ),
+        )
+        for rank, outcome in enumerate(self.ranked()[:top], start=1):
+            metrics = outcome.metrics
+            table.add_row(
+                [
+                    rank,
+                    outcome.candidate.name,
+                    "*" if outcome.candidate.name in frontier_names
+                    else "",
+                    metrics["epi_ule"] * 1e12,
+                    metrics["epi_hp"] * 1e12,
+                    metrics["spi_ule"] * 1e6,
+                    metrics["area_mm2"],
+                    metrics["yield"],
+                    outcome.candidate.ule_design.cell.describe(),
+                ]
+            )
+        if len(self.outcomes) > top:
+            table.add_separator()
+            table.add_row(
+                [
+                    "...",
+                    f"({len(self.outcomes) - top} more)",
+                    "", "", "", "", "", "", "",
+                ]
+            )
+        return table.render()
+
+    def _render_sensitivity(self) -> str:
+        axes = self.swept_axes()
+        if not axes:
+            return ""
+        table = Table(
+            [
+                "axis",
+                "value",
+                "mean EPI ULE (pJ)",
+                "mean t/instr ULE (us)",
+                "mean area (mm^2)",
+                "mean yield",
+            ],
+            title="Per-axis sensitivity (means over the campaign)",
+        )
+        for axis in axes:
+            epi = self.axis_sensitivity(axis, "epi_ule")
+            spi = self.axis_sensitivity(axis, "spi_ule")
+            area = self.axis_sensitivity(axis, "area_mm2")
+            yields = self.axis_sensitivity(axis, "yield")
+            for value in sorted(epi, key=_axis_value_order):
+                table.add_row(
+                    [
+                        axis,
+                        str(value),
+                        epi[value] * 1e12,
+                        spi[value] * 1e6,
+                        area[value],
+                        yields[value],
+                    ]
+                )
+            table.add_separator()
+        return table.render()
+
+    def _render_infeasible(self) -> str:
+        table = Table(
+            ["point", "reason"],
+            title=f"Infeasible points ({len(self.infeasible)})",
+        )
+        for point_text, reason in self.infeasible:
+            table.add_row([point_text, reason])
+        return table.render()
+
+    # ------------------------------------------------------------- machine
+    def to_dict(self) -> dict:
+        """Machine-readable form (JSON-able; reloadable by the CLI)."""
+        frontier_names = [
+            outcome.candidate.name for outcome in self.frontier()
+        ]
+        return {
+            "meta": {
+                "trace_length": self.trace_length,
+                "seed": self.seed,
+                "sampler": self.sampler,
+                "candidates": len(self.outcomes),
+                "duplicates": self.duplicates,
+            },
+            "objectives": [str(o) for o in self.objectives],
+            "candidates": [
+                {
+                    "name": outcome.candidate.name,
+                    "point": {
+                        key: value
+                        for key, value in outcome.candidate.point
+                    },
+                    "metrics": outcome.metrics,
+                }
+                for outcome in self.outcomes
+            ],
+            "frontier": frontier_names,
+            "infeasible": [list(entry) for entry in self.infeasible],
+        }
+
+
+@dataclass
+class ExplorationCampaign:
+    """A configured sweep, ready to expand and run.
+
+    Attributes:
+        space: the design space to explore.
+        sampler: "grid", "random" or "halton".
+        samples: point budget (None = the full grid).
+        trace_length: dynamic instructions per benchmark.
+        seed: root seed for trace generation (hashes into job keys, so
+            two campaigns with equal seeds share cache entries).
+        objectives: Pareto objectives for the reduction.
+    """
+
+    space: DesignSpace = field(default_factory=default_space)
+    sampler: str = "grid"
+    samples: int | None = None
+    trace_length: int = calibration.DEFAULT_TRACE_LENGTH
+    seed: int = calibration.DEFAULT_SEED
+    objectives: tuple[Objective, ...] = DEFAULT_OBJECTIVES
+
+    # ---------------------------------------------------------- expansion
+    def expand(self) -> tuple[list[Candidate], list[tuple[str, str]], int]:
+        """Sample the space and build unique, feasible candidates.
+
+        Returns (candidates, infeasible point/reason pairs, duplicate
+        count).  Identity is the *label-stripped* hardware digest plus
+        everything else that shapes the evaluation — the ULE operating
+        point and the workload suite — so distinct points that realize
+        identical hardware under identical runs collapse before
+        simulation, while hardware-equal points at different supplies
+        (whose energies differ) both survive.
+        """
+        candidates: list[Candidate] = []
+        infeasible: list[tuple[str, str]] = []
+        duplicates = 0
+        seen: set[tuple[object, ...]] = set()
+        for point in self.space.sample(
+            sampler=self.sampler, samples=self.samples, seed=self.seed
+        ):
+            try:
+                candidate = build_candidate(point)
+            except CandidateError as error:
+                infeasible.append((_point_text(point), str(error)))
+                continue
+            key = (
+                candidate.digest,
+                candidate.ule_point,
+                point.get("suite", "paper"),
+            )
+            if key in seen:
+                duplicates += 1
+                continue
+            seen.add(key)
+            candidates.append(candidate)
+        return candidates, infeasible, duplicates
+
+    # ------------------------------------------------------------- running
+    def run(
+        self,
+        session: SimulationSession | None = None,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> CampaignResult:
+        """Simulate every candidate and reduce the campaign.
+
+        All jobs of all candidates go through ``session.run_jobs`` as
+        one batch; ``progress(done, total)`` reports executed jobs from
+        the driving process.
+        """
+        session = session or current_session()
+        candidates, infeasible, duplicates = self.expand()
+
+        jobs: list[SimulationJob] = []
+        spans: list[tuple[Candidate, int, int]] = []
+        for candidate in candidates:
+            start = len(jobs)
+            jobs.extend(self._jobs_for(candidate))
+            spans.append((candidate, start, len(jobs)))
+
+        results = session.run_jobs(jobs, progress=progress)
+
+        outcomes = tuple(
+            CandidateOutcome(
+                candidate=candidate,
+                metrics=self._reduce(candidate, results[start:stop]),
+            )
+            for candidate, start, stop in spans
+        )
+        return CampaignResult(
+            outcomes=outcomes,
+            infeasible=tuple(infeasible),
+            duplicates=duplicates,
+            objectives=tuple(self.objectives),
+            trace_length=self.trace_length,
+            seed=self.seed,
+            sampler=self.sampler,
+        )
+
+    def _jobs_for(self, candidate: Candidate) -> list[SimulationJob]:
+        """The (benchmark x mode) jobs of one candidate."""
+        suite_name = str(candidate.point_dict().get("suite", "paper"))
+        jobs = []
+        for mode, point in (
+            (Mode.ULE, candidate.ule_point),
+            (Mode.HP, HP_OPERATING_POINT),
+        ):
+            for spec in suite_by_name(suite_name, mode):
+                jobs.append(
+                    SimulationJob(
+                        chip=candidate.chip,
+                        trace=TraceSpec(
+                            spec.name, self.trace_length, self.seed
+                        ),
+                        mode=mode,
+                        operating_point=point,
+                    )
+                )
+        return jobs
+
+    def _reduce(
+        self, candidate: Candidate, results: Sequence[RunResult]
+    ) -> dict[str, float]:
+        """Per-candidate metrics from its runs (order: ULE suite, HP)."""
+        by_mode: dict[Mode, list[RunResult]] = {Mode.ULE: [], Mode.HP: []}
+        for result in results:
+            by_mode[result.mode].append(result)
+        metrics: dict[str, float] = {}
+        for mode, label in ((Mode.ULE, "ule"), (Mode.HP, "hp")):
+            runs = by_mode[mode]
+            metrics[f"epi_{label}"] = _mean(r.epi for r in runs)
+            metrics[f"spi_{label}"] = _mean(
+                r.execution_seconds / max(r.timing.instructions, 1)
+                for r in runs
+            )
+        metrics["area_mm2"] = _chip_cache_area_mm2(candidate.chip)
+        metrics["yield"] = candidate.ule_design.yield_value
+        metrics["ule_size_factor"] = candidate.ule_design.cell.size_factor
+        return metrics
+
+
+def _mean(values) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def _chip_cache_area_mm2(chip) -> float:
+    """Total L1 silicon of the chip (IL1 + DL1), in mm^2."""
+    il1 = CacheEnergyModel(chip.il1).area
+    dl1 = (
+        il1
+        if chip.dl1 is chip.il1 or chip.dl1 == chip.il1
+        else CacheEnergyModel(chip.dl1).area
+    )
+    return (il1 + dl1) * 1e6
+
+
+def _axis_value_order(value: object) -> tuple:
+    """Sort numeric axis values numerically, everything else as text."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (0, float(value), "")
+    return (1, 0.0, str(value))
+
+
+def _point_text(point: Mapping[str, object]) -> str:
+    return ", ".join(
+        f"{key}={point[key]}" for key in sorted(point)
+    )

@@ -1,0 +1,221 @@
+"""Declarative design spaces: axes, constraints and samplers.
+
+A :class:`DesignSpace` is a list of named :class:`Axis` objects (each an
+ordered tuple of values) plus predicates over fully-assigned points.
+``sample`` enumerates points deterministically in one of three ways:
+
+* ``"grid"`` — the full cross product in axis order;
+* ``"random"`` — uniform without replacement, seeded through
+  :func:`repro.util.rng.derive_seed` (bit-reproducible);
+* ``"halton"`` — a low-discrepancy Halton walk over the grid, which
+  covers every axis evenly at any sample budget.
+
+Spaces are plain data: :meth:`DesignSpace.from_dict` builds one from a
+``{axis: values}`` mapping, the form the CLI's ``--axes`` option and the
+``sweep-*`` experiments use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.util.rng import derive_seed
+
+#: A fully-assigned sweep point: axis name -> chosen value.
+Point = dict[str, object]
+
+#: A constraint: point -> whether the combination is admissible.
+Constraint = Callable[[Point], bool]
+
+_SAMPLERS = ("grid", "random", "halton")
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One dimension of the design space.
+
+    Attributes:
+        name: axis label ("size_kb", "ule_scheme", ...).
+        values: ordered candidate values (order defines grid order).
+    """
+
+    name: str
+    values: tuple
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("axis needs a name")
+        if not self.values:
+            raise ValueError(f"axis {self.name!r} has no values")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"axis {self.name!r} has duplicate values")
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """A cross product of axes, filtered by constraints."""
+
+    axes: tuple[Axis, ...]
+    constraints: tuple[Constraint, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.axes:
+            raise ValueError("a design space needs at least one axis")
+        names = [axis.name for axis in self.axes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate axis names in {names}")
+
+    @classmethod
+    def from_dict(
+        cls,
+        axes: Mapping[str, Sequence],
+        constraints: Sequence[Constraint] = (),
+    ) -> "DesignSpace":
+        """Build a space from a ``{name: values}`` mapping."""
+        return cls(
+            axes=tuple(
+                Axis(name=name, values=tuple(values))
+                for name, values in axes.items()
+            ),
+            constraints=tuple(constraints),
+        )
+
+    def with_overrides(
+        self, overrides: Mapping[str, Sequence]
+    ) -> "DesignSpace":
+        """A copy with some axes' values replaced (or axes added)."""
+        known = {axis.name: axis.values for axis in self.axes}
+        for name, values in overrides.items():
+            known[name] = tuple(values)
+        return DesignSpace.from_dict(known, self.constraints)
+
+    @property
+    def grid_size(self) -> int:
+        """Size of the unconstrained cross product."""
+        size = 1
+        for axis in self.axes:
+            size *= len(axis.values)
+        return size
+
+    def admits(self, point: Point) -> bool:
+        """Whether every constraint accepts the point."""
+        return all(constraint(point) for constraint in self.constraints)
+
+    def _point_at(self, indices: Sequence[int]) -> Point:
+        return {
+            axis.name: axis.values[index]
+            for axis, index in zip(self.axes, indices)
+        }
+
+    def _grid_point(self, ordinal: int) -> Point:
+        """The ``ordinal``-th point of the cross product (row-major)."""
+        indices = []
+        for axis in reversed(self.axes):
+            ordinal, index = divmod(ordinal, len(axis.values))
+            indices.append(index)
+        return self._point_at(list(reversed(indices)))
+
+    def grid(self) -> Iterator[Point]:
+        """Every admissible point, in deterministic grid order."""
+        for ordinal in range(self.grid_size):
+            point = self._grid_point(ordinal)
+            if self.admits(point):
+                yield point
+
+    # ------------------------------------------------------------ sampling
+    def sample(
+        self,
+        sampler: str = "grid",
+        samples: int | None = None,
+        seed: int = 0,
+    ) -> list[Point]:
+        """Enumerate up to ``samples`` admissible points.
+
+        ``samples=None`` means "all" for the grid sampler and is an
+        error for the stochastic ones (they have no natural end).
+        Note that ``"grid"`` with a budget is a *prefix* of the
+        row-major enumeration — early axes barely vary — so budgeted
+        sweeps should prefer ``"halton"`` (the CLI does this
+        automatically when ``--samples`` is given).
+        """
+        if sampler not in _SAMPLERS:
+            raise ValueError(
+                f"unknown sampler {sampler!r}; known: {list(_SAMPLERS)}"
+            )
+        if sampler == "grid":
+            points = list(self.grid())
+            return points[:samples] if samples is not None else points
+        if samples is None:
+            raise ValueError(f"sampler {sampler!r} needs a sample count")
+        if sampler == "random":
+            return self._sample_random(samples, seed)
+        return self._sample_halton(samples)
+
+    def _sample_random(self, samples: int, seed: int) -> list[Point]:
+        """Uniform over admissible grid ordinals, without replacement."""
+        rng = np.random.default_rng(
+            derive_seed(seed, "explore", "sample", "random")
+        )
+        chosen: list[Point] = []
+        seen: set[int] = set()
+        # Rejection sampling over ordinals; bounded so a space whose
+        # constraints reject (almost) everything terminates cleanly.
+        attempts = 0
+        limit = max(64, 50 * samples)
+        while len(chosen) < samples and attempts < limit:
+            attempts += 1
+            ordinal = int(rng.integers(self.grid_size))
+            if ordinal in seen:
+                continue
+            seen.add(ordinal)
+            point = self._grid_point(ordinal)
+            if self.admits(point):
+                chosen.append(point)
+            if len(seen) == self.grid_size:
+                break
+        return chosen
+
+    def _sample_halton(self, samples: int) -> list[Point]:
+        """Low-discrepancy walk: axis ``j`` follows base ``prime_j``."""
+        primes = _first_primes(len(self.axes))
+        chosen: list[Point] = []
+        seen: set[tuple[int, ...]] = set()
+        index = 0
+        limit = max(64, 50 * samples, 2 * self.grid_size)
+        while len(chosen) < samples and index < limit:
+            index += 1
+            indices = tuple(
+                int(_halton(index, base) * len(axis.values))
+                for axis, base in zip(self.axes, primes)
+            )
+            if indices in seen:
+                continue
+            seen.add(indices)
+            point = self._point_at(indices)
+            if self.admits(point):
+                chosen.append(point)
+        return chosen
+
+
+def _halton(index: int, base: int) -> float:
+    """The ``index``-th element of the base-``base`` Halton sequence."""
+    result = 0.0
+    fraction = 1.0 / base
+    while index > 0:
+        index, digit = divmod(index, base)
+        result += digit * fraction
+        fraction /= base
+    return result
+
+
+def _first_primes(count: int) -> list[int]:
+    primes: list[int] = []
+    candidate = 2
+    while len(primes) < count:
+        if all(candidate % p for p in primes):
+            primes.append(candidate)
+        candidate += 1
+    return primes

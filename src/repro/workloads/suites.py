@@ -23,6 +23,36 @@ BIGBENCH: tuple[BenchmarkSpec, ...] = tuple(
 ALL_BENCHMARKS: tuple[BenchmarkSpec, ...] = BENCHMARKS
 
 
+#: Named suites for declarative selection (sweep axes, CLI options).
+SUITES: dict[str, tuple[BenchmarkSpec, ...]] = {
+    "smallbench": SMALLBENCH,
+    "bigbench": BIGBENCH,
+    "all": ALL_BENCHMARKS,
+}
+
+
 def suite_for_mode(mode: Mode) -> tuple[BenchmarkSpec, ...]:
     """The paper's suite assignment for an operating mode."""
     return SMALLBENCH if mode is Mode.ULE else BIGBENCH
+
+
+def suite_by_name(name: str, mode: Mode | None = None) -> tuple[
+    BenchmarkSpec, ...
+]:
+    """Resolve a suite name ("smallbench", "bigbench", "all", "paper").
+
+    ``"paper"`` follows the paper's mode assignment and therefore needs
+    ``mode``; the fixed suites ignore it.
+    """
+    lowered = name.lower()
+    if lowered == "paper":
+        if mode is None:
+            raise ValueError("suite 'paper' needs an operating mode")
+        return suite_for_mode(mode)
+    try:
+        return SUITES[lowered]
+    except KeyError:
+        raise ValueError(
+            f"unknown suite {name!r}; known: "
+            f"{sorted(SUITES) + ['paper']}"
+        ) from None

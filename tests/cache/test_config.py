@@ -165,3 +165,87 @@ class TestPicklability:
             from repro.engine.jobs import _canonical
 
             assert _canonical(clone) == _canonical(config)
+
+
+class TestReplacementField:
+    def test_defaults_to_lru(self):
+        assert _config().replacement == "lru"
+
+    def test_accepts_known_policies(self):
+        for policy in ("lru", "fifo", "plru", "random"):
+            config = CacheConfig(
+                name="test",
+                size_bytes=8 * 1024,
+                line_bytes=32,
+                way_groups=(_simple_group(ways=8),),
+                replacement=policy,
+            )
+            assert config.replacement == policy
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="replacement"):
+            CacheConfig(
+                name="test",
+                size_bytes=8 * 1024,
+                line_bytes=32,
+                way_groups=(_simple_group(ways=8),),
+                replacement="belady",
+            )
+
+    def test_describe_mentions_non_default_policy(self):
+        config = CacheConfig(
+            name="test",
+            size_bytes=8 * 1024,
+            line_bytes=32,
+            way_groups=(_simple_group(ways=8),),
+            replacement="plru",
+        )
+        assert "plru" in config.describe()
+        assert "lru" not in _config().describe()
+
+
+class TestCanonical:
+    def test_equal_configs_share_digest(self):
+        from repro.cache.config import config_digest
+
+        assert config_digest(_config()) == config_digest(_config())
+
+    def test_digest_is_content_sensitive(self):
+        from repro.cache.config import config_digest
+
+        base = _config()
+        renamed = CacheConfig(
+            name="other",
+            size_bytes=base.size_bytes,
+            line_bytes=base.line_bytes,
+            way_groups=base.way_groups,
+        )
+        repoliced = CacheConfig(
+            name=base.name,
+            size_bytes=base.size_bytes,
+            line_bytes=base.line_bytes,
+            way_groups=base.way_groups,
+            replacement="fifo",
+        )
+        assert config_digest(renamed) != config_digest(base)
+        assert config_digest(repoliced) != config_digest(base)
+
+    def test_canonical_is_jsonable_and_ordered(self):
+        import json
+
+        form = _config().canonical()
+        text = json.dumps(form, sort_keys=True)
+        assert json.loads(text) == form
+        # Frozenset fields must canonicalize to sorted lists.
+        group = form["way_groups"][0]
+        assert group["active_modes"] == sorted(group["active_modes"])
+
+    def test_digest_method_matches_function(self):
+        from repro.cache.config import config_digest
+
+        config = _config()
+        assert config.digest() == config_digest(config)
+
+    def test_scenario_pair_digests_differ(self, design_a):
+        baseline, proposed = build_cache_pair(design_a)
+        assert baseline.digest() != proposed.digest()

@@ -1,0 +1,127 @@
+"""Hypothesis: ProtectedArray usability vs sampled fault-map populations.
+
+``word_is_usable`` / ``usable`` are the static side of Eq. (1): a word
+is usable iff its stuck-bit count fits the scheme's hard-fault budget.
+These properties pin that contract against arbitrary
+:func:`repro.reliability.fault_maps.generate_fault_map` populations —
+budget boundaries included — and the degenerate maps (fault-free and
+fully saturated) that the analytic yield model never exercises.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.edc_layer import ProtectedArray
+from repro.edc.protection import ProtectionScheme
+from repro.reliability.fault_maps import generate_fault_map
+
+SCHEMES = st.sampled_from(list(ProtectionScheme))
+
+
+def _array_and_map(scheme, words, data_bits, pf, seed):
+    array = ProtectedArray(words, data_bits, scheme)
+    fault_map = generate_fault_map(
+        pf, words, array.stored_bits, np.random.default_rng(seed)
+    )
+    return (
+        ProtectedArray(words, data_bits, scheme, fault_map=fault_map),
+        fault_map,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    scheme=SCHEMES,
+    words=st.integers(1, 48),
+    data_bits=st.sampled_from((26, 32)),
+    pf=st.floats(0.0, 0.3),
+    budget=st.integers(0, 4),
+    seed=st.integers(0, 10_000),
+)
+def test_usability_matches_fault_population(
+    scheme, words, data_bits, pf, budget, seed
+):
+    """A word is usable iff its stuck-bit count fits the budget."""
+    array, fault_map = _array_and_map(scheme, words, data_bits, pf, seed)
+    for index in range(words):
+        assert array.word_is_usable(index, budget) == (
+            fault_map.faults_in_word(index) <= budget
+        )
+    assert array.usable(budget) == (
+        fault_map.max_faults_per_word() <= budget
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    scheme=SCHEMES,
+    words=st.integers(1, 48),
+    data_bits=st.sampled_from((26, 32)),
+    pf=st.floats(0.0, 0.3),
+    seed=st.integers(0, 10_000),
+)
+def test_budget_boundary_is_tight(scheme, words, data_bits, pf, seed):
+    """The worst word's fault count is exactly the smallest workable
+    budget: one below fails, the count itself (and anything above)
+    passes."""
+    array, fault_map = _array_and_map(scheme, words, data_bits, pf, seed)
+    worst = fault_map.max_faults_per_word()
+    assert array.usable(worst)
+    assert array.usable(worst + 1)
+    if worst > 0:
+        assert not array.usable(worst - 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    scheme=SCHEMES,
+    words=st.integers(1, 48),
+    data_bits=st.sampled_from((26, 32)),
+    budget=st.integers(0, 4),
+    seed=st.integers(0, 10_000),
+)
+def test_zero_fault_map_is_always_usable(
+    scheme, words, data_bits, budget, seed
+):
+    """pf=0 samples the empty population: every budget works, and a
+    map-free array reports the same."""
+    array, fault_map = _array_and_map(scheme, words, data_bits, 0.0, seed)
+    assert fault_map.faulty_bit_count == 0
+    assert array.usable(budget)
+    bare = ProtectedArray(words, data_bits, scheme)
+    assert bare.usable(0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    scheme=SCHEMES,
+    words=st.integers(1, 32),
+    data_bits=st.sampled_from((26, 32)),
+    seed=st.integers(0, 10_000),
+)
+def test_saturated_map_needs_full_width_budget(
+    scheme, words, data_bits, seed
+):
+    """pf=1 sticks every stored bit: only a budget of the full stored
+    width admits any word."""
+    array, fault_map = _array_and_map(scheme, words, data_bits, 1.0, seed)
+    stored_bits = array.stored_bits
+    assert fault_map.faulty_bit_count == words * stored_bits
+    assert not array.usable(stored_bits - 1)
+    assert array.usable(stored_bits)
+    for index in range(words):
+        assert not array.word_is_usable(index, stored_bits - 1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    words=st.integers(1, 32),
+    pf=st.floats(0.0, 0.5),
+    seed=st.integers(0, 10_000),
+)
+def test_unmapped_array_ignores_budgets(words, pf, seed):
+    """Without a fault map the static check is vacuously true."""
+    array = ProtectedArray(words, 32, ProtectionScheme.SECDED)
+    assert array.usable(0)
+    for index in range(words):
+        assert array.word_is_usable(index, 0)

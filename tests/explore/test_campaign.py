@@ -1,0 +1,204 @@
+"""ExplorationCampaign: batching, dedup, caching, determinism."""
+
+import pytest
+
+from repro.engine.session import SimulationSession, use_session
+from repro.explore.campaign import ExplorationCampaign
+from repro.explore.candidates import default_constraints
+from repro.explore.space import DesignSpace
+
+
+def _small_space(**overrides):
+    axes = {
+        "size_kb": (4, 8),
+        "line_bytes": (32,),
+        "ways": (8,),
+        "ule_ways": (1,),
+        "ule_cell": ("8T", "10T"),
+        "ule_scheme": ("secded",),
+        "hp_scheme": ("none",),
+        "vdd_ule": (0.35,),
+        "replacement": ("lru",),
+        "suite": ("paper",),
+    }
+    axes.update(overrides)
+    return DesignSpace.from_dict(axes, default_constraints())
+
+
+def _campaign(space=None, **kwargs):
+    kwargs.setdefault("trace_length", 2_000)
+    kwargs.setdefault("seed", 7)
+    return ExplorationCampaign(space=space or _small_space(), **kwargs)
+
+
+class TestExpansion:
+    def test_expands_unique_feasible_candidates(self):
+        candidates, infeasible, duplicates = _campaign().expand()
+        assert len(candidates) == 4
+        assert infeasible == []
+        assert duplicates == 0
+        assert len({c.digest for c in candidates}) == 4
+
+    def test_identical_hardware_deduplicates(self):
+        # "lru" and "LRU" are distinct points realizing the same chip:
+        # content identity must collapse them before any simulation.
+        space = _small_space(
+            size_kb=(8,), ule_cell=("8T",), replacement=("lru", "LRU")
+        )
+        candidates, _, duplicates = _campaign(space).expand()
+        assert len(candidates) == 1
+        assert duplicates == 1
+
+    def test_equal_hardware_at_distinct_supplies_both_survive(self):
+        # 0.352 V and 0.353 V quantize to identical cells (equal
+        # hardware digests) but evaluate at different operating points,
+        # so merging them would be wrong.
+        space = _small_space(
+            size_kb=(8,), ule_cell=("10T",), vdd_ule=(0.352, 0.353)
+        )
+        candidates, _, duplicates = _campaign(space).expand()
+        assert len(candidates) == 2
+        assert duplicates == 0
+        assert candidates[0].digest == candidates[1].digest
+
+    def test_infeasible_points_are_reported_not_fatal(self):
+        space = _small_space(ule_cell=("6T", "8T"))
+        # No constraint filters 6T here: build_candidate must reject it.
+        space = DesignSpace.from_dict(
+            {axis.name: axis.values for axis in space.axes}
+        )
+        candidates, infeasible, _ = _campaign(space).expand()
+        assert len(candidates) == 2
+        assert len(infeasible) == 2
+        assert all("6T" in reason for _, reason in infeasible)
+
+
+class TestRun:
+    def test_batches_once_and_reduces_metrics(self):
+        session = SimulationSession()
+        result = _campaign().run(session=session)
+        assert len(result.outcomes) == 4
+        # 4 candidates x (5 SmallBench ULE + 5 BigBench HP) jobs.
+        assert session.stats.requested == 40
+        assert session.stats.executed == 40
+        for outcome in result.outcomes:
+            metrics = outcome.metrics
+            assert metrics["epi_ule"] > 0
+            assert metrics["epi_hp"] > 0
+            assert metrics["spi_ule"] > 0
+            assert metrics["area_mm2"] > 0
+            assert 0 < metrics["yield"] <= 1
+
+    def test_progress_reports_executed_jobs(self):
+        seen = []
+        _campaign().run(
+            session=SimulationSession(),
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen[0] == (1, 40)
+        assert seen[-1] == (40, 40)
+
+    def test_frontier_is_nonempty_and_nondominated(self):
+        from repro.explore.pareto import dominates
+
+        result = _campaign().run(session=SimulationSession())
+        frontier = result.frontier()
+        assert frontier
+        rows = [outcome.metrics for outcome in result.outcomes]
+        for chosen in frontier:
+            assert not any(
+                dominates(row, chosen.metrics, result.objectives)
+                for row in rows
+            )
+
+    def test_serial_and_parallel_render_identically(self):
+        campaign = _campaign()
+        serial = campaign.run(session=SimulationSession())
+        with SimulationSession(jobs=2) as parallel_session:
+            parallel = campaign.run(session=parallel_session)
+        assert (
+            serial.render_report() == parallel.render_report()
+        )
+
+    def test_disk_cache_serves_reruns(self, tmp_path):
+        campaign = _campaign()
+        first = SimulationSession(cache_dir=tmp_path)
+        report = campaign.run(session=first).render_report()
+        assert first.stats.executed == 40
+        second = SimulationSession(cache_dir=tmp_path)
+        rerun = campaign.run(session=second).render_report()
+        assert second.stats.executed == 0
+        assert second.stats.disk_hits == 40
+        assert rerun == report
+
+    def test_uses_current_session_by_default(self):
+        session = SimulationSession()
+        with use_session(session):
+            _campaign().run()
+        assert session.stats.requested == 40
+
+
+class TestReportAndJson:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return _campaign().run(session=SimulationSession())
+
+    def test_report_sections(self, result):
+        report = result.render_report()
+        assert "Exploration ranking" in report
+        assert "Per-axis sensitivity" in report
+        assert "pareto" in report
+
+    def test_report_top_truncation(self, result):
+        report = result.render_report(top=1)
+        assert "(3 more)" in report
+
+    def test_to_dict_round_trips_through_json(self, result):
+        import json
+
+        payload = json.loads(json.dumps(result.to_dict(), sort_keys=True))
+        assert payload["meta"]["candidates"] == 4
+        assert len(payload["candidates"]) == 4
+        assert payload["frontier"]
+        names = {c["name"] for c in payload["candidates"]}
+        assert set(payload["frontier"]) <= names
+
+    def test_sensitivity_tables_cover_swept_axes(self, result):
+        assert result.swept_axes() == ["size_kb", "ule_cell"]
+        means = result.axis_sensitivity("size_kb", "area_mm2")
+        assert set(means) == {4, 8}
+        assert means[4] < means[8]
+
+
+class TestSuiteAxis:
+    def test_multi_suite_candidates_get_distinct_names(self):
+        space = _small_space(
+            size_kb=(8,),
+            ule_cell=("8T",),
+            suite=("smallbench", "bigbench"),
+        )
+        candidates, _, duplicates = _campaign(space).expand()
+        assert len(candidates) == 2
+        assert duplicates == 0
+        names = {c.name for c in candidates}
+        assert len(names) == 2
+        assert any(name.endswith("-smallbench") for name in names)
+        assert any(name.endswith("-bigbench") for name in names)
+
+    def test_multi_suite_frontier_names_unambiguous(self):
+        space = _small_space(
+            size_kb=(8,),
+            ule_cell=("8T",),
+            suite=("smallbench", "bigbench"),
+        )
+        result = _campaign(space).run(session=SimulationSession())
+        payload = result.to_dict()
+        names = [c["name"] for c in payload["candidates"]]
+        assert len(set(names)) == len(names)
+        report = result.render_report()
+        # Exactly as many frontier stars as frontier members.
+        starred = sum(
+            1 for line in report.splitlines()
+            if "| *" in line and "x8k" in line
+        )
+        assert starred == len(result.frontier())

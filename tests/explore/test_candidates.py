@@ -1,0 +1,131 @@
+"""Candidate building: sizing, validity, identity."""
+
+import pytest
+
+from repro.edc.protection import ProtectionScheme
+from repro.explore.candidates import (
+    CandidateError,
+    build_candidate,
+    default_space,
+)
+from repro.tech.operating import Mode
+
+PAPER_POINT = {
+    "size_kb": 8,
+    "line_bytes": 32,
+    "ways": 8,
+    "ule_ways": 1,
+    "ule_cell": "8T",
+    "ule_scheme": "secded",
+    "hp_scheme": "none",
+    "vdd_ule": 0.35,
+    "replacement": "lru",
+    "suite": "paper",
+}
+
+
+def _point(**overrides):
+    point = dict(PAPER_POINT)
+    point.update(overrides)
+    return point
+
+
+class TestPaperPoint:
+    def test_reproduces_scenario_a_proposed_design(self, design_a):
+        """The paper's scenario-A proposed chip is an interior point."""
+        candidate = build_candidate(PAPER_POINT)
+        il1 = candidate.chip.il1
+        assert il1.ways == 8
+        assert il1.size_bytes == 8 * 1024
+        hp, ule = il1.way_groups
+        assert (hp.ways, ule.ways) == (7, 1)
+        assert ule.cell.topology.name == "8T"
+        # Same sizing as the Fig. 2 methodology run for scenario A.
+        assert ule.cell.size_factor == design_a.cell_8t.size_factor
+        assert candidate.ule_design.yield_value == pytest.approx(
+            design_a.yield_proposed
+        )
+        assert ule.data_protection[Mode.ULE] is ProtectionScheme.SECDED
+        assert ule.edc_inline(Mode.ULE)
+
+    def test_ule_operating_point_follows_vdd_axis(self):
+        candidate = build_candidate(_point(vdd_ule=0.40))
+        assert candidate.ule_point.vdd == pytest.approx(0.40)
+        assert candidate.ule_point.mode is Mode.ULE
+
+    def test_replacement_axis_reaches_cache_config(self):
+        candidate = build_candidate(_point(replacement="plru"))
+        assert candidate.chip.il1.replacement == "plru"
+
+
+class TestIdentity:
+    def test_digest_is_stable_and_content_keyed(self):
+        a = build_candidate(PAPER_POINT)
+        b = build_candidate(dict(PAPER_POINT))
+        assert a.digest == b.digest
+        c = build_candidate(_point(ule_scheme="dected"))
+        assert c.digest != a.digest
+
+    def test_digest_ignores_labels(self):
+        """Supplies that quantize to the same sized cells hash alike.
+
+        0.352 V and 0.353 V land on the same discrete cell sizes, so
+        the hardware is identical even though every config label
+        differs; the digest must see through the names.
+        """
+        a = build_candidate(_point(ule_cell="10T", vdd_ule=0.352))
+        b = build_candidate(_point(ule_cell="10T", vdd_ule=0.353))
+        assert a.name != b.name
+        assert a.digest == b.digest
+        # The evaluation identity still differs: the operating points
+        # are distinct, which is why dedup keys include them.
+        assert a.ule_point != b.ule_point
+
+    def test_point_round_trips(self):
+        candidate = build_candidate(PAPER_POINT)
+        assert candidate.point_dict() == PAPER_POINT
+
+
+class TestValidity:
+    def test_rejects_unknown_axis(self):
+        with pytest.raises(CandidateError, match="unknown axes"):
+            build_candidate(_point(voltage_island=2))
+
+    def test_rejects_all_ule_split(self):
+        with pytest.raises(CandidateError):
+            build_candidate(_point(ule_ways=8))
+
+    def test_rejects_geometry_mismatch(self):
+        with pytest.raises(CandidateError):
+            build_candidate(_point(size_kb=1, line_bytes=64, ways=32))
+
+    def test_rejects_subthreshold_6t(self):
+        with pytest.raises(CandidateError):
+            build_candidate(_point(ule_cell="6T"))
+
+    def test_10t_parity_uses_pf_target_sizing(self, design_a):
+        candidate = build_candidate(
+            _point(ule_cell="10T", ule_scheme="parity")
+        )
+        # Detection-only coding cannot relax the sizing: the cell lands
+        # on the baseline 10T size of the paper's methodology.
+        assert candidate.ule_design.cell.size_factor == pytest.approx(
+            design_a.cell_10t.size_factor
+        )
+        assert not candidate.chip.il1.edc_inline(Mode.ULE)
+
+
+class TestDefaultSpace:
+    def test_paper_point_is_admissible(self):
+        assert default_space().admits(PAPER_POINT)
+
+    def test_uncorrected_8t_is_excluded(self):
+        space = default_space()
+        assert not space.admits(_point(ule_scheme="parity"))
+
+    def test_grid_has_hundreds_of_feasible_points(self):
+        space = default_space()
+        feasible = list(space.grid())
+        assert len(feasible) >= 200
+        for point in feasible[:: max(1, len(feasible) // 25)]:
+            build_candidate(point)  # must not raise

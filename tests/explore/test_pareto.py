@@ -1,0 +1,122 @@
+"""Pareto reductions: dominance, frontier, sensitivity, ranking."""
+
+import pytest
+
+from repro.explore.pareto import (
+    Objective,
+    dominates,
+    pareto_indices,
+    rank_rows,
+    render_saved_campaign,
+    sensitivity,
+)
+
+MIN_BOTH = (Objective("cost"), Objective("delay"))
+
+
+class TestObjective:
+    def test_parse_defaults_to_min(self):
+        objective = Objective.parse("epi_ule")
+        assert objective.metric == "epi_ule"
+        assert not objective.maximize
+
+    def test_parse_directions(self):
+        assert Objective.parse("yield:max").maximize
+        assert not Objective.parse("area:min").maximize
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Objective.parse("epi:upwards")
+
+    def test_str_round_trips(self):
+        for text in ("a:min", "b:max"):
+            assert str(Objective.parse(text)) == text
+
+
+class TestDominance:
+    def test_strictly_better_everywhere(self):
+        assert dominates(
+            {"cost": 1, "delay": 1}, {"cost": 2, "delay": 2}, MIN_BOTH
+        )
+
+    def test_equal_rows_do_not_dominate(self):
+        row = {"cost": 1, "delay": 1}
+        assert not dominates(row, dict(row), MIN_BOTH)
+
+    def test_tradeoff_does_not_dominate(self):
+        a = {"cost": 1, "delay": 2}
+        b = {"cost": 2, "delay": 1}
+        assert not dominates(a, b, MIN_BOTH)
+        assert not dominates(b, a, MIN_BOTH)
+
+    def test_maximize_flips_direction(self):
+        objectives = (Objective("yield", maximize=True),)
+        assert dominates({"yield": 0.99}, {"yield": 0.9}, objectives)
+
+
+class TestFrontier:
+    def test_frontier_of_tradeoffs(self):
+        rows = [
+            {"cost": 1, "delay": 3},
+            {"cost": 2, "delay": 2},
+            {"cost": 3, "delay": 1},
+            {"cost": 3, "delay": 3},  # dominated by the middle row
+        ]
+        assert pareto_indices(rows, MIN_BOTH) == [0, 1, 2]
+
+    def test_single_row_is_frontier(self):
+        assert pareto_indices([{"cost": 5, "delay": 5}], MIN_BOTH) == [0]
+
+    def test_duplicate_rows_both_survive(self):
+        rows = [{"cost": 1, "delay": 1}, {"cost": 1, "delay": 1}]
+        assert pareto_indices(rows, MIN_BOTH) == [0, 1]
+
+
+class TestRanking:
+    def test_frontier_first_then_primary_metric(self):
+        rows = [
+            {"cost": 3, "delay": 3},  # dominated
+            {"cost": 2, "delay": 2},
+            {"cost": 1, "delay": 3},
+        ]
+        assert rank_rows(rows, MIN_BOTH) == [2, 1, 0]
+
+    def test_maximize_primary_ranks_descending(self):
+        objectives = (Objective("yield", maximize=True),)
+        rows = [{"yield": 0.8}, {"yield": 0.99}, {"yield": 0.9}]
+        assert rank_rows(rows, objectives) == [1, 2, 0]
+
+
+class TestSensitivity:
+    def test_means_per_axis_value(self):
+        rows = [{"epi": 1.0}, {"epi": 3.0}, {"epi": 10.0}]
+        values = ["a", "a", "b"]
+        assert sensitivity(rows, values, "epi") == {"a": 2.0, "b": 10.0}
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            sensitivity([{"epi": 1.0}], ["a", "b"], "epi")
+
+
+class TestRenderSavedCampaign:
+    PAYLOAD = {
+        "objectives": ["cost:min", "delay:min"],
+        "candidates": [
+            {"name": "small", "metrics": {"cost": 1.0, "delay": 3.0}},
+            {"name": "fat", "metrics": {"cost": 3.0, "delay": 3.0}},
+            {"name": "fast", "metrics": {"cost": 3.0, "delay": 1.0}},
+        ],
+    }
+
+    def test_uses_recorded_objectives(self):
+        text = render_saved_campaign(self.PAYLOAD)
+        assert "2 on the frontier" in text
+        assert "cost:min, delay:min" in text
+
+    def test_override_objectives_rerank(self):
+        text = render_saved_campaign(
+            self.PAYLOAD, (Objective("delay"),), top=2
+        )
+        lines = text.splitlines()
+        assert "fast" in lines[3]  # first ranked row
+        assert "fat" not in text  # cut by top=2

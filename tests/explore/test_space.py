@@ -1,0 +1,106 @@
+"""DesignSpace: axes, constraints, samplers."""
+
+import pytest
+
+from repro.explore.space import Axis, DesignSpace
+
+
+def _space(**axes):
+    return DesignSpace.from_dict(axes or {"a": (1, 2, 3), "b": ("x", "y")})
+
+
+class TestAxes:
+    def test_grid_size_is_cross_product(self):
+        assert _space().grid_size == 6
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ValueError):
+            Axis("a", ())
+
+    def test_rejects_duplicate_values(self):
+        with pytest.raises(ValueError):
+            Axis("a", (1, 1))
+
+    def test_rejects_duplicate_axis_names(self):
+        with pytest.raises(ValueError):
+            DesignSpace(axes=(Axis("a", (1,)), Axis("a", (2,))))
+
+    def test_rejects_empty_space(self):
+        with pytest.raises(ValueError):
+            DesignSpace(axes=())
+
+    def test_with_overrides_replaces_and_adds(self):
+        space = _space().with_overrides({"a": (9,), "c": (0, 1)})
+        by_name = {axis.name: axis.values for axis in space.axes}
+        assert by_name == {"a": (9,), "b": ("x", "y"), "c": (0, 1)}
+
+
+class TestGrid:
+    def test_grid_enumerates_all_points_in_order(self):
+        points = list(_space().grid())
+        assert len(points) == 6
+        assert points[0] == {"a": 1, "b": "x"}
+        assert points[1] == {"a": 1, "b": "y"}
+        assert points[-1] == {"a": 3, "b": "y"}
+
+    def test_constraints_filter(self):
+        space = DesignSpace.from_dict(
+            {"a": (1, 2, 3), "b": (1, 2)},
+            constraints=[lambda p: p["a"] > p["b"]],
+        )
+        points = list(space.grid())
+        assert all(p["a"] > p["b"] for p in points)
+        assert len(points) == 3
+
+    def test_grid_sample_truncates(self):
+        assert len(_space().sample("grid", samples=2)) == 2
+
+
+class TestSamplers:
+    def test_unknown_sampler_rejected(self):
+        with pytest.raises(ValueError):
+            _space().sample("sobol", samples=2)
+
+    def test_stochastic_samplers_need_budget(self):
+        with pytest.raises(ValueError):
+            _space().sample("random")
+
+    def test_random_is_seed_deterministic(self):
+        space = _space()
+        first = space.sample("random", samples=4, seed=11)
+        again = space.sample("random", samples=4, seed=11)
+        other = space.sample("random", samples=4, seed=12)
+        assert first == again
+        assert len(first) == 4
+        assert first != other  # overwhelmingly likely over 6 points
+
+    def test_random_has_no_duplicates(self):
+        points = _space().sample("random", samples=6, seed=3)
+        keys = [tuple(sorted(p.items())) for p in points]
+        assert len(set(keys)) == len(keys)
+
+    def test_random_exhausts_small_spaces(self):
+        points = _space().sample("random", samples=100, seed=3)
+        assert len(points) == 6
+
+    def test_halton_is_deterministic_and_unique(self):
+        space = _space()
+        first = space.sample("halton", samples=5)
+        again = space.sample("halton", samples=5)
+        assert first == again
+        keys = [tuple(sorted(p.items())) for p in first]
+        assert len(set(keys)) == len(keys)
+
+    def test_halton_respects_constraints(self):
+        space = DesignSpace.from_dict(
+            {"a": (1, 2, 3, 4), "b": (1, 2, 3)},
+            constraints=[lambda p: p["a"] != p["b"]],
+        )
+        points = space.sample("halton", samples=6)
+        assert all(p["a"] != p["b"] for p in points)
+
+    def test_halton_covers_every_axis_value(self):
+        space = _space(a=(1, 2, 3, 4), b=("x", "y"))
+        points = space.sample("halton", samples=8)
+        assert {p["a"] for p in points} == {1, 2, 3, 4}
+        assert {p["b"] for p in points} == {"x", "y"}

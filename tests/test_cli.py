@@ -14,6 +14,15 @@ class TestList:
         assert "fig3" in out
         assert "fig4" in out
         assert "tab-wcet" in out
+        assert "sweep-space" in out
+
+    def test_lists_accepted_parameters(self, capsys):
+        assert main(["list"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        by_id = {line.split()[0]: line for line in lines if line}
+        assert "trace_length" in by_id["fig3"]
+        assert "seed" in by_id["fig3"]
+        assert "samples" in by_id["sweep-space"]
 
 
 class TestDesign:
@@ -26,6 +35,15 @@ class TestDesign:
     def test_bad_scenario(self):
         with pytest.raises(SystemExit):
             main(["design", "C"])
+
+    def test_seed_adds_reproducible_mc_check(self, capsys):
+        assert main(["design", "A", "--seed", "99"]) == 0
+        first = capsys.readouterr().out
+        assert "Importance-sampling cross-check (seed 99)" in first
+        assert main(["design", "A", "--seed", "99"]) == 0
+        assert capsys.readouterr().out == first
+        assert main(["design", "A", "--seed", "100"]) == 0
+        assert capsys.readouterr().out != first
 
 
 class TestRun:
@@ -119,3 +137,159 @@ class TestAll:
         for report in serial_reports:
             twin = parallel_dir / report.name
             assert twin.read_text() == report.read_text()
+
+    def test_all_seed_derives_child_seeds(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """--seed reaches the drivers as a derived per-experiment seed."""
+        import repro.experiments.registry as registry
+        from repro.util.rng import derive_seed
+
+        captured = {}
+        real_driver = registry._REGISTRY["tab-sizing"]
+
+        def fake_driver(trace_length=1000, seed=None):
+            captured["seed"] = seed
+            return real_driver()
+
+        monkeypatch.setattr(
+            registry, "_REGISTRY", {"tab-exectime": fake_driver}
+        )
+        out_dir = tmp_path / "results"
+        assert main(
+            ["all", "--seed", "5", "--out-dir", str(out_dir)]
+        ) == 0
+        capsys.readouterr()
+        assert captured["seed"] == derive_seed(5, "all", "tab-exectime")
+
+
+class TestSweep:
+    AXES = (
+        "size_kb=8;line_bytes=32;ways=8;ule_ways=1;ule_cell=8T,10T;"
+        "ule_scheme=secded;hp_scheme=none;vdd_ule=0.35;"
+        "replacement=lru;suite=paper"
+    )
+
+    def test_sweep_reports_frontier(self, capsys):
+        assert main(
+            ["sweep", "--axes", self.AXES, "--trace-length", "1500",
+             "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Exploration ranking" in out
+        assert "frontier" in out
+
+    def test_sweep_serial_matches_parallel(self, tmp_path, capsys):
+        serial = tmp_path / "serial.txt"
+        parallel = tmp_path / "parallel.txt"
+        base = ["sweep", "--axes", self.AXES, "--trace-length", "1500",
+                "--seed", "3"]
+        assert main(base + ["--out", str(serial)]) == 0
+        assert main(
+            base + ["--jobs", "2", "--out", str(parallel)]
+        ) == 0
+        capsys.readouterr()
+        assert serial.read_text() == parallel.read_text()
+
+    def test_sweep_save_json_then_pareto(self, tmp_path, capsys):
+        saved = tmp_path / "campaign.json"
+        assert main(
+            ["sweep", "--axes", self.AXES, "--trace-length", "1500",
+             "--seed", "3", "--save-json", str(saved)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["pareto", str(saved), "--objectives",
+             "epi_ule:min,yield:max"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Pareto re-reduction" in out
+        assert "epi_ule:min, yield:max" in out
+
+    def test_sweep_samples_cap_and_sampler(self, capsys):
+        assert main(
+            ["sweep", "--axes", self.AXES, "--sampler", "halton",
+             "--samples", "1", "--trace-length", "1500"]
+        ) == 0
+        assert "1 candidates" in capsys.readouterr().out
+
+    def test_stochastic_sampler_without_samples_errors(self, capsys):
+        assert main(
+            ["sweep", "--axes", self.AXES, "--sampler", "random"]
+        ) == 2
+        assert "--samples" in capsys.readouterr().err
+
+    def test_bad_axes_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--axes", "size_kb"])
+
+
+class TestParetoErrors:
+    def test_missing_results_file(self, tmp_path, capsys):
+        assert main(["pareto", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_invalid_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["pareto", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_unknown_metric(self, tmp_path, capsys):
+        saved = tmp_path / "ok.json"
+        saved.write_text(
+            '{"objectives": [], "candidates": '
+            '[{"name": "c", "metrics": {"epi_ule": 1.0}}]}'
+        )
+        assert main(
+            ["pareto", str(saved), "--objectives", "bogus:min"]
+        ) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_bad_direction(self, tmp_path, capsys):
+        saved = tmp_path / "ok.json"
+        saved.write_text('{"objectives": [], "candidates": []}')
+        assert main(
+            ["pareto", str(saved), "--objectives", "epi_ule:avg"]
+        ) == 2
+        assert "epi_ule:avg" in capsys.readouterr().err
+
+
+class TestSweepGuards:
+    AXES = TestSweep.AXES
+
+    def test_budgeted_default_sampler_covers_axes(self, capsys):
+        """--samples without --sampler must not slice a grid corner."""
+        axes = self.AXES.replace("size_kb=8", "size_kb=4,8,16")
+        assert main(
+            ["sweep", "--axes", axes, "--samples", "6",
+             "--trace-length", "1500"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "x4k" in out and "x8k" in out and "x16k" in out
+
+    def test_vectorized_backend_rejects_non_lru_axis(self, capsys):
+        axes = self.AXES.replace("replacement=lru", "replacement=fifo")
+        assert main(
+            ["sweep", "--axes", axes, "--backend", "vectorized",
+             "--trace-length", "1500"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "LRU" in err and "fifo" in err
+
+    def test_auto_backend_accepts_non_lru_axis(self, capsys):
+        axes = self.AXES.replace(
+            "replacement=lru", "replacement=lru,fifo"
+        ).replace("ule_cell=8T,10T", "ule_cell=8T")
+        assert main(
+            ["sweep", "--axes", axes, "--trace-length", "1500"]
+        ) == 0
+        assert "fifo" in capsys.readouterr().out
+
+
+class TestParetoEmptyObjectives:
+    def test_comma_only_objectives_rejected(self, tmp_path, capsys):
+        saved = tmp_path / "ok.json"
+        saved.write_text('{"objectives": [], "candidates": []}')
+        assert main(["pareto", str(saved), "--objectives", ","]) == 2
+        assert "names no metrics" in capsys.readouterr().err
