@@ -3,80 +3,102 @@
 
 The paper's target device (Section I) monitors its environment at ULE
 mode "99 % - 99.99 % of the time" and reacts to rare events with short HP
-bursts.  This example executes exactly that phase pattern on the designed
-scenario-A chips — long adpcm-style monitoring phases punctuated by gsm
-encode bursts — switching the hybrid caches between modes (with HP-way
-flushes), and reports the battery-relevant outcome: average power and the
-projected lifetime on a coin cell.
+bursts.  This example runs exactly that phase pattern through the runtime
+mode-scheduling subsystem (:mod:`repro.runtime`): a phased
+monitoring+burst trace, a utilization-threshold policy that bursts to HP
+when an epoch's working set overflows the ULE-mode cache, and a schedule
+ledger that charges every HP-way flush and rail transition.  It reports
+the battery-relevant outcome: average power and the projected lifetime on
+a coin cell.
 
 Usage::
 
     python examples/sensor_node_lifetime.py
 """
 
-from repro.cache.hybrid import HybridCache
 from repro.core import Scenario, build_chips, design_scenario
+from repro.runtime import UtilizationThreshold, simulate_schedule
 from repro.tech.operating import Mode
 from repro.util.units import si
-from repro.workloads import generate_trace
+from repro.workloads import sensor_node_trace
 
 #: A CR2032 coin cell: ~225 mAh at 3 V.
 COIN_CELL_JOULES = 0.225 * 3600 * 3.0
 
-#: Fraction of wall-clock time spent at HP mode (paper: 0.01 % - 1 %).
-HP_DUTY = 0.005
 
+def run_lifetime(
+    monitor_length: int = 40_000,
+    burst_length: int = 10_000,
+    bursts: int = 4,
+    seed: int = 2013,
+    verbose: bool = True,
+) -> dict[str, float]:
+    """Schedule both scenario-A chips over the sensor-node trace.
 
-def run_phase_pattern(chip, ule_trace, hp_trace, phases: int = 4):
-    """Alternate ULE monitoring phases with HP bursts on one chip."""
-    il1 = HybridCache(chip.config.il1, mode=Mode.ULE)
-    total_energy = 0.0
-    total_seconds = 0.0
-    flush_writebacks = 0
-    for _ in range(phases):
-        ule = chip.run(ule_trace, Mode.ULE)
-        total_energy += ule.energy.total
-        total_seconds += ule.execution_seconds
-        flush_writebacks += il1.set_mode(Mode.HP)
-
-        hp = chip.run(hp_trace, Mode.HP)
-        # Scale the HP burst so it occupies HP_DUTY of wall-clock time.
-        weight = HP_DUTY * ule.execution_seconds / hp.execution_seconds
-        total_energy += weight * hp.energy.total
-        total_seconds += weight * hp.execution_seconds
-        flush_writebacks += il1.set_mode(Mode.ULE)
-    return total_energy, total_seconds, flush_writebacks
-
-
-def main() -> None:
+    Returns a mapping with each chip's projected CR2032 lifetime in
+    days plus the proposed/baseline extension factor — the quantities
+    the examples smoke test pins against the library.
+    """
     design = design_scenario(Scenario.A)
     chips = build_chips(design)
-    ule_trace = generate_trace("adpcm_c", length=40_000)
-    hp_trace = generate_trace("gsm_c", length=40_000)
+    trace = sensor_node_trace(
+        monitor_length=monitor_length,
+        burst_length=burst_length,
+        bursts=bursts,
+        seed=seed,
+    )
+    policy = UtilizationThreshold()  # HP when the ULE way overflows
+    epoch_length = burst_length  # monitor phases span whole epochs
 
-    print("phase pattern: ULE monitoring with "
-          f"{100 * HP_DUTY:.1f} % HP-burst duty cycle\n")
-    lifetimes = {}
+    if verbose:
+        print(
+            f"workload: {trace.name} ({len(trace)} instructions); "
+            f"policy: {policy.describe()}\n"
+        )
+    results: dict[str, float] = {}
     for label, chip in (
         ("baseline (6T+10T)", chips.baseline),
         ("proposed (6T+8T+SECDED)", chips.proposed),
     ):
-        energy, seconds, flushes = run_phase_pattern(
-            chip, ule_trace, hp_trace
+        schedule = simulate_schedule(
+            chip, trace, policy, epoch_length=epoch_length
         )
-        power = energy / seconds
-        lifetime_days = COIN_CELL_JOULES / power / 86_400
-        lifetimes[label] = lifetime_days
-        print(f"{label}")
-        print(f"  average power      : {si(power, 'W')}")
-        print(f"  mode-switch flushes: {flushes} dirty lines")
-        print(f"  CR2032 lifetime    : {lifetime_days:.0f} days")
-        print()
+        lifetime_days = (
+            COIN_CELL_JOULES / schedule.average_power / 86_400
+        )
+        results[label] = lifetime_days
+        if verbose:
+            print(f"{label}")
+            print(
+                "  mode share         : "
+                f"{100 * schedule.mode_share(Mode.ULE):.1f} % ULE / "
+                f"{100 * schedule.mode_share(Mode.HP):.1f} % HP"
+            )
+            print(
+                f"  mode switches      : {schedule.switches} "
+                f"({si(schedule.transition_energy, 'J')} transition "
+                "energy, "
+                f"{sum(e.flush_writebacks for e in schedule.entries)} "
+                "flushed dirty lines)"
+            )
+            print(
+                "  average power      : "
+                f"{si(schedule.average_power, 'W')}"
+            )
+            print(f"  CR2032 lifetime    : {lifetime_days:.0f} days")
+            print()
 
-    gain = lifetimes["proposed (6T+8T+SECDED)"] / lifetimes[
-        "baseline (6T+10T)"
-    ]
-    print(f"battery-lifetime extension: {gain:.2f}x")
+    gain = (
+        results["proposed (6T+8T+SECDED)"] / results["baseline (6T+10T)"]
+    )
+    results["extension"] = gain
+    if verbose:
+        print(f"battery-lifetime extension: {gain:.2f}x")
+    return results
+
+
+def main() -> None:
+    run_lifetime()
 
 
 if __name__ == "__main__":

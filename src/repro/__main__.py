@@ -12,8 +12,11 @@ Usage::
     python -m repro sweep --samples 200 --jobs 4 --save-json sweep.json
     python -m repro sweep --axes "size_kb=4,8,16;ule_scheme=secded,dected"
     python -m repro pareto sweep.json --objectives epi_ule:min,area_mm2:min
+    python -m repro schedule --policy utilization --epoch 10000 --jobs 4
+    python -m repro schedule --policy static --duty 0.05 --save-json s.json
+    python -m repro schedule --policy budget --budget-mj 0.002
 
-Engine options (``run``, ``all`` and ``sweep``):
+Engine options (``run``, ``all``, ``sweep`` and ``schedule``):
 
 * ``--jobs N`` — dispatch independent work across N processes;
 * ``--backend {auto,vectorized,reference}`` — simulation backend
@@ -194,6 +197,75 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_options(sweep_parser)
 
+    schedule_parser = commands.add_parser(
+        "schedule",
+        help="simulate policy-scheduled HP/ULE operation over a trace",
+    )
+    schedule_parser.add_argument(
+        "--policy",
+        choices=("static", "utilization", "budget", "oracle"),
+        default="utilization",
+        help="mode-scheduling policy (default: utilization)",
+    )
+    schedule_parser.add_argument(
+        "--epoch", type=_positive_int, default=10_000,
+        help="instructions per epoch (default: 10000)",
+    )
+    schedule_parser.add_argument(
+        "--segment", choices=("fixed", "phase"), default="fixed",
+        help="epoch segmenter (default: fixed-length epochs)",
+    )
+    schedule_parser.add_argument(
+        "--duty", type=float, default=0.1,
+        help="HP epoch fraction for --policy static (default: 0.1)",
+    )
+    schedule_parser.add_argument(
+        "--threshold", type=float, default=1.0,
+        help=(
+            "ULE-capacity overflow factor for --policy utilization "
+            "(default: 1.0)"
+        ),
+    )
+    schedule_parser.add_argument(
+        "--budget-mj", type=float, default=None,
+        help="energy budget in mJ (required by --policy budget)",
+    )
+    schedule_parser.add_argument(
+        "--objective", choices=("energy", "time"), default="energy",
+        help="what --policy oracle minimizes (default: energy)",
+    )
+    schedule_parser.add_argument(
+        "--scenario", choices=("A", "B"), default="A",
+        help="paper scenario whose chips to schedule (default: A)",
+    )
+    schedule_parser.add_argument(
+        "--chip", choices=("proposed", "baseline"), default="proposed",
+        help="which of the scenario's chips to run (default: proposed)",
+    )
+    schedule_parser.add_argument(
+        "--workload", default="sensor",
+        help=(
+            "'sensor' (phased monitoring+burst trace) or a benchmark "
+            "name, e.g. adpcm_c (default: sensor)"
+        ),
+    )
+    schedule_parser.add_argument(
+        "--trace-length", type=_positive_int, default=100_000,
+        help="dynamic instructions of the workload (default: 100000)",
+    )
+    schedule_parser.add_argument(
+        "--seed", type=int, default=None, help="root random seed"
+    )
+    schedule_parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="also write the report to this file",
+    )
+    schedule_parser.add_argument(
+        "--save-json", type=pathlib.Path, default=None,
+        help="write the machine-readable schedule ledger to this file",
+    )
+    _add_engine_options(schedule_parser)
+
     pareto_parser = commands.add_parser(
         "pareto",
         help="re-reduce a saved sweep (from sweep --save-json)",
@@ -242,6 +314,28 @@ def _run_kwargs(
             seed = derive_seed(seed, "all", experiment_id)
         kwargs["seed"] = seed
     return kwargs
+
+
+def _progress_printer(tag: str):
+    """A ``progress(done, total)`` callback printing ~10 stderr lines."""
+
+    def progress(done: int, total: int) -> None:
+        stride = max(1, total // 10)
+        if done == total or done % stride == 0:
+            print(f"[{tag}] {done}/{total} jobs", file=sys.stderr)
+
+    return progress
+
+
+def _print_session_stats(tag: str, session) -> None:
+    """One stderr line: where each requested job's result came from."""
+    stats = session.stats
+    print(
+        f"[{tag}] {stats.requested} jobs requested: "
+        f"{stats.executed} executed, {stats.deduplicated} deduplicated, "
+        f"{stats.memo_hits} memo hits, {stats.disk_hits} disk hits",
+        file=sys.stderr,
+    )
 
 
 def _make_session(args: argparse.Namespace):
@@ -311,7 +405,88 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "sweep":
         return _dispatch_sweep(args)
 
+    if args.command == "schedule":
+        return _dispatch_schedule(args)
+
     raise AssertionError("unreachable")
+
+
+def _schedule_trace(args: argparse.Namespace, seed: int):
+    """The workload of a ``schedule`` invocation.
+
+    ``sensor`` composes the phased monitoring+burst day-in-the-life
+    trace (four 20 %-monitor / 5 %-burst periods); any other name is a
+    registered benchmark, generated at the requested length.
+    """
+    if args.workload.lower() == "sensor":
+        from repro.workloads.phases import sensor_node_trace
+
+        burst = max(args.trace_length // 20, 1)
+        return sensor_node_trace(
+            monitor_length=4 * burst,
+            burst_length=burst,
+            bursts=4,
+            seed=seed,
+        )
+    from repro.workloads.mediabench import generate_trace
+
+    return generate_trace(
+        args.workload, length=args.trace_length, seed=seed
+    )
+
+
+def _dispatch_schedule(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core import Scenario, build_chips, design_scenario
+    from repro.core.calibration import DEFAULT_SEED
+    from repro.engine.session import current_session
+    from repro.runtime import ScheduleSimulator, policy_by_name
+
+    try:
+        policy = policy_by_name(
+            args.policy,
+            hp_duty=args.duty,
+            threshold=args.threshold,
+            budget_joules=(
+                args.budget_mj * 1e-3
+                if args.budget_mj is not None
+                else None
+            ),
+            objective=args.objective,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    seed = args.seed if args.seed is not None else DEFAULT_SEED
+    trace = _schedule_trace(args, seed)
+    chips = build_chips(design_scenario(Scenario(args.scenario)))
+    chip = getattr(chips, args.chip)
+
+    session = current_session()
+    simulator = ScheduleSimulator(
+        chip,
+        policy,
+        epoch_length=args.epoch,
+        segmenter=args.segment,
+        session=session,
+    )
+    result = simulator.run(trace, progress=_progress_printer("schedule"))
+    _print_session_stats("schedule", session)
+    rendered = result.render()
+    print(rendered)
+    if args.out:
+        args.out.write_text(rendered + "\n", encoding="utf-8")
+    if args.save_json:
+        args.save_json.write_text(
+            json.dumps(result.to_dict(), sort_keys=True, indent=2)
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"[schedule] ledger saved -> {args.save_json}",
+              file=sys.stderr)
+    return 0
 
 
 def _dispatch_sweep(args: argparse.Namespace) -> int:
@@ -365,20 +540,11 @@ def _dispatch_sweep(args: argparse.Namespace) -> int:
         seed=seed,
     )
 
-    def progress(done: int, total: int) -> None:
-        stride = max(1, total // 10)
-        if done == total or done % stride == 0:
-            print(f"[sweep] {done}/{total} jobs", file=sys.stderr)
-
     session = current_session()
-    result = campaign.run(session=session, progress=progress)
-    stats = session.stats
-    print(
-        f"[sweep] {stats.requested} jobs requested: "
-        f"{stats.executed} executed, {stats.deduplicated} deduplicated, "
-        f"{stats.memo_hits} memo hits, {stats.disk_hits} disk hits",
-        file=sys.stderr,
+    result = campaign.run(
+        session=session, progress=_progress_printer("sweep")
     )
+    _print_session_stats("sweep", session)
     rendered = result.render_report(top=args.top)
     print(rendered)
     if args.out:
@@ -433,6 +599,7 @@ def _design_mc_check(design, seed: int) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: parse argv, dispatch, return exit status."""
     args = _build_parser().parse_args(argv)
 
     if args.command == "list":

@@ -276,6 +276,25 @@ class CacheConfig:
             base += group.ways
         raise ValueError(f"no way group named {name!r}")
 
+    def lines_of_group(self, name: str) -> int:
+        """Line capacity of the named way group (sets x its ways).
+
+        The runtime scheduler uses this to cap its cache-residency
+        estimates: a way group can never hold more resident (or dirty)
+        lines than its capacity.
+        """
+        return self.sets * len(self.ways_of_group(name))
+
+    def active_capacity_bytes(self, mode: Mode) -> int:
+        """Data bytes reachable in ``mode`` (powered ways only).
+
+        At ULE mode only the ULE-capable group is powered, so a 7+1
+        8 KB cache exposes a single 1 KB way — the capacity the
+        utilization-threshold scheduling policy compares working sets
+        against.
+        """
+        return self.active_ways(mode) * self.sets * self.line_bytes
+
     def active_way_mask(self, mode: Mode) -> list[bool]:
         """Per-way powered flags in ``mode``."""
         mask: list[bool] = []

@@ -41,17 +41,21 @@ class LruPolicy(ReplacementPolicy):
     """Least-recently-used; state is a recency list (MRU first)."""
 
     def new_set_state(self) -> list[int]:
+        """MRU-first list of way indices."""
         return []
 
     def on_access(self, state: list[int], way: int) -> None:
+        """Move the touched way to the MRU slot."""
         if way in state:
             state.remove(way)
         state.insert(0, way)
 
     def on_fill(self, state: list[int], way: int) -> None:
+        """A filled line starts as MRU."""
         self.on_access(state, way)
 
     def victim(self, state: list[int], candidates: list[int]) -> int:
+        """The least recently used allowed way."""
         if not candidates:
             raise ValueError("no candidate ways")
         # Least recent candidate: last position in the recency list;
@@ -69,17 +73,21 @@ class FifoPolicy(ReplacementPolicy):
     """First-in-first-out; hits do not refresh."""
 
     def new_set_state(self) -> list[int]:
+        """Fill-order list of way indices."""
         return []
 
     def on_access(self, state: list[int], way: int) -> None:
+        """Hits do not reorder a FIFO queue."""
         del state, way  # FIFO ignores hits
 
     def on_fill(self, state: list[int], way: int) -> None:
+        """Move the filled way to the queue tail."""
         if way in state:
             state.remove(way)
         state.insert(0, way)
 
     def victim(self, state: list[int], candidates: list[int]) -> int:
+        """The oldest-filled allowed way."""
         if not candidates:
             raise ValueError("no candidate ways")
         untouched = [way for way in candidates if way not in state]
@@ -99,15 +107,19 @@ class RandomPolicy(ReplacementPolicy):
         self._rng = np.random.default_rng(seed)
 
     def new_set_state(self) -> None:
+        """Random replacement keeps no state."""
         return None
 
     def on_access(self, state: None, way: int) -> None:
+        """Hits leave the (empty) state alone."""
         del state, way
 
     def on_fill(self, state: None, way: int) -> None:
+        """Fills leave the (empty) state alone."""
         del state, way
 
     def victim(self, state: None, candidates: list[int]) -> int:
+        """A seeded-uniform pick among the allowed ways."""
         if not candidates:
             raise ValueError("no candidate ways")
         return candidates[int(self._rng.integers(len(candidates)))]
@@ -122,6 +134,7 @@ class PlruPolicy(ReplacementPolicy):
     """
 
     def new_set_state(self) -> list[int]:
+        """The PLRU decision-tree bit vector."""
         return [0] * max(self.ways - 1, 1)
 
     def _leaf_path(self, way: int) -> list[tuple[int, int]]:
@@ -141,14 +154,17 @@ class PlruPolicy(ReplacementPolicy):
         return path
 
     def on_access(self, state: list[int], way: int) -> None:
+        """Point the tree bits away from the touched way."""
         for node, direction in self._leaf_path(way):
             if node < len(state):
                 state[node] = 1 - direction  # point away from the hit
 
     def on_fill(self, state: list[int], way: int) -> None:
+        """Filled lines update the tree like a hit."""
         self.on_access(state, way)
 
     def victim(self, state: list[int], candidates: list[int]) -> int:
+        """Follow the tree bits to the pseudo-LRU way."""
         if not candidates:
             raise ValueError("no candidate ways")
         node = 0

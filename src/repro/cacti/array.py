@@ -46,15 +46,18 @@ class SramArray:
 
     @cached_property
     def electricals(self) -> CellElectricals:
+        """Per-cell electrical parameters of the bitcell."""
         return CellElectricals(self.cell)
 
     @cached_property
     def decoder(self) -> DecoderModel:
+        """The row-decoder model sized for this array."""
         return DecoderModel(rows=self.rows, node=self.cell.node)
 
     # -------------------------------------------------------------- wires
     @cached_property
     def wordline_wire(self) -> WireSegment:
+        """The wordline wire spanning every column."""
         return WireSegment(
             length=self.cols * self.electricals.cell_width,
             node=self.cell.node,
@@ -62,6 +65,7 @@ class SramArray:
 
     @cached_property
     def bitline_wire(self) -> WireSegment:
+        """The bitline wire spanning every row."""
         return WireSegment(
             length=self.rows * self.electricals.cell_height,
             node=self.cell.node,

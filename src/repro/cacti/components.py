@@ -79,6 +79,7 @@ class DecoderModel:
 
     @property
     def address_bits(self) -> int:
+        """Row-address width decoded (at least 1)."""
         return max(1, (self.rows - 1).bit_length())
 
     @property

@@ -46,12 +46,14 @@ class AccessEnergy:
 
     @property
     def total(self) -> float:
+        """Array plus EDC energy (J)."""
         return self.array + self.edc
 
     def __add__(self, other: "AccessEnergy") -> "AccessEnergy":
         return AccessEnergy(self.array + other.array, self.edc + other.edc)
 
     def scaled(self, factor: float) -> "AccessEnergy":
+        """Both components multiplied by ``factor``."""
         return AccessEnergy(self.array * factor, self.edc * factor)
 
 
@@ -72,10 +74,12 @@ class WayGroupArrays:
 
     @cached_property
     def line_bits(self) -> int:
+        """Data bits per cache line."""
         return self.config.line_bytes * 8
 
     @cached_property
     def data_array(self) -> SramArray:
+        """The group's data array (with check columns)."""
         cols = self.line_bits + (
             self.config.words_per_line * self.group.stored_data_check_bits
         )
@@ -85,6 +89,7 @@ class WayGroupArrays:
 
     @cached_property
     def tag_array(self) -> SramArray:
+        """The group's tag array (with check columns)."""
         cols = self.config.tag_bits + self.group.stored_tag_check_bits
         return SramArray(
             rows=self.config.sets, cols=cols, cell=self.group.cell

@@ -123,6 +123,7 @@ class ScenarioChips:
     proposed: Chip
 
     def pair(self) -> tuple[Chip, Chip]:
+        """(baseline, proposed), in the paper's order."""
         return self.baseline, self.proposed
 
 

@@ -50,10 +50,12 @@ class UleWayGeometry:
 
     @property
     def data_words(self) -> int:
+        """Data words per ULE way."""
         return self.sets * self.words_per_line
 
     @property
     def tag_words(self) -> int:
+        """Tag words per ULE way."""
         return self.sets
 
     def organization(

@@ -43,6 +43,7 @@ class ProtectionPlan:
     ule: ProtectionScheme
 
     def as_mapping(self) -> dict[Mode, ProtectionScheme]:
+        """The plan as a mode -> scheme mapping."""
         return {Mode.HP: self.hp, Mode.ULE: self.ule}
 
 

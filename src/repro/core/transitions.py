@@ -23,17 +23,37 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.cache.config import CacheConfig
 from repro.cacti.model import CacheEnergyModel
 from repro.tech.operating import (
     HP_OPERATING_POINT,
     Mode,
     OperatingPoint,
-    ULE_OPERATING_POINT,
 )
 
 #: Energy to recharge the virtual-rail of one gated way, as a fraction of
 #: one full read access of that way (Powell et al. report small constants).
 GATE_RECHARGE_ACCESS_FRACTION = 2.0
+
+
+def reencode_on_ule_entry(config: CacheConfig) -> bool:
+    """Whether entering ULE mode changes the ULE way's stored format.
+
+    True exactly when the ULE-capable group runs *uncoded* at HP mode
+    but coded at ULE mode (scenario A: its resident lines were written
+    with the check columns gated, so SECDED activation needs an encode
+    pass).  When any coding is active at HP the full stored redundancy
+    is already maintained (scenario B stores DECTED codewords at both
+    modes), so nothing needs re-encoding.
+    """
+    for group in config.way_groups:
+        if Mode.ULE not in group.active_modes:
+            continue
+        return (
+            group.active_data_check_bits(Mode.HP) == 0
+            and group.active_data_check_bits(Mode.ULE) > 0
+        )
+    raise ValueError("no ULE-capable way group")
 
 
 @dataclass(frozen=True)
@@ -129,6 +149,44 @@ class ModeTransitionModel:
             gating_energy=gating_energy,
             cycles=cycles,
         )
+
+    def switch_cost(
+        self,
+        source: Mode,
+        target: Mode,
+        dirty_hp_lines: int = 0,
+        valid_ule_lines: int = 0,
+    ) -> TransitionCost:
+        """Cost of switching ``source`` -> ``target`` (direction-aware).
+
+        Parameters
+        ----------
+        source, target : Mode
+            The modes on either side of the switch (must differ).
+        dirty_hp_lines : int
+            Dirty lines resident in the HP ways (HP->ULE flushes them).
+        valid_ule_lines : int
+            Valid lines in the ULE way; re-encoded on HP->ULE entry
+            when the stored format changes (see
+            :func:`reencode_on_ule_entry`).
+
+        Returns
+        -------
+        TransitionCost
+            The priced transition.  This is the single entry point the
+            runtime scheduler uses; it dispatches to :meth:`hp_to_ule`
+            or :meth:`ule_to_hp` and infers the re-encode requirement
+            from the cache configuration.
+        """
+        if source is target:
+            raise ValueError("switch_cost needs two distinct modes")
+        if target is Mode.ULE:
+            return self.hp_to_ule(
+                dirty_hp_lines=dirty_hp_lines,
+                valid_ule_lines=valid_ule_lines,
+                reencode_needed=reencode_on_ule_entry(self.config),
+            )
+        return self.ule_to_hp()
 
     def ule_to_hp(self) -> TransitionCost:
         """Cost of returning to HP mode (ungating the HP ways)."""

@@ -39,18 +39,21 @@ class CoreArrays:
 
     @cached_property
     def register_file(self) -> SramArray:
+        """The architectural register file array."""
         return SramArray(
             rows=self.rf_entries, cols=self.rf_bits, cell=self.cell
         )
 
     @cached_property
     def itlb(self) -> SramArray:
+        """The instruction TLB array."""
         return SramArray(
             rows=self.tlb_entries, cols=self.tlb_bits, cell=self.cell
         )
 
     @cached_property
     def dtlb(self) -> SramArray:
+        """The data TLB array."""
         return SramArray(
             rows=self.tlb_entries, cols=self.tlb_bits, cell=self.cell
         )

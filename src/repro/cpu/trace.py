@@ -16,10 +16,20 @@ A trace is a struct-of-arrays record of a dynamic instruction stream:
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass
 from functools import cached_property
+from typing import Iterable
 
 import numpy as np
+
+
+def _arrays_digest(arrays: Iterable[np.ndarray]) -> str:
+    """SHA-256 hex digest over a sequence of arrays' raw bytes."""
+    digest = hashlib.sha256()
+    for array in arrays:
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
 
 
 class InstrKind(enum.IntEnum):
@@ -85,6 +95,60 @@ class Trace:
             dep_next_loads=int(np.count_nonzero(self.dep_next)),
             redirects=int(np.count_nonzero(self.redirect)),
         )
+
+    def slice(self, start: int, stop: int, name: str | None = None) -> "Trace":
+        """A contiguous sub-trace covering instructions ``[start, stop)``.
+
+        Parameters
+        ----------
+        start, stop : int
+            Instruction bounds (clamped to the trace; ``stop`` exclusive).
+        name : str, optional
+            Name of the sub-trace.  Defaults to a *content-derived*
+            name (``"<name>@<digest12>"``) so that identical slices of
+            a recurring phase carry identical names — which makes their
+            simulation jobs deduplicate (job keys hash the trace name
+            along with its arrays; see
+            :func:`repro.engine.jobs.job_key`).
+
+        Returns
+        -------
+        Trace
+            The sub-trace (views into this trace's arrays).
+        """
+        start = max(0, start)
+        stop = min(len(self), stop)
+        if stop <= start:
+            raise ValueError(f"empty slice [{start}, {stop})")
+        arrays = {
+            field_name: getattr(self, field_name)[start:stop]
+            for field_name in ("pc", "kind", "addr", "dep_next", "redirect")
+        }
+        digest = None
+        if name is None:
+            digest = _arrays_digest(arrays.values())
+            name = f"{self.name}@{digest[:12]}"
+        sub = Trace(name=name, **arrays)
+        if digest is not None:
+            # Seed the digest cache: the name derivation hashed the
+            # same arrays in the same order already.
+            sub.__dict__["_content_digest"] = digest
+        return sub
+
+    @cached_property
+    def _content_digest(self) -> str:
+        """Cached digest (traces are immutable; see content_digest)."""
+        return _arrays_digest(
+            (self.pc, self.kind, self.addr, self.dep_next, self.redirect)
+        )
+
+    def content_digest(self) -> str:
+        """SHA-256 over the trace arrays (name excluded; cached).
+
+        Two traces with equal arrays share a digest whatever they are
+        called; the engine folds this (plus the name) into job keys.
+        """
+        return self._content_digest
 
     def memory_stream(self) -> tuple[np.ndarray, np.ndarray]:
         """(addresses, is_write flags) of the data accesses, in order."""

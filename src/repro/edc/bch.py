@@ -94,12 +94,14 @@ class BchCode(LinearBlockCode):
 
     # ---------------------------------------------------------------- codec
     def encode(self, data: int) -> int:
+        """Append the BCH remainder to the data bits."""
         self._check_data_range(data)
         shifted = data << self._r
         remainder = _gf2_poly_mod(shifted, self.generator)
         return shifted | remainder
 
     def extract_data(self, codeword: int) -> int:
+        """The data bits of a codeword."""
         self._check_word_range(codeword)
         return codeword >> self._r
 
@@ -191,6 +193,7 @@ class BchCode(LinearBlockCode):
         return positions
 
     def decode(self, received: int) -> DecodeResult:
+        """Correct up to t errors; flag detected-uncorrectable."""
         self._check_word_range(received)
         syndromes = self.syndromes(received)
         if all(s == 0 for s in syndromes):

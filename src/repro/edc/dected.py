@@ -36,16 +36,19 @@ class DectedCode(LinearBlockCode):
         return self.n - 1
 
     def encode(self, data: int) -> int:
+        """Append DECTED check bits to the data bits."""
         self._check_data_range(data)
         inner_word = self.inner.encode(data)
         return inner_word | (parity(inner_word) << self.parity_position)
 
     def extract_data(self, codeword: int) -> int:
+        """The data bits of a codeword."""
         self._check_word_range(codeword)
         inner_mask = (1 << self.inner.n) - 1
         return self.inner.extract_data(codeword & inner_mask)
 
     def decode(self, received: int) -> DecodeResult:
+        """Correct up to 2 errors, detect 3."""
         self._check_word_range(received)
         inner_mask = (1 << self.inner.n) - 1
         inner_word = received & inner_mask

@@ -136,6 +136,7 @@ class HsiaoSecDed(LinearBlockCode):
 
     # --------------------------------------------------------------- codec
     def encode(self, data: int) -> int:
+        """Append Hsiao check bits to the data bits."""
         self._check_data_range(data)
         checks = 0
         for check_index in range(self._r):
@@ -157,6 +158,7 @@ class HsiaoSecDed(LinearBlockCode):
         return syndrome
 
     def decode(self, received: int) -> DecodeResult:
+        """Correct single errors, detect doubles."""
         self._check_word_range(received)
         syndrome = self._syndrome(received)
         data_mask = (1 << self.k) - 1
@@ -183,6 +185,7 @@ class HsiaoSecDed(LinearBlockCode):
         )
 
     def extract_data(self, codeword: int) -> int:
+        """The data bits of a codeword."""
         self._check_word_range(codeword)
         return codeword & ((1 << self.k) - 1)
 

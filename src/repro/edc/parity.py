@@ -23,10 +23,12 @@ class ParityCode(LinearBlockCode):
         self.n = data_bits + 1
 
     def encode(self, data: int) -> int:
+        """Append the even-parity bit to the data bits."""
         self._check_data_range(data)
         return data | (parity(data) << self.k)
 
     def decode(self, received: int) -> DecodeResult:
+        """Detect (never correct) odd numbers of errors."""
         self._check_word_range(received)
         data = received & ((1 << self.k) - 1)
         if parity(received) == 0:
@@ -34,5 +36,6 @@ class ParityCode(LinearBlockCode):
         return DecodeResult(data=data, status=DecodeStatus.DETECTED)
 
     def extract_data(self, codeword: int) -> int:
+        """The data bits of a codeword."""
         self._check_word_range(codeword)
         return codeword & ((1 << self.k) - 1)

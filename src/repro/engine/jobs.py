@@ -24,8 +24,6 @@ import pathlib
 from dataclasses import dataclass
 from functools import lru_cache
 
-import numpy as np
-
 from repro.cpu.chip import Chip, ChipConfig, RunResult
 from repro.cpu.trace import Trace
 from repro.tech.operating import Mode, OperatingPoint
@@ -83,15 +81,18 @@ class SimulationJob:
 
 
 def _trace_token(trace: TraceSpec | Trace) -> str:
-    """Canonical text for the trace part of a job key."""
+    """Canonical text for the trace part of a job key.
+
+    Inline traces are keyed by name *and* content digest
+    (:meth:`repro.cpu.trace.Trace.content_digest`), so content-named
+    slices of a recurring phase — :meth:`Trace.slice`'s default — map
+    to the same key and deduplicate in the session.
+    """
     if isinstance(trace, TraceSpec):
         return repr(trace)
-    digest = hashlib.sha256()
-    for array in (
-        trace.pc, trace.kind, trace.addr, trace.dep_next, trace.redirect
-    ):
-        digest.update(np.ascontiguousarray(array).tobytes())
-    return f"Trace({trace.name!r}, n={len(trace)}, {digest.hexdigest()})"
+    return (
+        f"Trace({trace.name!r}, n={len(trace)}, {trace.content_digest()})"
+    )
 
 
 def _canonical(value) -> str:

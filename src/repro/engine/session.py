@@ -108,10 +108,51 @@ class SessionStats:
 class SimulationSession:
     """Batched job execution with dedup, process dispatch and memoization.
 
-    Args:
-        jobs: worker processes for independent jobs (1 = in-process).
-        backend: default simulation backend for submitted jobs.
-        cache_dir: enable the on-disk result cache rooted here.
+    Parameters
+    ----------
+    jobs : int
+        Worker processes for independent jobs (1 = in-process).
+    backend : {"auto", "vectorized", "reference"}
+        Default simulation backend for submitted jobs (all backends
+        are bit-identical; "auto" picks the vectorized fast path where
+        it applies).
+    cache_dir : path-like, optional
+        Enable the content-hash-keyed on-disk result cache rooted
+        here.  Entries survive across invocations; any package source
+        edit orphans them automatically (see
+        ``docs/architecture.md``, "The job-key/caching contract").
+
+    Examples
+    --------
+    Run two chips on the same trace in one deduplicated batch::
+
+        from repro.core import Scenario, build_chips, design_scenario
+        from repro.engine import (SimulationJob, SimulationSession,
+                                  TraceSpec)
+        from repro.tech.operating import Mode
+
+        chips = build_chips(design_scenario(Scenario.A))
+        with SimulationSession(jobs=4) as session:
+            baseline, proposed = session.run_jobs([
+                SimulationJob(chip=chips.baseline.config,
+                              trace=TraceSpec("adpcm_c", 50_000, 2013),
+                              mode=Mode.ULE),
+                SimulationJob(chip=chips.proposed.config,
+                              trace=TraceSpec("adpcm_c", 50_000, 2013),
+                              mode=Mode.ULE),
+            ])
+        print(1 - proposed.epi / baseline.epi)   # ~0.42 (paper: 42 %)
+
+    Install a session as the ambient one so drivers batch through it
+    implicitly::
+
+        from repro.engine.session import use_session
+
+        with SimulationSession(jobs=4) as session, use_session(session):
+            ...  # evaluate_scenario / experiments / ScheduleSimulator
+
+    ``session.stats`` reports where each requested job's result came
+    from (executed / memo / disk / deduplicated).
     """
 
     def __init__(

@@ -27,6 +27,7 @@ class PaperComparison:
         return self.measured - self.paper
 
     def render(self) -> str:
+        """One comparison line for the report text."""
         unit = f" {self.unit}" if self.unit else ""
         return (
             f"{self.quantity}: paper {self.paper:g}{unit}, "

@@ -55,6 +55,7 @@ class CandidateOutcome:
     metrics: dict[str, float]
 
     def point_dict(self) -> Point:
+        """The candidate's axis assignment as a dict."""
         return self.candidate.point_dict()
 
 
@@ -253,14 +254,50 @@ class CampaignResult:
 class ExplorationCampaign:
     """A configured sweep, ready to expand and run.
 
-    Attributes:
-        space: the design space to explore.
-        sampler: "grid", "random" or "halton".
-        samples: point budget (None = the full grid).
-        trace_length: dynamic instructions per benchmark.
-        seed: root seed for trace generation (hashes into job keys, so
-            two campaigns with equal seeds share cache entries).
-        objectives: Pareto objectives for the reduction.
+    Parameters
+    ----------
+    space : DesignSpace
+        The design space to explore (default: the stock space around
+        the paper's design point).
+    sampler : {"grid", "random", "halton"}
+        How points are drawn from the space.
+    samples : int or None
+        Point budget (None = the full constrained grid).
+    trace_length : int
+        Dynamic instructions per benchmark.
+    seed : int
+        Root seed for trace generation.  It hashes into the engine's
+        job keys, so two campaigns with equal seeds share memoized and
+        on-disk results.
+    objectives : tuple of Objective
+        Pareto objectives for the reduction.
+
+    Examples
+    --------
+    Sweep the ULE supply at the paper's geometry and inspect the
+    frontier::
+
+        from repro.explore import ExplorationCampaign, default_space
+
+        space = default_space().with_overrides(
+            {"vdd_ule": (0.35, 0.4, 0.45)})
+        campaign = ExplorationCampaign(
+            space=space, sampler="halton", samples=50,
+            trace_length=20_000)
+        result = campaign.run()          # ambient engine session
+        for outcome in result.frontier():
+            print(outcome.candidate.name, outcome.metrics["epi_ule"])
+
+    Pass an explicit session to parallelize and cache::
+
+        from repro.engine import SimulationSession
+
+        with SimulationSession(jobs=4, cache_dir=".simcache") as s:
+            result = campaign.run(session=s)
+
+    The reduction is pure arithmetic over deterministic run results:
+    ``result.render_report()`` is byte-identical whatever the
+    session's process count.
     """
 
     space: DesignSpace = field(default_factory=default_space)

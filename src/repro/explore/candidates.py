@@ -64,6 +64,7 @@ class Candidate:
 
     @property
     def name(self) -> str:
+        """The candidate's report/campaign row label."""
         return self.chip.name
 
     @property
@@ -90,6 +91,7 @@ class Candidate:
         return canonical_digest(blank)
 
     def point_dict(self) -> Point:
+        """The axis assignment as a dict."""
         return dict(self.point)
 
 

@@ -56,7 +56,40 @@ class Axis:
 
 @dataclass(frozen=True)
 class DesignSpace:
-    """A cross product of axes, filtered by constraints."""
+    """A cross product of axes, filtered by constraints.
+
+    Parameters
+    ----------
+    axes : tuple of Axis
+        The dimensions of the space; each axis is an ordered tuple of
+        candidate values (order defines grid order).
+    constraints : tuple of callables, optional
+        Predicates over fully-assigned points; a point survives only
+        if every constraint accepts it.
+
+    Examples
+    --------
+    Build a two-axis space, constrain it, and enumerate:
+
+    >>> space = DesignSpace.from_dict(
+    ...     {"size_kb": (4, 8), "ule_scheme": ("parity", "secded")},
+    ...     constraints=[lambda p: not (
+    ...         p["size_kb"] == 4 and p["ule_scheme"] == "parity")],
+    ... )
+    >>> space.grid_size
+    4
+    >>> len(list(space.grid()))
+    3
+    >>> space.sample("halton", samples=2)[0]["size_kb"]
+    8
+
+    Spaces are immutable; derive variants with
+    :meth:`with_overrides`:
+
+    >>> wider = space.with_overrides({"size_kb": (4, 8, 16)})
+    >>> wider.grid_size
+    6
+    """
 
     axes: tuple[Axis, ...]
     constraints: tuple[Constraint, ...] = field(default_factory=tuple)

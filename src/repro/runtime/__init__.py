@@ -1,0 +1,66 @@
+"""Runtime mode scheduling: simulated HP/ULE operation over long traces.
+
+The paper's headline claim is *hybrid* voltage operation — a chip that
+alternates high-performance (1 V / 1 GHz) and ultra-low-energy
+(350 mV / 5 MHz) phases.  This package makes that temporal dimension
+executable:
+
+* :mod:`repro.runtime.epochs` — slices any trace into fixed-length or
+  phase-boundary epochs with policy-visible features;
+* :mod:`repro.runtime.policies` — decides the operating mode per epoch
+  (static duty cycle, utilization threshold, energy budget, and an
+  offline-optimal oracle bound);
+* :mod:`repro.runtime.simulator` — replays the epochs through the
+  batched simulation engine, charges mode-transition costs with carried
+  cache-residency state, and reduces everything into a per-epoch
+  ledger (:class:`ScheduleResult`).
+
+See ``docs/runtime.md`` for the user guide and
+``python -m repro schedule --help`` for the CLI entry point.
+"""
+
+from repro.runtime.epochs import (
+    Epoch,
+    EpochFeatures,
+    segment,
+    segment_fixed,
+    segment_phases,
+)
+from repro.runtime.policies import (
+    CANDIDATE_MODES,
+    POLICIES,
+    EnergyBudget,
+    Oracle,
+    ScheduleContext,
+    SchedulePolicy,
+    StaticDutyCycle,
+    UtilizationThreshold,
+    policy_by_name,
+)
+from repro.runtime.simulator import (
+    EpochLedgerEntry,
+    ScheduleResult,
+    ScheduleSimulator,
+    simulate_schedule,
+)
+
+__all__ = [
+    "Epoch",
+    "EpochFeatures",
+    "segment",
+    "segment_fixed",
+    "segment_phases",
+    "CANDIDATE_MODES",
+    "POLICIES",
+    "SchedulePolicy",
+    "ScheduleContext",
+    "StaticDutyCycle",
+    "UtilizationThreshold",
+    "EnergyBudget",
+    "Oracle",
+    "policy_by_name",
+    "EpochLedgerEntry",
+    "ScheduleResult",
+    "ScheduleSimulator",
+    "simulate_schedule",
+]

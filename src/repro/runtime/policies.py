@@ -1,0 +1,422 @@
+"""Scheduling policies: who decides when the chip runs HP vs ULE.
+
+A :class:`SchedulePolicy` maps a sequence of epochs to one operating
+mode per epoch.  Policies come in two flavors:
+
+* **feature-driven** (``requires_results = False``) — decide from the
+  epochs' simulation-free features alone (:class:`StaticDutyCycle`,
+  :class:`UtilizationThreshold`); the scheduler then simulates only the
+  chosen (epoch, mode) pairs;
+* **result-driven** (``requires_results = True``) — need the per-epoch
+  run results of *every* candidate mode before deciding
+  (:class:`EnergyBudget`, :class:`Oracle`); the scheduler batches both
+  modes for all epochs through the session first (deduplicated, so
+  recurring epochs simulate once).
+
+All policies are deterministic: the same epochs and results always
+yield the same schedule, which is what makes scheduled runs
+byte-identical between serial and parallel sessions.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import ClassVar, Mapping, Sequence
+
+from repro.cpu.chip import ChipConfig, RunResult
+from repro.runtime.epochs import Epoch
+from repro.tech.operating import Mode, OperatingPoint
+
+#: The modes a schedule chooses between.
+CANDIDATE_MODES: tuple[Mode, ...] = (Mode.HP, Mode.ULE)
+
+
+@dataclass(frozen=True)
+class ScheduleContext:
+    """Chip-side facts a policy may consult while deciding.
+
+    Attributes:
+        chip: the chip configuration being scheduled.
+        points: operating point used for each mode.
+        il1_ule_capacity / dl1_ule_capacity: data bytes reachable at
+            ULE mode in each L1 (the gated HP ways excluded).
+        transition_energy: worst-case energy estimate (J) per switch
+            direction, summed over both L1s.
+        transition_seconds: matching wall-clock estimate (s).
+    """
+
+    chip: ChipConfig
+    points: Mapping[Mode, OperatingPoint]
+    il1_ule_capacity: int
+    dl1_ule_capacity: int
+    transition_energy: Mapping[tuple[Mode, Mode], float] = field(
+        default_factory=dict
+    )
+    transition_seconds: Mapping[tuple[Mode, Mode], float] = field(
+        default_factory=dict
+    )
+
+
+class SchedulePolicy(ABC):
+    """Base class: one operating mode per epoch.
+
+    Subclasses set :attr:`name` (the CLI/registry identifier), declare
+    :attr:`requires_results`, and implement :meth:`choose`.
+    """
+
+    #: Identifier used by the CLI and the ``sweep-policy`` experiment.
+    name: ClassVar[str] = "abstract"
+
+    #: Whether :meth:`choose` needs per-epoch results for every
+    #: candidate mode (True) or decides from features alone (False).
+    requires_results: ClassVar[bool] = False
+
+    @abstractmethod
+    def choose(
+        self,
+        epochs: Sequence[Epoch],
+        context: ScheduleContext,
+        results: Mapping[Mode, Sequence[RunResult]] | None = None,
+    ) -> list[Mode]:
+        """The operating mode of every epoch, in order.
+
+        Parameters
+        ----------
+        epochs : sequence of Epoch
+            The segmented trace.
+        context : ScheduleContext
+            Chip capacities, operating points and transition estimates.
+        results : mapping, optional
+            Per-mode, per-epoch run results; only provided (and only
+            required) when :attr:`requires_results` is True.
+
+        Returns
+        -------
+        list of Mode
+            ``len(epochs)`` entries; the scheduler charges a mode
+            transition wherever consecutive entries differ.
+        """
+
+    def describe(self) -> str:
+        """Short human-readable parameterization."""
+        return self.name
+
+
+class StaticDutyCycle(SchedulePolicy):
+    """A fixed fraction of epochs at HP, spread evenly.
+
+    The paper's deployment sketch — "99 %–99.99 % of the time at ULE
+    mode" — as an open-loop schedule.  Epoch ``i`` runs HP exactly when
+    the running duty target crosses an integer at it (largest-remainder
+    spreading), so ``hp_duty=0.25`` yields HP on every fourth epoch
+    rather than a front-loaded block.
+
+    Parameters
+    ----------
+    hp_duty : float
+        Fraction of *epochs* run at HP mode, in [0, 1].  0 pins the
+        schedule to ULE; 1 pins it to HP (and, with a single epoch,
+        reproduces a plain HP :meth:`repro.cpu.chip.Chip.run`
+        bit-for-bit — pinned by the runtime property tests).
+
+    Examples
+    --------
+    >>> policy = StaticDutyCycle(0.5)
+    >>> policy.describe()
+    'static(hp_duty=0.5)'
+    """
+
+    name: ClassVar[str] = "static"
+    requires_results: ClassVar[bool] = False
+
+    def __init__(self, hp_duty: float):
+        if not 0.0 <= hp_duty <= 1.0:
+            raise ValueError("hp_duty must be within [0, 1]")
+        self.hp_duty = hp_duty
+
+    def choose(self, epochs, context, results=None) -> list[Mode]:
+        """HP on every duty-crossing epoch (see class doc)."""
+        modes = []
+        for index in range(len(epochs)):
+            crossed = math.floor(
+                (index + 1) * self.hp_duty
+            ) - math.floor(index * self.hp_duty)
+            modes.append(Mode.HP if crossed >= 1 else Mode.ULE)
+        return modes
+
+    def describe(self) -> str:
+        """``static(hp_duty=...)``."""
+        return f"static(hp_duty={self.hp_duty:g})"
+
+
+class UtilizationThreshold(SchedulePolicy):
+    """HP when an epoch's footprint overflows the ULE-mode cache.
+
+    At ULE mode only the ULE way group is powered, so an epoch whose
+    working set (or code footprint) exceeds that capacity thrashes the
+    single powered way — exactly the epochs worth a HP burst.  The
+    demand proxy is::
+
+        utilization = max(working_set / dl1_ule_capacity,
+                          code_footprint / il1_ule_capacity)
+
+    and the epoch runs HP when ``utilization > threshold``.
+
+    Parameters
+    ----------
+    threshold : float
+        Overflow factor above which an epoch is scheduled at HP.  The
+        1.0 default means "run HP when the footprint no longer fits
+        the ULE-mode cache at all" — it cleanly separates the
+        SmallBench monitoring phases (~0.7x the ULE way) from
+        BigBench bursts (>5x).
+
+    Examples
+    --------
+    >>> policy = UtilizationThreshold(threshold=1.0)
+    >>> policy.describe()
+    'utilization(threshold=1)'
+    """
+
+    name: ClassVar[str] = "utilization"
+    requires_results: ClassVar[bool] = False
+
+    def __init__(self, threshold: float = 1.0):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+
+    def utilization(self, epoch: Epoch, context: ScheduleContext) -> float:
+        """The demand proxy of one epoch (see the class docstring)."""
+        features = epoch.features
+        return max(
+            features.working_set_bytes
+            / max(context.dl1_ule_capacity, 1),
+            features.code_footprint_bytes
+            / max(context.il1_ule_capacity, 1),
+        )
+
+    def choose(self, epochs, context, results=None) -> list[Mode]:
+        """HP where the footprint overflows ULE capacity."""
+        return [
+            Mode.HP
+            if self.utilization(epoch, context) > self.threshold
+            else Mode.ULE
+            for epoch in epochs
+        ]
+
+    def describe(self) -> str:
+        """``utilization(threshold=...)``."""
+        return f"utilization(threshold={self.threshold:g})"
+
+
+class EnergyBudget(SchedulePolicy):
+    """Battery-aware: spend HP performance while the budget affords it.
+
+    Walks the epochs in order, preferring HP; an epoch runs HP only if
+    doing so still leaves enough budget to finish the remaining trace
+    at ULE mode (the frugal fallback).  Guarantees the schedule's *run*
+    energy never exceeds the budget as long as the all-ULE schedule
+    fits it; mode-transition costs are charged exactly by the scheduler
+    ledger but are not part of the decision arithmetic (they amortize
+    to well below a percent at the paper's phase lengths).
+
+    Parameters
+    ----------
+    budget_joules : float
+        Total energy budget for the trace (J), e.g. the charge a
+        harvesting cycle replenishes.
+
+    Examples
+    --------
+    >>> policy = EnergyBudget(budget_joules=1e-3)
+    >>> policy.requires_results
+    True
+    """
+
+    name: ClassVar[str] = "budget"
+    requires_results: ClassVar[bool] = True
+
+    def __init__(self, budget_joules: float):
+        if budget_joules <= 0:
+            raise ValueError("budget_joules must be positive")
+        self.budget_joules = budget_joules
+
+    def choose(self, epochs, context, results=None) -> list[Mode]:
+        """Greedy HP while the remaining budget affords it."""
+        if results is None:
+            raise ValueError(f"{self.name} policy needs per-mode results")
+        hp_energy = [r.energy.total for r in results[Mode.HP]]
+        ule_energy = [r.energy.total for r in results[Mode.ULE]]
+        # ule_tail[i]: energy to finish epochs i.. at ULE mode.
+        ule_tail = [0.0] * (len(epochs) + 1)
+        for i in range(len(epochs) - 1, -1, -1):
+            ule_tail[i] = ule_tail[i + 1] + ule_energy[i]
+        modes: list[Mode] = []
+        spent = 0.0
+        for i in range(len(epochs)):
+            if spent + hp_energy[i] + ule_tail[i + 1] <= self.budget_joules:
+                modes.append(Mode.HP)
+                spent += hp_energy[i]
+            else:
+                modes.append(Mode.ULE)
+                spent += ule_energy[i]
+        return modes
+
+    def describe(self) -> str:
+        """``budget(... mJ)``."""
+        return f"budget({self.budget_joules * 1e3:g} mJ)"
+
+
+class Oracle(SchedulePolicy):
+    """The offline-optimal schedule: a DP over per-epoch run results.
+
+    Knows every epoch's cost in both modes ahead of time and minimizes
+    the chosen objective *including* the worst-case transition
+    estimates from the context — a classic Viterbi pass over the
+    two-state (HP/ULE) trellis.  No causal policy can beat it under
+    the same objective, which makes it the upper bound the
+    ``sweep-policy`` experiment ranks the implementable policies
+    against.
+
+    Parameters
+    ----------
+    objective : {"energy", "time"}
+        Per-epoch cost: total run energy (J) or execution seconds.
+
+    Examples
+    --------
+    >>> policy = Oracle(objective="energy")
+    >>> policy.describe()
+    'oracle(energy)'
+    """
+
+    name: ClassVar[str] = "oracle"
+    requires_results: ClassVar[bool] = True
+
+    _OBJECTIVES = ("energy", "time")
+
+    def __init__(self, objective: str = "energy"):
+        if objective not in self._OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {objective!r}; "
+                f"known: {list(self._OBJECTIVES)}"
+            )
+        self.objective = objective
+
+    def _cost(self, result: RunResult) -> float:
+        if self.objective == "energy":
+            return result.energy.total
+        return result.execution_seconds
+
+    def _switch_cost(
+        self, context: ScheduleContext, source: Mode, target: Mode
+    ) -> float:
+        estimates = (
+            context.transition_energy
+            if self.objective == "energy"
+            else context.transition_seconds
+        )
+        return estimates.get((source, target), 0.0)
+
+    def choose(self, epochs, context, results=None) -> list[Mode]:
+        """The Viterbi-optimal mode sequence."""
+        if results is None:
+            raise ValueError(f"{self.name} policy needs per-mode results")
+        if not epochs:
+            return []
+        best: dict[Mode, float] = {
+            mode: self._cost(results[mode][0]) for mode in CANDIDATE_MODES
+        }
+        # back[i][mode]: predecessor mode of the best path ending in
+        # ``mode`` at epoch i.
+        back: list[dict[Mode, Mode]] = [{}]
+        for i in range(1, len(epochs)):
+            step: dict[Mode, float] = {}
+            pointers: dict[Mode, Mode] = {}
+            for mode in CANDIDATE_MODES:
+                arrivals = {
+                    prev: best[prev]
+                    + (
+                        self._switch_cost(context, prev, mode)
+                        if prev is not mode
+                        else 0.0
+                    )
+                    for prev in CANDIDATE_MODES
+                }
+                # Deterministic tie-break: stay in the current mode.
+                origin = min(
+                    CANDIDATE_MODES,
+                    key=lambda prev: (
+                        arrivals[prev],
+                        prev is not mode,
+                    ),
+                )
+                step[mode] = arrivals[origin] + self._cost(
+                    results[mode][i]
+                )
+                pointers[mode] = origin
+            best = step
+            back.append(pointers)
+        final = min(
+            CANDIDATE_MODES,
+            key=lambda mode: (best[mode], mode is not Mode.ULE),
+        )
+        modes = [final]
+        for pointers in reversed(back[1:]):
+            modes.append(pointers[modes[-1]])
+        modes.reverse()
+        return modes
+
+    def describe(self) -> str:
+        """``oracle(<objective>)``."""
+        return f"oracle({self.objective})"
+
+
+#: Registered policy constructors, keyed by :attr:`SchedulePolicy.name`.
+POLICIES: dict[str, type[SchedulePolicy]] = {
+    StaticDutyCycle.name: StaticDutyCycle,
+    UtilizationThreshold.name: UtilizationThreshold,
+    EnergyBudget.name: EnergyBudget,
+    Oracle.name: Oracle,
+}
+
+
+def policy_by_name(
+    name: str,
+    hp_duty: float = 0.1,
+    threshold: float = 1.0,
+    budget_joules: float | None = None,
+    objective: str = "energy",
+) -> SchedulePolicy:
+    """Construct a policy from its CLI name and the relevant knobs.
+
+    Parameters
+    ----------
+    name : str
+        One of ``"static"``, ``"utilization"``, ``"budget"``,
+        ``"oracle"``.
+    hp_duty, threshold, budget_joules, objective :
+        Forwarded to the matching constructor; the others are ignored.
+
+    Returns
+    -------
+    SchedulePolicy
+        The configured policy.
+    """
+    lowered = name.lower()
+    if lowered == StaticDutyCycle.name:
+        return StaticDutyCycle(hp_duty)
+    if lowered == UtilizationThreshold.name:
+        return UtilizationThreshold(threshold)
+    if lowered == EnergyBudget.name:
+        if budget_joules is None:
+            raise ValueError("the budget policy needs budget_joules")
+        return EnergyBudget(budget_joules)
+    if lowered == Oracle.name:
+        return Oracle(objective)
+    raise ValueError(
+        f"unknown policy {name!r}; known: {sorted(POLICIES)}"
+    )

@@ -1,0 +1,622 @@
+"""The schedule simulator: policy-driven hybrid operation over a trace.
+
+:class:`ScheduleSimulator` makes the paper's *hybrid* claim executable:
+it slices a long trace into epochs (:mod:`repro.runtime.epochs`), asks a
+policy (:mod:`repro.runtime.policies`) for one operating mode per epoch,
+replays every epoch through :meth:`repro.cpu.chip.Chip.run` **batched
+through the simulation engine's session** — one job per unique
+(epoch-signature, mode, operating point), deduplicated, disk-cacheable,
+parallelizable — and charges :class:`repro.core.transitions.
+ModeTransitionModel` costs at every mode switch, carrying estimated
+cache residency across epochs so flush and re-encode costs reflect what
+the caches actually held.
+
+The output is a :class:`ScheduleResult`: a per-epoch ledger plus totals
+for energy, time, switches and EDC overhead.  The reduction is pure
+arithmetic over deterministic run results, so a schedule renders
+byte-identically whatever the session's process count — the same
+contract the exploration campaigns pin.
+
+Approximation note: each epoch simulates from a cold cache (the
+functional simulator is stateless across runs), so intra-mode locality
+is slightly under-credited at epoch boundaries.  Residency *estimates*
+— what the transition model needs — are carried explicitly instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.cache.config import CacheConfig
+from repro.core.transitions import ModeTransitionModel, TransitionCost
+from repro.cpu.chip import Chip, ChipConfig, RunResult
+from repro.cpu.trace import Trace
+from repro.engine.jobs import SimulationJob
+from repro.engine.session import SimulationSession, current_session
+from repro.runtime.epochs import Epoch, segment
+from repro.runtime.policies import (
+    CANDIDATE_MODES,
+    ScheduleContext,
+    SchedulePolicy,
+)
+from repro.tech.operating import Mode, OperatingPoint, operating_point_for
+from repro.util.tables import Table
+from repro.util.units import si
+
+
+@dataclass(frozen=True)
+class EpochLedgerEntry:
+    """One epoch's row in the schedule ledger.
+
+    Attributes:
+        index: epoch position.
+        mode: the operating mode the policy chose.
+        instructions: dynamic instructions executed.
+        seconds: the epoch's execution time at its operating point.
+        energy: the epoch run's total energy (J).
+        edc_energy: the EDC share of that energy (J).
+        switched: whether a mode transition preceded this epoch.
+        transition_energy: energy charged for that transition (J; both
+            L1 caches).
+        transition_seconds: wall-clock charged for the transition.
+        flush_writebacks: dirty lines written back by the transition.
+    """
+
+    index: int
+    mode: Mode
+    instructions: int
+    seconds: float
+    energy: float
+    edc_energy: float
+    switched: bool = False
+    transition_energy: float = 0.0
+    transition_seconds: float = 0.0
+    flush_writebacks: int = 0
+
+    @property
+    def total_energy(self) -> float:
+        """Run energy plus the transition charged to this epoch (J)."""
+        return self.energy + self.transition_energy
+
+    @property
+    def total_seconds(self) -> float:
+        """Run time plus the transition charged to this epoch (s)."""
+        return self.seconds + self.transition_seconds
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Everything one scheduled run produced.
+
+    Attributes:
+        chip_name / trace_name: what ran.
+        policy: the policy's :meth:`~repro.runtime.policies.
+            SchedulePolicy.describe` text.
+        entries: the per-epoch ledger.
+        total_energy: schedule energy including transitions (J).
+        total_seconds: schedule time including transitions (s).
+        run_energy / run_seconds: the same, transitions excluded.
+        transition_energy / transition_seconds: the transitions alone.
+        edc_energy: total EDC overhead energy (J).
+        switches: number of mode transitions charged.
+        instructions: total dynamic instructions.
+    """
+
+    chip_name: str
+    trace_name: str
+    policy: str
+    entries: tuple[EpochLedgerEntry, ...]
+    total_energy: float
+    total_seconds: float
+    run_energy: float
+    run_seconds: float
+    transition_energy: float
+    transition_seconds: float
+    edc_energy: float
+    switches: int
+    instructions: int
+
+    @property
+    def average_power(self) -> float:
+        """Schedule-average power (W)."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.total_energy / self.total_seconds
+
+    @property
+    def epi(self) -> float:
+        """Energy per instruction over the whole schedule (J)."""
+        return self.total_energy / max(self.instructions, 1)
+
+    def mode_share(self, mode: Mode) -> float:
+        """Fraction of instructions executed in ``mode``."""
+        at_mode = sum(
+            entry.instructions
+            for entry in self.entries
+            if entry.mode is mode
+        )
+        return at_mode / max(self.instructions, 1)
+
+    # -------------------------------------------------------------- render
+    def render(self, max_rows: int = 40) -> str:
+        """The per-epoch ledger table plus a totals block."""
+        table = Table(
+            [
+                "epoch",
+                "mode",
+                "instr",
+                "time",
+                "energy",
+                "edc",
+                "switch",
+            ],
+            title=(
+                f"Schedule — {self.chip_name} / {self.trace_name} / "
+                f"{self.policy}"
+            ),
+        )
+        shown = self.entries[:max_rows]
+        for entry in shown:
+            switch = ""
+            if entry.switched:
+                switch = (
+                    f"-> {entry.mode} "
+                    f"(+{si(entry.transition_energy, 'J')}, "
+                    f"{entry.flush_writebacks} wb)"
+                )
+            table.add_row(
+                [
+                    entry.index,
+                    str(entry.mode),
+                    entry.instructions,
+                    si(entry.seconds, "s"),
+                    si(entry.energy, "J"),
+                    si(entry.edc_energy, "J"),
+                    switch,
+                ]
+            )
+        if len(self.entries) > max_rows:
+            table.add_separator()
+            table.add_row(
+                ["...", f"({len(self.entries) - max_rows} more)",
+                 "", "", "", "", ""]
+            )
+        lines = [
+            table.render(),
+            "",
+            f"instructions     : {self.instructions}",
+            (
+                f"mode share       : "
+                f"{100 * self.mode_share(Mode.ULE):.1f} % ULE / "
+                f"{100 * self.mode_share(Mode.HP):.1f} % HP "
+                f"(by instructions)"
+            ),
+            f"total time       : {si(self.total_seconds, 's')}",
+            f"total energy     : {si(self.total_energy, 'J')}",
+            (
+                f"transitions      : {self.switches} switches, "
+                f"{si(self.transition_energy, 'J')} "
+                f"({self._transition_percent():.3g} % of total)"
+            ),
+            f"EDC overhead     : {si(self.edc_energy, 'J')}",
+            f"average power    : {si(self.average_power, 'W')}",
+            f"energy/instr     : {si(self.epi, 'J')}",
+        ]
+        return "\n".join(lines)
+
+    def _transition_percent(self) -> float:
+        if self.total_energy <= 0:
+            return 0.0
+        return 100 * self.transition_energy / self.total_energy
+
+    # ------------------------------------------------------------- machine
+    def to_dict(self) -> dict:
+        """Machine-readable form (JSON-able)."""
+        return {
+            "meta": {
+                "chip": self.chip_name,
+                "trace": self.trace_name,
+                "policy": self.policy,
+                "epochs": len(self.entries),
+            },
+            "totals": {
+                "energy_j": self.total_energy,
+                "seconds": self.total_seconds,
+                "run_energy_j": self.run_energy,
+                "run_seconds": self.run_seconds,
+                "transition_energy_j": self.transition_energy,
+                "transition_seconds": self.transition_seconds,
+                "edc_energy_j": self.edc_energy,
+                "switches": self.switches,
+                "instructions": self.instructions,
+                "average_power_w": self.average_power,
+                "epi_j": self.epi,
+            },
+            "epochs": [
+                {
+                    "index": entry.index,
+                    "mode": entry.mode.value,
+                    "instructions": entry.instructions,
+                    "seconds": entry.seconds,
+                    "energy_j": entry.energy,
+                    "edc_energy_j": entry.edc_energy,
+                    "switched": entry.switched,
+                    "transition_energy_j": entry.transition_energy,
+                    "transition_seconds": entry.transition_seconds,
+                    "flush_writebacks": entry.flush_writebacks,
+                }
+                for entry in self.entries
+            ],
+        }
+
+
+class _Residency:
+    """Capacity-capped estimate of one L1 cache's resident state.
+
+    The functional simulator is stateless across epochs, so the
+    scheduler carries what the transition model needs explicitly:
+
+    * ``dirty_hp`` — dirty lines in the HP ways.  Each epoch (cold in
+      the functional model) can add at most
+      ``min(write activity, fills into the HP ways)`` dirty lines —
+      a line is dirty only if it was both brought in *and* written —
+      less the dirty evictions the epoch already wrote back; a
+      read-only cache (the IL1) therefore never accrues any.
+    * ``valid_ule`` — valid lines in the ULE way (each fill adds one,
+      capped at its capacity).
+
+    HP->ULE flushes the HP ways (``dirty_hp`` resets); gated ways lose
+    their content, so ULE->HP brings them back empty.
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.ule_group = next(
+            group.name
+            for group in config.way_groups
+            if Mode.ULE in group.active_modes
+        )
+        self.hp_groups = [
+            group.name
+            for group in config.way_groups
+            if group.name != self.ule_group
+        ]
+        self.hp_capacity = sum(
+            config.lines_of_group(name) for name in self.hp_groups
+        )
+        self.ule_capacity = config.lines_of_group(self.ule_group)
+        self.dirty_hp = 0
+        self.valid_ule = 0
+
+    def observe(self, mode: Mode, stats) -> None:
+        """Fold one epoch run's cache stats into the estimate."""
+        if mode is Mode.HP:
+            hp_fills = sum(
+                stats.group_fills.get(name, 0)
+                for name in self.hp_groups
+            )
+            hp_writebacks = sum(
+                stats.group_writebacks.get(name, 0)
+                for name in self.hp_groups
+            )
+            writes = sum(
+                stats.group_write_hits.get(name, 0)
+                for name in self.hp_groups
+            ) + stats.write_misses
+            dirtied = max(0, min(writes, hp_fills) - hp_writebacks)
+            self.dirty_hp = min(
+                self.hp_capacity, self.dirty_hp + dirtied
+            )
+        self.valid_ule = min(
+            self.ule_capacity,
+            self.valid_ule + stats.group_fills.get(self.ule_group, 0),
+        )
+
+    def switched(self, target: Mode) -> None:
+        """Reset state consumed by a switch into ``target``."""
+        # Either direction leaves the HP ways without dirty content:
+        # HP->ULE flushed them, ULE->HP re-enables them empty.
+        self.dirty_hp = 0
+
+
+class ScheduleSimulator:
+    """Simulates policy-scheduled HP/ULE operation of one chip.
+
+    Parameters
+    ----------
+    chip : Chip or ChipConfig
+        The chip to schedule.
+    policy : SchedulePolicy
+        The mode-decision policy.
+    epoch_length : int
+        Instructions per epoch (fixed segmenter) or the detection
+        window (phase segmenter).
+    segmenter : {"fixed", "phase"}
+        How to slice the trace (see :mod:`repro.runtime.epochs`).
+    points : mapping, optional
+        Operating-point override per mode; defaults to the paper's
+        points.  Overrides are passed into the simulation jobs, so
+        they participate in job keys and caching.
+    session : SimulationSession, optional
+        The engine session to batch through (defaults to the ambient
+        :func:`repro.engine.session.current_session`).
+
+    Examples
+    --------
+    >>> from repro.core import Scenario, build_chips, design_scenario
+    >>> from repro.runtime import StaticDutyCycle
+    >>> from repro.workloads import sensor_node_trace
+    >>> chip = build_chips(design_scenario(Scenario.A)).proposed
+    >>> simulator = ScheduleSimulator(
+    ...     chip, StaticDutyCycle(0.5), epoch_length=5_000)
+    >>> result = simulator.run(sensor_node_trace(5_000, 5_000, 1))
+    >>> result.switches
+    1
+    """
+
+    def __init__(
+        self,
+        chip: Chip | ChipConfig,
+        policy: SchedulePolicy,
+        epoch_length: int = 10_000,
+        segmenter: str = "fixed",
+        points: Mapping[Mode, OperatingPoint] | None = None,
+        session: SimulationSession | None = None,
+    ):
+        self.chip = chip if isinstance(chip, Chip) else Chip(chip)
+        self.policy = policy
+        self.epoch_length = epoch_length
+        self.segmenter = segmenter
+        self._points = dict(points or {})
+        self._session = session
+        self._il1_transitions = ModeTransitionModel(self.chip.il1_model)
+        self._dl1_transitions = ModeTransitionModel(self.chip.dl1_model)
+
+    # ------------------------------------------------------------- context
+    def point_for(self, mode: Mode) -> OperatingPoint:
+        """The operating point a mode runs at under this schedule."""
+        return self._points.get(mode) or operating_point_for(mode)
+
+    def _job_point(self, mode: Mode) -> OperatingPoint | None:
+        # Only explicit overrides enter the job (None = paper default),
+        # keeping job keys identical to the rest of the pipeline's.
+        return self._points.get(mode)
+
+    def _transition_estimates(
+        self,
+    ) -> tuple[dict[tuple[Mode, Mode], float],
+               dict[tuple[Mode, Mode], float]]:
+        """Worst-case (full-residency) switch estimates for policies."""
+        energy: dict[tuple[Mode, Mode], float] = {}
+        seconds: dict[tuple[Mode, Mode], float] = {}
+        hp_cycle = self.point_for(Mode.HP).cycle_time
+        for source, target in (
+            (Mode.HP, Mode.ULE),
+            (Mode.ULE, Mode.HP),
+        ):
+            joules = 0.0
+            cycles = 0.0
+            for model in (self._il1_transitions, self._dl1_transitions):
+                residency = _Residency(model.config)
+                cost = model.switch_cost(
+                    source,
+                    target,
+                    dirty_hp_lines=residency.hp_capacity,
+                    valid_ule_lines=residency.ule_capacity,
+                )
+                joules += cost.total_energy
+                cycles = max(cycles, cost.cycles)
+            energy[(source, target)] = joules
+            # The two L1 flush engines work concurrently; the slower
+            # one sets the wall clock, at the HP-capable corner.
+            seconds[(source, target)] = cycles * hp_cycle
+        return energy, seconds
+
+    def schedule_context(self) -> ScheduleContext:
+        """The :class:`ScheduleContext` policies see for this chip.
+
+        Public so callers comparing schedules (e.g. the
+        ``sweep-policy`` experiment) can price a schedule under the
+        same worst-case transition estimates the :class:`~repro.
+        runtime.policies.Oracle` DP charges.
+        """
+        config = self.chip.config
+        energy, seconds = self._transition_estimates()
+        return ScheduleContext(
+            chip=config,
+            points={
+                mode: self.point_for(mode) for mode in CANDIDATE_MODES
+            },
+            il1_ule_capacity=config.il1.active_capacity_bytes(Mode.ULE),
+            dl1_ule_capacity=config.dl1.active_capacity_bytes(Mode.ULE),
+            transition_energy=energy,
+            transition_seconds=seconds,
+        )
+
+    # ------------------------------------------------------------- running
+    def run(
+        self,
+        trace: Trace,
+        progress: Callable[[int, int], None] | None = None,
+        epochs: Sequence[Epoch] | None = None,
+    ) -> ScheduleResult:
+        """Schedule and simulate ``trace``, producing the full ledger.
+
+        Feature-driven policies decide first and only the chosen
+        (epoch, mode) jobs are simulated; result-driven policies get
+        every candidate mode simulated up front.  Either way the jobs
+        go through the session as **one batch** — identical epochs
+        deduplicate, and ``jobs > 1`` fans them across processes.
+
+        ``epochs`` lets callers scheduling the same trace repeatedly
+        (e.g. the ``sweep-policy`` experiment, one segmentation per
+        candidate x policy otherwise) pass a pre-built segmentation;
+        it must cover ``trace`` in order, as the segmenters produce.
+        """
+        session = self._session or current_session()
+        if epochs is None:
+            epochs = segment(
+                trace, segmenter=self.segmenter,
+                epoch_length=self.epoch_length,
+            )
+        context = self.schedule_context()
+
+        if self.policy.requires_results:
+            jobs = [
+                SimulationJob(
+                    chip=self.chip.config,
+                    trace=epoch.trace,
+                    mode=mode,
+                    operating_point=self._job_point(mode),
+                )
+                for mode in CANDIDATE_MODES
+                for epoch in epochs
+            ]
+            results = session.run_jobs(jobs, progress=progress)
+            by_mode = {
+                mode: results[
+                    rank * len(epochs):(rank + 1) * len(epochs)
+                ]
+                for rank, mode in enumerate(CANDIDATE_MODES)
+            }
+            modes = self.policy.choose(epochs, context, by_mode)
+            self._check_modes(modes, epochs)
+            chosen = [by_mode[mode][i] for i, mode in enumerate(modes)]
+        else:
+            modes = self.policy.choose(epochs, context, None)
+            self._check_modes(modes, epochs)
+            jobs = [
+                SimulationJob(
+                    chip=self.chip.config,
+                    trace=epoch.trace,
+                    mode=mode,
+                    operating_point=self._job_point(mode),
+                )
+                for epoch, mode in zip(epochs, modes)
+            ]
+            chosen = session.run_jobs(jobs, progress=progress)
+
+        return self._reduce(trace, epochs, modes, chosen)
+
+    def _check_modes(
+        self, modes: Sequence[Mode], epochs: Sequence[Epoch]
+    ) -> None:
+        """Reject a policy's schedule before any result is consumed."""
+        if len(modes) != len(epochs):
+            raise ValueError(
+                f"policy returned {len(modes)} modes for "
+                f"{len(epochs)} epochs"
+            )
+
+    # ------------------------------------------------------------- ledger
+    def _reduce(
+        self,
+        trace: Trace,
+        epochs: Sequence[Epoch],
+        modes: Sequence[Mode],
+        results: Sequence[RunResult],
+    ) -> ScheduleResult:
+        il1_res = _Residency(self.chip.config.il1)
+        dl1_res = _Residency(self.chip.config.dl1)
+        hp_cycle = self.point_for(Mode.HP).cycle_time
+
+        entries: list[EpochLedgerEntry] = []
+        run_energy = run_seconds = 0.0
+        transition_energy = transition_seconds = 0.0
+        edc_energy = 0.0
+        switches = 0
+        instructions = 0
+
+        previous: Mode | None = None
+        for epoch, mode, result in zip(epochs, modes, results):
+            switched = previous is not None and mode is not previous
+            entry_transition_energy = 0.0
+            entry_transition_cycles = 0.0
+            flush_writebacks = 0
+            if switched:
+                switches += 1
+                for model, residency in (
+                    (self._il1_transitions, il1_res),
+                    (self._dl1_transitions, dl1_res),
+                ):
+                    cost: TransitionCost = model.switch_cost(
+                        previous,
+                        mode,
+                        dirty_hp_lines=residency.dirty_hp,
+                        valid_ule_lines=residency.valid_ule,
+                    )
+                    entry_transition_energy += cost.total_energy
+                    entry_transition_cycles = max(
+                        entry_transition_cycles, cost.cycles
+                    )
+                    flush_writebacks += cost.flush_writebacks
+                    residency.switched(mode)
+            entry_transition_seconds = (
+                entry_transition_cycles * hp_cycle
+            )
+
+            epoch_edc = result.energy.group(
+                "il1.edc"
+            ) + result.energy.group("dl1.edc")
+            entry = EpochLedgerEntry(
+                index=epoch.index,
+                mode=mode,
+                instructions=epoch.instructions,
+                seconds=result.execution_seconds,
+                energy=result.energy.total,
+                edc_energy=epoch_edc,
+                switched=switched,
+                transition_energy=entry_transition_energy,
+                transition_seconds=entry_transition_seconds,
+                flush_writebacks=flush_writebacks,
+            )
+            entries.append(entry)
+
+            run_energy += entry.energy
+            run_seconds += entry.seconds
+            transition_energy += entry.transition_energy
+            transition_seconds += entry.transition_seconds
+            edc_energy += entry.edc_energy
+            instructions += entry.instructions
+
+            il1_res.observe(mode, result.il1_stats)
+            dl1_res.observe(mode, result.dl1_stats)
+            previous = mode
+
+        return ScheduleResult(
+            chip_name=self.chip.config.name,
+            trace_name=trace.name,
+            policy=self.policy.describe(),
+            entries=tuple(entries),
+            total_energy=run_energy + transition_energy,
+            total_seconds=run_seconds + transition_seconds,
+            run_energy=run_energy,
+            run_seconds=run_seconds,
+            transition_energy=transition_energy,
+            transition_seconds=transition_seconds,
+            edc_energy=edc_energy,
+            switches=switches,
+            instructions=instructions,
+        )
+
+
+def simulate_schedule(
+    chip: Chip | ChipConfig,
+    trace: Trace,
+    policy: SchedulePolicy,
+    epoch_length: int = 10_000,
+    segmenter: str = "fixed",
+    points: Mapping[Mode, OperatingPoint] | None = None,
+    session: SimulationSession | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> ScheduleResult:
+    """One-call convenience wrapper around :class:`ScheduleSimulator`."""
+    simulator = ScheduleSimulator(
+        chip,
+        policy,
+        epoch_length=epoch_length,
+        segmenter=segmenter,
+        points=points,
+        session=session,
+    )
+    return simulator.run(trace, progress=progress)

@@ -75,9 +75,11 @@ class CellTopology:
 
     @property
     def transistor_count(self) -> int:
+        """Transistors per bitcell (the 'T' in 6T)."""
         return len(self.transistors)
 
     def roles(self) -> list[str]:
+        """The distinct transistor roles of the topology."""
         return [spec.role for spec in self.transistors]
 
 

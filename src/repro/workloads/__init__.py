@@ -20,6 +20,13 @@ from repro.workloads.mediabench import (
     benchmark_by_name,
     generate_trace,
 )
+from repro.workloads.phases import (
+    PhaseSpec,
+    concat_traces,
+    phased_trace,
+    sensor_node_phases,
+    sensor_node_trace,
+)
 from repro.workloads.suites import (
     ALL_BENCHMARKS,
     BIGBENCH,
@@ -31,6 +38,11 @@ __all__ = [
     "BenchmarkSpec",
     "generate_trace",
     "benchmark_by_name",
+    "PhaseSpec",
+    "concat_traces",
+    "phased_trace",
+    "sensor_node_phases",
+    "sensor_node_trace",
     "SMALLBENCH",
     "BIGBENCH",
     "ALL_BENCHMARKS",

@@ -1,0 +1,145 @@
+"""Phased workloads: long traces with distinct program phases.
+
+The paper's hybrid operation story is *temporal*: a device spends most
+of its life in a low-demand monitoring phase (ULE mode) and bursts to a
+demanding phase (HP mode) on rare events.  The runtime scheduling
+subsystem (:mod:`repro.runtime`) needs traces that actually contain such
+phases; this module composes them from the calibrated MediaBench
+generators.
+
+Recurring phases are *bit-identical by default* (a phase's seed derives
+from its benchmark and length, not its position), so the runtime's
+epoch segmentation produces identical epoch traces for repeated phases
+— and the engine deduplicates their simulation jobs.  Pass
+``decorrelate=True`` to give each occurrence its own derived seed
+instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cpu.trace import Trace
+from repro.util.rng import derive_seed
+from repro.workloads.mediabench import generate_trace
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One phase of a composed workload.
+
+    Attributes:
+        benchmark: registered benchmark name (e.g. ``"adpcm_c"``).
+        length: dynamic instructions of the phase.
+    """
+
+    benchmark: str
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError("phase length must be at least 1")
+
+
+def concat_traces(traces: Sequence[Trace], name: str) -> Trace:
+    """Concatenate traces into one long trace called ``name``."""
+    if not traces:
+        raise ValueError("need at least one trace to concatenate")
+    return Trace(
+        name=name,
+        pc=np.concatenate([t.pc for t in traces]),
+        kind=np.concatenate([t.kind for t in traces]),
+        addr=np.concatenate([t.addr for t in traces]),
+        dep_next=np.concatenate([t.dep_next for t in traces]),
+        redirect=np.concatenate([t.redirect for t in traces]),
+    )
+
+
+def phased_trace(
+    phases: Sequence[PhaseSpec],
+    seed: int = 0,
+    name: str | None = None,
+    decorrelate: bool = False,
+) -> Trace:
+    """Compose a long trace from a sequence of phases.
+
+    Parameters
+    ----------
+    phases : sequence of PhaseSpec
+        The phases, in execution order.
+    seed : int
+        Root seed.  Each phase's generator seed derives from it plus
+        the phase's (benchmark, length) — so two occurrences of the
+        same phase are bit-identical unless ``decorrelate`` is set.
+    name : str, optional
+        Name of the composed trace (defaults to a phase-pattern label).
+    decorrelate : bool
+        Fold each phase's *position* into its seed, making repeated
+        phases statistically independent instead of identical.
+
+    Returns
+    -------
+    Trace
+        The concatenated multi-phase trace.
+    """
+    if not phases:
+        raise ValueError("need at least one phase")
+    parts = []
+    for index, spec in enumerate(phases):
+        salt = (spec.benchmark, spec.length) + (
+            (index,) if decorrelate else ()
+        )
+        parts.append(
+            generate_trace(
+                spec.benchmark,
+                length=spec.length,
+                seed=derive_seed(seed, "phase", *map(str, salt)),
+            )
+        )
+    if name is None:
+        name = "+".join(
+            f"{spec.benchmark}:{spec.length}" for spec in phases[:4]
+        )
+        if len(phases) > 4:
+            name += f"+{len(phases) - 4}more"
+    return concat_traces(parts, name)
+
+
+def sensor_node_phases(
+    monitor_length: int = 20_000,
+    burst_length: int = 5_000,
+    bursts: int = 4,
+    monitor_benchmark: str = "adpcm_c",
+    burst_benchmark: str = "gsm_c",
+) -> tuple[PhaseSpec, ...]:
+    """The paper's sensor-node day-in-the-life phase pattern.
+
+    Long low-demand monitoring phases (SmallBench character; the
+    working set fits the single ULE way) punctuated by short demanding
+    bursts (BigBench character; needs the full cache) — the Section I
+    deployment the hybrid design targets.
+    """
+    if bursts < 1:
+        raise ValueError("need at least one burst")
+    pattern: list[PhaseSpec] = []
+    for _ in range(bursts):
+        pattern.append(PhaseSpec(monitor_benchmark, monitor_length))
+        pattern.append(PhaseSpec(burst_benchmark, burst_length))
+    return tuple(pattern)
+
+
+def sensor_node_trace(
+    monitor_length: int = 20_000,
+    burst_length: int = 5_000,
+    bursts: int = 4,
+    seed: int = 0,
+) -> Trace:
+    """A ready-made sensor-node trace (see :func:`sensor_node_phases`)."""
+    return phased_trace(
+        sensor_node_phases(monitor_length, burst_length, bursts),
+        seed=seed,
+        name=f"sensor-node-m{monitor_length}-b{burst_length}x{bursts}",
+    )

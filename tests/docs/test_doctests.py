@@ -1,0 +1,34 @@
+"""Execute the ``>>>`` examples embedded in public-API docstrings.
+
+The docstring audit added runnable examples to the exploration,
+runtime and segmentation APIs; this gate keeps them true.  Modules
+whose examples are illustrative literal blocks (``::``) rather than
+doctests are not listed — doctest simply finds nothing there.
+"""
+
+import doctest
+
+import pytest
+
+import repro.explore.space
+import repro.runtime.epochs
+import repro.runtime.policies
+import repro.runtime.simulator
+
+MODULES = [
+    repro.explore.space,
+    repro.runtime.epochs,
+    repro.runtime.policies,
+    repro.runtime.simulator,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_docstring_examples_hold(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, (
+        f"{module.__name__} lists no doctests; update this gate"
+    )
+    assert results.failed == 0

@@ -1,0 +1,101 @@
+"""Smoke tests for the ``examples/`` scripts.
+
+Every example must at least import (so API churn cannot silently rot
+them), and the sensor-node lifetime example — the runtime subsystem's
+showcase — is additionally pinned *against the library*: its reported
+numbers must equal what :func:`repro.runtime.simulate_schedule`
+computes directly, so the script cannot drift back into hand-rolled
+duty-cycle arithmetic.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "fault_injection_demo",
+        "design_space_exploration",
+        "sensor_node_lifetime",
+    ],
+)
+def test_example_imports(name):
+    module = _load(name)
+    assert hasattr(module, "main")
+
+
+class TestSensorNodeLifetime:
+    @pytest.fixture(scope="class")
+    def module(self):
+        return _load("sensor_node_lifetime")
+
+    @pytest.fixture(scope="class")
+    def results(self, module):
+        return module.run_lifetime(
+            monitor_length=8_000,
+            burst_length=2_000,
+            bursts=2,
+            seed=7,
+            verbose=False,
+        )
+
+    def test_proposed_extends_lifetime(self, results):
+        assert results["extension"] > 1.0
+
+    def test_matches_library_schedule(self, module, results):
+        """The example's numbers come from repro.runtime, not arithmetic."""
+        from repro.core import Scenario, build_chips, design_scenario
+        from repro.runtime import UtilizationThreshold, simulate_schedule
+        from repro.workloads import sensor_node_trace
+
+        chips = build_chips(design_scenario(Scenario.A))
+        trace = sensor_node_trace(
+            monitor_length=8_000, burst_length=2_000, bursts=2, seed=7
+        )
+        for label, chip in (
+            ("baseline (6T+10T)", chips.baseline),
+            ("proposed (6T+8T+SECDED)", chips.proposed),
+        ):
+            schedule = simulate_schedule(
+                chip, trace, UtilizationThreshold(), epoch_length=2_000
+            )
+            expected_days = (
+                module.COIN_CELL_JOULES
+                / schedule.average_power
+                / 86_400
+            )
+            assert results[label] == pytest.approx(expected_days)
+
+    def test_schedule_actually_switches(self, module):
+        """The showcased pattern exercises mode transitions."""
+        from repro.core import Scenario, build_chips, design_scenario
+        from repro.runtime import UtilizationThreshold, simulate_schedule
+        from repro.workloads import sensor_node_trace
+
+        chips = build_chips(design_scenario(Scenario.A))
+        trace = sensor_node_trace(
+            monitor_length=8_000, burst_length=2_000, bursts=2, seed=7
+        )
+        schedule = simulate_schedule(
+            chips.proposed,
+            trace,
+            UtilizationThreshold(),
+            epoch_length=2_000,
+        )
+        assert schedule.switches >= 2
+        assert schedule.transition_energy > 0

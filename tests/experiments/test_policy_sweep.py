@@ -1,0 +1,59 @@
+"""Tests for the ``sweep-policy`` experiment driver."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment("sweep-policy", trace_length=7_500, seed=3)
+
+
+class TestPolicySweep:
+    def test_crosses_policies_and_candidates(self, result):
+        rows = result.data["rows"]
+        candidates = {row["candidate"] for row in rows}
+        policies = {row["policy"] for row in rows}
+        assert len(candidates) >= 2  # cell/scheme axes actually sweep
+        assert {p.split("(")[0] for p in policies} == {
+            "static", "utilization", "oracle"
+        }
+        assert len(rows) == len(candidates) * len(policies)
+
+    def test_frontier_nonempty_and_valid(self, result):
+        rows = result.data["rows"]
+        frontier = result.data["frontier"]
+        assert frontier
+        assert all(0 <= index < len(rows) for index in frontier)
+
+    def test_oracle_is_energy_floor(self, result):
+        comparison = {
+            c.quantity: c for c in result.comparisons
+        }[
+            "oracle schedule is the per-candidate energy floor "
+            "(1 = holds)"
+        ]
+        assert comparison.measured == 1.0
+
+    def test_renders_table(self, result):
+        text = result.render()
+        assert "Policy sweep" in text
+        assert "pareto" in text
+
+    def test_custom_axes_and_budget(self):
+        result = run_experiment(
+            "sweep-policy",
+            trace_length=7_500,
+            seed=3,
+            axes={"ule_cell": ("8T",), "ule_scheme": ("secded",)},
+            policies=("static", "budget", "oracle"),
+            budget_mj=1e-3,
+        )
+        rows = result.data["rows"]
+        assert {row["candidate"] for row in rows} == {
+            "x8k-l32-7+1-8t-secded-hpnone-350mv-lru"
+        }
+        assert any(
+            row["policy"].startswith("budget") for row in rows
+        )

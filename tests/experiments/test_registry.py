@@ -19,6 +19,7 @@ class TestRegistry:
             "tab-edc",
             "ablation-ways",
             "ablation-memlat",
+            "sweep-policy",
         ):
             assert expected in ids
 

@@ -1,0 +1,115 @@
+"""Tests for epoch segmentation (:mod:`repro.runtime.epochs`)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.epochs import (
+    segment,
+    segment_fixed,
+    segment_phases,
+)
+from repro.workloads import sensor_node_trace
+
+
+@pytest.fixture(scope="module")
+def sensor_trace():
+    return sensor_node_trace(
+        monitor_length=8_000, burst_length=2_000, bursts=2, seed=7
+    )
+
+
+class TestFixedSegmentation:
+    def test_partitions_exactly(self, small_trace):
+        epochs = segment_fixed(small_trace, 3_000)
+        assert [e.instructions for e in epochs] == [3_000, 3_000, 2_000]
+        assert epochs[0].start == 0
+        for left, right in zip(epochs, epochs[1:]):
+            assert left.stop == right.start
+        assert epochs[-1].stop == len(small_trace)
+
+    def test_epoch_arrays_match_parent(self, small_trace):
+        epochs = segment_fixed(small_trace, 3_000)
+        middle = epochs[1]
+        np.testing.assert_array_equal(
+            middle.trace.pc, small_trace.pc[3_000:6_000]
+        )
+        np.testing.assert_array_equal(
+            middle.trace.kind, small_trace.kind[3_000:6_000]
+        )
+
+    def test_single_epoch_when_length_covers_trace(self, small_trace):
+        epochs = segment_fixed(small_trace, len(small_trace))
+        assert len(epochs) == 1
+        assert epochs[0].instructions == len(small_trace)
+
+    def test_rejects_bad_length(self, small_trace):
+        with pytest.raises(ValueError):
+            segment_fixed(small_trace, 0)
+
+    def test_features(self, small_trace):
+        (epoch,) = segment_fixed(small_trace, len(small_trace))
+        features = epoch.features
+        summary = small_trace.summary
+        assert features.instructions == summary.instructions
+        assert features.loads == summary.loads
+        assert features.memory_ops == summary.memory_ops
+        assert features.working_set_bytes == (
+            small_trace.working_set_bytes(32)
+        )
+        assert 0.0 < features.memory_intensity < 1.0
+
+
+class TestContentNaming:
+    def test_identical_phases_share_epoch_names(self, sensor_trace):
+        """Recurring monitoring epochs are identical jobs to the engine."""
+        epochs = segment_fixed(sensor_trace, 2_000)
+        # Phase pattern: 4 monitor epochs + 1 burst epoch, twice, and
+        # the monitor phases are bit-identical by construction.
+        names = [e.trace.name for e in epochs]
+        assert names[0] == names[5]
+        assert names[4] == names[9]
+        assert names[0] != names[4]
+
+    def test_name_tracks_content(self, small_trace):
+        a = small_trace.slice(0, 1_000)
+        b = small_trace.slice(0, 1_000)
+        c = small_trace.slice(1_000, 2_000)
+        assert a.name == b.name
+        assert a.name != c.name
+        assert a.content_digest() == b.content_digest()
+
+
+class TestPhaseSegmentation:
+    def test_covers_trace_exactly(self, sensor_trace):
+        epochs = segment_phases(sensor_trace, window=2_000)
+        assert epochs[0].start == 0
+        assert epochs[-1].stop == len(sensor_trace)
+        for left, right in zip(epochs, epochs[1:]):
+            assert left.stop == right.start
+
+    def test_detects_monitor_burst_boundary(self, sensor_trace):
+        """A cut lands within one window of the first phase change."""
+        window = 2_000
+        epochs = segment_phases(sensor_trace, window=window)
+        cuts = [e.start for e in epochs[1:]]
+        assert any(abs(cut - 8_000) <= window for cut in cuts)
+
+    def test_uniform_trace_stays_whole(self, small_trace):
+        epochs = segment_phases(small_trace, window=2_000)
+        assert len(epochs) <= 2  # no real phase changes to find
+
+    def test_rejects_bad_window(self, small_trace):
+        with pytest.raises(ValueError):
+            segment_phases(small_trace, window=0)
+
+
+class TestDispatcher:
+    def test_fixed(self, small_trace):
+        assert len(segment(small_trace, "fixed", 4_000)) == 2
+
+    def test_phase(self, sensor_trace):
+        assert len(segment(sensor_trace, "phase", 2_000)) >= 2
+
+    def test_unknown(self, small_trace):
+        with pytest.raises(ValueError, match="unknown segmenter"):
+            segment(small_trace, "quantum", 4_000)

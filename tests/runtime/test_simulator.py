@@ -1,0 +1,287 @@
+"""Tests for the schedule simulator (:mod:`repro.runtime.simulator`).
+
+Pins the contracts ISSUE 3 names explicitly:
+
+* **ledger closure** — a schedule's totals equal the sum of its
+  per-epoch ledger entries plus transition costs, for any policy and
+  epoch length (hypothesis-driven);
+* **HP identity** — a 100 %-HP :class:`StaticDutyCycle` schedule over a
+  single epoch is bit-identical to a plain ``Chip.run`` at HP mode;
+* **engine integration** — recurring epochs deduplicate in the session
+  and serial vs parallel sessions render byte-identically.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.session import SimulationSession, use_session
+from repro.runtime import (
+    Oracle,
+    StaticDutyCycle,
+    UtilizationThreshold,
+    simulate_schedule,
+)
+from repro.tech.operating import Mode, OperatingPoint
+from repro.workloads import sensor_node_trace
+
+
+@pytest.fixture(scope="module")
+def sensor_trace():
+    return sensor_node_trace(
+        monitor_length=4_000, burst_length=1_000, bursts=2, seed=7
+    )
+
+
+def assert_ledger_closes(schedule):
+    entries = schedule.entries
+    assert schedule.run_energy == pytest.approx(
+        sum(e.energy for e in entries), rel=1e-12
+    )
+    assert schedule.transition_energy == pytest.approx(
+        sum(e.transition_energy for e in entries), rel=1e-12
+    )
+    assert schedule.total_energy == pytest.approx(
+        sum(e.total_energy for e in entries), rel=1e-12
+    )
+    assert schedule.total_seconds == pytest.approx(
+        sum(e.total_seconds for e in entries), rel=1e-12
+    )
+    assert schedule.edc_energy == pytest.approx(
+        sum(e.edc_energy for e in entries), rel=1e-12
+    )
+    assert schedule.switches == sum(1 for e in entries if e.switched)
+    assert schedule.instructions == sum(e.instructions for e in entries)
+
+
+class TestLedgerClosure:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        duty=st.sampled_from([0.0, 0.2, 0.5, 0.8, 1.0]),
+        epoch_length=st.sampled_from([700, 1_000, 2_500, 10_000]),
+    )
+    def test_totals_equal_entry_sums(
+        self, chips_a, sensor_trace, duty, epoch_length
+    ):
+        """ISSUE 3 property: totals == per-epoch entries + transitions."""
+        schedule = simulate_schedule(
+            chips_a.proposed,
+            sensor_trace,
+            StaticDutyCycle(duty),
+            epoch_length=epoch_length,
+        )
+        assert_ledger_closes(schedule)
+
+    @pytest.mark.parametrize(
+        "policy",
+        [UtilizationThreshold(), Oracle(), Oracle(objective="time")],
+        ids=["utilization", "oracle-energy", "oracle-time"],
+    )
+    def test_closes_for_result_driven_policies(
+        self, chips_a, sensor_trace, policy
+    ):
+        schedule = simulate_schedule(
+            chips_a.proposed, sensor_trace, policy, epoch_length=1_000
+        )
+        assert_ledger_closes(schedule)
+
+    def test_switching_schedule_charges_transitions(
+        self, chips_a, sensor_trace
+    ):
+        schedule = simulate_schedule(
+            chips_a.proposed,
+            sensor_trace,
+            UtilizationThreshold(),
+            epoch_length=1_000,
+        )
+        assert schedule.switches > 0
+        assert schedule.transition_energy > 0
+        assert schedule.total_energy > schedule.run_energy
+        # Paper claim: transitions amortize to a tiny fraction.
+        assert schedule.transition_energy < 0.05 * schedule.total_energy
+        # The HP->ULE switches flushed dirty lines out of the HP ways.
+        assert any(
+            e.flush_writebacks > 0
+            for e in schedule.entries
+            if e.switched and e.mode is Mode.ULE
+        )
+
+    def test_no_switch_no_transition_energy(self, chips_a, sensor_trace):
+        schedule = simulate_schedule(
+            chips_a.proposed,
+            sensor_trace,
+            StaticDutyCycle(0.0),
+            epoch_length=1_000,
+        )
+        assert schedule.switches == 0
+        assert schedule.transition_energy == 0.0
+        assert schedule.total_energy == schedule.run_energy
+
+
+class TestHpIdentity:
+    def test_full_hp_schedule_matches_plain_run(
+        self, chips_a, small_trace
+    ):
+        """ISSUE 3: 100 %-HP StaticDutyCycle == plain Chip.run at HP."""
+        schedule = simulate_schedule(
+            chips_a.proposed,
+            small_trace,
+            StaticDutyCycle(1.0),
+            epoch_length=len(small_trace),
+        )
+        direct = chips_a.proposed.run(small_trace, Mode.HP)
+
+        assert len(schedule.entries) == 1
+        (entry,) = schedule.entries
+        assert entry.mode is Mode.HP
+        assert not entry.switched
+        # Bit-identical accounting, not approximately equal.
+        assert schedule.total_energy == direct.energy.total
+        assert schedule.total_seconds == direct.execution_seconds
+        assert schedule.edc_energy == (
+            direct.energy.group("il1.edc")
+            + direct.energy.group("dl1.edc")
+        )
+        assert entry.instructions == direct.timing.instructions
+
+    def test_full_ule_schedule_matches_plain_run(
+        self, chips_a, small_trace
+    ):
+        schedule = simulate_schedule(
+            chips_a.proposed,
+            small_trace,
+            StaticDutyCycle(0.0),
+            epoch_length=len(small_trace),
+        )
+        direct = chips_a.proposed.run(small_trace, Mode.ULE)
+        assert schedule.total_energy == direct.energy.total
+        assert schedule.total_seconds == direct.execution_seconds
+
+
+class TestEngineIntegration:
+    def test_recurring_epochs_deduplicate(self, chips_a, sensor_trace):
+        session = SimulationSession()
+        simulate_schedule(
+            chips_a.proposed,
+            sensor_trace,
+            StaticDutyCycle(0.0),
+            epoch_length=1_000,
+            session=session,
+        )
+        # 10 epochs, but the two monitoring phases are bit-identical:
+        # only the unique epoch signatures execute.
+        assert session.stats.requested == 10
+        assert session.stats.deduplicated > 0
+        assert session.stats.executed < 10
+
+    def test_serial_vs_parallel_render_identical(
+        self, chips_a, sensor_trace
+    ):
+        serial = SimulationSession(jobs=1)
+        parallel = SimulationSession(jobs=2)
+        try:
+            first = simulate_schedule(
+                chips_a.proposed,
+                sensor_trace,
+                UtilizationThreshold(),
+                epoch_length=1_000,
+                session=serial,
+            )
+            second = simulate_schedule(
+                chips_a.proposed,
+                sensor_trace,
+                UtilizationThreshold(),
+                epoch_length=1_000,
+                session=parallel,
+            )
+        finally:
+            serial.close()
+            parallel.close()
+        assert first.render() == second.render()
+        assert first.to_dict() == second.to_dict()
+
+    def test_deterministic_across_runs(self, chips_a, sensor_trace):
+        results = [
+            simulate_schedule(
+                chips_a.proposed,
+                sensor_trace,
+                Oracle(),
+                epoch_length=1_000,
+            ).render()
+            for _ in range(2)
+        ]
+        assert results[0] == results[1]
+
+    def test_point_override_enters_jobs(self, chips_a, sensor_trace):
+        """A ULE supply override changes the schedule's energy."""
+        base = simulate_schedule(
+            chips_a.proposed,
+            sensor_trace,
+            StaticDutyCycle(0.0),
+            epoch_length=2_500,
+        )
+        raised = simulate_schedule(
+            chips_a.proposed,
+            sensor_trace,
+            StaticDutyCycle(0.0),
+            epoch_length=2_500,
+            points={
+                Mode.ULE: OperatingPoint(
+                    mode=Mode.ULE, vdd=0.5, frequency=5e6
+                )
+            },
+        )
+        assert raised.total_energy > base.total_energy
+
+    def test_policy_length_mismatch_rejected(
+        self, chips_a, small_trace
+    ):
+        class BrokenPolicy(StaticDutyCycle):
+            def choose(self, epochs, context, results=None):
+                return [Mode.ULE]
+
+        with pytest.raises(ValueError, match="modes for"):
+            simulate_schedule(
+                chips_a.proposed,
+                small_trace,
+                BrokenPolicy(0.0),
+                epoch_length=1_000,
+            )
+
+
+class TestRenderAndSerialization:
+    @pytest.fixture(scope="class")
+    def schedule(self, chips_a, sensor_trace):
+        return simulate_schedule(
+            chips_a.proposed,
+            sensor_trace,
+            UtilizationThreshold(),
+            epoch_length=1_000,
+        )
+
+    def test_render_mentions_everything(self, schedule):
+        text = schedule.render()
+        assert "Schedule —" in text
+        assert "utilization(threshold=1)" in text
+        assert "transitions" in text
+        assert "EDC overhead" in text
+
+    def test_render_caps_rows(self, schedule):
+        text = schedule.render(max_rows=3)
+        assert "more)" in text
+
+    def test_to_dict_round_trips_json(self, schedule):
+        import json
+
+        payload = json.loads(json.dumps(schedule.to_dict()))
+        assert payload["meta"]["policy"] == "utilization(threshold=1)"
+        assert len(payload["epochs"]) == len(schedule.entries)
+        assert payload["totals"]["switches"] == schedule.switches
+        assert payload["totals"]["energy_j"] == pytest.approx(
+            schedule.total_energy
+        )
+
+    def test_mode_share_sums_to_one(self, schedule):
+        assert schedule.mode_share(Mode.ULE) + schedule.mode_share(
+            Mode.HP
+        ) == pytest.approx(1.0)

@@ -15,6 +15,7 @@ class TestList:
         assert "fig4" in out
         assert "tab-wcet" in out
         assert "sweep-space" in out
+        assert "sweep-policy" in out
 
     def test_lists_accepted_parameters(self, capsys):
         assert main(["list"]) == 0
@@ -23,6 +24,8 @@ class TestList:
         assert "trace_length" in by_id["fig3"]
         assert "seed" in by_id["fig3"]
         assert "samples" in by_id["sweep-space"]
+        assert "policies" in by_id["sweep-policy"]
+        assert "budget_mj" in by_id["sweep-policy"]
 
 
 class TestDesign:
@@ -161,6 +164,70 @@ class TestAll:
         ) == 0
         capsys.readouterr()
         assert captured["seed"] == derive_seed(5, "all", "tab-exectime")
+
+
+class TestSchedule:
+    FAST = ["schedule", "--trace-length", "10000", "--epoch", "1000"]
+
+    def test_schedule_renders_ledger(self, capsys):
+        assert main(self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "Schedule —" in out
+        assert "utilization(threshold=1)" in out
+        assert "transitions" in out
+
+    def test_schedule_serial_matches_parallel(self, tmp_path, capsys):
+        serial = tmp_path / "serial.txt"
+        parallel = tmp_path / "parallel.txt"
+        assert main(self.FAST + ["--out", str(serial)]) == 0
+        assert main(
+            self.FAST + ["--jobs", "2", "--out", str(parallel)]
+        ) == 0
+        capsys.readouterr()
+        assert serial.read_text() == parallel.read_text()
+
+    def test_schedule_save_json(self, tmp_path, capsys):
+        import json
+
+        saved = tmp_path / "schedule.json"
+        assert main(self.FAST + ["--save-json", str(saved)]) == 0
+        capsys.readouterr()
+        payload = json.loads(saved.read_text())
+        assert payload["totals"]["switches"] >= 0
+        assert payload["epochs"]
+
+    def test_schedule_policies(self, capsys):
+        for extra in (
+            ["--policy", "static", "--duty", "0.2"],
+            ["--policy", "oracle", "--objective", "time"],
+            ["--policy", "budget", "--budget-mj", "0.001"],
+        ):
+            assert main(self.FAST + extra) == 0
+        assert "Schedule —" in capsys.readouterr().out
+
+    def test_schedule_benchmark_workload(self, capsys):
+        assert main(
+            self.FAST + ["--workload", "adpcm_c", "--policy", "static",
+                         "--duty", "0"]
+        ) == 0
+        assert "adpcm_c" in capsys.readouterr().out
+
+    def test_schedule_phase_segmenter(self, capsys):
+        assert main(self.FAST + ["--segment", "phase"]) == 0
+        assert "Schedule —" in capsys.readouterr().out
+
+    def test_budget_policy_needs_budget(self, capsys):
+        assert main(self.FAST + ["--policy", "budget"]) == 2
+        assert "budget" in capsys.readouterr().err
+
+    def test_schedule_cache_dir_reruns_from_disk(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        args = self.FAST + ["--cache-dir", str(cache_dir)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+        assert list(cache_dir.glob("gen-*/*.pkl"))
 
 
 class TestSweep:

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Dependency-free documentation checks (the local half of the CI gate).
+
+Validates what ``mkdocs build --strict`` would reject, without needing
+mkdocs installed:
+
+* ``mkdocs.yml`` parses and its ``nav`` entries point at existing
+  files under ``docs/``;
+* every markdown file under ``docs/`` is reachable from the nav
+  (orphan pages rot silently);
+* every relative markdown link inside ``docs/`` resolves to a file
+  that exists (external http(s) links are left alone);
+* every local file the README links to exists.
+
+Run directly (``python tools/check_docs.py``) or through the test
+suite (``tests/docs/``); CI runs it next to the real mkdocs build.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+
+#: Inline markdown links: [text](target), skipping images and code.
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+#: A link whose destination starts with whitespace (e.g. wrapped across
+#: a line break) — CommonMark renders it as literal text, not a link.
+_WRAPPED_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(\s")
+
+
+def _nav_files(nav) -> list[str]:
+    """Flatten an mkdocs nav tree into its file targets."""
+    files: list[str] = []
+    for entry in nav:
+        if isinstance(entry, str):
+            files.append(entry)
+        elif isinstance(entry, dict):
+            for value in entry.values():
+                if isinstance(value, str):
+                    files.append(value)
+                else:
+                    files.extend(_nav_files(value))
+    return files
+
+
+def check_mkdocs_nav(errors: list[str]) -> None:
+    """The nav lists existing files, and no docs page is orphaned."""
+    try:
+        import yaml
+    except ImportError:  # pragma: no cover - yaml ships with the image
+        print("[check_docs] pyyaml unavailable; skipping nav check")
+        return
+    config = yaml.safe_load(
+        (REPO / "mkdocs.yml").read_text(encoding="utf-8")
+    )
+    nav = config.get("nav", [])
+    nav_files = _nav_files(nav)
+    if not nav_files:
+        errors.append("mkdocs.yml: nav is empty")
+    for target in nav_files:
+        if not (DOCS / target).is_file():
+            errors.append(f"mkdocs.yml: nav target missing: {target}")
+    on_disk = {
+        str(path.relative_to(DOCS))
+        for path in DOCS.rglob("*.md")
+    }
+    for orphan in sorted(on_disk - set(nav_files)):
+        errors.append(f"docs/{orphan}: not reachable from mkdocs nav")
+
+
+def _check_links(path: pathlib.Path, base: pathlib.Path,
+                 errors: list[str]) -> None:
+    text = path.read_text(encoding="utf-8")
+    for match in _WRAPPED_LINK.finditer(text):
+        line = text.count("\n", 0, match.start()) + 1
+        errors.append(
+            f"{path.relative_to(REPO)}:{line}: link destination "
+            "starts with whitespace (wrapped across a line?) — "
+            "renders as literal text"
+        )
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue  # same-page anchor
+        resolved = (base / target).resolve()
+        if not resolved.exists():
+            errors.append(
+                f"{path.relative_to(REPO)}: broken link -> {target}"
+            )
+
+
+def check_doc_links(errors: list[str]) -> None:
+    """Every relative link inside docs/ resolves."""
+    for path in sorted(DOCS.rglob("*.md")):
+        _check_links(path, path.parent, errors)
+
+
+def check_readme_links(errors: list[str]) -> None:
+    """Every local file the README references exists."""
+    readme = REPO / "README.md"
+    if readme.is_file():
+        _check_links(readme, REPO, errors)
+
+
+def main() -> int:
+    """Run every check; print findings; non-zero on any failure."""
+    errors: list[str] = []
+    check_mkdocs_nav(errors)
+    check_doc_links(errors)
+    check_readme_links(errors)
+    if errors:
+        for error in errors:
+            print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    pages = len(list(DOCS.rglob("*.md")))
+    print(f"[check_docs] ok: {pages} pages, nav complete, links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

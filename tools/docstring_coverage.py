@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Docstring-coverage gate for the public API (no external deps).
+
+Walks a package directory with :mod:`ast` and counts docstrings on
+modules, classes and functions/methods.  Private names (leading
+underscore, including dunders) and nested functions are exempt — the
+gate protects the *public* API surface, mirroring the CI ``interrogate
+--ignore-private --ignore-magic --ignore-nested-functions`` run so the
+two never disagree about what counts.
+
+Usage::
+
+    python tools/docstring_coverage.py src/repro --fail-under 100
+    python tools/docstring_coverage.py src/repro --list-missing
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import pathlib
+import sys
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Coverage:
+    """Tally of documented vs. total definitions."""
+
+    total: int = 0
+    documented: int = 0
+    missing: list[str] = field(default_factory=list)
+
+    def tally(self, node, label: str) -> None:
+        """Count one definition, recording it when undocumented."""
+        self.total += 1
+        if ast.get_docstring(node) is not None:
+            self.documented += 1
+        else:
+            self.missing.append(label)
+
+    @property
+    def percent(self) -> float:
+        """Documented definitions as a percentage (100 when empty)."""
+        if self.total == 0:
+            return 100.0
+        return 100.0 * self.documented / self.total
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _walk_definitions(tree: ast.Module, module_label: str, cov: Coverage):
+    """Count the module, its classes, and public top-level callables."""
+    cov.tally(tree, module_label)
+
+    def visit_body(body, prefix: str) -> None:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                if not _is_public(node.name):
+                    continue
+                label = f"{prefix}{node.name}"
+                cov.tally(node, label)
+                visit_body(node.body, f"{label}.")
+            elif isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                if not _is_public(node.name):
+                    continue
+                cov.tally(node, f"{prefix}{node.name}")
+                # Nested functions are implementation detail: skip.
+
+    visit_body(tree.body, f"{module_label}:")
+
+
+def measure(package_dir: pathlib.Path) -> Coverage:
+    """Docstring coverage over every ``*.py`` file under a directory."""
+    cov = Coverage()
+    for path in sorted(package_dir.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        tree = ast.parse(
+            path.read_text(encoding="utf-8"), filename=str(path)
+        )
+        module_label = str(path.relative_to(package_dir.parent))
+        _walk_definitions(tree, module_label, cov)
+    return cov
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "package", type=pathlib.Path, help="package directory to scan"
+    )
+    parser.add_argument(
+        "--fail-under", type=float, default=100.0,
+        help="minimum coverage percentage (default: 100)",
+    )
+    parser.add_argument(
+        "--list-missing", action="store_true",
+        help="print every undocumented definition",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.package.is_dir():
+        print(f"error: {args.package} is not a directory",
+              file=sys.stderr)
+        return 2
+    cov = measure(args.package)
+    print(
+        f"docstring coverage: {cov.documented}/{cov.total} "
+        f"({cov.percent:.1f} %), gate {args.fail_under:g} %"
+    )
+    if args.list_missing or cov.percent < args.fail_under:
+        for label in cov.missing:
+            print(f"  missing: {label}")
+    if cov.percent < args.fail_under:
+        print(
+            f"FAIL: coverage {cov.percent:.1f} % is below "
+            f"{args.fail_under:g} %",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
