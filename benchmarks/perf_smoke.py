@@ -6,16 +6,27 @@ per-access workload: BigBench on all eight ways) on both simulation
 backends, checks they agree bit-for-bit, and writes ``BENCH_engine.json``
 at the repo root so future PRs can track the speedup trajectory.
 
-The vectorized engine must be at least MIN_SPEEDUP times faster; the
-script exits non-zero otherwise, so CI catches fast-path regressions.
+Two gates, both exiting non-zero on failure so CI catches fast-path
+regressions:
+
+* an absolute floor — the vectorized engine must be at least
+  ``MIN_SPEEDUP`` times faster;
+* a relative gate (``--check-against BASELINE.json``) — the fresh
+  speedup must not drop more than ``REGRESSION_TOLERANCE`` below the
+  checked-in baseline's.  The baseline is read *before* the fresh
+  result overwrites it, so CI can check against the committed file in
+  place.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py
+    PYTHONPATH=src python benchmarks/perf_smoke.py \
+        --check-against BENCH_engine.json
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
 import sys
@@ -29,6 +40,10 @@ from repro.tech.operating import Mode
 #: Floor on the end-to-end evaluation speedup (observed ~20x).
 MIN_SPEEDUP = 5.0
 
+#: Allowed fractional drop below the checked-in baseline's speedup
+#: before the relative gate fails (shared-runner noise tolerance).
+REGRESSION_TOLERANCE = 0.30
+
 #: Dynamic instructions per benchmark; big enough to dominate setup.
 TRACE_LENGTH = 60_000
 
@@ -37,24 +52,70 @@ RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / (
 )
 
 
-def _timed_evaluation(backend: str) -> tuple[float, object]:
+def _timed_evaluation(
+    backend: str, trace_length: int
+) -> tuple[float, object]:
     """Wall-clock one fig3 evaluation under a fresh session."""
     with use_session(SimulationSession(backend=backend)):
         start = time.perf_counter()
         evaluation = evaluate_scenario(
-            Scenario.A, Mode.HP, trace_length=TRACE_LENGTH
+            Scenario.A, Mode.HP, trace_length=trace_length
         )
         return time.perf_counter() - start, evaluation
 
 
-def main() -> int:
+def _parse_args(argv: list[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="engine performance smoke test"
+    )
+    parser.add_argument(
+        "--check-against", type=pathlib.Path, default=None,
+        help=(
+            "baseline BENCH_engine.json; fail if the fresh speedup "
+            f"drops more than {REGRESSION_TOLERANCE:.0%} below its"
+        ),
+    )
+    parser.add_argument(
+        "--trace-length", type=int, default=TRACE_LENGTH,
+        help=f"instructions per benchmark (default: {TRACE_LENGTH})",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=RESULT_PATH,
+        help="where to write the fresh record (default: repo root)",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parse_args(argv)
+
+    baseline = None
+    if args.check_against is not None:
+        # Read before writing: the baseline path is usually the same
+        # checked-in file the fresh record overwrites below.
+        try:
+            baseline = json.loads(
+                args.check_against.read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError) as error:
+            print(
+                f"FAIL: cannot read baseline {args.check_against}: "
+                f"{error}",
+                file=sys.stderr,
+            )
+            return 1
+
     cached_chips(Scenario.A)  # design + chip construction out of the timing
 
     # Vectorized first: it pays trace generation cold while the
     # reference run inherits the memoized traces — conservative for the
     # reported speedup.
-    vectorized_seconds, vectorized = _timed_evaluation("vectorized")
-    reference_seconds, reference = _timed_evaluation("reference")
+    vectorized_seconds, vectorized = _timed_evaluation(
+        "vectorized", args.trace_length
+    )
+    reference_seconds, reference = _timed_evaluation(
+        "reference", args.trace_length
+    )
 
     if reference.render() != vectorized.render():
         print("FAIL: backends rendered different tables", file=sys.stderr)
@@ -63,7 +124,7 @@ def main() -> int:
     speedup = reference_seconds / vectorized_seconds
     record = {
         "experiment": "fig3 evaluation (scenario A, HP, BigBench)",
-        "trace_length": TRACE_LENGTH,
+        "trace_length": args.trace_length,
         "benchmarks": len(reference.rows),
         "reference_seconds": round(reference_seconds, 4),
         "vectorized_seconds": round(vectorized_seconds, 4),
@@ -71,11 +132,11 @@ def main() -> int:
         "min_speedup": MIN_SPEEDUP,
         "identical_render": True,
     }
-    RESULT_PATH.write_text(
+    args.out.write_text(
         json.dumps(record, indent=2) + "\n", encoding="utf-8"
     )
     print(json.dumps(record, indent=2))
-    print(f"wrote {RESULT_PATH}")
+    print(f"wrote {args.out}")
 
     if speedup < MIN_SPEEDUP:
         print(
@@ -83,6 +144,46 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
+    if baseline is not None:
+        baseline_length = baseline.get("trace_length")
+        if (
+            baseline_length is not None
+            and baseline_length != args.trace_length
+        ):
+            # Speedup scales with trace length (setup amortization);
+            # comparing across lengths would gate on noise.
+            print(
+                f"FAIL: baseline measured at trace_length "
+                f"{baseline_length}, this run at {args.trace_length}; "
+                "the regression gate needs comparable runs",
+                file=sys.stderr,
+            )
+            return 1
+        raw_speedup = baseline.get("speedup")
+        if not isinstance(raw_speedup, (int, float)) or raw_speedup <= 0:
+            # A gate that cannot fire is worse than no gate: a
+            # baseline without a positive speedup must fail loudly,
+            # not set the floor to zero.
+            print(
+                f"FAIL: baseline {args.check_against} has no usable "
+                f"'speedup' value ({raw_speedup!r})",
+                file=sys.stderr,
+            )
+            return 1
+        reference_speedup = float(raw_speedup)
+        floor = reference_speedup * (1.0 - REGRESSION_TOLERANCE)
+        if speedup < floor:
+            print(
+                f"FAIL: speedup {speedup:.1f}x regressed more than "
+                f"{REGRESSION_TOLERANCE:.0%} below the baseline "
+                f"{reference_speedup:.1f}x (floor {floor:.1f}x)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: within {REGRESSION_TOLERANCE:.0%} of baseline "
+            f"{reference_speedup:.1f}x"
+        )
     print(f"OK: vectorized backend {speedup:.1f}x faster (floor "
           f"{MIN_SPEEDUP}x)")
     return 0

@@ -21,6 +21,9 @@ The package is organised bottom-up:
 * :mod:`repro.workloads` — synthetic MediaBench-like trace generators.
 * :mod:`repro.core` — the paper's contribution: scenarios A/B, the Fig. 2
   design methodology, and the EPI evaluation pipeline.
+* :mod:`repro.faults` — die-population fault injection: content-addressed
+  per-die disabled-line maps, seeded sampling from the variation models,
+  and population studies batched through the engine (docs/faults.md).
 * :mod:`repro.explore` — declarative design-space exploration: sweep
   spaces, candidate chips, Pareto/sensitivity reductions (DESIGN.md
   section 7).
@@ -41,7 +44,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "DesignSpace",
+    "DieFaultMap",
     "ExplorationCampaign",
+    "PopulationStudy",
     "Scenario",
     "SimulationJob",
     "SimulationSession",
@@ -61,6 +66,8 @@ _LAZY_EXPORTS = {
     "SimulationSession": ("repro.engine.session", "SimulationSession"),
     "TraceSpec": ("repro.engine.jobs", "TraceSpec"),
     "DesignSpace": ("repro.explore.space", "DesignSpace"),
+    "DieFaultMap": ("repro.faults.maps", "DieFaultMap"),
+    "PopulationStudy": ("repro.faults.population", "PopulationStudy"),
     "ExplorationCampaign": (
         "repro.explore.campaign",
         "ExplorationCampaign",

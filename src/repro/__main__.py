@@ -15,8 +15,11 @@ Usage::
     python -m repro schedule --policy utilization --epoch 10000 --jobs 4
     python -m repro schedule --policy static --duty 0.05 --save-json s.json
     python -m repro schedule --policy budget --budget-mj 0.002
+    python -m repro population --dies 200 --jobs 4 --save-json pop.json
+    python -m repro population --dies 500 --percentiles 50,95,99.9
 
-Engine options (``run``, ``all``, ``sweep`` and ``schedule``):
+Engine options (``run``, ``all``, ``sweep``, ``schedule`` and
+``population``):
 
 * ``--jobs N`` — dispatch independent work across N processes;
 * ``--backend {auto,vectorized,reference}`` — simulation backend
@@ -50,6 +53,29 @@ def _axis_value(text: str):
         except ValueError:
             continue
     return text
+
+
+def _parse_percentiles(text: str) -> tuple[float, ...]:
+    """Parse ``"50,90,95,99"`` into a percentile tuple."""
+    values = []
+    for clause in text.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        try:
+            value = float(clause)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"bad percentile {clause!r}"
+            ) from None
+        if not 0.0 <= value <= 100.0:
+            raise argparse.ArgumentTypeError(
+                f"percentile {clause} outside [0, 100]"
+            )
+        values.append(value)
+    if not values:
+        raise argparse.ArgumentTypeError("empty --percentiles")
+    return tuple(values)
 
 
 def _parse_axes(text: str) -> dict[str, tuple]:
@@ -181,6 +207,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="dynamic instructions per benchmark (default: 20000)",
     )
     sweep_parser.add_argument(
+        "--dies", type=int, default=0,
+        help=(
+            "evaluate each candidate across a sampled die population "
+            "and rank by p95-across-die (default: 0 = nominal die)"
+        ),
+    )
+    sweep_parser.add_argument(
         "--seed", type=int, default=None, help="root random seed"
     )
     sweep_parser.add_argument(
@@ -265,6 +298,43 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the machine-readable schedule ledger to this file",
     )
     _add_engine_options(schedule_parser)
+
+    population_parser = commands.add_parser(
+        "population",
+        help="simulate a die population sampled from the variation models",
+    )
+    population_parser.add_argument(
+        "--dies", type=_positive_int, default=100,
+        help="population size (default: 100; identical dies dedup)",
+    )
+    population_parser.add_argument(
+        "--percentiles", type=_parse_percentiles, default=None,
+        help="population percentiles, e.g. \"50,90,95,99\"",
+    )
+    population_parser.add_argument(
+        "--scenario", choices=("A", "B"), default="A",
+        help="paper scenario whose chip to populate (default: A)",
+    )
+    population_parser.add_argument(
+        "--chip", choices=("proposed", "baseline"), default="proposed",
+        help="which of the scenario's chips to run (default: proposed)",
+    )
+    population_parser.add_argument(
+        "--trace-length", type=_positive_int, default=None,
+        help="dynamic instructions per benchmark",
+    )
+    population_parser.add_argument(
+        "--seed", type=int, default=None, help="root random seed"
+    )
+    population_parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="also write the report to this file",
+    )
+    population_parser.add_argument(
+        "--save-json", type=pathlib.Path, default=None,
+        help="write the machine-readable population results here",
+    )
+    _add_engine_options(population_parser)
 
     pareto_parser = commands.add_parser(
         "pareto",
@@ -408,7 +478,55 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "schedule":
         return _dispatch_schedule(args)
 
+    if args.command == "population":
+        return _dispatch_population(args)
+
     raise AssertionError("unreachable")
+
+
+def _dispatch_population(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core import calibration
+    from repro.engine.session import current_session
+    from repro.faults.population import (
+        DEFAULT_PERCENTILES,
+        scenario_population_study,
+    )
+
+    study = scenario_population_study(
+        args.scenario,
+        chip=args.chip,
+        dies=args.dies,
+        trace_length=(
+            args.trace_length
+            if args.trace_length is not None
+            else calibration.DEFAULT_TRACE_LENGTH
+        ),
+        seed=(
+            args.seed if args.seed is not None
+            else calibration.DEFAULT_SEED
+        ),
+        percentiles=args.percentiles or DEFAULT_PERCENTILES,
+    )
+    session = current_session()
+    result = study.run(
+        session=session, progress=_progress_printer("population")
+    )
+    _print_session_stats("population", session)
+    rendered = result.render()
+    print(rendered)
+    if args.out:
+        args.out.write_text(rendered + "\n", encoding="utf-8")
+    if args.save_json:
+        args.save_json.write_text(
+            json.dumps(result.to_dict(), sort_keys=True, indent=2)
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"[population] results saved -> {args.save_json}",
+              file=sys.stderr)
+    return 0
 
 
 def _schedule_trace(args: argparse.Namespace, seed: int):
@@ -538,6 +656,7 @@ def _dispatch_sweep(args: argparse.Namespace) -> int:
         samples=args.samples,
         trace_length=args.trace_length,
         seed=seed,
+        dies=max(args.dies, 0),
     )
 
     session = current_session()

@@ -355,6 +355,27 @@ class CacheConfig:
         )
 
 
+def validate_disabled_lines(
+    disabled_lines, sets: int, ways: int
+) -> None:
+    """Reject fault-map ``(set, way)`` pairs outside the geometry.
+
+    Both simulation backends call this with identical arguments, so
+    they can never drift apart in which fault maps they accept — the
+    bit-identical-backends contract starts at validation.
+    """
+    for set_index, way in disabled_lines:
+        if not 0 <= set_index < sets:
+            raise ValueError(
+                f"disabled line set {set_index} out of range "
+                f"(sets={sets})"
+            )
+        if not 0 <= way < ways:
+            raise ValueError(
+                f"disabled line way {way} out of range (ways={ways})"
+            )
+
+
 def config_digest(config: CacheConfig | WayGroupConfig) -> str:
     """Stable content hash of a cache or way-group configuration.
 

@@ -24,9 +24,15 @@ class HybridCache:
         policy: str | ReplacementPolicy = "lru",
         mode: Mode = Mode.HP,
         seed: int = 0,
+        disabled_lines: tuple[tuple[int, int], ...] = (),
     ):
         self.config = config
-        self.core = SetAssociativeCache(config, policy=policy, seed=seed)
+        self.core = SetAssociativeCache(
+            config,
+            policy=policy,
+            seed=seed,
+            disabled_lines=disabled_lines,
+        )
         self.mode_switches = 0
         self._mode = mode
         self.core.set_active_ways(config.active_way_mask(mode))

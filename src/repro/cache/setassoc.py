@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cache.config import CacheConfig
+from repro.cache.config import CacheConfig, validate_disabled_lines
 from repro.cache.replacement import ReplacementPolicy, make_policy
 from repro.cache.stats import CacheStats
 
@@ -21,8 +21,10 @@ class AccessResult:
 
     Attributes:
         hit: whether the probe hit.
-        way: the hitting way (hit) or the fill way (miss).
-        group: way-group name of ``way``.
+        way: the hitting way (hit) or the fill way (miss); ``-1`` for a
+            bypassed miss (no usable way in the set — every way either
+            gated off or disabled by a hard-fault map).
+        group: way-group name of ``way`` ("" for a bypass).
         writeback: whether a dirty victim was evicted.
     """
 
@@ -30,6 +32,11 @@ class AccessResult:
     way: int
     group: str
     writeback: bool
+
+    @property
+    def bypassed(self) -> bool:
+        """Whether the miss could not allocate and went to memory."""
+        return self.way < 0
 
 
 class SetAssociativeCache:
@@ -39,6 +46,10 @@ class SetAssociativeCache:
         config: hybrid cache configuration (geometry + way groups).
         policy: replacement policy name or instance.
         seed: used only by the random policy.
+        disabled_lines: hard-fault-map ``(set, way)`` pairs that can
+            never hold a line (their way-disable fuse is blown).  A set
+            whose every powered way is disabled degrades gracefully:
+            accesses miss and bypass to memory (no crash, no fill).
     """
 
     def __init__(
@@ -46,6 +57,7 @@ class SetAssociativeCache:
         config: CacheConfig,
         policy: str | ReplacementPolicy = "lru",
         seed: int = 0,
+        disabled_lines: tuple[tuple[int, int], ...] = (),
     ):
         self.config = config
         if isinstance(policy, str):
@@ -65,6 +77,12 @@ class SetAssociativeCache:
         self._group_names = [
             config.group_of_way(way).name for way in range(ways)
         ]
+        validate_disabled_lines(disabled_lines, sets, ways)
+        self._disabled: list[list[bool]] = [
+            [False] * ways for _ in range(sets)
+        ]
+        for set_index, way in disabled_lines:
+            self._disabled[set_index][way] = True
 
     # -------------------------------------------------------------- masks
     def set_active_ways(self, mask: list[bool]) -> None:
@@ -121,6 +139,13 @@ class SetAssociativeCache:
         else:
             stats.read_misses += 1
         victim = self._choose_victim(index)
+        if victim is None:
+            # Every usable way of the set is disabled: the access
+            # bypasses to memory (documented graceful degradation).
+            stats.bypasses += 1
+            return AccessResult(
+                hit=False, way=-1, group="", writeback=False
+            )
         writeback = (
             self._tags[index][victim] is not None
             and self._dirty[index][victim]
@@ -138,8 +163,13 @@ class SetAssociativeCache:
             hit=False, way=victim, group=group, writeback=writeback
         )
 
-    def _choose_victim(self, index: int) -> int:
-        candidates = self.active_ways
+    def _choose_victim(self, index: int) -> int | None:
+        disabled = self._disabled[index]
+        candidates = [
+            way for way in self.active_ways if not disabled[way]
+        ]
+        if not candidates:
+            return None
         # Prefer an empty active way before evicting.
         for way in candidates:
             if self._tags[index][way] is None:

@@ -24,6 +24,10 @@ class CacheStats:
     fills: int = 0
     writebacks: int = 0
     flush_writebacks: int = 0
+    #: Misses that could not allocate because every usable way of the
+    #: set is disabled by a hard-fault map (``fills + bypasses ==
+    #: misses`` always holds; without a fault map ``bypasses`` is 0).
+    bypasses: int = 0
     group_read_hits: dict[str, int] = field(
         default_factory=lambda: defaultdict(int)
     )
@@ -70,6 +74,7 @@ class CacheStats:
         self.fills += other.fills
         self.writebacks += other.writebacks
         self.flush_writebacks += other.flush_writebacks
+        self.bypasses += other.bypasses
         for attr in (
             "group_read_hits",
             "group_write_hits",

@@ -14,6 +14,7 @@ include memory energy in our results"); memory *latency* is included.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.cache.config import CacheConfig
 from repro.cache.stats import CacheStats
@@ -25,6 +26,9 @@ from repro.cpu.trace import Trace
 from repro.engine.backends import simulate_cache
 from repro.tech.operating import Mode, OperatingPoint, operating_point_for
 from repro.util.profiling import phase
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.maps import DieFaultMap
 
 
 @dataclass(frozen=True)
@@ -80,6 +84,44 @@ class RunResult:
         return self.operating_point.cycle_time * self.timing.cycles
 
 
+def suite_mode_metrics(
+    results,
+    modes: tuple[tuple[Mode, str], ...] = (
+        (Mode.ULE, "ule"),
+        (Mode.HP, "hp"),
+    ),
+) -> dict[str, float]:
+    """Suite-mean EPI and seconds-per-instruction per mode.
+
+    The shared reduction of the exploration campaigns and population
+    studies: results are grouped by their run mode and averaged into
+    ``epi_<label>`` / ``spi_<label>`` entries.  Modes with no runs
+    reduce to 0.0.
+    """
+    by_mode: dict[Mode, list[RunResult]] = {
+        mode: [] for mode, _ in modes
+    }
+    for result in results:
+        if result.mode in by_mode:
+            by_mode[result.mode].append(result)
+    metrics: dict[str, float] = {}
+    for mode, label in modes:
+        runs = by_mode[mode]
+        metrics[f"epi_{label}"] = _mean(r.epi for r in runs)
+        metrics[f"spi_{label}"] = _mean(
+            r.execution_seconds / max(r.timing.instructions, 1)
+            for r in runs
+        )
+    return metrics
+
+
+def _mean(values) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
 class Chip:
     """Executable model of one chip configuration."""
 
@@ -95,11 +137,15 @@ class Chip:
         mode: Mode,
         operating_point: OperatingPoint | None = None,
         backend: str = "auto",
+        fault_map: "DieFaultMap | None" = None,
     ) -> RunResult:
         """Execute a trace in ``mode`` and account time and energy.
 
         ``backend`` selects the functional simulation engine ("auto",
         "vectorized" or "reference"); all backends are bit-identical.
+        ``fault_map`` applies one die's disabled-line map
+        (:class:`repro.faults.maps.DieFaultMap`) to both L1 arrays; a
+        fault-free map is byte-identical to passing None.
         """
         op = operating_point or operating_point_for(mode)
         if op.mode is not mode:
@@ -108,14 +154,22 @@ class Chip:
         # Functional simulation: instruction fetches then data accesses.
         # Each cache names its replacement policy; non-LRU policies make
         # backend="auto" fall back to the reference model per cache.
+        il1_disabled = (
+            fault_map.disabled_for("il1", mode) if fault_map else ()
+        )
+        dl1_disabled = (
+            fault_map.disabled_for("dl1", mode) if fault_map else ()
+        )
         il1_stats = simulate_cache(
             self.config.il1, mode, trace.pc,
             policy=self.config.il1.replacement, backend=backend,
+            disabled_lines=il1_disabled,
         )
         addresses, is_write = trace.memory_stream()
         dl1_stats = simulate_cache(
             self.config.dl1, mode, addresses, is_write,
             policy=self.config.dl1.replacement, backend=backend,
+            disabled_lines=dl1_disabled,
         )
 
         timing = compute_timing(

@@ -50,6 +50,7 @@ def simulate_cache(
     policy: str | ReplacementPolicy = "lru",
     seed: int = 0,
     backend: str = "auto",
+    disabled_lines: tuple[tuple[int, int], ...] = (),
 ) -> CacheStats:
     """Stream ``addresses`` through a fresh cache and return its counters.
 
@@ -62,6 +63,9 @@ def simulate_cache(
             reference backend — the fast path models LRU only).
         seed: seed for the random policy (reference backend).
         backend: "auto", "vectorized" or "reference".
+        disabled_lines: hard-fault-map ``(set, way)`` pairs of this
+            array in this mode (see :mod:`repro.faults.maps`); both
+            backends honour them bit-identically.
     """
     chosen = resolve_backend(backend, policy)
     if chosen == "vectorized":
@@ -72,11 +76,13 @@ def simulate_cache(
             )
         with phase("simulate.vectorized"):
             return simulate_trace_vectorized(
-                config, mode, addresses, is_write
+                config, mode, addresses, is_write,
+                disabled_lines=disabled_lines,
             )
     with phase("simulate.reference"):
         return _simulate_reference(
-            config, mode, addresses, is_write, policy=policy, seed=seed
+            config, mode, addresses, is_write, policy=policy, seed=seed,
+            disabled_lines=disabled_lines,
         )
 
 
@@ -87,9 +93,16 @@ def _simulate_reference(
     is_write: np.ndarray | None,
     policy: str | ReplacementPolicy = "lru",
     seed: int = 0,
+    disabled_lines: tuple[tuple[int, int], ...] = (),
 ) -> CacheStats:
     """The behavioural per-access loop (previously inlined in Chip.run)."""
-    cache = HybridCache(config, policy=policy, mode=mode, seed=seed)
+    cache = HybridCache(
+        config,
+        policy=policy,
+        mode=mode,
+        seed=seed,
+        disabled_lines=disabled_lines,
+    )
     if is_write is None:
         for address in addresses:
             cache.access(int(address), is_write=False)

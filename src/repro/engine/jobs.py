@@ -26,12 +26,15 @@ from functools import lru_cache
 
 from repro.cpu.chip import Chip, ChipConfig, RunResult
 from repro.cpu.trace import Trace
+from repro.faults.maps import DieFaultMap
 from repro.tech.operating import Mode, OperatingPoint
 from repro.util.canonical import canonical_text
 from repro.util.profiling import phase
 
-#: Bump when the key schema itself changes.
-ENGINE_CACHE_VERSION = 2
+#: Bump when the key schema itself changes.  v3: jobs carry an optional
+#: die fault map (``SimulationJob.fault_map``), tokenized by normalized
+#: content so fault-free maps share keys with map-less jobs.
+ENGINE_CACHE_VERSION = 3
 
 
 @lru_cache(maxsize=1)
@@ -71,6 +74,11 @@ class SimulationJob:
         mode: operating mode of the run.
         operating_point: optional override of the mode's paper default.
         backend: simulation backend; None defers to the session default.
+        fault_map: one die's disabled-line map
+            (:class:`repro.faults.maps.DieFaultMap`); None simulates a
+            fault-free die.  Keyed by *content*, so identical dies of a
+            population deduplicate and a fault-free map shares its key
+            with a map-less job.
     """
 
     chip: ChipConfig
@@ -78,6 +86,7 @@ class SimulationJob:
     mode: Mode
     operating_point: OperatingPoint | None = None
     backend: str | None = None
+    fault_map: DieFaultMap | None = None
 
 
 def _trace_token(trace: TraceSpec | Trace) -> str:
@@ -119,6 +128,18 @@ def _chip_token(config: ChipConfig) -> str:
     return _canonical(config)
 
 
+def _fault_map_token(fault_map: DieFaultMap | None) -> str:
+    """Canonical text for the fault-map part of a job key.
+
+    Normalized first, and collapsed to ``None`` when fault-free: the
+    many clean dies of a population — and plain non-population jobs —
+    all share one key, which is what makes N-die runs cheap.
+    """
+    if fault_map is None or fault_map.is_fault_free:
+        return _canonical(None)
+    return _canonical(fault_map.normalized())
+
+
 def job_key(job: SimulationJob) -> str:
     """Content hash identifying a job's result (backend-independent)."""
     text = "\x1f".join(
@@ -129,6 +150,7 @@ def job_key(job: SimulationJob) -> str:
             _trace_token(job.trace),
             repr(job.mode),
             _canonical(job.operating_point),
+            _fault_map_token(job.fault_map),
         )
     )
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
@@ -182,4 +204,5 @@ def execute_job(job: SimulationJob, backend: str = "auto") -> RunResult:
             job.mode,
             operating_point=job.operating_point,
             backend=job.backend or backend,
+            fault_map=job.fault_map,
         )

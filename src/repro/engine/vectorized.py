@@ -22,7 +22,9 @@ mid-run) and LRU replacement — at a fraction of the cost:
    construction, so hits, fills and writebacks fall out of shifted run
    aggregates.  Multi-way LRU runs through a tight per-run loop over
    plain ints, which is still an order of magnitude faster than the
-   per-access object model.
+   per-access object model.  Die fault maps (disabled lines, see
+   :mod:`repro.faults.maps`) route through the generic kernel with a
+   per-set reduced way list; fully-disabled sets bypass.
 
 Equivalence with the reference model is enforced by
 ``tests/engine/test_equivalence.py`` across modes, way splits and seeds.
@@ -32,7 +34,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cache.config import CacheConfig
+from repro.cache.config import CacheConfig, validate_disabled_lines
 from repro.cache.stats import CacheStats
 from repro.tech.operating import Mode
 
@@ -54,6 +56,7 @@ def simulate_trace_vectorized(
     mode: Mode,
     addresses: np.ndarray,
     is_write: np.ndarray | None = None,
+    disabled_lines: tuple[tuple[int, int], ...] = (),
 ) -> CacheStats:
     """Simulate a fresh LRU cache over an access stream in batch.
 
@@ -63,6 +66,11 @@ def simulate_trace_vectorized(
             run (mode switches mid-stream have no fast path).
         addresses: byte addresses of the probes, in program order.
         is_write: per-access write flags (None = all reads).
+        disabled_lines: hard-fault-map ``(set, way)`` pairs that can
+            never hold a line.  Sets with disabled ways run through the
+            generic per-run kernel with a reduced way list; a set whose
+            every powered way is disabled bypasses (all accesses miss,
+            nothing fills) — bit-identical to the reference model.
 
     Returns:
         Counters bit-identical to streaming the same accesses through
@@ -70,14 +78,18 @@ def simulate_trace_vectorized(
     """
     stats = CacheStats()
     n = len(addresses)
-    if n == 0:
-        return stats
 
     mask = config.active_way_mask(mode)
     actives = [way for way, active in enumerate(mask) if active]
     if not actives:
         # Same contract as the reference model's set_active_ways.
         raise ValueError("at least one way must stay active")
+    validate_disabled_lines(disabled_lines, config.sets, len(mask))
+    disabled_by_set: dict[int, set[int]] = {}
+    for set_index, way in disabled_lines:
+        disabled_by_set.setdefault(set_index, set()).add(way)
+    if n == 0:
+        return stats
     group_names = [config.group_of_way(way).name for way in range(len(mask))]
 
     if is_write is None:
@@ -113,7 +125,7 @@ def simulate_trace_vectorized(
     run_head_write = write_stream[starts]
     run_new_set = new_set[starts]
 
-    if len(actives) == 1:
+    if len(actives) == 1 and not disabled_by_set:
         _accumulate_direct_mapped(
             stats,
             group=group_names[actives[0]],
@@ -132,6 +144,8 @@ def simulate_trace_vectorized(
             run_writes=run_writes,
             run_head_write=run_head_write,
             run_new_set=run_new_set,
+            run_set=set_stream[starts] if disabled_by_set else None,
+            disabled_by_set=disabled_by_set,
         )
     return stats
 
@@ -187,23 +201,29 @@ def _accumulate_lru_runs(
     run_writes: np.ndarray,
     run_head_write: np.ndarray,
     run_new_set: np.ndarray,
+    run_set: np.ndarray | None = None,
+    disabled_by_set: dict[int, set[int]] | None = None,
 ) -> None:
     """Multi-way LRU: per-run loop over plain ints.
 
     Victim selection mirrors the reference model exactly: the first empty
     active way in ascending order, else the least-recently-used active
     way.  With a static mask ways fill in ``actives`` order and never
-    empty, so "first empty" is simply ``actives[filled]``.
+    empty, so "first empty" is simply ``set_actives[filled]``.
+
+    With a fault map (``run_set`` + ``disabled_by_set``), each set runs
+    with its own reduced way list; a set with no usable way bypasses —
+    every access of every run misses and nothing fills.
     """
-    ways = len(actives)
     tags = run_tag.tolist()
     lengths = run_len.tolist()
     writes = run_writes.tolist()
     head_writes = run_head_write.tolist()
     new_sets = run_new_set.tolist()
+    run_sets = run_set.tolist() if run_set is not None else None
 
     read_hits = write_hits = read_misses = write_misses = 0
-    fills = writebacks = 0
+    fills = writebacks = bypasses = 0
     group_read_hits: dict[str, int] = {}
     group_write_hits: dict[str, int] = {}
     group_fills: dict[str, int] = {}
@@ -214,6 +234,8 @@ def _accumulate_lru_runs(
     dirty: dict[int, bool] = {}
     lru: list[int] = []  # MRU first; holds exactly the filled ways
     filled = 0
+    set_actives = actives
+    ways = len(actives)
 
     for i in range(len(tags)):
         if new_sets[i]:
@@ -222,9 +244,24 @@ def _accumulate_lru_runs(
             dirty = {}
             lru = []
             filled = 0
+            if run_sets is not None:
+                disabled = disabled_by_set.get(run_sets[i])
+                if disabled:
+                    set_actives = [
+                        way for way in actives if way not in disabled
+                    ]
+                else:
+                    set_actives = actives
+                ways = len(set_actives)
         line_tag = tags[i]
         n_writes = writes[i]
         length = lengths[i]
+        if not ways:
+            # Fully-disabled set: graceful bypass, nothing allocates.
+            read_misses += length - n_writes
+            write_misses += n_writes
+            bypasses += length
+            continue
         way = tag_to_way.get(line_tag)
         if way is not None:
             # Hit run: refresh recency, count every access as a hit.
@@ -254,7 +291,7 @@ def _accumulate_lru_runs(
         else:
             read_misses += 1
         if filled < ways:
-            way = actives[filled]
+            way = set_actives[filled]
             filled += 1
         else:
             way = lru.pop()
@@ -291,6 +328,7 @@ def _accumulate_lru_runs(
     stats.write_misses = write_misses
     stats.fills = fills
     stats.writebacks = writebacks
+    stats.bypasses = bypasses
     for counter, values in (
         (stats.group_read_hits, group_read_hits),
         (stats.group_write_hits, group_write_hits),

@@ -18,6 +18,7 @@ from repro.experiments.exec_time import run_exec_time
 from repro.experiments.methodology_table import run_methodology
 from repro.experiments.modeswitch_table import run_modeswitch
 from repro.experiments.policy_sweep import run_policy_sweep
+from repro.experiments.population_study import run_population
 from repro.experiments.reliability_check import run_reliability
 from repro.experiments.report import ExperimentResult
 from repro.experiments.sweeps import run_edc_sweep, run_space_sweep
@@ -37,6 +38,7 @@ _REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
     "ablation-memlat": run_memory_latency_ablation,
     "ablation-cachesize": run_cache_size_ablation,
     "ablation-vdd": run_vdd_ablation,
+    "population": run_population,
     "sweep-space": run_space_sweep,
     "sweep-edc": run_edc_sweep,
     "sweep-policy": run_policy_sweep,

@@ -29,6 +29,7 @@ def _campaign_result(
     samples: int | None,
     trace_length: int,
     seed: int,
+    dies: int = 0,
 ) -> CampaignResult:
     return ExplorationCampaign(
         space=space,
@@ -36,6 +37,7 @@ def _campaign_result(
         samples=samples,
         trace_length=trace_length,
         seed=seed,
+        dies=dies,
     ).run()
 
 
@@ -45,12 +47,20 @@ def run_space_sweep(
     trace_length: int = 20_000,
     seed: int = calibration.DEFAULT_SEED,
     axes: Mapping[str, Sequence] | None = None,
+    dies: int = 0,
 ) -> ExperimentResult:
-    """A budgeted sweep of the default exploration space."""
+    """A budgeted sweep of the default exploration space.
+
+    ``dies > 0`` evaluates each candidate across a sampled die
+    population and ranks by p95-across-die (see
+    :data:`repro.explore.POPULATION_OBJECTIVES`).
+    """
     space = default_space()
     if axes:
         space = space.with_overrides(axes)
-    result = _campaign_result(space, sampler, samples, trace_length, seed)
+    result = _campaign_result(
+        space, sampler, samples, trace_length, seed, dies=dies
+    )
     frontier = result.frontier()
     best = min(
         (outcome.metrics["epi_ule"] for outcome in result.outcomes),

@@ -10,6 +10,7 @@ See DESIGN.md section 7 and ``python -m repro sweep --help``.
 """
 
 from repro.explore.campaign import (
+    POPULATION_OBJECTIVES,
     CampaignResult,
     CandidateOutcome,
     ExplorationCampaign,
@@ -44,6 +45,7 @@ __all__ = [
     "CandidateOutcome",
     "Objective",
     "DEFAULT_OBJECTIVES",
+    "POPULATION_OBJECTIVES",
     "dominates",
     "pareto_indices",
     "rank_rows",

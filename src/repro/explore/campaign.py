@@ -23,9 +23,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
+import numpy as np
+
 from repro.cacti.model import CacheEnergyModel
 from repro.core import calibration
-from repro.cpu.chip import RunResult
+from repro.cpu.chip import RunResult, suite_mode_metrics
 from repro.engine.jobs import SimulationJob, TraceSpec
 from repro.engine.session import SimulationSession, current_session
 from repro.explore.candidates import (
@@ -42,9 +44,23 @@ from repro.explore.pareto import (
     sensitivity,
 )
 from repro.explore.space import DesignSpace, Point
+from repro.faults.maps import DieFaultMap
+from repro.faults.sampling import functional_fraction, sample_population
 from repro.tech.operating import HP_OPERATING_POINT, Mode
 from repro.util.tables import Table
 from repro.workloads.suites import suite_by_name
+
+#: The across-die percentile population-aware sweeps rank by.
+POPULATION_PERCENTILE = 95.0
+
+#: Default objectives when candidates are evaluated across a die
+#: population (``dies > 0``): tail behaviour replaces the nominal die.
+POPULATION_OBJECTIVES = (
+    Objective("epi_ule_p95"),
+    Objective("spi_ule_p95"),
+    Objective("area_mm2"),
+    Objective("yield", maximize=True),
+)
 
 
 @dataclass(frozen=True)
@@ -70,6 +86,7 @@ class CampaignResult:
     trace_length: int
     seed: int
     sampler: str
+    dies: int = 0
 
     # ------------------------------------------------------------ frontier
     def _reduction(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
@@ -131,18 +148,24 @@ class CampaignResult:
             outcome.candidate.name for outcome in self.frontier()
         }
         objective_text = ", ".join(str(o) for o in self.objectives)
+        populated = bool(self.outcomes) and (
+            "epi_ule_p95" in self.outcomes[0].metrics
+        )
+        headers = [
+            "rank",
+            "candidate",
+            "pareto",
+            "EPI ULE (pJ)",
+            "EPI HP (pJ)",
+            "t/instr ULE (us)",
+            "area (mm^2)",
+            "yield",
+            "ule cell",
+        ]
+        if populated:
+            headers[3:3] = ["EPI ULE p95 (pJ)", "func frac"]
         table = Table(
-            [
-                "rank",
-                "candidate",
-                "pareto",
-                "EPI ULE (pJ)",
-                "EPI HP (pJ)",
-                "t/instr ULE (us)",
-                "area (mm^2)",
-                "yield",
-                "ule cell",
-            ],
+            headers,
             title=(
                 f"Exploration ranking — {len(self.outcomes)} candidates, "
                 f"{len(frontier_names)} on the frontier "
@@ -151,28 +174,29 @@ class CampaignResult:
         )
         for rank, outcome in enumerate(self.ranked()[:top], start=1):
             metrics = outcome.metrics
-            table.add_row(
-                [
-                    rank,
-                    outcome.candidate.name,
-                    "*" if outcome.candidate.name in frontier_names
-                    else "",
-                    metrics["epi_ule"] * 1e12,
-                    metrics["epi_hp"] * 1e12,
-                    metrics["spi_ule"] * 1e6,
-                    metrics["area_mm2"],
-                    metrics["yield"],
-                    outcome.candidate.ule_design.cell.describe(),
+            row = [
+                rank,
+                outcome.candidate.name,
+                "*" if outcome.candidate.name in frontier_names
+                else "",
+                metrics["epi_ule"] * 1e12,
+                metrics["epi_hp"] * 1e12,
+                metrics["spi_ule"] * 1e6,
+                metrics["area_mm2"],
+                metrics["yield"],
+                outcome.candidate.ule_design.cell.describe(),
+            ]
+            if populated:
+                row[3:3] = [
+                    metrics["epi_ule_p95"] * 1e12,
+                    metrics["functional_fraction"],
                 ]
-            )
+            table.add_row(row)
         if len(self.outcomes) > top:
             table.add_separator()
             table.add_row(
-                [
-                    "...",
-                    f"({len(self.outcomes) - top} more)",
-                    "", "", "", "", "", "", "",
-                ]
+                ["...", f"({len(self.outcomes) - top} more)"]
+                + [""] * (len(headers) - 2)
             )
         return table.render()
 
@@ -232,6 +256,7 @@ class CampaignResult:
                 "sampler": self.sampler,
                 "candidates": len(self.outcomes),
                 "duplicates": self.duplicates,
+                "dies": self.dies,
             },
             "objectives": [str(o) for o in self.objectives],
             "candidates": [
@@ -270,7 +295,16 @@ class ExplorationCampaign:
         job keys, so two campaigns with equal seeds share memoized and
         on-disk results.
     objectives : tuple of Objective
-        Pareto objectives for the reduction.
+        Pareto objectives for the reduction.  With ``dies > 0`` the
+        stock objectives upgrade to :data:`POPULATION_OBJECTIVES`
+        (p95-across-die instead of nominal-die ULE metrics); an
+        explicitly passed tuple is honoured as-is.
+    dies : int
+        Die population per candidate (0 = nominal die only).  Each
+        candidate's population is sampled at its own ULE supply and its
+        ULE-suite runs fan out per distinct fault map; candidates gain
+        ``epi_ule_p95`` / ``spi_ule_p95`` / ``functional_fraction``
+        metrics.
 
     Examples
     --------
@@ -306,6 +340,7 @@ class ExplorationCampaign:
     trace_length: int = calibration.DEFAULT_TRACE_LENGTH
     seed: int = calibration.DEFAULT_SEED
     objectives: tuple[Objective, ...] = DEFAULT_OBJECTIVES
+    dies: int = 0
 
     # ---------------------------------------------------------- expansion
     def expand(self) -> tuple[list[Candidate], list[tuple[str, str]], int]:
@@ -359,30 +394,120 @@ class ExplorationCampaign:
         candidates, infeasible, duplicates = self.expand()
 
         jobs: list[SimulationJob] = []
-        spans: list[tuple[Candidate, int, int]] = []
+        spans: list[
+            tuple[Candidate, int, int, int, tuple[DieFaultMap, ...]]
+        ] = []
         for candidate in candidates:
             start = len(jobs)
             jobs.extend(self._jobs_for(candidate))
-            spans.append((candidate, start, len(jobs)))
+            die_start = len(jobs)
+            die_maps: tuple[DieFaultMap, ...] = ()
+            if self.dies:
+                die_maps = self._die_maps_for(candidate)
+                for die_map in die_maps:
+                    jobs.extend(self._die_jobs_for(candidate, die_map))
+            spans.append(
+                (candidate, start, die_start, len(jobs), die_maps)
+            )
 
         results = session.run_jobs(jobs, progress=progress)
 
-        outcomes = tuple(
-            CandidateOutcome(
-                candidate=candidate,
-                metrics=self._reduce(candidate, results[start:stop]),
+        outcomes = []
+        for candidate, start, die_start, stop, die_maps in spans:
+            metrics = self._reduce(candidate, results[start:die_start])
+            if die_maps:
+                metrics.update(
+                    self._reduce_population(
+                        die_maps, results[die_start:stop]
+                    )
+                )
+            outcomes.append(
+                CandidateOutcome(candidate=candidate, metrics=metrics)
             )
-            for candidate, start, stop in spans
-        )
         return CampaignResult(
-            outcomes=outcomes,
+            outcomes=tuple(outcomes),
             infeasible=tuple(infeasible),
             duplicates=duplicates,
-            objectives=tuple(self.objectives),
+            objectives=self._effective_objectives(),
             trace_length=self.trace_length,
             seed=self.seed,
             sampler=self.sampler,
+            dies=self.dies,
         )
+
+    def _effective_objectives(self) -> tuple[Objective, ...]:
+        """Population sweeps rank the tail unless told otherwise."""
+        if self.dies and tuple(self.objectives) == DEFAULT_OBJECTIVES:
+            return POPULATION_OBJECTIVES
+        return tuple(self.objectives)
+
+    def _die_maps_for(
+        self, candidate: Candidate
+    ) -> tuple[DieFaultMap, ...]:
+        """The candidate's die population at its own ULE supply."""
+        return sample_population(
+            candidate.chip.il1,
+            candidate.chip.dl1,
+            dies=self.dies,
+            seed=self.seed,
+            mode_vdds={Mode.ULE: candidate.ule_point.vdd},
+        )
+
+    def _die_jobs_for(
+        self, candidate: Candidate, die_map: DieFaultMap
+    ) -> list[SimulationJob]:
+        """One die's ULE-suite jobs (fault-free dies share keys with
+        the candidate's nominal runs)."""
+        suite_name = str(candidate.point_dict().get("suite", "paper"))
+        fault_map = (
+            None if die_map.is_fault_free else die_map.normalized()
+        )
+        return [
+            SimulationJob(
+                chip=candidate.chip,
+                trace=TraceSpec(spec.name, self.trace_length, self.seed),
+                mode=Mode.ULE,
+                operating_point=candidate.ule_point,
+                fault_map=fault_map,
+            )
+            for spec in suite_by_name(suite_name, Mode.ULE)
+        ]
+
+    def _reduce_population(
+        self,
+        die_maps: tuple[DieFaultMap, ...],
+        results: Sequence[RunResult],
+    ) -> dict[str, float]:
+        """Across-die tail metrics from the per-die ULE runs."""
+        per_die, remainder = divmod(len(results), len(die_maps))
+        if remainder or per_die == 0:
+            # Every die submits the same suite; anything else means
+            # the spans are misaligned — fail loudly rather than
+            # percentile over the wrong runs.
+            raise RuntimeError(
+                f"population results ({len(results)}) do not split "
+                f"evenly over {len(die_maps)} dies"
+            )
+        epi = []
+        spi = []
+        for die in range(len(die_maps)):
+            runs = results[die * per_die:(die + 1) * per_die]
+            die_metrics = suite_mode_metrics(
+                runs, modes=((Mode.ULE, "ule"),)
+            )
+            epi.append(die_metrics["epi_ule"])
+            spi.append(die_metrics["spi_ule"])
+        return {
+            "epi_ule_p95": float(
+                np.percentile(np.asarray(epi), POPULATION_PERCENTILE)
+            ),
+            "spi_ule_p95": float(
+                np.percentile(np.asarray(spi), POPULATION_PERCENTILE)
+            ),
+            "functional_fraction": functional_fraction(
+                die_maps, Mode.ULE
+            ),
+        }
 
     def _jobs_for(self, candidate: Candidate) -> list[SimulationJob]:
         """The (benchmark x mode) jobs of one candidate."""
@@ -409,28 +534,11 @@ class ExplorationCampaign:
         self, candidate: Candidate, results: Sequence[RunResult]
     ) -> dict[str, float]:
         """Per-candidate metrics from its runs (order: ULE suite, HP)."""
-        by_mode: dict[Mode, list[RunResult]] = {Mode.ULE: [], Mode.HP: []}
-        for result in results:
-            by_mode[result.mode].append(result)
-        metrics: dict[str, float] = {}
-        for mode, label in ((Mode.ULE, "ule"), (Mode.HP, "hp")):
-            runs = by_mode[mode]
-            metrics[f"epi_{label}"] = _mean(r.epi for r in runs)
-            metrics[f"spi_{label}"] = _mean(
-                r.execution_seconds / max(r.timing.instructions, 1)
-                for r in runs
-            )
+        metrics = suite_mode_metrics(results)
         metrics["area_mm2"] = _chip_cache_area_mm2(candidate.chip)
         metrics["yield"] = candidate.ule_design.yield_value
         metrics["ule_size_factor"] = candidate.ule_design.cell.size_factor
         return metrics
-
-
-def _mean(values) -> float:
-    values = list(values)
-    if not values:
-        return 0.0
-    return sum(values) / len(values)
 
 
 def _chip_cache_area_mm2(chip) -> float:

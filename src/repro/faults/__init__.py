@@ -1,0 +1,70 @@
+"""Die-population fault injection over the variation models.
+
+Three layers, bottom-up:
+
+* :mod:`repro.faults.maps` — :class:`DieFaultMap`, the content-
+  addressed per-die description of disabled cache lines the engine's
+  job keys hash (dependency-light so ``engine`` and ``cpu`` can import
+  it);
+* :mod:`repro.faults.sampling` — seeded, order-independent sampling of
+  die populations from the sized cells' analytic failure
+  probabilities;
+* :mod:`repro.faults.population` — :class:`PopulationStudy`, batching
+  die x benchmark x mode through the simulation session and reducing
+  population distributions, yield curves and fault histograms.
+"""
+
+from repro.faults.maps import (
+    CACHE_LABELS,
+    FAULT_FREE_DIE,
+    CacheFaultMap,
+    DieFaultMap,
+)
+
+#: Sampling and population symbols resolve lazily (PEP 562): the
+#: engine imports :mod:`repro.faults.maps` from inside its job layer,
+#: so this ``__init__`` must stay as light as ``maps`` itself — an
+#: eager population import would close a cycle back through
+#: ``repro.core``, and an eager sampling import would drag the sram
+#: failure models into every engine import.
+_LAZY_EXPORTS = {
+    "DEFAULT_PERCENTILES": "repro.faults.population",
+    "DEFAULT_VDD_GRID": "repro.faults.population",
+    "DieOutcome": "repro.faults.population",
+    "PopulationResult": "repro.faults.population",
+    "PopulationStudy": "repro.faults.population",
+    "scenario_population_study": "repro.faults.population",
+    "functional_fraction": "repro.faults.sampling",
+    "sample_cache_fault_map": "repro.faults.sampling",
+    "sample_die_fault_map": "repro.faults.sampling",
+    "sample_population": "repro.faults.sampling",
+}
+
+
+def __getattr__(name: str):
+    """Lazy re-export of the sampling/population layers' symbols."""
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is not None:
+        import importlib
+
+        return getattr(importlib.import_module(module_name), name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+__all__ = [
+    "CACHE_LABELS",
+    "DEFAULT_PERCENTILES",
+    "DEFAULT_VDD_GRID",
+    "FAULT_FREE_DIE",
+    "CacheFaultMap",
+    "DieFaultMap",
+    "DieOutcome",
+    "PopulationResult",
+    "PopulationStudy",
+    "functional_fraction",
+    "sample_cache_fault_map",
+    "sample_die_fault_map",
+    "sample_population",
+    "scenario_population_study",
+]

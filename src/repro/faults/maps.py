@@ -1,0 +1,139 @@
+"""Per-die disabled-line fault maps — the unit the engine batches.
+
+A manufactured die realizes one draw from the parametric-variation
+models: some bitcells are hard-faulty, and a cache line whose words hold
+more hard faults than their EDC code can absorb is *disabled* (its
+valid/way-disable fuse is blown at test time, the standard fault-aware
+low-voltage cache move).  The functional simulators never see individual
+stuck bits — correctable faults are transparent by construction, and
+uncorrectable ones remove the whole line — so the die-level description
+the simulation needs is exactly the set of disabled ``(set, way)`` lines
+per physical cache array per operating mode.
+
+:class:`DieFaultMap` captures that and nothing else.  Deliberately, it
+carries **no die index and no seed**: the engine's job keys hash the
+map's content (see :func:`repro.engine.jobs.job_key`), so the many dies
+of a population that drew *zero* uncorrectable faults — the common case
+at the paper's yield targets — collapse into a single simulation.
+
+This module is dependency-light (``tech.operating`` only) so that the
+engine and the chip model can import it without layering cycles; the
+actual population sampling lives in :mod:`repro.faults.sampling`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tech.operating import Mode
+from repro.util.canonical import canonical_digest
+
+#: The physical cache arrays of a chip a map may address.
+CACHE_LABELS = ("il1", "dl1")
+
+
+@dataclass(frozen=True)
+class CacheFaultMap:
+    """Disabled lines of one physical cache array in one mode.
+
+    Attributes:
+        cache: which array ("il1" or "dl1") — IL1 and DL1 are distinct
+            silicon even when they share a configuration.
+        mode: the operating mode the disables apply to.  Hard faults
+            are voltage-dependent: a cell that fails at 350 mV usually
+            works at 1 V, so each mode carries its own set.
+        disabled: sorted ``(set, way)`` pairs of unusable lines.
+    """
+
+    cache: str
+    mode: Mode
+    disabled: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if self.cache not in CACHE_LABELS:
+            raise ValueError(
+                f"unknown cache label {self.cache!r}; "
+                f"known: {list(CACHE_LABELS)}"
+            )
+        ordered = tuple(
+            (int(s), int(w)) for s, w in sorted(set(self.disabled))
+        )
+        object.__setattr__(self, "disabled", ordered)
+
+
+@dataclass(frozen=True)
+class DieFaultMap:
+    """One die's disabled lines across its caches and modes.
+
+    The map is pure *content*: two dies whose draws produce the same
+    disabled lines compare (and hash, and job-key) identically, which
+    is what lets the engine deduplicate and disk-cache population runs.
+
+    Attributes:
+        entries: the per-(cache, mode) disabled-line sets.  Entries
+            with no disabled lines may be omitted entirely — an absent
+            entry and an empty one mean the same thing.
+    """
+
+    entries: tuple[CacheFaultMap, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for entry in self.entries:
+            key = (entry.cache, entry.mode)
+            if key in seen:
+                raise ValueError(
+                    f"duplicate fault-map entry for {key}"
+                )
+            seen.add(key)
+        ordered = tuple(
+            sorted(
+                self.entries,
+                key=lambda e: (e.cache, e.mode.value),
+            )
+        )
+        object.__setattr__(self, "entries", ordered)
+
+    def disabled_for(
+        self, cache: str, mode: Mode
+    ) -> tuple[tuple[int, int], ...]:
+        """The disabled ``(set, way)`` lines of one array in one mode."""
+        for entry in self.entries:
+            if entry.cache == cache and entry.mode is mode:
+                return entry.disabled
+        return ()
+
+    @property
+    def disabled_line_count(self) -> int:
+        """Total disabled lines over all entries."""
+        return sum(len(entry.disabled) for entry in self.entries)
+
+    @property
+    def is_fault_free(self) -> bool:
+        """Whether the die has no disabled line anywhere.
+
+        A fault-free map is semantically identical to passing no map at
+        all — ``tests/faults`` pins that the simulated results agree
+        byte-for-byte.
+        """
+        return self.disabled_line_count == 0
+
+    def normalized(self) -> "DieFaultMap":
+        """An equal map with empty entries dropped.
+
+        Population sampling emits normalized maps so that every
+        fault-free die — whatever (cache, mode) combinations it was
+        sampled over — shares one canonical content (and therefore one
+        engine job key) with the plain ``DieFaultMap()``.
+        """
+        return DieFaultMap(
+            entries=tuple(e for e in self.entries if e.disabled)
+        )
+
+    def content_digest(self) -> str:
+        """SHA-256 over the canonical content (normalized first)."""
+        return canonical_digest(self.normalized())
+
+
+#: The canonical fault-free die — what most of a population draws.
+FAULT_FREE_DIE = DieFaultMap()

@@ -1,0 +1,422 @@
+"""Die-population studies: distributions, yield curves, histograms.
+
+The analytic yield model answers "what fraction of dies work"; a
+population study answers the follow-up questions the paper's Section 3
+fault-aware design raises: *how do the surviving dies behave?*  It
+samples N per-die fault maps from the variation models
+(:mod:`repro.faults.sampling`), batches every (die, benchmark, mode)
+run through one :meth:`repro.engine.session.SimulationSession.run_jobs`
+call — identical dies deduplicate by fault-map content, so the common
+fault-free die simulates once however large the population — and
+reduces the results into:
+
+* EPI and execution-time percentiles across the population, per mode;
+* a sampled yield curve versus the ULE supply;
+* a disabled-line histogram (how degraded the worst dies are).
+
+The reduction is pure arithmetic over deterministic run results, so a
+population report renders byte-identically whatever the session's
+process count — the same contract the exploration campaigns pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core import calibration
+from repro.core.evaluation import cached_chips, cached_design
+from repro.core.scenarios import Scenario
+from repro.cpu.chip import ChipConfig, RunResult, suite_mode_metrics
+from repro.engine.jobs import SimulationJob, TraceSpec
+from repro.engine.session import SimulationSession, current_session
+from repro.faults.maps import DieFaultMap
+from repro.faults.sampling import (
+    functional_fraction,
+    sample_population,
+)
+from repro.tech.operating import Mode, OperatingPoint, operating_point_for
+from repro.util.tables import Table
+from repro.workloads.suites import suite_for_mode
+
+#: Default population percentiles (the paper-style tail views).
+DEFAULT_PERCENTILES = (50.0, 90.0, 95.0, 99.0)
+
+#: Default ULE supplies for the sampled yield curve (the sizing point
+#: 0.35 V sits in the middle).
+DEFAULT_VDD_GRID = (0.30, 0.325, 0.35, 0.375, 0.40)
+
+#: The per-die metrics a study reduces.
+_METRICS = ("epi_ule", "spi_ule", "epi_hp", "spi_hp")
+
+
+@dataclass(frozen=True)
+class DieOutcome:
+    """One die of the population with its reduced metrics."""
+
+    die: int
+    fault_map: DieFaultMap
+    metrics: dict[str, float]
+
+    @property
+    def disabled_lines(self) -> int:
+        """Disabled lines of the die (all caches, all modes)."""
+        return self.fault_map.disabled_line_count
+
+
+@dataclass(frozen=True)
+class PopulationResult:
+    """Everything one population study produced."""
+
+    chip_name: str
+    dies: int
+    unique_maps: int
+    seed: int
+    trace_length: int
+    percentiles: tuple[float, ...]
+    outcomes: tuple[DieOutcome, ...]
+    yield_curve: tuple[tuple[float, float], ...]
+    sampled_yield: float
+    analytic_yield: float | None = None
+
+    # ----------------------------------------------------------- reduction
+    def metric_values(self, metric: str) -> tuple[float, ...]:
+        """The per-die values of one metric, in die order."""
+        return tuple(o.metrics[metric] for o in self.outcomes)
+
+    def metric_percentiles(self, metric: str) -> dict[float, float]:
+        """Population percentiles of one metric."""
+        values = np.asarray(self.metric_values(metric), dtype=float)
+        return {
+            q: float(np.percentile(values, q))
+            for q in self.percentiles
+        }
+
+    def fault_histogram(self) -> dict[int, int]:
+        """Disabled-line count -> number of dies."""
+        histogram: dict[int, int] = {}
+        for outcome in self.outcomes:
+            count = outcome.disabled_lines
+            histogram[count] = histogram.get(count, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    # -------------------------------------------------------------- report
+    def render(self) -> str:
+        """The full population report (tables, deterministic)."""
+        return "\n\n".join(
+            (
+                self._render_summary(),
+                self._render_percentiles(),
+                self._render_histogram(),
+                self._render_yield_curve(),
+            )
+        )
+
+    def _render_summary(self) -> str:
+        table = Table(
+            ["quantity", "value"],
+            title=(
+                f"Die population — {self.chip_name}, {self.dies} dies "
+                f"(seed {self.seed})"
+            ),
+        )
+        table.add_row(["unique fault maps", self.unique_maps])
+        table.add_row(
+            ["fully functional dies (sampled yield)",
+             f"{self.sampled_yield:.4f}"]
+        )
+        if self.analytic_yield is not None:
+            table.add_row(
+                ["analytic yield (Eq. 2)", f"{self.analytic_yield:.4f}"]
+            )
+        worst = max(o.disabled_lines for o in self.outcomes)
+        table.add_row(["worst die disabled lines", worst])
+        return table.render()
+
+    def _render_percentiles(self) -> str:
+        table = Table(
+            ["metric"] + [f"p{q:g}" for q in self.percentiles],
+            title="Population distributions (per-die suite means)",
+        )
+        scale = {
+            "epi_ule": ("EPI ULE (pJ)", 1e12),
+            "spi_ule": ("t/instr ULE (us)", 1e6),
+            "epi_hp": ("EPI HP (pJ)", 1e12),
+            "spi_hp": ("t/instr HP (us)", 1e6),
+        }
+        for metric in _METRICS:
+            label, factor = scale[metric]
+            row = self.metric_percentiles(metric)
+            table.add_row(
+                [label] + [row[q] * factor for q in self.percentiles]
+            )
+        return table.render()
+
+    def _render_histogram(self) -> str:
+        table = Table(
+            ["disabled lines", "dies", "share"],
+            title="Disabled-line histogram (all caches, all modes)",
+        )
+        for count, dies in self.fault_histogram().items():
+            table.add_row(
+                [count, dies, f"{dies / self.dies:.3f}"]
+            )
+        return table.render()
+
+    def _render_yield_curve(self) -> str:
+        table = Table(
+            ["Vdd ULE (mV)", "functional fraction"],
+            title=(
+                "Sampled yield vs ULE supply "
+                f"({self.dies} dies per point)"
+            ),
+        )
+        for vdd, fraction in self.yield_curve:
+            table.add_row([f"{vdd * 1e3:.0f}", f"{fraction:.4f}"])
+        return table.render()
+
+    # ------------------------------------------------------------- machine
+    def to_dict(self) -> dict:
+        """Machine-readable form (JSON-able)."""
+        return {
+            "meta": {
+                "chip": self.chip_name,
+                "dies": self.dies,
+                "unique_fault_maps": self.unique_maps,
+                "seed": self.seed,
+                "trace_length": self.trace_length,
+            },
+            "percentiles": {
+                metric: {
+                    f"p{q:g}": value
+                    for q, value in self.metric_percentiles(
+                        metric
+                    ).items()
+                }
+                for metric in _METRICS
+            },
+            "sampled_yield": self.sampled_yield,
+            "analytic_yield": self.analytic_yield,
+            "fault_histogram": {
+                str(count): dies
+                for count, dies in self.fault_histogram().items()
+            },
+            "yield_curve": [list(point) for point in self.yield_curve],
+            "dies": [
+                {
+                    "die": outcome.die,
+                    "disabled_lines": outcome.disabled_lines,
+                    "metrics": outcome.metrics,
+                }
+                for outcome in self.outcomes
+            ],
+        }
+
+
+@dataclass
+class PopulationStudy:
+    """A configured die-population study, ready to sample and run.
+
+    Parameters
+    ----------
+    chip : ChipConfig
+        The chip whose die population to study (see
+        :func:`scenario_population_study` for the paper chips).
+    dies : int
+        Population size.  Identical fault maps deduplicate in the
+        engine, so cost grows with *distinct* maps, not dies.
+    trace_length : int
+        Dynamic instructions per benchmark.
+    seed : int
+        Root seed; fault sampling and trace generation derive child
+        streams, so a study is bit-reproducible end to end.
+    percentiles : tuple of float
+        Population percentiles to report.
+    vdd_grid : tuple of float
+        ULE supplies for the sampled yield curve (map sampling only —
+        no simulation).
+    mode_points : mapping, optional
+        Operating-point override per mode (defaults to the paper's).
+    analytic_yield : float, optional
+        Eq. (2) anchor printed next to the sampled yield.
+
+    Examples
+    --------
+    Distribution of scenario-A proposed dies::
+
+        from repro.faults import scenario_population_study
+
+        study = scenario_population_study("A", dies=200)
+        result = study.run()       # ambient engine session
+        print(result.metric_percentiles("epi_ule")[95.0])
+    """
+
+    chip: ChipConfig
+    dies: int = 100
+    trace_length: int = calibration.DEFAULT_TRACE_LENGTH
+    seed: int = calibration.DEFAULT_SEED
+    percentiles: tuple[float, ...] = DEFAULT_PERCENTILES
+    vdd_grid: tuple[float, ...] = DEFAULT_VDD_GRID
+    mode_points: Mapping[Mode, OperatingPoint] | None = None
+    analytic_yield: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.dies < 1:
+            raise ValueError("dies must be at least 1")
+        if not self.percentiles:
+            raise ValueError("need at least one percentile")
+        for q in self.percentiles:
+            if not 0.0 <= q <= 100.0:
+                raise ValueError("percentiles must be in [0, 100]")
+
+    # ------------------------------------------------------------ sampling
+    def _points(self) -> dict[Mode, OperatingPoint]:
+        points = dict(self.mode_points or {})
+        for mode in (Mode.HP, Mode.ULE):
+            points.setdefault(mode, operating_point_for(mode))
+        return points
+
+    def sample_maps(self) -> tuple[DieFaultMap, ...]:
+        """The seeded die population (index-stable)."""
+        points = self._points()
+        return sample_population(
+            self.chip.il1,
+            self.chip.dl1,
+            dies=self.dies,
+            seed=self.seed,
+            mode_vdds={
+                mode: point.vdd for mode, point in points.items()
+            },
+        )
+
+    def _yield_curve(self) -> tuple[tuple[float, float], ...]:
+        """Sampled functional fraction per ULE supply (no simulation)."""
+        curve = []
+        for vdd in self.vdd_grid:
+            maps = sample_population(
+                self.chip.il1,
+                self.chip.dl1,
+                dies=self.dies,
+                seed=self.seed,
+                mode_vdds={Mode.ULE: vdd},
+            )
+            curve.append((vdd, functional_fraction(maps, Mode.ULE)))
+        return tuple(curve)
+
+    # ------------------------------------------------------------- running
+    def run(
+        self,
+        session: SimulationSession | None = None,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> PopulationResult:
+        """Sample the population, simulate it, reduce the distributions.
+
+        All (die, benchmark, mode) jobs go through ``session.run_jobs``
+        as one batch; ``progress(done, total)`` reports executed jobs
+        (after dedup — a mostly-clean population executes few).
+        """
+        session = session or current_session()
+        maps = self.sample_maps()
+        points = self._points()
+
+        jobs: list[SimulationJob] = []
+        spans: list[tuple[int, DieFaultMap, int, int]] = []
+        for die, die_map in enumerate(maps):
+            start = len(jobs)
+            jobs.extend(self._jobs_for(die_map, points))
+            spans.append((die, die_map, start, len(jobs)))
+
+        results = session.run_jobs(jobs, progress=progress)
+
+        outcomes = tuple(
+            DieOutcome(
+                die=die,
+                fault_map=die_map,
+                metrics=self._reduce(results[start:stop]),
+            )
+            for die, die_map, start, stop in spans
+        )
+        return PopulationResult(
+            chip_name=self.chip.name,
+            dies=self.dies,
+            unique_maps=len(
+                {die_map.content_digest() for die_map in maps}
+            ),
+            seed=self.seed,
+            trace_length=self.trace_length,
+            percentiles=tuple(self.percentiles),
+            outcomes=outcomes,
+            yield_curve=self._yield_curve(),
+            sampled_yield=functional_fraction(maps, Mode.ULE),
+            analytic_yield=self.analytic_yield,
+        )
+
+    def _jobs_for(
+        self,
+        die_map: DieFaultMap,
+        points: Mapping[Mode, OperatingPoint],
+    ) -> list[SimulationJob]:
+        """The (benchmark x mode) jobs of one die.
+
+        A fault-free die ships ``fault_map=None`` so its jobs share
+        keys — and cached results — with ordinary non-population runs.
+        """
+        fault_map = (
+            None if die_map.is_fault_free else die_map.normalized()
+        )
+        jobs = []
+        for mode in (Mode.ULE, Mode.HP):
+            for spec in suite_for_mode(mode):
+                jobs.append(
+                    SimulationJob(
+                        chip=self.chip,
+                        trace=TraceSpec(
+                            spec.name, self.trace_length, self.seed
+                        ),
+                        mode=mode,
+                        operating_point=points[mode],
+                        fault_map=fault_map,
+                    )
+                )
+        return jobs
+
+    def _reduce(
+        self, results: Sequence[RunResult]
+    ) -> dict[str, float]:
+        """Per-die metrics from its runs (suite means per mode)."""
+        return suite_mode_metrics(results)
+
+
+def scenario_population_study(
+    scenario: Scenario | str,
+    chip: str = "proposed",
+    dies: int = 100,
+    trace_length: int = calibration.DEFAULT_TRACE_LENGTH,
+    seed: int = calibration.DEFAULT_SEED,
+    percentiles: tuple[float, ...] = DEFAULT_PERCENTILES,
+) -> PopulationStudy:
+    """A study of one paper chip with its analytic-yield anchor."""
+    scenario = Scenario(scenario) if isinstance(scenario, str) else scenario
+    chips = cached_chips(scenario)
+    design = cached_design(scenario)
+    try:
+        chosen = getattr(chips, chip)
+    except AttributeError:
+        raise ValueError(
+            f"unknown chip {chip!r}; known: ['baseline', 'proposed']"
+        ) from None
+    analytic = (
+        design.yield_proposed
+        if chip == "proposed"
+        else design.yield_baseline
+    )
+    return PopulationStudy(
+        chip=chosen.config,
+        dies=dies,
+        trace_length=trace_length,
+        seed=seed,
+        percentiles=percentiles,
+        analytic_yield=analytic,
+    )

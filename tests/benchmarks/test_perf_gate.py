@@ -1,0 +1,149 @@
+"""The perf_smoke regression gate (--check-against) logic.
+
+The script itself lives outside the package (``benchmarks/``), so it is
+loaded by path; the timed evaluations are stubbed to make every gate
+path deterministic — the real end-to-end timing runs in CI.
+"""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_SCRIPT = (
+    pathlib.Path(__file__).resolve().parent.parent.parent
+    / "benchmarks"
+    / "perf_smoke.py"
+)
+
+
+@pytest.fixture()
+def perf_smoke(monkeypatch):
+    spec = importlib.util.spec_from_file_location(
+        "perf_smoke_under_test", _SCRIPT
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+
+    class _FakeEvaluation:
+        rows = [None] * 6
+
+        @staticmethod
+        def render() -> str:
+            return "identical tables"
+
+    def fake_timed(backend, trace_length):
+        seconds = 0.1 if backend == "vectorized" else 2.0  # 20x
+        return seconds, _FakeEvaluation()
+
+    monkeypatch.setattr(module, "_timed_evaluation", fake_timed)
+    monkeypatch.setattr(module, "cached_chips", lambda scenario: None)
+    yield module
+    sys.modules.pop(spec.name, None)
+
+
+def _baseline(tmp_path, speedup: float) -> str:
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"speedup": speedup}))
+    return str(path)
+
+
+class TestRegressionGate:
+    def test_passes_within_tolerance(self, perf_smoke, tmp_path):
+        out = tmp_path / "fresh.json"
+        status = perf_smoke.main(
+            ["--check-against", _baseline(tmp_path, 22.0),
+             "--out", str(out)]
+        )
+        assert status == 0
+        assert json.loads(out.read_text())["speedup"] == 20.0
+
+    def test_fails_beyond_tolerance(self, perf_smoke, tmp_path, capsys):
+        status = perf_smoke.main(
+            ["--check-against", _baseline(tmp_path, 40.0),
+             "--out", str(tmp_path / "fresh.json")]
+        )
+        assert status == 1
+        assert "regressed" in capsys.readouterr().err
+
+    def test_boundary_is_exactly_thirty_percent(
+        self, perf_smoke, tmp_path
+    ):
+        """A fresh 20x against a baseline of exactly 20/0.7: just at
+        the floor passes; one hair above the baseline fails."""
+        at_floor = 20.0 / (1.0 - perf_smoke.REGRESSION_TOLERANCE)
+        assert perf_smoke.main(
+            ["--check-against", _baseline(tmp_path, at_floor),
+             "--out", str(tmp_path / "fresh.json")]
+        ) == 0
+        assert perf_smoke.main(
+            ["--check-against", _baseline(tmp_path, at_floor + 0.1),
+             "--out", str(tmp_path / "fresh.json")]
+        ) == 1
+
+    def test_mismatched_trace_length_fails(
+        self, perf_smoke, tmp_path, capsys
+    ):
+        """Speedups from different workloads are incomparable: a
+        baseline recorded at another trace length must not gate."""
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({"speedup": 20.0, "trace_length": 60_000})
+        )
+        status = perf_smoke.main(
+            ["--check-against", str(path), "--trace-length", "5000",
+             "--out", str(tmp_path / "fresh.json")]
+        )
+        assert status == 1
+        assert "comparable" in capsys.readouterr().err
+
+    def test_matching_trace_length_gates(self, perf_smoke, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({"speedup": 20.0, "trace_length": 60_000})
+        )
+        assert perf_smoke.main(
+            ["--check-against", str(path),
+             "--out", str(tmp_path / "fresh.json")]
+        ) == 0
+
+    def test_baseline_without_speedup_fails(
+        self, perf_smoke, tmp_path, capsys
+    ):
+        """A baseline lacking a positive speedup must fail loudly —
+        a zero floor would make the gate pass vacuously forever."""
+        path = tmp_path / "baseline.json"
+        path.write_text("{}")
+        status = perf_smoke.main(
+            ["--check-against", str(path),
+             "--out", str(tmp_path / "fresh.json")]
+        )
+        assert status == 1
+        assert "no usable 'speedup'" in capsys.readouterr().err
+
+    def test_missing_baseline_fails(self, perf_smoke, tmp_path, capsys):
+        status = perf_smoke.main(
+            ["--check-against", str(tmp_path / "absent.json"),
+             "--out", str(tmp_path / "fresh.json")]
+        )
+        assert status == 1
+        assert "cannot read baseline" in capsys.readouterr().err
+
+    def test_no_baseline_keeps_absolute_floor_only(
+        self, perf_smoke, tmp_path
+    ):
+        assert perf_smoke.main(
+            ["--out", str(tmp_path / "fresh.json")]
+        ) == 0
+
+    def test_checked_in_baseline_is_readable(self):
+        """CI points --check-against at the committed file; it must
+        parse and carry a speedup above the absolute floor."""
+        repo_root = _SCRIPT.parent.parent
+        payload = json.loads(
+            (repo_root / "BENCH_engine.json").read_text()
+        )
+        assert payload["speedup"] >= payload["min_speedup"]

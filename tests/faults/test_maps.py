@@ -1,0 +1,79 @@
+"""DieFaultMap: content addressing, normalization, validation."""
+
+import pytest
+
+from repro.faults.maps import (
+    FAULT_FREE_DIE,
+    CacheFaultMap,
+    DieFaultMap,
+)
+from repro.tech.operating import Mode
+from repro.util.canonical import canonical_digest
+
+
+def _entry(cache="il1", mode=Mode.ULE, disabled=((0, 7), (3, 7))):
+    return CacheFaultMap(cache=cache, mode=mode, disabled=disabled)
+
+
+class TestCacheFaultMap:
+    def test_pairs_sorted_and_deduplicated(self):
+        entry = CacheFaultMap(
+            cache="il1",
+            mode=Mode.ULE,
+            disabled=((3, 7), (0, 7), (3, 7)),
+        )
+        assert entry.disabled == ((0, 7), (3, 7))
+
+    def test_unknown_cache_label_rejected(self):
+        with pytest.raises(ValueError, match="unknown cache label"):
+            CacheFaultMap(cache="l2", mode=Mode.ULE, disabled=())
+
+
+class TestDieFaultMap:
+    def test_disabled_for_lookup(self):
+        die = DieFaultMap(entries=(_entry(),))
+        assert die.disabled_for("il1", Mode.ULE) == ((0, 7), (3, 7))
+        assert die.disabled_for("il1", Mode.HP) == ()
+        assert die.disabled_for("dl1", Mode.ULE) == ()
+
+    def test_duplicate_entries_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            DieFaultMap(entries=(_entry(), _entry(disabled=((1, 7),))))
+
+    def test_counts(self):
+        die = DieFaultMap(
+            entries=(
+                _entry(),
+                _entry(cache="dl1", disabled=((5, 7),)),
+            )
+        )
+        assert die.disabled_line_count == 3
+        assert not die.is_fault_free
+
+    def test_entry_order_is_canonical(self):
+        a = DieFaultMap(
+            entries=(_entry(cache="dl1"), _entry(cache="il1"))
+        )
+        b = DieFaultMap(
+            entries=(_entry(cache="il1"), _entry(cache="dl1"))
+        )
+        assert a == b
+        assert a.content_digest() == b.content_digest()
+
+    def test_fault_free_content_is_shared(self):
+        """Empty entries must not change the canonical content: every
+        clean die — however sampled — shares one digest."""
+        clean = DieFaultMap(
+            entries=(_entry(disabled=()),)
+        )
+        assert clean.is_fault_free
+        assert (
+            clean.content_digest() == FAULT_FREE_DIE.content_digest()
+        )
+        assert clean.normalized() == FAULT_FREE_DIE
+
+    def test_digest_tracks_content(self):
+        die = DieFaultMap(entries=(_entry(),))
+        moved = DieFaultMap(entries=(_entry(disabled=((0, 7),)),))
+        assert die.content_digest() != moved.content_digest()
+        assert die.content_digest() == canonical_digest(die)

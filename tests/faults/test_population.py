@@ -1,0 +1,113 @@
+"""PopulationStudy: batching, dedup, determinism, reporting."""
+
+import json
+
+import pytest
+
+from repro.engine.session import SimulationSession
+from repro.faults.population import (
+    PopulationStudy,
+    scenario_population_study,
+)
+from repro.tech.operating import Mode
+
+
+def _study(dies=15, trace_length=2_000, **kwargs):
+    return scenario_population_study(
+        "A", dies=dies, trace_length=trace_length, **kwargs
+    )
+
+
+class TestStudyRun:
+    def test_render_is_deterministic(self):
+        study = _study()
+        first = study.run(session=SimulationSession())
+        second = study.run(session=SimulationSession())
+        assert first.render() == second.render()
+
+    def test_parallel_matches_serial_byte_for_byte(self):
+        study = _study()
+        serial = study.run(session=SimulationSession(jobs=1))
+        with SimulationSession(jobs=2) as session:
+            parallel = study.run(session=session)
+        assert serial.render() == parallel.render()
+        assert serial.to_dict() == parallel.to_dict()
+
+    def test_identical_dies_deduplicate(self):
+        from repro.workloads.suites import BIGBENCH, SMALLBENCH
+
+        study = _study()
+        session = SimulationSession()
+        result = study.run(session=session)
+        # One simulation per unique fault map per (benchmark, mode) —
+        # the clean-majority population must not execute per die.
+        per_die_jobs = len(SMALLBENCH) + len(BIGBENCH)
+        assert session.stats.requested == study.dies * per_die_jobs
+        assert session.stats.executed <= result.unique_maps * per_die_jobs
+        assert session.stats.deduplicated > 0
+
+    def test_disk_cache_rerun_executes_nothing(self, tmp_path):
+        study = _study(dies=8)
+        first = SimulationSession(cache_dir=tmp_path)
+        study.run(session=first)
+        assert first.stats.executed > 0
+
+        rerun = SimulationSession(cache_dir=tmp_path)
+        result = study.run(session=rerun)
+        assert rerun.stats.executed == 0
+        assert rerun.stats.disk_hits > 0
+        assert result.dies == 8
+
+    def test_analytic_yield_anchor_present(self):
+        study = _study(dies=5)
+        result = study.run(session=SimulationSession())
+        assert result.analytic_yield == pytest.approx(0.9927, abs=5e-3)
+        assert 0.0 <= result.sampled_yield <= 1.0
+
+    def test_to_dict_is_json_able(self):
+        result = _study(dies=5).run(session=SimulationSession())
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["meta"]["dies"] == 5
+        assert "epi_ule" in payload["percentiles"]
+        assert len(payload["yield_curve"]) == 5
+
+    def test_yield_curve_monotone_trend(self):
+        """The sampled curve must show the low-Vdd cliff: the lowest
+        grid supply yields no better than the sizing point."""
+        result = _study(dies=10).run(session=SimulationSession())
+        curve = dict(result.yield_curve)
+        assert curve[0.30] <= curve[0.35]
+
+
+class TestValidation:
+    def test_bad_dies_rejected(self, chips_a):
+        with pytest.raises(ValueError, match="dies"):
+            PopulationStudy(chip=chips_a.proposed.config, dies=0)
+
+    def test_bad_percentiles_rejected(self, chips_a):
+        with pytest.raises(ValueError, match="percentile"):
+            PopulationStudy(
+                chip=chips_a.proposed.config, percentiles=(120.0,)
+            )
+        with pytest.raises(ValueError, match="percentile"):
+            PopulationStudy(
+                chip=chips_a.proposed.config, percentiles=()
+            )
+
+    def test_unknown_chip_rejected(self):
+        with pytest.raises(ValueError, match="unknown chip"):
+            scenario_population_study("A", chip="golden")
+
+
+class TestModeAssignment:
+    def test_jobs_follow_paper_suites(self, chips_a):
+        study = PopulationStudy(
+            chip=chips_a.proposed.config, dies=1, trace_length=1_000
+        )
+        maps = study.sample_maps()
+        jobs = study._jobs_for(maps[0], study._points())
+        modes = [job.mode for job in jobs]
+        assert Mode.ULE in modes and Mode.HP in modes
+        # ULE jobs run the small suite at the ULE point.
+        for job in jobs:
+            assert job.operating_point.mode is job.mode

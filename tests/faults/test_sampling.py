@@ -1,0 +1,113 @@
+"""Population sampling: determinism, budgets, physical trends."""
+
+from repro.faults.maps import CACHE_LABELS
+from repro.faults.sampling import (
+    functional_fraction,
+    sample_cache_fault_map,
+    sample_die_fault_map,
+    sample_population,
+)
+from repro.tech.operating import Mode
+from repro.util.rng import RngStreams
+
+
+class TestDeterminism:
+    def test_same_seed_same_population(self, chips_a):
+        config = chips_a.proposed.config
+        first = sample_population(config.il1, config.dl1, 20, seed=7)
+        second = sample_population(config.il1, config.dl1, 20, seed=7)
+        assert first == second
+
+    def test_different_seed_different_population(self, chips_a):
+        config = chips_a.proposed.config
+        a = sample_population(config.il1, config.dl1, 40, seed=7)
+        b = sample_population(config.il1, config.dl1, 40, seed=8)
+        assert a != b
+
+    def test_die_index_stable_across_population_sizes(self, chips_a):
+        """Die 17 of a 20-die population equals die 17 of a 50-die one
+        (each (die, cache, mode) draws its own derived stream)."""
+        config = chips_a.proposed.config
+        small = sample_population(config.il1, config.dl1, 20, seed=3)
+        large = sample_population(config.il1, config.dl1, 50, seed=3)
+        assert small == large[:20]
+
+
+class TestBudgets:
+    def test_proposed_ule_way_absorbs_single_faults(self, chips_a):
+        """The proposed 8T way corrects one hard fault per word inline,
+        so a supply where single faults are common still yields working
+        lines; the baseline 10T way (no inline correction, but a far
+        stronger cell) must rely on its sizing instead.  Both sampled
+        maps must at least respect their analytic regimes: at the
+        paper's 350 mV sizing point most dies are clean."""
+        for which in ("proposed", "baseline"):
+            config = getattr(chips_a, which).config
+            maps = sample_population(
+                config.il1, config.dl1, 50, seed=11
+            )
+            fraction = functional_fraction(maps, Mode.ULE)
+            assert fraction > 0.8, which
+
+    def test_lower_vdd_disables_more_lines(self, chips_a):
+        """Pf rises steeply below the sizing point: the sampled maps
+        must show the same cliff the yield curve reports."""
+        config = chips_a.proposed.config
+        at_sizing = sample_population(
+            config.il1, config.dl1, 30, seed=5,
+            mode_vdds={Mode.ULE: 0.35},
+        )
+        below = sample_population(
+            config.il1, config.dl1, 30, seed=5,
+            mode_vdds={Mode.ULE: 0.30},
+        )
+        def count(maps):
+            return sum(m.disabled_line_count for m in maps)
+
+        assert count(below) > count(at_sizing)
+        assert functional_fraction(below, Mode.ULE) < functional_fraction(
+            at_sizing, Mode.ULE
+        )
+
+
+class TestShapes:
+    def test_cache_map_within_geometry(self, chips_a, rng):
+        config = chips_a.proposed.config.il1
+        entry = sample_cache_fault_map(
+            config, "il1", Mode.ULE, 0.30, rng
+        )
+        assert entry.cache == "il1"
+        assert entry.mode is Mode.ULE
+        ule_ways = set(config.ways_of_group("ule"))
+        for set_index, way in entry.disabled:
+            assert 0 <= set_index < config.sets
+            # At ULE mode only the ULE way group is powered/sampled.
+            assert way in ule_ways
+
+    def test_die_map_is_normalized(self, chips_a):
+        config = chips_a.proposed.config
+        die = sample_die_fault_map(config.il1, config.dl1, 9, 0)
+        for entry in die.entries:
+            assert entry.disabled
+            assert entry.cache in CACHE_LABELS
+
+    def test_functional_fraction_counts_mode_only(self, chips_a):
+        """HP-mode-only faults must not reduce the ULE yield."""
+        from repro.faults.maps import CacheFaultMap, DieFaultMap
+
+        hp_faulty = DieFaultMap(
+            entries=(
+                CacheFaultMap(
+                    cache="il1", mode=Mode.HP, disabled=((0, 0),)
+                ),
+            )
+        )
+        clean = DieFaultMap()
+        assert functional_fraction((hp_faulty, clean), Mode.ULE) == 1.0
+        assert functional_fraction((hp_faulty, clean), Mode.HP) == 0.5
+
+    def test_rng_streams_decorrelated(self):
+        streams = RngStreams(1)
+        a = streams.fresh("faults", 0, "il1", "ule")
+        b = streams.fresh("faults", 0, "dl1", "ule")
+        assert a.integers(0, 1 << 30) != b.integers(0, 1 << 30)

@@ -1,7 +1,5 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
-import pathlib
-
 import pytest
 
 from repro.__main__ import main
@@ -289,6 +287,100 @@ class TestSweep:
     def test_bad_axes_rejected(self):
         with pytest.raises(SystemExit):
             main(["sweep", "--axes", "size_kb"])
+
+
+class TestPopulation:
+    FAST = ["population", "--dies", "25", "--trace-length", "1500"]
+
+    def test_population_renders_report(self, capsys):
+        assert main(self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "Die population" in out
+        assert "Population distributions" in out
+        assert "Sampled yield vs ULE supply" in out
+
+    def test_population_serial_matches_parallel(self, tmp_path, capsys):
+        serial = tmp_path / "serial.txt"
+        parallel = tmp_path / "parallel.txt"
+        assert main(self.FAST + ["--out", str(serial)]) == 0
+        assert main(
+            self.FAST + ["--jobs", "4", "--out", str(parallel)]
+        ) == 0
+        capsys.readouterr()
+        assert serial.read_text() == parallel.read_text()
+
+    def test_population_cache_dir_reruns_from_disk(
+        self, tmp_path, capsys
+    ):
+        cache_dir = tmp_path / "cache"
+        args = self.FAST + ["--cache-dir", str(cache_dir)]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert main(args) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        # The re-run executes nothing: every job is a disk hit.
+        assert " 0 executed" in second.err
+        assert list(cache_dir.glob("gen-*/*.pkl"))
+
+    def test_population_save_json(self, tmp_path, capsys):
+        import json
+
+        saved = tmp_path / "population.json"
+        assert main(self.FAST + ["--save-json", str(saved)]) == 0
+        capsys.readouterr()
+        payload = json.loads(saved.read_text())
+        assert payload["meta"]["dies"] == 25
+        assert payload["percentiles"]["epi_ule"]["p95"] > 0
+
+    def test_population_custom_percentiles(self, capsys):
+        assert main(
+            self.FAST + ["--percentiles", "50,99.9"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "p99.9" in out
+
+    def test_population_baseline_chip(self, capsys):
+        assert main(
+            self.FAST + ["--chip", "baseline", "--dies", "5"]
+        ) == 0
+        assert "A-baseline" in capsys.readouterr().out
+
+    def test_population_seed_changes_sample(self, capsys):
+        assert main(self.FAST + ["--seed", "1"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.FAST + ["--seed", "1"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_bad_percentiles_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.FAST + ["--percentiles", "150"])
+        with pytest.raises(SystemExit):
+            main(self.FAST + ["--percentiles", ","])
+
+    def test_population_experiment_registered(self, capsys):
+        assert main(["list"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        by_id = {line.split()[0]: line for line in lines if line}
+        assert "dies" in by_id["population"]
+
+    def test_sweep_dies_flag_ranks_by_p95(self, tmp_path, capsys):
+        import json
+
+        saved = tmp_path / "campaign.json"
+        assert main(
+            ["sweep", "--axes", TestSweep.AXES, "--trace-length",
+             "1500", "--seed", "3", "--dies", "10",
+             "--save-json", str(saved)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "epi_ule_p95:min" in out
+        assert "func frac" in out
+        payload = json.loads(saved.read_text())
+        # Saved campaigns record the population size (provenance for
+        # the p95 metrics).
+        assert payload["meta"]["dies"] == 10
+        assert "epi_ule_p95" in payload["candidates"][0]["metrics"]
 
 
 class TestParetoErrors:
