@@ -24,6 +24,9 @@ The package is organised bottom-up:
 * :mod:`repro.faults` — die-population fault injection: content-addressed
   per-die disabled-line maps, seeded sampling from the variation models,
   and population studies batched through the engine (docs/faults.md).
+* :mod:`repro.transients` — trace-driven soft-error injection: counter-
+  based upset sampling, decoder classification (corrected / refetch /
+  DUE / SDC) and recovery-cost accounting (docs/transients.md).
 * :mod:`repro.explore` — declarative design-space exploration: sweep
   spaces, candidate chips, Pareto/sensitivity reductions (DESIGN.md
   section 7).
@@ -51,6 +54,7 @@ __all__ = [
     "SimulationJob",
     "SimulationSession",
     "TraceSpec",
+    "TransientSpec",
     "design_scenario",
     "list_experiments",
     "run_experiment",
@@ -68,6 +72,7 @@ _LAZY_EXPORTS = {
     "DesignSpace": ("repro.explore.space", "DesignSpace"),
     "DieFaultMap": ("repro.faults.maps", "DieFaultMap"),
     "PopulationStudy": ("repro.faults.population", "PopulationStudy"),
+    "TransientSpec": ("repro.transients.spec", "TransientSpec"),
     "ExplorationCampaign": (
         "repro.explore.campaign",
         "ExplorationCampaign",

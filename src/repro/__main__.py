@@ -17,9 +17,13 @@ Usage::
     python -m repro schedule --policy budget --budget-mj 0.002
     python -m repro population --dies 200 --jobs 4 --save-json pop.json
     python -m repro population --dies 500 --percentiles 50,95,99.9
+    python -m repro transients --scenario B --save-json due_curve.json
+    python -m repro transients --acceleration 1e16 --scrub-us 100
+    python -m repro population --dies 100 --transient-accel 1e16
+    python -m repro schedule --policy static --transient-accel 1e16
 
-Engine options (``run``, ``all``, ``sweep``, ``schedule`` and
-``population``):
+Engine options (``run``, ``all``, ``sweep``, ``schedule``,
+``population`` and ``transients``):
 
 * ``--jobs N`` — dispatch independent work across N processes;
 * ``--backend {auto,vectorized,reference}`` — simulation backend
@@ -96,6 +100,43 @@ def _parse_axes(text: str) -> dict[str, tuple]:
     if not axes:
         raise argparse.ArgumentTypeError("empty --axes specification")
     return axes
+
+
+def _add_scrub_option(parser: argparse.ArgumentParser) -> None:
+    """The scrub-interval flag (one definition for every command)."""
+    parser.add_argument(
+        "--scrub-us", type=float, default=100.0,
+        help=(
+            "scrub interval in microseconds for injection "
+            "(default: 100)"
+        ),
+    )
+
+
+def _add_transient_options(parser: argparse.ArgumentParser) -> None:
+    """Soft-error injection options shared by simulating commands."""
+    parser.add_argument(
+        "--transient-accel", type=float, default=None,
+        help=(
+            "enable soft-error injection with this upset-rate "
+            "acceleration (e.g. 1e16; default: off)"
+        ),
+    )
+    _add_scrub_option(parser)
+
+
+def _transient_spec(args: argparse.Namespace, seed: int):
+    """The TransientSpec of a command's flags (None = injection off)."""
+    if getattr(args, "transient_accel", None) is None:
+        return None
+    from repro.transients import TransientSpec
+    from repro.util.rng import derive_seed
+
+    return TransientSpec(
+        acceleration=args.transient_accel,
+        scrub_interval_seconds=args.scrub_us * 1e-6,
+        seed=derive_seed(seed, "transients"),
+    )
 
 
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
@@ -216,6 +257,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--seed", type=int, default=None, help="root random seed"
     )
+    _add_transient_options(sweep_parser)
     sweep_parser.add_argument(
         "--top", type=_positive_int, default=20,
         help="ranked candidates to print (default: 20)",
@@ -289,6 +331,7 @@ def _build_parser() -> argparse.ArgumentParser:
     schedule_parser.add_argument(
         "--seed", type=int, default=None, help="root random seed"
     )
+    _add_transient_options(schedule_parser)
     schedule_parser.add_argument(
         "--out", type=pathlib.Path, default=None,
         help="also write the report to this file",
@@ -326,6 +369,7 @@ def _build_parser() -> argparse.ArgumentParser:
     population_parser.add_argument(
         "--seed", type=int, default=None, help="root random seed"
     )
+    _add_transient_options(population_parser)
     population_parser.add_argument(
         "--out", type=pathlib.Path, default=None,
         help="also write the report to this file",
@@ -335,6 +379,49 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the machine-readable population results here",
     )
     _add_engine_options(population_parser)
+
+    transients_parser = commands.add_parser(
+        "transients",
+        help=(
+            "soft-error injection study: DUE-vs-Vdd curve + "
+            "trace-observed recovery accounting"
+        ),
+    )
+    transients_parser.add_argument(
+        "--scenario", choices=("A", "B"), default="B",
+        help="paper scenario whose chips to inject (default: B)",
+    )
+    transients_parser.add_argument(
+        "--acceleration", type=float, default=None,
+        help="upset-rate acceleration (default: 1e16)",
+    )
+    _add_scrub_option(transients_parser)
+    transients_parser.add_argument(
+        "--intervals", type=_positive_int, default=400,
+        help=(
+            "scrub intervals the FIT enumeration covers per array "
+            "(default: 400)"
+        ),
+    )
+    transients_parser.add_argument(
+        "--trace-length", type=_positive_int, default=None,
+        help="dynamic instructions per benchmark",
+    )
+    transients_parser.add_argument(
+        "--seed", type=int, default=None, help="root random seed"
+    )
+    transients_parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="also write the report to this file",
+    )
+    transients_parser.add_argument(
+        "--save-json", type=pathlib.Path, default=None,
+        help=(
+            "write the machine-readable results (incl. the "
+            "DUE-vs-Vdd curve) to this file"
+        ),
+    )
+    _add_engine_options(transients_parser)
 
     pareto_parser = commands.add_parser(
         "pareto",
@@ -481,7 +568,55 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "population":
         return _dispatch_population(args)
 
+    if args.command == "transients":
+        return _dispatch_transients(args)
+
     raise AssertionError("unreachable")
+
+
+def _dispatch_transients(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core import calibration
+    from repro.engine.session import current_session
+    from repro.experiments.transients_table import (
+        DEFAULT_ACCELERATION,
+        run_transients,
+    )
+
+    session = current_session()
+    result = run_transients(
+        trace_length=(
+            args.trace_length
+            if args.trace_length is not None
+            else calibration.DEFAULT_TRACE_LENGTH
+        ),
+        seed=(
+            args.seed if args.seed is not None
+            else calibration.DEFAULT_SEED
+        ),
+        scenario=args.scenario,
+        acceleration=(
+            args.acceleration
+            if args.acceleration is not None
+            else DEFAULT_ACCELERATION
+        ),
+        scrub_interval_us=args.scrub_us,
+        intervals=args.intervals,
+    )
+    _print_session_stats("transients", session)
+    rendered = result.render()
+    print(rendered)
+    if args.out:
+        args.out.write_text(rendered + "\n", encoding="utf-8")
+    if args.save_json:
+        args.save_json.write_text(
+            json.dumps(result.data, sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"[transients] results saved -> {args.save_json}",
+              file=sys.stderr)
+    return 0
 
 
 def _dispatch_population(args: argparse.Namespace) -> int:
@@ -494,6 +629,10 @@ def _dispatch_population(args: argparse.Namespace) -> int:
         scenario_population_study,
     )
 
+    seed = (
+        args.seed if args.seed is not None
+        else calibration.DEFAULT_SEED
+    )
     study = scenario_population_study(
         args.scenario,
         chip=args.chip,
@@ -503,11 +642,9 @@ def _dispatch_population(args: argparse.Namespace) -> int:
             if args.trace_length is not None
             else calibration.DEFAULT_TRACE_LENGTH
         ),
-        seed=(
-            args.seed if args.seed is not None
-            else calibration.DEFAULT_SEED
-        ),
+        seed=seed,
         percentiles=args.percentiles or DEFAULT_PERCENTILES,
+        transients=_transient_spec(args, seed),
     )
     session = current_session()
     result = study.run(
@@ -589,6 +726,7 @@ def _dispatch_schedule(args: argparse.Namespace) -> int:
         epoch_length=args.epoch,
         segmenter=args.segment,
         session=session,
+        transients=_transient_spec(args, seed),
     )
     result = simulator.run(trace, progress=_progress_printer("schedule"))
     _print_session_stats("schedule", session)
@@ -657,6 +795,7 @@ def _dispatch_sweep(args: argparse.Namespace) -> int:
         trace_length=args.trace_length,
         seed=seed,
         dies=max(args.dies, 0),
+        transients=_transient_spec(args, seed),
     )
 
     session = current_session()

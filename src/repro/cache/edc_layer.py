@@ -70,7 +70,8 @@ class ProtectedArray:
         self.reads = 0
         self.corrected_reads = 0
         self.detected_reads = 0
-        self.silent_errors = 0
+        self.miscorrections = 0
+        self.undetected_errors = 0
 
     # --------------------------------------------------------------- API
     def write(self, index: int, value: int) -> None:
@@ -88,13 +89,26 @@ class ProtectedArray:
         index: int,
         soft_error_bits: tuple[int, ...] = (),
     ) -> WordReadRecord:
-        """Read ``index`` through faults (+ optional transient flips)."""
+        """Read ``index`` through faults (+ optional transient flips).
+
+        ``soft_error_bits`` must name *distinct* bit positions: two
+        mentions of the same bit would XOR-cancel silently, so an
+        injected double strike would masquerade as no strike at all.
+        Duplicates are rejected rather than deduplicated — a caller
+        producing them almost certainly meant different positions.
+        """
         self._check_index(index)
         if not self._written[index]:
             raise ValueError(f"word {index} read before written")
         raw = self._stored[index]
         if self.fault_map is not None:
             raw = self.fault_map.apply(index, raw)
+        if len(set(soft_error_bits)) != len(soft_error_bits):
+            raise ValueError(
+                "duplicate soft-error bit positions: "
+                f"{tuple(soft_error_bits)} (duplicates would XOR-cancel "
+                "and hide the injected strike)"
+            )
         for bit in soft_error_bits:
             if not 0 <= bit < self.stored_bits:
                 raise ValueError("soft-error bit out of range")
@@ -115,9 +129,26 @@ class ProtectedArray:
             self.corrected_reads += 1
         elif status is DecodeStatus.DETECTED:
             self.detected_reads += 1
-        if status is not DecodeStatus.DETECTED and not correct:
-            self.silent_errors += 1
+        if not correct:
+            if status is DecodeStatus.CORRECTED:
+                self.miscorrections += 1
+            elif status is DecodeStatus.CLEAN:
+                self.undetected_errors += 1
         return WordReadRecord(value=value, status=status, correct=correct)
+
+    @property
+    def silent_errors(self) -> int:
+        """Reads where the decoder claimed success but the data is wrong.
+
+        The sum of the two distinguishable failure modes —
+        :attr:`miscorrections` (status ``CORRECTED``, wrong data: the
+        decoder "fixed" the word onto the wrong codeword) and
+        :attr:`undetected_errors` (status ``CLEAN``, wrong data: the
+        error pattern aliased to a valid codeword).  Scenario-B
+        verification needs the split; existing yield checks keep
+        consuming the sum.
+        """
+        return self.miscorrections + self.undetected_errors
 
     # --------------------------------------------------------- analysis
     def word_is_usable(self, index: int, hard_budget: int) -> bool:

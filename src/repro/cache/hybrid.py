@@ -25,6 +25,7 @@ class HybridCache:
         mode: Mode = Mode.HP,
         seed: int = 0,
         disabled_lines: tuple[tuple[int, int], ...] = (),
+        transients=None,
     ):
         self.config = config
         self.core = SetAssociativeCache(
@@ -32,6 +33,7 @@ class HybridCache:
             policy=policy,
             seed=seed,
             disabled_lines=disabled_lines,
+            transients=transients,
         )
         self.mode_switches = 0
         self._mode = mode

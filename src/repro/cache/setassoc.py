@@ -9,10 +9,14 @@ masks ways in and out as the operating mode changes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.cache.config import CacheConfig, validate_disabled_lines
 from repro.cache.replacement import ReplacementPolicy, make_policy
 from repro.cache.stats import CacheStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a cycle)
+    from repro.transients.sampling import TransientSampler
 
 
 @dataclass(frozen=True)
@@ -50,6 +54,12 @@ class SetAssociativeCache:
             never hold a line (their way-disable fuse is blown).  A set
             whose every powered way is disabled degrades gracefully:
             accesses miss and bypass to memory (no crash, no fill).
+        transients: optional soft-error sampler (:class:`repro.
+            transients.sampling.TransientSampler`).  Every *read hit*
+            observes the upset draw of its stored word in its scrub
+            interval and is classified into the transient counters of
+            :class:`~repro.cache.stats.CacheStats` — bit-identically
+            to the vectorized backend, which shares the sampler.
     """
 
     def __init__(
@@ -58,6 +68,7 @@ class SetAssociativeCache:
         policy: str | ReplacementPolicy = "lru",
         seed: int = 0,
         disabled_lines: tuple[tuple[int, int], ...] = (),
+        transients: "TransientSampler | None" = None,
     ):
         self.config = config
         if isinstance(policy, str):
@@ -83,6 +94,8 @@ class SetAssociativeCache:
         ]
         for set_index, way in disabled_lines:
             self._disabled[set_index][way] = True
+        self._transients = transients
+        self._access_position = 0
 
     # -------------------------------------------------------------- masks
     def set_active_ways(self, mask: list[bool]) -> None:
@@ -118,6 +131,9 @@ class SetAssociativeCache:
         else:
             stats.reads += 1
 
+        position = self._access_position
+        self._access_position += 1
+
         way = self._lookup(index, tag)
         if way is not None:
             group = self._group_names[way]
@@ -129,6 +145,14 @@ class SetAssociativeCache:
             else:
                 stats.read_hits += 1
                 stats.group_read_hits[group] += 1
+                if self._transients is not None:
+                    # Only read hits observe stored (exposed) data;
+                    # the line's dirtiness *before* this access decides
+                    # whether a detected strike can refetch.
+                    self._observe_transient(
+                        way, index, address, position,
+                        self._dirty[index][way],
+                    )
             return AccessResult(
                 hit=True, way=way, group=group, writeback=False
             )
@@ -162,6 +186,35 @@ class SetAssociativeCache:
         return AccessResult(
             hit=False, way=victim, group=group, writeback=writeback
         )
+
+    def _observe_transient(
+        self,
+        way: int,
+        index: int,
+        address: int,
+        position: int,
+        dirty: bool,
+    ) -> None:
+        """Classify one read hit through the soft-error sampler."""
+        from repro.transients.sampling import TransientOutcome
+
+        outcome = self._transients.observe_read_hit(
+            way, index, address, position, dirty
+        )
+        if outcome is None:
+            return
+        stats = self.stats
+        group = self._group_names[way]
+        if outcome is TransientOutcome.CORRECTED:
+            stats.transient_corrected += 1
+            stats.group_transient_corrected[group] += 1
+        elif outcome is TransientOutcome.REFETCH:
+            stats.transient_refetches += 1
+            stats.group_transient_refetches[group] += 1
+        elif outcome is TransientOutcome.DUE:
+            stats.transient_due += 1
+        else:
+            stats.transient_silent += 1
 
     def _choose_victim(self, index: int) -> int | None:
         disabled = self._disabled[index]

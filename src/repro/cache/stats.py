@@ -28,6 +28,18 @@ class CacheStats:
     #: set is disabled by a hard-fault map (``fills + bypasses ==
     #: misses`` always holds; without a fault map ``bypasses`` is 0).
     bypasses: int = 0
+    #: Read hits whose word carried upsets the active code corrected
+    #: (soft-error injection only; see :mod:`repro.transients`).
+    transient_corrected: int = 0
+    #: Read hits with a detected-uncorrectable word on a *clean* line:
+    #: recovered by refetching from the next level.
+    transient_refetches: int = 0
+    #: Detected-uncorrectable reads of *dirty* lines — no clean copy
+    #: exists, so the error is a DUE (detected uncorrectable error).
+    transient_due: int = 0
+    #: Reads whose upsets exceeded even the detection budget: corrupt
+    #: data silently consumed (SDC).
+    transient_silent: int = 0
     group_read_hits: dict[str, int] = field(
         default_factory=lambda: defaultdict(int)
     )
@@ -40,6 +52,22 @@ class CacheStats:
     group_writebacks: dict[str, int] = field(
         default_factory=lambda: defaultdict(int)
     )
+    group_transient_corrected: dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    group_transient_refetches: dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+
+    @property
+    def transient_affected(self) -> int:
+        """Read hits that observed at least one upset."""
+        return (
+            self.transient_corrected
+            + self.transient_refetches
+            + self.transient_due
+            + self.transient_silent
+        )
 
     @property
     def accesses(self) -> int:
@@ -75,11 +103,17 @@ class CacheStats:
         self.writebacks += other.writebacks
         self.flush_writebacks += other.flush_writebacks
         self.bypasses += other.bypasses
+        self.transient_corrected += other.transient_corrected
+        self.transient_refetches += other.transient_refetches
+        self.transient_due += other.transient_due
+        self.transient_silent += other.transient_silent
         for attr in (
             "group_read_hits",
             "group_write_hits",
             "group_fills",
             "group_writebacks",
+            "group_transient_corrected",
+            "group_transient_refetches",
         ):
             mine = getattr(self, attr)
             for key, value in getattr(other, attr).items():

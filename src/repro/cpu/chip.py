@@ -29,6 +29,7 @@ from repro.util.profiling import phase
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.maps import DieFaultMap
+    from repro.transients.spec import TransientSpec
 
 
 @dataclass(frozen=True)
@@ -138,6 +139,7 @@ class Chip:
         operating_point: OperatingPoint | None = None,
         backend: str = "auto",
         fault_map: "DieFaultMap | None" = None,
+        transients: "TransientSpec | None" = None,
     ) -> RunResult:
         """Execute a trace in ``mode`` and account time and energy.
 
@@ -146,10 +148,29 @@ class Chip:
         ``fault_map`` applies one die's disabled-line map
         (:class:`repro.faults.maps.DieFaultMap`) to both L1 arrays; a
         fault-free map is byte-identical to passing None.
+        ``transients`` enables soft-error injection
+        (:class:`repro.transients.spec.TransientSpec`): read hits are
+        classified through each array's sampler, refetch and
+        correction stalls enter the cycle count, and refetch + scrub
+        energy enter the ledger.  A *null* spec is byte-identical to
+        passing None.
         """
         op = operating_point or operating_point_for(mode)
         if op.mode is not mode:
             raise ValueError("operating point does not match mode")
+        from repro.transients.spec import TransientSpec
+
+        spec = TransientSpec.effective(transients)
+        il1_sampler = dl1_sampler = None
+        if spec is not None:
+            from repro.transients.sampling import make_sampler
+
+            il1_sampler = make_sampler(
+                self.config.il1, mode, op, spec, "il1"
+            )
+            dl1_sampler = make_sampler(
+                self.config.dl1, mode, op, spec, "dl1"
+            )
 
         # Functional simulation: instruction fetches then data accesses.
         # Each cache names its replacement policy; non-LRU policies make
@@ -164,14 +185,27 @@ class Chip:
             self.config.il1, mode, trace.pc,
             policy=self.config.il1.replacement, backend=backend,
             disabled_lines=il1_disabled,
+            transients=il1_sampler,
         )
         addresses, is_write = trace.memory_stream()
         dl1_stats = simulate_cache(
             self.config.dl1, mode, addresses, is_write,
             policy=self.config.dl1.replacement, backend=backend,
             disabled_lines=dl1_disabled,
+            transients=dl1_sampler,
         )
 
+        recovery = 0.0
+        if spec is not None:
+            from repro.transients.recovery import recovery_cycles
+
+            recovery = recovery_cycles(
+                self.config.il1, mode, il1_stats, spec,
+                self.config.timing.memory_latency_cycles,
+            ) + recovery_cycles(
+                self.config.dl1, mode, dl1_stats, spec,
+                self.config.timing.memory_latency_cycles,
+            )
         timing = compute_timing(
             trace.summary,
             il1_misses=il1_stats.misses,
@@ -179,8 +213,11 @@ class Chip:
             il1_hit_latency=self.il1_model.hit_latency_cycles(op),
             dl1_hit_latency=self.dl1_model.hit_latency_cycles(op),
             params=self.config.timing,
+            recovery_cycles=recovery,
         )
-        energy = self._account_energy(trace, op, timing, il1_stats, dl1_stats)
+        energy = self._account_energy(
+            trace, op, timing, il1_stats, dl1_stats, transients=spec
+        )
         return RunResult(
             chip_name=self.config.name,
             trace_name=trace.name,
@@ -200,6 +237,7 @@ class Chip:
         timing: TimingResult,
         il1_stats: CacheStats,
         dl1_stats: CacheStats,
+        transients: "TransientSpec | None" = None,
     ) -> EnergyLedger:
         with phase("energy.account"):
             ledger = EnergyLedger()
@@ -211,6 +249,19 @@ class Chip:
             )
 
             seconds = timing.cycles * op.cycle_time
+            if transients is not None:
+                from repro.transients.recovery import (
+                    account_transient_energy,
+                )
+
+                for label, model, stats in (
+                    ("il1", self.il1_model, il1_stats),
+                    ("dl1", self.dl1_model, dl1_stats),
+                ):
+                    account_transient_energy(
+                        ledger, label, model, stats, op,
+                        transients, seconds,
+                    )
             for label, model in (
                 ("il1", self.il1_model),
                 ("dl1", self.dl1_model),

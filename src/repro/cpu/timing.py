@@ -50,6 +50,10 @@ class TimingResult:
     dl1_miss_cycles: float
     load_use_cycles: float
     redirect_cycles: float
+    #: Stalls recovering from injected soft errors: refetch-on-detect
+    #: memory round trips plus off-critical-path correction bubbles
+    #: (0.0 whenever no transient injection is active).
+    recovery_cycles: float = 0.0
 
     @property
     def cpi(self) -> float:
@@ -68,11 +72,19 @@ def compute_timing(
     il1_hit_latency: int,
     dl1_hit_latency: int,
     params: TimingParams | None = None,
+    recovery_cycles: float = 0.0,
 ) -> TimingResult:
-    """Assemble the cycle count from trace and cache statistics."""
+    """Assemble the cycle count from trace and cache statistics.
+
+    ``recovery_cycles`` adds soft-error recovery stalls (refetches and
+    off-critical-path corrections, see :mod:`repro.transients.
+    recovery`) as a separate decomposition term.
+    """
     params = params or TimingParams()
     if il1_hit_latency < 1 or dl1_hit_latency < 1:
         raise ValueError("hit latencies are at least one cycle")
+    if recovery_cycles < 0:
+        raise ValueError("recovery_cycles must be >= 0")
     base = float(summary.instructions)
     il1_stall = il1_misses * params.memory_latency_cycles
     dl1_stall = dl1_misses * params.memory_latency_cycles
@@ -82,10 +94,14 @@ def compute_timing(
     )
     return TimingResult(
         instructions=summary.instructions,
-        cycles=base + il1_stall + dl1_stall + load_use + redirect,
+        cycles=(
+            base + il1_stall + dl1_stall + load_use + redirect
+            + recovery_cycles
+        ),
         base_cycles=base,
         il1_miss_cycles=float(il1_stall),
         dl1_miss_cycles=float(dl1_stall),
         load_use_cycles=float(load_use),
         redirect_cycles=float(redirect),
+        recovery_cycles=float(recovery_cycles),
     )

@@ -51,6 +51,7 @@ def simulate_cache(
     seed: int = 0,
     backend: str = "auto",
     disabled_lines: tuple[tuple[int, int], ...] = (),
+    transients=None,
 ) -> CacheStats:
     """Stream ``addresses`` through a fresh cache and return its counters.
 
@@ -66,6 +67,10 @@ def simulate_cache(
         disabled_lines: hard-fault-map ``(set, way)`` pairs of this
             array in this mode (see :mod:`repro.faults.maps`); both
             backends honour them bit-identically.
+        transients: optional soft-error sampler
+            (:class:`repro.transients.sampling.TransientSampler`) for
+            this array in this mode; read hits are classified into the
+            transient counters, bit-identically across backends.
     """
     chosen = resolve_backend(backend, policy)
     if chosen == "vectorized":
@@ -78,11 +83,13 @@ def simulate_cache(
             return simulate_trace_vectorized(
                 config, mode, addresses, is_write,
                 disabled_lines=disabled_lines,
+                transients=transients,
             )
     with phase("simulate.reference"):
         return _simulate_reference(
             config, mode, addresses, is_write, policy=policy, seed=seed,
             disabled_lines=disabled_lines,
+            transients=transients,
         )
 
 
@@ -94,6 +101,7 @@ def _simulate_reference(
     policy: str | ReplacementPolicy = "lru",
     seed: int = 0,
     disabled_lines: tuple[tuple[int, int], ...] = (),
+    transients=None,
 ) -> CacheStats:
     """The behavioural per-access loop (previously inlined in Chip.run)."""
     cache = HybridCache(
@@ -102,6 +110,7 @@ def _simulate_reference(
         mode=mode,
         seed=seed,
         disabled_lines=disabled_lines,
+        transients=transients,
     )
     if is_write is None:
         for address in addresses:

@@ -28,13 +28,16 @@ from repro.cpu.chip import Chip, ChipConfig, RunResult
 from repro.cpu.trace import Trace
 from repro.faults.maps import DieFaultMap
 from repro.tech.operating import Mode, OperatingPoint
+from repro.transients.spec import TransientSpec
 from repro.util.canonical import canonical_text
 from repro.util.profiling import phase
 
-#: Bump when the key schema itself changes.  v3: jobs carry an optional
-#: die fault map (``SimulationJob.fault_map``), tokenized by normalized
-#: content so fault-free maps share keys with map-less jobs.
-ENGINE_CACHE_VERSION = 3
+#: Bump when the key schema itself changes.  v4: jobs carry an optional
+#: soft-error injection spec (``SimulationJob.transients``), tokenized
+#: by content with *null* specs (zero acceleration or zero upset rate)
+#: collapsing onto the spec-less key — mirroring v3's fault-map rule,
+#: where fault-free maps share keys with map-less jobs.
+ENGINE_CACHE_VERSION = 4
 
 
 @lru_cache(maxsize=1)
@@ -79,6 +82,12 @@ class SimulationJob:
             fault-free die.  Keyed by *content*, so identical dies of a
             population deduplicate and a fault-free map shares its key
             with a map-less job.
+        transients: soft-error injection spec
+            (:class:`repro.transients.spec.TransientSpec`); None (or a
+            *null* spec that can never strike) runs without injection.
+            Keyed by content; null specs collapse onto the spec-less
+            key, so disabled-injection jobs share cached results with
+            plain runs.
     """
 
     chip: ChipConfig
@@ -87,6 +96,7 @@ class SimulationJob:
     operating_point: OperatingPoint | None = None
     backend: str | None = None
     fault_map: DieFaultMap | None = None
+    transients: TransientSpec | None = None
 
 
 def _trace_token(trace: TraceSpec | Trace) -> str:
@@ -140,6 +150,17 @@ def _fault_map_token(fault_map: DieFaultMap | None) -> str:
     return _canonical(fault_map.normalized())
 
 
+def _transient_token(spec: TransientSpec | None) -> str:
+    """Canonical text for the transient-spec part of a job key.
+
+    A *null* spec (zero acceleration or zero nominal upset rate) can
+    never inject anything, so it collapses to ``None``: disabled-
+    injection jobs share keys — and cached results — with plain runs,
+    the same contract fault-free fault maps follow.
+    """
+    return _canonical(TransientSpec.effective(spec))
+
+
 def job_key(job: SimulationJob) -> str:
     """Content hash identifying a job's result (backend-independent)."""
     text = "\x1f".join(
@@ -151,6 +172,7 @@ def job_key(job: SimulationJob) -> str:
             repr(job.mode),
             _canonical(job.operating_point),
             _fault_map_token(job.fault_map),
+            _transient_token(job.transients),
         )
     )
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
@@ -205,4 +227,5 @@ def execute_job(job: SimulationJob, backend: str = "auto") -> RunResult:
             operating_point=job.operating_point,
             backend=job.backend or backend,
             fault_map=job.fault_map,
+            transients=job.transients,
         )

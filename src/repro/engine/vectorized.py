@@ -57,6 +57,7 @@ def simulate_trace_vectorized(
     addresses: np.ndarray,
     is_write: np.ndarray | None = None,
     disabled_lines: tuple[tuple[int, int], ...] = (),
+    transients=None,
 ) -> CacheStats:
     """Simulate a fresh LRU cache over an access stream in batch.
 
@@ -71,6 +72,12 @@ def simulate_trace_vectorized(
             generic per-run kernel with a reduced way list; a set whose
             every powered way is disabled bypasses (all accesses miss,
             nothing fills) — bit-identical to the reference model.
+        transients: optional soft-error sampler
+            (:class:`repro.transients.sampling.TransientSampler`).
+            The kernels additionally record each run's way, hit kind
+            and starting dirtiness, and a vectorized post-pass
+            classifies every read hit through the shared sampler —
+            bit-identical to the reference model's per-access path.
 
     Returns:
         Counters bit-identical to streaming the same accesses through
@@ -125,6 +132,18 @@ def simulate_trace_vectorized(
     run_head_write = write_stream[starts]
     run_new_set = new_set[starts]
 
+    records = None
+    if transients is not None:
+        # Per-run observations the transient post-pass needs: the way
+        # each run resides in (-1 for bypass), whether the run *head*
+        # hit, and the line's dirtiness when the run started.
+        runs = len(starts)
+        records = (
+            np.full(runs, -1, dtype=np.int64),
+            np.zeros(runs, dtype=bool),
+            np.zeros(runs, dtype=bool),
+        )
+
     if len(actives) == 1 and not disabled_by_set:
         _accumulate_direct_mapped(
             stats,
@@ -134,6 +153,10 @@ def simulate_trace_vectorized(
             run_head_write=run_head_write,
             run_new_set=run_new_set,
         )
+        if records is not None:
+            # Single-way runs: every run fills (head misses) into the
+            # one active way, and a fresh fill always starts clean.
+            records[0][:] = actives[0]
     else:
         _accumulate_lru_runs(
             stats,
@@ -146,6 +169,23 @@ def simulate_trace_vectorized(
             run_new_set=run_new_set,
             run_set=set_stream[starts] if disabled_by_set else None,
             disabled_by_set=disabled_by_set,
+            records=records,
+        )
+    if records is not None:
+        _classify_transient_reads(
+            stats,
+            sampler=transients,
+            addr_stream=np.ascontiguousarray(
+                addresses, dtype=np.uint64
+            )[order],
+            order=order,
+            set_stream=set_stream,
+            write_stream=write_stream,
+            starts=starts,
+            run_len=run_len,
+            run_way=records[0],
+            run_hit=records[1],
+            run_started_dirty=records[2],
         )
     return stats
 
@@ -203,6 +243,7 @@ def _accumulate_lru_runs(
     run_new_set: np.ndarray,
     run_set: np.ndarray | None = None,
     disabled_by_set: dict[int, set[int]] | None = None,
+    records: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
 ) -> None:
     """Multi-way LRU: per-run loop over plain ints.
 
@@ -214,6 +255,10 @@ def _accumulate_lru_runs(
     With a fault map (``run_set`` + ``disabled_by_set``), each set runs
     with its own reduced way list; a set with no usable way bypasses —
     every access of every run misses and nothing fills.
+
+    ``records`` (transient injection only) receives per-run ``(way,
+    head_hit, started_dirty)`` observations for the soft-error
+    post-pass; bypassed runs keep the preset way of ``-1``.
     """
     tags = run_tag.tolist()
     lengths = run_len.tolist()
@@ -265,6 +310,10 @@ def _accumulate_lru_runs(
         way = tag_to_way.get(line_tag)
         if way is not None:
             # Hit run: refresh recency, count every access as a hit.
+            if records is not None:
+                records[0][i] = way
+                records[1][i] = True
+                records[2][i] = dirty[way]
             if lru[0] != way:
                 lru.remove(way)
                 lru.insert(0, way)
@@ -306,6 +355,9 @@ def _accumulate_lru_runs(
         way_tag[way] = line_tag
         tag_to_way[line_tag] = way
         dirty[way] = n_writes > 0
+        if records is not None:
+            # A miss run fills clean; head stays a miss (not a hit).
+            records[0][i] = way
         group = group_names[way]
         fills += 1
         group_fills[group] = group_fills.get(group, 0) + 1
@@ -337,3 +389,83 @@ def _accumulate_lru_runs(
     ):
         for name, value in values.items():
             counter[name] += value
+
+
+def _classify_transient_reads(
+    stats: CacheStats,
+    sampler,
+    addr_stream: np.ndarray,
+    order: np.ndarray,
+    set_stream: np.ndarray,
+    write_stream: np.ndarray,
+    starts: np.ndarray,
+    run_len: np.ndarray,
+    run_way: np.ndarray,
+    run_hit: np.ndarray,
+    run_started_dirty: np.ndarray,
+) -> None:
+    """Vectorized soft-error classification of every read hit.
+
+    Expands the per-run kernel observations back to per-access vectors
+    and pushes every *read hit* through the shared counter-based
+    sampler.  The rules mirror the reference model's per-access path
+    exactly:
+
+    * only read hits observe stored data — run heads of miss runs
+      fetch fresh words, writes overwrite, bypasses never allocate;
+    * the scrub interval of an access comes from its *program-order*
+      position (``order``), not its per-set stream position;
+    * a line is dirty for a given read iff it started the run dirty or
+      any earlier access *of the run* wrote it (an exclusive running
+      write count — within a run, writes are the only dirtiness
+      events, and across runs the kernel's per-way dirty state feeds
+      ``run_started_dirty``).
+    """
+    n = len(write_stream)
+    way_per_access = np.repeat(run_way, run_len)
+    hit_run = np.repeat(run_hit, run_len)
+    head = np.zeros(n, dtype=bool)
+    head[starts] = True
+    is_hit = hit_run | ~head
+    observers = is_hit & ~write_stream & (way_per_access >= 0)
+    if not observers.any():
+        return
+
+    writes = write_stream.astype(np.int64)
+    inclusive = np.cumsum(writes)
+    run_base = inclusive[starts] - writes[starts]
+    prior_writes = inclusive - writes - np.repeat(run_base, run_len)
+    dirty = (
+        np.repeat(run_started_dirty, run_len) | (prior_writes > 0)
+    )
+
+    config = sampler.config
+    words = (
+        (addr_stream % np.uint64(config.line_bytes)) * np.uint64(8)
+    ) // np.uint64(config.data_word_bits)
+    intervals = order.astype(np.uint64) // np.uint64(
+        sampler.accesses_per_interval
+    )
+    sets = set_stream.astype(np.uint64)
+
+    for way in np.unique(way_per_access[observers]):
+        params = sampler.way_params(int(way))
+        if params is None:  # pragma: no cover - gated ways cannot hit
+            continue
+        mask = observers & (way_per_access == way)
+        upsets = params.upset_counts(
+            sets[mask], words[mask], intervals[mask]
+        )
+        corrected, refetch, due, silent = sampler.classify_upsets(
+            params, upsets, dirty[mask]
+        )
+        n_corrected = int(np.count_nonzero(corrected))
+        n_refetch = int(np.count_nonzero(refetch))
+        stats.transient_corrected += n_corrected
+        stats.transient_refetches += n_refetch
+        stats.transient_due += int(np.count_nonzero(due))
+        stats.transient_silent += int(np.count_nonzero(silent))
+        if n_corrected:
+            stats.group_transient_corrected[params.group] += n_corrected
+        if n_refetch:
+            stats.group_transient_refetches[params.group] += n_refetch

@@ -22,6 +22,7 @@ from repro.experiments.population_study import run_population
 from repro.experiments.reliability_check import run_reliability
 from repro.experiments.report import ExperimentResult
 from repro.experiments.sweeps import run_edc_sweep, run_space_sweep
+from repro.experiments.transients_table import run_transients
 from repro.experiments.wcet_table import run_wcet
 
 _REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
@@ -39,6 +40,7 @@ _REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
     "ablation-cachesize": run_cache_size_ablation,
     "ablation-vdd": run_vdd_ablation,
     "population": run_population,
+    "transients": run_transients,
     "sweep-space": run_space_sweep,
     "sweep-edc": run_edc_sweep,
     "sweep-policy": run_policy_sweep,

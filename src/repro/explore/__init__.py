@@ -11,6 +11,7 @@ See DESIGN.md section 7 and ``python -m repro sweep --help``.
 
 from repro.explore.campaign import (
     POPULATION_OBJECTIVES,
+    TRANSIENT_OBJECTIVE,
     CampaignResult,
     CandidateOutcome,
     ExplorationCampaign,
@@ -46,6 +47,7 @@ __all__ = [
     "Objective",
     "DEFAULT_OBJECTIVES",
     "POPULATION_OBJECTIVES",
+    "TRANSIENT_OBJECTIVE",
     "dominates",
     "pareto_indices",
     "rank_rows",

@@ -47,6 +47,8 @@ from repro.explore.space import DesignSpace, Point
 from repro.faults.maps import DieFaultMap
 from repro.faults.sampling import functional_fraction, sample_population
 from repro.tech.operating import HP_OPERATING_POINT, Mode
+from repro.transients.metrics import transient_run_metrics
+from repro.transients.spec import TransientSpec
 from repro.util.tables import Table
 from repro.workloads.suites import suite_by_name
 
@@ -61,6 +63,11 @@ POPULATION_OBJECTIVES = (
     Objective("area_mm2"),
     Objective("yield", maximize=True),
 )
+
+#: Objective appended (to either default set) when soft-error
+#: injection is active: minimize the observed ULE DUE rate, making
+#: detection-vs-correction reliability a first-class trade-off axis.
+TRANSIENT_OBJECTIVE = Objective("due_fit_ule")
 
 
 @dataclass(frozen=True)
@@ -305,6 +312,12 @@ class ExplorationCampaign:
         ULE-suite runs fan out per distinct fault map; candidates gain
         ``epi_ule_p95`` / ``spi_ule_p95`` / ``functional_fraction``
         metrics.
+    transients : TransientSpec, optional
+        Soft-error injection for every run (:class:`repro.transients.
+        spec.TransientSpec`).  Candidates gain ``due_fit_ule`` /
+        ``sdc_fit_ule`` / ``refetch_rate_ule`` metrics from their
+        nominal ULE runs, and the default objectives grow a
+        minimize-``due_fit_ule`` axis (:data:`TRANSIENT_OBJECTIVE`).
 
     Examples
     --------
@@ -341,6 +354,11 @@ class ExplorationCampaign:
     seed: int = calibration.DEFAULT_SEED
     objectives: tuple[Objective, ...] = DEFAULT_OBJECTIVES
     dies: int = 0
+    transients: TransientSpec | None = None
+
+    def _transient_spec(self) -> TransientSpec | None:
+        """The effective injection spec (null specs act like None)."""
+        return TransientSpec.effective(self.transients)
 
     # ---------------------------------------------------------- expansion
     def expand(self) -> tuple[list[Candidate], list[tuple[str, str]], int]:
@@ -436,10 +454,14 @@ class ExplorationCampaign:
         )
 
     def _effective_objectives(self) -> tuple[Objective, ...]:
-        """Population sweeps rank the tail unless told otherwise."""
-        if self.dies and tuple(self.objectives) == DEFAULT_OBJECTIVES:
-            return POPULATION_OBJECTIVES
-        return tuple(self.objectives)
+        """Population sweeps rank the tail, injection adds DUE —
+        unless an explicit objective tuple was passed."""
+        if tuple(self.objectives) != DEFAULT_OBJECTIVES:
+            return tuple(self.objectives)
+        base = POPULATION_OBJECTIVES if self.dies else DEFAULT_OBJECTIVES
+        if self._transient_spec() is not None:
+            base = base + (TRANSIENT_OBJECTIVE,)
+        return base
 
     def _die_maps_for(
         self, candidate: Candidate
@@ -469,6 +491,7 @@ class ExplorationCampaign:
                 mode=Mode.ULE,
                 operating_point=candidate.ule_point,
                 fault_map=fault_map,
+                transients=self._transient_spec(),
             )
             for spec in suite_by_name(suite_name, Mode.ULE)
         ]
@@ -526,6 +549,7 @@ class ExplorationCampaign:
                         ),
                         mode=mode,
                         operating_point=point,
+                        transients=self._transient_spec(),
                     )
                 )
         return jobs
@@ -538,6 +562,9 @@ class ExplorationCampaign:
         metrics["area_mm2"] = _chip_cache_area_mm2(candidate.chip)
         metrics["yield"] = candidate.ule_design.yield_value
         metrics["ule_size_factor"] = candidate.ule_design.cell.size_factor
+        if self._transient_spec() is not None:
+            ule_runs = [r for r in results if r.mode is Mode.ULE]
+            metrics.update(transient_run_metrics(ule_runs, "ule"))
         return metrics
 
 

@@ -32,12 +32,14 @@ from repro.core.scenarios import Scenario
 from repro.cpu.chip import ChipConfig, RunResult, suite_mode_metrics
 from repro.engine.jobs import SimulationJob, TraceSpec
 from repro.engine.session import SimulationSession, current_session
-from repro.faults.maps import DieFaultMap
+from repro.faults.maps import CACHE_LABELS, DieFaultMap
 from repro.faults.sampling import (
     functional_fraction,
     sample_population,
 )
 from repro.tech.operating import Mode, OperatingPoint, operating_point_for
+from repro.transients.metrics import transient_run_metrics
+from repro.transients.spec import TransientSpec
 from repro.util.tables import Table
 from repro.workloads.suites import suite_for_mode
 
@@ -50,6 +52,9 @@ DEFAULT_VDD_GRID = (0.30, 0.325, 0.35, 0.375, 0.40)
 
 #: The per-die metrics a study reduces.
 _METRICS = ("epi_ule", "spi_ule", "epi_hp", "spi_hp")
+
+#: Additional per-die metrics when soft-error injection is active.
+_TRANSIENT_METRICS = ("due_fit_ule", "sdc_fit_ule", "refetch_rate_ule")
 
 
 @dataclass(frozen=True)
@@ -80,8 +85,20 @@ class PopulationResult:
     yield_curve: tuple[tuple[float, float], ...]
     sampled_yield: float
     analytic_yield: float | None = None
+    #: Extra per-die metric names present when injection was active.
+    transient_metrics: tuple[str, ...] = ()
+    #: Closed-form uncorrectable FIT of both L1s at the study's ULE
+    #: point and *accelerated* physics (None without injection).
+    analytic_due_fit: float | None = None
+    #: The sampler-enumerated counterpart of :attr:`analytic_due_fit`
+    #: — same accelerated physics, Monte Carlo instead of closed form.
+    sampled_due_fit: float | None = None
 
     # ----------------------------------------------------------- reduction
+    def _metric_names(self) -> tuple[str, ...]:
+        """All per-die metric names this study reduced."""
+        return _METRICS + self.transient_metrics
+
     def metric_values(self, metric: str) -> tuple[float, ...]:
         """The per-die values of one metric, in die order."""
         return tuple(o.metrics[metric] for o in self.outcomes)
@@ -133,6 +150,16 @@ class PopulationResult:
             )
         worst = max(o.disabled_lines for o in self.outcomes)
         table.add_row(["worst die disabled lines", worst])
+        if self.analytic_due_fit is not None:
+            table.add_row(
+                ["analytic DUE FIT @ ULE (accelerated)",
+                 f"{self.analytic_due_fit:.4g}"]
+            )
+        if self.sampled_due_fit is not None:
+            table.add_row(
+                ["sampled DUE FIT @ ULE (accelerated)",
+                 f"{self.sampled_due_fit:.4g}"]
+            )
         return table.render()
 
     def _render_percentiles(self) -> str:
@@ -145,8 +172,11 @@ class PopulationResult:
             "spi_ule": ("t/instr ULE (us)", 1e6),
             "epi_hp": ("EPI HP (pJ)", 1e12),
             "spi_hp": ("t/instr HP (us)", 1e6),
+            "due_fit_ule": ("DUE FIT ULE (accel)", 1.0),
+            "sdc_fit_ule": ("SDC FIT ULE (accel)", 1.0),
+            "refetch_rate_ule": ("refetches/instr ULE", 1.0),
         }
-        for metric in _METRICS:
+        for metric in self._metric_names():
             label, factor = scale[metric]
             row = self.metric_percentiles(metric)
             table.add_row(
@@ -195,10 +225,12 @@ class PopulationResult:
                         metric
                     ).items()
                 }
-                for metric in _METRICS
+                for metric in self._metric_names()
             },
             "sampled_yield": self.sampled_yield,
             "analytic_yield": self.analytic_yield,
+            "analytic_due_fit": self.analytic_due_fit,
+            "sampled_due_fit": self.sampled_due_fit,
             "fault_histogram": {
                 str(count): dies
                 for count, dies in self.fault_histogram().items()
@@ -241,6 +273,16 @@ class PopulationStudy:
         Operating-point override per mode (defaults to the paper's).
     analytic_yield : float, optional
         Eq. (2) anchor printed next to the sampled yield.
+    transients : TransientSpec, optional
+        Soft-error injection for every run.  Per-die DUE/SDC FIT and
+        refetch-rate percentiles join the reduction, and the study
+        cross-checks the sampled uncorrectable rate against the
+        analytic :meth:`~repro.reliability.soft_errors.
+        SoftErrorModel.cache_fit` (both at accelerated physics; see
+        docs/transients.md for the statistical tolerance).
+    fit_check_intervals : int
+        Scrub intervals the cross-check enumerates per array — more
+        intervals, tighter Monte Carlo error.
 
     Examples
     --------
@@ -261,6 +303,8 @@ class PopulationStudy:
     vdd_grid: tuple[float, ...] = DEFAULT_VDD_GRID
     mode_points: Mapping[Mode, OperatingPoint] | None = None
     analytic_yield: float | None = None
+    transients: TransientSpec | None = None
+    fit_check_intervals: int = 400
 
     def __post_init__(self) -> None:
         if self.dies < 1:
@@ -270,6 +314,12 @@ class PopulationStudy:
         for q in self.percentiles:
             if not 0.0 <= q <= 100.0:
                 raise ValueError("percentiles must be in [0, 100]")
+        if self.fit_check_intervals < 1:
+            raise ValueError("fit_check_intervals must be at least 1")
+
+    def _transient_spec(self) -> TransientSpec | None:
+        """The effective injection spec (null specs act like None)."""
+        return TransientSpec.effective(self.transients)
 
     # ------------------------------------------------------------ sampling
     def _points(self) -> dict[Mode, OperatingPoint]:
@@ -338,6 +388,12 @@ class PopulationStudy:
             )
             for die, die_map, start, stop in spans
         )
+        spec = self._transient_spec()
+        analytic_fit = sampled_fit = None
+        if spec is not None:
+            analytic_fit, sampled_fit = self._fit_cross_check(
+                spec, points[Mode.ULE]
+            )
         return PopulationResult(
             chip_name=self.chip.name,
             dies=self.dies,
@@ -351,7 +407,44 @@ class PopulationStudy:
             yield_curve=self._yield_curve(),
             sampled_yield=functional_fraction(maps, Mode.ULE),
             analytic_yield=self.analytic_yield,
+            transient_metrics=(
+                _TRANSIENT_METRICS if spec is not None else ()
+            ),
+            analytic_due_fit=analytic_fit,
+            sampled_due_fit=sampled_fit,
         )
+
+    def _fit_cross_check(
+        self, spec: TransientSpec, point: OperatingPoint
+    ) -> tuple[float, float]:
+        """(analytic, sampled) uncorrectable FIT of both L1s at ULE.
+
+        Both figures are at the spec's accelerated physics; the
+        sampled one enumerates every (way, set, word, interval) draw
+        over :attr:`fit_check_intervals` scrub intervals, so it
+        converges on the analytic value with Monte Carlo error only —
+        the acceptance contract ``tests/faults/test_population.py``
+        pins with a documented tolerance.
+        """
+        from repro.transients.sampling import (
+            analytic_cache_fit,
+            make_sampler,
+        )
+
+        analytic = sampled = 0.0
+        for label, config in zip(
+            CACHE_LABELS, (self.chip.il1, self.chip.dl1)
+        ):
+            analytic += analytic_cache_fit(
+                config, Mode.ULE, point.vdd, spec, accelerated=True
+            )
+            sampler = make_sampler(
+                config, Mode.ULE, point, spec, label
+            )
+            sampled += sampler.sampled_cache_fit(
+                self.fit_check_intervals
+            )
+        return analytic, sampled
 
     def _jobs_for(
         self,
@@ -366,6 +459,7 @@ class PopulationStudy:
         fault_map = (
             None if die_map.is_fault_free else die_map.normalized()
         )
+        transients = self._transient_spec()
         jobs = []
         for mode in (Mode.ULE, Mode.HP):
             for spec in suite_for_mode(mode):
@@ -378,6 +472,7 @@ class PopulationStudy:
                         mode=mode,
                         operating_point=points[mode],
                         fault_map=fault_map,
+                        transients=transients,
                     )
                 )
         return jobs
@@ -386,7 +481,11 @@ class PopulationStudy:
         self, results: Sequence[RunResult]
     ) -> dict[str, float]:
         """Per-die metrics from its runs (suite means per mode)."""
-        return suite_mode_metrics(results)
+        metrics = suite_mode_metrics(results)
+        if self._transient_spec() is not None:
+            ule_runs = [r for r in results if r.mode is Mode.ULE]
+            metrics.update(transient_run_metrics(ule_runs, "ule"))
+        return metrics
 
 
 def scenario_population_study(
@@ -396,6 +495,7 @@ def scenario_population_study(
     trace_length: int = calibration.DEFAULT_TRACE_LENGTH,
     seed: int = calibration.DEFAULT_SEED,
     percentiles: tuple[float, ...] = DEFAULT_PERCENTILES,
+    transients: TransientSpec | None = None,
 ) -> PopulationStudy:
     """A study of one paper chip with its analytic-yield anchor."""
     scenario = Scenario(scenario) if isinstance(scenario, str) else scenario
@@ -419,4 +519,5 @@ def scenario_population_study(
         seed=seed,
         percentiles=percentiles,
         analytic_yield=analytic,
+        transients=transients,
     )

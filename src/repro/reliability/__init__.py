@@ -17,9 +17,10 @@ from repro.reliability.yield_model import (
     word_survival_probability,
 )
 from repro.reliability.fault_maps import FaultMap, generate_fault_map
-from repro.reliability.soft_errors import SoftErrorModel
+from repro.reliability.soft_errors import SoftErrorModel, poisson_pmf
 
 __all__ = [
+    "poisson_pmf",
     "word_survival_probability",
     "cache_yield",
     "paper_pf_target",

@@ -19,6 +19,27 @@ from dataclasses import dataclass
 _FIT_HOURS = 1e9
 
 
+def poisson_pmf(mean: float, upsets: int) -> float:
+    """P(exactly ``upsets`` events) of a Poisson with the given mean.
+
+    Evaluated in log space (``exp(k ln mean - mean - lgamma(k+1))``):
+    the naive ``mean**k / k!`` form overflows ``float`` factorials and
+    powers long before the probability itself leaves (0, 1) — e.g. a
+    week-long exposure window of a whole array, where ``mean`` is large
+    and the interesting ``k`` sit near it.
+    """
+    if upsets < 0:
+        raise ValueError("upsets must be non-negative")
+    if mean < 0:
+        raise ValueError("mean must be non-negative")
+    if mean == 0.0:
+        return 1.0 if upsets == 0 else 0.0
+    log_pmf = (
+        upsets * math.log(mean) - mean - math.lgamma(upsets + 1)
+    )
+    return math.exp(log_pmf)
+
+
 @dataclass(frozen=True)
 class SoftErrorModel:
     """Per-bit upset rates and word-level uncorrectable probabilities.
@@ -50,14 +71,19 @@ class SoftErrorModel:
     ) -> float:
         """P(exactly ``upsets`` strikes in a word within the exposure).
 
-        Poisson with rate ``word_bits * upset_rate * exposure``.
+        Poisson with rate ``word_bits * upset_rate * exposure``,
+        evaluated in log space (:func:`poisson_pmf`) so that very long
+        exposure windows — where the mean and the interesting upset
+        counts are large — stay finite instead of overflowing.
         """
         if word_bits <= 0 or exposure_seconds < 0:
             raise ValueError("bad word geometry or exposure")
+        if upsets < 0:
+            raise ValueError("upsets must be non-negative")
         mean = (
             word_bits * self.upset_rate_per_bit(vdd) * exposure_seconds
         )
-        return math.exp(-mean) * mean**upsets / math.factorial(upsets)
+        return poisson_pmf(mean, upsets)
 
     def word_uncorrectable_probability(
         self,
@@ -75,13 +101,28 @@ class SoftErrorModel:
         """
         if soft_budget < 0:
             raise ValueError("soft_budget must be >= 0")
+        if word_bits <= 0 or exposure_seconds < 0:
+            raise ValueError("bad word geometry or exposure")
+        mean = (
+            word_bits * self.upset_rate_per_bit(vdd) * exposure_seconds
+        )
         covered = sum(
-            self.word_upset_probability(
-                vdd, word_bits, exposure_seconds, upsets
-            )
+            poisson_pmf(mean, upsets)
             for upsets in range(soft_budget + 1)
         )
-        return max(0.0, 1.0 - covered)
+        if covered < 0.9999:
+            # No cancellation risk: the complement carries the mass.
+            return max(0.0, 1.0 - covered)
+        # Nearly all mass is covered: ``1 - covered`` would cancel to
+        # zero in float for realistic (tiny) upset means, so sum the
+        # tail directly — terms past the budget decay fast here.
+        tail = 0.0
+        for upsets in range(soft_budget + 1, soft_budget + 1001):
+            term = poisson_pmf(mean, upsets)
+            tail += term
+            if term <= tail * 1e-17:
+                break
+        return min(tail, 1.0)
 
     def cache_fit(
         self,

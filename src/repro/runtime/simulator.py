@@ -41,6 +41,7 @@ from repro.runtime.policies import (
     SchedulePolicy,
 )
 from repro.tech.operating import Mode, OperatingPoint, operating_point_for
+from repro.transients.spec import TransientSpec
 from repro.util.tables import Table
 from repro.util.units import si
 
@@ -56,6 +57,11 @@ class EpochLedgerEntry:
         seconds: the epoch's execution time at its operating point.
         energy: the epoch run's total energy (J).
         edc_energy: the EDC share of that energy (J).
+        scrub_energy: the scrub-engine share of that energy (J) —
+            nonzero only under soft-error injection, where the run
+            charges one scrub sweep of the protected ways per scrub
+            interval of wall-clock (already included in ``energy``,
+            like ``edc_energy``).
         switched: whether a mode transition preceded this epoch.
         transition_energy: energy charged for that transition (J; both
             L1 caches).
@@ -73,6 +79,7 @@ class EpochLedgerEntry:
     transition_energy: float = 0.0
     transition_seconds: float = 0.0
     flush_writebacks: int = 0
+    scrub_energy: float = 0.0
 
     @property
     def total_energy(self) -> float:
@@ -99,6 +106,8 @@ class ScheduleResult:
         run_energy / run_seconds: the same, transitions excluded.
         transition_energy / transition_seconds: the transitions alone.
         edc_energy: total EDC overhead energy (J).
+        scrub_energy: total scrub-engine energy (J; a share of
+            ``run_energy``, nonzero only under soft-error injection).
         switches: number of mode transitions charged.
         instructions: total dynamic instructions.
     """
@@ -116,6 +125,7 @@ class ScheduleResult:
     edc_energy: float
     switches: int
     instructions: int
+    scrub_energy: float = 0.0
 
     @property
     def average_power(self) -> float:
@@ -203,6 +213,11 @@ class ScheduleResult:
             f"average power    : {si(self.average_power, 'W')}",
             f"energy/instr     : {si(self.epi, 'J')}",
         ]
+        if self.scrub_energy:
+            lines.insert(
+                -2,
+                f"scrub energy     : {si(self.scrub_energy, 'J')}",
+            )
         return "\n".join(lines)
 
     def _transition_percent(self) -> float:
@@ -228,6 +243,7 @@ class ScheduleResult:
                 "transition_energy_j": self.transition_energy,
                 "transition_seconds": self.transition_seconds,
                 "edc_energy_j": self.edc_energy,
+                "scrub_energy_j": self.scrub_energy,
                 "switches": self.switches,
                 "instructions": self.instructions,
                 "average_power_w": self.average_power,
@@ -245,6 +261,7 @@ class ScheduleResult:
                     "transition_energy_j": entry.transition_energy,
                     "transition_seconds": entry.transition_seconds,
                     "flush_writebacks": entry.flush_writebacks,
+                    "scrub_energy_j": entry.scrub_energy,
                 }
                 for entry in self.entries
             ],
@@ -340,6 +357,11 @@ class ScheduleSimulator:
     session : SimulationSession, optional
         The engine session to batch through (defaults to the ambient
         :func:`repro.engine.session.current_session`).
+    transients : TransientSpec, optional
+        Soft-error injection for every epoch run (:class:`repro.
+        transients.spec.TransientSpec`).  Epoch jobs then charge
+        refetch/correction stalls and scrub energy; the ledger breaks
+        the per-epoch scrub share out like the EDC share.
 
     Examples
     --------
@@ -362,6 +384,7 @@ class ScheduleSimulator:
         segmenter: str = "fixed",
         points: Mapping[Mode, OperatingPoint] | None = None,
         session: SimulationSession | None = None,
+        transients: "TransientSpec | None" = None,
     ):
         self.chip = chip if isinstance(chip, Chip) else Chip(chip)
         self.policy = policy
@@ -369,6 +392,7 @@ class ScheduleSimulator:
         self.segmenter = segmenter
         self._points = dict(points or {})
         self._session = session
+        self.transients = TransientSpec.effective(transients)
         self._il1_transitions = ModeTransitionModel(self.chip.il1_model)
         self._dl1_transitions = ModeTransitionModel(self.chip.dl1_model)
 
@@ -468,6 +492,7 @@ class ScheduleSimulator:
                     trace=epoch.trace,
                     mode=mode,
                     operating_point=self._job_point(mode),
+                    transients=self.transients,
                 )
                 for mode in CANDIDATE_MODES
                 for epoch in epochs
@@ -491,6 +516,7 @@ class ScheduleSimulator:
                     trace=epoch.trace,
                     mode=mode,
                     operating_point=self._job_point(mode),
+                    transients=self.transients,
                 )
                 for epoch, mode in zip(epochs, modes)
             ]
@@ -524,6 +550,7 @@ class ScheduleSimulator:
         run_energy = run_seconds = 0.0
         transition_energy = transition_seconds = 0.0
         edc_energy = 0.0
+        scrub_energy = 0.0
         switches = 0
         instructions = 0
 
@@ -558,6 +585,15 @@ class ScheduleSimulator:
             epoch_edc = result.energy.group(
                 "il1.edc"
             ) + result.energy.group("dl1.edc")
+            epoch_scrub = sum(
+                result.energy.group(component)
+                for component in (
+                    "il1.scrub",
+                    "dl1.scrub",
+                    "il1.edc.scrub",
+                    "dl1.edc.scrub",
+                )
+            )
             entry = EpochLedgerEntry(
                 index=epoch.index,
                 mode=mode,
@@ -569,6 +605,7 @@ class ScheduleSimulator:
                 transition_energy=entry_transition_energy,
                 transition_seconds=entry_transition_seconds,
                 flush_writebacks=flush_writebacks,
+                scrub_energy=epoch_scrub,
             )
             entries.append(entry)
 
@@ -577,6 +614,7 @@ class ScheduleSimulator:
             transition_energy += entry.transition_energy
             transition_seconds += entry.transition_seconds
             edc_energy += entry.edc_energy
+            scrub_energy += entry.scrub_energy
             instructions += entry.instructions
 
             il1_res.observe(mode, result.il1_stats)
@@ -597,6 +635,7 @@ class ScheduleSimulator:
             edc_energy=edc_energy,
             switches=switches,
             instructions=instructions,
+            scrub_energy=scrub_energy,
         )
 
 
@@ -609,6 +648,7 @@ def simulate_schedule(
     points: Mapping[Mode, OperatingPoint] | None = None,
     session: SimulationSession | None = None,
     progress: Callable[[int, int], None] | None = None,
+    transients: TransientSpec | None = None,
 ) -> ScheduleResult:
     """One-call convenience wrapper around :class:`ScheduleSimulator`."""
     simulator = ScheduleSimulator(
@@ -618,5 +658,6 @@ def simulate_schedule(
         segmenter=segmenter,
         points=points,
         session=session,
+        transients=transients,
     )
     return simulator.run(trace, progress=progress)

@@ -1,0 +1,125 @@
+"""The job-level description of soft-error injection: :class:`TransientSpec`.
+
+A spec is pure *content*: a frozen, canonical-walkable dataclass the
+engine's job keys hash (see :func:`repro.engine.jobs.job_key`).  It
+carries the physical upset model (the :class:`repro.reliability.
+soft_errors.SoftErrorModel` parameters), the scrub-interval model, the
+recovery-latency constants and the injection seed — everything a worker
+needs to rebuild the per-array samplers deterministically.
+
+Real terrestrial upset rates are ~1e-15 per word per second: nothing
+would ever strike inside a 20k-instruction trace.  ``acceleration``
+scales the upset *rate* (the standard accelerated-injection move, as in
+beam testing) so that events become observable in short simulations;
+every reported FIT figure divides the acceleration back out, so the
+physics stays honest.  ``acceleration=0`` (or a zero nominal FIT rate)
+makes the spec *null*: the engine collapses such jobs onto the
+spec-less key, mirroring the fault-free fault-map contract of PR 4.
+
+This module is dependency-light (reliability only) so the engine's job
+layer can import it without dragging the cache or cacti stacks in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.reliability.soft_errors import SoftErrorModel
+
+
+@dataclass(frozen=True)
+class TransientSpec:
+    """Soft-error injection parameters of one simulation job.
+
+    Attributes:
+        fit_per_mbit_nominal: upset rate at nominal Vdd in FIT/Mbit
+            (forwarded to :class:`~repro.reliability.soft_errors.
+            SoftErrorModel`).
+        voltage_sensitivity: exponential SER growth per volt of supply
+            reduction (forwarded to the model).
+        vdd_nominal: reference supply of the FIT figure (forwarded).
+        scrub_interval_seconds: period of the scrub engine.  Upsets
+            accumulate per (word, interval) exposure window; each scrub
+            pass rewrites every protected word, which is also what the
+            scrub energy model charges.
+        acceleration: multiplier on the upset rate, making strikes
+            observable in short traces.  0 disables injection entirely
+            (the spec becomes :attr:`is_null`).
+        cycles_per_access: nominal cycles between consecutive cache
+            accesses, used to place accesses on the wall clock (access
+            ``i`` happens at ``i * cycles_per_access * cycle_time``).
+            A deliberate pre-timing approximation: the real cycle count
+            is only known *after* simulation, and both backends must
+            agree on interval boundaries up front.
+        correction_cycles: stall cycles charged per corrected read in
+            way groups whose EDC decode is *off* the critical path
+            (inline-EDC groups already pay their correction cycle in
+            the hit latency).
+        seed: root seed of the injection streams; each cache array
+            derives its own child stream, so IL1 and DL1 decorrelate.
+    """
+
+    fit_per_mbit_nominal: float = 1000.0
+    voltage_sensitivity: float = 3.0
+    vdd_nominal: float = 1.0
+    scrub_interval_seconds: float = 1e-3
+    acceleration: float = 1.0
+    cycles_per_access: float = 1.0
+    correction_cycles: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.fit_per_mbit_nominal < 0:
+            raise ValueError("fit_per_mbit_nominal must be >= 0")
+        if self.scrub_interval_seconds <= 0:
+            raise ValueError("scrub_interval_seconds must be positive")
+        if self.acceleration < 0:
+            raise ValueError("acceleration must be >= 0")
+        if self.cycles_per_access <= 0:
+            raise ValueError("cycles_per_access must be positive")
+        if self.correction_cycles < 0:
+            raise ValueError("correction_cycles must be >= 0")
+        if self.vdd_nominal <= 0:
+            raise ValueError("vdd_nominal must be positive")
+
+    @staticmethod
+    def effective(
+        spec: "TransientSpec | None",
+    ) -> "TransientSpec | None":
+        """Normalize a spec-or-None: null specs act like ``None``.
+
+        The single home of the "disabled injection is no injection"
+        contract — every consumer (job-key tokenization, ``Chip.run``,
+        the population/runtime/exploration layers) normalizes through
+        here, so the rule can never diverge between job identity and
+        runtime behaviour.
+        """
+        if spec is None or spec.is_null:
+            return None
+        return spec
+
+    @property
+    def is_null(self) -> bool:
+        """Whether the spec can never produce an upset.
+
+        Null specs are semantically identical to passing no spec at
+        all: the engine's job keys collapse them onto the spec-less
+        key (``tests/engine/test_transient_equivalence.py`` pins that
+        the simulated results agree byte-for-byte).
+        """
+        return self.acceleration == 0 or self.fit_per_mbit_nominal == 0
+
+    def soft_error_model(self) -> SoftErrorModel:
+        """The analytic upset model these parameters describe."""
+        return SoftErrorModel(
+            fit_per_mbit_nominal=self.fit_per_mbit_nominal,
+            voltage_sensitivity=self.voltage_sensitivity,
+            vdd_nominal=self.vdd_nominal,
+        )
+
+    def accelerated_rate_per_bit(self, vdd: float) -> float:
+        """Per-bit upsets per second at ``vdd``, acceleration applied."""
+        return (
+            self.soft_error_model().upset_rate_per_bit(vdd)
+            * self.acceleration
+        )

@@ -1,5 +1,7 @@
 """Tests for the EDC storage layer (faults x codecs)."""
 
+import itertools
+
 import numpy as np
 import pytest
 
@@ -135,3 +137,89 @@ class TestUsability:
         assert array.reads == 32
         assert array.silent_errors == 0
         assert array.detected_reads == 0
+
+
+class TestFailureModeSplit:
+    """silent_errors is now the sum of two distinguishable modes."""
+
+    def test_parity_double_flip_is_undetected(self):
+        """Two flips alias parity back to even: status CLEAN, wrong
+        data — an *undetected* error, not a miscorrection."""
+        array = ProtectedArray(4, 32, ProtectionScheme.PARITY)
+        array.write(0, 0b1010)
+        record = array.read(0, soft_error_bits=(0, 1))
+        assert record.status is DecodeStatus.CLEAN
+        assert not record.correct
+        assert array.undetected_errors == 1
+        assert array.miscorrections == 0
+        assert array.silent_errors == 1
+
+    def test_secded_triple_flip_can_miscorrect(self):
+        """Three flips sit within distance 1 of some *wrong* codeword
+        for many patterns: the decoder "fixes" onto it — a
+        miscorrection (never CLEAN, since d_min = 4)."""
+        array = ProtectedArray(4, 32, ProtectionScheme.SECDED)
+        array.write(0, 0xDEADBEEF)
+        found = False
+        for bits in itertools.combinations(range(array.stored_bits), 3):
+            before = array.miscorrections
+            record = array.read(0, soft_error_bits=bits)
+            assert record.status is not DecodeStatus.CLEAN
+            if (
+                record.status is DecodeStatus.CORRECTED
+                and not record.correct
+            ):
+                assert array.miscorrections == before + 1
+                found = True
+                break
+        assert found
+        assert array.undetected_errors == 0
+        assert array.silent_errors == array.miscorrections
+
+    def test_sum_preserved_for_back_compat(self):
+        array = ProtectedArray(4, 32, ProtectionScheme.PARITY)
+        array.write(0, 1)
+        array.read(0, soft_error_bits=(2, 3))
+        array.read(0, soft_error_bits=(4, 5))
+        assert array.silent_errors == (
+            array.miscorrections + array.undetected_errors
+        ) == 2
+
+    def test_clean_reads_leave_both_counters_zero(self):
+        array = ProtectedArray(4, 32, ProtectionScheme.SECDED)
+        array.write(1, 77)
+        array.read(1)
+        array.read(1, soft_error_bits=(5,))
+        assert array.miscorrections == 0
+        assert array.undetected_errors == 0
+        assert array.silent_errors == 0
+
+
+class TestDuplicateSoftErrorBits:
+    """Duplicate indices would XOR-cancel and hide the strike."""
+
+    def test_duplicates_rejected(self):
+        array = ProtectedArray(4, 32, ProtectionScheme.SECDED)
+        array.write(0, 9)
+        with pytest.raises(ValueError, match="duplicate"):
+            array.read(0, soft_error_bits=(3, 3))
+
+    def test_duplicates_rejected_even_with_others(self):
+        array = ProtectedArray(4, 32, ProtectionScheme.DECTED)
+        array.write(0, 9)
+        with pytest.raises(ValueError, match="XOR-cancel"):
+            array.read(0, soft_error_bits=(1, 5, 1))
+
+    def test_counters_untouched_by_rejected_read(self):
+        array = ProtectedArray(4, 32, ProtectionScheme.SECDED)
+        array.write(0, 9)
+        with pytest.raises(ValueError):
+            array.read(0, soft_error_bits=(2, 2))
+        assert array.reads == 0
+        assert array.silent_errors == 0
+
+    def test_distinct_bits_still_fine(self):
+        array = ProtectedArray(4, 32, ProtectionScheme.DECTED)
+        array.write(0, 9)
+        record = array.read(0, soft_error_bits=(1, 5))
+        assert record.correct

@@ -12,7 +12,8 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.cache.edc_layer import ProtectedArray
-from repro.edc.protection import ProtectionScheme
+from repro.edc.base import DecodeStatus
+from repro.edc.protection import ProtectionScheme, make_code
 from repro.reliability.fault_maps import generate_fault_map
 
 SCHEMES = st.sampled_from(list(ProtectionScheme))
@@ -125,3 +126,83 @@ def test_unmapped_array_ignores_budgets(words, pf, seed):
     assert array.usable(0)
     for index in range(words):
         assert array.word_is_usable(index, 0)
+
+
+def _distinct_bits(rng, stored_bits, count):
+    return tuple(
+        int(b) for b in rng.choice(stored_bits, size=count, replace=False)
+    )
+
+
+def _budgets(scheme, data_bits):
+    code = make_code(scheme, data_bits)
+    return (code.correctable, code.detectable) if code else (0, 0)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    scheme=SCHEMES,
+    data_bits=st.sampled_from((26, 32)),
+    value_seed=st.integers(0, 10_000),
+    flip_seed=st.integers(0, 10_000),
+)
+def test_within_detection_budget_never_silent(
+    scheme, data_bits, value_seed, flip_seed
+):
+    """Any flip pattern within the code's detection budget must be
+    corrected or flagged — never silently consumed.  This is the
+    contract scenario-B verification rests on: every scheme in a way
+    group's ``edc_inline_modes`` map keeps the property."""
+    _, detectable = _budgets(scheme, data_bits)
+    rng = np.random.default_rng(flip_seed)
+    array = ProtectedArray(2, data_bits, scheme)
+    value = int(
+        np.random.default_rng(value_seed).integers(0, 1 << data_bits)
+    )
+    array.write(0, value)
+    for count in range(detectable + 1):
+        record = array.read(
+            0, soft_error_bits=_distinct_bits(rng, array.stored_bits, count)
+        )
+        # Not DETECTED => the returned data must be the written data.
+        if record.status is not DecodeStatus.DETECTED:
+            assert record.correct
+            assert record.value == value
+    assert array.silent_errors == 0
+    assert array.miscorrections == 0
+    assert array.undetected_errors == 0
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    scheme=SCHEMES,
+    data_bits=st.sampled_from((26, 32)),
+    value_seed=st.integers(0, 10_000),
+    flip_seed=st.integers(0, 10_000),
+)
+def test_one_past_detection_budget_is_observable(
+    scheme, data_bits, value_seed, flip_seed
+):
+    """One flip beyond the detection budget may miscorrect or alias,
+    but it must be *observable*: either a non-CLEAN status, or wrong
+    data that lands in the miscorrection/undetected counters — it can
+    never masquerade as a clean, correct read."""
+    _, detectable = _budgets(scheme, data_bits)
+    rng = np.random.default_rng(flip_seed)
+    array = ProtectedArray(2, data_bits, scheme)
+    value = int(
+        np.random.default_rng(value_seed).integers(0, 1 << data_bits)
+    )
+    array.write(0, value)
+    record = array.read(
+        0,
+        soft_error_bits=_distinct_bits(
+            rng, array.stored_bits, detectable + 1
+        ),
+    )
+    assert not (record.status is DecodeStatus.CLEAN and record.correct)
+    observable = (
+        record.status is DecodeStatus.DETECTED
+        or array.miscorrections + array.undetected_errors == 1
+    )
+    assert observable

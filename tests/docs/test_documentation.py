@@ -41,7 +41,7 @@ class TestDocsTree:
         text = (REPO / "docs" / "cli.md").read_text(encoding="utf-8")
         for subcommand in (
             "list", "run", "design", "all", "sweep", "pareto",
-            "schedule", "population",
+            "schedule", "population", "transients",
         ):
             assert f"## {subcommand}" in text, (
                 f"docs/cli.md lacks a section for '{subcommand}'"

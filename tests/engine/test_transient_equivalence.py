@@ -1,0 +1,235 @@
+"""Backend equivalence and job identity under soft-error injection.
+
+The transient subsystem's acceptance contract:
+
+* with injection enabled, the vectorized and reference backends
+  produce bit-identical counters, timing and energy;
+* a *null* spec is byte-identical to passing no spec (results and
+  engine job keys);
+* serial and ``--jobs N`` sessions render population-style batches
+  byte-identically (the counter-based sampler has no shared stream).
+
+The injection seed is parametrized, and CI additionally sweeps the
+``TRANSIENTS_TEST_SEED`` environment variable across a seed matrix —
+equivalence must hold for *every* stream, not one golden seed.
+"""
+
+import os
+
+import pytest
+
+from repro.engine.backends import simulate_cache
+from repro.engine.jobs import (
+    ENGINE_CACHE_VERSION,
+    SimulationJob,
+    TraceSpec,
+    execute_job,
+    job_key,
+)
+from repro.faults.sampling import sample_die_fault_map
+from repro.tech.operating import Mode, operating_point_for
+from repro.transients import TransientSpec, make_sampler
+from repro.workloads.mediabench import generate_trace
+
+#: CI's seed matrix sets this; locally the default seed runs.
+_ENV_SEED = int(os.environ.get("TRANSIENTS_TEST_SEED", "0"))
+
+#: Injection seeds every test sweeps (env seed + a fixed alternate).
+SEEDS = sorted({_ENV_SEED, 1234})
+
+
+def _spec(seed, acceleration=1e17, scrub=1e-4):
+    return TransientSpec(
+        acceleration=acceleration,
+        scrub_interval_seconds=scrub,
+        seed=seed,
+    )
+
+
+def _results_equal(left, right) -> bool:
+    return (
+        left.il1_stats == right.il1_stats
+        and left.dl1_stats == right.dl1_stats
+        and left.timing == right.timing
+        and list(left.energy.items()) == list(right.energy.items())
+    )
+
+
+def _job(chips, transients=None, mode=Mode.ULE, **kwargs):
+    return SimulationJob(
+        chip=chips.proposed.config,
+        trace=TraceSpec("adpcm_c", 3_000, 42),
+        mode=mode,
+        transients=transients,
+        **kwargs,
+    )
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("mode", [Mode.ULE, Mode.HP])
+    def test_chip_run_bit_identical(self, chips_b, mode, seed):
+        """Full chip runs (counters, timing, energy) agree under
+        injection for both paper chips and both modes."""
+        trace = generate_trace("g721_c", length=4_000, seed=9)
+        spec = _spec(seed)
+        for chip in (chips_b.baseline, chips_b.proposed):
+            outcomes = [
+                chip.run(trace, mode, backend=backend, transients=spec)
+                for backend in ("vectorized", "reference")
+            ]
+            assert _results_equal(*outcomes)
+            injected = outcomes[0]
+            total = sum(
+                stats.transient_affected
+                for stats in (injected.il1_stats, injected.dl1_stats)
+            )
+            assert total > 0  # the equivalence must not be vacuous
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_cache_level_equivalence_all_classes(self, chips_b, seed):
+        """Counter-level agreement with events in several classes."""
+        config = chips_b.baseline.config.dl1
+        trace = generate_trace("adpcm_c", length=6_000, seed=11)
+        addresses, is_write = trace.memory_stream()
+        sampler = make_sampler(
+            config, Mode.ULE, operating_point_for(Mode.ULE),
+            _spec(seed), "dl1",
+        )
+        reference = simulate_cache(
+            config, Mode.ULE, addresses, is_write,
+            backend="reference", transients=sampler,
+        )
+        vectorized = simulate_cache(
+            config, Mode.ULE, addresses, is_write,
+            backend="vectorized", transients=sampler,
+        )
+        assert reference == vectorized
+        assert vectorized.transient_affected > 0
+        assert (
+            vectorized.transient_due + vectorized.transient_refetches
+            > 0
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_equivalence_with_fault_map(self, chips_b, seed):
+        """Hard faults + soft errors together: disabled lines shift
+        allocation, and the backends must still agree bit-for-bit."""
+        config = chips_b.proposed.config
+        fault_map = sample_die_fault_map(
+            config.il1,
+            config.dl1,
+            seed=123,
+            die=0,
+            mode_vdds={Mode.ULE: 0.30, Mode.HP: 0.60},
+        )
+        assert not fault_map.is_fault_free
+        trace = generate_trace("g721_c", length=4_000, seed=9)
+        outcomes = [
+            chips_b.proposed.run(
+                trace, Mode.ULE, backend=backend,
+                fault_map=fault_map, transients=_spec(seed),
+            )
+            for backend in ("vectorized", "reference")
+        ]
+        assert _results_equal(*outcomes)
+
+    def test_multiway_lru_kernel_equivalence(self, chips_a):
+        """HP mode exercises the generic multi-way kernel's record
+        path (ULE's single way uses the direct-mapped kernel)."""
+        config = chips_a.proposed.config.dl1
+        trace = generate_trace("mpeg2_c", length=6_000, seed=3)
+        addresses, is_write = trace.memory_stream()
+        sampler = make_sampler(
+            config, Mode.HP, operating_point_for(Mode.HP),
+            _spec(7, acceleration=1e18, scrub=1e-6), "dl1",
+        )
+        reference = simulate_cache(
+            config, Mode.HP, addresses, is_write,
+            backend="reference", transients=sampler,
+        )
+        vectorized = simulate_cache(
+            config, Mode.HP, addresses, is_write,
+            backend="vectorized", transients=sampler,
+        )
+        assert reference == vectorized
+        assert vectorized.transient_affected > 0
+
+
+class TestJobIdentity:
+    def test_version_bumped_for_transients(self):
+        assert ENGINE_CACHE_VERSION >= 4
+
+    def test_null_spec_collapses_to_specless_key(self, chips_b):
+        for null in (
+            TransientSpec(acceleration=0.0),
+            TransientSpec(fit_per_mbit_nominal=0.0),
+        ):
+            assert job_key(_job(chips_b)) == job_key(
+                _job(chips_b, transients=null)
+            )
+
+    def test_null_spec_result_identical_to_no_spec(self, chips_b):
+        plain = execute_job(_job(chips_b))
+        null = execute_job(
+            _job(chips_b, transients=TransientSpec(acceleration=0.0))
+        )
+        assert _results_equal(plain, null)
+
+    def test_active_spec_changes_key(self, chips_b):
+        assert job_key(_job(chips_b)) != job_key(
+            _job(chips_b, transients=_spec(0))
+        )
+
+    def test_spec_content_keys(self, chips_b):
+        a = job_key(_job(chips_b, transients=_spec(1)))
+        b = job_key(_job(chips_b, transients=_spec(1)))
+        c = job_key(_job(chips_b, transients=_spec(2)))
+        assert a == b
+        assert a != c
+
+    def test_backend_excluded_from_key(self, chips_b):
+        assert job_key(
+            _job(chips_b, transients=_spec(1), backend="reference")
+        ) == job_key(
+            _job(chips_b, transients=_spec(1), backend="vectorized")
+        )
+
+
+class TestSessionDeterminism:
+    def test_serial_matches_parallel(self, chips_b, tmp_path):
+        """A transient batch renders byte-identically at --jobs 4."""
+        from repro.engine.session import SimulationSession
+
+        jobs = [
+            _job(chips_b, transients=_spec(seed), mode=mode)
+            for seed in (0, 1)
+            for mode in (Mode.ULE, Mode.HP)
+        ]
+
+        def render(results):
+            return "\n".join(
+                f"{r.epi!r} {r.timing.cycles!r} "
+                f"{r.il1_stats!r} {r.dl1_stats!r}"
+                for r in results
+            )
+
+        with SimulationSession(jobs=1) as serial:
+            text_serial = render(serial.run_jobs(jobs))
+        with SimulationSession(jobs=4) as parallel:
+            text_parallel = render(parallel.run_jobs(jobs))
+        assert text_serial == text_parallel
+
+    def test_disk_cache_round_trip(self, chips_b, tmp_path):
+        """Injected results memoize on disk and reload identically."""
+        from repro.engine.session import SimulationSession
+
+        job = _job(chips_b, transients=_spec(5))
+        with SimulationSession(jobs=1, cache_dir=tmp_path) as first:
+            original = first.run_jobs([job])[0]
+            assert first.stats.executed == 1
+        with SimulationSession(jobs=1, cache_dir=tmp_path) as second:
+            reloaded = second.run_jobs([job])[0]
+            assert second.stats.disk_hits == 1
+            assert second.stats.executed == 0
+        assert _results_equal(original, reloaded)

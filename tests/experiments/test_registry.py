@@ -20,6 +20,7 @@ class TestRegistry:
             "ablation-ways",
             "ablation-memlat",
             "sweep-policy",
+            "transients",
         ):
             assert expected in ids
 
@@ -82,3 +83,32 @@ class TestFastDrivers:
             assert abs(
                 entry["empirical_yield"] - entry["analytic_data_yield"]
             ) < max(4 * sigma, 0.05)
+
+
+class TestTransientsDriver:
+    def test_secded_vs_dected_under_identical_strikes(self):
+        """Scenario B executable: under the same accelerated strikes
+        the DECTED way must not exceed the SECDED baseline on DUEs,
+        and the sampled FIT must track the analytic model."""
+        result = run_experiment(
+            "transients", trace_length=2_000, intervals=150
+        )
+        events = result.data["events"]
+        assert (
+            events["proposed"]["due"] <= events["baseline"]["due"]
+        )
+        assert events["baseline"]["corrected"] > 0
+        curve = result.data["curve"]
+        for rows in curve.values():
+            # FIT grows monotonically as the supply drops.
+            accelerated = [
+                row["fit_analytic_accelerated"] for row in rows
+            ]
+            assert accelerated == sorted(accelerated, reverse=True)
+        # Sampled-vs-analytic within 4 sigma of the Poisson count the
+        # enumeration horizon implies (few events for the DECTED way).
+        hours = 150 * 100e-6 / 3600.0
+        for comparison in result.comparisons:
+            expected_events = comparison.paper * hours / 1e9
+            sigma = comparison.paper / max(expected_events, 1.0) ** 0.5
+            assert abs(comparison.delta) < 4 * sigma

@@ -202,3 +202,83 @@ class TestSuiteAxis:
             if "| *" in line and "x8k" in line
         )
         assert starred == len(result.frontier())
+
+
+class TestTransientCampaign:
+    """Injection as a first-class exploration axis."""
+
+    def _spec(self):
+        from repro.transients import TransientSpec
+
+        return TransientSpec(
+            acceleration=1e17, scrub_interval_seconds=1e-4, seed=9
+        )
+
+    def test_candidates_gain_transient_metrics(self):
+        space = _small_space(ule_scheme=("secded", "dected"))
+        campaign = _campaign(space=space, transients=self._spec())
+        with SimulationSession() as session:
+            result = campaign.run(session=session)
+        for outcome in result.outcomes:
+            for metric in (
+                "due_fit_ule", "sdc_fit_ule", "refetch_rate_ule"
+            ):
+                assert metric in outcome.metrics
+        assert any(
+            outcome.metrics["refetch_rate_ule"] > 0
+            or outcome.metrics["due_fit_ule"] > 0
+            for outcome in result.outcomes
+        )
+
+    def test_due_objective_appended_by_default(self):
+        campaign = _campaign(transients=self._spec())
+        with SimulationSession() as session:
+            result = campaign.run(session=session)
+        assert "due_fit_ule:min" in [
+            str(o) for o in result.objectives
+        ]
+
+    def test_explicit_objectives_respected(self):
+        from repro.explore.pareto import Objective
+
+        campaign = _campaign(
+            transients=self._spec(),
+            objectives=(Objective("epi_ule"),),
+        )
+        with SimulationSession() as session:
+            result = campaign.run(session=session)
+        assert [str(o) for o in result.objectives] == ["epi_ule:min"]
+
+    def test_dected_way_beats_secded_on_due(self):
+        """The scenario-B argument, as a sweep outcome: under
+        identical strikes the DECTED ULE way must not lose to the
+        SECDED one on the DUE axis."""
+        space = _small_space(
+            size_kb=(8,),
+            ule_cell=("8T",),
+            ule_scheme=("secded", "dected"),
+        )
+        campaign = _campaign(space=space, transients=self._spec())
+        with SimulationSession() as session:
+            result = campaign.run(session=session)
+        by_scheme = {
+            outcome.point_dict()["ule_scheme"]: outcome.metrics
+            for outcome in result.outcomes
+        }
+        assert (
+            by_scheme["dected"]["due_fit_ule"]
+            <= by_scheme["secded"]["due_fit_ule"]
+        )
+
+    def test_null_spec_is_inert(self):
+        from repro.transients import TransientSpec
+
+        campaign = _campaign(
+            transients=TransientSpec(acceleration=0.0)
+        )
+        with SimulationSession() as session:
+            result = campaign.run(session=session)
+        assert "due_fit_ule" not in result.outcomes[0].metrics
+        assert "due_fit_ule:min" not in [
+            str(o) for o in result.objectives
+        ]

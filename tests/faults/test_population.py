@@ -111,3 +111,97 @@ class TestModeAssignment:
         # ULE jobs run the small suite at the ULE point.
         for job in jobs:
             assert job.operating_point.mode is job.mode
+
+
+class TestTransientInjection:
+    """Soft-error injection wired through the population study."""
+
+    @pytest.fixture(scope="class")
+    def injected_result(self):
+        from repro.transients import TransientSpec
+
+        spec = TransientSpec(
+            acceleration=1e17, scrub_interval_seconds=1e-4, seed=5
+        )
+        study = scenario_population_study(
+            "B", dies=6, trace_length=2_000, transients=spec
+        )
+        return study.run(session=SimulationSession())
+
+    def test_transient_percentiles_present(self, injected_result):
+        for metric in (
+            "due_fit_ule", "sdc_fit_ule", "refetch_rate_ule"
+        ):
+            percentiles = injected_result.metric_percentiles(metric)
+            assert set(percentiles) == {50.0, 90.0, 95.0, 99.0}
+        assert (
+            injected_result.metric_percentiles("refetch_rate_ule")[
+                95.0
+            ]
+            >= 0.0
+        )
+
+    def test_report_includes_fit_cross_check(self, injected_result):
+        text = injected_result.render()
+        assert "analytic DUE FIT" in text
+        assert "sampled DUE FIT" in text
+        assert "DUE FIT ULE" in text
+
+    def test_to_dict_carries_transient_fields(self, injected_result):
+        payload = injected_result.to_dict()
+        assert payload["analytic_due_fit"] is not None
+        assert payload["sampled_due_fit"] is not None
+        assert "due_fit_ule" in payload["percentiles"]
+        json.dumps(payload)  # stays JSON-able
+
+    def test_sampled_fit_within_documented_tolerance(self):
+        """Acceptance: the sampled DUE rate agrees with the analytic
+        ``cache_fit`` within 4 binomial standard errors at matched
+        (accelerated) physics — the tolerance docs/transients.md
+        documents."""
+        from repro.transients import TransientSpec
+
+        spec = TransientSpec(
+            acceleration=3e16, scrub_interval_seconds=1e-4, seed=5
+        )
+        study = scenario_population_study(
+            "B",
+            chip="baseline",
+            dies=2,
+            trace_length=1_000,
+            transients=spec,
+        )
+        study = PopulationStudy(
+            **{
+                **study.__dict__,
+                "fit_check_intervals": 800,
+            }
+        )
+        result = study.run(session=SimulationSession())
+        sampled = result.sampled_due_fit
+        analytic = result.analytic_due_fit
+        # ``sampled`` sums both arrays over the same horizon, so the
+        # total event count inverts directly from the FIT figure.
+        hours = 800 * spec.scrub_interval_seconds / 3600.0
+        events = sampled * hours / 1e9
+        assert events > 100
+        sigma = sampled / events**0.5
+        assert abs(sampled - analytic) < 4 * sigma
+
+    def test_null_spec_matches_no_spec(self):
+        from repro.transients import TransientSpec
+
+        base = _study(dies=4)
+        null = scenario_population_study(
+            "A",
+            dies=4,
+            trace_length=2_000,
+            transients=TransientSpec(acceleration=0.0),
+        )
+        with SimulationSession() as session:
+            plain = base.run(session=session)
+        with SimulationSession() as session:
+            nulled = null.run(session=session)
+        assert plain.render() == nulled.render()
+        assert nulled.analytic_due_fit is None
+        assert nulled.transient_metrics == ()

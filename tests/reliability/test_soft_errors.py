@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.reliability.soft_errors import SoftErrorModel
+from repro.reliability.soft_errors import SoftErrorModel, poisson_pmf
 
 MODEL = SoftErrorModel()
 
@@ -84,3 +84,86 @@ class TestScenarioBEquivalence:
             MODEL.cache_fit(0.35, -1, 39, 100.0, 1)
         with pytest.raises(ValueError):
             MODEL.word_uncorrectable_probability(0.35, 39, 10.0, -1)
+
+
+class TestLogSpacePmf:
+    """Regression: the pmf must survive extreme exposure windows."""
+
+    def test_extreme_exposure_no_overflow(self):
+        """A year-long exposure of a whole-array word population used
+        to overflow ``mean ** k`` / ``factorial(k)``; the log-space
+        form stays finite for any (mean, k)."""
+        year = 365 * 24 * 3600.0
+        for upsets in (0, 1, 50, 500, 5_000):
+            p = MODEL.word_upset_probability(
+                0.2, 10_000_000, 1e6 * year, upsets
+            )
+            assert 0.0 <= p <= 1.0
+            assert math.isfinite(p)
+
+    def test_large_mean_peak_location(self):
+        """With a huge mean the pmf peaks near it — sanity that the
+        log-space evaluation is not just returning zeros."""
+        pmf = poisson_pmf
+        assert pmf(1000.0, 1000) > pmf(1000.0, 500)
+        assert pmf(1000.0, 1000) > pmf(1000.0, 1500)
+        assert pmf(1000.0, 1000) == pytest.approx(
+            math.exp(
+                1000 * math.log(1000.0) - 1000.0 - math.lgamma(1001)
+            )
+        )
+
+    def test_matches_naive_form_in_safe_range(self):
+        mean = 2.5
+        for k in range(10):
+            naive = (
+                math.exp(-mean) * mean**k / math.factorial(k)
+            )
+            assert poisson_pmf(mean, k) == pytest.approx(naive)
+
+    def test_zero_mean(self):
+        assert poisson_pmf(0.0, 0) == 1.0
+        assert poisson_pmf(0.0, 3) == 0.0
+
+    def test_negative_upsets_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MODEL.word_upset_probability(0.35, 39, 3600.0, -1)
+        with pytest.raises(ValueError, match="non-negative"):
+            poisson_pmf(1.0, -2)
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_pmf(-0.1, 0)
+
+
+class TestStableTail:
+    """Regression: tiny uncorrectable probabilities must not cancel."""
+
+    def test_tiny_mean_tail_is_positive(self):
+        """Realistic upset means are ~1e-16 per interval; the naive
+        ``1 - cdf`` form cancels to exactly 0 in float."""
+        p = MODEL.word_uncorrectable_probability(
+            0.35, 39, 1e-3, soft_budget=0
+        )
+        assert p > 0.0
+        mean = 39 * MODEL.upset_rate_per_bit(0.35) * 1e-3
+        # Leading-order tail: P(>0) ~ mean for tiny means.
+        assert p == pytest.approx(mean, rel=1e-6)
+
+    def test_tail_matches_higher_budget_order(self):
+        mean = 39 * MODEL.upset_rate_per_bit(0.35) * 1e-3
+        p2 = MODEL.word_uncorrectable_probability(
+            0.35, 39, 1e-3, soft_budget=1
+        )
+        # P(>1) ~ mean^2 / 2 at leading order.
+        assert p2 == pytest.approx(mean**2 / 2, rel=1e-6)
+
+    def test_cache_fit_positive_at_realistic_rates(self):
+        fit = MODEL.cache_fit(
+            0.35,
+            words=2048,
+            word_bits=39,
+            scrub_interval_seconds=1e-3,
+            soft_budget=1,
+        )
+        assert fit > 0.0

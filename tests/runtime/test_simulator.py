@@ -18,6 +18,7 @@ from hypothesis import strategies as st
 from repro.engine.session import SimulationSession, use_session
 from repro.runtime import (
     Oracle,
+    ScheduleSimulator,
     StaticDutyCycle,
     UtilizationThreshold,
     simulate_schedule,
@@ -285,3 +286,69 @@ class TestRenderAndSerialization:
         assert schedule.mode_share(Mode.ULE) + schedule.mode_share(
             Mode.HP
         ) == pytest.approx(1.0)
+
+
+class TestTransientScheduling:
+    """Injection wired through the epoch scheduler."""
+
+    def _result(self, chips_a, transients):
+        trace = sensor_node_trace(4_000, 1_000, 2, seed=3)
+        simulator = ScheduleSimulator(
+            chips_a.proposed,
+            StaticDutyCycle(0.25),
+            epoch_length=2_000,
+            session=SimulationSession(),
+            transients=transients,
+        )
+        return simulator.run(trace)
+
+    def test_scrub_energy_charged_per_epoch(self, chips_a):
+        from repro.transients import TransientSpec
+
+        spec = TransientSpec(
+            acceleration=1e16, scrub_interval_seconds=1e-4, seed=7
+        )
+        result = self._result(chips_a, spec)
+        assert result.scrub_energy > 0
+        assert result.scrub_energy == pytest.approx(
+            sum(entry.scrub_energy for entry in result.entries)
+        )
+        # Scrub is part of the run energy, like the EDC share.
+        assert result.scrub_energy < result.run_energy
+        ule_entries = [
+            entry for entry in result.entries
+            if entry.mode is Mode.ULE
+        ]
+        assert all(
+            entry.scrub_energy > 0 for entry in ule_entries
+        )
+        assert "scrub energy" in result.render()
+        assert (
+            result.to_dict()["totals"]["scrub_energy_j"]
+            == result.scrub_energy
+        )
+
+    def test_injection_costs_energy_and_time(self, chips_a):
+        from repro.transients import TransientSpec
+
+        clean = self._result(chips_a, None)
+        injected = self._result(
+            chips_a,
+            TransientSpec(
+                acceleration=1e16,
+                scrub_interval_seconds=1e-4,
+                seed=7,
+            ),
+        )
+        assert injected.total_energy > clean.total_energy
+        assert injected.total_seconds >= clean.total_seconds
+
+    def test_null_spec_matches_no_spec(self, chips_a):
+        from repro.transients import TransientSpec
+
+        clean = self._result(chips_a, None)
+        nulled = self._result(
+            chips_a, TransientSpec(acceleration=0.0)
+        )
+        assert clean.render() == nulled.render()
+        assert nulled.scrub_energy == 0.0

@@ -452,3 +452,69 @@ class TestParetoEmptyObjectives:
         saved.write_text('{"objectives": [], "candidates": []}')
         assert main(["pareto", str(saved), "--objectives", ","]) == 2
         assert "names no metrics" in capsys.readouterr().err
+
+
+class TestTransients:
+    FAST = [
+        "transients",
+        "--trace-length", "2000",
+        "--intervals", "100",
+        "--acceleration", "1e16",
+    ]
+
+    def test_renders_curve_and_events(self, capsys):
+        assert main(self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "Uncorrectable soft-error rate vs ULE supply" in out
+        assert "Trace-observed recovery accounting" in out
+        assert "Paper vs measured" in out
+
+    def test_save_json_writes_curve(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "due.json"
+        assert main(self.FAST + ["--save-json", str(path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        assert set(payload["curve"]) == {"baseline", "proposed"}
+        for rows in payload["curve"].values():
+            assert len(rows) == 5
+            for row in rows:
+                assert row["fit_sampled_accelerated"] >= 0.0
+
+    def test_serial_matches_parallel(self, tmp_path, capsys):
+        serial = tmp_path / "serial.txt"
+        parallel = tmp_path / "parallel.txt"
+        assert main(self.FAST + ["--out", str(serial)]) == 0
+        assert main(
+            self.FAST + ["--jobs", "4", "--out", str(parallel)]
+        ) == 0
+        capsys.readouterr()
+        assert serial.read_text() == parallel.read_text()
+
+    def test_experiment_registered(self, capsys):
+        assert main(["list"]) == 0
+        assert "transients" in capsys.readouterr().out
+
+    def test_population_transient_flag(self, capsys):
+        assert main([
+            "population", "--dies", "4", "--trace-length", "2000",
+            "--scenario", "B", "--transient-accel", "1e16",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "DUE FIT ULE" in out
+        assert "sampled DUE FIT" in out
+
+    def test_schedule_transient_flag(self, capsys):
+        assert main([
+            "schedule", "--policy", "static", "--duty", "0.5",
+            "--trace-length", "20000", "--transient-accel", "1e16",
+        ]) == 0
+        assert "scrub energy" in capsys.readouterr().out
+
+    def test_sweep_transient_flag(self, capsys):
+        assert main([
+            "sweep", "--samples", "2", "--trace-length", "2000",
+            "--transient-accel", "1e16",
+        ]) == 0
+        assert "due_fit_ule:min" in capsys.readouterr().out

@@ -1,0 +1,63 @@
+"""The shared DUE/SDC FIT and refetch-rate reductions."""
+
+import pytest
+
+from repro.transients import transient_run_metrics
+
+
+class _Timing:
+    def __init__(self, instructions):
+        self.instructions = instructions
+
+
+class _Stats:
+    def __init__(self, due=0, silent=0, refetches=0):
+        self.transient_due = due
+        self.transient_silent = silent
+        self.transient_refetches = refetches
+
+
+class _Run:
+    def __init__(self, due=0, silent=0, refetches=0,
+                 seconds=3600.0, instructions=1000):
+        self.il1_stats = _Stats(due, silent, refetches)
+        self.dl1_stats = _Stats()
+        self.execution_seconds = seconds
+        self.timing = _Timing(instructions)
+
+
+class TestTransientRunMetrics:
+    def test_fit_per_billion_hours(self):
+        metrics = transient_run_metrics(
+            [_Run(due=2, silent=1, seconds=3600.0)]
+        )
+        # One simulated hour with 2 DUE events = 2e9 FIT.
+        assert metrics["due_fit_ule"] == pytest.approx(2e9)
+        assert metrics["sdc_fit_ule"] == pytest.approx(1e9)
+
+    def test_refetch_rate_per_instruction(self):
+        metrics = transient_run_metrics(
+            [_Run(refetches=5, instructions=1000)]
+        )
+        assert metrics["refetch_rate_ule"] == pytest.approx(0.005)
+
+    def test_accumulates_across_runs_and_caches(self):
+        runs = [_Run(due=1), _Run(due=3)]
+        runs[1].dl1_stats = _Stats(due=2)
+        metrics = transient_run_metrics(runs)
+        assert metrics["due_fit_ule"] == pytest.approx(
+            6 / 2.0 * 1e9
+        )
+
+    def test_empty_runs_reduce_to_zero(self):
+        metrics = transient_run_metrics([])
+        assert metrics == {
+            "due_fit_ule": 0.0,
+            "sdc_fit_ule": 0.0,
+            "refetch_rate_ule": 0.0,
+        }
+
+    def test_suffix_names_the_mode(self):
+        assert set(transient_run_metrics([], "hp")) == {
+            "due_fit_hp", "sdc_fit_hp", "refetch_rate_hp"
+        }

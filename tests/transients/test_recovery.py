@@ -1,0 +1,145 @@
+"""Recovery accounting: stall pricing, scrub energy, ledger charging."""
+
+import pytest
+
+from repro.cache.stats import CacheStats
+from repro.cacti.model import CacheEnergyModel
+from repro.cpu.power import EnergyLedger
+from repro.tech.operating import (
+    Mode,
+    ULE_OPERATING_POINT,
+)
+from repro.transients import (
+    TransientSpec,
+    account_transient_energy,
+    recovery_cycles,
+    scrub_pass_energy,
+)
+
+
+@pytest.fixture(scope="module")
+def configs():
+    from repro.core.architect import build_chips
+    from repro.core.methodology import design_scenario
+    from repro.core.scenarios import Scenario
+
+    chips = build_chips(design_scenario(Scenario.B))
+    return chips.baseline.config.il1, chips.proposed.config.il1
+
+
+def _stats(group, corrected=0, refetches=0):
+    stats = CacheStats()
+    stats.transient_corrected = corrected
+    stats.transient_refetches = refetches
+    if corrected:
+        stats.group_transient_corrected[group] = corrected
+    if refetches:
+        stats.group_transient_refetches[group] = refetches
+    return stats
+
+
+def _ule_group(config):
+    return next(
+        group.name
+        for group in config.way_groups
+        if group.is_active(Mode.ULE)
+    )
+
+
+class TestRecoveryCycles:
+    def test_refetches_stall_like_misses(self, configs):
+        baseline, _ = configs
+        spec = TransientSpec()
+        stats = _stats(_ule_group(baseline), refetches=5)
+        cycles = recovery_cycles(
+            baseline, Mode.ULE, stats, spec, memory_latency_cycles=20
+        )
+        assert cycles == pytest.approx(100.0)
+
+    def test_offpath_corrections_stall(self, configs):
+        """The scenario-B baseline keeps SECDED off the critical path,
+        so every correction costs the spec's bubble."""
+        baseline, _ = configs
+        group = _ule_group(baseline)
+        assert not next(
+            g for g in baseline.way_groups if g.name == group
+        ).edc_inline(Mode.ULE)
+        spec = TransientSpec(correction_cycles=2)
+        stats = _stats(group, corrected=7)
+        cycles = recovery_cycles(
+            baseline, Mode.ULE, stats, spec, memory_latency_cycles=20
+        )
+        assert cycles == pytest.approx(14.0)
+
+    def test_inline_corrections_are_free(self, configs):
+        """The proposed chip decodes inline at ULE — the correction
+        cycle is already inside the hit latency."""
+        _, proposed = configs
+        group = _ule_group(proposed)
+        assert next(
+            g for g in proposed.way_groups if g.name == group
+        ).edc_inline(Mode.ULE)
+        spec = TransientSpec(correction_cycles=2)
+        stats = _stats(group, corrected=7)
+        assert recovery_cycles(
+            proposed, Mode.ULE, stats, spec, memory_latency_cycles=20
+        ) == 0.0
+
+
+class TestScrubEnergy:
+    def test_protected_groups_cost_energy(self, configs):
+        baseline, _ = configs
+        model = CacheEnergyModel(baseline)
+        array, edc = scrub_pass_energy(model, ULE_OPERATING_POINT)
+        assert array > 0
+        assert edc > 0
+
+    def test_unprotected_mode_scrubs_nothing(self, configs):
+        """Scenario-B chips disable coding at HP (6T ways, no
+        scheme), so an HP scrub pass has nothing to sweep."""
+        from repro.tech.operating import HP_OPERATING_POINT
+
+        _, proposed = configs
+        model = CacheEnergyModel(proposed)
+        hp_groups = [
+            g for g in proposed.way_groups if g.is_active(Mode.HP)
+        ]
+        from repro.edc.protection import ProtectionScheme
+
+        if all(
+            g.data_protection.get(Mode.HP, ProtectionScheme.NONE)
+            is ProtectionScheme.NONE
+            for g in hp_groups
+        ):
+            array, edc = scrub_pass_energy(model, HP_OPERATING_POINT)
+            assert array == 0.0
+            assert edc == 0.0
+
+
+class TestLedgerCharging:
+    def test_refetch_and_scrub_components(self, configs):
+        baseline, _ = configs
+        model = CacheEnergyModel(baseline)
+        spec = TransientSpec(scrub_interval_seconds=1e-3)
+        stats = _stats(_ule_group(baseline), refetches=3)
+        ledger = EnergyLedger()
+        account_transient_energy(
+            ledger, "il1", model, stats, ULE_OPERATING_POINT,
+            spec, seconds=5e-3,
+        )
+        assert ledger.get("il1.refetch") > 0
+        assert ledger.get("il1.scrub") > 0
+        assert ledger.get("il1.edc.scrub") > 0
+        # Scrub charges pro rata: 5 intervals' worth of passes.
+        array, _ = scrub_pass_energy(model, ULE_OPERATING_POINT)
+        assert ledger.get("il1.scrub") == pytest.approx(5 * array)
+
+    def test_no_events_no_refetch_energy(self, configs):
+        baseline, _ = configs
+        model = CacheEnergyModel(baseline)
+        ledger = EnergyLedger()
+        account_transient_energy(
+            ledger, "il1", model, CacheStats(), ULE_OPERATING_POINT,
+            TransientSpec(), seconds=0.0,
+        )
+        assert ledger.total == 0.0

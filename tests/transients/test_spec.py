@@ -1,0 +1,76 @@
+"""TransientSpec validation, null collapsing and canonical identity."""
+
+import pickle
+
+import pytest
+
+from repro.transients import TransientSpec
+from repro.util.canonical import canonical_digest
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        spec = TransientSpec()
+        assert not spec.is_null
+        assert spec.scrub_interval_seconds > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fit_per_mbit_nominal": -1.0},
+            {"scrub_interval_seconds": 0.0},
+            {"scrub_interval_seconds": -1e-3},
+            {"acceleration": -0.5},
+            {"cycles_per_access": 0.0},
+            {"correction_cycles": -1},
+            {"vdd_nominal": 0.0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TransientSpec(**kwargs)
+
+
+class TestNullSpecs:
+    def test_zero_acceleration_is_null(self):
+        assert TransientSpec(acceleration=0.0).is_null
+
+    def test_zero_rate_is_null(self):
+        assert TransientSpec(fit_per_mbit_nominal=0.0).is_null
+
+    def test_active_spec_is_not_null(self):
+        assert not TransientSpec(acceleration=1e12).is_null
+
+
+class TestContentIdentity:
+    def test_equal_specs_share_digests(self):
+        a = TransientSpec(acceleration=1e15, seed=7)
+        b = TransientSpec(acceleration=1e15, seed=7)
+        assert a == b
+        assert canonical_digest(a) == canonical_digest(b)
+
+    def test_seed_changes_digest(self):
+        a = TransientSpec(seed=1)
+        b = TransientSpec(seed=2)
+        assert canonical_digest(a) != canonical_digest(b)
+
+    def test_pickle_round_trip(self):
+        spec = TransientSpec(acceleration=1e15, seed=3)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestModel:
+    def test_soft_error_model_carries_parameters(self):
+        spec = TransientSpec(
+            fit_per_mbit_nominal=500.0, voltage_sensitivity=2.0
+        )
+        model = spec.soft_error_model()
+        assert model.fit_per_mbit_nominal == 500.0
+        assert model.voltage_sensitivity == 2.0
+
+    def test_accelerated_rate_scales_linearly(self):
+        base = TransientSpec(acceleration=1.0)
+        fast = TransientSpec(acceleration=1e6)
+        assert fast.accelerated_rate_per_bit(0.35) == pytest.approx(
+            1e6 * base.accelerated_rate_per_bit(0.35)
+        )

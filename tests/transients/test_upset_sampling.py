@@ -1,0 +1,263 @@
+"""The counter-based upset sampler: determinism, order independence,
+classification rules and the sampled-vs-analytic FIT contract."""
+
+import numpy as np
+import pytest
+
+from repro.tech.operating import Mode, ULE_OPERATING_POINT
+from repro.transients import (
+    TransientOutcome,
+    TransientSpec,
+    analytic_cache_fit,
+    counter_uniforms,
+    make_sampler,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    from repro.core.architect import build_chips
+    from repro.core.methodology import design_scenario
+    from repro.core.scenarios import Scenario
+
+    return build_chips(design_scenario(Scenario.B)).proposed.config.il1
+
+
+def _sampler(config, acceleration=1e16, seed=9, **kwargs):
+    spec = TransientSpec(
+        acceleration=acceleration,
+        scrub_interval_seconds=kwargs.pop("scrub", 1e-4),
+        seed=seed,
+        **kwargs,
+    )
+    return make_sampler(
+        config, Mode.ULE, ULE_OPERATING_POINT, spec, "il1"
+    )
+
+
+class TestCounterUniforms:
+    def test_deterministic(self):
+        sets = np.arange(100, dtype=np.uint64)
+        words = sets % np.uint64(8)
+        intervals = sets // np.uint64(10)
+        a = counter_uniforms(123, sets, words, intervals)
+        b = counter_uniforms(123, sets, words, intervals)
+        assert np.array_equal(a, b)
+
+    def test_order_independent(self):
+        """Evaluating coordinates in any order gives the same values."""
+        sets = np.arange(64, dtype=np.uint64)
+        words = (sets * np.uint64(3)) % np.uint64(8)
+        intervals = sets % np.uint64(5)
+        forward = counter_uniforms(7, sets, words, intervals)
+        perm = np.random.default_rng(0).permutation(64)
+        shuffled = counter_uniforms(
+            7, sets[perm], words[perm], intervals[perm]
+        )
+        assert np.array_equal(forward, shuffled[np.argsort(perm)])
+
+    def test_in_unit_interval(self):
+        sets = np.arange(1000, dtype=np.uint64)
+        zeros = np.zeros(1000, dtype=np.uint64)
+        uniform = counter_uniforms(42, sets, zeros, zeros)
+        assert float(uniform.min()) >= 0.0
+        assert float(uniform.max()) < 1.0
+        # A crude uniformity sanity check.
+        assert 0.4 < float(uniform.mean()) < 0.6
+
+    def test_seed_decorrelates(self):
+        sets = np.arange(256, dtype=np.uint64)
+        zeros = np.zeros(256, dtype=np.uint64)
+        a = counter_uniforms(1, sets, zeros, zeros)
+        b = counter_uniforms(2, sets, zeros, zeros)
+        assert not np.array_equal(a, b)
+
+
+class TestSamplerGeometry:
+    def test_gated_ways_have_no_params(self, config):
+        sampler = _sampler(config)
+        mask = config.active_way_mask(Mode.ULE)
+        for way, active in enumerate(mask):
+            params = sampler.way_params(way)
+            assert (params is not None) == active
+
+    def test_word_of_matches_line_layout(self, config):
+        sampler = _sampler(config)
+        assert sampler.word_of(0) == 0
+        assert sampler.word_of(3) == 0
+        assert sampler.word_of(4) == 1
+        assert (
+            sampler.word_of(config.line_bytes - 1)
+            == config.words_per_line - 1
+        )
+
+    def test_interval_from_wall_clock(self, config):
+        spec = TransientSpec(scrub_interval_seconds=1e-3)
+        sampler = make_sampler(
+            config, Mode.ULE, ULE_OPERATING_POINT, spec, "il1"
+        )
+        # 1 ms at 5 MHz and one access per cycle = 5000 accesses.
+        assert sampler.accesses_per_interval == 5000
+        assert sampler.interval_of(4999) == 0
+        assert sampler.interval_of(5000) == 1
+
+    def test_il1_and_dl1_streams_decorrelate(self, config):
+        spec = TransientSpec(acceleration=1e16, seed=9)
+        il1 = make_sampler(
+            config, Mode.ULE, ULE_OPERATING_POINT, spec, "il1"
+        )
+        dl1 = make_sampler(
+            config, Mode.ULE, ULE_OPERATING_POINT, spec, "dl1"
+        )
+        way = next(
+            w
+            for w in range(config.ways)
+            if il1.way_params(w) is not None
+        )
+        sets = np.arange(512, dtype=np.uint64) % np.uint64(config.sets)
+        zeros = np.zeros(512, dtype=np.uint64)
+        intervals = np.arange(512, dtype=np.uint64)
+        a = counter_uniforms(
+            il1.way_params(way).way_seed, sets, zeros, intervals
+        )
+        b = counter_uniforms(
+            dl1.way_params(way).way_seed, sets, zeros, intervals
+        )
+        assert not np.array_equal(a, b)
+
+
+class TestClassification:
+    def test_scalar_matches_array_kernel(self, config):
+        """The reference path's scalar observe re-uses the array
+        kernel, so classifications can never diverge."""
+        sampler = _sampler(config, acceleration=1e17)
+        way = next(
+            w
+            for w in range(config.ways)
+            if sampler.way_params(w) is not None
+        )
+        params = sampler.way_params(way)
+        outcomes = {o: 0 for o in TransientOutcome}
+        for position in range(3000):
+            set_index = position % config.sets
+            address = (position * 4) % config.line_bytes
+            outcome = sampler.observe_read_hit(
+                way, set_index, address, position,
+                dirty=bool(position % 2),
+            )
+            if outcome is None:
+                continue
+            outcomes[outcome] += 1
+            upsets = int(
+                params.upset_counts(
+                    np.asarray([set_index], dtype=np.uint64),
+                    np.asarray(
+                        [sampler.word_of(address)], dtype=np.uint64
+                    ),
+                    np.asarray(
+                        [sampler.interval_of(position)],
+                        dtype=np.uint64,
+                    ),
+                )[0]
+            )
+            assert upsets > 0
+            if outcome is TransientOutcome.CORRECTED:
+                assert upsets <= params.correctable
+            elif outcome is TransientOutcome.SILENT:
+                assert upsets > params.detectable
+            else:
+                assert (
+                    params.correctable < upsets <= params.detectable
+                )
+        assert sum(outcomes.values()) > 0
+
+    def test_detected_on_dirty_is_due(self, config):
+        sampler = _sampler(config, acceleration=1e17)
+        way = next(
+            w
+            for w in range(config.ways)
+            if sampler.way_params(w) is not None
+        )
+        hits = [
+            (position, position % config.sets, (position * 4) % 32)
+            for position in range(20000)
+        ]
+        found_refetch = found_due = False
+        for position, set_index, address in hits:
+            clean = sampler.observe_read_hit(
+                way, set_index, address, position, dirty=False
+            )
+            dirty = sampler.observe_read_hit(
+                way, set_index, address, position, dirty=True
+            )
+            if clean is TransientOutcome.REFETCH:
+                assert dirty is TransientOutcome.DUE
+                found_refetch = found_due = True
+            elif clean is not None:
+                # Corrected / silent do not depend on dirtiness.
+                assert dirty is clean
+        assert found_refetch and found_due
+
+    def test_repeated_reads_same_interval_same_outcome(self, config):
+        """Accumulated damage persists within a scrub interval."""
+        sampler = _sampler(config, acceleration=1e17)
+        way = next(
+            w
+            for w in range(config.ways)
+            if sampler.way_params(w) is not None
+        )
+        per_interval = sampler.accesses_per_interval
+        for position in range(0, min(per_interval, 500)):
+            first = sampler.observe_read_hit(way, 3, 8, 0, False)
+            again = sampler.observe_read_hit(
+                way, 3, 8, position, False
+            )
+            assert again is first
+
+
+class TestFitContract:
+    def test_sampled_matches_accelerated_analytic(self, config):
+        """The acceptance tolerance: the enumerated FIT agrees with
+        the closed form within 4 binomial standard errors (documented
+        in docs/transients.md)."""
+        spec = TransientSpec(
+            acceleration=3e16, scrub_interval_seconds=1e-4, seed=11
+        )
+        sampler = make_sampler(
+            config, Mode.ULE, ULE_OPERATING_POINT, spec, "il1"
+        )
+        intervals = 600
+        events = sampler.uncorrectable_events(intervals)
+        assert events > 100  # enough statistics for the bound
+        sampled = sampler.sampled_cache_fit(intervals)
+        analytic = analytic_cache_fit(
+            config, Mode.ULE, ULE_OPERATING_POINT.vdd, spec,
+            accelerated=True,
+        )
+        sigma = sampled / max(events, 1) ** 0.5
+        assert abs(sampled - analytic) < 4 * sigma
+
+    def test_unaccelerated_analytic_is_tiny(self, config):
+        spec = TransientSpec(acceleration=3e16)
+        accelerated = analytic_cache_fit(
+            config, Mode.ULE, 0.35, spec, accelerated=True
+        )
+        true = analytic_cache_fit(config, Mode.ULE, 0.35, spec)
+        assert 0 < true < accelerated
+
+    def test_fit_grows_as_vdd_drops(self, config):
+        spec = TransientSpec(acceleration=3e16)
+        fits = [
+            analytic_cache_fit(
+                config, Mode.ULE, vdd, spec, accelerated=True
+            )
+            for vdd in (0.40, 0.35, 0.30)
+        ]
+        assert fits[0] < fits[1] < fits[2]
+
+    def test_enumeration_validates_arguments(self, config):
+        sampler = _sampler(config)
+        with pytest.raises(ValueError):
+            sampler.uncorrectable_events(-1)
+        with pytest.raises(ValueError):
+            sampler.sampled_cache_fit(0)
