@@ -1,20 +1,33 @@
 #!/usr/bin/env python3
-"""Performance smoke test: vectorized vs reference backend on fig3.
+"""Performance smoke test: backend and batching speedups, gated.
 
-Times one fig3-style evaluation (scenario A at HP mode — the heaviest
-per-access workload: BigBench on all eight ways) on both simulation
-backends, checks they agree bit-for-bit, and writes ``BENCH_engine.json``
-at the repo root so future PRs can track the speedup trajectory.
+Two experiments, both writing into ``BENCH_engine.json`` at the repo
+root so future PRs can track the trajectory:
 
-Two gates, both exiting non-zero on failure so CI catches fast-path
-regressions:
+* **fig3 single-evaluation** — one fig3-style evaluation (scenario A at
+  HP mode — the heaviest per-access workload: BigBench on all eight
+  ways) on the vectorized vs the reference backend, checked to agree
+  bit-for-bit (``speedup``).
+* **design-space sweep** — ``SWEEP_CANDIDATES`` ULE operating points
+  evaluated over the shared ULE traces on one chip config, the shape
+  the paper's Vdd/EDC design-space exploration submits.  The
+  mega-batched session path (trace-grouped plan reuse + functional-
+  simulation memoization) is timed against (a) a per-job vectorized
+  loop (``batch_vs_perjob``) and (b) the reference backend,
+  extrapolated from one fully-timed candidate — re-running all
+  candidates through the per-access reference model would take minutes
+  for no extra information (``sweep_speedup``).  Batched results are
+  checked bit-identical to the per-job results.
 
-* an absolute floor — the vectorized engine must be at least
-  ``MIN_SPEEDUP`` times faster;
-* a relative gate (``--check-against BASELINE.json``) — the fresh
-  speedup must not drop more than ``REGRESSION_TOLERANCE`` below the
+Gates, all exiting non-zero on failure so CI catches regressions:
+
+* absolute floors — ``MIN_SPEEDUP`` on the fig3 speedup,
+  ``MIN_SWEEP_SPEEDUP`` on the sweep-vs-reference speedup and
+  ``MIN_BATCH_VS_PERJOB`` on the batched-vs-per-job ratio;
+* a relative gate (``--check-against BASELINE.json``) — no fresh
+  metric may drop more than ``REGRESSION_TOLERANCE`` below the
   checked-in baseline's.  The baseline is read *before* the fresh
-  result overwrites it, so CI can check against the committed file in
+  record overwrites it, so CI can check against the committed file in
   place.
 
 Usage::
@@ -31,21 +44,41 @@ import json
 import pathlib
 import sys
 import time
+from dataclasses import replace
 
 from repro.core.evaluation import cached_chips, evaluate_scenario
 from repro.core.scenarios import Scenario
+from repro.engine.jobs import SimulationJob, TraceSpec, execute_job
 from repro.engine.session import SimulationSession, use_session
-from repro.tech.operating import Mode
+from repro.tech.operating import Mode, OperatingPoint
 
 #: Floor on the end-to-end evaluation speedup (observed ~20x).
 MIN_SPEEDUP = 5.0
 
-#: Allowed fractional drop below the checked-in baseline's speedup
+#: Floor on the batched sweep vs the reference backend (observed
+#: several hundred x: the reference walks every access per candidate,
+#: the batched path simulates each (trace, config) once per sweep).
+MIN_SWEEP_SPEEDUP = 100.0
+
+#: Floor on the batched sweep vs a per-job vectorized loop (the
+#: pre-batching engine fast path).
+MIN_BATCH_VS_PERJOB = 3.0
+
+#: Allowed fractional drop below the checked-in baseline's metrics
 #: before the relative gate fails (shared-runner noise tolerance).
 REGRESSION_TOLERANCE = 0.30
 
 #: Dynamic instructions per benchmark; big enough to dominate setup.
 TRACE_LENGTH = 60_000
+
+#: Operating-point candidates in the sweep experiment.
+SWEEP_CANDIDATES = 50
+
+#: Dynamic instructions per benchmark in the sweep experiment.
+SWEEP_TRACE_LENGTH = 60_000
+
+#: The ULE-suite traces every sweep candidate shares.
+SWEEP_BENCHMARKS = ("adpcm_c", "adpcm_d", "epic_c", "epic_d")
 
 RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / (
     "BENCH_engine.json"
@@ -64,6 +97,96 @@ def _timed_evaluation(
         return time.perf_counter() - start, evaluation
 
 
+def _run_results_equal(left, right) -> bool:
+    return (
+        left.il1_stats == right.il1_stats
+        and left.dl1_stats == right.dl1_stats
+        and left.timing == right.timing
+        and list(left.energy.items()) == list(right.energy.items())
+    )
+
+
+def _sweep_jobs(
+    trace_length: int, candidates: int
+) -> list[SimulationJob]:
+    """The sweep workload: ULE Vdd candidates × shared ULE traces."""
+    config = cached_chips(Scenario.A).proposed.config
+    step = 0.10 / max(candidates - 1, 1)
+    points = [
+        OperatingPoint(
+            mode=Mode.ULE, vdd=0.35 + index * step, frequency=5e6
+        )
+        for index in range(candidates)
+    ]
+    return [
+        SimulationJob(
+            chip=config,
+            trace=TraceSpec(benchmark, trace_length, 2013),
+            mode=Mode.ULE,
+            operating_point=point,
+        )
+        for point in points
+        for benchmark in SWEEP_BENCHMARKS
+    ]
+
+
+def _timed_sweep(
+    trace_length: int, candidates: int, backend: str = "auto"
+) -> dict:
+    """Measure the mega-batched sweep path against both comparators.
+
+    Returns the sweep metric fields of the benchmark record.  The
+    reference-backend time is measured on one candidate's jobs and
+    extrapolated linearly — the reference model has no cross-candidate
+    sharing, so its sweep cost is exactly per-candidate cost times the
+    candidate count.  ``backend`` selects the fast path under test for
+    both the batched and the per-job comparator (the numba CI leg
+    passes ``numba``).
+    """
+    jobs = _sweep_jobs(trace_length, candidates)
+    per_candidate = len(SWEEP_BENCHMARKS)
+
+    # Warmup run: traces generate into the per-process memo and, under
+    # the numba backend, the kernel JIT-compiles — neither belongs in
+    # the timed comparison (every comparator gets warm traces).
+    SimulationSession(backend=backend).run_jobs(jobs)
+
+    start = time.perf_counter()
+    with SimulationSession(backend=backend) as session:
+        batched = session.run_jobs(jobs)
+    batched_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    perjob = [execute_job(job, backend=backend) for job in jobs]
+    perjob_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for job in jobs[:per_candidate]:
+        execute_job(replace(job, backend="reference"))
+    reference_candidate_seconds = time.perf_counter() - start
+    reference_seconds = reference_candidate_seconds * candidates
+
+    identical = all(
+        _run_results_equal(left, right)
+        for left, right in zip(batched, perjob)
+    )
+    return {
+        "sweep_candidates": candidates,
+        "sweep_trace_length": trace_length,
+        "sweep_jobs": len(jobs),
+        "sweep_batched_seconds": round(batched_seconds, 4),
+        "sweep_perjob_seconds": round(perjob_seconds, 4),
+        "sweep_reference_seconds_extrapolated": round(
+            reference_seconds, 4
+        ),
+        "sweep_speedup": round(reference_seconds / batched_seconds, 2),
+        "batch_vs_perjob": round(perjob_seconds / batched_seconds, 2),
+        "min_sweep_speedup": MIN_SWEEP_SPEEDUP,
+        "min_batch_vs_perjob": MIN_BATCH_VS_PERJOB,
+        "sweep_identical": identical,
+    }
+
+
 def _parse_args(argv: list[str] | None) -> argparse.Namespace:
     parser = argparse.ArgumentParser(
         description="engine performance smoke test"
@@ -71,7 +194,7 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
     parser.add_argument(
         "--check-against", type=pathlib.Path, default=None,
         help=(
-            "baseline BENCH_engine.json; fail if the fresh speedup "
+            "baseline BENCH_engine.json; fail if any fresh metric "
             f"drops more than {REGRESSION_TOLERANCE:.0%} below its"
         ),
     )
@@ -80,10 +203,38 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
         help=f"instructions per benchmark (default: {TRACE_LENGTH})",
     )
     parser.add_argument(
+        "--sweep-candidates", type=int, default=SWEEP_CANDIDATES,
+        help=(
+            "operating-point candidates in the sweep experiment "
+            f"(default: {SWEEP_CANDIDATES})"
+        ),
+    )
+    parser.add_argument(
+        "--sweep-trace-length", type=int, default=SWEEP_TRACE_LENGTH,
+        help=(
+            "instructions per benchmark in the sweep experiment "
+            f"(default: {SWEEP_TRACE_LENGTH})"
+        ),
+    )
+    parser.add_argument(
+        "--sweep-backend", default="auto",
+        choices=("auto", "vectorized", "numba"),
+        help=(
+            "fast-path backend under test in the sweep experiment "
+            "(default: auto)"
+        ),
+    )
+    parser.add_argument(
         "--out", type=pathlib.Path, default=RESULT_PATH,
         help="where to write the fresh record (default: repo root)",
     )
     return parser.parse_args(argv)
+
+
+def _comparable(baseline: dict, record: dict, field: str) -> bool:
+    """Whether the baseline's workload field matches this run's."""
+    value = baseline.get(field)
+    return value is None or value == record[field]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -121,6 +272,12 @@ def main(argv: list[str] | None = None) -> int:
         print("FAIL: backends rendered different tables", file=sys.stderr)
         return 1
 
+    sweep = _timed_sweep(
+        args.sweep_trace_length,
+        args.sweep_candidates,
+        backend=args.sweep_backend,
+    )
+
     speedup = reference_seconds / vectorized_seconds
     record = {
         "experiment": "fig3 evaluation (scenario A, HP, BigBench)",
@@ -131,6 +288,10 @@ def main(argv: list[str] | None = None) -> int:
         "speedup": round(speedup, 2),
         "min_speedup": MIN_SPEEDUP,
         "identical_render": True,
+        "sweep_experiment": (
+            "ULE Vdd design-space sweep (scenario A, shared traces)"
+        ),
+        **sweep,
     }
     args.out.write_text(
         json.dumps(record, indent=2) + "\n", encoding="utf-8"
@@ -138,54 +299,80 @@ def main(argv: list[str] | None = None) -> int:
     print(json.dumps(record, indent=2))
     print(f"wrote {args.out}")
 
-    if speedup < MIN_SPEEDUP:
+    if not sweep["sweep_identical"]:
         print(
-            f"FAIL: speedup {speedup:.1f}x below floor {MIN_SPEEDUP}x",
+            "FAIL: batched sweep diverged from per-job results",
             file=sys.stderr,
         )
         return 1
+
+    floors = (
+        ("speedup", record["speedup"], MIN_SPEEDUP),
+        ("sweep_speedup", sweep["sweep_speedup"], MIN_SWEEP_SPEEDUP),
+        (
+            "batch_vs_perjob",
+            sweep["batch_vs_perjob"],
+            MIN_BATCH_VS_PERJOB,
+        ),
+    )
+    for name, fresh, floor in floors:
+        if fresh < floor:
+            print(
+                f"FAIL: {name} {fresh:.1f}x below floor {floor}x",
+                file=sys.stderr,
+            )
+            return 1
+
     if baseline is not None:
-        baseline_length = baseline.get("trace_length")
-        if (
-            baseline_length is not None
-            and baseline_length != args.trace_length
+        for field in (
+            "trace_length",
+            "sweep_candidates",
+            "sweep_trace_length",
         ):
-            # Speedup scales with trace length (setup amortization);
-            # comparing across lengths would gate on noise.
+            if not _comparable(baseline, record, field):
+                # Speedups scale with the workload (setup amortization,
+                # sharing degree); gating across workloads is noise.
+                print(
+                    f"FAIL: baseline measured at {field} "
+                    f"{baseline[field]}, this run at {record[field]}; "
+                    "the regression gate needs comparable runs",
+                    file=sys.stderr,
+                )
+                return 1
+        for name, fresh, _floor in floors:
+            raw = baseline.get(name)
+            if not isinstance(raw, (int, float)) or raw <= 0:
+                # A gate that cannot fire is worse than no gate: a
+                # baseline without a positive metric must fail loudly,
+                # not set the floor to zero.
+                print(
+                    f"FAIL: baseline {args.check_against} has no "
+                    f"usable {name!r} value ({raw!r})",
+                    file=sys.stderr,
+                )
+                return 1
+            reference_metric = float(raw)
+            floor = reference_metric * (1.0 - REGRESSION_TOLERANCE)
+            if fresh < floor:
+                print(
+                    f"FAIL: {name} {fresh:.1f}x regressed more than "
+                    f"{REGRESSION_TOLERANCE:.0%} below the baseline "
+                    f"{reference_metric:.1f}x (floor {floor:.1f}x)",
+                    file=sys.stderr,
+                )
+                return 1
             print(
-                f"FAIL: baseline measured at trace_length "
-                f"{baseline_length}, this run at {args.trace_length}; "
-                "the regression gate needs comparable runs",
-                file=sys.stderr,
+                f"OK: {name} within {REGRESSION_TOLERANCE:.0%} of "
+                f"baseline {reference_metric:.1f}x"
             )
-            return 1
-        raw_speedup = baseline.get("speedup")
-        if not isinstance(raw_speedup, (int, float)) or raw_speedup <= 0:
-            # A gate that cannot fire is worse than no gate: a
-            # baseline without a positive speedup must fail loudly,
-            # not set the floor to zero.
-            print(
-                f"FAIL: baseline {args.check_against} has no usable "
-                f"'speedup' value ({raw_speedup!r})",
-                file=sys.stderr,
-            )
-            return 1
-        reference_speedup = float(raw_speedup)
-        floor = reference_speedup * (1.0 - REGRESSION_TOLERANCE)
-        if speedup < floor:
-            print(
-                f"FAIL: speedup {speedup:.1f}x regressed more than "
-                f"{REGRESSION_TOLERANCE:.0%} below the baseline "
-                f"{reference_speedup:.1f}x (floor {floor:.1f}x)",
-                file=sys.stderr,
-            )
-            return 1
-        print(
-            f"OK: within {REGRESSION_TOLERANCE:.0%} of baseline "
-            f"{reference_speedup:.1f}x"
-        )
     print(f"OK: vectorized backend {speedup:.1f}x faster (floor "
           f"{MIN_SPEEDUP}x)")
+    print(
+        f"OK: batched sweep {sweep['sweep_speedup']:.1f}x over the "
+        f"reference (floor {MIN_SWEEP_SPEEDUP}x), "
+        f"{sweep['batch_vs_perjob']:.1f}x over per-job (floor "
+        f"{MIN_BATCH_VS_PERJOB}x)"
+    )
     return 0
 
 

@@ -26,9 +26,10 @@ Engine options (``run``, ``all``, ``sweep``, ``schedule``,
 ``population`` and ``transients``):
 
 * ``--jobs N`` — dispatch independent work across N processes;
-* ``--backend {auto,vectorized,reference}`` — simulation backend
+* ``--backend {auto,vectorized,numba,reference}`` — simulation backend
   (bit-identical; "auto" picks the vectorized fast path where it
-  applies);
+  applies, "numba" JIT-compiles the multi-way kernel when numba is
+  installed);
 * ``--cache-dir DIR`` — memoize simulation results on disk, keyed by a
   content hash of the full job description;
 * ``--profile`` — print per-phase wall-clock (trace generation,
@@ -146,7 +147,7 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         help="worker processes for independent jobs (default: 1)",
     )
     parser.add_argument(
-        "--backend", choices=("auto", "vectorized", "reference"),
+        "--backend", choices=("auto", "vectorized", "numba", "reference"),
         default="auto", help="simulation backend (default: auto)",
     )
     parser.add_argument(
@@ -767,7 +768,7 @@ def _dispatch_sweep(args: argparse.Namespace) -> int:
     space = default_space()
     if args.axes:
         space = space.with_overrides(args.axes)
-    if args.backend == "vectorized":
+    if args.backend in ("vectorized", "numba"):
         policies = next(
             (
                 axis.values
@@ -781,9 +782,9 @@ def _dispatch_sweep(args: argparse.Namespace) -> int:
         )
         if non_lru:
             print(
-                "error: --backend vectorized models LRU replacement "
-                f"only, but the space sweeps {non_lru}; use --backend "
-                "auto (falls back per candidate)",
+                f"error: --backend {args.backend} models LRU "
+                f"replacement only, but the space sweeps {non_lru}; "
+                "use --backend auto (falls back per candidate)",
                 file=sys.stderr,
             )
             return 2

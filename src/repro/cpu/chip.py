@@ -140,11 +140,13 @@ class Chip:
         backend: str = "auto",
         fault_map: "DieFaultMap | None" = None,
         transients: "TransientSpec | None" = None,
+        simulate=None,
     ) -> RunResult:
         """Execute a trace in ``mode`` and account time and energy.
 
         ``backend`` selects the functional simulation engine ("auto",
-        "vectorized" or "reference"); all backends are bit-identical.
+        "vectorized", "numba" or "reference"); all backends are
+        bit-identical.
         ``fault_map`` applies one die's disabled-line map
         (:class:`repro.faults.maps.DieFaultMap`) to both L1 arrays; a
         fault-free map is byte-identical to passing None.
@@ -154,6 +156,13 @@ class Chip:
         correction stalls enter the cycle count, and refetch + scrub
         energy enter the ledger.  A *null* spec is byte-identical to
         passing None.
+        ``simulate`` swaps the functional simulation entry point — a
+        callable with :func:`repro.engine.backends.simulate_cache`'s
+        signature.  The batching layer passes a wrapper that reuses
+        per-trace plans and memoizes identical functional simulations
+        across the jobs of a batch; everything downstream (timing,
+        energy, the result record) is shared code, which is what keeps
+        the batched path bit-identical to this per-job one.
         """
         op = operating_point or operating_point_for(mode)
         if op.mode is not mode:
@@ -181,53 +190,55 @@ class Chip:
         dl1_disabled = (
             fault_map.disabled_for("dl1", mode) if fault_map else ()
         )
-        il1_stats = simulate_cache(
+        sim = simulate if simulate is not None else simulate_cache
+        il1_stats = sim(
             self.config.il1, mode, trace.pc,
             policy=self.config.il1.replacement, backend=backend,
             disabled_lines=il1_disabled,
             transients=il1_sampler,
         )
         addresses, is_write = trace.memory_stream()
-        dl1_stats = simulate_cache(
+        dl1_stats = sim(
             self.config.dl1, mode, addresses, is_write,
             policy=self.config.dl1.replacement, backend=backend,
             disabled_lines=dl1_disabled,
             transients=dl1_sampler,
         )
 
-        recovery = 0.0
-        if spec is not None:
-            from repro.transients.recovery import recovery_cycles
+        with phase("run.reduce"):
+            recovery = 0.0
+            if spec is not None:
+                from repro.transients.recovery import recovery_cycles
 
-            recovery = recovery_cycles(
-                self.config.il1, mode, il1_stats, spec,
-                self.config.timing.memory_latency_cycles,
-            ) + recovery_cycles(
-                self.config.dl1, mode, dl1_stats, spec,
-                self.config.timing.memory_latency_cycles,
+                recovery = recovery_cycles(
+                    self.config.il1, mode, il1_stats, spec,
+                    self.config.timing.memory_latency_cycles,
+                ) + recovery_cycles(
+                    self.config.dl1, mode, dl1_stats, spec,
+                    self.config.timing.memory_latency_cycles,
+                )
+            timing = compute_timing(
+                trace.summary,
+                il1_misses=il1_stats.misses,
+                dl1_misses=dl1_stats.misses,
+                il1_hit_latency=self.il1_model.hit_latency_cycles(op),
+                dl1_hit_latency=self.dl1_model.hit_latency_cycles(op),
+                params=self.config.timing,
+                recovery_cycles=recovery,
             )
-        timing = compute_timing(
-            trace.summary,
-            il1_misses=il1_stats.misses,
-            dl1_misses=dl1_stats.misses,
-            il1_hit_latency=self.il1_model.hit_latency_cycles(op),
-            dl1_hit_latency=self.dl1_model.hit_latency_cycles(op),
-            params=self.config.timing,
-            recovery_cycles=recovery,
-        )
-        energy = self._account_energy(
-            trace, op, timing, il1_stats, dl1_stats, transients=spec
-        )
-        return RunResult(
-            chip_name=self.config.name,
-            trace_name=trace.name,
-            mode=mode,
-            operating_point=op,
-            timing=timing,
-            energy=energy,
-            il1_stats=il1_stats,
-            dl1_stats=dl1_stats,
-        )
+            energy = self._account_energy(
+                trace, op, timing, il1_stats, dl1_stats, transients=spec
+            )
+            return RunResult(
+                chip_name=self.config.name,
+                trace_name=trace.name,
+                mode=mode,
+                operating_point=op,
+                timing=timing,
+                energy=energy,
+                il1_stats=il1_stats,
+                dl1_stats=dl1_stats,
+            )
 
     # -------------------------------------------------------------- energy
     def _account_energy(

@@ -150,10 +150,20 @@ class Trace:
         """
         return self._content_digest
 
-    def memory_stream(self) -> tuple[np.ndarray, np.ndarray]:
-        """(addresses, is_write flags) of the data accesses, in order."""
+    @cached_property
+    def _memory_stream(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cached data-access stream (traces are immutable).
+
+        Caching also keeps the array *identities* stable, which the
+        batching layer (:mod:`repro.engine.batch`) relies on to key its
+        per-trace plan cache without re-hashing megabytes per job.
+        """
         mask = (self.kind == InstrKind.LOAD) | (self.kind == InstrKind.STORE)
         return self.addr[mask], (self.kind[mask] == InstrKind.STORE)
+
+    def memory_stream(self) -> tuple[np.ndarray, np.ndarray]:
+        """(addresses, is_write flags) of the data accesses, in order."""
+        return self._memory_stream
 
     def working_set_bytes(self, granularity: int = 32) -> int:
         """Distinct data bytes touched, rounded to ``granularity`` blocks."""

@@ -8,6 +8,12 @@ evaluation pipeline (see DESIGN.md section 5):
   the behavioural reference model and the batched numpy engine.
 * :mod:`repro.engine.vectorized` — the fast path: whole-trace decode,
   per-set stream extraction and run-collapsed LRU kernels.
+* :mod:`repro.engine.plan` — :class:`StreamPlan`: the trace-dependent
+  half of the fast path, hoisted so batches reuse it across jobs.
+* :mod:`repro.engine.kernels` — the flat-array LRU kernel behind
+  ``backend="numba"`` (JIT-compiled when numba is importable).
+* :mod:`repro.engine.batch` — trace-grouped execution: shared plans,
+  memoized functional simulations, store-backed worker dispatch.
 * :mod:`repro.engine.jobs` — picklable job descriptions and the
   per-process execution worker.
 * :mod:`repro.engine.session` — :class:`SimulationSession`: batch
@@ -25,8 +31,13 @@ __all__ = [
     "BACKENDS",
     "SimulationJob",
     "SimulationSession",
+    "StoredTraceRef",
+    "StreamPlan",
     "TraceSpec",
+    "TraceStore",
+    "build_stream_plan",
     "current_session",
+    "execute_group",
     "job_key",
     "reset_default_session",
     "simulate_cache",
@@ -39,6 +50,11 @@ _LAZY_EXPORTS = {
     "SimulationJob": ("repro.engine.jobs", "SimulationJob"),
     "TraceSpec": ("repro.engine.jobs", "TraceSpec"),
     "job_key": ("repro.engine.jobs", "job_key"),
+    "StreamPlan": ("repro.engine.plan", "StreamPlan"),
+    "build_stream_plan": ("repro.engine.plan", "build_stream_plan"),
+    "execute_group": ("repro.engine.batch", "execute_group"),
+    "StoredTraceRef": ("repro.workloads.store", "StoredTraceRef"),
+    "TraceStore": ("repro.workloads.store", "TraceStore"),
     "SimulationSession": ("repro.engine.session", "SimulationSession"),
     "current_session": ("repro.engine.session", "current_session"),
     "reset_default_session": (

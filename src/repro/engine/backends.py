@@ -1,6 +1,6 @@
 """Backend selection for functional cache simulation.
 
-Two interchangeable backends produce :class:`CacheStats` for an access
+Three interchangeable backends produce :class:`CacheStats` for an access
 stream on a fresh cache in a fixed mode:
 
 * ``"reference"`` — the behavioural per-access model
@@ -9,9 +9,18 @@ stream on a fresh cache in a fixed mode:
 * ``"vectorized"`` — the batched numpy engine
   (:mod:`repro.engine.vectorized`), bit-identical for LRU runs with a
   static way mask and an order of magnitude faster;
+* ``"numba"`` — the vectorized engine with its multi-way kernel routed
+  through the flat-array implementation of
+  :mod:`repro.engine.kernels`, JIT-compiled when numba is importable
+  (and falling back to the dict kernel when it is not — results are
+  bit-identical either way, so the name is safe to use everywhere);
 * ``"auto"`` — resolves per request: the vectorized engine for LRU
   simulations (the fast path's contract), the reference model for any
   other replacement policy.
+
+Batched callers (:mod:`repro.engine.batch`) additionally pass a
+precomputed :class:`repro.engine.plan.StreamPlan` via ``plan=`` so one
+trace's decode/sort/run-collapse is shared across many simulations.
 """
 
 from __future__ import annotations
@@ -22,12 +31,13 @@ from repro.cache.config import CacheConfig
 from repro.cache.hybrid import HybridCache
 from repro.cache.replacement import ReplacementPolicy
 from repro.cache.stats import CacheStats
+from repro.engine.plan import StreamPlan
 from repro.engine.vectorized import simulate_trace_vectorized
 from repro.tech.operating import Mode
 from repro.util.profiling import phase
 
 #: Recognized backend names (``auto`` resolves per call).
-BACKENDS = ("auto", "vectorized", "reference")
+BACKENDS = ("auto", "vectorized", "numba", "reference")
 
 
 def resolve_backend(backend: str, policy: str | ReplacementPolicy) -> str:
@@ -52,6 +62,7 @@ def simulate_cache(
     backend: str = "auto",
     disabled_lines: tuple[tuple[int, int], ...] = (),
     transients=None,
+    plan: StreamPlan | None = None,
 ) -> CacheStats:
     """Stream ``addresses`` through a fresh cache and return its counters.
 
@@ -63,7 +74,7 @@ def simulate_cache(
         policy: replacement policy name or instance (instances force the
             reference backend — the fast path models LRU only).
         seed: seed for the random policy (reference backend).
-        backend: "auto", "vectorized" or "reference".
+        backend: "auto", "vectorized", "numba" or "reference".
         disabled_lines: hard-fault-map ``(set, way)`` pairs of this
             array in this mode (see :mod:`repro.faults.maps`); both
             backends honour them bit-identically.
@@ -71,19 +82,25 @@ def simulate_cache(
             (:class:`repro.transients.sampling.TransientSampler`) for
             this array in this mode; read hits are classified into the
             transient counters, bit-identically across backends.
+        plan: optional precomputed
+            :class:`~repro.engine.plan.StreamPlan` of this exact
+            stream under this config's geometry (batched callers only;
+            ignored by the reference backend).
     """
     chosen = resolve_backend(backend, policy)
-    if chosen == "vectorized":
+    if chosen in ("vectorized", "numba"):
         if not (isinstance(policy, str) and policy.lower() == "lru"):
             raise ValueError(
-                "the vectorized backend models LRU replacement only; "
+                f"the {chosen} backend models LRU replacement only; "
                 "use backend='reference' for other policies"
             )
-        with phase("simulate.vectorized"):
+        with phase(f"simulate.{chosen}"):
             return simulate_trace_vectorized(
                 config, mode, addresses, is_write,
                 disabled_lines=disabled_lines,
                 transients=transients,
+                plan=plan,
+                compiled=(chosen == "numba"),
             )
     with phase("simulate.reference"):
         return _simulate_reference(

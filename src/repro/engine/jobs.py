@@ -27,6 +27,7 @@ from functools import lru_cache
 from repro.cpu.chip import Chip, ChipConfig, RunResult
 from repro.cpu.trace import Trace
 from repro.faults.maps import DieFaultMap
+from repro.workloads.store import StoredTraceRef
 from repro.tech.operating import Mode, OperatingPoint
 from repro.transients.spec import TransientSpec
 from repro.util.canonical import canonical_text
@@ -91,7 +92,7 @@ class SimulationJob:
     """
 
     chip: ChipConfig
-    trace: TraceSpec | Trace
+    trace: TraceSpec | Trace | StoredTraceRef
     mode: Mode
     operating_point: OperatingPoint | None = None
     backend: str | None = None
@@ -99,16 +100,22 @@ class SimulationJob:
     transients: TransientSpec | None = None
 
 
-def _trace_token(trace: TraceSpec | Trace) -> str:
+def _trace_token(trace: TraceSpec | Trace | StoredTraceRef) -> str:
     """Canonical text for the trace part of a job key.
 
     Inline traces are keyed by name *and* content digest
     (:meth:`repro.cpu.trace.Trace.content_digest`), so content-named
     slices of a recurring phase — :meth:`Trace.slice`'s default — map
-    to the same key and deduplicate in the session.
+    to the same key and deduplicate in the session.  A
+    :class:`~repro.workloads.store.StoredTraceRef` produces the *same*
+    token as the inline trace it points to: swapping a trace for its
+    store reference (what the session does before worker dispatch)
+    never changes a job key.
     """
     if isinstance(trace, TraceSpec):
         return repr(trace)
+    if isinstance(trace, StoredTraceRef):
+        return f"Trace({trace.name!r}, n={trace.length}, {trace.digest})"
     return (
         f"Trace({trace.name!r}, n={len(trace)}, {trace.content_digest()})"
     )
@@ -128,14 +135,33 @@ def _canonical(value) -> str:
     return canonical_text(value)
 
 
+#: Chip-token memo, keyed by config identity (configs are not hashable
+#: — protection schemes carry mappingproxies).  Sweeps hash hundreds of
+#: jobs over a handful of config objects, and the canonical walk over a
+#: full ChipConfig costs near a millisecond; the memo *pins* each config
+#: so a recycled id can never alias a dead object's token.
+_CHIP_TOKEN_MEMO: dict[int, tuple[ChipConfig, str]] = {}
+_CHIP_TOKEN_MEMO_LIMIT = 64
+
+
 def _chip_token(config: ChipConfig) -> str:
     """Canonical text for a chip configuration.
 
     The canonical walk recursively includes every numeric parameter of
     the cache geometry, bitcells, protection schemes and timing model,
     so it is a faithful — and invocation-stable — content description.
+    Memoized by object identity: equal-but-distinct configs re-walk
+    (and produce the same token), repeated objects — the common case in
+    batched sweeps — pay once.
     """
-    return _canonical(config)
+    cached = _CHIP_TOKEN_MEMO.get(id(config))
+    if cached is not None and cached[0] is config:
+        return cached[1]
+    token = _canonical(config)
+    while len(_CHIP_TOKEN_MEMO) >= _CHIP_TOKEN_MEMO_LIMIT:
+        _CHIP_TOKEN_MEMO.pop(next(iter(_CHIP_TOKEN_MEMO)))
+    _CHIP_TOKEN_MEMO[id(config)] = (config, token)
+    return token
 
 
 def _fault_map_token(fault_map: DieFaultMap | None) -> str:
@@ -199,10 +225,16 @@ def chip_for(config: ChipConfig) -> Chip:
     return chip
 
 
-def trace_for(trace: TraceSpec | Trace) -> Trace:
+def trace_for(trace: TraceSpec | Trace | StoredTraceRef) -> Trace:
     """Resolve a job's trace, regenerating specs at most once."""
     if isinstance(trace, Trace):
         return trace
+    if isinstance(trace, StoredTraceRef):
+        # Store-backed refs resolve through the batch layer's bounded
+        # per-process memo (lazy import: batch imports this module).
+        from repro.engine.batch import resolve_trace
+
+        return resolve_trace(trace)
     resolved = _TRACE_MEMO.get(trace)
     if resolved is None:
         from repro.workloads.mediabench import generate_trace

@@ -1,0 +1,257 @@
+"""Array-state LRU run kernel, optionally numba-compiled.
+
+The generic multi-way LRU kernel of :mod:`repro.engine.vectorized`
+(:func:`_accumulate_lru_runs`) walks runs with Python dicts — clear and
+fast enough interpreted, but opaque to a JIT.  This module provides the
+same computation over flat numpy state arrays (per-way tag/dirty slots,
+an explicit recency array, a per-set disabled-way bitmask), written in
+the restricted subset numba's ``nopython`` mode compiles.
+
+When numba is importable, :data:`lru_run_kernel` is the JIT-compiled
+version (``backend="numba"``); when it is not, the raw Python function
+is exposed unchanged so every code path stays testable — and the
+dispatcher in :mod:`repro.engine.vectorized` simply keeps using the
+dict kernel, which is faster than interpreting this one.
+
+Equivalence with the dict kernel (and through it the reference model)
+is enforced by ``tests/engine/test_kernels.py`` over modes, fault maps
+and randomized streams; both kernels fill the same per-run record
+arrays for the transient post-pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    HAVE_NUMBA = True
+except Exception:  # pragma: no cover - the baked-in CI image has none
+    njit = None
+    HAVE_NUMBA = False
+
+#: Widest way mask the per-set disabled bitmask (uint64) can express.
+MAX_BITMASK_WAYS = 64
+
+
+def _lru_run_kernel(
+    run_tag,
+    run_len,
+    run_writes,
+    run_head_write,
+    run_new_set,
+    run_set,
+    actives,
+    way_group,
+    disabled_mask,
+    counters,
+    group_counts,
+    run_way,
+    run_hit,
+    run_started_dirty,
+):
+    """Multi-way LRU over collapsed runs, flat-array state only.
+
+    Mirrors ``_accumulate_lru_runs`` exactly: victims are the first
+    empty active way in ascending order, else the LRU tail; sets whose
+    every active way is disabled bypass.  Outputs accumulate into
+    ``counters`` (read_hits, write_hits, read_misses, write_misses,
+    fills, writebacks, bypasses), ``group_counts`` (rows: read hits,
+    write hits, fills, writebacks; columns: way-group ids) and the
+    per-run record arrays (way, head-hit, started-dirty) the transient
+    post-pass consumes.
+    """
+    n_ways = len(way_group)
+    max_act = len(actives)
+    way_tag = np.zeros(n_ways, dtype=np.uint64)
+    way_dirty = np.zeros(n_ways, dtype=np.bool_)
+    lru = np.zeros(max_act, dtype=np.int64)  # MRU first, filled ways
+    set_act = np.zeros(max_act, dtype=np.int64)
+    filled = 0
+    n_act = 0
+    one = np.uint64(1)
+    zero = np.uint64(0)
+
+    for i in range(len(run_tag)):
+        if run_new_set[i]:
+            filled = 0
+            mask = disabled_mask[run_set[i]]
+            n_act = 0
+            for j in range(max_act):
+                way = actives[j]
+                if (mask >> np.uint64(way)) & one == zero:
+                    set_act[n_act] = way
+                    n_act += 1
+        tag = run_tag[i]
+        length = run_len[i]
+        n_writes = run_writes[i]
+        if n_act == 0:
+            # Fully-disabled set: graceful bypass, nothing allocates.
+            counters[2] += length - n_writes
+            counters[3] += n_writes
+            counters[6] += length
+            continue
+
+        hit_pos = -1
+        for j in range(filled):
+            if way_tag[lru[j]] == tag:
+                hit_pos = j
+                break
+        if hit_pos >= 0:
+            # Hit run: refresh recency, every access is a hit.
+            way = lru[hit_pos]
+            run_way[i] = way
+            run_hit[i] = True
+            run_started_dirty[i] = way_dirty[way]
+            for j in range(hit_pos, 0, -1):
+                lru[j] = lru[j - 1]
+            lru[0] = way
+            if n_writes > 0:
+                way_dirty[way] = True
+            group = way_group[way]
+            hits_read = length - n_writes
+            counters[0] += hits_read
+            counters[1] += n_writes
+            group_counts[0, group] += hits_read
+            group_counts[1, group] += n_writes
+            continue
+
+        # Miss on the run head; the tail hits the fresh line.
+        head_write = 1 if run_head_write[i] else 0
+        counters[3 if head_write else 2] += 1
+        if filled < n_act:
+            way = set_act[filled]
+            filled += 1
+        else:
+            way = lru[filled - 1]  # LRU tail
+            if way_dirty[way]:
+                counters[5] += 1
+                group_counts[3, way_group[way]] += 1
+        for j in range(filled - 1, 0, -1):
+            lru[j] = lru[j - 1]
+        lru[0] = way
+        way_tag[way] = tag
+        way_dirty[way] = n_writes > 0
+        run_way[i] = way  # miss runs fill clean; head stays a miss
+        group = way_group[way]
+        counters[4] += 1
+        group_counts[2, group] += 1
+        tail_reads = length - n_writes - (1 - head_write)
+        tail_writes = n_writes - head_write
+        counters[0] += tail_reads
+        counters[1] += tail_writes
+        group_counts[0, group] += tail_reads
+        group_counts[1, group] += tail_writes
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised by the numba CI job
+    lru_run_kernel = njit(cache=True)(_lru_run_kernel)
+else:
+    lru_run_kernel = _lru_run_kernel
+
+
+def accumulate_lru_runs_array(
+    stats,
+    actives,
+    group_names,
+    run_tag,
+    run_len,
+    run_writes,
+    run_head_write,
+    run_new_set,
+    run_set,
+    sets,
+    disabled_by_set=None,
+    records=None,
+    kernel=None,
+):
+    """Drive :data:`lru_run_kernel` and fold its outputs into ``stats``.
+
+    The staging mirrors what the dict kernel consumes/produces so the
+    two are drop-in interchangeable: group counters only receive
+    *nonzero* entries (the dict kernel never creates zero entries) and
+    ``records`` — when given — is filled with the same per-run (way,
+    head-hit, started-dirty) observations.
+
+    Args:
+        stats: the :class:`repro.cache.stats.CacheStats` to fill.
+        actives: active way indices, ascending.
+        group_names: way-group name of every way in the full mask.
+        run_tag / run_len / run_writes / run_head_write / run_new_set /
+            run_set: the run arrays of a
+            :class:`repro.engine.plan.StreamPlan`.
+        sets: number of sets (sizes the disabled bitmask).
+        disabled_by_set: fault-map ways to skip, per set index.
+        records: optional per-run record arrays (way pre-filled with
+            ``-1``) for the transient post-pass.
+        kernel: kernel override — tests pass the interpreted
+            :func:`_lru_run_kernel` to cover the logic without numba.
+    """
+    if len(group_names) > MAX_BITMASK_WAYS:
+        raise ValueError(
+            f"the array kernel's disabled bitmask models at most "
+            f"{MAX_BITMASK_WAYS} ways, got {len(group_names)}"
+        )
+    if kernel is None:
+        kernel = lru_run_kernel
+    groups: list[str] = []
+    group_ids: dict[str, int] = {}
+    way_group = np.empty(len(group_names), dtype=np.int64)
+    for way, name in enumerate(group_names):
+        if name not in group_ids:
+            group_ids[name] = len(groups)
+            groups.append(name)
+        way_group[way] = group_ids[name]
+
+    disabled_mask = np.zeros(sets, dtype=np.uint64)
+    for set_index, ways in (disabled_by_set or {}).items():
+        bits = np.uint64(0)
+        for way in ways:
+            bits |= np.uint64(1) << np.uint64(way)
+        disabled_mask[set_index] = bits
+
+    runs = len(run_tag)
+    if records is None:
+        run_way = np.full(runs, -1, dtype=np.int64)
+        run_hit = np.zeros(runs, dtype=bool)
+        run_started_dirty = np.zeros(runs, dtype=bool)
+    else:
+        run_way, run_hit, run_started_dirty = records
+
+    counters = np.zeros(7, dtype=np.int64)
+    group_counts = np.zeros((4, len(groups)), dtype=np.int64)
+    kernel(
+        np.ascontiguousarray(run_tag, dtype=np.uint64),
+        np.ascontiguousarray(run_len, dtype=np.int64),
+        np.ascontiguousarray(run_writes, dtype=np.int64),
+        np.ascontiguousarray(run_head_write, dtype=np.bool_),
+        np.ascontiguousarray(run_new_set, dtype=np.bool_),
+        np.ascontiguousarray(run_set, dtype=np.uint64),
+        np.asarray(actives, dtype=np.int64),
+        way_group,
+        disabled_mask,
+        counters,
+        group_counts,
+        run_way,
+        run_hit,
+        run_started_dirty,
+    )
+
+    stats.read_hits = int(counters[0])
+    stats.write_hits = int(counters[1])
+    stats.read_misses = int(counters[2])
+    stats.write_misses = int(counters[3])
+    stats.fills = int(counters[4])
+    stats.writebacks = int(counters[5])
+    stats.bypasses = int(counters[6])
+    for row, counter in (
+        (0, stats.group_read_hits),
+        (1, stats.group_write_hits),
+        (2, stats.group_fills),
+        (3, stats.group_writebacks),
+    ):
+        for group_id, name in enumerate(groups):
+            value = int(group_counts[row, group_id])
+            if value:
+                counter[name] += value

@@ -22,10 +22,10 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from contextlib import contextmanager
 from dataclasses import dataclass
-from functools import partial
 from pathlib import Path
 from typing import (
     TYPE_CHECKING,
@@ -36,8 +36,16 @@ from typing import (
 )
 
 from repro.cpu.chip import RunResult
+from repro.cpu.trace import Trace
 from repro.engine.backends import BACKENDS
-from repro.engine.jobs import SimulationJob, execute_job, job_key
+from repro.engine.batch import (
+    execute_group,
+    group_by_trace,
+    partition_for_dispatch,
+    strip_traces,
+)
+from repro.engine.jobs import SimulationJob, job_key
+from repro.workloads.store import TraceStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.experiments.report import ExperimentResult
@@ -64,21 +72,35 @@ class DiskResultCache:
         return self.root / f"{key}.pkl"
 
     def get(self, key: str) -> RunResult | None:
-        """The cached result for a key, or None (corrupt files ignored)."""
+        """The cached result for a key, or None.
+
+        A corrupt or truncated entry (a crashed writer, a filesystem
+        hiccup) is treated as a miss — the job simply re-executes and
+        overwrites it — but warns so silent cache damage stays visible.
+        """
+        path = self._path(key)
         try:
-            payload = self._path(key).read_bytes()
+            payload = path.read_bytes()
         except OSError:
             return None
         try:
             return pickle.loads(payload)
-        except Exception:
+        except Exception as error:
+            warnings.warn(
+                f"discarding corrupt result-cache entry {path.name} "
+                f"({type(error).__name__}: {error}); treated as a miss",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return None
 
     def put(self, key: str, result: RunResult) -> None:
         """Store a result atomically (concurrent writers tolerated)."""
         path = self._path(key)
         scratch = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        scratch.write_bytes(pickle.dumps(result))
+        scratch.write_bytes(
+            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        )
         os.replace(scratch, path)
 
     def __len__(self) -> int:
@@ -112,7 +134,7 @@ class SimulationSession:
     ----------
     jobs : int
         Worker processes for independent jobs (1 = in-process).
-    backend : {"auto", "vectorized", "reference"}
+    backend : {"auto", "vectorized", "numba", "reference"}
         Default simulation backend for submitted jobs (all backends
         are bit-identical; "auto" picks the vectorized fast path where
         it applies).
@@ -121,6 +143,22 @@ class SimulationSession:
         here.  Entries survive across invocations; any package source
         edit orphans them automatically (see
         ``docs/architecture.md``, "The job-key/caching contract").
+    trace_store : path-like, optional
+        Root of the content-addressed mmap trace store used to ship
+        inline traces to worker processes by digest instead of
+        pickling their arrays (see :mod:`repro.workloads.store`).
+        Defaults to ``$REPRO_TRACE_STORE`` or a per-user temp
+        directory.
+
+    Notes
+    -----
+    Execution is *trace-grouped*: pending jobs sharing a trace run as
+    one group through :func:`repro.engine.batch.execute_group`, which
+    hoists the trace's decode/sort/run-collapse into a shared
+    :class:`~repro.engine.plan.StreamPlan` and memoizes identical
+    functional simulations across the group's jobs.  Results — and job
+    keys — are bit-identical to per-job execution; only the wall clock
+    changes.
 
     Examples
     --------
@@ -160,6 +198,7 @@ class SimulationSession:
         jobs: int = 1,
         backend: str = "auto",
         cache_dir: str | os.PathLike | None = None,
+        trace_store: str | os.PathLike | None = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -175,6 +214,15 @@ class SimulationSession:
         self._disk = (
             DiskResultCache(cache_dir) if cache_dir is not None else None
         )
+        self._trace_store_root = trace_store
+        self._trace_store: TraceStore | None = None
+
+    @property
+    def trace_store(self) -> TraceStore:
+        """The session's trace store (created lazily)."""
+        if self._trace_store is None:
+            self._trace_store = TraceStore(self._trace_store_root)
+        return self._trace_store
 
     @property
     def _cache_root(self) -> Path | None:
@@ -256,27 +304,61 @@ class SimulationSession:
         jobs: Sequence[SimulationJob],
         progress: Callable[[int, int], None] | None = None,
     ) -> list[RunResult]:
-        runner = partial(execute_job, backend=self.backend)
         total = len(jobs)
-        results: list[RunResult] = []
+        results: list[RunResult | None] = [None] * total
         if self.jobs > 1 and total > 1:
             # The pool lives for the session: workers keep their
             # chip/trace memos warm across batches (e.g. the per-Vdd
             # evaluations of an ablation) instead of re-deriving them.
             if self._pool is None:
                 self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-            # Chunking amortizes pickling for campaign-scale batches
-            # while keeping every worker busy near the tail.
-            chunksize = max(1, total // (self.jobs * 8))
-            for result in self._pool.map(runner, jobs, chunksize=chunksize):
-                results.append(result)
-                if progress is not None:
-                    progress(len(results), total)
+            # Same-trace jobs travel as groups so workers share each
+            # trace's plan and functional-simulation memo; inline
+            # traces are swapped for content-addressed store refs so
+            # the pool never pickles trace arrays.
+            chunks = partition_for_dispatch(jobs, self.jobs)
+            dispatch: Sequence[SimulationJob] = jobs
+            store_root = self._trace_store_root
+            if any(isinstance(job.trace, Trace) for job in jobs):
+                store = self.trace_store
+                dispatch = strip_traces(jobs, store)
+                store_root = store.root
+            futures = {
+                self._pool.submit(
+                    execute_group,
+                    [dispatch[index] for index in chunk],
+                    backend=self.backend,
+                    store_root=store_root,
+                ): chunk
+                for chunk in chunks
+            }
+            done = 0
+            for future in as_completed(futures):
+                for index, result in zip(futures[future], future.result()):
+                    results[index] = result
+                    done += 1
+                    if progress is not None:
+                        progress(done, total)
             return results
-        for job in jobs:
-            results.append(runner(job))
+        # Serial: groups run in-process; traces stay inline (the store
+        # only earns its keep across a process boundary).
+        done = 0
+
+        def _advance(_result: RunResult) -> None:
+            nonlocal done
+            done += 1
             if progress is not None:
-                progress(len(results), total)
+                progress(done, total)
+
+        for group in group_by_trace(jobs):
+            group_results = execute_group(
+                [jobs[index] for index in group],
+                backend=self.backend,
+                store_root=self._trace_store_root,
+                on_result=_advance,
+            )
+            for index, result in zip(group, group_results):
+                results[index] = result
         return results
 
     # ------------------------------------------------- experiment batches

@@ -26,6 +26,15 @@ mid-run) and LRU replacement — at a fraction of the cost:
    :mod:`repro.faults.maps`) route through the generic kernel with a
    per-set reduced way list; fully-disabled sets bypass.
 
+Steps 1-3 are *variant-independent*: they depend on the access stream
+and the cache geometry only, so the batching layer
+(:mod:`repro.engine.batch`) hoists them into a reusable
+:class:`repro.engine.plan.StreamPlan` and passes it back in via the
+``plan=`` argument — one plan serves every (mode, way split, fault map,
+transient spec) variant of a sweep.  ``compiled=True`` swaps the dict
+kernel of step 4 for the flat-array kernel of
+:mod:`repro.engine.kernels` (numba-JIT-compiled when available).
+
 Equivalence with the reference model is enforced by
 ``tests/engine/test_equivalence.py`` across modes, way splits and seeds.
 """
@@ -36,19 +45,12 @@ import numpy as np
 
 from repro.cache.config import CacheConfig, validate_disabled_lines
 from repro.cache.stats import CacheStats
+from repro.engine import kernels
+from repro.engine.plan import StreamPlan, _decode, build_stream_plan
 from repro.tech.operating import Mode
+from repro.util.profiling import phase
 
-
-def _decode(
-    config: CacheConfig, addresses: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
-    """Vectorized ``index_of`` / ``tag_of`` over a whole address array."""
-    addr = np.ascontiguousarray(addresses, dtype=np.uint64)
-    index = (addr >> np.uint64(config.offset_bits)) % np.uint64(config.sets)
-    tag_shift = np.uint64(config.offset_bits + config.index_bits)
-    tag_mask = np.uint64((1 << config.tag_bits) - 1)
-    tag = (addr >> tag_shift) & tag_mask
-    return index, tag
+__all__ = ["simulate_trace_vectorized", "_decode"]
 
 
 def simulate_trace_vectorized(
@@ -58,6 +60,8 @@ def simulate_trace_vectorized(
     is_write: np.ndarray | None = None,
     disabled_lines: tuple[tuple[int, int], ...] = (),
     transients=None,
+    plan: StreamPlan | None = None,
+    compiled: bool = False,
 ) -> CacheStats:
     """Simulate a fresh LRU cache over an access stream in batch.
 
@@ -78,6 +82,14 @@ def simulate_trace_vectorized(
             and starting dirtiness, and a vectorized post-pass
             classifies every read hit through the shared sampler —
             bit-identical to the reference model's per-access path.
+        plan: precomputed :class:`~repro.engine.plan.StreamPlan` of
+            this exact ``(addresses, is_write)`` stream under this
+            config's geometry; None builds one in place.  Passing a
+            plan built for a different stream or geometry is undefined.
+        compiled: run the multi-way kernel through
+            :mod:`repro.engine.kernels` (numba-compiled when numba is
+            importable, the interpreted dict loop otherwise — both
+            bit-identical).
 
     Returns:
         Counters bit-identical to streaming the same accesses through
@@ -99,90 +111,85 @@ def simulate_trace_vectorized(
         return stats
     group_names = [config.group_of_way(way).name for way in range(len(mask))]
 
-    if is_write is None:
-        write = np.zeros(n, dtype=bool)
-    else:
-        write = np.ascontiguousarray(is_write, dtype=bool)
-        if len(write) != n:
-            raise ValueError("is_write length mismatch")
+    if plan is None:
+        plan = build_stream_plan(config, addresses, is_write)
+    elif plan.n != n:
+        raise ValueError("plan does not match the access stream length")
 
-    index, tag = _decode(config, addresses)
-
-    total_writes = int(np.count_nonzero(write))
-    stats.reads = n - total_writes
-    stats.writes = total_writes
-
-    # Per-set streams: stable sort keeps program order within each set.
-    order = np.argsort(index, kind="stable")
-    set_stream = index[order]
-    tag_stream = tag[order]
-    write_stream = write[order]
-
-    # Run boundaries: a new set segment or a tag change starts a run.
-    new_set = np.empty(n, dtype=bool)
-    new_set[0] = True
-    new_set[1:] = set_stream[1:] != set_stream[:-1]
-    run_start = new_set.copy()
-    run_start[1:] |= tag_stream[1:] != tag_stream[:-1]
-    starts = np.flatnonzero(run_start)
-
-    run_tag = tag_stream[starts]
-    run_len = np.diff(np.append(starts, n))
-    run_writes = np.add.reduceat(write_stream.astype(np.int64), starts)
-    run_head_write = write_stream[starts]
-    run_new_set = new_set[starts]
+    stats.reads = plan.n - plan.total_writes
+    stats.writes = plan.total_writes
 
     records = None
     if transients is not None:
         # Per-run observations the transient post-pass needs: the way
         # each run resides in (-1 for bypass), whether the run *head*
         # hit, and the line's dirtiness when the run started.
-        runs = len(starts)
+        runs = len(plan.starts)
         records = (
             np.full(runs, -1, dtype=np.int64),
             np.zeros(runs, dtype=bool),
             np.zeros(runs, dtype=bool),
         )
 
-    if len(actives) == 1 and not disabled_by_set:
-        _accumulate_direct_mapped(
-            stats,
-            group=group_names[actives[0]],
-            run_len=run_len,
-            run_writes=run_writes,
-            run_head_write=run_head_write,
-            run_new_set=run_new_set,
-        )
-        if records is not None:
-            # Single-way runs: every run fills (head misses) into the
-            # one active way, and a fresh fill always starts clean.
-            records[0][:] = actives[0]
-    else:
-        _accumulate_lru_runs(
-            stats,
-            actives=actives,
-            group_names=group_names,
-            run_tag=run_tag,
-            run_len=run_len,
-            run_writes=run_writes,
-            run_head_write=run_head_write,
-            run_new_set=run_new_set,
-            run_set=set_stream[starts] if disabled_by_set else None,
-            disabled_by_set=disabled_by_set,
-            records=records,
-        )
+    with phase("batch.kernel"):
+        if len(actives) == 1 and not disabled_by_set:
+            _accumulate_direct_mapped(
+                stats,
+                group=group_names[actives[0]],
+                run_len=plan.run_len,
+                run_writes=plan.run_writes,
+                run_head_write=plan.run_head_write,
+                run_new_set=plan.run_new_set,
+            )
+            if records is not None:
+                # Single-way runs: every run fills (head misses) into
+                # the one active way; a fresh fill always starts clean.
+                records[0][:] = actives[0]
+        elif (
+            compiled
+            and kernels.HAVE_NUMBA
+            and len(mask) <= kernels.MAX_BITMASK_WAYS
+        ):
+            kernels.accumulate_lru_runs_array(
+                stats,
+                actives=actives,
+                group_names=group_names,
+                run_tag=plan.run_tag,
+                run_len=plan.run_len,
+                run_writes=plan.run_writes,
+                run_head_write=plan.run_head_write,
+                run_new_set=plan.run_new_set,
+                run_set=plan.run_set,
+                sets=config.sets,
+                disabled_by_set=disabled_by_set,
+                records=records,
+            )
+        else:
+            _accumulate_lru_runs(
+                stats,
+                actives=actives,
+                group_names=group_names,
+                run_tag=plan.run_tag,
+                run_len=plan.run_len,
+                run_writes=plan.run_writes,
+                run_head_write=plan.run_head_write,
+                run_new_set=plan.run_new_set,
+                run_set=plan.run_set if disabled_by_set else None,
+                disabled_by_set=disabled_by_set,
+                records=records,
+            )
     if records is not None:
         _classify_transient_reads(
             stats,
             sampler=transients,
             addr_stream=np.ascontiguousarray(
                 addresses, dtype=np.uint64
-            )[order],
-            order=order,
-            set_stream=set_stream,
-            write_stream=write_stream,
-            starts=starts,
-            run_len=run_len,
+            )[plan.order],
+            order=plan.order,
+            set_stream=plan.set_stream,
+            write_stream=plan.write_stream,
+            starts=plan.starts,
+            run_len=plan.run_len,
             run_way=records[0],
             run_hit=records[1],
             run_started_dirty=records[2],

@@ -170,6 +170,7 @@ class TransientSampler:
         self.mode = mode
         self.vdd = op.vdd
         self.spec = spec
+        self.seed = seed
         self.accesses_per_interval = max(
             1,
             int(
@@ -206,6 +207,30 @@ class TransientSampler:
                     way_seed=derive_seed(seed, "way", way),
                 )
             )
+
+    @property
+    def content_token(self) -> str:
+        """Canonical text identifying this sampler's entire behaviour.
+
+        Two samplers with equal tokens classify every (way, set, word,
+        interval) coordinate identically: the spec fixes the physics
+        and budgets, ``mode``/``vdd`` fix the way parameters and upset
+        rate, ``accesses_per_interval`` fixes interval indexing, and
+        ``seed`` fixes the counter streams.  The config is *not*
+        folded in directly because batched callers key on it
+        separately (see :mod:`repro.engine.batch`).
+        """
+        from repro.util.canonical import canonical_text
+
+        return canonical_text(
+            (
+                self.spec,
+                repr(self.mode),
+                self.vdd,
+                self.accesses_per_interval,
+                self.seed,
+            )
+        )
 
     # ----------------------------------------------------------- geometry
     def way_params(self, way: int) -> WayTransientParams | None:

@@ -1,0 +1,168 @@
+"""Columnar, content-addressed, memory-mapped trace storage.
+
+A :class:`repro.cpu.trace.Trace` is a struct-of-arrays record; this
+module persists each of its five columns as a plain ``.npy`` file under
+a directory named by the trace's content digest::
+
+    <root>/<digest[:2]>/<digest>/{pc,kind,addr,dep_next,redirect}.npy
+
+The layout buys three things for the simulation engine:
+
+* **Cheap worker dispatch.**  :class:`SimulationSession` replaces inline
+  traces with :class:`StoredTraceRef` (name + digest + length — a few
+  hundred bytes) before submitting jobs to worker processes, so the
+  ``ProcessPoolExecutor`` never pickles megabytes of arrays.  Workers
+  reopen the columns by digest with ``np.load(..., mmap_mode="r")`` and
+  the OS page cache shares the bytes across every worker on the host.
+* **Content addressing.**  Two traces with equal arrays share one store
+  entry whatever they are called, mirroring the engine's job-key rule
+  (:func:`repro.engine.jobs.job_key` hashes the same digest).
+* **Idempotent, concurrent-safe writes.**  Entries are written to a
+  scratch directory and published with one atomic rename; losing a
+  publish race to another writer is success, not an error.
+
+The store is append-only and entries are immutable — nothing ever
+rewrites a published column file.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.cpu.trace import Trace
+
+#: The five trace columns, in the order ``Trace`` declares them.
+COLUMNS = ("pc", "kind", "addr", "dep_next", "redirect")
+
+
+def default_store_root() -> Path:
+    """The trace-store root used when none is configured.
+
+    ``$REPRO_TRACE_STORE`` wins when set; otherwise a per-user
+    directory under the system temp dir, so unrelated users on a
+    shared host never contend on permissions.
+    """
+    env = os.environ.get("REPRO_TRACE_STORE")
+    if env:
+        return Path(env)
+    uid = getattr(os, "getuid", lambda: "shared")()
+    return Path(tempfile.gettempdir()) / f"repro-traces-{uid}"
+
+
+@dataclass(frozen=True)
+class StoredTraceRef:
+    """A by-digest pointer to a trace persisted in a :class:`TraceStore`.
+
+    Picklable in a few hundred bytes — the whole point: jobs carrying a
+    ref instead of an inline :class:`~repro.cpu.trace.Trace` cross the
+    process boundary without shipping arrays.  ``name`` and ``length``
+    ride along so job keys (and :class:`Trace` reconstruction) need no
+    store round-trip.
+
+    Attributes:
+        name: the trace's name (job keys hash name + digest).
+        digest: the trace's content digest (store address).
+        length: dynamic instruction count of the trace.
+    """
+
+    name: str
+    digest: str
+    length: int
+
+
+class TraceStore:
+    """Content-addressed columnar store of immutable traces.
+
+    Parameters
+    ----------
+    root : path-like, optional
+        Store root directory (created on first write).  Defaults to
+        :func:`default_store_root`.
+
+    Attributes
+    ----------
+    stats : dict
+        Operation counters — ``puts`` (columns written), ``put_hits``
+        (puts satisfied by an existing entry) and ``gets`` (traces
+        opened) — exposed so tests can assert that dispatch resolves
+        through the store instead of re-pickling arrays.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None):
+        self.root = Path(root) if root is not None else default_store_root()
+        self.stats = {"puts": 0, "put_hits": 0, "gets": 0}
+
+    def _entry_dir(self, digest: str) -> Path:
+        return self.root / digest[:2] / digest
+
+    def contains(self, digest: str) -> bool:
+        """Whether an entry for ``digest`` is fully published."""
+        entry = self._entry_dir(digest)
+        return all((entry / f"{c}.npy").exists() for c in COLUMNS)
+
+    def put(self, trace: Trace) -> StoredTraceRef:
+        """Persist a trace (idempotent) and return its reference.
+
+        The entry is staged in a scratch directory and published with a
+        single :func:`os.rename`; when two writers race, the loser
+        observes the winner's entry and discards its own staging — the
+        digest guarantees the bytes are identical either way.
+        """
+        digest = trace.content_digest()
+        ref = StoredTraceRef(
+            name=trace.name, digest=digest, length=len(trace)
+        )
+        if self.contains(digest):
+            self.stats["put_hits"] += 1
+            return ref
+        entry = self._entry_dir(digest)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        scratch = Path(
+            tempfile.mkdtemp(prefix=f".{digest[:12]}-", dir=entry.parent)
+        )
+        try:
+            for column in COLUMNS:
+                np.save(
+                    scratch / f"{column}.npy",
+                    np.ascontiguousarray(getattr(trace, column)),
+                )
+            self.stats["puts"] += 1
+            try:
+                os.rename(scratch, entry)
+            except OSError:
+                # Lost the publish race: the winner's entry is
+                # byte-identical by content addressing.
+                if not self.contains(digest):
+                    raise
+                self.stats["put_hits"] += 1
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+        return ref
+
+    def get(self, ref: StoredTraceRef) -> Trace:
+        """Open a stored trace as read-only memory-mapped columns.
+
+        The returned :class:`~repro.cpu.trace.Trace` lazily pages bytes
+        in from the store files; its digest cache is seeded from the
+        reference so nothing re-hashes megabytes on access.
+        """
+        self.stats["gets"] += 1
+        entry = self._entry_dir(ref.digest)
+        arrays = {
+            column: np.load(entry / f"{column}.npy", mmap_mode="r")
+            for column in COLUMNS
+        }
+        trace = Trace(name=ref.name, **arrays)
+        # Seed the digest cache: the store address *is* the digest.
+        trace.__dict__["_content_digest"] = ref.digest
+        return trace
+
+    def __contains__(self, item: StoredTraceRef | str) -> bool:
+        digest = item.digest if isinstance(item, StoredTraceRef) else item
+        return self.contains(digest)

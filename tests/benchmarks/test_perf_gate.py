@@ -1,8 +1,9 @@
 """The perf_smoke regression gate (--check-against) logic.
 
 The script itself lives outside the package (``benchmarks/``), so it is
-loaded by path; the timed evaluations are stubbed to make every gate
-path deterministic — the real end-to-end timing runs in CI.
+loaded by path; the timed evaluations and the timed sweep are stubbed
+to make every gate path deterministic — the real end-to-end timing runs
+in CI.
 """
 
 import importlib.util
@@ -17,6 +18,29 @@ _SCRIPT = (
     / "benchmarks"
     / "perf_smoke.py"
 )
+
+#: The stubbed fresh metrics every gate test sees.
+FRESH = {"speedup": 20.0, "sweep_speedup": 500.0, "batch_vs_perjob": 5.0}
+
+
+def _fake_sweep_metrics(
+    trace_length, candidates, backend="auto", *, identical=True
+) -> dict:
+    return {
+        "sweep_candidates": candidates,
+        "sweep_trace_length": trace_length,
+        "sweep_jobs": candidates * 4,
+        "sweep_batched_seconds": 0.1,
+        "sweep_perjob_seconds": 0.1 * FRESH["batch_vs_perjob"],
+        "sweep_reference_seconds_extrapolated": (
+            0.1 * FRESH["sweep_speedup"]
+        ),
+        "sweep_speedup": FRESH["sweep_speedup"],
+        "batch_vs_perjob": FRESH["batch_vs_perjob"],
+        "min_sweep_speedup": 100.0,
+        "min_batch_vs_perjob": 3.0,
+        "sweep_identical": identical,
+    }
 
 
 @pytest.fixture()
@@ -40,14 +64,19 @@ def perf_smoke(monkeypatch):
         return seconds, _FakeEvaluation()
 
     monkeypatch.setattr(module, "_timed_evaluation", fake_timed)
+    monkeypatch.setattr(module, "_timed_sweep", _fake_sweep_metrics)
     monkeypatch.setattr(module, "cached_chips", lambda scenario: None)
     yield module
     sys.modules.pop(spec.name, None)
 
 
-def _baseline(tmp_path, speedup: float) -> str:
+def _baseline(tmp_path, speedup=None, **overrides) -> str:
+    payload = dict(FRESH)
+    if speedup is not None:
+        payload["speedup"] = speedup
+    payload.update(overrides)
     path = tmp_path / "baseline.json"
-    path.write_text(json.dumps({"speedup": speedup}))
+    path.write_text(json.dumps(payload))
     return str(path)
 
 
@@ -59,7 +88,10 @@ class TestRegressionGate:
              "--out", str(out)]
         )
         assert status == 0
-        assert json.loads(out.read_text())["speedup"] == 20.0
+        fresh = json.loads(out.read_text())
+        assert fresh["speedup"] == 20.0
+        assert fresh["sweep_speedup"] == 500.0
+        assert fresh["batch_vs_perjob"] == 5.0
 
     def test_fails_beyond_tolerance(self, perf_smoke, tmp_path, capsys):
         status = perf_smoke.main(
@@ -89,24 +121,18 @@ class TestRegressionGate:
     ):
         """Speedups from different workloads are incomparable: a
         baseline recorded at another trace length must not gate."""
-        path = tmp_path / "baseline.json"
-        path.write_text(
-            json.dumps({"speedup": 20.0, "trace_length": 60_000})
-        )
+        path = _baseline(tmp_path, trace_length=60_000)
         status = perf_smoke.main(
-            ["--check-against", str(path), "--trace-length", "5000",
+            ["--check-against", path, "--trace-length", "5000",
              "--out", str(tmp_path / "fresh.json")]
         )
         assert status == 1
         assert "comparable" in capsys.readouterr().err
 
     def test_matching_trace_length_gates(self, perf_smoke, tmp_path):
-        path = tmp_path / "baseline.json"
-        path.write_text(
-            json.dumps({"speedup": 20.0, "trace_length": 60_000})
-        )
+        path = _baseline(tmp_path, trace_length=60_000)
         assert perf_smoke.main(
-            ["--check-against", str(path),
+            ["--check-against", path,
              "--out", str(tmp_path / "fresh.json")]
         ) == 0
 
@@ -132,18 +158,112 @@ class TestRegressionGate:
         assert status == 1
         assert "cannot read baseline" in capsys.readouterr().err
 
-    def test_no_baseline_keeps_absolute_floor_only(
+    def test_no_baseline_keeps_absolute_floors_only(
         self, perf_smoke, tmp_path
     ):
         assert perf_smoke.main(
             ["--out", str(tmp_path / "fresh.json")]
         ) == 0
 
+
+class TestSweepGate:
+    def test_sweep_regression_fails(self, perf_smoke, tmp_path, capsys):
+        """The batching throughput is gated exactly like the backend
+        speedup: a big drop below the baseline's sweep_speedup fails
+        even when the backend speedup is healthy."""
+        status = perf_smoke.main(
+            ["--check-against",
+             _baseline(tmp_path, sweep_speedup=2_000.0),
+             "--out", str(tmp_path / "fresh.json")]
+        )
+        assert status == 1
+        assert "sweep_speedup" in capsys.readouterr().err
+
+    def test_batch_vs_perjob_regression_fails(
+        self, perf_smoke, tmp_path, capsys
+    ):
+        status = perf_smoke.main(
+            ["--check-against",
+             _baseline(tmp_path, batch_vs_perjob=20.0),
+             "--out", str(tmp_path / "fresh.json")]
+        )
+        assert status == 1
+        assert "batch_vs_perjob" in capsys.readouterr().err
+
+    def test_baseline_without_sweep_metric_fails(
+        self, perf_smoke, tmp_path, capsys
+    ):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"speedup": 20.0}))
+        status = perf_smoke.main(
+            ["--check-against", str(path),
+             "--out", str(tmp_path / "fresh.json")]
+        )
+        assert status == 1
+        assert "no usable 'sweep_speedup'" in capsys.readouterr().err
+
+    def test_mismatched_sweep_candidates_fails(
+        self, perf_smoke, tmp_path, capsys
+    ):
+        """Sharing degree scales with the candidate count: sweeps of
+        different widths are incomparable."""
+        path = _baseline(tmp_path, sweep_candidates=50)
+        status = perf_smoke.main(
+            ["--check-against", path, "--sweep-candidates", "10",
+             "--out", str(tmp_path / "fresh.json")]
+        )
+        assert status == 1
+        assert "comparable" in capsys.readouterr().err
+
+    def test_below_sweep_floor_fails(
+        self, perf_smoke, tmp_path, monkeypatch, capsys
+    ):
+        def slow_sweep(trace_length, candidates, backend="auto"):
+            metrics = _fake_sweep_metrics(trace_length, candidates)
+            metrics["sweep_speedup"] = 40.0  # < MIN_SWEEP_SPEEDUP
+            return metrics
+
+        monkeypatch.setattr(perf_smoke, "_timed_sweep", slow_sweep)
+        status = perf_smoke.main(
+            ["--out", str(tmp_path / "fresh.json")]
+        )
+        assert status == 1
+        assert "below floor" in capsys.readouterr().err
+
+    def test_diverged_sweep_results_fail(
+        self, perf_smoke, tmp_path, monkeypatch, capsys
+    ):
+        """Bit-identity is the contract — a fast but wrong batch path
+        must never pass the benchmark."""
+        monkeypatch.setattr(
+            perf_smoke,
+            "_timed_sweep",
+            lambda trace_length, candidates, backend="auto": (
+                _fake_sweep_metrics(
+                    trace_length, candidates, identical=False
+                )
+            ),
+        )
+        status = perf_smoke.main(
+            ["--out", str(tmp_path / "fresh.json")]
+        )
+        assert status == 1
+        assert "diverged" in capsys.readouterr().err
+
+
+class TestCheckedInBaseline:
     def test_checked_in_baseline_is_readable(self):
         """CI points --check-against at the committed file; it must
-        parse and carry a speedup above the absolute floor."""
+        parse and carry every gated metric above its absolute floor."""
         repo_root = _SCRIPT.parent.parent
         payload = json.loads(
             (repo_root / "BENCH_engine.json").read_text()
         )
         assert payload["speedup"] >= payload["min_speedup"]
+        assert (
+            payload["sweep_speedup"] >= payload["min_sweep_speedup"]
+        )
+        assert (
+            payload["batch_vs_perjob"]
+            >= payload["min_batch_vs_perjob"]
+        )

@@ -1,0 +1,224 @@
+"""Array-kernel equivalence: flat-array LRU == dict LRU, bit for bit.
+
+:mod:`repro.engine.kernels` re-expresses the dict-based multi-way LRU
+run kernel over flat numpy state so numba can compile it.  Its contract
+is exact equivalence — counters, per-group counters *and* the per-run
+record arrays the transient post-pass consumes — across way splits,
+fault maps and randomized streams.  These tests drive the *interpreted*
+kernel (``kernel=_lru_run_kernel``) so the logic is covered with or
+without numba; the optional numba CI job runs the same suite with the
+JIT-compiled kernel active.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.stats import CacheStats
+from repro.core.architect import build_cache_pair
+from repro.engine import kernels
+from repro.engine.kernels import (
+    MAX_BITMASK_WAYS,
+    _lru_run_kernel,
+    accumulate_lru_runs_array,
+)
+from repro.engine.plan import build_stream_plan
+from repro.engine.vectorized import (
+    _accumulate_lru_runs,
+    simulate_trace_vectorized,
+)
+from repro.tech.operating import Mode
+from repro.workloads.mediabench import generate_trace
+
+
+def _setup(config, mode, disabled_lines=()):
+    mask = config.active_way_mask(mode)
+    actives = [way for way, active in enumerate(mask) if active]
+    group_names = [
+        config.group_of_way(way).name for way in range(len(mask))
+    ]
+    disabled_by_set: dict[int, set[int]] = {}
+    for set_index, way in disabled_lines:
+        disabled_by_set.setdefault(set_index, set()).add(way)
+    return actives, group_names, disabled_by_set
+
+
+def _fresh_records(runs):
+    return (
+        np.full(runs, -1, dtype=np.int64),
+        np.zeros(runs, dtype=bool),
+        np.zeros(runs, dtype=bool),
+    )
+
+
+def _both_kernels(
+    config, mode, addresses, is_write=None, disabled_lines=()
+):
+    """Run the same plan through both kernels, records included."""
+    actives, group_names, disabled_by_set = _setup(
+        config, mode, disabled_lines
+    )
+    plan = build_stream_plan(config, addresses, is_write)
+    runs = len(plan.starts)
+
+    dict_stats = CacheStats()
+    dict_records = _fresh_records(runs)
+    _accumulate_lru_runs(
+        dict_stats,
+        actives=actives,
+        group_names=group_names,
+        run_tag=plan.run_tag,
+        run_len=plan.run_len,
+        run_writes=plan.run_writes,
+        run_head_write=plan.run_head_write,
+        run_new_set=plan.run_new_set,
+        run_set=plan.run_set if disabled_by_set else None,
+        disabled_by_set=disabled_by_set or None,
+        records=dict_records,
+    )
+
+    array_stats = CacheStats()
+    array_records = _fresh_records(runs)
+    accumulate_lru_runs_array(
+        array_stats,
+        actives=actives,
+        group_names=group_names,
+        run_tag=plan.run_tag,
+        run_len=plan.run_len,
+        run_writes=plan.run_writes,
+        run_head_write=plan.run_head_write,
+        run_new_set=plan.run_new_set,
+        run_set=plan.run_set,
+        sets=config.sets,
+        disabled_by_set=disabled_by_set or None,
+        records=array_records,
+        kernel=_lru_run_kernel,
+    )
+    return (dict_stats, dict_records), (array_stats, array_records)
+
+
+def _assert_kernels_agree(dict_out, array_out):
+    (dict_stats, dict_records), (array_stats, array_records) = (
+        dict_out,
+        array_out,
+    )
+    assert dict_stats == array_stats
+    for attr in (
+        "group_read_hits",
+        "group_write_hits",
+        "group_fills",
+        "group_writebacks",
+    ):
+        assert dict(getattr(dict_stats, attr)) == dict(
+            getattr(array_stats, attr)
+        )
+    for left, right in zip(dict_records, array_records):
+        np.testing.assert_array_equal(left, right)
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("mode", [Mode.HP, Mode.ULE])
+    @pytest.mark.parametrize("which", ["baseline", "proposed"])
+    def test_benchmark_streams(self, design_a, mode, which):
+        """Real fetch + data streams, both chips, both modes (ULE also
+        covers the single-active-way degenerate case)."""
+        baseline, proposed = build_cache_pair(design_a)
+        config = baseline if which == "baseline" else proposed
+        trace = generate_trace("gsm_c", length=15_000, seed=7)
+
+        dict_out, array_out = _both_kernels(config, mode, trace.pc)
+        _assert_kernels_agree(dict_out, array_out)
+
+        addresses, is_write = trace.memory_stream()
+        dict_out, array_out = _both_kernels(
+            config, mode, addresses, is_write
+        )
+        _assert_kernels_agree(dict_out, array_out)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_conflict_heavy_streams(self, design_a, seed):
+        """Small address spaces force evictions and writebacks — the
+        branches runny benchmark streams rarely stress."""
+        _, proposed = build_cache_pair(design_a)
+        rng = np.random.default_rng(seed)
+        n = 6_000
+        addresses = (
+            rng.integers(0, 2_048, size=n).astype(np.uint64) * 32
+        )
+        is_write = rng.random(n) < 0.3
+        dict_out, array_out = _both_kernels(
+            proposed, Mode.HP, addresses, is_write
+        )
+        _assert_kernels_agree(dict_out, array_out)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_fault_maps_including_fully_disabled_sets(
+        self, design_a, seed
+    ):
+        """Partial disables reduce per-set associativity; a set whose
+        every active way is disabled must bypass — in both kernels."""
+        _, proposed = build_cache_pair(design_a)
+        actives, _, _ = _setup(proposed, Mode.HP)
+        rng = np.random.default_rng(seed)
+        n = 6_000
+        addresses = (
+            rng.integers(0, 2_048, size=n).astype(np.uint64) * 32
+        )
+        is_write = rng.random(n) < 0.3
+        disabled = [
+            (int(rng.integers(0, proposed.sets)), int(way))
+            for way in rng.choice(actives, size=3, replace=False)
+        ]
+        # Set 0: every active way dead — the graceful-bypass path.
+        disabled += [(0, way) for way in actives]
+        dict_out, array_out = _both_kernels(
+            proposed,
+            Mode.HP,
+            addresses,
+            is_write,
+            disabled_lines=tuple(set(disabled)),
+        )
+        _assert_kernels_agree(dict_out, array_out)
+        assert array_out[0].bypasses > 0
+
+
+class TestDispatch:
+    def test_compiled_flag_matches_interpreted(self, design_a):
+        """``compiled=True`` must be a pure performance knob: without
+        numba it falls back to the dict kernel; with numba (the
+        optional CI job) it runs the JIT kernel — identical either
+        way."""
+        _, proposed = build_cache_pair(design_a)
+        trace = generate_trace("epic_c", length=12_000, seed=11)
+        addresses, is_write = trace.memory_stream()
+        for mode in (Mode.HP, Mode.ULE):
+            plain = simulate_trace_vectorized(
+                proposed, mode, addresses, is_write
+            )
+            compiled = simulate_trace_vectorized(
+                proposed, mode, addresses, is_write, compiled=True
+            )
+            assert plain == compiled
+
+    def test_kernel_alias_follows_numba_availability(self):
+        if kernels.HAVE_NUMBA:
+            assert kernels.lru_run_kernel is not kernels._lru_run_kernel
+        else:
+            assert kernels.lru_run_kernel is kernels._lru_run_kernel
+
+    def test_rejects_more_than_64_ways(self):
+        """The per-set disabled bitmask is a uint64: wider masks must
+        be refused loudly, not silently mis-modeled."""
+        empty = np.zeros(0, dtype=np.uint64)
+        with pytest.raises(ValueError, match="at most 64"):
+            accumulate_lru_runs_array(
+                CacheStats(),
+                actives=list(range(MAX_BITMASK_WAYS + 1)),
+                group_names=["g"] * (MAX_BITMASK_WAYS + 1),
+                run_tag=empty,
+                run_len=empty,
+                run_writes=empty,
+                run_head_write=empty,
+                run_new_set=empty,
+                run_set=empty,
+                sets=4,
+            )

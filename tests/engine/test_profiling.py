@@ -62,3 +62,23 @@ class TestProfiler:
         assert "simulate.vectorized" in profiler.phases
         assert "energy.account" in profiler.phases
         assert "jobs.execute" in profiler.phases
+
+    def test_batch_stage_phases_show_up(self, chips_a):
+        """The batched path accounts its stages separately: plan build,
+        kernel time and the per-job reduction tail."""
+        from repro.engine.batch import execute_group
+        from repro.engine.jobs import SimulationJob, TraceSpec
+
+        jobs = [
+            SimulationJob(
+                chip=chips_a.proposed.config,
+                trace=TraceSpec("adpcm_c", 2_347, 42),
+                mode=Mode.ULE,
+            )
+        ]
+        with profiled() as profiler:
+            execute_group(jobs)
+        assert "batch.plan" in profiler.phases
+        assert "batch.kernel" in profiler.phases
+        assert "run.reduce" in profiler.phases
+        assert "jobs.execute" in profiler.phases

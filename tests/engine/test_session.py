@@ -150,14 +150,47 @@ class TestDiskCache:
         assert cached.epi == result.epi
         assert cached.il1_stats == result.il1_stats
 
-    def test_corrupt_entry_recomputed(self, chips_a, tmp_path):
+    def test_corrupt_entry_recomputed_with_warning(
+        self, chips_a, tmp_path
+    ):
+        """A corrupt entry is a *warned* miss, then overwritten."""
         job = _job(chips_a)
         SimulationSession(cache_dir=tmp_path).run_one(job)
         (entry,) = tmp_path.glob("gen-*/*.pkl")
         entry.write_bytes(b"not a pickle")
         session = SimulationSession(cache_dir=tmp_path)
-        session.run_one(job)
+        with pytest.warns(RuntimeWarning, match="corrupt result-cache"):
+            session.run_one(job)
         assert session.stats.executed == 1
+
+    def test_truncated_entry_recomputed_with_warning(
+        self, chips_a, tmp_path
+    ):
+        """A half-written pickle (crashed writer) is also just a miss."""
+        job = _job(chips_a)
+        fresh = SimulationSession(cache_dir=tmp_path).run_one(job)
+        (entry,) = tmp_path.glob("gen-*/*.pkl")
+        entry.write_bytes(entry.read_bytes()[:-7])
+        session = SimulationSession(cache_dir=tmp_path)
+        with pytest.warns(RuntimeWarning, match="treated as a miss"):
+            recomputed = session.run_one(job)
+        assert session.stats.executed == 1
+        assert recomputed.timing.cycles == fresh.timing.cycles
+
+    def test_entries_use_highest_pickle_protocol(self, chips_a, tmp_path):
+        """Written with HIGHEST_PROTOCOL: byte 1 carries the version."""
+        import pickle
+        import pickletools
+
+        SimulationSession(cache_dir=tmp_path).run_one(_job(chips_a))
+        (entry,) = tmp_path.glob("gen-*/*.pkl")
+        payload = entry.read_bytes()
+        version = next(
+            arg
+            for op, arg, _pos in pickletools.genops(payload)
+            if op.name == "PROTO"
+        )
+        assert version == pickle.HIGHEST_PROTOCOL
 
 
 class TestParallelDispatch:
