@@ -4,6 +4,13 @@
 Two experiments, both writing into ``BENCH_engine.json`` at the repo
 root so future PRs can track the trajectory:
 
+A third, separately invoked experiment (``--surrogate``) gates the
+surrogate-guided exploration loop and writes ``BENCH_surrogate.json``:
+the surrogate campaign must recover at least
+``MIN_SURROGATE_HV_RATIO`` of the exhaustive campaign's frontier
+hypervolume while submitting at most ``MAX_SURROGATE_JOBS_RATIO`` of
+its jobs, bit-identically between serial and ``jobs=4`` sessions.
+
 * **fig3 single-evaluation** — one fig3-style evaluation (scenario A at
   HP mode — the heaviest per-access workload: BigBench on all eight
   ways) on the vectorized vs the reference backend, checked to agree
@@ -35,6 +42,8 @@ Usage::
     PYTHONPATH=src python benchmarks/perf_smoke.py
     PYTHONPATH=src python benchmarks/perf_smoke.py \
         --check-against BENCH_engine.json
+    PYTHONPATH=src python benchmarks/perf_smoke.py --surrogate \
+        --check-against BENCH_surrogate.json
 """
 
 from __future__ import annotations
@@ -80,9 +89,31 @@ SWEEP_TRACE_LENGTH = 60_000
 #: The ULE-suite traces every sweep candidate shares.
 SWEEP_BENCHMARKS = ("adpcm_c", "adpcm_d", "epic_c", "epic_d")
 
+#: Floor on the surrogate frontier's hypervolume as a fraction of the
+#: exhaustive frontier's (observed 0.97-1.00 across seeds).
+MIN_SURROGATE_HV_RATIO = 0.95
+
+#: Ceiling on the surrogate campaign's submitted jobs as a fraction of
+#: the exhaustive campaign's (the budget is a third of the space, so
+#: the observed ratio sits at or below 1/3 exactly).
+MAX_SURROGATE_JOBS_RATIO = 1.0 / 3.0
+
+#: Candidate budget of the surrogate benchmark's halton sample.
+SURROGATE_SAMPLES = 90
+
+#: Dynamic instructions per benchmark in the surrogate benchmark.
+SURROGATE_TRACE_LENGTH = 4_000
+
+#: Quiet rounds before the surrogate benchmark's loop may stop early
+#: (more patient than the library default: the gate prizes frontier
+#: recovery over squeezing out the last few simulations).
+SURROGATE_PATIENCE = 3
+
 RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / (
     "BENCH_engine.json"
 )
+
+SURROGATE_RESULT_PATH = RESULT_PATH.parent / "BENCH_surrogate.json"
 
 
 def _timed_evaluation(
@@ -187,6 +218,186 @@ def _timed_sweep(
     }
 
 
+def _surrogate_record(
+    seed: int, samples: int, trace_length: int
+) -> dict:
+    """Measure the surrogate loop head-to-head with the exhaustive run.
+
+    Both campaigns expand the same halton sample of the default space.
+    The surrogate runs first in a fresh serial session, the exhaustive
+    comparator in its own fresh session (no shared memo — its cost is
+    the honest price the surrogate avoids), and a second surrogate run
+    under ``jobs=4`` checks the serial-vs-parallel byte-identity
+    contract.  Frontier quality is the surrogate frontier's
+    hypervolume over the exhaustive frontier's, both scored against
+    one reference derived from the exhaustive observations.
+    """
+    from repro.explore import (
+        ExplorationCampaign,
+        SurrogateSettings,
+        default_space,
+    )
+    from repro.explore.frontier import hypervolume, reference_point
+
+    campaign = ExplorationCampaign(
+        space=default_space(),
+        sampler="halton",
+        samples=samples,
+        trace_length=trace_length,
+        seed=seed,
+    )
+    total = len(campaign.expand()[0])
+    settings = SurrogateSettings(
+        budget=total // 3, patience=SURROGATE_PATIENCE
+    )
+
+    start = time.perf_counter()
+    with SimulationSession() as session:
+        surrogate = campaign.run_surrogate(
+            session=session, settings=settings
+        )
+    surrogate_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    with SimulationSession() as session:
+        exhaustive = campaign.run(session=session)
+    exhaustive_seconds = time.perf_counter() - start
+
+    with SimulationSession(jobs=4) as session:
+        parallel = campaign.run_surrogate(
+            session=session, settings=settings
+        )
+    identical = json.dumps(
+        surrogate.to_dict(), sort_keys=True
+    ) == json.dumps(parallel.to_dict(), sort_keys=True)
+
+    objectives = exhaustive.objectives
+    reference = reference_point(
+        [outcome.metrics for outcome in exhaustive.outcomes],
+        objectives,
+    )
+    hv_exhaustive = hypervolume(
+        [outcome.metrics for outcome in exhaustive.frontier()],
+        objectives,
+        reference,
+    )
+    hv_surrogate = hypervolume(
+        [outcome.metrics for outcome in surrogate.frontier()],
+        objectives,
+        reference,
+    )
+    hv_ratio = (
+        hv_surrogate / hv_exhaustive if hv_exhaustive else 1.0
+    )
+    return {
+        "experiment": (
+            "surrogate-guided sweep vs exhaustive campaign "
+            "(default space, halton sample)"
+        ),
+        "seed": seed,
+        "surrogate_samples": samples,
+        "surrogate_trace_length": trace_length,
+        "candidates_total": surrogate.candidates_total,
+        "candidates_simulated": len(surrogate.campaign.outcomes),
+        "budget": surrogate.budget,
+        "rounds": len(surrogate.rounds),
+        "converged": surrogate.converged,
+        "jobs_submitted": surrogate.jobs_submitted,
+        "jobs_executed": surrogate.jobs_executed,
+        "exhaustive_jobs": surrogate.exhaustive_jobs,
+        "surrogate_jobs_ratio": round(surrogate.jobs_ratio, 4),
+        "surrogate_hv_ratio": round(hv_ratio, 4),
+        "surrogate_seconds": round(surrogate_seconds, 4),
+        "exhaustive_seconds": round(exhaustive_seconds, 4),
+        "max_surrogate_jobs_ratio": round(
+            MAX_SURROGATE_JOBS_RATIO, 4
+        ),
+        "min_surrogate_hv_ratio": MIN_SURROGATE_HV_RATIO,
+        "surrogate_identical": identical,
+    }
+
+
+def _surrogate_main(
+    args: argparse.Namespace, baseline: dict | None
+) -> int:
+    """The ``--surrogate`` experiment: measure, write, gate."""
+    record = _surrogate_record(
+        args.seed, args.surrogate_samples, args.surrogate_trace_length
+    )
+    args.out.write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+    print(json.dumps(record, indent=2))
+    print(f"wrote {args.out}")
+
+    if not record["surrogate_identical"]:
+        print(
+            "FAIL: surrogate campaign diverged between serial and "
+            "jobs=4 sessions",
+            file=sys.stderr,
+        )
+        return 1
+    if record["surrogate_hv_ratio"] < MIN_SURROGATE_HV_RATIO:
+        print(
+            f"FAIL: surrogate_hv_ratio "
+            f"{record['surrogate_hv_ratio']:.3f} below floor "
+            f"{MIN_SURROGATE_HV_RATIO}",
+            file=sys.stderr,
+        )
+        return 1
+    # Guard against rounding right at the boundary: the budget is
+    # total // 3, so anything beyond a hair over 1/3 is a real leak.
+    if record["surrogate_jobs_ratio"] > MAX_SURROGATE_JOBS_RATIO + 1e-9:
+        print(
+            f"FAIL: surrogate_jobs_ratio "
+            f"{record['surrogate_jobs_ratio']:.3f} above ceiling "
+            f"{MAX_SURROGATE_JOBS_RATIO:.4f}",
+            file=sys.stderr,
+        )
+        return 1
+
+    if baseline is not None:
+        for field in ("surrogate_samples", "surrogate_trace_length"):
+            if not _comparable(baseline, record, field):
+                print(
+                    f"FAIL: baseline measured at {field} "
+                    f"{baseline[field]}, this run at {record[field]}; "
+                    "the regression gate needs comparable runs",
+                    file=sys.stderr,
+                )
+                return 1
+        raw = baseline.get("surrogate_hv_ratio")
+        if not isinstance(raw, (int, float)) or raw <= 0:
+            print(
+                f"FAIL: baseline {args.check_against} has no usable "
+                f"'surrogate_hv_ratio' value ({raw!r})",
+                file=sys.stderr,
+            )
+            return 1
+        floor = float(raw) * (1.0 - REGRESSION_TOLERANCE)
+        if record["surrogate_hv_ratio"] < floor:
+            print(
+                f"FAIL: surrogate_hv_ratio "
+                f"{record['surrogate_hv_ratio']:.3f} regressed more "
+                f"than {REGRESSION_TOLERANCE:.0%} below the baseline "
+                f"{float(raw):.3f} (floor {floor:.3f})",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: surrogate_hv_ratio within "
+            f"{REGRESSION_TOLERANCE:.0%} of baseline {float(raw):.3f}"
+        )
+    print(
+        f"OK: surrogate recovered "
+        f"{record['surrogate_hv_ratio']:.1%} of the exhaustive "
+        f"frontier's hypervolume (floor {MIN_SURROGATE_HV_RATIO:.0%}) "
+        f"with {record['surrogate_jobs_ratio']:.1%} of its jobs "
+        f"(ceiling {MAX_SURROGATE_JOBS_RATIO:.1%})"
+    )
+    return 0
+
+
 def _parse_args(argv: list[str] | None) -> argparse.Namespace:
     parser = argparse.ArgumentParser(
         description="engine performance smoke test"
@@ -225,10 +436,45 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
         ),
     )
     parser.add_argument(
-        "--out", type=pathlib.Path, default=RESULT_PATH,
-        help="where to write the fresh record (default: repo root)",
+        "--surrogate", action="store_true",
+        help=(
+            "run the surrogate-exploration benchmark instead of the "
+            "engine benchmarks (writes BENCH_surrogate.json)"
+        ),
     )
-    return parser.parse_args(argv)
+    parser.add_argument(
+        "--seed", type=int, default=2013,
+        help="root seed of the surrogate benchmark (default: 2013)",
+    )
+    parser.add_argument(
+        "--surrogate-samples", type=int, default=SURROGATE_SAMPLES,
+        help=(
+            "halton sample budget of the surrogate benchmark "
+            f"(default: {SURROGATE_SAMPLES})"
+        ),
+    )
+    parser.add_argument(
+        "--surrogate-trace-length", type=int,
+        default=SURROGATE_TRACE_LENGTH,
+        help=(
+            "instructions per benchmark in the surrogate benchmark "
+            f"(default: {SURROGATE_TRACE_LENGTH})"
+        ),
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help=(
+            "where to write the fresh record (default: "
+            "BENCH_engine.json, or BENCH_surrogate.json with "
+            "--surrogate, at the repo root)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.out is None:
+        args.out = (
+            SURROGATE_RESULT_PATH if args.surrogate else RESULT_PATH
+        )
+    return args
 
 
 def _comparable(baseline: dict, record: dict, field: str) -> bool:
@@ -255,6 +501,9 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 1
+
+    if args.surrogate:
+        return _surrogate_main(args, baseline)
 
     cached_chips(Scenario.A)  # design + chip construction out of the timing
 

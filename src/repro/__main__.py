@@ -258,6 +258,60 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--seed", type=int, default=None, help="root random seed"
     )
+    sweep_parser.add_argument(
+        "--surrogate", action="store_true",
+        help=(
+            "surrogate-guided exploration: simulate a seeded batch, "
+            "fit regressor ensembles, spend the budget on the "
+            "predicted frontier + most uncertain candidates until the "
+            "hypervolume converges (same reduction, fraction of the "
+            "jobs)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--budget", type=_positive_int, default=None,
+        help=(
+            "max candidates to simulate with --surrogate (default: a "
+            "third of the space, rounded up)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--seed-candidates", type=_positive_int, default=None,
+        help=(
+            "initial space-filling batch size with --surrogate "
+            "(default: a quarter of the budget, at least 8)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--round-size", type=_positive_int, default=None,
+        help=(
+            "candidates simulated per acquisition round with "
+            "--surrogate (default: an eighth of the budget, at "
+            "least 4)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--hv-tol", type=float, default=None,
+        help=(
+            "relative hypervolume gain under which a surrogate round "
+            "counts as converged (default: 1e-3)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--patience", type=_positive_int, default=None,
+        help=(
+            "consecutive quiet rounds before the surrogate loop "
+            "stops (default: 2)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--resume", type=pathlib.Path, default=None,
+        help=(
+            "reuse candidate metrics from a saved campaign "
+            "(sweep --save-json); matching candidates skip "
+            "simulation, everything else runs as usual"
+        ),
+    )
     _add_transient_options(sweep_parser)
     sweep_parser.add_argument(
         "--top", type=_positive_int, default=20,
@@ -751,7 +805,31 @@ def _dispatch_sweep(args: argparse.Namespace) -> int:
 
     from repro.core import calibration
     from repro.engine.session import current_session
-    from repro.explore import ExplorationCampaign, default_space
+    from repro.explore import (
+        ExplorationCampaign,
+        SurrogateSettings,
+        default_space,
+    )
+
+    if not args.surrogate:
+        surrogate_only = [
+            name
+            for name, value in (
+                ("--budget", args.budget),
+                ("--seed-candidates", args.seed_candidates),
+                ("--round-size", args.round_size),
+                ("--hv-tol", args.hv_tol),
+                ("--patience", args.patience),
+            )
+            if value is not None
+        ]
+        if surrogate_only:
+            print(
+                f"error: {', '.join(surrogate_only)} "
+                "require(s) --surrogate",
+                file=sys.stderr,
+            )
+            return 2
 
     sampler = args.sampler
     if sampler is None:
@@ -799,10 +877,52 @@ def _dispatch_sweep(args: argparse.Namespace) -> int:
         transients=_transient_spec(args, seed),
     )
 
+    reuse = None
+    if args.resume:
+        payload = json.loads(args.resume.read_text(encoding="utf-8"))
+        meta = payload.get("meta", {})
+        mismatched = [
+            f"{key} (saved {meta.get(key)!r}, requested {wanted!r})"
+            for key, wanted in (
+                ("trace_length", args.trace_length),
+                ("seed", seed),
+                ("dies", max(args.dies, 0)),
+            )
+            if meta.get(key) != wanted
+        ]
+        if mismatched:
+            print(
+                "error: --resume campaign was run with different "
+                f"settings: {', '.join(mismatched)}",
+                file=sys.stderr,
+            )
+            return 2
+        reuse = {
+            entry["name"]: entry["metrics"]
+            for entry in payload.get("candidates", [])
+        }
+
     session = current_session()
-    result = campaign.run(
-        session=session, progress=_progress_printer("sweep")
-    )
+    if args.surrogate:
+        settings = SurrogateSettings(
+            budget=args.budget,
+            seed_candidates=args.seed_candidates,
+            round_size=args.round_size,
+            rel_tol=args.hv_tol if args.hv_tol is not None else 1e-3,
+            patience=args.patience if args.patience is not None else 2,
+        )
+        result = campaign.run_surrogate(
+            session=session,
+            settings=settings,
+            progress=_progress_printer("sweep"),
+            reuse=reuse,
+        )
+    else:
+        result = campaign.run(
+            session=session,
+            progress=_progress_printer("sweep"),
+            reuse=reuse,
+        )
     _print_session_stats("sweep", session)
     rendered = result.render_report(top=args.top)
     print(rendered)

@@ -91,6 +91,47 @@ class CacheStats:
             return 0.0
         return self.misses / self.accesses
 
+    #: The per-way-group counter maps, in declaration order; shared by
+    #: :meth:`merge` and :meth:`clone`.
+    _GROUP_ATTRS = (
+        "group_read_hits",
+        "group_write_hits",
+        "group_fills",
+        "group_writebacks",
+        "group_transient_corrected",
+        "group_transient_refetches",
+    )
+
+    def clone(self) -> "CacheStats":
+        """A mutation-isolated copy.
+
+        Counters are ints and the per-group maps are flat ``str -> int``
+        dictionaries, so a shallow rebuild *is* a deep copy — at a
+        fraction of :func:`copy.deepcopy`'s cost (no recursive
+        dispatch, no memo table).  The batching layer hands clones of
+        memoized stats to each job so one job's ``merge`` can never
+        corrupt another's result.
+        """
+        twin = CacheStats(
+            reads=self.reads,
+            writes=self.writes,
+            read_hits=self.read_hits,
+            write_hits=self.write_hits,
+            read_misses=self.read_misses,
+            write_misses=self.write_misses,
+            fills=self.fills,
+            writebacks=self.writebacks,
+            flush_writebacks=self.flush_writebacks,
+            bypasses=self.bypasses,
+            transient_corrected=self.transient_corrected,
+            transient_refetches=self.transient_refetches,
+            transient_due=self.transient_due,
+            transient_silent=self.transient_silent,
+        )
+        for attr in self._GROUP_ATTRS:
+            getattr(twin, attr).update(getattr(self, attr))
+        return twin
+
     def merge(self, other: "CacheStats") -> None:
         """Accumulate another stats object into this one."""
         self.reads += other.reads
@@ -107,14 +148,7 @@ class CacheStats:
         self.transient_refetches += other.transient_refetches
         self.transient_due += other.transient_due
         self.transient_silent += other.transient_silent
-        for attr in (
-            "group_read_hits",
-            "group_write_hits",
-            "group_fills",
-            "group_writebacks",
-            "group_transient_corrected",
-            "group_transient_refetches",
-        ):
+        for attr in self._GROUP_ATTRS:
             mine = getattr(self, attr)
             for key, value in getattr(other, attr).items():
                 mine[key] += value

@@ -126,6 +126,35 @@ class SessionStats:
             + self.deduplicated
         )
 
+    def snapshot(self) -> "SessionStats":
+        """A frozen copy of the counters at this instant.
+
+        Pair with :meth:`since` to attribute work to a phase of a
+        larger computation — the surrogate exploration loop snapshots
+        around every acquisition round to report jobs simulated per
+        round without owning the session.
+        """
+        return SessionStats(
+            executed=self.executed,
+            memo_hits=self.memo_hits,
+            disk_hits=self.disk_hits,
+            deduplicated=self.deduplicated,
+        )
+
+    def since(self, earlier: "SessionStats") -> "SessionStats":
+        """The counter deltas accumulated after ``earlier``.
+
+        ``earlier`` must be a snapshot of this same monotonically
+        growing history (counters never decrease), so every delta is
+        non-negative.
+        """
+        return SessionStats(
+            executed=self.executed - earlier.executed,
+            memo_hits=self.memo_hits - earlier.memo_hits,
+            disk_hits=self.disk_hits - earlier.disk_hits,
+            deduplicated=self.deduplicated - earlier.deduplicated,
+        )
+
 
 class SimulationSession:
     """Batched job execution with dedup, process dispatch and memoization.

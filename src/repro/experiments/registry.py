@@ -21,7 +21,11 @@ from repro.experiments.policy_sweep import run_policy_sweep
 from repro.experiments.population_study import run_population
 from repro.experiments.reliability_check import run_reliability
 from repro.experiments.report import ExperimentResult
-from repro.experiments.sweeps import run_edc_sweep, run_space_sweep
+from repro.experiments.sweeps import (
+    run_edc_sweep,
+    run_space_sweep,
+    run_surrogate_sweep,
+)
 from repro.experiments.transients_table import run_transients
 from repro.experiments.wcet_table import run_wcet
 
@@ -43,6 +47,7 @@ _REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
     "transients": run_transients,
     "sweep-space": run_space_sweep,
     "sweep-edc": run_edc_sweep,
+    "sweep-surrogate": run_surrogate_sweep,
     "sweep-policy": run_policy_sweep,
 }
 

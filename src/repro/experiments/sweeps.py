@@ -6,8 +6,11 @@
 * ``sweep-edc`` — the EDC-scheme slice: every (ULE cell, scheme)
   combination at the paper's geometry, answering "which code should
   protect the ULE way?" beyond the paper's two picks.
+* ``sweep-surrogate`` — the surrogate-guided loop head-to-head against
+  the exhaustive campaign on the same space: how much of the true
+  frontier's hypervolume does a third of the simulation budget buy?
 
-Both drivers are fully parameterized (sample budget, sampler, trace
+All drivers are fully parameterized (sample budget, sampler, trace
 length, seed, axis overrides) and submit through the engine's current
 session, so ``--jobs`` / ``--cache-dir`` apply transparently.
 """
@@ -18,8 +21,13 @@ from typing import Mapping, Sequence
 
 from repro.core import calibration
 from repro.experiments.report import ExperimentResult, PaperComparison
-from repro.explore.campaign import CampaignResult, ExplorationCampaign
+from repro.explore.campaign import (
+    CampaignResult,
+    ExplorationCampaign,
+    SurrogateSettings,
+)
 from repro.explore.candidates import default_constraints, default_space
+from repro.explore.frontier import hypervolume, reference_point
 from repro.explore.space import DesignSpace
 
 
@@ -95,6 +103,94 @@ def run_space_sweep(
         data={
             "campaign": result.to_dict(),
             "frontier_size": len(frontier),
+        },
+    )
+
+
+def run_surrogate_sweep(
+    samples: int = 36,
+    sampler: str = "halton",
+    trace_length: int = 20_000,
+    seed: int = calibration.DEFAULT_SEED,
+    axes: Mapping[str, Sequence] | None = None,
+    budget: int | None = None,
+) -> ExperimentResult:
+    """Surrogate-guided exploration vs the exhaustive campaign.
+
+    Runs :meth:`~repro.explore.campaign.ExplorationCampaign.
+    run_surrogate` and the exhaustive :meth:`~repro.explore.campaign.
+    ExplorationCampaign.run` over the *same* expanded space, then
+    scores both frontiers' hypervolume against one shared reference
+    point (derived from the union of observations — comparing against
+    per-run references would be apples to oranges).  The headline
+    numbers: the fraction of the exhaustive frontier's hypervolume the
+    surrogate recovered, and the fraction of the exhaustive job count
+    it paid for it.
+    """
+    space = default_space()
+    if axes:
+        space = space.with_overrides(axes)
+    campaign = ExplorationCampaign(
+        space=space,
+        sampler=sampler,
+        samples=samples,
+        trace_length=trace_length,
+        seed=seed,
+    )
+    surrogate = campaign.run_surrogate(
+        settings=SurrogateSettings(budget=budget)
+    )
+    exhaustive = campaign.run()
+    objectives = exhaustive.objectives
+    reference = reference_point(
+        [outcome.metrics for outcome in exhaustive.outcomes],
+        objectives,
+    )
+    hv_surrogate = hypervolume(
+        [outcome.metrics for outcome in surrogate.frontier()],
+        objectives,
+        reference,
+    )
+    hv_exhaustive = hypervolume(
+        [outcome.metrics for outcome in exhaustive.frontier()],
+        objectives,
+        reference,
+    )
+    hv_ratio = hv_surrogate / hv_exhaustive if hv_exhaustive else 1.0
+    body = "\n\n".join(
+        [
+            surrogate.render_report(),
+            (
+                f"vs exhaustive: hypervolume {hv_ratio:.1%} of the "
+                f"true frontier at {surrogate.jobs_ratio:.1%} of the "
+                f"jobs ({surrogate.jobs_submitted} of "
+                f"{surrogate.exhaustive_jobs})"
+            ),
+        ]
+    )
+    comparisons = (
+        PaperComparison(
+            quantity=(
+                "surrogate frontier hypervolume as a fraction of the "
+                "exhaustive frontier's (1 = full recovery)"
+            ),
+            paper=1.0,
+            measured=hv_ratio,
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="sweep-surrogate",
+        title=(
+            "Surrogate-guided exploration vs exhaustive campaign"
+        ),
+        body=body,
+        comparisons=comparisons,
+        data={
+            "campaign": surrogate.to_dict(),
+            "hv_ratio": hv_ratio,
+            "jobs_ratio": surrogate.jobs_ratio,
+            "hv_surrogate": hv_surrogate,
+            "hv_exhaustive": hv_exhaustive,
         },
     )
 

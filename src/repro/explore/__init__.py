@@ -6,6 +6,13 @@ The subsystem in one breath::
         --ExplorationCampaign.run (one SimulationSession batch)-->
     CampaignResult  --reduce-->  Pareto frontier + sensitivity + ranking
 
+A surrogate-guided alternative (``ExplorationCampaign.run_surrogate``)
+reaches the same frontier on a fraction of the simulated jobs: it
+featurizes candidates (:mod:`repro.explore.features`), fits seeded
+regressor ensembles (:mod:`repro.explore.surrogate`) and spends its
+budget on the predicted frontier plus the most uncertain points until
+the hypervolume converges (:mod:`repro.explore.frontier`).
+
 See DESIGN.md section 7 and ``python -m repro sweep --help``.
 """
 
@@ -15,6 +22,16 @@ from repro.explore.campaign import (
     CampaignResult,
     CandidateOutcome,
     ExplorationCampaign,
+    SurrogateCampaignResult,
+    SurrogateRound,
+    SurrogateSettings,
+)
+from repro.explore.features import FeatureSchema, free_metrics
+from repro.explore.frontier import (
+    ConvergenceTracker,
+    hypervolume,
+    knee_index,
+    reference_point,
 )
 from repro.explore.candidates import (
     Candidate,
@@ -32,6 +49,7 @@ from repro.explore.pareto import (
     sensitivity,
 )
 from repro.explore.space import Axis, DesignSpace
+from repro.explore.surrogate import MetricSurrogate, SurrogateEnsemble
 
 __all__ = [
     "Axis",
@@ -44,6 +62,17 @@ __all__ = [
     "ExplorationCampaign",
     "CampaignResult",
     "CandidateOutcome",
+    "SurrogateSettings",
+    "SurrogateRound",
+    "SurrogateCampaignResult",
+    "FeatureSchema",
+    "free_metrics",
+    "MetricSurrogate",
+    "SurrogateEnsemble",
+    "ConvergenceTracker",
+    "hypervolume",
+    "knee_index",
+    "reference_point",
     "Objective",
     "DEFAULT_OBJECTIVES",
     "POPULATION_OBJECTIVES",

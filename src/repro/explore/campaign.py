@@ -25,7 +25,6 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from repro.cacti.model import CacheEnergyModel
 from repro.core import calibration
 from repro.cpu.chip import RunResult, suite_mode_metrics
 from repro.engine.jobs import SimulationJob, TraceSpec
@@ -36,6 +35,8 @@ from repro.explore.candidates import (
     build_candidate,
     default_space,
 )
+from repro.explore.features import FeatureSchema, free_metrics
+from repro.explore.frontier import ConvergenceTracker, knee_index
 from repro.explore.pareto import (
     DEFAULT_OBJECTIVES,
     Objective,
@@ -44,11 +45,17 @@ from repro.explore.pareto import (
     sensitivity,
 )
 from repro.explore.space import DesignSpace, Point
+from repro.explore.surrogate import (
+    DEFAULT_MEMBERS,
+    DEFAULT_NEIGHBOURS,
+    MetricSurrogate,
+)
 from repro.faults.maps import DieFaultMap
 from repro.faults.sampling import functional_fraction, sample_population
 from repro.tech.operating import HP_OPERATING_POINT, Mode
 from repro.transients.metrics import transient_run_metrics
 from repro.transients.spec import TransientSpec
+from repro.util.rng import derive_seed
 from repro.util.tables import Table
 from repro.workloads.suites import suite_by_name
 
@@ -68,6 +75,11 @@ POPULATION_OBJECTIVES = (
 #: injection is active: minimize the observed ULE DUE rate, making
 #: detection-vs-correction reliability a first-class trade-off axis.
 TRANSIENT_OBJECTIVE = Objective("due_fit_ule")
+
+#: Metrics computed analytically per candidate — exact for *every*
+#: candidate without a single simulated job, so the surrogate never
+#: predicts them (see :func:`repro.explore.features.free_metrics`).
+FREE_METRIC_NAMES = ("area_mm2", "yield", "ule_size_factor")
 
 
 @dataclass(frozen=True)
@@ -94,6 +106,9 @@ class CampaignResult:
     seed: int
     sampler: str
     dies: int = 0
+    #: Candidates whose metrics were adopted from a saved campaign
+    #: (``run(reuse=...)``) instead of being simulated.
+    reused: int = 0
 
     # ------------------------------------------------------------ frontier
     def _reduction(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
@@ -264,6 +279,7 @@ class CampaignResult:
                 "candidates": len(self.outcomes),
                 "duplicates": self.duplicates,
                 "dies": self.dies,
+                "reused": self.reused,
             },
             "objectives": [str(o) for o in self.objectives],
             "candidates": [
@@ -280,6 +296,218 @@ class CampaignResult:
             "frontier": frontier_names,
             "infeasible": [list(entry) for entry in self.infeasible],
         }
+
+
+@dataclass(frozen=True)
+class SurrogateSettings:
+    """Knobs of the surrogate-guided active-learning loop.
+
+    Parameters
+    ----------
+    budget : int or None
+        Maximum candidates to *simulate* (None = a third of the
+        expanded space, rounded up — the headline "10x fewer jobs"
+        envelope leaves the default well inside it).
+    seed_candidates : int or None
+        Size of the initial space-filling batch (None = a quarter of
+        the budget, at least 8, never more than the budget).
+    round_size : int or None
+        Candidates simulated per acquisition round (None = an eighth
+        of the budget, at least 4).
+    rel_tol : float
+        Relative hypervolume gain under which a round counts as quiet
+        (:class:`~repro.explore.frontier.ConvergenceTracker`).
+    patience : int
+        Consecutive quiet rounds before the loop stops early.
+    members : int
+        Bootstrap members per surrogate regressor family.
+    neighbours : int
+        Neighbourhood size of the surrogate's kNN members.
+    explore_fraction : float
+        Fraction of each round reserved for pure uncertainty
+        exploration (the rest exploits the predicted frontier).
+    """
+
+    budget: int | None = None
+    seed_candidates: int | None = None
+    round_size: int | None = None
+    rel_tol: float = 1e-3
+    patience: int = 2
+    members: int = DEFAULT_MEMBERS
+    neighbours: int = DEFAULT_NEIGHBOURS
+    explore_fraction: float = 0.25
+
+    def resolve(self, total: int) -> tuple[int, int, int]:
+        """(budget, seed batch, round size) for ``total`` candidates."""
+        if total < 1:
+            return 0, 0, 1
+        budget = (
+            -(-total // 3) if self.budget is None else self.budget
+        )
+        budget = max(1, min(total, budget))
+        seed = (
+            max(8, -(-budget // 4))
+            if self.seed_candidates is None
+            else self.seed_candidates
+        )
+        seed = max(1, min(seed, budget))
+        round_size = (
+            max(4, -(-budget // 8))
+            if self.round_size is None
+            else self.round_size
+        )
+        return budget, seed, max(1, round_size)
+
+
+@dataclass(frozen=True)
+class SurrogateRound:
+    """One acquisition round of a surrogate campaign."""
+
+    #: Round number (0 = the space-filling seed batch).
+    index: int
+    #: Candidates simulated this round.
+    selected: int
+    #: Cumulative candidates with metrics after the round (simulated
+    #: plus any reused from a resumed campaign).
+    total_evaluated: int
+    #: Jobs submitted for the round's candidates — a deterministic
+    #: function of the selection, reported in the rendered table.
+    submitted_jobs: int
+    #: Jobs the session actually executed this round (after memo,
+    #: disk-cache and dedup hits).  Honest accounting for the
+    #: machine-readable dict only: it depends on how warm the ambient
+    #: session's caches are, so the rendered report never shows it.
+    executed_jobs: int
+    #: Hypervolume of the observed rows after the round, scored
+    #: against the tracker's evolving shared reference.
+    hypervolume: float
+    #: Relative hypervolume gain over the previous round (None for the
+    #: first round, which has nothing to compare against).
+    gain: float | None
+
+
+@dataclass(frozen=True)
+class SurrogateCampaignResult:
+    """A surrogate campaign: the reduced result plus its economics."""
+
+    #: The campaign reduction over the simulated subset — same type,
+    #: same rendering, same save format as an exhaustive run.
+    campaign: CampaignResult
+    #: Per-round trace of the active-learning loop.
+    rounds: tuple[SurrogateRound, ...]
+    #: Feasible candidates in the expanded space.
+    candidates_total: int
+    #: The resolved simulation budget (candidates).
+    budget: int
+    #: Jobs the loop submitted to the session.
+    jobs_submitted: int
+    #: Jobs the session actually executed (after caching/dedup).
+    #: Depends on ambient cache warmth, so it stays out of the
+    #: rendered report (which must be reproducible across sessions).
+    jobs_executed: int
+    #: Jobs an exhaustive campaign over the space would have submitted.
+    exhaustive_jobs: int
+    #: Whether the loop stopped on frontier convergence (False =
+    #: budget or space exhausted first).
+    converged: bool
+
+    @property
+    def evaluated(self) -> int:
+        """Candidates with metrics (simulated plus reused)."""
+        return len(self.campaign.outcomes)
+
+    @property
+    def jobs_ratio(self) -> float:
+        """Submitted jobs as a fraction of the exhaustive campaign."""
+        return self.jobs_submitted / max(self.exhaustive_jobs, 1)
+
+    def frontier(self) -> tuple[CandidateOutcome, ...]:
+        """The non-dominated evaluated candidates."""
+        return self.campaign.frontier()
+
+    def render_report(self, top: int = 20) -> str:
+        """The campaign report plus the surrogate economics section."""
+        return "\n\n".join(
+            [self.campaign.render_report(top), self._render_rounds()]
+        )
+
+    def _render_rounds(self) -> str:
+        stop = "converged" if self.converged else "budget exhausted"
+        table = Table(
+            [
+                "round",
+                "simulated",
+                "evaluated",
+                "jobs",
+                "hypervolume",
+                "HV gain",
+            ],
+            title=(
+                f"Surrogate exploration — {self.evaluated}/"
+                f"{self.candidates_total} candidates evaluated "
+                f"(budget {self.budget}, {stop})"
+            ),
+        )
+        for entry in self.rounds:
+            table.add_row(
+                [
+                    entry.index,
+                    entry.selected,
+                    entry.total_evaluated,
+                    entry.submitted_jobs,
+                    entry.hypervolume,
+                    "" if entry.gain is None else f"{entry.gain:.2%}",
+                ]
+            )
+        lines = [table.render()]
+        lines.append(
+            f"jobs: {self.jobs_submitted} submitted of "
+            f"{self.exhaustive_jobs} exhaustive "
+            f"({self.jobs_ratio:.1%})"
+        )
+        frontier = self.frontier()
+        if frontier:
+            knee = frontier[
+                knee_index(
+                    [outcome.metrics for outcome in frontier],
+                    self.campaign.objectives,
+                )
+            ]
+            lines.append(
+                f"knee (best compromise): {knee.candidate.name}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """The campaign dict plus a ``surrogate`` section.
+
+        Top-level keys stay campaign-shaped, so ``repro pareto`` and
+        ``sweep --resume`` consume surrogate-saved JSON unchanged.
+        """
+        payload = self.campaign.to_dict()
+        payload["surrogate"] = {
+            "candidates_total": self.candidates_total,
+            "budget": self.budget,
+            "evaluated": self.evaluated,
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_executed": self.jobs_executed,
+            "exhaustive_jobs": self.exhaustive_jobs,
+            "jobs_ratio": self.jobs_ratio,
+            "converged": self.converged,
+            "rounds": [
+                {
+                    "index": entry.index,
+                    "selected": entry.selected,
+                    "total_evaluated": entry.total_evaluated,
+                    "submitted_jobs": entry.submitted_jobs,
+                    "executed_jobs": entry.executed_jobs,
+                    "hypervolume": entry.hypervolume,
+                    "gain": entry.gain,
+                }
+                for entry in self.rounds
+            ],
+        }
+        return payload
 
 
 @dataclass
@@ -401,16 +629,89 @@ class ExplorationCampaign:
         self,
         session: SimulationSession | None = None,
         progress: Callable[[int, int], None] | None = None,
+        reuse: Mapping[str, Mapping[str, float]] | None = None,
     ) -> CampaignResult:
         """Simulate every candidate and reduce the campaign.
 
         All jobs of all candidates go through ``session.run_jobs`` as
         one batch; ``progress(done, total)`` reports executed jobs from
         the driving process.
+
+        ``reuse`` maps candidate names to previously reduced metrics
+        (the ``candidates`` entries of a saved campaign).  A candidate
+        whose saved row carries every metric this campaign needs skips
+        simulation and adopts the row verbatim; everything else — new
+        points, rows saved under different objectives — simulates as
+        usual.  Outcomes merge back in expansion order, so a resumed
+        campaign renders byte-identically to a fresh one.
         """
         session = session or current_session()
         candidates, infeasible, duplicates = self.expand()
 
+        reused: dict[int, CandidateOutcome] = {}
+        fresh: list[tuple[int, Candidate]] = []
+        if reuse:
+            required = self._required_metrics()
+            for index, candidate in enumerate(candidates):
+                saved = reuse.get(candidate.name)
+                if saved is not None and required <= set(saved):
+                    reused[index] = CandidateOutcome(
+                        candidate=candidate,
+                        metrics={
+                            key: float(value)
+                            for key, value in saved.items()
+                        },
+                    )
+                else:
+                    fresh.append((index, candidate))
+        else:
+            fresh = list(enumerate(candidates))
+
+        evaluated = self._evaluate_candidates(
+            [candidate for _, candidate in fresh], session, progress
+        )
+        merged: dict[int, CandidateOutcome] = dict(reused)
+        for (index, _), outcome in zip(fresh, evaluated):
+            merged[index] = outcome
+        return CampaignResult(
+            outcomes=tuple(
+                merged[index] for index in sorted(merged)
+            ),
+            infeasible=tuple(infeasible),
+            duplicates=duplicates,
+            objectives=self._effective_objectives(),
+            trace_length=self.trace_length,
+            seed=self.seed,
+            sampler=self.sampler,
+            dies=self.dies,
+            reused=len(reused),
+        )
+
+    def _required_metrics(self) -> set[str]:
+        """Metric keys a saved row must carry to stand in for a run."""
+        required = {"epi_ule", "epi_hp", "spi_ule", "spi_hp",
+                    "area_mm2", "yield", "ule_size_factor"}
+        required |= {o.metric for o in self._effective_objectives()}
+        if self.dies:
+            required |= {
+                "epi_ule_p95", "spi_ule_p95", "functional_fraction"
+            }
+        return required
+
+    def _evaluate_candidates(
+        self,
+        candidates: Sequence[Candidate],
+        session: SimulationSession,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> list[CandidateOutcome]:
+        """Simulate a candidate subset: one ``run_jobs`` batch, reduce.
+
+        The shared workhorse of :meth:`run` (all candidates at once)
+        and :meth:`run_surrogate` (one acquisition round at a time) —
+        both paths execute and reduce identically, which is what makes
+        a surrogate campaign's per-candidate metrics byte-equal to the
+        exhaustive campaign's.
+        """
         jobs: list[SimulationJob] = []
         spans: list[
             tuple[Candidate, int, int, int, tuple[DieFaultMap, ...]]
@@ -442,16 +743,19 @@ class ExplorationCampaign:
             outcomes.append(
                 CandidateOutcome(candidate=candidate, metrics=metrics)
             )
-        return CampaignResult(
-            outcomes=tuple(outcomes),
-            infeasible=tuple(infeasible),
-            duplicates=duplicates,
-            objectives=self._effective_objectives(),
-            trace_length=self.trace_length,
-            seed=self.seed,
-            sampler=self.sampler,
-            dies=self.dies,
-        )
+        return outcomes
+
+    def jobs_per_candidate(self, candidate: Candidate) -> int:
+        """How many jobs :meth:`run` would submit for one candidate.
+
+        Counted arithmetically — suite sizes plus ``dies`` fan-out —
+        without sampling fault maps, so the surrogate report can state
+        the exhaustive-campaign job count it avoided paying.
+        """
+        suite_name = str(candidate.point_dict().get("suite", "paper"))
+        ule = len(suite_by_name(suite_name, Mode.ULE))
+        hp = len(suite_by_name(suite_name, Mode.HP))
+        return ule + hp + self.dies * ule
 
     def _effective_objectives(self) -> tuple[Objective, ...]:
         """Population sweeps rank the tail, injection adds DUE —
@@ -559,24 +863,270 @@ class ExplorationCampaign:
     ) -> dict[str, float]:
         """Per-candidate metrics from its runs (order: ULE suite, HP)."""
         metrics = suite_mode_metrics(results)
-        metrics["area_mm2"] = _chip_cache_area_mm2(candidate.chip)
-        metrics["yield"] = candidate.ule_design.yield_value
-        metrics["ule_size_factor"] = candidate.ule_design.cell.size_factor
+        metrics.update(free_metrics(candidate))
         if self._transient_spec() is not None:
             ule_runs = [r for r in results if r.mode is Mode.ULE]
             metrics.update(transient_run_metrics(ule_runs, "ule"))
         return metrics
 
+    # ----------------------------------------------------- surrogate loop
+    def run_surrogate(
+        self,
+        session: SimulationSession | None = None,
+        settings: SurrogateSettings | None = None,
+        progress: Callable[[int, int], None] | None = None,
+        reuse: Mapping[str, Mapping[str, float]] | None = None,
+    ) -> SurrogateCampaignResult:
+        """Explore the space with a surrogate-guided simulation budget.
 
-def _chip_cache_area_mm2(chip) -> float:
-    """Total L1 silicon of the chip (IL1 + DL1), in mm^2."""
-    il1 = CacheEnergyModel(chip.il1).area
-    dl1 = (
-        il1
-        if chip.dl1 is chip.il1 or chip.dl1 == chip.il1
-        else CacheEnergyModel(chip.dl1).area
-    )
-    return (il1 + dl1) * 1e6
+        Instead of simulating every candidate, the loop
+
+        1. simulates a seeded space-filling batch;
+        2. fits :class:`~repro.explore.surrogate.MetricSurrogate`
+           ensembles on the evaluated candidates (only the *simulated*
+           objective metrics — analytic ones are exact for free);
+        3. predicts the rest of the space with uncertainty and spends
+           the next round on the predicted Pareto frontier plus the
+           most uncertain candidates;
+        4. stops when the observed frontier's hypervolume converges
+           (:class:`~repro.explore.frontier.ConvergenceTracker`) or
+           the budget runs out.
+
+        Every selected candidate runs through the same
+        :meth:`_evaluate_candidates` path as :meth:`run`, so its
+        metrics are byte-equal to the exhaustive campaign's — the
+        surrogate only decides *which* candidates pay for simulation.
+        The whole loop is deterministic: seeded selection, sorted
+        iteration orders and the surrogate's bit-reproducibility make
+        equal-seed runs identical whatever the session's process count.
+
+        ``reuse`` pre-loads saved outcomes (as in :meth:`run`); they
+        count as evaluated without spending budget.
+        """
+        session = session or current_session()
+        settings = settings or SurrogateSettings()
+        candidates, infeasible, duplicates = self.expand()
+        objectives = self._effective_objectives()
+        exhaustive_jobs = sum(
+            self.jobs_per_candidate(candidate)
+            for candidate in candidates
+        )
+
+        evaluated: dict[int, CandidateOutcome] = {}
+        if reuse:
+            required = self._required_metrics()
+            for index, candidate in enumerate(candidates):
+                saved = reuse.get(candidate.name)
+                if saved is not None and required <= set(saved):
+                    evaluated[index] = CandidateOutcome(
+                        candidate=candidate,
+                        metrics={
+                            key: float(value)
+                            for key, value in saved.items()
+                        },
+                    )
+        reused = len(evaluated)
+
+        budget, seed_size, round_size = settings.resolve(
+            len(candidates)
+        )
+        sim_metrics = sorted(
+            {o.metric for o in objectives} - set(FREE_METRIC_NAMES)
+        )
+        tracker = ConvergenceTracker(
+            objectives,
+            rel_tol=settings.rel_tol,
+            patience=settings.patience,
+        )
+        schema = (
+            FeatureSchema.from_candidates(candidates)
+            if candidates
+            else None
+        )
+        features = (
+            schema.matrix(candidates) if schema is not None else None
+        )
+
+        rounds: list[SurrogateRound] = []
+        simulated = 0
+        jobs_submitted = 0
+        jobs_executed = 0
+
+        def run_round(chosen: list[int]) -> tuple[int, int]:
+            """Simulate ``chosen``; (submitted, executed) jobs."""
+            nonlocal simulated, jobs_submitted, jobs_executed
+            before = session.stats.snapshot()
+            outcomes = self._evaluate_candidates(
+                [candidates[i] for i in chosen], session, progress
+            )
+            for index, outcome in zip(chosen, outcomes):
+                evaluated[index] = outcome
+            simulated += len(chosen)
+            submitted = sum(
+                self.jobs_per_candidate(candidates[i]) for i in chosen
+            )
+            jobs_submitted += submitted
+            executed = session.stats.since(before).executed
+            jobs_executed += executed
+            return submitted, executed
+
+        def record(
+            selected: int, submitted: int, executed: int
+        ) -> None:
+            rows = [
+                evaluated[index].metrics
+                for index in sorted(evaluated)
+            ]
+            gain = tracker.update(rows)
+            rounds.append(
+                SurrogateRound(
+                    index=len(rounds),
+                    selected=selected,
+                    total_evaluated=len(evaluated),
+                    submitted_jobs=submitted,
+                    executed_jobs=executed,
+                    hypervolume=tracker.history[-1],
+                    gain=float(gain) if np.isfinite(gain) else None,
+                )
+            )
+
+        unevaluated = [
+            index
+            for index in range(len(candidates))
+            if index not in evaluated
+        ]
+        seed_size = min(seed_size, budget, len(unevaluated))
+        if seed_size:
+            rng = np.random.default_rng(
+                derive_seed(self.seed, "explore", "surrogate", "seed")
+            )
+            chosen = sorted(
+                int(i)
+                for i in rng.choice(
+                    np.asarray(unevaluated),
+                    size=seed_size,
+                    replace=False,
+                )
+            )
+            submitted, executed = run_round(chosen)
+            record(len(chosen), submitted, executed)
+
+        while (
+            simulated < budget
+            and len(evaluated) < len(candidates)
+            and not tracker.converged
+        ):
+            unevaluated = [
+                index
+                for index in range(len(candidates))
+                if index not in evaluated
+            ]
+            order = sorted(evaluated)
+            surrogate = MetricSurrogate(
+                seed=self.seed,
+                members=settings.members,
+                neighbours=settings.neighbours,
+            ).fit(
+                features[order],
+                {
+                    metric: [
+                        evaluated[index].metrics[metric]
+                        for index in order
+                    ]
+                    for metric in sim_metrics
+                },
+            )
+            predictions = surrogate.predict(features[unevaluated])
+
+            # Per-metric uncertainty scale: the observed spread, so no
+            # single metric's units dominate the acquisition score.
+            scales = {
+                metric: max(
+                    float(
+                        np.std(
+                            [
+                                evaluated[index].metrics[metric]
+                                for index in order
+                            ]
+                        )
+                    ),
+                    1e-12,
+                )
+                for metric in sim_metrics
+            }
+            rows: list[dict[str, float]] = []
+            uncertainty = dict.fromkeys(unevaluated, 0.0)
+            position = {
+                index: at for at, index in enumerate(unevaluated)
+            }
+            for index in range(len(candidates)):
+                outcome = evaluated.get(index)
+                if outcome is not None:
+                    rows.append(outcome.metrics)
+                    continue
+                row = free_metrics(candidates[index])
+                at = position[index]
+                for metric in sim_metrics:
+                    mean, std = predictions[metric]
+                    row[metric] = float(mean[at])
+                    uncertainty[index] += (
+                        float(std[at]) / scales[metric]
+                    )
+                rows.append(row)
+            predicted_front = set(pareto_indices(rows, objectives))
+
+            size = min(
+                round_size, budget - simulated, len(unevaluated)
+            )
+            explore_n = min(
+                size, int(round(size * settings.explore_fraction))
+            )
+            explore_order = sorted(
+                unevaluated, key=lambda i: (-uncertainty[i], i)
+            )
+            exploit_order = sorted(
+                unevaluated,
+                key=lambda i: (
+                    0 if i in predicted_front else 1,
+                    -uncertainty[i],
+                    i,
+                ),
+            )
+            chosen = explore_order[:explore_n]
+            chosen_set = set(chosen)
+            for index in exploit_order:
+                if len(chosen) >= size:
+                    break
+                if index not in chosen_set:
+                    chosen.append(index)
+                    chosen_set.add(index)
+            chosen.sort()
+            submitted, executed = run_round(chosen)
+            record(len(chosen), submitted, executed)
+
+        campaign = CampaignResult(
+            outcomes=tuple(
+                evaluated[index] for index in sorted(evaluated)
+            ),
+            infeasible=tuple(infeasible),
+            duplicates=duplicates,
+            objectives=objectives,
+            trace_length=self.trace_length,
+            seed=self.seed,
+            sampler=self.sampler,
+            dies=self.dies,
+            reused=reused,
+        )
+        return SurrogateCampaignResult(
+            campaign=campaign,
+            rounds=tuple(rounds),
+            candidates_total=len(candidates),
+            budget=budget,
+            jobs_submitted=jobs_submitted,
+            jobs_executed=jobs_executed,
+            exhaustive_jobs=exhaustive_jobs,
+            converged=tracker.converged,
+        )
 
 
 def _axis_value_order(value: object) -> tuple:

@@ -1,0 +1,263 @@
+"""Dependency-free surrogate models for campaign objectives.
+
+A :class:`SurrogateEnsemble` predicts one scalar metric from candidate
+feature vectors (:mod:`repro.explore.features`) *with uncertainty*, out
+of two complementary dependency-free regressors:
+
+* **ridge regression** on standardized features — closed-form, captures
+  the global monotone trends (bigger cache, bigger area, higher EPI);
+* **k-nearest-neighbour averaging** — captures the local, non-linear
+  structure the linear term misses (scheme x cell interactions).
+
+Each family is bagged over seeded bootstrap resamples; the ensemble
+prediction is the member mean and the uncertainty is the member
+standard deviation — high where members disagree, which is exactly
+where the active-learning loop should spend its simulation budget.
+
+Everything is bit-reproducible: bootstrap draws come from
+:func:`repro.util.rng.derive_seed` child streams keyed by (seed, metric
+label, member index), all reductions are fixed-order numpy arithmetic,
+and ties in the kNN sort break by stable index order.  Training twice
+on the same rows — whatever the submission order that produced them —
+yields byte-identical predictions, the property the campaign's
+serial-vs-parallel contract extends to surrogate runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.util.rng import derive_seed
+
+#: Default bootstrap members per regressor family.
+DEFAULT_MEMBERS = 8
+
+#: Default neighbourhood size of the kNN members.
+DEFAULT_NEIGHBOURS = 5
+
+#: Ridge regularization strength (features are standardized first).
+DEFAULT_RIDGE_LAMBDA = 1e-2
+
+
+def _standardize(
+    matrix: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Column-wise (x - mean) / std with a floor on degenerate stds."""
+    mean = matrix.mean(axis=0)
+    std = matrix.std(axis=0)
+    std = np.where(std > 1e-12, std, 1.0)
+    return (matrix - mean) / std, mean, std
+
+
+@dataclass(frozen=True)
+class _RidgeMember:
+    """One fitted ridge regressor (bias folded in)."""
+
+    mean: np.ndarray
+    std: np.ndarray
+    weights: np.ndarray
+    bias: float
+
+    @classmethod
+    def fit(
+        cls, X: np.ndarray, y: np.ndarray, lam: float
+    ) -> "_RidgeMember":
+        Z, mean, std = _standardize(X)
+        target_mean = float(y.mean())
+        centred = y - target_mean
+        gram = Z.T @ Z + lam * len(Z) * np.eye(Z.shape[1])
+        weights = np.linalg.solve(gram, Z.T @ centred)
+        return cls(mean=mean, std=std, weights=weights, bias=target_mean)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return ((X - self.mean) / self.std) @ self.weights + self.bias
+
+
+@dataclass(frozen=True)
+class _KnnMember:
+    """One fitted kNN regressor over standardized features."""
+
+    mean: np.ndarray
+    std: np.ndarray
+    points: np.ndarray
+    targets: np.ndarray
+    neighbours: int
+
+    @classmethod
+    def fit(
+        cls, X: np.ndarray, y: np.ndarray, neighbours: int
+    ) -> "_KnnMember":
+        Z, mean, std = _standardize(X)
+        return cls(
+            mean=mean,
+            std=std,
+            points=Z,
+            targets=y,
+            neighbours=min(neighbours, len(Z)),
+        )
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        Z = (X - self.mean) / self.std
+        out = np.empty(len(Z), dtype=float)
+        for i, z in enumerate(Z):
+            distances = np.sqrt(((self.points - z) ** 2).sum(axis=1))
+            # Stable sort: equal distances keep training order, so
+            # predictions never depend on tie-breaking luck.
+            nearest = np.argsort(distances, kind="stable")[
+                : self.neighbours
+            ]
+            weights = 1.0 / (distances[nearest] + 1e-9)
+            out[i] = float(
+                (self.targets[nearest] * weights).sum() / weights.sum()
+            )
+        return out
+
+
+@dataclass
+class SurrogateEnsemble:
+    """A seeded ridge + kNN bootstrap bag for one metric.
+
+    Parameters
+    ----------
+    seed : int
+        Root seed of the bootstrap streams.
+    label : str
+        Metric label folded into the derived seeds, so each metric's
+        ensemble draws decorrelated resamples.
+    members : int
+        Bootstrap members *per family* (ridge and kNN).
+    neighbours : int
+        Neighbourhood size of the kNN members (clamped to the training
+        size).
+    ridge_lambda : float
+        Ridge regularization strength.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> X = np.linspace(0.0, 1.0, 12).reshape(-1, 1)
+    >>> y = 3.0 * X[:, 0] + 1.0
+    >>> model = SurrogateEnsemble(seed=7, label="epi").fit(X, y)
+    >>> mean, std = model.predict(np.array([[0.5]]))
+    >>> bool(abs(mean[0] - 2.5) < 0.2)
+    True
+    >>> float(std[0]) >= 0.0
+    True
+    """
+
+    seed: int = 0
+    label: str = "metric"
+    members: int = DEFAULT_MEMBERS
+    neighbours: int = DEFAULT_NEIGHBOURS
+    ridge_lambda: float = DEFAULT_RIDGE_LAMBDA
+    _fitted: list = field(default_factory=list, repr=False)
+
+    def fit(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> "SurrogateEnsemble":
+        """Fit the bag on (features, targets); returns self.
+
+        Each member trains on a bootstrap resample drawn from its own
+        :func:`derive_seed` child stream; a resample that collapses to
+        fewer than two distinct rows falls back to the full training
+        set (tiny seed batches must not produce degenerate members).
+        """
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or len(X) != len(y):
+            raise ValueError("X must be (n, d) aligned with y")
+        if not len(X):
+            raise ValueError("cannot fit a surrogate on zero rows")
+        self._fitted = []
+        for index in range(self.members):
+            for family in ("ridge", "knn"):
+                rng = np.random.default_rng(
+                    derive_seed(
+                        self.seed, "surrogate", self.label, family,
+                        index,
+                    )
+                )
+                chosen = rng.integers(len(X), size=len(X))
+                if len(np.unique(chosen)) < 2:
+                    chosen = np.arange(len(X))
+                sample_X, sample_y = X[chosen], y[chosen]
+                if family == "ridge":
+                    self._fitted.append(
+                        _RidgeMember.fit(
+                            sample_X, sample_y, self.ridge_lambda
+                        )
+                    )
+                else:
+                    self._fitted.append(
+                        _KnnMember.fit(
+                            sample_X, sample_y, self.neighbours
+                        )
+                    )
+        return self
+
+    def predict(
+        self, X: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(mean, uncertainty) over the ensemble for each row of X."""
+        if not self._fitted:
+            raise RuntimeError("fit the ensemble before predicting")
+        X = np.asarray(X, dtype=float)
+        stack = np.stack(
+            [member.predict(X) for member in self._fitted]
+        )
+        return stack.mean(axis=0), stack.std(axis=0)
+
+
+class MetricSurrogate:
+    """One :class:`SurrogateEnsemble` per simulated metric.
+
+    The campaign-facing wrapper: ``fit`` takes the evaluated feature
+    matrix plus a ``{metric: targets}`` mapping, ``predict`` returns
+    ``{metric: (mean, std)}`` for a query matrix.  Metric order never
+    matters — each metric's ensemble derives its own seed from its
+    label.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        members: int = DEFAULT_MEMBERS,
+        neighbours: int = DEFAULT_NEIGHBOURS,
+    ) -> None:
+        self.seed = int(seed)
+        self.members = int(members)
+        self.neighbours = int(neighbours)
+        self._models: dict[str, SurrogateEnsemble] = {}
+
+    def fit(
+        self,
+        X: np.ndarray,
+        targets: Mapping[str, Sequence[float]],
+    ) -> "MetricSurrogate":
+        """Fit one ensemble per metric; returns self."""
+        self._models = {}
+        for metric in sorted(targets):
+            self._models[metric] = SurrogateEnsemble(
+                seed=self.seed,
+                label=metric,
+                members=self.members,
+                neighbours=self.neighbours,
+            ).fit(X, np.asarray(targets[metric], dtype=float))
+        return self
+
+    @property
+    def metrics(self) -> tuple[str, ...]:
+        """The fitted metric labels, sorted."""
+        return tuple(sorted(self._models))
+
+    def predict(
+        self, X: np.ndarray
+    ) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+        """``{metric: (mean, std)}`` for each query row."""
+        return {
+            metric: model.predict(X)
+            for metric, model in self._models.items()
+        }

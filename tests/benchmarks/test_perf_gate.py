@@ -251,6 +251,151 @@ class TestSweepGate:
         assert "diverged" in capsys.readouterr().err
 
 
+def _fake_surrogate_record(
+    hv_ratio=0.99, jobs_ratio=0.3333, identical=True, seed=2013,
+    samples=90, trace_length=4_000,
+) -> dict:
+    return {
+        "experiment": "surrogate benchmark (stubbed)",
+        "seed": seed,
+        "surrogate_samples": samples,
+        "surrogate_trace_length": trace_length,
+        "candidates_total": samples,
+        "candidates_simulated": samples // 3,
+        "budget": samples // 3,
+        "rounds": 4,
+        "converged": True,
+        "jobs_submitted": samples // 3 * 10,
+        "jobs_executed": samples // 3 * 10,
+        "exhaustive_jobs": samples * 10,
+        "surrogate_jobs_ratio": jobs_ratio,
+        "surrogate_hv_ratio": hv_ratio,
+        "surrogate_seconds": 1.0,
+        "exhaustive_seconds": 3.0,
+        "max_surrogate_jobs_ratio": 0.3333,
+        "min_surrogate_hv_ratio": 0.95,
+        "surrogate_identical": identical,
+    }
+
+
+class TestSurrogateGate:
+    @pytest.fixture()
+    def stubbed(self, perf_smoke, monkeypatch):
+        def fake_record(seed, samples, trace_length):
+            return _fake_surrogate_record(
+                seed=seed, samples=samples, trace_length=trace_length
+            )
+
+        monkeypatch.setattr(
+            perf_smoke, "_surrogate_record", fake_record
+        )
+        return perf_smoke
+
+    def test_healthy_run_passes(self, stubbed, tmp_path):
+        out = tmp_path / "fresh.json"
+        assert stubbed.main(["--surrogate", "--out", str(out)]) == 0
+        fresh = json.loads(out.read_text())
+        assert fresh["surrogate_hv_ratio"] == 0.99
+        assert fresh["surrogate_jobs_ratio"] == 0.3333
+
+    def test_low_hv_ratio_fails(
+        self, perf_smoke, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setattr(
+            perf_smoke,
+            "_surrogate_record",
+            lambda *a: _fake_surrogate_record(hv_ratio=0.90),
+        )
+        status = perf_smoke.main(
+            ["--surrogate", "--out", str(tmp_path / "fresh.json")]
+        )
+        assert status == 1
+        assert "surrogate_hv_ratio" in capsys.readouterr().err
+
+    def test_jobs_ratio_above_ceiling_fails(
+        self, perf_smoke, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setattr(
+            perf_smoke,
+            "_surrogate_record",
+            lambda *a: _fake_surrogate_record(jobs_ratio=0.5),
+        )
+        status = perf_smoke.main(
+            ["--surrogate", "--out", str(tmp_path / "fresh.json")]
+        )
+        assert status == 1
+        assert "surrogate_jobs_ratio" in capsys.readouterr().err
+
+    def test_serial_parallel_divergence_fails(
+        self, perf_smoke, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setattr(
+            perf_smoke,
+            "_surrogate_record",
+            lambda *a: _fake_surrogate_record(identical=False),
+        )
+        status = perf_smoke.main(
+            ["--surrogate", "--out", str(tmp_path / "fresh.json")]
+        )
+        assert status == 1
+        assert "diverged" in capsys.readouterr().err
+
+    def test_regression_gate_on_hv_ratio(
+        self, stubbed, tmp_path, capsys
+    ):
+        # 0.99 fresh against an (hypothetical) much better baseline
+        # computed so the 30% tolerance fails: 0.99 < 1.5 * 0.7.
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(_fake_surrogate_record(hv_ratio=1.5))
+        )
+        status = stubbed.main(
+            ["--surrogate", "--check-against", str(baseline),
+             "--out", str(tmp_path / "fresh.json")]
+        )
+        assert status == 1
+        assert "regressed" in capsys.readouterr().err
+
+    def test_mismatched_workload_fails(
+        self, stubbed, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(_fake_surrogate_record(samples=40))
+        )
+        status = stubbed.main(
+            ["--surrogate", "--check-against", str(baseline),
+             "--out", str(tmp_path / "fresh.json")]
+        )
+        assert status == 1
+        assert "comparable" in capsys.readouterr().err
+
+    def test_different_seed_still_comparable(self, stubbed, tmp_path):
+        """The CI matrix checks both seeds against one committed
+        baseline: seeds differ, workload shape matches, gate runs."""
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(_fake_surrogate_record(seed=2014))
+        )
+        assert stubbed.main(
+            ["--surrogate", "--check-against", str(baseline),
+             "--out", str(tmp_path / "fresh.json")]
+        ) == 0
+
+    def test_baseline_without_hv_ratio_fails(
+        self, stubbed, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{}")
+        status = stubbed.main(
+            ["--surrogate", "--check-against", str(baseline),
+             "--out", str(tmp_path / "fresh.json")]
+        )
+        assert status == 1
+        err = capsys.readouterr().err
+        assert "no usable 'surrogate_hv_ratio'" in err
+
+
 class TestCheckedInBaseline:
     def test_checked_in_baseline_is_readable(self):
         """CI points --check-against at the committed file; it must
@@ -267,3 +412,18 @@ class TestCheckedInBaseline:
             payload["batch_vs_perjob"]
             >= payload["min_batch_vs_perjob"]
         )
+
+    def test_checked_in_surrogate_baseline_is_readable(self):
+        repo_root = _SCRIPT.parent.parent
+        payload = json.loads(
+            (repo_root / "BENCH_surrogate.json").read_text()
+        )
+        assert (
+            payload["surrogate_hv_ratio"]
+            >= payload["min_surrogate_hv_ratio"]
+        )
+        assert (
+            payload["surrogate_jobs_ratio"]
+            <= payload["max_surrogate_jobs_ratio"] + 1e-9
+        )
+        assert payload["surrogate_identical"] is True

@@ -31,6 +31,33 @@ class TestCacheStats:
         assert a.writebacks == 2
         assert a.group_fills["hp"] == 1
 
+    def test_clone_matches_deepcopy(self):
+        import copy
+
+        stats = CacheStats(
+            reads=10, writes=5, read_hits=8, write_hits=3,
+            read_misses=2, write_misses=2, fills=4, writebacks=1,
+            flush_writebacks=1, bypasses=1, transient_corrected=2,
+            transient_refetches=1, transient_due=1, transient_silent=1,
+        )
+        stats.group_read_hits["ule"] = 3
+        stats.group_fills["hp"] = 2
+        stats.group_transient_corrected["ule"] = 2
+        assert stats.clone() == copy.deepcopy(stats)
+
+    def test_clone_is_mutation_isolated(self):
+        stats = CacheStats(reads=5, read_hits=5)
+        stats.group_read_hits["ule"] = 5
+        twin = stats.clone()
+        twin.merge(CacheStats(reads=2, read_misses=2))
+        twin.group_read_hits["ule"] += 1
+        assert stats.reads == 5
+        assert stats.group_read_hits["ule"] == 5
+        # Group maps stay defaultdicts after cloning: simulator code
+        # increments unseen keys without guarding.
+        twin.group_fills["new"] += 1
+        assert twin.group_fills["new"] == 1
+
     def test_describe(self):
         stats = CacheStats(reads=4, read_hits=2, read_misses=2, fills=2)
         text = stats.describe()

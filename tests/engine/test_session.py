@@ -6,6 +6,7 @@ from repro.core.evaluation import evaluate_scenario
 from repro.core.scenarios import Scenario
 from repro.engine.jobs import SimulationJob, TraceSpec, job_key
 from repro.engine.session import (
+    SessionStats,
     SimulationSession,
     current_session,
     use_session,
@@ -23,6 +24,38 @@ def _job(chips, which="baseline", bench="adpcm_c", length=4_000,
         mode=mode,
         operating_point=operating_point,
     )
+
+
+class TestSessionStats:
+    def test_snapshot_is_frozen(self):
+        stats = SessionStats(executed=2, memo_hits=1)
+        frozen = stats.snapshot()
+        stats.executed += 5
+        assert frozen.executed == 2
+        assert frozen.memo_hits == 1
+
+    def test_since_yields_deltas(self):
+        stats = SessionStats(executed=2, disk_hits=1)
+        before = stats.snapshot()
+        stats.executed += 3
+        stats.memo_hits += 4
+        delta = stats.since(before)
+        assert delta.executed == 3
+        assert delta.memo_hits == 4
+        assert delta.disk_hits == 0
+        assert delta.requested == 7
+
+    def test_session_phase_attribution(self, chips_a):
+        with SimulationSession() as session:
+            before = session.stats.snapshot()
+            session.run_jobs([_job(chips_a)])
+            first = session.stats.since(before)
+            assert first.executed == 1
+            before = session.stats.snapshot()
+            session.run_jobs([_job(chips_a)])
+            second = session.stats.since(before)
+            assert second.executed == 0
+            assert second.memo_hits == 1
 
 
 class TestJobKey:

@@ -1,0 +1,116 @@
+"""Candidate featurization: schemas, vectors, analytic free metrics."""
+
+import numpy as np
+import pytest
+
+from repro.explore.candidates import build_candidate
+from repro.explore.features import (
+    FeatureSchema,
+    chip_cache_area_mm2,
+    free_metrics,
+)
+
+
+def _candidate(**overrides):
+    point = {
+        "size_kb": 8,
+        "line_bytes": 32,
+        "ways": 8,
+        "ule_ways": 1,
+        "ule_cell": "8T",
+        "ule_scheme": "secded",
+        "hp_scheme": "none",
+        "vdd_ule": 0.35,
+        "replacement": "lru",
+        "suite": "paper",
+    }
+    point.update(overrides)
+    return build_candidate(point)
+
+
+class TestFreeMetrics:
+    def test_expected_keys(self):
+        metrics = free_metrics(_candidate())
+        assert set(metrics) == {"area_mm2", "yield", "ule_size_factor"}
+
+    def test_values_match_their_sources(self):
+        candidate = _candidate()
+        metrics = free_metrics(candidate)
+        assert metrics["area_mm2"] == pytest.approx(
+            chip_cache_area_mm2(candidate.chip)
+        )
+        assert metrics["yield"] == candidate.ule_design.yield_value
+        assert metrics["ule_size_factor"] == (
+            candidate.ule_design.cell.size_factor
+        )
+
+    def test_memo_returns_fresh_dicts(self):
+        candidate = _candidate()
+        first = free_metrics(candidate)
+        first["area_mm2"] = -1.0
+        assert free_metrics(candidate)["area_mm2"] > 0.0
+
+    def test_bigger_cache_bigger_area(self):
+        small = free_metrics(_candidate(size_kb=8))
+        big = free_metrics(_candidate(size_kb=32))
+        assert big["area_mm2"] > small["area_mm2"]
+
+
+class TestFeatureSchema:
+    def test_schema_independent_of_candidate_order(self):
+        candidates = [
+            _candidate(vdd_ule=0.35),
+            _candidate(vdd_ule=0.45, ule_cell="10T"),
+        ]
+        forward = FeatureSchema.from_candidates(candidates)
+        backward = FeatureSchema.from_candidates(candidates[::-1])
+        assert forward == backward
+
+    def test_numeric_axes_one_column_each(self):
+        schema = FeatureSchema.from_candidates([_candidate()])
+        assert "size_kb" in schema.numeric_axes
+        assert "vdd_ule" in schema.numeric_axes
+
+    def test_categorical_axes_one_hot(self):
+        candidates = [
+            _candidate(ule_cell="8T"),
+            _candidate(ule_cell="10T"),
+        ]
+        schema = FeatureSchema.from_candidates(candidates)
+        assert ("ule_cell", ("10T", "8T")) in schema.categorical_axes
+        matrix = schema.matrix(candidates)
+        columns = schema.columns
+        col_10t = columns.index("ule_cell=10T")
+        col_8t = columns.index("ule_cell=8T")
+        assert matrix[0, col_8t] == 1.0
+        assert matrix[0, col_10t] == 0.0
+        assert matrix[1, col_10t] == 1.0
+
+    def test_power_of_two_axes_log2(self):
+        schema = FeatureSchema.from_candidates([_candidate()])
+        row = schema.featurize(_candidate(size_kb=16))
+        index = schema.columns.index("size_kb")
+        assert row[index] == pytest.approx(4.0)
+
+    def test_analytic_columns_appended(self):
+        schema = FeatureSchema.from_candidates([_candidate()])
+        assert schema.columns[-3:] == (
+            "area_mm2", "yield", "ule_size_factor",
+        )
+
+    def test_matrix_shape_and_determinism(self):
+        candidates = [
+            _candidate(vdd_ule=v) for v in (0.35, 0.4, 0.45)
+        ]
+        schema = FeatureSchema.from_candidates(candidates)
+        matrix = schema.matrix(candidates)
+        assert matrix.shape == (3, len(schema.columns))
+        assert np.array_equal(matrix, schema.matrix(candidates))
+
+    def test_empty_matrix_keeps_width(self):
+        schema = FeatureSchema.from_candidates([_candidate()])
+        assert schema.matrix([]).shape == (0, len(schema.columns))
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureSchema.from_candidates([])

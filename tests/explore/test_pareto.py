@@ -1,6 +1,8 @@
 """Pareto reductions: dominance, frontier, sensitivity, ranking."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.explore.pareto import (
     Objective,
@@ -70,6 +72,100 @@ class TestFrontier:
     def test_duplicate_rows_both_survive(self):
         rows = [{"cost": 1, "delay": 1}, {"cost": 1, "delay": 1}]
         assert pareto_indices(rows, MIN_BOTH) == [0, 1]
+
+    def test_duplicate_metric_candidates_share_frontier_fate(self):
+        # Duplicates of a *dominated* point are all dominated;
+        # duplicates of a frontier point all stay on the frontier.
+        rows = [
+            {"cost": 1, "delay": 1},
+            {"cost": 1, "delay": 1},
+            {"cost": 2, "delay": 2},
+            {"cost": 2, "delay": 2},
+        ]
+        assert pareto_indices(rows, MIN_BOTH) == [0, 1]
+
+    def test_one_objective_ties_all_survive(self):
+        # Under a single objective, every row tied at the optimum is
+        # non-dominated — ties never dominate each other.
+        objectives = (Objective("cost"),)
+        rows = [
+            {"cost": 1.0},
+            {"cost": 2.0},
+            {"cost": 1.0},
+            {"cost": 1.0},
+        ]
+        assert pareto_indices(rows, objectives) == [0, 2, 3]
+
+    def test_tie_on_one_axis_strict_on_another(self):
+        # Equal cost, strictly better delay: dominance must fire off
+        # the tied axis alone.
+        rows = [
+            {"cost": 1, "delay": 2},
+            {"cost": 1, "delay": 1},
+        ]
+        assert pareto_indices(rows, MIN_BOTH) == [1]
+
+    def test_empty_rows_empty_frontier(self):
+        assert pareto_indices([], MIN_BOTH) == []
+
+
+class TestFrontierProperties:
+    """Property tests: the frontier is a set-level invariant."""
+
+    ROWS = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),
+            st.integers(min_value=0, max_value=5),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+
+    @given(rows=ROWS, seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_frontier_invariant_to_submission_order(self, rows, seed):
+        import random
+
+        table = [{"cost": c, "delay": d} for c, d in rows]
+        order = list(range(len(table)))
+        random.Random(seed).shuffle(order)
+        shuffled = [table[i] for i in order]
+        baseline = {
+            (table[i]["cost"], table[i]["delay"])
+            for i in pareto_indices(table, MIN_BOTH)
+        }
+        permuted = {
+            (shuffled[i]["cost"], shuffled[i]["delay"])
+            for i in pareto_indices(shuffled, MIN_BOTH)
+        }
+        assert baseline == permuted
+
+    @given(rows=ROWS)
+    @settings(max_examples=60, deadline=None)
+    def test_frontier_rows_are_mutually_nondominated(self, rows):
+        from repro.explore.pareto import dominates
+
+        table = [{"cost": c, "delay": d} for c, d in rows]
+        frontier = [table[i] for i in pareto_indices(table, MIN_BOTH)]
+        assert frontier  # non-empty input always yields a frontier
+        for a in frontier:
+            for b in frontier:
+                assert not dominates(a, b, MIN_BOTH)
+
+    @given(rows=ROWS)
+    @settings(max_examples=60, deadline=None)
+    def test_dominated_rows_have_a_frontier_witness(self, rows):
+        from repro.explore.pareto import dominates
+
+        table = [{"cost": c, "delay": d} for c, d in rows]
+        on_frontier = set(pareto_indices(table, MIN_BOTH))
+        for i, row in enumerate(table):
+            if i in on_frontier:
+                continue
+            assert any(
+                dominates(table[j], row, MIN_BOTH)
+                for j in on_frontier
+            )
 
 
 class TestRanking:

@@ -1,0 +1,94 @@
+"""Surrogate ensembles: accuracy, uncertainty, bit-reproducibility."""
+
+import numpy as np
+import pytest
+
+from repro.explore.surrogate import MetricSurrogate, SurrogateEnsemble
+
+
+def _linear_data(n=24, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 3))
+    y = 2.0 * X[:, 0] - 1.0 * X[:, 1] + 0.5 + noise * rng.standard_normal(n)
+    return X, y
+
+
+class TestSurrogateEnsemble:
+    def test_recovers_linear_trend(self):
+        X, y = _linear_data()
+        model = SurrogateEnsemble(seed=3, label="epi").fit(X, y)
+        query = np.array([[0.5, 0.5, 0.5]])
+        mean, _ = model.predict(query)
+        assert mean[0] == pytest.approx(1.0, abs=0.2)
+
+    def test_fit_twice_is_bit_identical(self):
+        X, y = _linear_data(noise=0.1)
+        query = np.array([[0.2, 0.8, 0.5], [0.9, 0.1, 0.3]])
+        a = SurrogateEnsemble(seed=7, label="epi").fit(X, y)
+        b = SurrogateEnsemble(seed=7, label="epi").fit(X, y)
+        mean_a, std_a = a.predict(query)
+        mean_b, std_b = b.predict(query)
+        assert np.array_equal(mean_a, mean_b)
+        assert np.array_equal(std_a, std_b)
+
+    def test_different_seeds_differ(self):
+        X, y = _linear_data(noise=0.3)
+        query = np.array([[0.5, 0.5, 0.5]])
+        a = SurrogateEnsemble(seed=1, label="epi").fit(X, y)
+        b = SurrogateEnsemble(seed=2, label="epi").fit(X, y)
+        assert a.predict(query)[0][0] != b.predict(query)[0][0]
+
+    def test_uncertainty_higher_off_the_data(self):
+        X, y = _linear_data(noise=0.05)
+        model = SurrogateEnsemble(seed=5, label="epi").fit(X, y)
+        near = np.array([X.mean(axis=0)])
+        far = np.array([[25.0, -25.0, 25.0]])
+        _, std_near = model.predict(near)
+        _, std_far = model.predict(far)
+        assert std_far[0] > std_near[0]
+
+    def test_tiny_training_sets_survive(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 1.0])
+        model = SurrogateEnsemble(seed=1, label="m").fit(X, y)
+        mean, std = model.predict(np.array([[0.5]]))
+        assert np.isfinite(mean[0])
+        assert np.isfinite(std[0])
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            SurrogateEnsemble().predict(np.zeros((1, 2)))
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            SurrogateEnsemble().fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            SurrogateEnsemble().fit(np.zeros((0, 2)), np.zeros(0))
+
+
+class TestMetricSurrogate:
+    def test_per_metric_predictions(self):
+        X, y = _linear_data()
+        model = MetricSurrogate(seed=4).fit(
+            X, {"epi": y, "spi": 2.0 * y}
+        )
+        assert model.metrics == ("epi", "spi")
+        predictions = model.predict(X[:2])
+        assert set(predictions) == {"epi", "spi"}
+        mean_epi, _ = predictions["epi"]
+        mean_spi, _ = predictions["spi"]
+        assert mean_spi[0] == pytest.approx(2.0 * mean_epi[0], rel=0.2)
+
+    def test_metric_order_does_not_matter(self):
+        X, y = _linear_data(noise=0.1)
+        query = X[:3]
+        forward = MetricSurrogate(seed=9).fit(
+            X, {"a": y, "b": -y}
+        ).predict(query)
+        backward = MetricSurrogate(seed=9).fit(
+            X, {"b": -y, "a": y}
+        ).predict(query)
+        for metric in ("a", "b"):
+            assert np.array_equal(
+                forward[metric][0], backward[metric][0]
+            )

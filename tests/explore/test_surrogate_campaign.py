@@ -1,0 +1,270 @@
+"""The surrogate-guided active-learning loop over a campaign."""
+
+import json
+
+import pytest
+
+from repro.engine.session import SimulationSession
+from repro.explore.campaign import (
+    ExplorationCampaign,
+    SurrogateSettings,
+)
+from repro.explore.candidates import default_constraints
+from repro.explore.space import DesignSpace
+
+
+def _space(**overrides):
+    axes = {
+        "size_kb": (4, 8, 16),
+        "line_bytes": (32,),
+        "ways": (8,),
+        "ule_ways": (1,),
+        "ule_cell": ("8T", "10T"),
+        "ule_scheme": ("secded", "dected"),
+        "hp_scheme": ("none",),
+        "vdd_ule": (0.35, 0.4),
+        "replacement": ("lru",),
+        "suite": ("paper",),
+    }
+    axes.update(overrides)
+    return DesignSpace.from_dict(axes, default_constraints())
+
+
+def _campaign(space=None, **kwargs):
+    kwargs.setdefault("trace_length", 2_000)
+    kwargs.setdefault("seed", 7)
+    return ExplorationCampaign(space=space or _space(), **kwargs)
+
+
+def _run(campaign, settings=None, **session_kwargs):
+    with SimulationSession(**session_kwargs) as session:
+        return campaign.run_surrogate(
+            session=session, settings=settings or SurrogateSettings()
+        )
+
+
+class TestSettings:
+    def test_defaults_scale_with_space(self):
+        budget, seed, round_size = SurrogateSettings().resolve(90)
+        assert budget == 30
+        assert seed == 8
+        assert round_size == 4
+
+    def test_explicit_values_clamped_to_space(self):
+        settings = SurrogateSettings(budget=500, seed_candidates=400)
+        budget, seed, _ = settings.resolve(24)
+        assert budget == 24
+        assert seed == 24
+
+    def test_empty_space(self):
+        assert SurrogateSettings().resolve(0) == (0, 0, 1)
+
+
+class TestSurrogateLoop:
+    def test_budget_bounds_simulated_candidates(self):
+        campaign = _campaign()
+        total = len(campaign.expand()[0])
+        result = _run(
+            campaign,
+            SurrogateSettings(budget=8, seed_candidates=4,
+                              round_size=2),
+        )
+        assert result.candidates_total == total
+        assert result.budget == 8
+        assert len(result.campaign.outcomes) <= 8
+        assert result.jobs_submitted < result.exhaustive_jobs
+
+    def test_round_trace_is_consistent(self):
+        result = _run(
+            _campaign(),
+            SurrogateSettings(budget=8, seed_candidates=4,
+                              round_size=2),
+        )
+        assert result.rounds[0].index == 0
+        assert result.rounds[0].selected == 4
+        cumulative = 0
+        for entry in result.rounds:
+            cumulative += entry.selected
+            assert entry.total_evaluated == cumulative
+            # Paper suite, no dies: 10 jobs per candidate, and the
+            # rendered table only ever shows this deterministic count.
+            assert entry.submitted_jobs == 10 * entry.selected
+            assert entry.executed_jobs <= entry.submitted_jobs
+            assert entry.hypervolume >= 0.0
+        assert result.rounds[0].gain is None
+        assert all(
+            entry.gain is not None for entry in result.rounds[1:]
+        )
+
+    def test_metrics_byte_equal_to_exhaustive(self):
+        campaign = _campaign()
+        surrogate = _run(
+            campaign,
+            SurrogateSettings(budget=6, seed_candidates=4,
+                              round_size=2),
+        )
+        with SimulationSession() as session:
+            exhaustive = campaign.run(session=session)
+        by_name = {
+            outcome.candidate.name: outcome.metrics
+            for outcome in exhaustive.outcomes
+        }
+        for outcome in surrogate.campaign.outcomes:
+            assert outcome.metrics == by_name[outcome.candidate.name]
+
+    def test_serial_matches_parallel(self):
+        campaign = _campaign()
+        settings = SurrogateSettings(
+            budget=8, seed_candidates=4, round_size=2
+        )
+        serial = _run(campaign, settings)
+        parallel = _run(campaign, settings, jobs=2)
+        assert json.dumps(serial.to_dict(), sort_keys=True) == (
+            json.dumps(parallel.to_dict(), sort_keys=True)
+        )
+        assert serial.render_report() == parallel.render_report()
+
+    def test_same_seed_reproduces_bit_identically(self):
+        settings = SurrogateSettings(
+            budget=8, seed_candidates=4, round_size=2
+        )
+        first = _run(_campaign(), settings)
+        second = _run(_campaign(), settings)
+        assert first.to_dict() == second.to_dict()
+
+    def test_budget_covering_space_evaluates_everything(self):
+        campaign = _campaign(_space(size_kb=(4, 8), vdd_ule=(0.35,)))
+        total = len(campaign.expand()[0])
+        result = _run(
+            campaign,
+            SurrogateSettings(
+                budget=total, seed_candidates=2, round_size=total,
+                rel_tol=0.0,
+            ),
+        )
+        assert len(result.campaign.outcomes) == total
+
+    def test_convergence_stops_early(self):
+        campaign = _campaign()
+        total = len(campaign.expand()[0])
+        result = _run(
+            campaign,
+            SurrogateSettings(
+                budget=total, seed_candidates=4, round_size=1,
+                rel_tol=10.0, patience=1,
+            ),
+        )
+        assert result.converged
+        assert len(result.campaign.outcomes) < total
+
+    def test_job_accounting(self):
+        result = _run(
+            _campaign(),
+            SurrogateSettings(budget=6, seed_candidates=4,
+                              round_size=2),
+        )
+        # paper suite: 5 ULE + 5 HP jobs per candidate, no dies.
+        assert result.jobs_submitted == 10 * len(
+            result.campaign.outcomes
+        )
+        assert result.exhaustive_jobs == 10 * result.candidates_total
+        assert result.jobs_executed <= result.jobs_submitted
+        assert result.jobs_ratio == pytest.approx(
+            result.jobs_submitted / result.exhaustive_jobs
+        )
+
+    def test_report_renders_surrogate_section(self):
+        result = _run(
+            _campaign(),
+            SurrogateSettings(budget=6, seed_candidates=4,
+                              round_size=2),
+        )
+        text = result.render_report()
+        assert "Surrogate exploration" in text
+        assert "knee (best compromise):" in text
+        assert "Exploration ranking" in text
+
+    def test_report_independent_of_cache_warmth(self):
+        """`all` runs campaigns in sessions other experiments already
+        warmed; the rendered report must not leak how many jobs the
+        session really executed (memo hits vary, reports must not)."""
+        campaign = _campaign()
+        settings = SurrogateSettings(
+            budget=6, seed_candidates=4, round_size=2
+        )
+        with SimulationSession() as session:
+            cold = campaign.run_surrogate(
+                session=session, settings=settings
+            )
+            warm = campaign.run_surrogate(
+                session=session, settings=settings
+            )
+        assert warm.jobs_executed == 0  # everything memo-hit
+        assert cold.jobs_executed > 0
+        assert warm.render_report() == cold.render_report()
+
+    def test_to_dict_keeps_campaign_shape(self):
+        result = _run(
+            _campaign(),
+            SurrogateSettings(budget=6, seed_candidates=4,
+                              round_size=2),
+        )
+        payload = result.to_dict()
+        assert "candidates" in payload
+        assert "frontier" in payload
+        surrogate = payload["surrogate"]
+        assert surrogate["budget"] == 6
+        assert len(surrogate["rounds"]) == len(result.rounds)
+        assert surrogate["rounds"][0]["gain"] is None
+        json.dumps(payload)  # JSON-safe end to end
+
+
+class TestReuse:
+    def test_saved_campaign_seeds_the_loop(self):
+        campaign = _campaign()
+        with SimulationSession() as session:
+            exhaustive = campaign.run(session=session)
+        saved = {
+            entry["name"]: entry["metrics"]
+            for entry in exhaustive.to_dict()["candidates"]
+        }
+        result = _run(
+            _campaign(),
+            SurrogateSettings(budget=4, seed_candidates=2,
+                              round_size=2),
+        )
+        assert result.campaign.reused == 0
+        with SimulationSession() as session:
+            resumed = campaign.run_surrogate(
+                session=session,
+                settings=SurrogateSettings(budget=4),
+                reuse=saved,
+            )
+        # Everything resolves from the saved rows: nothing simulates.
+        assert resumed.campaign.reused == resumed.evaluated
+        assert resumed.jobs_executed == 0
+
+    def test_run_reuse_merges_deterministically(self):
+        campaign = _campaign()
+        with SimulationSession() as session:
+            full = campaign.run(session=session)
+        saved = {
+            entry["name"]: entry["metrics"]
+            for entry in full.to_dict()["candidates"]
+        }
+        partial = dict(list(saved.items())[:2])
+        with SimulationSession() as session:
+            resumed = campaign.run(session=session, reuse=partial)
+        assert resumed.reused == 2
+        assert resumed.render_report() == full.render_report()
+
+    def test_rows_missing_required_metrics_resimulate(self):
+        campaign = _campaign()
+        with SimulationSession() as session:
+            full = campaign.run(session=session)
+        name = full.outcomes[0].candidate.name
+        saved = {name: {"epi_ule": 1.0}}  # far from complete
+        with SimulationSession() as session:
+            resumed = campaign.run(session=session, reuse=saved)
+        assert resumed.reused == 0
+        assert resumed.render_report() == full.render_report()

@@ -289,6 +289,78 @@ class TestSweep:
             main(["sweep", "--axes", "size_kb"])
 
 
+class TestSurrogateSweep:
+    AXES = (
+        "size_kb=4,8,16;line_bytes=32;ways=8;ule_ways=1;"
+        "ule_cell=8T,10T;ule_scheme=secded,dected;hp_scheme=none;"
+        "vdd_ule=0.35,0.4;replacement=lru;suite=paper"
+    )
+    BASE = ["sweep", "--axes", AXES, "--trace-length", "1500",
+            "--seed", "3", "--surrogate"]
+
+    def test_surrogate_reports_economics(self, capsys):
+        assert main(
+            self.BASE + ["--budget", "8", "--seed-candidates", "4",
+                         "--round-size", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Surrogate exploration" in out
+        assert "jobs:" in out
+        assert "exhaustive" in out
+        assert "knee (best compromise):" in out
+
+    def test_surrogate_serial_matches_parallel(self, tmp_path, capsys):
+        serial = tmp_path / "serial.txt"
+        parallel = tmp_path / "parallel.txt"
+        args = self.BASE + ["--budget", "8", "--seed-candidates", "4"]
+        assert main(args + ["--out", str(serial)]) == 0
+        assert main(
+            args + ["--jobs", "2", "--out", str(parallel)]
+        ) == 0
+        capsys.readouterr()
+        assert serial.read_text() == parallel.read_text()
+
+    def test_surrogate_json_feeds_pareto_and_resume(
+        self, tmp_path, capsys
+    ):
+        saved = tmp_path / "surrogate.json"
+        assert main(
+            self.BASE + ["--budget", "8", "--seed-candidates", "4",
+                         "--save-json", str(saved)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["pareto", str(saved)]) == 0
+        assert "Pareto re-reduction" in capsys.readouterr().out
+        assert main(
+            ["sweep", "--axes", self.AXES, "--trace-length", "1500",
+             "--seed", "3", "--resume", str(saved)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Exploration ranking" in out
+
+    def test_surrogate_flags_require_surrogate(self, capsys):
+        assert main(
+            ["sweep", "--axes", self.AXES, "--budget", "4"]
+        ) == 2
+        assert "--surrogate" in capsys.readouterr().err
+
+    def test_resume_rejects_mismatched_settings(
+        self, tmp_path, capsys
+    ):
+        saved = tmp_path / "campaign.json"
+        assert main(
+            ["sweep", "--axes", self.AXES, "--trace-length", "1500",
+             "--seed", "3", "--samples", "2", "--save-json",
+             str(saved)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["sweep", "--axes", self.AXES, "--trace-length", "2500",
+             "--seed", "3", "--samples", "2", "--resume", str(saved)]
+        ) == 2
+        assert "different settings" in capsys.readouterr().err
+
+
 class TestPopulation:
     FAST = ["population", "--dies", "25", "--trace-length", "1500"]
 
