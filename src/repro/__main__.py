@@ -21,6 +21,9 @@ Usage::
     python -m repro transients --acceleration 1e16 --scrub-us 100
     python -m repro population --dies 100 --transient-accel 1e16
     python -m repro schedule --policy static --transient-accel 1e16
+    python -m repro serve --port 8642 --cache-dir cache/ --workers 4
+    python -m repro submit --port 8642 --benchmarks adpcm_c,epic_c \
+        --seeds 1,2,3 --trace-length 20000
 
 Engine options (``run``, ``all``, ``sweep``, ``schedule``,
 ``population`` and ``transients``):
@@ -477,6 +480,97 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_engine_options(transients_parser)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help=(
+            "run the fleet simulation service: HTTP job API over a "
+            "shared sharded result store"
+        ),
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8642,
+        help="bind port; 0 picks an ephemeral one (default: 8642)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", type=pathlib.Path, default=None,
+        help=(
+            "shared result-store root; the same directory a library "
+            "session's --cache-dir uses, so service and library runs "
+            "dedup against each other (default: in-memory only)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--workers", type=_positive_int, default=2,
+        help="executor threads / max in-flight simulations (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--backend", choices=("auto", "vectorized", "numba", "reference"),
+        default="auto", help="simulation backend (default: auto)",
+    )
+    serve_parser.add_argument(
+        "--queue-capacity", type=_positive_int, default=256,
+        help=(
+            "admission-queue bound; beyond it submissions shed with "
+            "reason 'saturated' (default: 256)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--tenant-quota", type=_positive_int, default=None,
+        help=(
+            "max outstanding jobs per tenant; beyond it submissions "
+            "shed with reason 'quota' (default: unlimited)"
+        ),
+    )
+
+    submit_parser = commands.add_parser(
+        "submit",
+        help="submit simulation jobs to a running fleet service",
+    )
+    submit_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="service address (default: 127.0.0.1)",
+    )
+    submit_parser.add_argument(
+        "--port", type=int, default=8642,
+        help="service port (default: 8642)",
+    )
+    submit_parser.add_argument(
+        "--tenant", default="cli",
+        help="tenant id for quotas and fair-share (default: cli)",
+    )
+    submit_parser.add_argument(
+        "--benchmarks", default="adpcm_c",
+        help="comma-separated benchmark names (default: adpcm_c)",
+    )
+    submit_parser.add_argument(
+        "--seeds", default="1",
+        help="comma-separated trace seeds (default: 1)",
+    )
+    submit_parser.add_argument(
+        "--trace-length", type=_positive_int, default=20_000,
+        help="dynamic instructions per trace (default: 20000)",
+    )
+    submit_parser.add_argument(
+        "--mode", choices=("ule", "hp"), default="ule",
+        help="operating mode (default: ule)",
+    )
+    submit_parser.add_argument(
+        "--scenario", choices=("A", "B"), default="A",
+        help="paper scenario whose chips to run (default: A)",
+    )
+    submit_parser.add_argument(
+        "--chip", choices=("proposed", "baseline"), default="proposed",
+        help="which of the scenario's chips to run (default: proposed)",
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="seconds to wait for completion (default: 600)",
+    )
 
     pareto_parser = commands.add_parser(
         "pareto",
@@ -939,6 +1033,129 @@ def _dispatch_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dispatch_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.engine.session import DiskResultCache
+    from repro.service.api import serve_in_thread
+    from repro.service.scheduler import ServiceScheduler
+
+    store = None
+    if args.cache_dir is not None:
+        # Route through the engine's generation layer so the service
+        # shares entries (and byte-identical payloads) with any library
+        # session pointing --cache-dir at the same directory.
+        store = DiskResultCache(args.cache_dir).store
+    scheduler = ServiceScheduler(
+        store,
+        workers=args.workers,
+        backend=args.backend,
+        queue_capacity=args.queue_capacity,
+        tenant_quota=args.tenant_quota,
+    )
+    scheduler.start()
+    handle = serve_in_thread(scheduler, host=args.host, port=args.port)
+    print(
+        f"[serve] fleet service listening on "
+        f"http://{handle.host}:{handle.port} "
+        f"({args.workers} workers, queue {args.queue_capacity}"
+        + (
+            f", quota {args.tenant_quota}/tenant"
+            if args.tenant_quota
+            else ""
+        )
+        + ")",
+        file=sys.stderr,
+    )
+    try:
+        while True:
+            time.sleep(3600.0)
+    except KeyboardInterrupt:
+        print("[serve] shutting down", file=sys.stderr)
+    finally:
+        handle.close()
+        scheduler.stop()
+    return 0
+
+
+def _dispatch_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.requests import JobRequest, RequestError
+    from repro.util.tables import Table
+
+    try:
+        requests = [
+            JobRequest(
+                benchmark=benchmark.strip(),
+                trace_length=args.trace_length,
+                seed=int(seed),
+                mode=args.mode,
+                scenario=args.scenario,
+                chip=args.chip,
+            )
+            for benchmark in args.benchmarks.split(",")
+            if benchmark.strip()
+            for seed in args.seeds.split(",")
+            if seed.strip()
+        ]
+    except (RequestError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not requests:
+        print("error: no jobs requested", file=sys.stderr)
+        return 2
+    client = ServiceClient(
+        args.host, args.port, tenant=args.tenant, timeout=args.timeout
+    )
+    if not client.healthy():
+        print(
+            f"error: no service at http://{args.host}:{args.port} "
+            "(start one with: python -m repro serve)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        keys = client.submit_all(requests)
+        states = client.wait(keys, timeout=args.timeout)
+    except (ServiceError, TimeoutError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    table = Table(
+        ["benchmark", "seed", "mode", "state", "EPI [pJ]", "job key"],
+        title=f"{len(requests)} jobs via {args.host}:{args.port} "
+        f"(tenant {args.tenant})",
+    )
+    failed = 0
+    for request, key in zip(requests, keys):
+        state = states.get(key, "unknown")
+        epi = ""
+        if state == "done":
+            metrics = client.poll(key, with_result=True).get("metrics", {})
+            if "epi" in metrics:
+                epi = f"{metrics['epi'] * 1e12:.3f}"
+        else:
+            failed += 1
+        table.add_row(
+            [
+                request.benchmark,
+                str(request.seed),
+                request.mode,
+                state,
+                epi,
+                key[:12],
+            ]
+        )
+    print(table.render())
+    stats = client.stats()["scheduler"]
+    print(
+        f"[submit] service totals: {stats['submitted']} submitted, "
+        f"{stats['executed']} executed, "
+        f"dedup {stats['dedup_fraction']:.0%}",
+        file=sys.stderr,
+    )
+    return 1 if failed else 0
+
+
 def _design_mc_check(design, seed: int) -> str:
     """Seeded importance-sampling cross-check of the analytic Pf values.
 
@@ -1048,6 +1265,12 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         print(rendered)
         return 0
+
+    if args.command == "serve":
+        return _dispatch_serve(args)
+
+    if args.command == "submit":
+        return _dispatch_submit(args)
 
     from repro.engine.session import use_session
     from repro.util.profiling import profiled

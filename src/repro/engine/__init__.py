@@ -29,6 +29,7 @@ from __future__ import annotations
 
 __all__ = [
     "BACKENDS",
+    "ProgressEvent",
     "SimulationJob",
     "SimulationSession",
     "StoredTraceRef",
@@ -55,6 +56,7 @@ _LAZY_EXPORTS = {
     "execute_group": ("repro.engine.batch", "execute_group"),
     "StoredTraceRef": ("repro.workloads.store", "StoredTraceRef"),
     "TraceStore": ("repro.workloads.store", "TraceStore"),
+    "ProgressEvent": ("repro.engine.session", "ProgressEvent"),
     "SimulationSession": ("repro.engine.session", "SimulationSession"),
     "current_session": ("repro.engine.session", "current_session"),
     "reset_default_session": (

@@ -20,9 +20,7 @@ configured session via :func:`use_session`.
 from __future__ import annotations
 
 import os
-import pickle
 import tempfile
-import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -45,6 +43,7 @@ from repro.engine.batch import (
     strip_traces,
 )
 from repro.engine.jobs import SimulationJob, job_key
+from repro.service.store import CompactionReport, ShardedResultStore
 from repro.workloads.store import TraceStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -52,13 +51,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 
 
 class DiskResultCache:
-    """Content-hash-keyed pickle store for simulation results.
+    """Content-hash-keyed on-disk store for simulation results.
 
     Entries live under a generation directory named by the
     package-source fingerprint: any source edit changes every job key
     (see :func:`repro.engine.jobs.job_key`), orphaning prior entries —
     grouping them per generation keeps stale pickles identifiable and
     trivially prunable (`rm -r cache/gen-*` minus the newest).
+
+    Within a generation, entries are held in a
+    :class:`repro.service.store.ShardedResultStore` — digest-sharded
+    (``<key[:2]>/<key>.pkl``), published by atomic rename, no file
+    locks — so any number of sessions, worker processes and service
+    instances share one cache directory and dedup against each other's
+    completed work.  A corrupt entry is a warned miss (see
+    :meth:`ShardedResultStore.get`).
     """
 
     def __init__(self, root: str | os.PathLike):
@@ -67,44 +74,52 @@ class DiskResultCache:
         self.base = Path(root)
         self.root = self.base / f"gen-{_code_fingerprint()[:16]}"
         self.root.mkdir(parents=True, exist_ok=True)
+        self._store = ShardedResultStore(self.root)
 
-    def _path(self, key: str) -> Path:
-        return self.root / f"{key}.pkl"
+    @property
+    def store(self) -> ShardedResultStore:
+        """The sharded store backing this generation's entries."""
+        return self._store
 
     def get(self, key: str) -> RunResult | None:
-        """The cached result for a key, or None.
-
-        A corrupt or truncated entry (a crashed writer, a filesystem
-        hiccup) is treated as a miss — the job simply re-executes and
-        overwrites it — but warns so silent cache damage stays visible.
-        """
-        path = self._path(key)
-        try:
-            payload = path.read_bytes()
-        except OSError:
-            return None
-        try:
-            return pickle.loads(payload)
-        except Exception as error:
-            warnings.warn(
-                f"discarding corrupt result-cache entry {path.name} "
-                f"({type(error).__name__}: {error}); treated as a miss",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            return None
+        """The cached result for a key, or None (corrupt = warned miss)."""
+        return self._store.get(key)
 
     def put(self, key: str, result: RunResult) -> None:
         """Store a result atomically (concurrent writers tolerated)."""
-        path = self._path(key)
-        scratch = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        scratch.write_bytes(
-            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
-        )
-        os.replace(scratch, path)
+        self._store.put(key, result)
+
+    def compact(self, verify: bool = False) -> CompactionReport:
+        """Sweep writer debris (and corrupt entries with ``verify``)."""
+        return self._store.compact(verify=verify)
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*.pkl"))
+        return len(self._store)
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One executed job's completion, in an order-independent shape.
+
+    Pool workers finish in nondeterministic order, so any callback fed
+    *positions* would observe a different sequence every run.  An event
+    instead identifies the completed work by its content-hash ``key``
+    and carries the running ``done``/``total`` counts: collected events
+    from two runs of the same batch — serial, parallel, whatever the
+    completion order — always form the same *set* of keys and the same
+    final counts, which is what the service's progress streams (and the
+    determinism tests) assert against.
+
+    Attributes:
+        key: the completed job's :func:`repro.engine.jobs.job_key`.
+        done: executed jobs completed so far, this one included.
+        total: jobs that will execute in this batch (after dedup and
+            cache hits).
+    """
+
+    key: str
+    done: int
+    total: int
 
 
 @dataclass
@@ -172,6 +187,13 @@ class SimulationSession:
         here.  Entries survive across invocations; any package source
         edit orphans them automatically (see
         ``docs/architecture.md``, "The job-key/caching contract").
+    cache : object, optional
+        An already constructed result cache exposing ``get(key)`` /
+        ``put(key, result)`` — typically a :class:`DiskResultCache`
+        shared between sessions, or the service layer's sharded store
+        wrapper.  Mutually exclusive with ``cache_dir``; this is the
+        seam that lets many sessions (and the simulation service)
+        share one store without each re-deriving its root.
     trace_store : path-like, optional
         Root of the content-addressed mmap trace store used to ship
         inline traces to worker processes by digest instead of
@@ -228,6 +250,7 @@ class SimulationSession:
         backend: str = "auto",
         cache_dir: str | os.PathLike | None = None,
         trace_store: str | os.PathLike | None = None,
+        cache=None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -235,13 +258,15 @@ class SimulationSession:
             raise ValueError(
                 f"unknown backend {backend!r}; known: {list(BACKENDS)}"
             )
+        if cache is not None and cache_dir is not None:
+            raise ValueError("pass either cache_dir or cache, not both")
         self.jobs = jobs
         self.backend = backend
         self.stats = SessionStats()
         self._memo: dict[str, RunResult] = {}
         self._pool: ProcessPoolExecutor | None = None
         self._disk = (
-            DiskResultCache(cache_dir) if cache_dir is not None else None
+            DiskResultCache(cache_dir) if cache_dir is not None else cache
         )
         self._trace_store_root = trace_store
         self._trace_store: TraceStore | None = None
@@ -255,8 +280,12 @@ class SimulationSession:
 
     @property
     def _cache_root(self) -> Path | None:
-        """The user-facing cache root (pre-generation-suffix)."""
-        return self._disk.base if self._disk is not None else None
+        """The user-facing cache root (pre-generation-suffix).
+
+        None when caching is off *or* the injected ``cache`` object has
+        no filesystem root to share with worker processes.
+        """
+        return getattr(self._disk, "base", None)
 
     def close(self) -> None:
         """Shut down the worker pool (idempotent)."""
@@ -286,6 +315,7 @@ class SimulationSession:
         self,
         jobs: Sequence[SimulationJob],
         progress: Callable[[int, int], None] | None = None,
+        on_event: Callable[[ProgressEvent], None] | None = None,
     ) -> list[RunResult]:
         """Run a batch, returning results in submission order.
 
@@ -295,6 +325,13 @@ class SimulationSession:
         driving process as executed jobs complete (``total`` counts only
         the jobs that actually execute, after dedup and cache hits), so
         campaign-scale batches can report without touching the workers.
+
+        ``on_event`` receives a :class:`ProgressEvent` per completed
+        execution.  Unlike bare ``(done, total)`` counts, events name
+        the completed job by key, so their *payloads* are independent
+        of the nondeterministic completion order under parallel
+        dispatch — the contract the service's streaming endpoint (and
+        the determinism tests) build on.
         """
         jobs = list(jobs)
         keys = [job_key(job) for job in jobs]
@@ -315,7 +352,10 @@ class SimulationSession:
             pending[key] = job
         if pending:
             results = self._execute(
-                list(pending.values()), progress=progress
+                list(pending.values()),
+                keys=list(pending),
+                progress=progress,
+                on_event=on_event,
             )
             for key, result in zip(pending, results):
                 self._memo[key] = result
@@ -331,10 +371,23 @@ class SimulationSession:
     def _execute(
         self,
         jobs: Sequence[SimulationJob],
+        keys: Sequence[str] | None = None,
         progress: Callable[[int, int], None] | None = None,
+        on_event: Callable[[ProgressEvent], None] | None = None,
     ) -> list[RunResult]:
         total = len(jobs)
         results: list[RunResult | None] = [None] * total
+        if keys is None:
+            keys = [job_key(job) for job in jobs]
+
+        def _notify(index: int, done: int) -> None:
+            if progress is not None:
+                progress(done, total)
+            if on_event is not None:
+                on_event(
+                    ProgressEvent(key=keys[index], done=done, total=total)
+                )
+
         if self.jobs > 1 and total > 1:
             # The pool lives for the session: workers keep their
             # chip/trace memos warm across batches (e.g. the per-Vdd
@@ -366,20 +419,21 @@ class SimulationSession:
                 for index, result in zip(futures[future], future.result()):
                     results[index] = result
                     done += 1
-                    if progress is not None:
-                        progress(done, total)
+                    _notify(index, done)
             return results
         # Serial: groups run in-process; traces stay inline (the store
         # only earns its keep across a process boundary).
         done = 0
-
-        def _advance(_result: RunResult) -> None:
-            nonlocal done
-            done += 1
-            if progress is not None:
-                progress(done, total)
-
         for group in group_by_trace(jobs):
+            # execute_group yields results in the group's own order, so
+            # the nth callback within this group is the nth group index.
+            position = iter(group)
+
+            def _advance(_result: RunResult) -> None:
+                nonlocal done
+                done += 1
+                _notify(next(position), done)
+
             group_results = execute_group(
                 [jobs[index] for index in group],
                 backend=self.backend,

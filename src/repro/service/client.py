@@ -1,0 +1,282 @@
+"""Blocking stdlib client of the simulation service.
+
+A thin :mod:`http.client` wrapper that speaks the service's JSON API:
+submit batches of :class:`~repro.service.requests.JobRequest`\\ s, poll
+or stream progress, and fetch completed results — unpickled from the
+byte-identical payloads the service stores, so a client-side
+``RunResult`` is indistinguishable from one computed by a local
+:class:`~repro.engine.session.SimulationSession`.
+
+Backpressure is first-class: :meth:`ServiceClient.submit` returns the
+typed per-job tickets verbatim, and :meth:`ServiceClient.submit_all`
+implements the polite loop — resubmit only the shed jobs after the
+server's ``retry_after`` hint — so callers get fleet-friendly behaviour
+without writing retry code.
+"""
+
+from __future__ import annotations
+
+import base64
+import http.client
+import json
+import pickle
+import time
+from typing import Callable, Iterator, Sequence
+
+from repro.cpu.chip import RunResult
+from repro.service.requests import JobRequest
+
+
+class ServiceError(Exception):
+    """The service answered with an error (or not at all)."""
+
+    def __init__(self, status: int, payload: dict | None = None):
+        detail = (payload or {}).get("detail") or (payload or {}).get(
+            "error", ""
+        )
+        super().__init__(f"service error {status}: {detail}")
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServiceClient:
+    """One tenant's connection-per-request handle on a service.
+
+    Parameters
+    ----------
+    host, port : str, int
+        Where the service listens.
+    tenant : str
+        Tenant id attached to every submission (quotas and fair-share
+        weights are keyed by it).
+    timeout : float
+        Socket timeout per request.
+    sleep : callable
+        Injectable :func:`time.sleep` for the retry loops.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str = "default",
+        timeout: float = 30.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+        self._sleep = sleep
+
+    # ------------------------------------------------------------- HTTP
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict]:
+        """One request, one connection; returns (status, JSON body)."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                data = json.loads(raw.decode("utf-8")) if raw else {}
+            except json.JSONDecodeError:
+                data = {"error": "unparseable", "detail": raw[:200].decode(
+                    "utf-8", "replace"
+                )}
+            return response.status, data
+        finally:
+            connection.close()
+
+    def _get(self, path: str) -> dict:
+        """GET returning the body, raising on non-2xx/429 statuses."""
+        status, data = self._request("GET", path)
+        if status >= 400:
+            raise ServiceError(status, data)
+        return data
+
+    # ------------------------------------------------------------ calls
+    def healthy(self) -> bool:
+        """Whether the service answers its liveness probe."""
+        try:
+            return bool(self._get("/v1/healthz").get("ok"))
+        except (OSError, ServiceError):
+            return False
+
+    def stats(self) -> dict:
+        """Scheduler + store counters (``GET /v1/stats``)."""
+        return self._get("/v1/stats")
+
+    def submit(
+        self, requests: Sequence[JobRequest]
+    ) -> tuple[int, list[dict]]:
+        """Submit a batch; returns (HTTP status, per-job tickets).
+
+        Status 200 means at least one job was accepted or served; 429
+        is the typed full-batch backpressure response — the tickets
+        still itemize every job with its shed reason and retry hint.
+        """
+        status, data = self._request(
+            "POST",
+            "/v1/submit",
+            {
+                "tenant": self.tenant,
+                "requests": [request.to_dict() for request in requests],
+            },
+        )
+        if status not in (200, 429):
+            raise ServiceError(status, data)
+        return status, data.get("tickets", [])
+
+    def submit_all(
+        self,
+        requests: Sequence[JobRequest],
+        max_attempts: int = 50,
+    ) -> list[str]:
+        """Submit, resubmitting shed jobs until all are admitted.
+
+        Honors the server's per-ticket ``retry_after`` hints between
+        rounds.  Returns the job keys in submission order; raises
+        :class:`ServiceError` if jobs are still being shed after
+        ``max_attempts`` rounds.
+        """
+        order = list(requests)
+        keys: dict[int, str] = {}
+        pending = list(enumerate(order))
+        for _attempt in range(max_attempts):
+            _status, tickets = self.submit([r for _i, r in pending])
+            still_shed = []
+            retry_after = 0.0
+            for (index, request), ticket in zip(pending, tickets):
+                if ticket["state"] == "shed":
+                    still_shed.append((index, request))
+                    retry_after = max(
+                        retry_after, ticket.get("retry_after") or 0.0
+                    )
+                else:
+                    keys[index] = ticket["key"]
+            if not still_shed:
+                return [keys[index] for index in range(len(order))]
+            pending = still_shed
+            self._sleep(retry_after or 0.05)
+        raise ServiceError(
+            429,
+            {
+                "error": "backpressure",
+                "detail": f"{len(pending)} jobs still shed "
+                f"after {max_attempts} attempts",
+            },
+        )
+
+    def poll(self, key: str, with_result: bool = False) -> dict:
+        """The current state payload of one job."""
+        suffix = "?result=1" if with_result else ""
+        return self._get(f"/v1/jobs/{key}{suffix}")
+
+    def result_bytes(self, key: str) -> bytes:
+        """The stored pickle bytes of a completed job's result.
+
+        These are byte-identical to what a library-mode session's disk
+        cache holds for the same job key — the payload the acceptance
+        tests compare.  Raises :class:`ServiceError` if the job is not
+        done.
+        """
+        payload = self.poll(key, with_result=True)
+        if "result_b64" not in payload:
+            raise ServiceError(
+                409,
+                {
+                    "error": "not_ready",
+                    "detail": f"job is {payload.get('state')}",
+                },
+            )
+        return base64.b64decode(payload["result_b64"])
+
+    def result(self, key: str) -> RunResult:
+        """The completed :class:`~repro.cpu.chip.RunResult` of a job."""
+        return pickle.loads(self.result_bytes(key))
+
+    def stream(self, keys: Sequence[str]) -> Iterator[dict]:
+        """Iterate progress events until every key is terminal.
+
+        Yields each NDJSON event dict, including the final
+        ``{"event": "complete"}`` line.  The connection stays open for
+        the duration; closing the iterator early just drops it.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(
+                "GET", "/v1/stream?keys=" + ",".join(keys)
+            )
+            response = connection.getresponse()
+            if response.status != 200:
+                raise ServiceError(
+                    response.status,
+                    {"error": "stream", "detail": response.reason},
+                )
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if not line:
+                    continue
+                event = json.loads(line.decode("utf-8"))
+                yield event
+                if event.get("event") == "complete":
+                    return
+        finally:
+            connection.close()
+
+    def wait(
+        self,
+        keys: Sequence[str],
+        timeout: float = 120.0,
+        poll_interval: float = 0.05,
+    ) -> dict[str, str]:
+        """Block until every key is terminal; returns key → state.
+
+        Prefers the streaming endpoint (one connection, push-style
+        events); falls back to polling if the stream drops early.
+        """
+        deadline = time.monotonic() + timeout
+        states: dict[str, str] = {}
+        try:
+            for event in self.stream(keys):
+                if "key" in event:
+                    states[event["key"]] = event["state"]
+                if event.get("event") == "complete":
+                    return states
+                if time.monotonic() > deadline:
+                    break
+        except (OSError, ServiceError, json.JSONDecodeError):
+            pass  # fall through to polling
+        while time.monotonic() < deadline:
+            states = {
+                key: self.poll(key).get("state", "unknown")
+                for key in keys
+            }
+            if all(
+                state in ("done", "failed") for state in states.values()
+            ):
+                return states
+            self._sleep(poll_interval)
+        raise TimeoutError(
+            f"jobs not terminal within {timeout} s: "
+            f"{ {k: v for k, v in states.items() if v not in ('done', 'failed')} }"
+        )
+
+    def results(self, keys: Sequence[str]) -> list[RunResult]:
+        """Wait for and fetch the results of many jobs, in order."""
+        self.wait(keys)
+        return [self.result(key) for key in keys]

@@ -1,0 +1,537 @@
+"""Multi-tenant simulation scheduler: quotas, fairness, backpressure.
+
+The :class:`ServiceScheduler` sits between the service front end and
+the engine.  Clients submit batches of :class:`~repro.engine.jobs.
+SimulationJob`\\ s attributed to a *tenant*; for every job the scheduler
+decides, under one lock, exactly one of:
+
+``done``
+    The result is already known — in-memory memo or the shared
+    :class:`~repro.service.store.ShardedResultStore` — and is served
+    immediately.  This path is checked **before** any capacity check,
+    which is the graceful-degradation contract: a saturated service
+    still answers everything it has already computed.
+``attached``
+    An identical job (same content-hash key) is already queued or
+    running for some tenant; this tenant is attached to it and will
+    receive the same result.  Cross-tenant dedup costs nothing and is
+    never sheddable.
+``queued``
+    New work, admitted into the bounded weighted-fair queue
+    (:class:`~repro.service.queue.WeightedFairQueue`).
+``shed``
+    New work, rejected with a *typed* backpressure ticket — reason
+    ``"quota"`` (this tenant already owns its full share of
+    outstanding work) or ``"saturated"`` (the bounded queue is full) —
+    carrying a ``retry_after`` hint.  Shedding happens only on these
+    two conditions, pinned by the property tests.
+
+Execution runs on worker threads (``workers`` bounds in-flight
+simulations); a failed execution is retried with exponential backoff up
+to ``max_retries`` times before the job is marked ``failed``.  Results
+are published to the shared store *before* the job is marked done, so
+a crash between the two never yields a torn entry — and a partial
+result is unrepresentable: :meth:`ServiceScheduler.result` only returns
+fully published :class:`~repro.cpu.chip.RunResult` objects.
+
+For deterministic tests the scheduler also runs with ``workers=0``:
+nothing executes in the background and :meth:`run_next` pumps one
+queued job at a time under an injectable clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.cpu.chip import RunResult
+from repro.engine.jobs import SimulationJob, execute_job, job_key
+from repro.service.queue import WeightedFairQueue
+from repro.service.store import ShardedResultStore
+
+#: Ticket / entry states surfaced to clients.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+SHED = "shed"
+ATTACHED = "attached"
+
+#: Typed shed reasons.
+REASON_SATURATED = "saturated"
+REASON_QUOTA = "quota"
+
+
+class ResultNotReady(LookupError):
+    """A result was requested for a job that is not ``done``.
+
+    Carries the job's current state so callers (and the HTTP layer)
+    can distinguish "still running" from "failed" — but never receive
+    a partial :class:`~repro.cpu.chip.RunResult`.
+    """
+
+    def __init__(self, key: str, state: str):
+        super().__init__(f"job {key[:12]}… is {state}, not done")
+        self.key = key
+        self.state = state
+
+
+@dataclass(frozen=True)
+class Ticket:
+    """Per-job outcome of one submit call.
+
+    Attributes:
+        key: the job's content-hash key (:func:`repro.engine.jobs.job_key`).
+        state: ``done`` | ``queued`` | ``attached`` | ``shed``.
+        reason: for ``shed`` tickets, ``"quota"`` or ``"saturated"``.
+        retry_after: for ``shed`` tickets, the suggested delay in
+            seconds before resubmitting.
+    """
+
+    key: str
+    state: str
+    reason: str | None = None
+    retry_after: float | None = None
+
+    def to_dict(self) -> dict:
+        """The JSON-able wire form of the ticket."""
+        payload: dict = {"key": self.key, "state": self.state}
+        if self.reason is not None:
+            payload["reason"] = self.reason
+        if self.retry_after is not None:
+            payload["retry_after"] = self.retry_after
+        return payload
+
+
+@dataclass
+class SchedulerStats:
+    """Where every submitted job went, and what execution cost.
+
+    ``dedup_fraction`` is the share of submissions that never reached
+    the execution queue because the scheduler already knew the answer
+    (memo / shared store) or the work was already in flight — the
+    number the fleet-scale cross-client dedup acceptance test measures.
+    """
+
+    submitted: int = 0
+    served_memo: int = 0
+    served_store: int = 0
+    attached: int = 0
+    queued: int = 0
+    executed: int = 0
+    retried: int = 0
+    failed: int = 0
+    shed_saturated: int = 0
+    shed_quota: int = 0
+
+    @property
+    def dedup_fraction(self) -> float:
+        """Deduplicated submissions as a share of all submissions."""
+        if not self.submitted:
+            return 0.0
+        saved = self.served_memo + self.served_store + self.attached
+        return saved / self.submitted
+
+    def to_dict(self) -> dict:
+        """The JSON-able wire form of the counters."""
+        return {
+            "submitted": self.submitted,
+            "served_memo": self.served_memo,
+            "served_store": self.served_store,
+            "attached": self.attached,
+            "queued": self.queued,
+            "executed": self.executed,
+            "retried": self.retried,
+            "failed": self.failed,
+            "shed_saturated": self.shed_saturated,
+            "shed_quota": self.shed_quota,
+            "dedup_fraction": self.dedup_fraction,
+        }
+
+
+@dataclass
+class _Entry:
+    """Internal per-key execution record."""
+
+    key: str
+    job: SimulationJob
+    owner: str
+    state: str = QUEUED
+    attempts: int = 0
+    error: str | None = None
+    result: RunResult | None = None
+    tenants: set[str] = field(default_factory=set)
+    done_event: threading.Event = field(default_factory=threading.Event)
+
+
+class ServiceScheduler:
+    """Fair, quota-bounded, failure-tolerant executor of engine jobs.
+
+    Parameters
+    ----------
+    store : ShardedResultStore, optional
+        Shared result store; results found here are served without
+        executing, and every executed result is published to it before
+        the job is marked done.  None keeps results in memory only.
+    workers : int
+        Background worker threads (the in-flight execution bound).
+        0 disables background execution — tests drive the queue
+        deterministically with :meth:`run_next`.
+    backend : str
+        Engine backend for executed jobs (bit-identical by contract).
+    queue_capacity : int
+        Bound of the admission queue; submissions beyond it shed with
+        reason ``"saturated"``.
+    tenant_quota : int, optional
+        Maximum *outstanding* (queued or running) jobs a single tenant
+        may own; submissions beyond it shed with reason ``"quota"``.
+        Attached (deduplicated) jobs never count against a quota.
+    weights : mapping, optional
+        Per-tenant fair-share weights (default 1.0 each).
+    max_retries : int
+        Executions retried after a failure before marking ``failed``.
+    backoff_base : float
+        First retry delay in seconds; doubles per attempt.
+    retry_after : float
+        The hint carried by shed tickets.
+    execute : callable, optional
+        Replacement for :func:`repro.engine.jobs.execute_job` — the
+        fault-injection seam the failure tests use.
+    clock : callable
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        store: ShardedResultStore | None = None,
+        *,
+        workers: int = 2,
+        backend: str = "auto",
+        queue_capacity: int = 256,
+        tenant_quota: int | None = None,
+        weights: Mapping[str, float] | None = None,
+        max_retries: int = 2,
+        backoff_base: float = 0.05,
+        retry_after: float = 0.25,
+        execute: Callable[[SimulationJob], RunResult] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        if tenant_quota is not None and tenant_quota < 1:
+            raise ValueError("tenant_quota must be at least 1 (or None)")
+        self.store = store
+        self.workers = workers
+        self.backend = backend
+        self.tenant_quota = tenant_quota
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.retry_after = retry_after
+        self.stats = SchedulerStats()
+        self._execute = execute or (
+            lambda job: execute_job(job, backend=backend)
+        )
+        self._clock = clock
+        self._queue = WeightedFairQueue(capacity=queue_capacity)
+        for tenant, weight in (weights or {}).items():
+            self._queue.set_weight(tenant, weight)
+        self._entries: dict[str, _Entry] = {}
+        self._outstanding: dict[str, int] = {}
+        self._delayed: list[tuple[float, int, str, str]] = []
+        self._delayed_seq = 0
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._threads: list[threading.Thread] = []
+        self._running = False
+
+    # --------------------------------------------------------- lifecycle
+    def start(self) -> "ServiceScheduler":
+        """Start the background worker threads (no-op when 0)."""
+        with self._cond:
+            if self._running:
+                return self
+            self._running = True
+            self._threads = [
+                threading.Thread(
+                    target=self._worker_loop,
+                    name=f"repro-service-worker-{index}",
+                    daemon=True,
+                )
+                for index in range(self.workers)
+            ]
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the workers (idempotent; queued work stays queued)."""
+        with self._cond:
+            self._running = False
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads = []
+
+    def __enter__(self) -> "ServiceScheduler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------ submit
+    def submit(
+        self, tenant: str, jobs: Sequence[SimulationJob]
+    ) -> list[Ticket]:
+        """Admit a batch for a tenant, one typed ticket per job.
+
+        Known results (memo or shared store) are served as ``done``
+        even when the queue is saturated; identical in-flight work is
+        joined as ``attached``; only genuinely *new* work is subject to
+        the tenant quota and the bounded queue, shedding with a typed
+        reason + retry-after when either is exhausted.
+        """
+        tickets = []
+        with self._cond:
+            for job in jobs:
+                tickets.append(self._admit(tenant, job))
+            self._cond.notify_all()
+        return tickets
+
+    def _admit(self, tenant: str, job: SimulationJob) -> Ticket:
+        """Decide one job's fate (caller holds the lock)."""
+        key = job_key(job)
+        self.stats.submitted += 1
+        entry = self._entries.get(key)
+        if entry is not None and entry.state == DONE:
+            self.stats.served_memo += 1
+            return Ticket(key=key, state=DONE)
+        if entry is not None and entry.state in (QUEUED, RUNNING):
+            entry.tenants.add(tenant)
+            self.stats.attached += 1
+            return Ticket(key=key, state=ATTACHED)
+        if entry is None and self.store is not None:
+            cached = self.store.get(key)
+            if cached is not None:
+                done = _Entry(
+                    key=key, job=job, owner=tenant, state=DONE,
+                    result=cached, tenants={tenant},
+                )
+                done.done_event.set()
+                self._entries[key] = done
+                self.stats.served_store += 1
+                return Ticket(key=key, state=DONE)
+        # New (or previously failed) work: quota, then capacity.
+        if (
+            self.tenant_quota is not None
+            and self._outstanding.get(tenant, 0) >= self.tenant_quota
+        ):
+            self.stats.shed_quota += 1
+            return Ticket(
+                key=key, state=SHED, reason=REASON_QUOTA,
+                retry_after=self.retry_after,
+            )
+        if self._queue.full:
+            self.stats.shed_saturated += 1
+            return Ticket(
+                key=key, state=SHED, reason=REASON_SATURATED,
+                retry_after=self.retry_after,
+            )
+        if entry is None:
+            entry = _Entry(key=key, job=job, owner=tenant)
+        else:  # failed before: a fresh submission retries from scratch
+            entry.owner = tenant
+            entry.attempts = 0
+            entry.error = None
+            entry.done_event = threading.Event()
+        entry.state = QUEUED
+        entry.tenants.add(tenant)
+        self._entries[key] = entry
+        self._outstanding[tenant] = self._outstanding.get(tenant, 0) + 1
+        self._queue.push(tenant, key)
+        self.stats.queued += 1
+        return Ticket(key=key, state=QUEUED)
+
+    # ----------------------------------------------------------- queries
+    def state_of(self, key: str) -> dict:
+        """One job's public state (raises KeyError for unknown keys)."""
+        with self._lock:
+            entry = self._entries[key]
+            payload = {
+                "key": key,
+                "state": entry.state,
+                "attempts": entry.attempts,
+            }
+            if entry.error is not None:
+                payload["error"] = entry.error
+            return payload
+
+    def snapshot(self, keys: Iterable[str]) -> dict[str, dict]:
+        """States of many keys at one instant (unknown keys skipped).
+
+        The payloads are *order-independent* — each carries its key and
+        state, nothing positional — so progress streams built on
+        successive snapshots are deterministic to assert against
+        however completion order scrambles.
+        """
+        with self._lock:
+            return {
+                key: self.state_of(key)
+                for key in keys
+                if key in self._entries
+            }
+
+    def result(self, key: str) -> RunResult:
+        """The completed result of a job — and only then.
+
+        Raises KeyError for unknown keys and :class:`ResultNotReady`
+        for queued / running / failed ones: a caller can never observe
+        a partially computed :class:`~repro.cpu.chip.RunResult`.
+        """
+        with self._lock:
+            entry = self._entries[key]
+            if entry.state != DONE:
+                raise ResultNotReady(key, entry.state)
+            assert entry.result is not None
+            return entry.result
+
+    def result_bytes(self, key: str) -> bytes:
+        """The stored pickle payload of a completed result.
+
+        Served from the shared store when one is attached (the exact
+        published bytes — the byte-identity contract), falling back to
+        pickling the in-memory result.
+        """
+        import pickle
+
+        result = self.result(key)
+        if self.store is not None:
+            payload = self.store.get_bytes(key)
+            if payload is not None:
+                return payload
+        return pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def wait(self, keys: Iterable[str], timeout: float = 60.0) -> bool:
+        """Block until every key is terminal (done/failed) or timeout."""
+        deadline = self._clock() + timeout
+        for key in keys:
+            with self._lock:
+                entry = self._entries.get(key)
+            if entry is None:
+                continue
+            remaining = deadline - self._clock()
+            if remaining <= 0 or not entry.done_event.wait(remaining):
+                return False
+        return True
+
+    def queue_depth(self) -> int:
+        """Items currently admitted but not yet executing."""
+        with self._lock:
+            return len(self._queue) + len(self._delayed)
+
+    # --------------------------------------------------------- execution
+    def run_next(self, now: float | None = None) -> str | None:
+        """Execute one queued job synchronously (``workers=0`` mode).
+
+        Promotes any due retries first, then serves the fair queue's
+        next item to completion.  Returns the executed job's key, or
+        None when nothing was runnable at ``now``.
+        """
+        with self._cond:
+            self._promote_due(now if now is not None else self._clock())
+            item = self._queue.pop()
+            if item is None:
+                return None
+            entry = self._begin(item[1])
+        self._finish(entry, now=now)
+        return entry.key
+
+    def _begin(self, key: str) -> _Entry:
+        """Mark a popped entry running (caller holds the lock)."""
+        entry = self._entries[key]
+        entry.state = RUNNING
+        return entry
+
+    def _finish(self, entry: _Entry, now: float | None = None) -> None:
+        """Execute one entry and publish success or schedule a retry."""
+        try:
+            result = self._execute(entry.job)
+        except Exception as error:
+            self._on_failure(entry, error, now=now)
+            return
+        # Publish to the shared store *before* flipping the state:
+        # a reader that sees ``done`` can always read the entry.
+        if self.store is not None:
+            self.store.put(entry.key, result)
+        with self._cond:
+            entry.result = result
+            entry.state = DONE
+            entry.attempts += 1
+            self.stats.executed += 1
+            self._settle(entry)
+
+    def _on_failure(
+        self, entry: _Entry, error: Exception, now: float | None
+    ) -> None:
+        """Retry with exponential backoff, or mark the entry failed."""
+        with self._cond:
+            entry.attempts += 1
+            if entry.attempts <= self.max_retries:
+                self.stats.retried += 1
+                entry.state = QUEUED
+                delay = self.backoff_base * 2 ** (entry.attempts - 1)
+                due = (now if now is not None else self._clock()) + delay
+                self._delayed_seq += 1
+                self._delayed.append(
+                    (due, self._delayed_seq, entry.owner, entry.key)
+                )
+                self._delayed.sort()
+                self._cond.notify_all()
+                return
+            entry.state = FAILED
+            entry.error = f"{type(error).__name__}: {error}"
+            self.stats.failed += 1
+            self._settle(entry)
+
+    def _settle(self, entry: _Entry) -> None:
+        """Terminal bookkeeping (caller holds the lock)."""
+        count = self._outstanding.get(entry.owner, 0) - 1
+        if count > 0:
+            self._outstanding[entry.owner] = count
+        else:
+            self._outstanding.pop(entry.owner, None)
+        entry.done_event.set()
+        self._cond.notify_all()
+
+    def _promote_due(self, now: float) -> None:
+        """Move due retries back into the fair queue (lock held).
+
+        Retries bypass the admission bound: the work was already
+        admitted once, and bouncing it off a momentarily full queue
+        would turn a transient fault into a deadlock.
+        """
+        while self._delayed and self._delayed[0][0] <= now:
+            _due, _seq, owner, key = self._delayed.pop(0)
+            self._queue.push(owner, key, force=True)
+
+    def _worker_loop(self) -> None:
+        """Background worker: serve the fair queue until stopped."""
+        while True:
+            with self._cond:
+                entry = None
+                while self._running:
+                    self._promote_due(self._clock())
+                    item = self._queue.pop()
+                    if item is not None:
+                        entry = self._begin(item[1])
+                        break
+                    timeout = None
+                    if self._delayed:
+                        timeout = max(
+                            self._delayed[0][0] - self._clock(), 0.0
+                        )
+                    self._cond.wait(timeout=timeout)
+                if entry is None:
+                    return
+            self._finish(entry)

@@ -174,7 +174,7 @@ class TestDiskCache:
         result = first.run_one(job)
         assert first.stats.executed == 1
         # Entries are grouped per source-fingerprint generation.
-        assert len(list(tmp_path.glob("gen-*/*.pkl"))) == 1
+        assert len(list(tmp_path.glob("gen-*/*/*.pkl"))) == 1
 
         second = SimulationSession(cache_dir=tmp_path)
         cached = second.run_one(job)
@@ -189,7 +189,7 @@ class TestDiskCache:
         """A corrupt entry is a *warned* miss, then overwritten."""
         job = _job(chips_a)
         SimulationSession(cache_dir=tmp_path).run_one(job)
-        (entry,) = tmp_path.glob("gen-*/*.pkl")
+        (entry,) = tmp_path.glob("gen-*/*/*.pkl")
         entry.write_bytes(b"not a pickle")
         session = SimulationSession(cache_dir=tmp_path)
         with pytest.warns(RuntimeWarning, match="corrupt result-cache"):
@@ -202,7 +202,7 @@ class TestDiskCache:
         """A half-written pickle (crashed writer) is also just a miss."""
         job = _job(chips_a)
         fresh = SimulationSession(cache_dir=tmp_path).run_one(job)
-        (entry,) = tmp_path.glob("gen-*/*.pkl")
+        (entry,) = tmp_path.glob("gen-*/*/*.pkl")
         entry.write_bytes(entry.read_bytes()[:-7])
         session = SimulationSession(cache_dir=tmp_path)
         with pytest.warns(RuntimeWarning, match="treated as a miss"):
@@ -216,7 +216,7 @@ class TestDiskCache:
         import pickletools
 
         SimulationSession(cache_dir=tmp_path).run_one(_job(chips_a))
-        (entry,) = tmp_path.glob("gen-*/*.pkl")
+        (entry,) = tmp_path.glob("gen-*/*/*.pkl")
         payload = entry.read_bytes()
         version = next(
             arg
@@ -316,7 +316,7 @@ class TestExperimentBatch:
         session.run_experiments(
             ["tab-exectime"], {"tab-exectime": {"trace_length": 2_000}}
         )
-        entries = list(tmp_path.glob("gen-*/*.pkl"))
+        entries = list(tmp_path.glob("gen-*/*/*.pkl"))
         assert entries
 
         # A fresh session over the same cache dir executes nothing.
@@ -336,7 +336,7 @@ class TestExperimentBatch:
                 "tab-wcet": {"trace_length": 2_000},
             },
         )
-        assert list(tmp_path.glob("gen-*/*.pkl"))
+        assert list(tmp_path.glob("gen-*/*/*.pkl"))
 
     def test_on_result_streams_completions(self):
         seen = []

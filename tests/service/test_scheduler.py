@@ -1,0 +1,329 @@
+"""Scheduler semantics under faults: retries, quotas, degradation.
+
+These suites run the scheduler in ``workers=0`` mode with injected
+executors and clocks, so every fault — a worker dying mid-job, a
+truncated store entry, a saturated queue — is reproduced
+deterministically rather than raced for.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.engine.jobs import job_key
+from repro.service.scheduler import (
+    ATTACHED,
+    DONE,
+    FAILED,
+    QUEUED,
+    REASON_QUOTA,
+    REASON_SATURATED,
+    RUNNING,
+    SHED,
+    ResultNotReady,
+    ServiceScheduler,
+)
+from repro.service.store import ShardedResultStore
+
+
+class FlakyExecutor:
+    """Fails the first ``failures`` calls per key, then succeeds."""
+
+    def __init__(self, failures: int = 1):
+        self.failures = failures
+        self.calls: list[str] = []
+
+    def __call__(self, job):
+        key = job_key(job)
+        self.calls.append(key)
+        if self.calls.count(key) <= self.failures:
+            raise RuntimeError(f"worker killed mid-job (attempt for {key[:8]})")
+        return ("result-for", key)
+
+
+class TestHappyPath:
+    def test_submit_run_result(self, manual_scheduler, distinct_jobs):
+        scheduler = manual_scheduler()
+        (job,) = distinct_jobs(1)
+        (ticket,) = scheduler.submit("alice", [job])
+        assert ticket.state == QUEUED
+        assert scheduler.run_next() == ticket.key
+        assert scheduler.result(ticket.key) == ("result-for", ticket.key)
+        assert scheduler.stats.executed == 1
+        assert scheduler.run_next() is None
+
+    def test_memo_and_attach_dedup(self, manual_scheduler, distinct_jobs):
+        scheduler = manual_scheduler()
+        (job,) = distinct_jobs(1)
+        (first,) = scheduler.submit("alice", [job])
+        (attached,) = scheduler.submit("bob", [job])
+        assert attached.state == ATTACHED
+        scheduler.run_next()
+        (memo,) = scheduler.submit("carol", [job])
+        assert memo.state == DONE
+        assert scheduler.stats.executed == 1
+        assert scheduler.stats.attached == 1
+        assert scheduler.stats.served_memo == 1
+        assert scheduler.stats.dedup_fraction == pytest.approx(2 / 3)
+        # All three tenants read the identical object.
+        assert scheduler.result(first.key) == ("result-for", first.key)
+
+    def test_store_hit_served_without_executing(
+        self, manual_scheduler, distinct_jobs, tmp_path
+    ):
+        store = ShardedResultStore(tmp_path)
+        (job,) = distinct_jobs(1)
+        key = job_key(job)
+        store.put(key, ("precomputed", key))
+        scheduler = manual_scheduler(store=store)
+        (ticket,) = scheduler.submit("alice", [job])
+        assert ticket.state == DONE
+        assert scheduler.result(key) == ("precomputed", key)
+        assert scheduler.stats.served_store == 1
+        assert scheduler.stats.executed == 0
+
+    def test_result_published_to_store_on_completion(
+        self, manual_scheduler, distinct_jobs, tmp_path
+    ):
+        store = ShardedResultStore(tmp_path)
+        scheduler = manual_scheduler(store=store)
+        (job,) = distinct_jobs(1)
+        (ticket,) = scheduler.submit("alice", [job])
+        scheduler.run_next()
+        assert store.get(ticket.key) == ("result-for", ticket.key)
+        assert scheduler.result_bytes(ticket.key) == store.get_bytes(
+            ticket.key
+        )
+
+
+class TestFaultInjection:
+    def test_killed_worker_retries_with_backoff(
+        self, manual_scheduler, distinct_jobs
+    ):
+        executor = FlakyExecutor(failures=1)
+        scheduler = manual_scheduler(
+            execute=executor, backoff_base=1.0, clock=lambda: 0.0
+        )
+        (job,) = distinct_jobs(1)
+        (ticket,) = scheduler.submit("alice", [job])
+        # First attempt dies; the job is re-queued, not failed.
+        assert scheduler.run_next(now=0.0) == ticket.key
+        assert scheduler.state_of(ticket.key)["state"] == QUEUED
+        assert scheduler.stats.retried == 1
+        # Before the backoff expires nothing is runnable...
+        assert scheduler.run_next(now=0.5) is None
+        # ...after it, the retry runs and succeeds.
+        assert scheduler.run_next(now=1.0) == ticket.key
+        assert scheduler.result(ticket.key) == ("result-for", ticket.key)
+        assert scheduler.state_of(ticket.key)["attempts"] == 2
+
+    def test_backoff_doubles_per_attempt(self, manual_scheduler, distinct_jobs):
+        executor = FlakyExecutor(failures=2)
+        scheduler = manual_scheduler(
+            execute=executor,
+            backoff_base=1.0,
+            max_retries=3,
+            clock=lambda: 0.0,
+        )
+        (job,) = distinct_jobs(1)
+        (ticket,) = scheduler.submit("alice", [job])
+        scheduler.run_next(now=0.0)  # attempt 1 fails -> due at 1.0
+        assert scheduler.run_next(now=0.9) is None
+        scheduler.run_next(now=1.0)  # attempt 2 fails -> due at 3.0
+        assert scheduler.run_next(now=2.9) is None
+        assert scheduler.run_next(now=3.0) == ticket.key
+        assert scheduler.state_of(ticket.key)["state"] == DONE
+
+    def test_exhausted_retries_mark_failed_never_partial(
+        self, manual_scheduler, distinct_jobs
+    ):
+        scheduler = manual_scheduler(
+            execute=FlakyExecutor(failures=99),
+            max_retries=1,
+            backoff_base=0.0,
+            clock=lambda: 0.0,
+        )
+        (job,) = distinct_jobs(1)
+        (ticket,) = scheduler.submit("alice", [job])
+        scheduler.run_next(now=0.0)
+        scheduler.run_next(now=0.0)
+        state = scheduler.state_of(ticket.key)
+        assert state["state"] == FAILED
+        assert "RuntimeError" in state["error"]
+        assert scheduler.stats.failed == 1
+        # A failed job never yields a result object, partial or not.
+        with pytest.raises(ResultNotReady) as excinfo:
+            scheduler.result(ticket.key)
+        assert excinfo.value.state == FAILED
+
+    def test_resubmission_after_failure_retries_from_scratch(
+        self, manual_scheduler, distinct_jobs
+    ):
+        executor = FlakyExecutor(failures=2)
+        scheduler = manual_scheduler(
+            execute=executor,
+            max_retries=0,
+            clock=lambda: 0.0,
+        )
+        (job,) = distinct_jobs(1)
+        scheduler.submit("alice", [job])
+        scheduler.run_next(now=0.0)  # fails -> FAILED (no retries)
+        scheduler.submit("alice", [job])
+        scheduler.run_next(now=0.0)  # fails again
+        (ticket,) = scheduler.submit("bob", [job])
+        assert ticket.state == QUEUED  # failed entries re-enter the queue
+        scheduler.run_next(now=0.0)  # third per-key call succeeds
+        assert scheduler.result(ticket.key) == ("result-for", ticket.key)
+
+    def test_truncated_store_entry_is_miss_then_heals(
+        self, manual_scheduler, distinct_jobs, tmp_path
+    ):
+        store = ShardedResultStore(tmp_path)
+        (job,) = distinct_jobs(1)
+        key = job_key(job)
+        store.put(key, ("will-be-truncated", key))
+        path = store.path_for(key)
+        path.write_bytes(path.read_bytes()[:-4])
+        scheduler = manual_scheduler(store=store)
+        with pytest.warns(RuntimeWarning, match="treated as a miss"):
+            (ticket,) = scheduler.submit("alice", [job])
+        assert ticket.state == QUEUED  # corrupt entry did not serve
+        scheduler.run_next()
+        assert scheduler.result(key) == ("result-for", key)
+        assert store.get(key) == ("result-for", key)  # healed on publish
+
+    def test_retry_requeue_bypasses_full_queue(
+        self, manual_scheduler, distinct_jobs
+    ):
+        """A transient fault must never deadlock against saturation."""
+        executor = FlakyExecutor(failures=1)
+        scheduler = manual_scheduler(
+            execute=executor,
+            queue_capacity=2,
+            backoff_base=0.0,
+            clock=lambda: 0.0,
+        )
+        jobs = distinct_jobs(3)
+        tickets = scheduler.submit("alice", jobs[:2])
+        assert [t.state for t in tickets] == [QUEUED, QUEUED]
+        scheduler.run_next(now=0.0)  # first job fails -> due immediately
+        # Fill the freed slot so the queue is at capacity again.
+        (filler,) = scheduler.submit("alice", [jobs[2]])
+        assert filler.state == QUEUED
+        # The retry is promoted past the full queue and completes.
+        ran = {scheduler.run_next(now=0.0) for _ in range(3)}
+        assert tickets[0].key in ran
+        assert scheduler.result(tickets[0].key) == (
+            "result-for",
+            tickets[0].key,
+        )
+
+
+class TestBackpressure:
+    def test_saturated_queue_sheds_with_typed_reason(
+        self, manual_scheduler, distinct_jobs
+    ):
+        scheduler = manual_scheduler(queue_capacity=2)
+        jobs = distinct_jobs(3)
+        tickets = scheduler.submit("alice", jobs)
+        assert [t.state for t in tickets] == [QUEUED, QUEUED, SHED]
+        assert tickets[2].reason == REASON_SATURATED
+        assert tickets[2].retry_after > 0
+        assert scheduler.stats.shed_saturated == 1
+
+    def test_quota_sheds_per_tenant_only(self, manual_scheduler, distinct_jobs):
+        scheduler = manual_scheduler(tenant_quota=1, queue_capacity=8)
+        jobs = distinct_jobs(3)
+        alice = scheduler.submit("alice", jobs[:2])
+        assert [t.state for t in alice] == [QUEUED, SHED]
+        assert alice[1].reason == REASON_QUOTA
+        # Another tenant has its own quota.
+        (bob,) = scheduler.submit("bob", [jobs[2]])
+        assert bob.state == QUEUED
+        # Attaching to in-flight work is never quota-shed.
+        (attach,) = scheduler.submit("alice", [jobs[2]])
+        assert attach.state == ATTACHED
+        # Completing work frees the quota.
+        scheduler.run_next()
+        resubmit = scheduler.submit("alice", [jobs[1]])
+        assert resubmit[0].state == QUEUED
+
+    def test_memoized_results_served_under_saturation(
+        self, manual_scheduler, distinct_jobs, tmp_path
+    ):
+        """Graceful degradation: known answers beat every capacity check."""
+        store = ShardedResultStore(tmp_path)
+        scheduler = manual_scheduler(
+            store=store, queue_capacity=1, tenant_quota=1
+        )
+        jobs = distinct_jobs(4)
+        done_key = job_key(jobs[0])
+        store.put(done_key, ("precomputed", done_key))
+        # Saturate both the queue and alice's quota with jobs[1].
+        scheduler.submit("alice", [jobs[1]])
+        assert scheduler.submit("alice", [jobs[2]])[0].state == SHED
+        assert scheduler.submit("bob", [jobs[3]])[0].state == SHED
+        # The store-known job is still served, quota and queue be damned.
+        (ticket,) = scheduler.submit("alice", [jobs[0]])
+        assert ticket.state == DONE
+        assert scheduler.result(done_key) == ("precomputed", done_key)
+
+
+class TestNeverPartial:
+    def test_running_job_has_no_result(self, manual_scheduler, distinct_jobs):
+        observed = {}
+
+        def probing_execute(job):
+            key = job_key(job)
+            observed["state"] = scheduler.state_of(key)["state"]
+            with pytest.raises(ResultNotReady):
+                scheduler.result(key)
+            return ("result-for", key)
+
+        scheduler = manual_scheduler(execute=probing_execute)
+        (job,) = distinct_jobs(1)
+        scheduler.submit("alice", [job])
+        scheduler.run_next()
+        assert observed["state"] == RUNNING
+
+    def test_result_bytes_roundtrip(self, manual_scheduler, distinct_jobs):
+        scheduler = manual_scheduler()
+        (job,) = distinct_jobs(1)
+        (ticket,) = scheduler.submit("alice", [job])
+        scheduler.run_next()
+        payload = scheduler.result_bytes(ticket.key)
+        assert pickle.loads(payload) == scheduler.result(ticket.key)
+
+
+class TestBackgroundWorkers:
+    def test_worker_threads_drain_queue(self, distinct_jobs):
+        scheduler = ServiceScheduler(
+            workers=2,
+            execute=lambda job: ("result-for", job_key(job)),
+        )
+        jobs = distinct_jobs(6)
+        with scheduler:
+            tickets = scheduler.submit("alice", jobs)
+            keys = [ticket.key for ticket in tickets]
+            assert scheduler.wait(keys, timeout=10.0)
+        assert all(
+            scheduler.result(key) == ("result-for", key) for key in keys
+        )
+        assert scheduler.stats.executed == 6
+
+    def test_worker_retry_path(self, distinct_jobs):
+        executor = FlakyExecutor(failures=1)
+        scheduler = ServiceScheduler(
+            workers=1,
+            execute=executor,
+            backoff_base=0.01,
+            max_retries=2,
+        )
+        (job,) = distinct_jobs(1)
+        with scheduler:
+            (ticket,) = scheduler.submit("alice", [job])
+            assert scheduler.wait([ticket.key], timeout=10.0)
+        assert scheduler.result(ticket.key) == ("result-for", ticket.key)
+        assert scheduler.stats.retried == 1

@@ -98,7 +98,7 @@ class TestRun:
              "--cache-dir", str(cache_dir)]
         ) == 0
         capsys.readouterr()
-        assert list(cache_dir.glob("gen-*/*.pkl"))
+        assert list(cache_dir.glob("gen-*/*/*.pkl"))
 
     def test_invalid_backend_rejected(self):
         with pytest.raises(SystemExit):
@@ -225,7 +225,7 @@ class TestSchedule:
         first = capsys.readouterr().out
         assert main(args) == 0
         assert capsys.readouterr().out == first
-        assert list(cache_dir.glob("gen-*/*.pkl"))
+        assert list(cache_dir.glob("gen-*/*/*.pkl"))
 
 
 class TestSweep:
@@ -393,7 +393,7 @@ class TestPopulation:
         assert second.out == first.out
         # The re-run executes nothing: every job is a disk hit.
         assert " 0 executed" in second.err
-        assert list(cache_dir.glob("gen-*/*.pkl"))
+        assert list(cache_dir.glob("gen-*/*/*.pkl"))
 
     def test_population_save_json(self, tmp_path, capsys):
         import json
