@@ -185,8 +185,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None, help="root random seed"
     )
     run_parser.add_argument(
+        "--carbon", default=None,
+        help=(
+            "grid carbon intensity for sustainability experiments: a "
+            "profile name (world, eu, renewable, coal) or g CO2/kWh"
+        ),
+    )
+    run_parser.add_argument(
         "--out", type=pathlib.Path, default=None,
         help="also write the report to this file",
+    )
+    run_parser.add_argument(
+        "--save-json", type=pathlib.Path, default=None,
+        help=(
+            "write the experiment's machine-readable results "
+            "(id, comparisons, data) as JSON"
+        ),
     )
     _add_engine_options(run_parser)
 
@@ -316,6 +330,14 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_transient_options(sweep_parser)
+    sweep_parser.add_argument(
+        "--carbon", default=None,
+        help=(
+            "price candidates on a grid carbon intensity — a profile "
+            "name (world, eu, renewable, coal) or g CO2/kWh; adds a "
+            "co2_per_gib_ule metric and a minimize-carbon objective"
+        ),
+    )
     sweep_parser.add_argument(
         "--top", type=_positive_int, default=20,
         help="ranked candidates to print (default: 20)",
@@ -619,6 +641,9 @@ def _run_kwargs(
 
             seed = derive_seed(seed, "all", experiment_id)
         kwargs["seed"] = seed
+    carbon = getattr(args, "carbon", None)
+    if "carbon" in accepted and carbon is not None:
+        kwargs["carbon"] = carbon
     return kwargs
 
 
@@ -672,6 +697,25 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(rendered)
         if args.out:
             args.out.write_text(rendered + "\n", encoding="utf-8")
+        if args.save_json:
+            import dataclasses
+            import json
+
+            payload = {
+                "experiment_id": result.experiment_id,
+                "title": result.title,
+                "comparisons": [
+                    dataclasses.asdict(comparison)
+                    for comparison in result.comparisons
+                ],
+                "data": result.data,
+            }
+            args.save_json.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            print(f"[run] results saved -> {args.save_json}",
+                  file=sys.stderr)
         return 0
 
     if args.command == "all":
@@ -805,9 +849,14 @@ def _dispatch_population(args: argparse.Namespace) -> int:
     if args.out:
         args.out.write_text(rendered + "\n", encoding="utf-8")
     if args.save_json:
+        from repro.cells import technology_tokens
+
+        payload = result.to_dict()
+        payload["meta"]["cell_technologies"] = list(
+            technology_tokens(study.chip)
+        )
         args.save_json.write_text(
-            json.dumps(result.to_dict(), sort_keys=True, indent=2)
-            + "\n",
+            json.dumps(payload, sort_keys=True, indent=2) + "\n",
             encoding="utf-8",
         )
         print(f"[population] results saved -> {args.save_json}",
@@ -884,9 +933,14 @@ def _dispatch_schedule(args: argparse.Namespace) -> int:
     if args.out:
         args.out.write_text(rendered + "\n", encoding="utf-8")
     if args.save_json:
+        from repro.cells import technology_tokens
+
+        payload = result.to_dict()
+        payload["meta"]["cell_technologies"] = list(
+            technology_tokens(chip.config)
+        )
         args.save_json.write_text(
-            json.dumps(result.to_dict(), sort_keys=True, indent=2)
-            + "\n",
+            json.dumps(payload, sort_keys=True, indent=2) + "\n",
             encoding="utf-8",
         )
         print(f"[schedule] ledger saved -> {args.save_json}",
@@ -961,6 +1015,15 @@ def _dispatch_sweep(args: argparse.Namespace) -> int:
             )
             return 2
     seed = args.seed if args.seed is not None else calibration.DEFAULT_SEED
+    carbon_intensity = None
+    if args.carbon is not None:
+        from repro.sustainability import grid_intensity
+
+        try:
+            carbon_intensity = grid_intensity(args.carbon)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     campaign = ExplorationCampaign(
         space=space,
         sampler=sampler,
@@ -969,6 +1032,7 @@ def _dispatch_sweep(args: argparse.Namespace) -> int:
         seed=seed,
         dies=max(args.dies, 0),
         transients=_transient_spec(args, seed),
+        carbon_intensity=carbon_intensity,
     )
 
     reuse = None
@@ -991,6 +1055,21 @@ def _dispatch_sweep(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+        saved_cells = meta.get("cell_technologies")
+        if saved_cells is not None:
+            # Saved metrics embed each candidate's priced physics;
+            # adopting rows measured on different cell technologies
+            # would silently mix incompatible hardware — hard-error,
+            # like the trace-length and seed checks above.
+            wanted_cells = list(campaign.expected_technologies())
+            if list(saved_cells) != wanted_cells:
+                print(
+                    "error: --resume campaign covers different cell "
+                    f"technologies: saved {list(saved_cells)!r}, "
+                    f"requested {wanted_cells!r}",
+                    file=sys.stderr,
+                )
+                return 2
         reuse = {
             entry["name"]: entry["metrics"]
             for entry in payload.get("candidates", [])
@@ -1163,7 +1242,7 @@ def _design_mc_check(design, seed: int) -> str:
     path, so the same ``--seed`` reproduces the same table bit-for-bit
     regardless of evaluation order.
     """
-    from repro.sram.montecarlo import importance_sampling_pf
+    from repro.cells import importance_sampling_pf
     from repro.tech.operating import HP_OPERATING_POINT, ULE_OPERATING_POINT
     from repro.util.rng import RngStreams
     from repro.util.tables import Table

@@ -20,8 +20,8 @@ from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Mapping
 
+from repro.cells import SizedCell
 from repro.edc.protection import ProtectionScheme, check_bits_for
-from repro.sram.cells import CellDesign
 from repro.tech.operating import Mode
 from repro.util.canonical import canonical_digest, canonical_form
 
@@ -59,7 +59,7 @@ class WayGroupConfig:
 
     name: str
     ways: int
-    cell: CellDesign
+    cell: SizedCell
     data_protection: Mapping[Mode, ProtectionScheme]
     tag_protection: Mapping[Mode, ProtectionScheme]
     active_modes: frozenset[Mode]

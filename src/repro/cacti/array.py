@@ -1,14 +1,16 @@
-"""One SRAM subarray: rows x cols of a single bitcell design.
+"""One memory subarray: rows x cols of a single bitcell design.
 
-All the cell-type-specific physics enters here through
-:class:`repro.sram.energy.CellElectricals`: wordline/bitline loading,
-differential vs single-ended sensing, cell area and cell leakage.  This is
-exactly the part of CACTI the paper had to extend for 8T/10T cells and NST
-operation.
+All the cell-technology-specific physics enters here through
+:class:`repro.cells.CellElectricals` and the :class:`repro.cells.SizedCell`
+protocol: wordline/bitline loading, differential vs single-ended sensing,
+cell area, cell leakage and — for dynamic cells — retention-driven refresh.
+This is exactly the part of CACTI the paper had to extend for 8T/10T cells
+and NST operation, generalized so eDRAM and gain cells plug in unchanged.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from functools import cached_property
 
@@ -20,14 +22,13 @@ from repro.cacti.components import (
     sense_energy,
 )
 from repro.cacti.wires import WireSegment
-from repro.sram.cells import CellDesign
-from repro.sram.energy import CellElectricals
+from repro.cells import CellElectricals, SizedCell
 from repro.tech.transistor import fo4_delay
 
 
 @dataclass(frozen=True)
 class SramArray:
-    """A rows x cols array of one sized bitcell.
+    """A rows x cols array of one sized bitcell (of any technology).
 
     Attributes:
         rows: wordlines (one cache set per row here — the caches of the
@@ -38,7 +39,7 @@ class SramArray:
 
     rows: int
     cols: int
-    cell: CellDesign
+    cell: SizedCell
 
     def __post_init__(self) -> None:
         if self.rows <= 0 or self.cols <= 0:
@@ -176,12 +177,21 @@ class SramArray:
         )
 
     def cell_read_current(self, vdd: float) -> float:
-        """Read discharge current of one cell (A): the access device
-        throttled by the pull-down stack (factor 0.7)."""
-        roles = self.cell.topology.read_wordline_roles
-        for spec, transistor in zip(
-            self.cell.topology.transistors, self.cell.transistors
-        ):
-            if spec.role in roles:
-                return 0.7 * transistor.on_current(vdd)
-        raise ValueError("cell has no read access transistor")
+        """Read discharge current of one cell (A), per its technology."""
+        return self.cell.read_current(vdd)
+
+    # ------------------------------------------------------------ refresh
+    def refresh_power(self, vdd: float) -> float:
+        """Average refresh power of the whole array at ``vdd`` (W).
+
+        Static cells (infinite retention) cost nothing.  Dynamic cells
+        must rewrite every row once per retention time; a refresh is a
+        full-row write, so the average power is ``rows * row-write
+        energy / retention``.
+        """
+        retention = self.cell.retention_time(vdd)
+        if retention is None or not math.isfinite(retention):
+            return 0.0
+        if retention <= 0.0:
+            raise ValueError("retention time must be positive")
+        return self.rows * self.write_energy(vdd) / retention

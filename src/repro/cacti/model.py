@@ -234,6 +234,21 @@ class WayGroupArrays:
                     edc += circuit.leakage_power(op.vdd)
         return AccessEnergy(array=array, edc=edc)
 
+    def refresh_power(self, op: OperatingPoint) -> float:
+        """Average refresh power (W) of the group's ways in ``op``.
+
+        Dynamic cells (finite retention) rewrite every data and tag row
+        once per retention interval; gated-off groups hold no state and
+        refresh nothing.  Static cells return 0 exactly, so SRAM ledgers
+        are byte-identical to the pre-refresh model.
+        """
+        if not self.group.is_active(op.mode):
+            return 0.0
+        per_way = self.data_array.refresh_power(
+            op.vdd
+        ) + self.tag_array.refresh_power(op.vdd)
+        return self.group.ways * per_way
+
     @property
     def area(self) -> float:
         """Total silicon area of the group's ways (m^2)."""
@@ -313,6 +328,16 @@ class CacheEnergyModel:
         for arrays in self.groups.values():
             total = total + arrays.leakage_power(op)
         return total
+
+    def refresh_power(self, op: OperatingPoint) -> float:
+        """Average refresh power of the whole cache in ``op`` (W).
+
+        Exactly 0 for all-SRAM caches; nonzero only when a powered way
+        group uses a dynamic cell technology.
+        """
+        return sum(
+            arrays.refresh_power(op) for arrays in self.groups.values()
+        )
 
     @property
     def area(self) -> float:

@@ -26,7 +26,7 @@ from functools import cached_property
 
 from repro.cacti.array import SramArray
 from repro.cacti.wires import WireSegment
-from repro.sram.cells import CellDesign
+from repro.cells import SizedCell
 from repro.tech.node import ptm32
 
 #: Minimum viable subarray geometry (sense-amp pitch / periphery
@@ -54,7 +54,7 @@ class PartitionedArray:
 
     rows: int
     cols: int
-    cell: CellDesign
+    cell: SizedCell
     row_splits: int = 1
     col_splits: int = 1
 
@@ -141,6 +141,10 @@ class PartitionedArray:
         """All banks leak (W)."""
         return self.banks * self.subarray.leakage_power(vdd)
 
+    def refresh_power(self, vdd: float) -> float:
+        """All banks refresh independently (W); 0 for static cells."""
+        return self.banks * self.subarray.refresh_power(vdd)
+
     @property
     def area(self) -> float:
         """Total area incl. per-bank periphery strips and routing (m^2)."""
@@ -177,7 +181,7 @@ def candidate_partitions(
 def optimal_partition(
     rows: int,
     cols: int,
-    cell: CellDesign,
+    cell: SizedCell,
     vdd: float,
     max_splits: int = 8,
 ) -> PartitionedArray:

@@ -1,0 +1,74 @@
+"""Name-keyed registry of cell technologies.
+
+Design-space axes, the CLI and the experiment drivers name bitcells by
+short strings ("8T", "EDRAM", ...); this registry is the single place
+those names resolve to :class:`repro.cells.CellTechnology` objects.
+The three SRAM topologies register alongside the dynamic technologies,
+so a sweep axis can mix them freely and the Fig. 2 methodology sizes
+whichever arrives.
+
+Adding a technology is two steps (see docs/cells.md): implement the
+protocol, then :func:`register_technology` it — everything downstream
+(sweeps, schedules, population studies, the sustainability ledger)
+picks it up through the name.
+"""
+
+from __future__ import annotations
+
+from repro.cells.edram import EDRAM_1T1C
+from repro.cells.gain import GAIN_2T
+from repro.cells.protocol import CellTechnology
+from repro.sram.cells import CELL_6T, CELL_8T, CELL_10T
+
+_TECHNOLOGIES: dict[str, CellTechnology] = {
+    "6T": CELL_6T,
+    "8T": CELL_8T,
+    "10T": CELL_10T,
+    "EDRAM": EDRAM_1T1C,
+    "GAIN": GAIN_2T,
+}
+
+#: Technologies whose minimum-size ULE-mode failure rates are so high
+#: that only a hard-fault-correcting EDC scheme makes their yield target
+#: reachable (the sizing loop diverges otherwise): the read-decoupled 8T
+#: and both dynamic cells.  6T never runs at ULE and the Schmitt-trigger
+#: 10T is the uncoded baseline.
+_NEEDS_HARD_FAULT_CODING = frozenset({"8T", "EDRAM", "GAIN"})
+
+
+def technology_by_name(name: str) -> CellTechnology:
+    """Look up a registered technology by name (case-insensitive)."""
+    try:
+        return _TECHNOLOGIES[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown cell technology {name!r}; "
+            f"choose from {sorted(_TECHNOLOGIES)}"
+        ) from None
+
+
+def registered_technologies() -> tuple[str, ...]:
+    """Sorted names of every registered technology."""
+    return tuple(sorted(_TECHNOLOGIES))
+
+
+def register_technology(name: str, technology: CellTechnology) -> None:
+    """Register a new cell technology under ``name``.
+
+    Raises:
+        ValueError: if the name is taken or the object does not satisfy
+            the :class:`repro.cells.CellTechnology` protocol.
+    """
+    key = name.upper()
+    if key in _TECHNOLOGIES:
+        raise ValueError(f"technology {key!r} is already registered")
+    if not isinstance(technology, CellTechnology):
+        raise ValueError(
+            f"{technology!r} does not implement the CellTechnology protocol"
+        )
+    _TECHNOLOGIES[key] = technology
+
+
+def requires_hard_fault_coding(name: str) -> bool:
+    """Whether a ULE way of this technology needs a correcting EDC code."""
+    return name.upper() in _NEEDS_HARD_FAULT_CODING

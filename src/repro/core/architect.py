@@ -25,13 +25,13 @@ from repro.core.scenarios import ProtectionPlan
 from repro.cpu.arrays import CoreArrays
 from repro.cpu.chip import Chip, ChipConfig
 from repro.cpu.timing import TimingParams
-from repro.sram.cells import CellDesign
+from repro.cells import SizedCell
 from repro.tech.operating import Mode
 
 
 def hybrid_way_groups(
-    hp_cell: CellDesign,
-    ule_cell: CellDesign,
+    hp_cell: SizedCell,
+    ule_cell: SizedCell,
     hp_plan: ProtectionPlan,
     ule_plan: ProtectionPlan,
     ule_edc_inline: bool,
@@ -92,7 +92,7 @@ def make_cache_config(
 def build_chip(
     name: str,
     cache: CacheConfig,
-    core_cell: CellDesign,
+    core_cell: SizedCell,
     dl1: CacheConfig | None = None,
     core_logic_cap: float = calibration.CORE_LOGIC_CAP,
     core_leak_gates: int = calibration.CORE_LEAK_GATES,

@@ -21,19 +21,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core import calibration
-from repro.core.scenarios import Scenario, ScenarioPlan, plan_for
-from repro.edc.protection import ProtectionScheme, check_bits_for
-from repro.reliability.yield_model import WordOrganization
-from repro.sram.cells import (
+from repro.cells import (
     CELL_6T,
     CELL_8T,
     CELL_10T,
     CellDesign,
-    CellTopology,
+    CellTechnology,
+    SizedCell,
 )
-from repro.sram.failure import CellFailureModel
-from repro.sram.sizing import minimal_size_step, size_for_pf
+from repro.core import calibration
+from repro.core.scenarios import Scenario, ScenarioPlan, plan_for
+from repro.edc.protection import ProtectionScheme, check_bits_for
+from repro.reliability.yield_model import WordOrganization
 from repro.tech.node import TechnologyNode, ptm32
 from repro.tech.operating import HP_OPERATING_POINT, ULE_OPERATING_POINT
 from repro.util.tables import Table
@@ -108,7 +107,7 @@ class WayDesign:
         iterations: sizing-loop iterations (1 for pf-target sizing).
     """
 
-    cell: CellDesign
+    cell: SizedCell
     scheme: ProtectionScheme
     pf: float
     yield_value: float
@@ -116,7 +115,7 @@ class WayDesign:
 
 
 def design_way_for_pf(
-    topology: CellTopology,
+    topology: CellTechnology,
     scheme: ProtectionScheme,
     geometry: UleWayGeometry,
     vdd: float,
@@ -127,15 +126,17 @@ def design_way_for_pf(
     """Size a way's cell to a bit-failure target; report its yield.
 
     This is the baseline move of the paper's methodology (steps 1-2 of
-    Fig. 2, applied to the 10T cell), generalized to any topology,
-    protection scheme and supply so design-space exploration can build
-    arbitrary candidates.
+    Fig. 2, applied to the 10T cell), generalized to any registered
+    cell technology, protection scheme and supply so design-space
+    exploration can build arbitrary candidates — SRAM, eDRAM or gain
+    cell alike, through the :class:`repro.cells.CellTechnology`
+    protocol only.
     """
     node = node or ptm32()
     pf_target = pf_target if pf_target is not None else calibration.PF_TARGET
-    size = size_for_pf(topology, vdd, pf_target, node)
-    cell = CellDesign(topology, size, node)
-    pf = CellFailureModel(topology, node).pf(vdd, size)
+    size = topology.size_for_pf(vdd, pf_target, node)
+    cell = topology.design(size, node)
+    pf = topology.failure_probability(vdd, size, node)
     organization = geometry.organization(scheme, hard_budget=hard_budget)
     return WayDesign(
         cell=cell,
@@ -147,7 +148,7 @@ def design_way_for_pf(
 
 
 def design_way_for_yield(
-    topology: CellTopology,
+    topology: CellTechnology,
     scheme: ProtectionScheme,
     geometry: UleWayGeometry,
     vdd: float,
@@ -166,13 +167,12 @@ def design_way_for_yield(
     if hard_budget is None:
         hard_budget = scheme.hard_fault_budget
     organization = geometry.organization(scheme, hard_budget=hard_budget)
-    failure = CellFailureModel(topology, node)
-    step = minimal_size_step(node)
+    step = topology.minimal_size_step(node)
     size = 1.0
     iterations = 0
     while True:
         iterations += 1
-        pf = failure.pf(vdd, size)
+        pf = topology.failure_probability(vdd, size, node)
         yield_value = organization.yield_at(pf)
         if yield_value >= yield_floor:
             break
@@ -184,7 +184,7 @@ def design_way_for_yield(
                 f"yield {yield_floor:.5f}"
             )
     return WayDesign(
-        cell=CellDesign(topology, size, node),
+        cell=topology.design(size, node),
         scheme=scheme,
         pf=pf,
         yield_value=yield_value,
@@ -256,9 +256,9 @@ def design_scenario(
     vdd_ule = vdd_ule if vdd_ule is not None else ULE_OPERATING_POINT.vdd
 
     # Step 0 (baseline HP ways): size 6T for the Pf target at HP mode.
-    s6 = size_for_pf(CELL_6T, vdd_hp, pf_target, node)
-    cell_6t = CellDesign(CELL_6T, s6, node)
-    pf_6t = CellFailureModel(CELL_6T, node).pf(vdd_hp, s6)
+    s6 = CELL_6T.size_for_pf(vdd_hp, pf_target, node)
+    cell_6t = CELL_6T.design(s6, node)
+    pf_6t = CELL_6T.failure_probability(vdd_hp, s6, node)
 
     # Step 1-2: size 10T at ULE mode to match Pf; baseline yield.  The
     # baseline's coding (scenario B's SECDED) is reserved for soft

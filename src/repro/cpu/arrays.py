@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from functools import cached_property
 
 from repro.cacti.array import SramArray
-from repro.sram.cells import CellDesign
+from repro.cells import SizedCell
 from repro.tech.operating import OperatingPoint
 
 
@@ -29,7 +29,7 @@ class CoreArrays:
         rf_reads_per_instr / rf_writes_per_instr: average port activity.
     """
 
-    cell: CellDesign
+    cell: SizedCell
     rf_entries: int = 32
     rf_bits: int = 32
     tlb_entries: int = 16

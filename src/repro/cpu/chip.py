@@ -280,6 +280,13 @@ class Chip:
                 leak = model.leakage_power(op)
                 ledger.add(f"{label}.leakage", leak.array * seconds)
                 ledger.add(f"{label}.edc.leakage", leak.edc * seconds)
+                # Dynamic cell technologies pay retention refresh for as
+                # long as the run holds state.  The component is created
+                # only when nonzero, so all-SRAM ledgers stay
+                # byte-identical to the pre-refresh model.
+                refresh = model.refresh_power(op)
+                if refresh > 0.0:
+                    ledger.add(f"{label}.refresh", refresh * seconds)
 
             # Core: lumped logic plus the 10T arrays.
             summary = trace.summary

@@ -21,6 +21,7 @@ from repro.experiments.policy_sweep import run_policy_sweep
 from repro.experiments.population_study import run_population
 from repro.experiments.reliability_check import run_reliability
 from repro.experiments.report import ExperimentResult
+from repro.experiments.sustain import run_cells_sweep, run_sustain
 from repro.experiments.sweeps import (
     run_edc_sweep,
     run_space_sweep,
@@ -49,6 +50,8 @@ _REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
     "sweep-edc": run_edc_sweep,
     "sweep-surrogate": run_surrogate_sweep,
     "sweep-policy": run_policy_sweep,
+    "sweep-cells": run_cells_sweep,
+    "sustain": run_sustain,
 }
 
 

@@ -27,8 +27,7 @@ from repro.core.predictability import (
 )
 from repro.core.scenarios import Scenario
 from repro.experiments.report import ExperimentResult, PaperComparison
-from repro.sram.cells import CELL_8T, CellDesign
-from repro.sram.failure import analytic_pf
+from repro.cells import CELL_8T, CellDesign, analytic_pf
 from repro.tech.operating import Mode, ULE_OPERATING_POINT
 from repro.util.tables import Table
 

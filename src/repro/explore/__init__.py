@@ -17,6 +17,7 @@ See DESIGN.md section 7 and ``python -m repro sweep --help``.
 """
 
 from repro.explore.campaign import (
+    CARBON_OBJECTIVE,
     POPULATION_OBJECTIVES,
     TRANSIENT_OBJECTIVE,
     CampaignResult,
@@ -75,6 +76,7 @@ __all__ = [
     "reference_point",
     "Objective",
     "DEFAULT_OBJECTIVES",
+    "CARBON_OBJECTIVE",
     "POPULATION_OBJECTIVES",
     "TRANSIENT_OBJECTIVE",
     "dominates",

@@ -50,8 +50,10 @@ from repro.explore.surrogate import (
     DEFAULT_NEIGHBOURS,
     MetricSurrogate,
 )
+from repro.cells import technology_tokens
 from repro.faults.maps import DieFaultMap
 from repro.faults.sampling import functional_fraction, sample_population
+from repro.sustainability import carbon_per_gib_year, chip_capacity_bytes
 from repro.tech.operating import HP_OPERATING_POINT, Mode
 from repro.transients.metrics import transient_run_metrics
 from repro.transients.spec import TransientSpec
@@ -75,6 +77,11 @@ POPULATION_OBJECTIVES = (
 #: injection is active: minimize the observed ULE DUE rate, making
 #: detection-vs-correction reliability a first-class trade-off axis.
 TRANSIENT_OBJECTIVE = Objective("due_fit_ule")
+
+#: Objective appended when a campaign carries a grid carbon intensity:
+#: minimize the annual operational CO2 per GiB of L1 capacity at
+#: sustained ULE operation, making sustainability a ranked axis.
+CARBON_OBJECTIVE = Objective("co2_per_gib_ule")
 
 #: Metrics computed analytically per candidate — exact for *every*
 #: candidate without a single simulated job, so the surrogate never
@@ -109,6 +116,14 @@ class CampaignResult:
     #: Candidates whose metrics were adopted from a saved campaign
     #: (``run(reuse=...)``) instead of being simulated.
     reused: int = 0
+    #: The grid carbon intensity (g CO2/kWh) the campaign priced its
+    #: candidates at, or None when carbon was not assessed.
+    carbon_intensity: float | None = None
+    #: Sorted union of the canonical cell-technology tokens of every
+    #: evaluated candidate (e.g. ``("edram-1t1c", "sram-6t")``) —
+    #: saved campaigns embed it so ``--resume`` can hard-error on a
+    #: technology mismatch.
+    cell_technologies: tuple[str, ...] = ()
 
     # ------------------------------------------------------------ frontier
     def _reduction(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
@@ -280,6 +295,8 @@ class CampaignResult:
                 "duplicates": self.duplicates,
                 "dies": self.dies,
                 "reused": self.reused,
+                "carbon_intensity": self.carbon_intensity,
+                "cell_technologies": list(self.cell_technologies),
             },
             "objectives": [str(o) for o in self.objectives],
             "candidates": [
@@ -546,6 +563,14 @@ class ExplorationCampaign:
         ``sdc_fit_ule`` / ``refetch_rate_ule`` metrics from their
         nominal ULE runs, and the default objectives grow a
         minimize-``due_fit_ule`` axis (:data:`TRANSIENT_OBJECTIVE`).
+    carbon_intensity : float, optional
+        Grid carbon intensity in g CO2/kWh (resolve profile names with
+        :func:`repro.sustainability.grid_intensity`).  When set, every
+        candidate gains a ``co2_per_gib_ule`` metric — annual CO2 per
+        GiB of L1 capacity at sustained ULE-mode average power — and
+        the default objectives grow a minimize-carbon axis
+        (:data:`CARBON_OBJECTIVE`).  None (the default) leaves
+        campaigns byte-identical to pre-sustainability ones.
 
     Examples
     --------
@@ -583,6 +608,7 @@ class ExplorationCampaign:
     objectives: tuple[Objective, ...] = DEFAULT_OBJECTIVES
     dies: int = 0
     transients: TransientSpec | None = None
+    carbon_intensity: float | None = None
 
     def _transient_spec(self) -> TransientSpec | None:
         """The effective injection spec (null specs act like None)."""
@@ -685,6 +711,8 @@ class ExplorationCampaign:
             sampler=self.sampler,
             dies=self.dies,
             reused=len(reused),
+            carbon_intensity=self.carbon_intensity,
+            cell_technologies=self._technology_union(candidates),
         )
 
     def _required_metrics(self) -> set[str]:
@@ -765,6 +793,8 @@ class ExplorationCampaign:
         base = POPULATION_OBJECTIVES if self.dies else DEFAULT_OBJECTIVES
         if self._transient_spec() is not None:
             base = base + (TRANSIENT_OBJECTIVE,)
+        if self.carbon_intensity is not None:
+            base = base + (CARBON_OBJECTIVE,)
         return base
 
     def _die_maps_for(
@@ -867,7 +897,50 @@ class ExplorationCampaign:
         if self._transient_spec() is not None:
             ule_runs = [r for r in results if r.mode is Mode.ULE]
             metrics.update(transient_run_metrics(ule_runs, "ule"))
+        if self.carbon_intensity is not None:
+            metrics["co2_per_gib_ule"] = self._carbon_metric(
+                candidate, metrics
+            )
         return metrics
+
+    def _carbon_metric(
+        self, candidate: Candidate, metrics: Mapping[str, float]
+    ) -> float:
+        """Annual g CO2 per GiB of L1 at sustained ULE operation.
+
+        Average ULE power is ``epi_ule / spi_ule`` (J per instruction
+        over seconds per instruction); a candidate with no ULE runs
+        scores 0.0.
+        """
+        spi = metrics.get("spi_ule", 0.0)
+        if spi <= 0.0:
+            return 0.0
+        power = metrics["epi_ule"] / spi
+        return carbon_per_gib_year(
+            power,
+            chip_capacity_bytes(candidate.chip),
+            float(self.carbon_intensity),
+        )
+
+    def _technology_union(
+        self, candidates: Sequence[Candidate]
+    ) -> tuple[str, ...]:
+        """Sorted union of the candidates' canonical cell tokens."""
+        tokens: set[str] = set()
+        for candidate in candidates:
+            tokens.update(technology_tokens(candidate.chip))
+        return tuple(sorted(tokens))
+
+    def expected_technologies(self) -> tuple[str, ...]:
+        """The cell-technology tokens this campaign would evaluate.
+
+        Expands the space (the per-cell sizing is memoized, so a
+        following :meth:`run` pays nothing extra) — the CLI's
+        ``--resume`` check compares this against a saved campaign's
+        embedded tokens before adopting any metrics.
+        """
+        candidates, _, _ = self.expand()
+        return self._technology_union(candidates)
 
     # ----------------------------------------------------- surrogate loop
     def run_surrogate(
@@ -1116,6 +1189,8 @@ class ExplorationCampaign:
             sampler=self.sampler,
             dies=self.dies,
             reused=reused,
+            carbon_intensity=self.carbon_intensity,
+            cell_technologies=self._technology_union(candidates),
         )
         return SurrogateCampaignResult(
             campaign=campaign,

@@ -34,7 +34,12 @@ from repro.core.scenarios import ProtectionPlan
 from repro.cpu.chip import ChipConfig
 from repro.edc.protection import ProtectionScheme
 from repro.explore.space import Constraint, DesignSpace, Point
-from repro.sram.cells import CELL_10T, CELL_6T, cell_by_name
+from repro.cells import (
+    CELL_6T,
+    CELL_10T,
+    requires_hard_fault_coding,
+    technology_by_name,
+)
 from repro.tech.operating import HP_OPERATING_POINT, Mode, OperatingPoint
 from repro.util.canonical import canonical_digest
 
@@ -137,7 +142,7 @@ def hardware_invalidity(point: Mapping[str, object]) -> str | None:
             f"{size_bytes // 1024} KB / {line_bytes} B lines do not "
             f"fill {ways} ways evenly"
         )
-    cell = cell_by_name(str(point.get("ule_cell", "8T")))
+    cell = technology_by_name(str(point.get("ule_cell", "8T")))
     vdd_ule = float(point.get("vdd_ule", 0.35))
     if vdd_ule < cell.vmin_functional:
         return (
@@ -153,11 +158,12 @@ def default_constraints() -> tuple[Constraint, ...]:
         return hardware_invalidity(point) is None
 
     def coded_if_weak(point: Point) -> bool:
-        # An 8T ULE way leans on EDC to absorb hard faults; without a
-        # correcting code its yield target is unreachable (the sizing
-        # loop would diverge), so reject the combination up front.
+        # Weak-at-NST technologies (8T, eDRAM, gain cell) lean on EDC
+        # to absorb hard faults; without a correcting code their yield
+        # target is unreachable (the sizing loop would diverge), so
+        # reject the combination up front.
         scheme = _scheme(point.get("ule_scheme", "secded"))
-        if str(point.get("ule_cell", "8T")).upper() == "8T":
+        if requires_hard_fault_coding(str(point.get("ule_cell", "8T"))):
             return scheme.hard_fault_budget > 0
         return True
 
@@ -205,7 +211,7 @@ def _design_ule_way(
     minimum size until the coded yield reaches the 10T reference floor;
     detection-only schemes get baseline-style pf-target sizing.
     """
-    topology = cell_by_name(cell_name)
+    topology = technology_by_name(cell_name)
     if scheme.hard_fault_budget > 0:
         return design_way_for_yield(
             topology,
@@ -244,7 +250,6 @@ def build_candidate(point: Mapping[str, object]) -> Candidate:
     invalid = hardware_invalidity(point)
     if invalid is not None:
         raise CandidateError(invalid)
-    topology = cell_by_name(ule_cell)
 
     geometry = default_ule_geometry(
         cache_bytes=size_bytes,

@@ -2,9 +2,9 @@
 
 One die is one draw from the parametric-variation substrate: every
 stored bit of every powered way fails independently with the analytic
-per-bit probability of its sized cell at the mode's supply
-(:func:`repro.sram.failure.analytic_pf` — the same Pelgrom-margin model
-the Fig. 2 methodology sizes against).  A *word* is unusable when its
+per-bit probability of its sized cell at the mode's supply (the cell's
+own :meth:`repro.cells.SizedCell.failure_probability` — for SRAM the
+same Pelgrom-margin model the Fig. 2 methodology sizes against).  A *word* is unusable when its
 hard-fault count exceeds the correction budget of the EDC scheme active
 in that mode; a *line* is disabled when any of its data or tag words is
 unusable — the fault-aware way design of Section 3.
@@ -31,7 +31,6 @@ import numpy as np
 from repro.cache.config import CacheConfig
 from repro.edc.protection import ProtectionScheme
 from repro.faults.maps import CACHE_LABELS, CacheFaultMap, DieFaultMap
-from repro.sram.failure import analytic_pf
 from repro.tech.operating import Mode, operating_point_for
 from repro.util.rng import derive_seed
 
@@ -73,7 +72,7 @@ def sample_cache_fault_map(
     for group in config.way_groups:
         if not group.is_active(mode):
             continue
-        pf = float(analytic_pf(group.cell, vdd))
+        pf = float(group.cell.failure_probability(vdd))
         pf = min(max(pf, 0.0), 1.0)
         if pf == 0.0:
             continue

@@ -62,6 +62,10 @@ class EpochLedgerEntry:
             charges one scrub sweep of the protected ways per scrub
             interval of wall-clock (already included in ``energy``,
             like ``edc_energy``).
+        refresh_energy: the retention-refresh share of that energy (J)
+            — nonzero only for dynamic cell technologies (eDRAM, gain
+            cell), which pay one rewrite of every row per retention
+            time (already included in ``energy``, like ``edc_energy``).
         switched: whether a mode transition preceded this epoch.
         transition_energy: energy charged for that transition (J; both
             L1 caches).
@@ -80,6 +84,7 @@ class EpochLedgerEntry:
     transition_seconds: float = 0.0
     flush_writebacks: int = 0
     scrub_energy: float = 0.0
+    refresh_energy: float = 0.0
 
     @property
     def total_energy(self) -> float:
@@ -108,6 +113,9 @@ class ScheduleResult:
         edc_energy: total EDC overhead energy (J).
         scrub_energy: total scrub-engine energy (J; a share of
             ``run_energy``, nonzero only under soft-error injection).
+        refresh_energy: total retention-refresh energy (J; a share of
+            ``run_energy``, nonzero only for dynamic cell
+            technologies).
         switches: number of mode transitions charged.
         instructions: total dynamic instructions.
     """
@@ -126,6 +134,7 @@ class ScheduleResult:
     switches: int
     instructions: int
     scrub_energy: float = 0.0
+    refresh_energy: float = 0.0
 
     @property
     def average_power(self) -> float:
@@ -218,6 +227,11 @@ class ScheduleResult:
                 -2,
                 f"scrub energy     : {si(self.scrub_energy, 'J')}",
             )
+        if self.refresh_energy:
+            lines.insert(
+                -2,
+                f"refresh energy   : {si(self.refresh_energy, 'J')}",
+            )
         return "\n".join(lines)
 
     def _transition_percent(self) -> float:
@@ -244,6 +258,7 @@ class ScheduleResult:
                 "transition_seconds": self.transition_seconds,
                 "edc_energy_j": self.edc_energy,
                 "scrub_energy_j": self.scrub_energy,
+                "refresh_energy_j": self.refresh_energy,
                 "switches": self.switches,
                 "instructions": self.instructions,
                 "average_power_w": self.average_power,
@@ -262,6 +277,7 @@ class ScheduleResult:
                     "transition_seconds": entry.transition_seconds,
                     "flush_writebacks": entry.flush_writebacks,
                     "scrub_energy_j": entry.scrub_energy,
+                    "refresh_energy_j": entry.refresh_energy,
                 }
                 for entry in self.entries
             ],
@@ -551,6 +567,7 @@ class ScheduleSimulator:
         transition_energy = transition_seconds = 0.0
         edc_energy = 0.0
         scrub_energy = 0.0
+        refresh_energy = 0.0
         switches = 0
         instructions = 0
 
@@ -594,6 +611,9 @@ class ScheduleSimulator:
                     "dl1.edc.scrub",
                 )
             )
+            epoch_refresh = result.energy.group(
+                "il1.refresh"
+            ) + result.energy.group("dl1.refresh")
             entry = EpochLedgerEntry(
                 index=epoch.index,
                 mode=mode,
@@ -606,6 +626,7 @@ class ScheduleSimulator:
                 transition_seconds=entry_transition_seconds,
                 flush_writebacks=flush_writebacks,
                 scrub_energy=epoch_scrub,
+                refresh_energy=epoch_refresh,
             )
             entries.append(entry)
 
@@ -615,6 +636,7 @@ class ScheduleSimulator:
             transition_seconds += entry.transition_seconds
             edc_energy += entry.edc_energy
             scrub_energy += entry.scrub_energy
+            refresh_energy += entry.refresh_energy
             instructions += entry.instructions
 
             il1_res.observe(mode, result.il1_stats)
@@ -636,6 +658,7 @@ class ScheduleSimulator:
             switches=switches,
             instructions=instructions,
             scrub_energy=scrub_energy,
+            refresh_energy=refresh_energy,
         )
 
 

@@ -82,6 +82,59 @@ class CellTopology:
         """The distinct transistor roles of the topology."""
         return [spec.role for spec in self.transistors]
 
+    # ------------------------------------------- CellTechnology protocol
+    # The methods below make every SRAM topology a conforming
+    # :class:`repro.cells.CellTechnology`.  They are *methods only*:
+    # adding them does not change the dataclass fields, so the canonical
+    # form of existing topologies — and with it every SRAM chip token
+    # and engine job key — stays byte-identical.  Implementations import
+    # lazily because sizing/failure already import this module.
+
+    @property
+    def technology(self) -> str:
+        """Canonical technology token ("sram-6t", "sram-8t", ...)."""
+        return f"sram-{self.name.lower()}"
+
+    def design(
+        self,
+        size_factor: float = 1.0,
+        node: TechnologyNode | None = None,
+    ) -> "CellDesign":
+        """A sized cell of this topology (protocol entry point)."""
+        return CellDesign(self, size_factor, node or ptm32())
+
+    def is_operable(self, vdd: float) -> bool:
+        """Whether the topology functions at all at ``vdd``."""
+        return vdd >= self.vmin_functional
+
+    def failure_probability(
+        self,
+        vdd: float,
+        size_factor: float = 1.0,
+        node: TechnologyNode | None = None,
+    ) -> float:
+        """Hard bit-failure probability at (``vdd``, ``size_factor``)."""
+        from repro.sram.failure import CellFailureModel
+
+        return CellFailureModel(self, node or ptm32()).pf(vdd, size_factor)
+
+    def size_for_pf(
+        self,
+        vdd: float,
+        pf_target: float,
+        node: TechnologyNode | None = None,
+    ) -> float:
+        """Smallest quantized size factor meeting ``pf_target`` at ``vdd``."""
+        from repro.sram.sizing import size_for_pf as _size_for_pf
+
+        return _size_for_pf(self, vdd, pf_target, node)
+
+    def minimal_size_step(self, node: TechnologyNode | None = None) -> float:
+        """The technology's minimal width increment (as a size factor)."""
+        from repro.sram.sizing import minimal_size_step as _step
+
+        return _step(node)
+
 
 # The shared 6T storage core (2 cross-coupled inverters + 2 access devices).
 _CORE_6T = (
@@ -272,6 +325,60 @@ class CellDesign:
             * self.node.cdrain_per_m
             * width
         )
+
+    # ---------------------------------------------- SizedCell protocol
+    # Port structure surfaced at the design level so consumers (the
+    # array model, CellElectricals) never reach into ``topology``; that
+    # keeps non-SRAM designs, which have no transistor-role topology,
+    # on the same duck-typed surface.
+
+    @property
+    def cell_name(self) -> str:
+        """Short cell name ("6T", "8T", "10T")."""
+        return self.topology.name
+
+    @property
+    def technology(self) -> str:
+        """Canonical technology token ("sram-6t", ...)."""
+        return self.topology.technology
+
+    @property
+    def read_bitlines(self) -> int:
+        """Bitlines that swing on a read (2 for differential cells)."""
+        return self.topology.read_bitlines
+
+    @property
+    def write_bitlines(self) -> int:
+        """Bitlines that swing on a write."""
+        return self.topology.write_bitlines
+
+    @property
+    def differential_read(self) -> bool:
+        """Whether reads can use low-swing differential sensing."""
+        return self.topology.differential_read
+
+    def read_current(self, vdd: float) -> float:
+        """Read discharge current of one cell (A).
+
+        The access device's drive throttled by the pull-down stack it
+        discharges through (factor 0.7).
+        """
+        roles = self.topology.read_wordline_roles
+        for spec, transistor in zip(self.topology.transistors, self.transistors):
+            if spec.role in roles:
+                return 0.7 * transistor.on_current(vdd)
+        raise ValueError("cell has no read access transistor")
+
+    def failure_probability(self, vdd: float) -> float:
+        """Hard bit-failure probability of this sized cell at ``vdd``."""
+        from repro.sram.failure import analytic_pf
+
+        return analytic_pf(self, vdd)
+
+    def retention_time(self, vdd: float) -> float | None:
+        """Data retention time (s); ``None`` — static cells never refresh."""
+        del vdd  # static cells hold state at any functional supply
+        return None
 
     # ------------------------------------------------------------- leakage
     def leakage_current(self, vdd: float) -> float:

@@ -1,24 +1,24 @@
 """Per-cell electrical aggregates consumed by the array model.
 
 The CACTI-like model in :mod:`repro.cacti` computes array energy from a few
-per-cell quantities that depend on the topology and its size factor; this
+per-cell quantities that depend on the technology and its size factor; this
 module gathers them in one read-only view so the array model stays agnostic
-of bitcell internals.
+of bitcell internals.  ``design`` may be any sized cell implementing the
+:class:`repro.cells.SizedCell` protocol — SRAM, eDRAM or gain cell.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-
-from repro.sram.cells import CellDesign
+from typing import Any
 
 
 @dataclass(frozen=True)
 class CellElectricals:
     """Capacitive loading and leakage of one sized bitcell."""
 
-    design: CellDesign
+    design: Any
 
     @cached_property
     def read_bitline_cap(self) -> float:
@@ -43,17 +43,17 @@ class CellElectricals:
     @property
     def read_bitlines(self) -> int:
         """Bitlines that swing on a read (2 for differential cells)."""
-        return self.design.topology.read_bitlines
+        return self.design.read_bitlines
 
     @property
     def write_bitlines(self) -> int:
         """Bitlines that swing on a write."""
-        return self.design.topology.write_bitlines
+        return self.design.write_bitlines
 
     @property
     def differential_read(self) -> bool:
         """Whether reads can use low-swing differential sensing."""
-        return self.design.topology.differential_read
+        return self.design.differential_read
 
     @property
     def cell_width(self) -> float:

@@ -1,0 +1,47 @@
+"""Sustainability accounting: grid carbon, CO2-per-GiB, ESII.
+
+Extends the reproduction's energy ledger upward into operational-carbon
+figures of merit: :mod:`~repro.sustainability.carbon` prices joules on
+a named grid profile and normalizes per GiB-year,
+:mod:`~repro.sustainability.esii` scores candidates against explicit
+baselines, and :mod:`~repro.sustainability.report` aggregates run,
+schedule and die-population results into
+:class:`~repro.sustainability.report.CarbonAssessment` records.
+"""
+
+from repro.sustainability.carbon import (
+    GIB_BYTES,
+    GRID_PROFILES,
+    JOULES_PER_KWH,
+    SECONDS_PER_YEAR,
+    annual_energy_j,
+    carbon_per_gib_year,
+    co2_grams,
+    grid_intensity,
+)
+from repro.sustainability.esii import SustainabilityIndex, esii_index
+from repro.sustainability.report import (
+    CarbonAssessment,
+    assess_population,
+    assess_runs,
+    assess_schedule,
+    chip_capacity_bytes,
+)
+
+__all__ = [
+    "GIB_BYTES",
+    "GRID_PROFILES",
+    "JOULES_PER_KWH",
+    "SECONDS_PER_YEAR",
+    "annual_energy_j",
+    "carbon_per_gib_year",
+    "co2_grams",
+    "grid_intensity",
+    "SustainabilityIndex",
+    "esii_index",
+    "CarbonAssessment",
+    "assess_population",
+    "assess_runs",
+    "assess_schedule",
+    "chip_capacity_bytes",
+]

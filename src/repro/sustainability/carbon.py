@@ -1,0 +1,100 @@
+"""Operational-carbon accounting over the simulator's energy ledgers.
+
+The reproduction's energy models stop at joules; this module prices
+those joules in grams of CO2 using a grid carbon intensity (g CO2 per
+kWh) and normalizes them into the fleet-facing figures of merit used by
+sustainability-aware memory studies:
+
+* **CO2 per GiB-year** — the annual operational carbon of keeping one
+  GiB of cache capacity powered at a measured average power.  This is
+  the metric that makes an eDRAM way's refresh background power (paid
+  for as long as state is held, independent of activity) directly
+  comparable to an SRAM way's leakage.
+* **ESII** (Environmental Sustainability Improvement Index, in
+  :mod:`repro.sustainability.esii`) — a pairwise improvement ratio
+  against an explicit baseline.
+
+Intensities are deliberately *parameters*, not constants baked into
+results: the same chip is green on a renewable grid and carbon-heavy on
+a coal one, and ranking candidates under several profiles is exactly
+the point of the ``sustain`` experiment.
+"""
+
+from __future__ import annotations
+
+#: Named grid carbon-intensity profiles (g CO2 per kWh).  Rounded
+#: public figures: the world average, the EU mix, a renewable-heavy
+#: grid and a coal-dominated one.
+GRID_PROFILES: dict[str, float] = {
+    "world": 475.0,
+    "eu": 275.0,
+    "renewable": 50.0,
+    "coal": 820.0,
+}
+
+#: Joules in one kilowatt-hour.
+JOULES_PER_KWH = 3.6e6
+
+#: Seconds in one (Julian) year of continuous operation.
+SECONDS_PER_YEAR = 365.25 * 24.0 * 3600.0
+
+#: Bytes in one GiB.
+GIB_BYTES = float(1 << 30)
+
+
+def grid_intensity(profile: str | float) -> float:
+    """Resolve a grid profile name or explicit number to g CO2/kWh.
+
+    Accepts a :data:`GRID_PROFILES` key (case-insensitive), a numeric
+    string, or a plain number; rejects negative intensities.
+    """
+    if isinstance(profile, str):
+        name = profile.strip().lower()
+        if name in GRID_PROFILES:
+            return GRID_PROFILES[name]
+        try:
+            value = float(name)
+        except ValueError:
+            known = ", ".join(sorted(GRID_PROFILES))
+            raise ValueError(
+                f"unknown grid profile {profile!r}; choose from "
+                f"{known} or pass g CO2/kWh as a number"
+            ) from None
+    else:
+        value = float(profile)
+    if value < 0.0:
+        raise ValueError("carbon intensity must be non-negative")
+    return value
+
+
+def co2_grams(energy_j: float, intensity_g_per_kwh: float) -> float:
+    """Grams of CO2 for ``energy_j`` joules drawn from the grid."""
+    if energy_j < 0.0:
+        raise ValueError("energy must be non-negative")
+    return energy_j / JOULES_PER_KWH * float(intensity_g_per_kwh)
+
+
+def annual_energy_j(power_w: float) -> float:
+    """Joules of one year of continuous operation at ``power_w``."""
+    if power_w < 0.0:
+        raise ValueError("power must be non-negative")
+    return power_w * SECONDS_PER_YEAR
+
+
+def carbon_per_gib_year(
+    power_w: float,
+    capacity_bytes: int,
+    intensity_g_per_kwh: float,
+) -> float:
+    """Annual g CO2 per GiB of capacity held at ``power_w``.
+
+    The normalization of the sustainability literature's
+    "kg CO2 per GiB of annual decoder/maintenance energy", applied to
+    whole-chip average power: grams of CO2 emitted by one year of
+    continuous operation, divided by the capacity (in GiB) that the
+    power keeps alive.
+    """
+    if capacity_bytes <= 0:
+        raise ValueError("capacity must be positive")
+    annual = co2_grams(annual_energy_j(power_w), intensity_g_per_kwh)
+    return annual / (capacity_bytes / GIB_BYTES)

@@ -1,0 +1,67 @@
+"""ESII — a pairwise sustainability improvement index.
+
+The Environmental Sustainability Improvement Index compares a candidate
+against an *explicit* baseline (no hidden reference): ratios above 1
+mean the candidate improves on the baseline.  The index is the
+geometric mean of the energy improvement and the carbon improvement —
+on a shared grid the two ratios coincide and ESII degenerates to the
+plain energy ratio, while cross-grid comparisons (e.g. a renewable
+deployment of the proposed design vs a coal-grid baseline) weight the
+energy saving by where it is spent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sustainability.carbon import co2_grams
+
+
+@dataclass(frozen=True)
+class SustainabilityIndex:
+    """One candidate-vs-baseline comparison.
+
+    Attributes:
+        energy_ratio: baseline energy / candidate energy (>1 = the
+            candidate uses less energy).
+        carbon_ratio: baseline CO2 / candidate CO2 (>1 = the candidate
+            emits less).
+        esii: geometric mean of the two ratios.
+    """
+
+    energy_ratio: float
+    carbon_ratio: float
+    esii: float
+
+
+def esii_index(
+    baseline_energy_j: float,
+    candidate_energy_j: float,
+    baseline_intensity: float,
+    candidate_intensity: float | None = None,
+) -> SustainabilityIndex:
+    """Score a candidate against a baseline.
+
+    ``candidate_intensity`` defaults to the baseline's grid — the
+    common same-fleet comparison, where ESII reduces to the energy
+    ratio.
+    """
+    if baseline_energy_j <= 0.0 or candidate_energy_j <= 0.0:
+        raise ValueError("energies must be positive")
+    if candidate_intensity is None:
+        candidate_intensity = baseline_intensity
+    baseline_co2 = co2_grams(baseline_energy_j, baseline_intensity)
+    candidate_co2 = co2_grams(candidate_energy_j, candidate_intensity)
+    if candidate_co2 <= 0.0:
+        raise ValueError(
+            "candidate carbon is zero; ESII is undefined on a "
+            "zero-intensity candidate grid"
+        )
+    energy_ratio = baseline_energy_j / candidate_energy_j
+    carbon_ratio = baseline_co2 / candidate_co2
+    return SustainabilityIndex(
+        energy_ratio=energy_ratio,
+        carbon_ratio=carbon_ratio,
+        esii=math.sqrt(energy_ratio * carbon_ratio),
+    )

@@ -1,0 +1,139 @@
+"""Carbon assessments over run, schedule and population results.
+
+The bridge between the simulator's result records and the carbon
+arithmetic of :mod:`repro.sustainability.carbon`: each assessor turns
+measured joules and seconds into an average power, prices a year of
+continuous operation at that power, and normalizes per GiB of L1
+capacity.  The refresh share is carried separately so dynamic cell
+technologies (eDRAM, gain cell) expose their background-maintenance
+carbon — the term that dominates large always-on arrays — as its own
+column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.cpu.chip import ChipConfig, RunResult
+from repro.runtime.simulator import ScheduleResult
+from repro.sustainability.carbon import carbon_per_gib_year
+
+
+@dataclass(frozen=True)
+class CarbonAssessment:
+    """One configuration's operational-carbon figures.
+
+    Attributes:
+        label: what was assessed (chip / candidate name).
+        capacity_bytes: the L1 capacity the carbon is normalized over.
+        intensity_g_per_kwh: the grid profile used.
+        average_power_w: measured average power over the assessed runs.
+        refresh_power_w: the retention-refresh share of that power
+            (zero for all-SRAM chips).
+        co2_per_gib_year_g: annual g CO2 per GiB at the average power.
+        refresh_co2_per_gib_year_g: the refresh share of the same.
+    """
+
+    label: str
+    capacity_bytes: int
+    intensity_g_per_kwh: float
+    average_power_w: float
+    refresh_power_w: float
+    co2_per_gib_year_g: float
+    refresh_co2_per_gib_year_g: float
+
+
+def chip_capacity_bytes(config: ChipConfig) -> int:
+    """Total L1 capacity of a chip (IL1 + DL1 data bytes)."""
+    return config.il1.size_bytes + config.dl1.size_bytes
+
+
+def _assess(
+    label: str,
+    energy_j: float,
+    refresh_energy_j: float,
+    seconds: float,
+    capacity_bytes: int,
+    intensity: float,
+) -> CarbonAssessment:
+    if seconds <= 0.0:
+        raise ValueError("assessed runs cover zero wall-clock")
+    power = energy_j / seconds
+    refresh_power = refresh_energy_j / seconds
+    return CarbonAssessment(
+        label=label,
+        capacity_bytes=capacity_bytes,
+        intensity_g_per_kwh=intensity,
+        average_power_w=power,
+        refresh_power_w=refresh_power,
+        co2_per_gib_year_g=carbon_per_gib_year(
+            power, capacity_bytes, intensity
+        ),
+        refresh_co2_per_gib_year_g=carbon_per_gib_year(
+            refresh_power, capacity_bytes, intensity
+        ),
+    )
+
+
+def _run_refresh(result: RunResult) -> float:
+    return result.energy.group("il1.refresh") + result.energy.group(
+        "dl1.refresh"
+    )
+
+
+def assess_runs(
+    label: str,
+    results: Iterable[RunResult],
+    capacity_bytes: int,
+    intensity: float,
+) -> CarbonAssessment:
+    """Aggregate carbon over a set of runs (a suite, or one die's).
+
+    Powers are energy-weighted over the union of the runs' wall-clock
+    — equivalent to running the workloads back to back forever.
+    """
+    energy = refresh = seconds = 0.0
+    for result in results:
+        energy += result.energy.total
+        refresh += _run_refresh(result)
+        seconds += result.execution_seconds
+    return _assess(
+        label, energy, refresh, seconds, capacity_bytes, intensity
+    )
+
+
+def assess_schedule(
+    result: ScheduleResult,
+    capacity_bytes: int,
+    intensity: float,
+) -> CarbonAssessment:
+    """Carbon over one scheduled lifetime (transitions included)."""
+    return _assess(
+        result.chip_name,
+        result.total_energy,
+        result.refresh_energy,
+        result.total_seconds,
+        capacity_bytes,
+        intensity,
+    )
+
+
+def assess_population(
+    label: str,
+    per_die_results: Sequence[Sequence[RunResult]],
+    capacity_bytes: int,
+    intensity: float,
+) -> CarbonAssessment:
+    """Fleet carbon over a die population.
+
+    Each inner sequence is one die's runs; the fleet figure pools all
+    dies' energy over all dies' wall-clock — the per-GiB carbon of
+    operating the whole (yielding) population.
+    """
+    if not per_die_results:
+        raise ValueError("population is empty")
+    flat = [
+        result for die_runs in per_die_results for result in die_runs
+    ]
+    return assess_runs(label, flat, capacity_bytes, intensity)

@@ -1,0 +1,54 @@
+"""Tests for repro.cells.registry."""
+
+import pytest
+
+from repro.cells import (
+    CELL_8T,
+    EDRAM_1T1C,
+    GAIN_2T,
+    registered_technologies,
+    requires_hard_fault_coding,
+    technology_by_name,
+)
+from repro.cells import registry as registry_module
+
+
+class TestLookup:
+    def test_all_five_register(self):
+        assert registered_technologies() == (
+            "10T", "6T", "8T", "EDRAM", "GAIN"
+        )
+
+    def test_lookup_is_case_insensitive(self):
+        assert technology_by_name("edram") is EDRAM_1T1C
+        assert technology_by_name("Gain") is GAIN_2T
+        assert technology_by_name("8t") is CELL_8T
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(ValueError, match="unknown cell technology"):
+            technology_by_name("FERAM")
+
+    def test_hard_fault_coding_requirements(self):
+        assert requires_hard_fault_coding("8T")
+        assert requires_hard_fault_coding("edram")
+        assert requires_hard_fault_coding("GAIN")
+        assert not requires_hard_fault_coding("6T")
+        assert not requires_hard_fault_coding("10T")
+
+
+class TestRegister:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            registry_module.register_technology("8T", EDRAM_1T1C)
+
+    def test_nonconforming_object_rejected(self):
+        with pytest.raises(ValueError, match="protocol"):
+            registry_module.register_technology("BROKEN", object())
+
+    def test_new_technology_resolves_by_name(self):
+        registry_module.register_technology("EDRAM2", EDRAM_1T1C)
+        try:
+            assert technology_by_name("edram2") is EDRAM_1T1C
+            assert "EDRAM2" in registered_technologies()
+        finally:
+            del registry_module._TECHNOLOGIES["EDRAM2"]

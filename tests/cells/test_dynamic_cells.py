@@ -1,0 +1,80 @@
+"""Physics of the dynamic technologies (eDRAM 1T1C, 2T gain cell)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cacti.array import SramArray
+from repro.cells import CELL_8T, EDRAM_1T1C, GAIN_2T
+
+VDD = st.floats(0.3, 1.1)
+
+
+class TestRetention:
+    @pytest.mark.parametrize("tech", [EDRAM_1T1C, GAIN_2T])
+    def test_retention_is_finite_and_positive(self, tech):
+        retention = tech.design().retention_time(0.5)
+        assert math.isfinite(retention)
+        assert retention > 0.0
+
+    def test_sram_retention_is_static(self):
+        assert CELL_8T.design().retention_time(0.5) is None
+
+    def test_gain_cell_retains_for_less_time_than_edram(self):
+        """A gate-cap storage node holds far less charge than a MIM cap."""
+        assert GAIN_2T.design().retention_time(0.5) < (
+            EDRAM_1T1C.design().retention_time(0.5)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(vdd=st.floats(0.35, 1.1))
+    def test_retention_shrinks_with_supply(self, vdd):
+        """More Vdd leaks faster than the extra stored charge helps."""
+        design = EDRAM_1T1C.design()
+        assert design.retention_time(vdd + 0.1) <= design.retention_time(vdd)
+
+
+class TestRefreshPower:
+    @pytest.mark.parametrize("tech", [EDRAM_1T1C, GAIN_2T])
+    def test_dynamic_arrays_pay_refresh(self, tech):
+        array = SramArray(rows=64, cols=32, cell=tech.design())
+        assert array.refresh_power(0.5) > 0.0
+
+    def test_static_arrays_do_not(self):
+        array = SramArray(rows=64, cols=32, cell=CELL_8T.design())
+        assert array.refresh_power(0.5) == 0.0
+
+    def test_refresh_power_matches_first_principles(self):
+        """refresh = rows * row-write energy / retention."""
+        array = SramArray(rows=64, cols=32, cell=EDRAM_1T1C.design())
+        expected = (
+            array.rows
+            * array.write_energy(0.5)
+            / array.cell.retention_time(0.5)
+        )
+        assert array.refresh_power(0.5) == pytest.approx(expected)
+
+
+class TestGainCellAsymmetry:
+    def test_ports_are_decoupled_and_asymmetric(self):
+        design = GAIN_2T.design()
+        assert not design.differential_read
+        assert design.read_wordline_cap_per_cell != (
+            design.write_wordline_cap_per_cell
+        )
+        assert design.read_width != design.write_width
+
+    @settings(max_examples=30, deadline=None)
+    @given(vdd=st.floats(0.35, 1.1))
+    def test_gain_read_beats_edram_charge_share(self, vdd):
+        """The amplifying read port out-drives a 1T1C charge share."""
+        assert GAIN_2T.design().read_current(vdd) > (
+            EDRAM_1T1C.design().read_current(vdd)
+        )
+
+
+class TestDensity:
+    @pytest.mark.parametrize("tech", [EDRAM_1T1C, GAIN_2T])
+    def test_dynamic_cells_are_denser_than_8t(self, tech):
+        assert tech.design().area < CELL_8T.design().area

@@ -1,0 +1,177 @@
+"""Protocol conformance for every registered cell technology.
+
+These are the contract tests behind the pluggable API: whatever a
+technology's physics, its registered object must satisfy
+:class:`repro.cells.CellTechnology`, its sized designs must satisfy
+:class:`repro.cells.SizedCell`, and a handful of universal laws must
+hold — positive area, failure probability that improves with supply and
+with up-sizing, energy terms monotone in supply, and a canonical
+identity that round-trips and stays distinct per technology.
+"""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.cacti.array import SramArray
+from repro.cells import (
+    CellTechnology,
+    SizedCell,
+    registered_technologies,
+    technology_by_name,
+)
+from repro.util.canonical import canonical_text
+
+ALL_NAMES = registered_technologies()
+TECH = st.sampled_from(ALL_NAMES)
+
+#: Supplies where every registered technology is operable (the deepest
+#: functional floor is 10T's 0.30 V; eDRAM/gain reach 0.25 V).
+VDD = st.floats(0.35, 1.1)
+SIZE = st.floats(1.0, 8.0)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestStructuralConformance:
+    def test_technology_protocol(self, name):
+        technology = technology_by_name(name)
+        assert isinstance(technology, CellTechnology)
+        assert technology.vmin_functional > 0.0
+        assert technology.technology  # non-empty canonical token
+
+    def test_sized_cell_protocol(self, name):
+        design = technology_by_name(name).design()
+        assert isinstance(design, SizedCell)
+        assert design.technology == technology_by_name(name).technology
+
+    def test_geometry_is_physical(self, name):
+        design = technology_by_name(name).design()
+        assert design.area > 0.0
+        assert design.width_m > 0.0 and design.height_m > 0.0
+        assert design.width_m * design.height_m == pytest.approx(
+            design.area
+        )
+
+    def test_ports_are_sane(self, name):
+        design = technology_by_name(name).design()
+        assert design.read_bitlines in (1, 2)
+        assert design.write_bitlines in (1, 2)
+        for cap in (
+            design.read_wordline_cap_per_cell,
+            design.write_wordline_cap_per_cell,
+            design.read_bitline_cap_per_cell,
+            design.write_bitline_cap_per_cell,
+        ):
+            assert cap > 0.0
+
+    def test_resized_preserves_identity(self, name):
+        design = technology_by_name(name).design()
+        bigger = design.resized(2.0)
+        assert bigger.size_factor == 2.0
+        assert bigger.technology == design.technology
+        assert bigger.cell_name == design.cell_name
+        assert bigger.area > design.area
+
+    def test_describe_mentions_the_cell(self, name):
+        design = technology_by_name(name).design()
+        assert design.cell_name in design.describe()
+
+
+class TestCanonicalIdentity:
+    def test_tokens_are_distinct_across_technologies(self):
+        tokens = [
+            technology_by_name(name).technology for name in ALL_NAMES
+        ]
+        assert len(set(tokens)) == len(tokens)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_design_canonical_form_round_trips(self, name):
+        """Equal designs canonicalize identically; sizes separate."""
+        technology = technology_by_name(name)
+        one = canonical_text(technology.design(1.25))
+        same = canonical_text(technology.design(1.25))
+        other = canonical_text(technology.design(1.30))
+        assert one == same
+        assert one != other
+
+    def test_canonical_forms_separate_technologies(self):
+        forms = {
+            canonical_text(technology_by_name(name).design())
+            for name in ALL_NAMES
+        }
+        assert len(forms) == len(ALL_NAMES)
+
+
+@settings(max_examples=60, deadline=None)
+@given(name=TECH, vdd=VDD, size=SIZE)
+def test_failure_probability_is_a_probability(name, vdd, size):
+    pf = technology_by_name(name).failure_probability(vdd, size)
+    assert 0.0 <= pf <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(name=TECH, low=VDD, high=VDD)
+def test_failure_probability_improves_with_supply(name, low, high):
+    """More supply never hurts margin (the paper's Vdd knob)."""
+    if low > high:
+        low, high = high, low
+    technology = technology_by_name(name)
+    assert technology.failure_probability(high) <= (
+        technology.failure_probability(low) + 1e-15
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(name=TECH, vdd=VDD, small=SIZE, big=SIZE)
+def test_failure_probability_improves_with_size(name, vdd, small, big):
+    """Up-sizing never hurts margin (Pelgrom: beta ~ sqrt(size)).
+
+    Only claimed in the operable region: below the write-ability floor
+    a 6T becomes write-limited and up-sizing can legitimately hurt.
+    """
+    if small > big:
+        small, big = big, small
+    technology = technology_by_name(name)
+    assume(technology.is_operable(vdd))
+    assert technology.failure_probability(vdd, big) <= (
+        technology.failure_probability(vdd, small) + 1e-15
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(name=TECH, low=VDD, high=VDD)
+def test_array_energy_monotone_in_supply(name, low, high):
+    """Switching energy and static power grow with the supply.
+
+    Write energy is pure CV^2 and leakage grows with Vdd for every
+    technology; read energy is *not* claimed monotone, because its
+    sensing swing and access-time terms scale differently — it only has
+    to stay positive.
+    """
+    if low > high:
+        low, high = high, low
+    if high - low < 1e-6:
+        return
+    array = SramArray(
+        rows=64, cols=32, cell=technology_by_name(name).design()
+    )
+    assert array.write_energy(high) >= array.write_energy(low)
+    assert array.leakage_power(high) >= array.leakage_power(low)
+    assert array.read_energy(low) > 0.0
+    assert array.read_energy(high) > 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(name=TECH, vdd=st.floats(0.5, 1.0))
+def test_size_for_pf_meets_its_target(name, vdd):
+    """size_for_pf either meets the target or refuses with ValueError."""
+    technology = technology_by_name(name)
+    assume(technology.is_operable(vdd))
+    target = 1e-4
+    try:
+        size = technology.size_for_pf(vdd, target)
+    except ValueError:
+        # Legitimate refusal: no positive nominal margin at this Vdd,
+        # or no size within the search bound reaches the target.
+        return
+    assert size >= 1.0
+    assert technology.failure_probability(vdd, size) <= target

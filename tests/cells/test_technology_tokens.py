@@ -1,0 +1,37 @@
+"""Tests for repro.cells.technology_tokens (the --resume contract)."""
+
+from repro.cells import technology_tokens
+from repro.explore.candidates import build_candidate
+
+
+def _chip(ule_cell):
+    return build_candidate(
+        {"ule_cell": ule_cell, "ule_scheme": "secded", "suite": "paper"}
+    ).chip
+
+
+class TestTechnologyTokens:
+    def test_sram_chip_tokens(self):
+        """6T HP ways + 8T ULE way + 10T core arrays: all-SRAM tokens."""
+        assert technology_tokens(_chip("8T")) == (
+            "sram-10t",
+            "sram-6t",
+            "sram-8t",
+        )
+
+    def test_dynamic_ule_way_adds_its_token(self):
+        assert "edram-1t1c" in technology_tokens(_chip("EDRAM"))
+        assert "gain-2t" in technology_tokens(_chip("GAIN"))
+
+    def test_tokens_are_sorted_and_unique(self):
+        tokens = technology_tokens(_chip("EDRAM"))
+        assert list(tokens) == sorted(set(tokens))
+
+    def test_cache_config_accepted_directly(self):
+        chip = _chip("8T")
+        cache_tokens = technology_tokens(chip.il1)
+        assert set(cache_tokens) <= set(technology_tokens(chip))
+        assert "sram-8t" in cache_tokens
+
+    def test_none_yields_no_tokens(self):
+        assert technology_tokens(None) == ()

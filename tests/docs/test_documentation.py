@@ -30,6 +30,8 @@ class TestDocsTree:
             "cli.md",
             "reproducing.md",
             "runtime.md",
+            "cells.md",
+            "sustainability.md",
             "architecture.md",
             "examples.md",
         ],

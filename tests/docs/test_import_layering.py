@@ -1,0 +1,61 @@
+"""Import-layering gate: :mod:`repro.cells` is the only door to sram.
+
+The cell-technology API re-exports the whole SRAM stack; everything
+else must consume bitcells through it so non-SRAM technologies slot in
+without touching callers.  The lint (``tools/check_imports.py``) runs
+here and in CI — a new direct ``repro.sram`` import fails the suite.
+"""
+
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+TOOLS = REPO / "tools"
+
+sys.path.insert(0, str(TOOLS))
+
+
+class TestImportLayering:
+    def test_no_direct_sram_imports_outside_allowed_packages(self):
+        import check_imports
+
+        violations = check_imports.check_package(REPO / "src" / "repro")
+        assert violations == [], (
+            "direct repro.sram imports (use repro.cells):\n  "
+            + "\n  ".join(violations)
+        )
+
+    def test_lint_flags_violations(self, tmp_path):
+        import check_imports
+
+        package = tmp_path / "pkg"
+        (package / "sram").mkdir(parents=True)
+        (package / "cells").mkdir()
+        (package / "bad.py").write_text(
+            "from repro.sram.cells import CellDesign\n",
+            encoding="utf-8",
+        )
+        (package / "worse.py").write_text(
+            "import repro.sram.failure\n", encoding="utf-8"
+        )
+        (package / "sram" / "ok.py").write_text(
+            "from repro.sram.failure import analytic_pf\n",
+            encoding="utf-8",
+        )
+        (package / "cells" / "ok.py").write_text(
+            "import repro.sram\n", encoding="utf-8"
+        )
+        violations = check_imports.check_package(package)
+        assert len(violations) == 2
+        assert any("bad.py" in line for line in violations)
+        assert any("worse.py" in line for line in violations)
+
+    def test_relative_imports_inside_sram_are_ignored(self, tmp_path):
+        import check_imports
+
+        package = tmp_path / "pkg"
+        package.mkdir()
+        (package / "relative.py").write_text(
+            "from . import something\n", encoding="utf-8"
+        )
+        assert check_imports.check_package(package) == []

@@ -1,0 +1,69 @@
+"""SRAM job-key stability across the pluggable cell-technology API.
+
+The cells refactor (protocol + registry + dynamic technologies) must
+not invalidate the on-disk result cache for SRAM work: job keys hash
+the chip's *canonical form*, canonical forms walk dataclass fields
+only, and the protocol added methods, not fields.  These pins make
+that contract explicit:
+
+* ``ENGINE_CACHE_VERSION`` stays exactly 4 — registering a technology
+  is not a cache-schema change, so it must NOT bump the version;
+* the canonical text of each SRAM ``CellDesign`` is byte-pinned (by
+  digest) — if a field sneaks onto the dataclass, this fails before a
+  fleet's cache silently invalidates;
+* the dynamic technologies get canonical forms *distinct* from every
+  SRAM cell, so their results can never alias an SRAM key.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.cells import CELL_6T, CELL_8T, CELL_10T, CellDesign
+from repro.cells.edram import EDRAM_1T1C
+from repro.cells.gain import GAIN_2T
+from repro.engine.jobs import ENGINE_CACHE_VERSION
+from repro.util.canonical import canonical_text
+
+#: sha256 of ``canonical_text(CellDesign(<topology>, 1.25))``, pinned
+#: at the cells-API refactor.  A change here means every cached SRAM
+#: result in every fleet cache is orphaned — bump only deliberately.
+PINNED_DIGESTS = {
+    "6T": "2eb791abde0f5f811e8d2accd0695a144ebb8358b01e8c4c956c871c890e9257",
+    "8T": "0386a9e836bde1d02faf21aff4c7090123303b30ba15416f1ba05562dc2b6144",
+    "10T": "7283485e9bb4f7bc7191221c7c8d210453ff51a14246c5a3edf926f57e664b1a",
+}
+
+TOPOLOGIES = {"6T": CELL_6T, "8T": CELL_8T, "10T": CELL_10T}
+
+
+def _digest(design) -> str:
+    return hashlib.sha256(
+        canonical_text(design).encode("utf-8")
+    ).hexdigest()
+
+
+class TestSramKeyStability:
+    def test_cache_version_is_exactly_four(self):
+        assert ENGINE_CACHE_VERSION == 4
+
+    @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+    def test_sram_canonical_text_is_byte_pinned(self, name):
+        design = CellDesign(TOPOLOGIES[name], 1.25)
+        assert _digest(design) == PINNED_DIGESTS[name]
+
+    @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+    def test_canonical_text_carries_no_protocol_members(self, name):
+        """Protocol members are methods/properties, never fields."""
+        text = canonical_text(CellDesign(TOPOLOGIES[name], 1.25))
+        for member in ("technology", "retention", "refresh"):
+            assert member not in text
+
+
+class TestDynamicCellsCannotAlias:
+    @pytest.mark.parametrize("technology", [EDRAM_1T1C, GAIN_2T])
+    def test_distinct_class_names_separate_the_keys(self, technology):
+        design = technology.design(1.25)
+        text = canonical_text(design)
+        assert '"__class__":"CellDesign"' not in text
+        assert _digest(design) not in PINNED_DIGESTS.values()

@@ -20,6 +20,8 @@ class TestRegistry:
             "ablation-ways",
             "ablation-memlat",
             "sweep-policy",
+            "sweep-cells",
+            "sustain",
             "transients",
         ):
             assert expected in ids

@@ -1,0 +1,54 @@
+"""Retention-refresh accounting through the schedule simulator."""
+
+import pytest
+
+from repro.cpu.chip import Chip
+from repro.engine.session import SimulationSession
+from repro.explore.candidates import build_candidate
+from repro.runtime import ScheduleSimulator, StaticDutyCycle
+from repro.workloads import sensor_node_trace
+
+
+def _schedule(ule_cell):
+    candidate = build_candidate(
+        {"ule_cell": ule_cell, "ule_scheme": "secded", "suite": "paper"}
+    )
+    simulator = ScheduleSimulator(
+        Chip(candidate.chip),
+        StaticDutyCycle(0.25),
+        epoch_length=2_000,
+        session=SimulationSession(),
+    )
+    return simulator.run(sensor_node_trace(4_000, 1_000, 2, seed=3))
+
+
+@pytest.fixture(scope="module")
+def edram_result():
+    return _schedule("EDRAM")
+
+
+class TestRefreshLedger:
+    def test_totals_sum_the_epochs(self, edram_result):
+        assert edram_result.refresh_energy > 0.0
+        assert edram_result.refresh_energy == pytest.approx(
+            sum(e.refresh_energy for e in edram_result.entries)
+        )
+        assert edram_result.refresh_energy < edram_result.run_energy
+
+    def test_render_shows_the_refresh_line(self, edram_result):
+        assert "refresh energy" in edram_result.render()
+
+    def test_to_dict_carries_refresh(self, edram_result):
+        payload = edram_result.to_dict()
+        assert payload["totals"]["refresh_energy_j"] == pytest.approx(
+            edram_result.refresh_energy
+        )
+        assert any(
+            epoch["refresh_energy_j"] > 0.0
+            for epoch in payload["epochs"]
+        )
+
+    def test_sram_schedules_pay_nothing_and_hide_the_line(self):
+        result = _schedule("8T")
+        assert result.refresh_energy == 0.0
+        assert "refresh energy" not in result.render()

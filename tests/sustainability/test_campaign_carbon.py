@@ -1,0 +1,97 @@
+"""Carbon-aware campaigns over mixed cell technologies.
+
+Covers the acceptance criteria of the cells/sustainability PR: a sweep
+mixing SRAM, eDRAM and gain-cell candidates runs byte-identically
+serial vs parallel, reports ``co2_per_gib_ule`` as an extra objective
+when a carbon intensity is set, stays byte-identical to the
+pre-sustainability behaviour when it is not, and stamps its cell
+technologies into the saved campaign meta for the ``--resume`` guard.
+"""
+
+import pytest
+
+from repro.engine.session import SimulationSession
+from repro.explore.campaign import CARBON_OBJECTIVE, ExplorationCampaign
+from repro.explore.candidates import default_constraints
+from repro.explore.space import DesignSpace
+
+MIXED_TOKENS = ("edram-1t1c", "gain-2t", "sram-10t", "sram-6t", "sram-8t")
+
+
+def _mixed_space():
+    return DesignSpace.from_dict(
+        {
+            "size_kb": (8,),
+            "line_bytes": (32,),
+            "ways": (8,),
+            "ule_ways": (1,),
+            "ule_cell": ("8T", "EDRAM", "GAIN"),
+            "ule_scheme": ("secded",),
+            "hp_scheme": ("none",),
+            "vdd_ule": (0.35,),
+            "replacement": ("lru",),
+            "suite": ("paper",),
+        },
+        default_constraints(),
+    )
+
+
+def _campaign(**kwargs):
+    kwargs.setdefault("space", _mixed_space())
+    kwargs.setdefault("trace_length", 1_500)
+    kwargs.setdefault("seed", 3)
+    return ExplorationCampaign(**kwargs)
+
+
+class TestMixedTechnologySweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return _campaign(carbon_intensity=475.0).run(
+            session=SimulationSession()
+        )
+
+    def test_serial_matches_parallel(self, result):
+        with SimulationSession(jobs=4) as parallel_session:
+            parallel = _campaign(carbon_intensity=475.0).run(
+                session=parallel_session
+            )
+        assert result.render_report() == parallel.render_report()
+
+    def test_all_three_technologies_ran(self, result):
+        cells = {
+            outcome.point_dict()["ule_cell"]
+            for outcome in result.outcomes
+        }
+        assert cells == {"8T", "EDRAM", "GAIN"}
+
+    def test_carbon_metric_reported_for_every_candidate(self, result):
+        for outcome in result.outcomes:
+            assert outcome.metrics["co2_per_gib_ule"] > 0.0
+
+    def test_carbon_objective_active(self, result):
+        assert CARBON_OBJECTIVE in result.objectives
+
+    def test_meta_records_intensity_and_technologies(self, result):
+        assert result.carbon_intensity == 475.0
+        assert result.cell_technologies == MIXED_TOKENS
+        meta = result.to_dict()["meta"]
+        assert meta["carbon_intensity"] == 475.0
+        assert meta["cell_technologies"] == list(MIXED_TOKENS)
+
+    def test_expected_technologies_match_without_running(self):
+        assert _campaign().expected_technologies() == MIXED_TOKENS
+
+
+class TestCarbonOffByDefault:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return _campaign().run(session=SimulationSession())
+
+    def test_no_carbon_metric_or_objective(self, result):
+        assert CARBON_OBJECTIVE not in result.objectives
+        for outcome in result.outcomes:
+            assert "co2_per_gib_ule" not in outcome.metrics
+
+    def test_meta_intensity_is_null(self, result):
+        assert result.carbon_intensity is None
+        assert result.to_dict()["meta"]["carbon_intensity"] is None

@@ -1,0 +1,91 @@
+"""Tests for repro.sustainability.carbon."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sustainability.carbon import (
+    GIB_BYTES,
+    GRID_PROFILES,
+    JOULES_PER_KWH,
+    SECONDS_PER_YEAR,
+    annual_energy_j,
+    carbon_per_gib_year,
+    co2_grams,
+    grid_intensity,
+)
+
+
+class TestGridIntensity:
+    def test_named_profiles_resolve_case_insensitively(self):
+        assert grid_intensity("world") == GRID_PROFILES["world"]
+        assert grid_intensity("EU") == GRID_PROFILES["eu"]
+        assert grid_intensity(" Coal ") == GRID_PROFILES["coal"]
+
+    def test_numbers_and_numeric_strings_pass_through(self):
+        assert grid_intensity(123.5) == 123.5
+        assert grid_intensity("123.5") == 123.5
+        assert grid_intensity(0) == 0.0
+
+    def test_unknown_profile_lists_choices(self):
+        with pytest.raises(ValueError, match="renewable"):
+            grid_intensity("mars")
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            grid_intensity(-1.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            grid_intensity("-5")
+
+    def test_profiles_ordered_as_expected(self):
+        assert (
+            GRID_PROFILES["renewable"]
+            < GRID_PROFILES["eu"]
+            < GRID_PROFILES["world"]
+            < GRID_PROFILES["coal"]
+        )
+
+
+class TestCarbonArithmetic:
+    def test_one_kwh_on_world_grid(self):
+        assert co2_grams(JOULES_PER_KWH, 475.0) == pytest.approx(475.0)
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            co2_grams(-1.0, 475.0)
+
+    def test_annual_energy_of_one_watt(self):
+        assert annual_energy_j(1.0) == pytest.approx(SECONDS_PER_YEAR)
+
+    def test_per_gib_normalization(self):
+        """1 W over exactly 1 GiB: the plain annual grams."""
+        expected = co2_grams(annual_energy_j(1.0), 475.0)
+        assert carbon_per_gib_year(
+            1.0, int(GIB_BYTES), 475.0
+        ) == pytest.approx(expected)
+        # Half the capacity doubles the per-GiB figure.
+        assert carbon_per_gib_year(
+            1.0, int(GIB_BYTES) // 2, 475.0
+        ) == pytest.approx(2.0 * expected)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            carbon_per_gib_year(1.0, 0, 475.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    power=st.floats(0.0, 1e3),
+    capacity=st.integers(1, 1 << 40),
+    intensity=st.floats(0.0, 2e3),
+)
+def test_carbon_scales_linearly_in_each_argument(
+    power, capacity, intensity
+):
+    base = carbon_per_gib_year(power, capacity, intensity)
+    assert base >= 0.0
+    assert carbon_per_gib_year(
+        2.0 * power, capacity, intensity
+    ) == pytest.approx(2.0 * base, rel=1e-9)
+    assert carbon_per_gib_year(
+        power, capacity, 2.0 * intensity
+    ) == pytest.approx(2.0 * base, rel=1e-9)

@@ -1,0 +1,60 @@
+"""Tests for repro.sustainability.esii."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sustainability.esii import esii_index
+
+POSITIVE_ENERGY = st.floats(1e-12, 1e3)
+INTENSITY = st.floats(1.0, 2e3)
+
+
+class TestEsii:
+    def test_equal_candidates_score_one(self):
+        index = esii_index(1.0, 1.0, 475.0)
+        assert index.energy_ratio == 1.0
+        assert index.carbon_ratio == 1.0
+        assert index.esii == 1.0
+
+    def test_same_grid_reduces_to_energy_ratio(self):
+        index = esii_index(2.0, 1.0, 475.0)
+        assert index.energy_ratio == pytest.approx(2.0)
+        assert index.carbon_ratio == pytest.approx(2.0)
+        assert index.esii == pytest.approx(2.0)
+
+    def test_cross_grid_weights_the_saving(self):
+        """Half the energy on a grid 4x dirtier: carbon ratio halves."""
+        index = esii_index(
+            2.0, 1.0, baseline_intensity=100.0, candidate_intensity=400.0
+        )
+        assert index.energy_ratio == pytest.approx(2.0)
+        assert index.carbon_ratio == pytest.approx(0.5)
+        assert index.esii == pytest.approx(1.0)
+
+    def test_nonpositive_energy_rejected(self):
+        with pytest.raises(ValueError):
+            esii_index(0.0, 1.0, 475.0)
+        with pytest.raises(ValueError):
+            esii_index(1.0, -1.0, 475.0)
+
+    def test_zero_candidate_grid_rejected(self):
+        with pytest.raises(ValueError, match="zero-intensity"):
+            esii_index(1.0, 1.0, 475.0, candidate_intensity=0.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    baseline=POSITIVE_ENERGY,
+    candidate=POSITIVE_ENERGY,
+    intensity=INTENSITY,
+)
+def test_esii_is_geometric_mean_and_symmetric(
+    baseline, candidate, intensity
+):
+    forward = esii_index(baseline, candidate, intensity)
+    backward = esii_index(candidate, baseline, intensity)
+    assert forward.esii == pytest.approx(
+        (forward.energy_ratio * forward.carbon_ratio) ** 0.5
+    )
+    # Swapping the roles inverts the index.
+    assert forward.esii * backward.esii == pytest.approx(1.0, rel=1e-9)

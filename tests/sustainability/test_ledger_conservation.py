@@ -1,0 +1,104 @@
+"""Ledger conservation: components always sum to the total.
+
+The sustainability layer prices whatever the energy ledger says, so its
+one hard invariant is conservation — ``total`` equals the sum over
+``components()`` after any sequence of adds, merges and scalings, and a
+real chip run (including a dynamic-cell chip paying refresh) partitions
+its energy into exactly the named components.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.chip import Chip
+from repro.cpu.power import EnergyLedger
+from repro.explore.candidates import build_candidate
+from repro.tech.operating import Mode
+from repro.workloads.mediabench import generate_trace
+
+COMPONENT = st.sampled_from(
+    ["il1.dynamic", "il1.refresh", "dl1.leakage", "core.logic", "edc"]
+)
+ENTRY = st.tuples(COMPONENT, st.floats(0.0, 1e3, allow_nan=False))
+
+
+def _build(entries) -> EnergyLedger:
+    ledger = EnergyLedger()
+    for name, value in entries:
+        ledger.add(name, value)
+    return ledger
+
+
+@settings(max_examples=60, deadline=None)
+@given(entries=st.lists(ENTRY, max_size=20))
+def test_components_sum_to_total(entries):
+    ledger = _build(entries)
+    assert sum(
+        ledger.get(name) for name in ledger.components()
+    ) == pytest.approx(ledger.total, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    first=st.lists(ENTRY, max_size=10),
+    second=st.lists(ENTRY, max_size=10),
+    factor=st.floats(0.0, 10.0),
+)
+def test_merge_and_scale_conserve(first, second, factor):
+    a, b = _build(first), _build(second)
+    merged = a.merged(b)
+    assert merged.total == pytest.approx(a.total + b.total, abs=1e-9)
+    assert merged.scaled(factor).total == pytest.approx(
+        merged.total * factor, abs=1e-6
+    )
+
+
+class TestChipRunConservation:
+    @pytest.fixture(scope="class", params=["8T", "EDRAM", "GAIN"])
+    def run_result(self, request):
+        candidate = build_candidate(
+            {
+                "ule_cell": request.param,
+                "ule_scheme": "secded",
+                "suite": "paper",
+            }
+        )
+        chip = Chip(candidate.chip)
+        trace = generate_trace("gsm_c", length=5_000, seed=7)
+        return request.param, chip.run(
+            trace, Mode.ULE, operating_point=candidate.ule_point
+        )
+
+    def test_run_ledger_partitions_total(self, run_result):
+        _, result = run_result
+        ledger = result.energy
+        assert sum(
+            ledger.get(name) for name in ledger.components()
+        ) == pytest.approx(ledger.total, rel=1e-12)
+
+    def test_refresh_component_only_for_dynamic_cells(self, run_result):
+        cell, result = run_result
+        components = result.energy.components()
+        if cell == "8T":
+            assert "il1.refresh" not in components
+            assert "dl1.refresh" not in components
+        else:
+            assert "il1.refresh" in components
+            assert "dl1.refresh" in components
+            assert result.energy.get("il1.refresh") > 0.0
+
+    def test_total_includes_refresh(self, run_result):
+        """Removing the refresh rows must break the balance."""
+        cell, result = run_result
+        ledger = result.energy
+        refresh = ledger.get("il1.refresh") + ledger.get("dl1.refresh")
+        remainder = sum(
+            ledger.get(name)
+            for name in ledger.components()
+            if not name.endswith(".refresh")
+        )
+        assert remainder + refresh == pytest.approx(
+            ledger.total, rel=1e-12
+        )
+        if cell != "8T":
+            assert refresh > 0.0

@@ -1,0 +1,124 @@
+"""Tests for repro.sustainability.report (run/schedule/population)."""
+
+import pytest
+
+from repro.cpu.chip import Chip
+from repro.engine.session import SimulationSession
+from repro.explore.candidates import build_candidate
+from repro.runtime import ScheduleSimulator, StaticDutyCycle
+from repro.sustainability import (
+    assess_population,
+    assess_runs,
+    assess_schedule,
+    chip_capacity_bytes,
+)
+from repro.tech.operating import Mode
+from repro.workloads import sensor_node_trace
+from repro.workloads.mediabench import generate_trace
+
+INTENSITY = 475.0
+
+
+@pytest.fixture(scope="module", params=["8T", "EDRAM"])
+def assessed(request):
+    """(cell, candidate, runs) for a static and a dynamic technology."""
+    candidate = build_candidate(
+        {
+            "ule_cell": request.param,
+            "ule_scheme": "secded",
+            "suite": "paper",
+        }
+    )
+    chip = Chip(candidate.chip)
+    trace = generate_trace("gsm_c", length=5_000, seed=7)
+    result = chip.run(
+        trace, Mode.ULE, operating_point=candidate.ule_point
+    )
+    return request.param, candidate, [result]
+
+
+class TestAssessRuns:
+    def test_power_matches_energy_over_time(self, assessed):
+        _, candidate, runs = assessed
+        capacity = chip_capacity_bytes(candidate.chip)
+        assessment = assess_runs("x", runs, capacity, INTENSITY)
+        energy = sum(run.energy.total for run in runs)
+        seconds = sum(run.execution_seconds for run in runs)
+        assert assessment.average_power_w == pytest.approx(
+            energy / seconds
+        )
+        assert assessment.co2_per_gib_year_g > 0.0
+        assert assessment.capacity_bytes == capacity
+
+    def test_refresh_share_only_for_dynamic_cells(self, assessed):
+        cell, candidate, runs = assessed
+        assessment = assess_runs(
+            "x", runs, chip_capacity_bytes(candidate.chip), INTENSITY
+        )
+        if cell == "8T":
+            assert assessment.refresh_power_w == 0.0
+            assert assessment.refresh_co2_per_gib_year_g == 0.0
+        else:
+            assert 0.0 < assessment.refresh_power_w < (
+                assessment.average_power_w
+            )
+            assert 0.0 < assessment.refresh_co2_per_gib_year_g < (
+                assessment.co2_per_gib_year_g
+            )
+
+    def test_empty_runs_rejected(self, assessed):
+        _, candidate, _ = assessed
+        with pytest.raises(ValueError, match="zero wall-clock"):
+            assess_runs(
+                "x", [], chip_capacity_bytes(candidate.chip), INTENSITY
+            )
+
+
+class TestAssessPopulation:
+    def test_pools_all_dies(self, assessed):
+        _, candidate, runs = assessed
+        capacity = chip_capacity_bytes(candidate.chip)
+        fleet = assess_population(
+            "fleet", [runs, runs], capacity, INTENSITY
+        )
+        single = assess_runs("one", runs, capacity, INTENSITY)
+        # Two identical dies: same average power, same per-GiB carbon.
+        assert fleet.average_power_w == pytest.approx(
+            single.average_power_w
+        )
+        assert fleet.co2_per_gib_year_g == pytest.approx(
+            single.co2_per_gib_year_g
+        )
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            assess_population("fleet", [], 1024, INTENSITY)
+
+
+class TestAssessSchedule:
+    def test_schedule_assessment_prices_the_lifetime(self):
+        candidate = build_candidate(
+            {
+                "ule_cell": "EDRAM",
+                "ule_scheme": "secded",
+                "suite": "paper",
+            }
+        )
+        chip = Chip(candidate.chip)
+        simulator = ScheduleSimulator(
+            chip,
+            StaticDutyCycle(0.25),
+            epoch_length=2_000,
+            session=SimulationSession(),
+        )
+        result = simulator.run(sensor_node_trace(4_000, 1_000, 2, seed=3))
+        assessment = assess_schedule(
+            result, chip_capacity_bytes(candidate.chip), INTENSITY
+        )
+        assert assessment.label == result.chip_name
+        assert assessment.average_power_w == pytest.approx(
+            result.total_energy / result.total_seconds
+        )
+        # The eDRAM ULE epochs paid refresh; it must survive pooling.
+        assert result.refresh_energy > 0.0
+        assert assessment.refresh_power_w > 0.0

@@ -590,3 +590,122 @@ class TestTransients:
             "--transient-accel", "1e16",
         ]) == 0
         assert "due_fit_ule:min" in capsys.readouterr().out
+
+
+class TestCellTechnologies:
+    """The mixed-technology sweep surface (cells + sustainability PR)."""
+
+    MIXED_AXES = (
+        "size_kb=8;line_bytes=32;ways=8;ule_ways=1;"
+        "ule_cell=8T,EDRAM,GAIN;ule_scheme=secded;hp_scheme=none;"
+        "vdd_ule=0.35;replacement=lru;suite=paper"
+    )
+    BASE = ["sweep", "--axes", MIXED_AXES, "--trace-length", "1500",
+            "--seed", "3"]
+
+    def test_mixed_sweep_serial_matches_jobs_4(self, tmp_path, capsys):
+        serial = tmp_path / "serial.txt"
+        parallel = tmp_path / "parallel.txt"
+        assert main(self.BASE + ["--out", str(serial)]) == 0
+        assert main(
+            self.BASE + ["--jobs", "4", "--out", str(parallel)]
+        ) == 0
+        capsys.readouterr()
+        assert serial.read_text() == parallel.read_text()
+
+    def test_carbon_flag_adds_the_objective(self, capsys):
+        assert main(self.BASE + ["--carbon", "world"]) == 0
+        out = capsys.readouterr().out
+        assert "co2_per_gib_ule:min" in out
+
+    def test_carbon_accepts_explicit_intensity(self, capsys):
+        assert main(self.BASE + ["--carbon", "300"]) == 0
+        assert "co2_per_gib_ule:min" in capsys.readouterr().out
+
+    def test_unknown_carbon_profile_rejected(self, capsys):
+        assert main(self.BASE + ["--carbon", "mars"]) == 2
+        assert "unknown grid profile" in capsys.readouterr().err
+
+    def test_save_json_embeds_cell_technologies(self, tmp_path, capsys):
+        import json
+
+        saved = tmp_path / "campaign.json"
+        assert main(self.BASE + ["--save-json", str(saved)]) == 0
+        capsys.readouterr()
+        meta = json.loads(saved.read_text())["meta"]
+        assert meta["cell_technologies"] == [
+            "edram-1t1c", "gain-2t", "sram-10t", "sram-6t", "sram-8t",
+        ]
+
+    def test_resume_rejects_technology_mismatch(self, tmp_path, capsys):
+        edram_axes = self.MIXED_AXES.replace(
+            "ule_cell=8T,EDRAM,GAIN", "ule_cell=EDRAM"
+        )
+        gain_axes = self.MIXED_AXES.replace(
+            "ule_cell=8T,EDRAM,GAIN", "ule_cell=GAIN"
+        )
+        saved = tmp_path / "edram.json"
+        assert main(
+            ["sweep", "--axes", edram_axes, "--trace-length", "1500",
+             "--seed", "3", "--save-json", str(saved)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["sweep", "--axes", gain_axes, "--trace-length", "1500",
+             "--seed", "3", "--resume", str(saved)]
+        ) == 2
+        assert "different cell technologies" in capsys.readouterr().err
+
+    def test_resume_accepts_matching_technologies(
+        self, tmp_path, capsys
+    ):
+        saved = tmp_path / "campaign.json"
+        assert main(self.BASE + ["--save-json", str(saved)]) == 0
+        capsys.readouterr()
+        assert main(self.BASE + ["--resume", str(saved)]) == 0
+        assert "Exploration ranking" in capsys.readouterr().out
+
+    def test_schedule_save_json_stamps_technologies(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        saved = tmp_path / "schedule.json"
+        assert main(
+            ["schedule", "--trace-length", "10000", "--epoch", "1000",
+             "--save-json", str(saved)]
+        ) == 0
+        capsys.readouterr()
+        meta = json.loads(saved.read_text())["meta"]
+        # The paper's scheduled chip is all-SRAM.
+        assert meta["cell_technologies"] == [
+            "sram-10t", "sram-6t", "sram-8t",
+        ]
+
+    def test_population_save_json_stamps_technologies(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        saved = tmp_path / "population.json"
+        assert main(
+            ["population", "--dies", "4", "--trace-length", "1500",
+             "--save-json", str(saved)]
+        ) == 0
+        capsys.readouterr()
+        meta = json.loads(saved.read_text())["meta"]
+        assert "sram-8t" in meta["cell_technologies"]
+
+    def test_run_save_json_writes_machine_results(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        saved = tmp_path / "result.json"
+        assert main(
+            ["run", "tab-sizing", "--save-json", str(saved)]
+        ) == 0
+        capsys.readouterr()
+        payload = json.loads(saved.read_text())
+        assert payload["experiment_id"] == "tab-sizing"
+        assert "data" in payload and "comparisons" in payload

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Layering lint: no new direct ``repro.sram`` imports (no external deps).
+
+The cell-technology API (:mod:`repro.cells`) is the supported way to
+consume bitcells — it re-exports the SRAM stack and adds the protocol,
+registry and non-SRAM technologies.  Direct ``repro.sram`` imports
+bypass the protocol and freeze callers onto one technology, so this
+gate walks ``src/repro`` with :mod:`ast` and fails on any ``import
+repro.sram...`` / ``from repro.sram... import ...`` outside the two
+packages allowed to know the layering:
+
+* ``repro/sram/`` itself (intra-package imports), and
+* ``repro/cells/`` (the compatibility shim re-exporting it).
+
+Usage::
+
+    python tools/check_imports.py src/repro
+    python tools/check_imports.py src/repro --list
+
+Runs in CI and as a test (``tests/docs/test_documentation.py`` style),
+so a violating import fails the suite before it fails review.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import pathlib
+import sys
+
+#: Module prefix whose direct imports are gated.
+FORBIDDEN_PREFIX = "repro.sram"
+
+#: Directories (relative to the scanned package root) whose files may
+#: import the gated prefix directly.
+ALLOWED_DIRS = ("sram", "cells")
+
+
+def _violations_in(path: pathlib.Path, tree: ast.Module) -> list[str]:
+    """Offending import lines of one parsed module."""
+    found = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if (
+                    alias.name == FORBIDDEN_PREFIX
+                    or alias.name.startswith(FORBIDDEN_PREFIX + ".")
+                ):
+                    found.append(
+                        f"{path}:{node.lineno}: import {alias.name}"
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level == 0 and (
+                module == FORBIDDEN_PREFIX
+                or module.startswith(FORBIDDEN_PREFIX + ".")
+            ):
+                found.append(
+                    f"{path}:{node.lineno}: from {module} import ..."
+                )
+    return found
+
+
+def check_package(root: pathlib.Path) -> list[str]:
+    """All forbidden-import violations under ``root``, sorted."""
+    violations: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root)
+        if relative.parts and relative.parts[0] in ALLOWED_DIRS:
+            continue
+        tree = ast.parse(
+            path.read_text(encoding="utf-8"), filename=str(path)
+        )
+        violations.extend(_violations_in(path, tree))
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a shell exit status."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "package", type=pathlib.Path,
+        help="package directory to scan (e.g. src/repro)",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="print violations without failing (for triage)",
+    )
+    args = parser.parse_args(argv)
+    if not args.package.is_dir():
+        print(f"error: {args.package} is not a directory",
+              file=sys.stderr)
+        return 2
+    violations = check_package(args.package)
+    for line in violations:
+        print(line)
+    if violations and not args.list:
+        print(
+            f"{len(violations)} direct {FORBIDDEN_PREFIX} import(s) "
+            "outside repro/sram and repro/cells; import from "
+            "repro.cells instead",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"import layering OK: no direct {FORBIDDEN_PREFIX} imports "
+        "outside the allowed packages"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
