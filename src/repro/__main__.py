@@ -262,6 +262,15 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep_parser.add_argument(
+        "--suite", default=None,
+        help=(
+            "workload suite for every candidate: smallbench, "
+            "bigbench, all, paper (mode-split default), or a "
+            "multi-programmed mix mix1..mix7 (ingested components "
+            "when cataloged, synthetic proxies otherwise)"
+        ),
+    )
+    sweep_parser.add_argument(
         "--trace-length", type=int, default=20_000,
         help="dynamic instructions per benchmark (default: 20000)",
     )
@@ -447,6 +456,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="dynamic instructions per benchmark",
     )
     population_parser.add_argument(
+        "--suite", default="paper",
+        help=(
+            "workload suite per die: paper (mode-split default), "
+            "smallbench, bigbench, all, or a mix1..mix7 "
+            "multi-programmed mix"
+        ),
+    )
+    population_parser.add_argument(
         "--seed", type=int, default=None, help="root random seed"
     )
     _add_transient_options(population_parser)
@@ -612,6 +629,72 @@ def _build_parser() -> argparse.ArgumentParser:
     pareto_parser.add_argument(
         "--top", type=_positive_int, default=20,
         help="ranked candidates to print (default: 20)",
+    )
+
+    ingest_parser = commands.add_parser(
+        "ingest",
+        help=(
+            "parse a real-workload trace file (DRAMSim2 k6 or "
+            "Pin/DynamoRIO memtrace) into the trace store"
+        ),
+    )
+    ingest_parser.add_argument(
+        "trace_file", type=pathlib.Path,
+        help="the text trace file to ingest",
+    )
+    ingest_parser.add_argument(
+        "--format", choices=("k6", "memtrace"), default=None,
+        help="input format (default: sniffed from the first line)",
+    )
+    ingest_parser.add_argument(
+        "--name", default=None,
+        help=(
+            "catalog name for the trace (default: the file stem); "
+            "name it after a mix component (e.g. mcf) and every mix "
+            "using that component picks up the real trace"
+        ),
+    )
+    ingest_parser.add_argument(
+        "--limit", type=_positive_int, default=None,
+        help="keep at most this many records",
+    )
+    ingest_parser.add_argument(
+        "--skip", type=int, default=0,
+        help="drop this many records first (windowing; default: 0)",
+    )
+    ingest_parser.add_argument(
+        "--force", action="store_true",
+        help="allow re-pointing an existing catalog name at new content",
+    )
+    ingest_parser.add_argument(
+        "--store", type=pathlib.Path, default=None,
+        help=(
+            "trace store root (default: $REPRO_TRACE_STORE or the "
+            "per-user store)"
+        ),
+    )
+
+    traces_parser = commands.add_parser(
+        "traces",
+        help="inspect the ingested-trace catalog",
+    )
+    traces_parser.add_argument(
+        "action", choices=("list", "verify"),
+        help=(
+            "list: the catalog with provenance; verify: re-hash "
+            "stored bytes against their content addresses"
+        ),
+    )
+    traces_parser.add_argument(
+        "names", nargs="*",
+        help="restrict to these catalog names (default: all)",
+    )
+    traces_parser.add_argument(
+        "--store", type=pathlib.Path, default=None,
+        help=(
+            "trace store root (default: $REPRO_TRACE_STORE or the "
+            "per-user store)"
+        ),
     )
     return parser
 
@@ -826,19 +909,24 @@ def _dispatch_population(args: argparse.Namespace) -> int:
         args.seed if args.seed is not None
         else calibration.DEFAULT_SEED
     )
-    study = scenario_population_study(
-        args.scenario,
-        chip=args.chip,
-        dies=args.dies,
-        trace_length=(
-            args.trace_length
-            if args.trace_length is not None
-            else calibration.DEFAULT_TRACE_LENGTH
-        ),
-        seed=seed,
-        percentiles=args.percentiles or DEFAULT_PERCENTILES,
-        transients=_transient_spec(args, seed),
-    )
+    try:
+        study = scenario_population_study(
+            args.scenario,
+            chip=args.chip,
+            dies=args.dies,
+            trace_length=(
+                args.trace_length
+                if args.trace_length is not None
+                else calibration.DEFAULT_TRACE_LENGTH
+            ),
+            seed=seed,
+            percentiles=args.percentiles or DEFAULT_PERCENTILES,
+            transients=_transient_spec(args, seed),
+            suite=str(args.suite).lower(),
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     session = current_session()
     result = study.run(
         session=session, progress=_progress_printer("population")
@@ -868,10 +956,13 @@ def _schedule_trace(args: argparse.Namespace, seed: int):
     """The workload of a ``schedule`` invocation.
 
     ``sensor`` composes the phased monitoring+burst day-in-the-life
-    trace (four 20 %-monitor / 5 %-burst periods); any other name is a
-    registered benchmark, generated at the requested length.
+    trace (four 20 %-monitor / 5 %-burst periods); ``mix1..mix7``
+    build the multi-programmed mix at the requested length; a name in
+    the trace-store catalog schedules that ingested trace; any other
+    name is a registered benchmark, generated at the requested length.
     """
-    if args.workload.lower() == "sensor":
+    workload = args.workload.lower()
+    if workload == "sensor":
         from repro.workloads.phases import sensor_node_trace
 
         burst = max(args.trace_length // 20, 1)
@@ -881,6 +972,23 @@ def _schedule_trace(args: argparse.Namespace, seed: int):
             bursts=4,
             seed=seed,
         )
+    from repro.workloads.suites import MIX_SUITES
+
+    if workload in MIX_SUITES:
+        from repro.workloads.source import as_sources
+
+        return as_sources(
+            (MIX_SUITES[workload],), length=args.trace_length, seed=seed
+        )[0].materialize()
+    from repro.workloads.store import TraceStore
+
+    entry = TraceStore().lookup(args.workload)
+    if entry is not None:
+        from repro.workloads.source import IngestedSource
+
+        return IngestedSource(
+            name=entry.name, digest=entry.digest, length=entry.length
+        ).materialize()
     from repro.workloads.mediabench import generate_trace
 
     return generate_trace(
@@ -992,6 +1100,18 @@ def _dispatch_sweep(args: argparse.Namespace) -> int:
         return 2
 
     space = default_space()
+    if args.suite is not None:
+        from repro.workloads.suites import known_suite_names
+
+        suite = str(args.suite).lower()
+        if suite not in known_suite_names():
+            print(
+                f"error: unknown suite {args.suite!r}; known: "
+                f"{known_suite_names()}",
+                file=sys.stderr,
+            )
+            return 2
+        space = space.with_overrides({"suite": (suite,)})
     if args.axes:
         space = space.with_overrides(args.axes)
     if args.backend in ("vectorized", "numba"):
@@ -1070,6 +1190,21 @@ def _dispatch_sweep(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
                 return 2
+        saved_fingerprint = meta.get("engine_fingerprint")
+        if saved_fingerprint is not None:
+            from repro.engine.jobs import _code_fingerprint
+
+            if saved_fingerprint != _code_fingerprint():
+                # Soft warning, not an error: name-matched candidates
+                # still adopt their saved metrics, but anything the
+                # saved campaign does not cover gets fresh job keys —
+                # the old disk-cache generation no longer applies.
+                print(
+                    "warning: --resume campaign was produced by a "
+                    "different engine version; non-reused candidates' "
+                    "results will re-simulate (engine changed)",
+                    file=sys.stderr,
+                )
         reuse = {
             entry["name"]: entry["metrics"]
             for entry in payload.get("candidates", [])
@@ -1110,6 +1245,84 @@ def _dispatch_sweep(args: argparse.Namespace) -> int:
         print(f"[sweep] campaign saved -> {args.save_json}",
               file=sys.stderr)
     return 0
+
+
+def _dispatch_ingest(args: argparse.Namespace) -> int:
+    from repro.workloads.ingest import IngestError, ingest_file
+    from repro.workloads.store import TraceStore
+
+    store = TraceStore(args.store)
+    try:
+        entry = ingest_file(
+            args.trace_file,
+            store=store,
+            fmt=args.format,
+            name=args.name,
+            limit=args.limit,
+            skip=max(args.skip, 0),
+            force=args.force,
+        )
+    except OSError as error:
+        print(f"error: cannot read {args.trace_file}: {error}",
+              file=sys.stderr)
+        return 2
+    except (IngestError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"[ingest] {entry.name}: {entry.length} instructions "
+        f"({entry.format}, parser v{entry.parser_version}) -> "
+        f"{entry.digest[:12]}... in {store.root}"
+    )
+    return 0
+
+
+def _dispatch_traces(args: argparse.Namespace) -> int:
+    from repro.util.tables import Table
+    from repro.workloads.store import TraceStore
+
+    store = TraceStore(args.store)
+    catalog = store.catalog()
+    names = tuple(args.names) if args.names else tuple(sorted(catalog))
+    unknown = sorted(set(names) - set(catalog))
+    if args.action == "list":
+        if unknown:
+            print(f"error: not in the catalog: {unknown}",
+                  file=sys.stderr)
+            return 2
+        if not names:
+            print(f"[traces] catalog at {store.root} is empty "
+                  "(run 'repro ingest')")
+            return 0
+        table = Table(
+            ["name", "instructions", "format", "parser", "source",
+             "digest"],
+            title=f"Ingested traces — {store.root}",
+        )
+        for name in names:
+            entry = catalog[name]
+            table.add_row([
+                entry.name,
+                entry.length,
+                entry.format,
+                f"v{entry.parser_version}",
+                f"{entry.source_name} "
+                f"({entry.source_digest[:12]}...)",
+                f"{entry.digest[:12]}...",
+            ])
+        print(table.render())
+        return 0
+    # verify: re-hash stored bytes against their content addresses.
+    report = store.verify(names if names else None)
+    status = 0
+    for name, state, detail in report:
+        print(f"[traces] {name}: {state} ({detail})")
+        if state != "ok":
+            status = 1
+    if not report:
+        print(f"[traces] catalog at {store.root} is empty; "
+              "nothing to verify")
+    return status
 
 
 def _dispatch_serve(args: argparse.Namespace) -> int:
@@ -1344,6 +1557,12 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         print(rendered)
         return 0
+
+    if args.command == "ingest":
+        return _dispatch_ingest(args)
+
+    if args.command == "traces":
+        return _dispatch_traces(args)
 
     if args.command == "serve":
         return _dispatch_serve(args)

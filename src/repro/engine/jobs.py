@@ -73,8 +73,12 @@ class SimulationJob:
 
     Attributes:
         chip: the chip configuration to run.
-        trace: a :class:`TraceSpec` (regenerated in the worker) or an
-            inline :class:`Trace`.
+        trace: a :class:`TraceSpec` (regenerated in the worker), an
+            inline :class:`Trace`, a store reference, or any workload
+            :class:`~repro.workloads.source.TraceSource` (resolved to
+            one of the former via ``job_trace()`` — the session
+            normalizes sources before dispatch so nothing un-picklable
+            reaches a pool).
         mode: operating mode of the run.
         operating_point: optional override of the mode's paper default.
         backend: simulation backend; None defers to the session default.
@@ -100,7 +104,21 @@ class SimulationJob:
     transients: TransientSpec | None = None
 
 
-def _trace_token(trace: TraceSpec | Trace | StoredTraceRef) -> str:
+def resolve_source(trace):
+    """Collapse a workload :class:`~repro.workloads.source.TraceSource`
+    into its job payload; plain trace values pass through.
+
+    Duck-typed on ``job_trace`` so the engine never imports the source
+    layer: a :class:`~repro.workloads.source.SyntheticSource` resolves
+    to the classic :class:`TraceSpec` (byte-identical keys with the
+    pre-source-layer engine), ingested and mix sources resolve to their
+    inline :class:`Trace`.
+    """
+    job_trace = getattr(trace, "job_trace", None)
+    return job_trace() if callable(job_trace) else trace
+
+
+def _trace_token(trace) -> str:
     """Canonical text for the trace part of a job key.
 
     Inline traces are keyed by name *and* content digest
@@ -110,8 +128,11 @@ def _trace_token(trace: TraceSpec | Trace | StoredTraceRef) -> str:
     :class:`~repro.workloads.store.StoredTraceRef` produces the *same*
     token as the inline trace it points to: swapping a trace for its
     store reference (what the session does before worker dispatch)
-    never changes a job key.
+    never changes a job key.  Trace *sources* tokenize as whatever
+    they resolve to, so a source-built job deduplicates against its
+    plain-trace twin.
     """
+    trace = resolve_source(trace)
     if isinstance(trace, TraceSpec):
         return repr(trace)
     if isinstance(trace, StoredTraceRef):
@@ -225,8 +246,9 @@ def chip_for(config: ChipConfig) -> Chip:
     return chip
 
 
-def trace_for(trace: TraceSpec | Trace | StoredTraceRef) -> Trace:
+def trace_for(trace) -> Trace:
     """Resolve a job's trace, regenerating specs at most once."""
+    trace = resolve_source(trace)
     if isinstance(trace, Trace):
         return trace
     if isinstance(trace, StoredTraceRef):

@@ -23,7 +23,7 @@ import os
 import tempfile
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import (
     TYPE_CHECKING,
@@ -42,7 +42,7 @@ from repro.engine.batch import (
     partition_for_dispatch,
     strip_traces,
 )
-from repro.engine.jobs import SimulationJob, job_key
+from repro.engine.jobs import SimulationJob, job_key, resolve_source
 from repro.service.store import CompactionReport, ShardedResultStore
 from repro.workloads.store import TraceStore
 
@@ -333,7 +333,16 @@ class SimulationSession:
         dispatch — the contract the service's streaming endpoint (and
         the determinism tests) build on.
         """
-        jobs = list(jobs)
+        # Normalize workload sources up front: a TraceSource collapses
+        # to its job payload (TraceSpec for synthetic, inline Trace for
+        # ingested/mix), so the dedup/dispatch pipeline below — and the
+        # pool's pickling — only ever sees plain trace values.
+        jobs = [
+            job
+            if job.trace is (resolved := resolve_source(job.trace))
+            else replace(job, trace=resolved)
+            for job in jobs
+        ]
         keys = [job_key(job) for job in jobs]
         pending: dict[str, SimulationJob] = {}
         for key, job in zip(keys, jobs):

@@ -56,14 +56,20 @@ def run_space_sweep(
     seed: int = calibration.DEFAULT_SEED,
     axes: Mapping[str, Sequence] | None = None,
     dies: int = 0,
+    suite: str = "paper",
 ) -> ExperimentResult:
     """A budgeted sweep of the default exploration space.
 
     ``dies > 0`` evaluates each candidate across a sampled die
     population and ranks by p95-across-die (see
-    :data:`repro.explore.POPULATION_OBJECTIVES`).
+    :data:`repro.explore.POPULATION_OBJECTIVES`).  ``suite`` pins the
+    workload suite axis — any :func:`~repro.workloads.suites.
+    suite_by_name` name, including the ``mix1..mix7`` multi-programmed
+    mixes; an explicit ``axes`` override of ``"suite"`` wins.
     """
     space = default_space()
+    if suite != "paper":
+        space = space.with_overrides({"suite": (str(suite).lower(),)})
     if axes:
         space = space.with_overrides(axes)
     result = _campaign_result(

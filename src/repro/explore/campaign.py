@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.core import calibration
 from repro.cpu.chip import RunResult, suite_mode_metrics
-from repro.engine.jobs import SimulationJob, TraceSpec
+from repro.engine.jobs import SimulationJob
 from repro.engine.session import SimulationSession, current_session
 from repro.explore.candidates import (
     Candidate,
@@ -59,6 +59,7 @@ from repro.transients.metrics import transient_run_metrics
 from repro.transients.spec import TransientSpec
 from repro.util.rng import derive_seed
 from repro.util.tables import Table
+from repro.workloads.source import as_sources
 from repro.workloads.suites import suite_by_name
 
 #: The across-die percentile population-aware sweeps rank by.
@@ -283,11 +284,17 @@ class CampaignResult:
     # ------------------------------------------------------------- machine
     def to_dict(self) -> dict:
         """Machine-readable form (JSON-able; reloadable by the CLI)."""
+        from repro.engine.jobs import _code_fingerprint
+
         frontier_names = [
             outcome.candidate.name for outcome in self.frontier()
         ]
         return {
             "meta": {
+                # Which package sources produced these metrics: the
+                # CLI's --resume compares it against the live package
+                # and warns that mismatched rows will re-simulate.
+                "engine_fingerprint": _code_fingerprint(),
                 "trace_length": self.trace_length,
                 "seed": self.seed,
                 "sampler": self.sampler,
@@ -614,6 +621,21 @@ class ExplorationCampaign:
         """The effective injection spec (null specs act like None)."""
         return TransientSpec.effective(self.transients)
 
+    def _suite_sources(self, suite_name: str, mode: Mode):
+        """The trace sources of one suite under this campaign's
+        length/seed (memoized: mix sources materialize their
+        interleaved trace once per campaign, not once per candidate).
+        """
+        memo = self.__dict__.setdefault("_suite_source_memo", {})
+        key = (suite_name, mode)
+        if key not in memo:
+            memo[key] = as_sources(
+                suite_by_name(suite_name, mode),
+                length=self.trace_length,
+                seed=self.seed,
+            )
+        return memo[key]
+
     # ---------------------------------------------------------- expansion
     def expand(self) -> tuple[list[Candidate], list[tuple[str, str]], int]:
         """Sample the space and build unique, feasible candidates.
@@ -781,8 +803,8 @@ class ExplorationCampaign:
         the exhaustive-campaign job count it avoided paying.
         """
         suite_name = str(candidate.point_dict().get("suite", "paper"))
-        ule = len(suite_by_name(suite_name, Mode.ULE))
-        hp = len(suite_by_name(suite_name, Mode.HP))
+        ule = len(self._suite_sources(suite_name, Mode.ULE))
+        hp = len(self._suite_sources(suite_name, Mode.HP))
         return ule + hp + self.dies * ule
 
     def _effective_objectives(self) -> tuple[Objective, ...]:
@@ -821,13 +843,13 @@ class ExplorationCampaign:
         return [
             SimulationJob(
                 chip=candidate.chip,
-                trace=TraceSpec(spec.name, self.trace_length, self.seed),
+                trace=source.job_trace(),
                 mode=Mode.ULE,
                 operating_point=candidate.ule_point,
                 fault_map=fault_map,
                 transients=self._transient_spec(),
             )
-            for spec in suite_by_name(suite_name, Mode.ULE)
+            for source in self._suite_sources(suite_name, Mode.ULE)
         ]
 
     def _reduce_population(
@@ -874,13 +896,11 @@ class ExplorationCampaign:
             (Mode.ULE, candidate.ule_point),
             (Mode.HP, HP_OPERATING_POINT),
         ):
-            for spec in suite_by_name(suite_name, mode):
+            for source in self._suite_sources(suite_name, mode):
                 jobs.append(
                     SimulationJob(
                         chip=candidate.chip,
-                        trace=TraceSpec(
-                            spec.name, self.trace_length, self.seed
-                        ),
+                        trace=source.job_trace(),
                         mode=mode,
                         operating_point=point,
                         transients=self._transient_spec(),

@@ -243,6 +243,15 @@ def build_candidate(point: Mapping[str, object]) -> Candidate:
     # hardware) but must still distinguish the candidate's *name*:
     # reports and saved campaigns key rows by name.
     suite = str(values.pop("suite", "paper")).lower()
+    if suite != "paper":
+        from repro.workloads.suites import known_suite_names, suite_by_name
+
+        try:
+            suite_by_name(suite, Mode.ULE)
+        except ValueError:
+            raise CandidateError(
+                f"unknown suite {suite!r}; known: {known_suite_names()}"
+            ) from None
     if values:
         raise CandidateError(f"unknown axes: {sorted(values)}")
 

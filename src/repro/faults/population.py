@@ -30,7 +30,7 @@ from repro.core import calibration
 from repro.core.evaluation import cached_chips, cached_design
 from repro.core.scenarios import Scenario
 from repro.cpu.chip import ChipConfig, RunResult, suite_mode_metrics
-from repro.engine.jobs import SimulationJob, TraceSpec
+from repro.engine.jobs import SimulationJob
 from repro.engine.session import SimulationSession, current_session
 from repro.faults.maps import CACHE_LABELS, DieFaultMap
 from repro.faults.sampling import (
@@ -41,7 +41,8 @@ from repro.tech.operating import Mode, OperatingPoint, operating_point_for
 from repro.transients.metrics import transient_run_metrics
 from repro.transients.spec import TransientSpec
 from repro.util.tables import Table
-from repro.workloads.suites import suite_for_mode
+from repro.workloads.source import as_sources
+from repro.workloads.suites import suite_by_name
 
 #: Default population percentiles (the paper-style tail views).
 DEFAULT_PERCENTILES = (50.0, 90.0, 95.0, 99.0)
@@ -305,10 +306,15 @@ class PopulationStudy:
     analytic_yield: float | None = None
     transients: TransientSpec | None = None
     fit_check_intervals: int = 400
+    #: Workload suite per die: ``"paper"`` keeps the SmallBench/ULE +
+    #: BigBench/HP assignment; any :func:`~repro.workloads.suites.
+    #: suite_by_name` name (including ``mix1..mix7``) works.
+    suite: str = "paper"
 
     def __post_init__(self) -> None:
         if self.dies < 1:
             raise ValueError("dies must be at least 1")
+        suite_by_name(self.suite, Mode.ULE)  # validate early
         if not self.percentiles:
             raise ValueError("need at least one percentile")
         for q in self.percentiles:
@@ -462,13 +468,11 @@ class PopulationStudy:
         transients = self._transient_spec()
         jobs = []
         for mode in (Mode.ULE, Mode.HP):
-            for spec in suite_for_mode(mode):
+            for source in self._suite_sources(mode):
                 jobs.append(
                     SimulationJob(
                         chip=self.chip,
-                        trace=TraceSpec(
-                            spec.name, self.trace_length, self.seed
-                        ),
+                        trace=source.job_trace(),
                         mode=mode,
                         operating_point=points[mode],
                         fault_map=fault_map,
@@ -476,6 +480,18 @@ class PopulationStudy:
                     )
                 )
         return jobs
+
+    def _suite_sources(self, mode: Mode):
+        """This study's trace sources for one mode (memoized so mix
+        suites interleave once per study, not once per die)."""
+        memo = self.__dict__.setdefault("_suite_source_memo", {})
+        if mode not in memo:
+            memo[mode] = as_sources(
+                suite_by_name(self.suite, mode),
+                length=self.trace_length,
+                seed=self.seed,
+            )
+        return memo[mode]
 
     def _reduce(
         self, results: Sequence[RunResult]
@@ -496,6 +512,7 @@ def scenario_population_study(
     seed: int = calibration.DEFAULT_SEED,
     percentiles: tuple[float, ...] = DEFAULT_PERCENTILES,
     transients: TransientSpec | None = None,
+    suite: str = "paper",
 ) -> PopulationStudy:
     """A study of one paper chip with its analytic-yield anchor."""
     scenario = Scenario(scenario) if isinstance(scenario, str) else scenario
@@ -520,4 +537,5 @@ def scenario_population_study(
         percentiles=percentiles,
         analytic_yield=analytic,
         transients=transients,
+        suite=suite,
     )

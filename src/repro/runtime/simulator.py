@@ -482,6 +482,11 @@ class ScheduleSimulator:
     ) -> ScheduleResult:
         """Schedule and simulate ``trace``, producing the full ledger.
 
+        ``trace`` may also be any workload
+        :class:`~repro.workloads.source.TraceSource` (an ingested
+        trace, a multi-programmed mix); it is materialized before
+        segmentation, so epochs carry ordinary inline traces.
+
         Feature-driven policies decide first and only the chosen
         (epoch, mode) jobs are simulated; result-driven policies get
         every candidate mode simulated up front.  Either way the jobs
@@ -493,6 +498,14 @@ class ScheduleSimulator:
         candidate x policy otherwise) pass a pre-built segmentation;
         it must cover ``trace`` in order, as the segmenters produce.
         """
+        if not isinstance(trace, Trace):
+            materialize = getattr(trace, "materialize", None)
+            if not callable(materialize):
+                raise TypeError(
+                    f"cannot schedule a {type(trace).__name__}; pass a "
+                    "Trace or a TraceSource"
+                )
+            trace = materialize()
         session = self._session or current_session()
         if epochs is None:
             epochs = segment(

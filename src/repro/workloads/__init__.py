@@ -27,10 +27,30 @@ from repro.workloads.phases import (
     sensor_node_phases,
     sensor_node_trace,
 )
+from repro.workloads.ingest import (
+    IngestError,
+    ingest_file,
+    parse_trace_lines,
+    sniff_format,
+    trace_from_file,
+)
+from repro.workloads.source import (
+    IngestedSource,
+    MixSource,
+    SyntheticSource,
+    TraceSource,
+    as_sources,
+    component_source,
+)
+from repro.workloads.store import CatalogEntry, StoredTraceRef, TraceStore
 from repro.workloads.suites import (
     ALL_BENCHMARKS,
     BIGBENCH,
+    MIX_SUITES,
     SMALLBENCH,
+    MixSpec,
+    known_suite_names,
+    suite_by_name,
     suite_for_mode,
 )
 
@@ -46,5 +66,23 @@ __all__ = [
     "SMALLBENCH",
     "BIGBENCH",
     "ALL_BENCHMARKS",
+    "MIX_SUITES",
+    "MixSpec",
+    "known_suite_names",
+    "suite_by_name",
     "suite_for_mode",
+    "TraceSource",
+    "SyntheticSource",
+    "IngestedSource",
+    "MixSource",
+    "as_sources",
+    "component_source",
+    "TraceStore",
+    "StoredTraceRef",
+    "CatalogEntry",
+    "IngestError",
+    "ingest_file",
+    "trace_from_file",
+    "parse_trace_lines",
+    "sniff_format",
 ]

@@ -1,10 +1,19 @@
-"""Benchmark suites: the paper's SmallBench / BigBench split.
+"""Benchmark suites: the paper's SmallBench / BigBench split, plus mixes.
 
 "SmallBench benchmarks are used during ULE operation whereas BigBench ones
 are used during HP operation" (Section IV-A.1).
+
+On top of the paper's suites, ``mix1..mix7`` name SPEC-style
+multi-programmed rate mixes, MPKI-ordered from compute-bound (mix1
+includes imagick) to memory-bound (mix7 is all high-MPKI streams).  A
+mix suite resolves to a single :class:`MixSpec`; the source layer
+(:mod:`repro.workloads.source`) turns it into one interleaved trace,
+preferring ingested real-workload components over synthetic proxies.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 from repro.tech.operating import Mode
 from repro.workloads.mediabench import BENCHMARKS, BenchmarkSpec
@@ -31,28 +40,82 @@ SUITES: dict[str, tuple[BenchmarkSpec, ...]] = {
 }
 
 
+@dataclass(frozen=True)
+class MixSpec:
+    """A declarative multi-programmed mix: names + interleave ratios.
+
+    Attributes:
+        name: the mix id (``"mix1"``..``"mix7"``).
+        components: mix component workload names, resolved by the
+            source layer (ingested trace if cataloged, synthetic proxy
+            otherwise; see
+            :func:`repro.workloads.source.component_source`).
+        ratios: per-component interleave weights (None = equal-rate).
+    """
+
+    name: str
+    components: tuple[str, ...]
+    ratios: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError(f"{self.name}: mix has no components")
+        if self.ratios is not None and len(self.ratios) != len(
+            self.components
+        ):
+            raise ValueError(f"{self.name}: ratio/component count mismatch")
+
+
+#: SPEC-style rate mixes, MPKI-ordered (lowest aggregate memory
+#: intensity first).  Composition follows the mix table used by the
+#: trace-driven cache-DSE literature (see SNIPPETS.md).
+MIX_SUITES: dict[str, MixSpec] = {
+    spec.name: spec
+    for spec in (
+        MixSpec("mix1", ("imagick", "sssp", "stream_add", "mcf")),
+        MixSpec("mix2", ("leela", "deepsjeng", "omnetpp", "stream_copy")),
+        MixSpec("mix3", ("sssp", "bfs", "stream_scale", "lbm")),
+        MixSpec("mix4", ("bfs", "stream_add", "mcf", "lbm")),
+        MixSpec("mix5", ("bfs", "mcf", "stream_triad", "lbm")),
+        MixSpec(
+            "mix6", ("sssp", "stream_scale", "stream_triad", "stream_copy")
+        ),
+        MixSpec("mix7", ("mcf", "stream_triad", "lbm", "stream_copy")),
+    )
+}
+
+
+def known_suite_names() -> list[str]:
+    """Every name :func:`suite_by_name` accepts, sorted."""
+    return sorted([*SUITES, "paper", *MIX_SUITES])
+
+
 def suite_for_mode(mode: Mode) -> tuple[BenchmarkSpec, ...]:
     """The paper's suite assignment for an operating mode."""
     return SMALLBENCH if mode is Mode.ULE else BIGBENCH
 
 
 def suite_by_name(name: str, mode: Mode | None = None) -> tuple[
-    BenchmarkSpec, ...
+    BenchmarkSpec | MixSpec, ...
 ]:
-    """Resolve a suite name ("smallbench", "bigbench", "all", "paper").
+    """Resolve a suite name ("smallbench", "bigbench", "all", "paper",
+    or a ``mix1..mix7`` multi-programmed mix).
 
     ``"paper"`` follows the paper's mode assignment and therefore needs
-    ``mode``; the fixed suites ignore it.
+    ``mode``; the fixed suites ignore it.  Mix names resolve to a
+    one-element tuple holding the :class:`MixSpec` — the source layer
+    expands it into an interleaved multi-programmed trace.
     """
     lowered = name.lower()
     if lowered == "paper":
         if mode is None:
             raise ValueError("suite 'paper' needs an operating mode")
         return suite_for_mode(mode)
+    if lowered in MIX_SUITES:
+        return (MIX_SUITES[lowered],)
     try:
         return SUITES[lowered]
     except KeyError:
         raise ValueError(
-            f"unknown suite {name!r}; known: "
-            f"{sorted(SUITES) + ['paper']}"
+            f"unknown suite {name!r}; known: {known_suite_names()}"
         ) from None

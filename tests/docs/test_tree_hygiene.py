@@ -1,0 +1,54 @@
+"""Tree-hygiene gate: build debris must never be committed again.
+
+PR 10 removed a stray ``src/repro/__pycache__`` from the tree; the
+lint (``tools/check_tree.py``) runs here and in CI so it cannot come
+back.  The gate scans the *git index*, not the working tree — pytest
+regenerating ``__pycache__`` on disk is normal and must not fail it.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+TOOLS = REPO / "tools"
+
+sys.path.insert(0, str(TOOLS))
+
+
+class TestTreeHygiene:
+    def test_no_tracked_debris(self):
+        import check_tree
+
+        bad = check_tree.violations(check_tree.tracked_files())
+        assert bad == [], (
+            "committed build debris:\n  "
+            + "\n  ".join(f"{path} ({pattern})" for path, pattern in bad)
+        )
+
+    def test_gitignore_covers_pycache(self):
+        ignored = (REPO / ".gitignore").read_text(encoding="utf-8")
+        assert "__pycache__/" in ignored
+        assert "*.pyc" in ignored
+
+    def test_lint_flags_debris(self):
+        import check_tree
+
+        bad = check_tree.violations(
+            ["src/ok.py", "src/pkg/__pycache__/mod.cpython-312.pyc",
+             "left.orig"]
+        )
+        assert [path for path, _ in bad] == [
+            "src/pkg/__pycache__/mod.cpython-312.pyc",
+            "left.orig",
+        ]
+
+    def test_git_check_ignore_catches_fresh_pycache(self, tmp_path):
+        # A freshly generated cache dir must be ignored by git, so it
+        # can never even be staged accidentally.
+        probe = "src/repro/__pycache__/x.cpython-312.pyc"
+        result = subprocess.run(
+            ["git", "check-ignore", "-q", probe],
+            cwd=REPO,
+        )
+        assert result.returncode == 0, f"{probe} is not git-ignored"

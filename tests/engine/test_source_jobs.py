@@ -1,0 +1,124 @@
+"""Engine seam for trace sources: normalization, dedup and dispatch.
+
+:func:`~repro.engine.jobs.resolve_source` is the one crossing point
+between the workload layer and the engine — it duck-types
+``job_trace`` so the engine never imports the source module.  Pinned
+here: a source-carrying job gets the *same* key as the plain job it
+abstracts, and source jobs survive serial and parallel sessions with
+bit-identical results.
+"""
+
+import pytest
+
+from repro.engine.jobs import (
+    SimulationJob,
+    TraceSpec,
+    execute_job,
+    job_key,
+    resolve_source,
+)
+from repro.engine.session import SimulationSession
+from repro.tech.operating import Mode
+from repro.workloads.mediabench import benchmark_by_name
+from repro.workloads.source import SyntheticSource
+from repro.workloads.suites import MIX_SUITES, suite_by_name
+
+
+def _source():
+    return SyntheticSource(benchmark_by_name("adpcm_c"), 2000, 2013)
+
+
+def _mix():
+    from repro.workloads.source import as_sources
+
+    (source,) = as_sources((MIX_SUITES["mix1"],), length=1500, seed=3)
+    return source
+
+
+class TestResolveSource:
+    def test_plain_specs_pass_through_untouched(self):
+        spec = TraceSpec("adpcm_c", 2000, 2013)
+        assert resolve_source(spec) is spec
+
+    def test_synthetic_source_resolves_to_the_classic_spec(self):
+        assert resolve_source(_source()) == TraceSpec(
+            "adpcm_c", 2000, 2013
+        )
+
+    def test_mix_source_resolves_to_its_trace(self):
+        mix = _mix()
+        assert resolve_source(mix) is mix.materialize()
+
+
+class TestSourceJobKeys:
+    def test_source_job_key_equals_plain_spec_job_key(self, chips_a):
+        """The dedup contract: a source job and the plain job it
+        abstracts must land in one cache slot."""
+        plain = SimulationJob(
+            chip=chips_a.proposed.config,
+            trace=TraceSpec("adpcm_c", 2000, 2013),
+            mode=Mode.ULE,
+        )
+        sourced = SimulationJob(
+            chip=chips_a.proposed.config,
+            trace=_source(),
+            mode=Mode.ULE,
+        )
+        assert job_key(sourced) == job_key(plain)
+
+    def test_mix_job_key_is_stable_across_rebuilds(self, chips_a):
+        keys = {
+            job_key(
+                SimulationJob(
+                    chip=chips_a.proposed.config,
+                    trace=_mix(),
+                    mode=Mode.ULE,
+                )
+            )
+            for _ in range(2)
+        }
+        assert len(keys) == 1
+
+
+class TestSourceSessionEquivalence:
+    def _jobs(self, chips):
+        return [
+            SimulationJob(
+                chip=chips.proposed.config, trace=trace, mode=mode
+            )
+            for trace in (_source(), _mix())
+            for mode in (Mode.ULE, Mode.HP)
+        ]
+
+    def test_serial_matches_direct_execution(self, chips_a):
+        jobs = self._jobs(chips_a)
+        expected = [execute_job(job) for job in jobs]
+        with SimulationSession() as session:
+            got = session.run_jobs(jobs)
+        for left, right in zip(expected, got):
+            assert list(left.energy.items()) == list(right.energy.items())
+            assert left.timing == right.timing
+
+    def test_parallel_matches_serial(self, chips_a, tmp_path):
+        jobs = self._jobs(chips_a)
+        with SimulationSession() as session:
+            serial = session.run_jobs(jobs)
+        with SimulationSession(
+            jobs=2, trace_store=tmp_path / "store"
+        ) as session:
+            parallel = session.run_jobs(jobs)
+        for left, right in zip(serial, parallel):
+            assert list(left.energy.items()) == list(right.energy.items())
+            assert left.il1_stats == right.il1_stats
+            assert left.dl1_stats == right.dl1_stats
+
+
+class TestMixSuiteLookup:
+    def test_mix_suite_resolves_to_one_mix_spec(self):
+        suite = suite_by_name("mix1", Mode.ULE)
+        assert len(suite) == 1
+        assert suite[0] is MIX_SUITES["mix1"]
+
+    def test_unknown_suite_lists_mixes(self):
+        with pytest.raises(ValueError, match="mix1"):
+            suite_by_name("bogus", Mode.ULE)

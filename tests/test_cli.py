@@ -709,3 +709,225 @@ class TestCellTechnologies:
         payload = json.loads(saved.read_text())
         assert payload["experiment_id"] == "tab-sizing"
         assert "data" in payload and "comparisons" in payload
+
+
+K6_TEXT = (
+    "# demo k6 trace\n"
+    "0x00001000 P_MEM_RD 12\n"
+    "0x00002040 P_MEM_WR 30\n"
+    "0x00001000 P_MEM_RD 55\n"
+)
+
+MEMTRACE_TEXT = (
+    "0x400100: R 0x1000 8\n"
+    "0x400104: W 0x2000 8\n"
+    "0x400000: R 0x1008\n"
+)
+
+
+@pytest.fixture
+def trace_store_env(tmp_path, monkeypatch):
+    """Point the default trace store at a throwaway root."""
+    root = tmp_path / "trace-store"
+    monkeypatch.setenv("REPRO_TRACE_STORE", str(root))
+    return root
+
+
+class TestIngest:
+    def test_ingest_reports_catalog_entry(
+        self, tmp_path, trace_store_env, capsys
+    ):
+        path = tmp_path / "demo.k6"
+        path.write_text(K6_TEXT, encoding="utf-8")
+        assert main(["ingest", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "[ingest] demo: 3 instructions (k6, parser v1)" in out
+
+    def test_ingest_memtrace_sniffed(
+        self, tmp_path, trace_store_env, capsys
+    ):
+        path = tmp_path / "pin.out"
+        path.write_text(MEMTRACE_TEXT, encoding="utf-8")
+        assert main(["ingest", str(path), "--name", "mcf"]) == 0
+        assert "(memtrace," in capsys.readouterr().out
+
+    def test_ingest_missing_file_errors(self, trace_store_env, capsys):
+        assert main(["ingest", "/no/such/file.k6"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_ingest_malformed_line_reports_location(
+        self, tmp_path, trace_store_env, capsys
+    ):
+        path = tmp_path / "bad.k6"
+        path.write_text("0x1000 P_MEM_RD 1\n0x2000 NOP 2\n",
+                        encoding="utf-8")
+        assert main(["ingest", str(path), "--format", "k6"]) == 2
+        err = capsys.readouterr().err
+        assert "bad.k6:2" in err
+
+    def test_ingest_name_collision_needs_force(
+        self, tmp_path, trace_store_env, capsys
+    ):
+        first = tmp_path / "demo.k6"
+        first.write_text(K6_TEXT, encoding="utf-8")
+        other = tmp_path / "other.k6"
+        other.write_text("0x9000 P_MEM_WR 1\n", encoding="utf-8")
+        assert main(["ingest", str(first)]) == 0
+        assert main(["ingest", str(other), "--name", "demo"]) == 2
+        assert "already maps" in capsys.readouterr().err
+        assert main(
+            ["ingest", str(other), "--name", "demo", "--force"]
+        ) == 0
+
+
+class TestTraces:
+    def test_empty_catalog_message(self, trace_store_env, capsys):
+        assert main(["traces", "list"]) == 0
+        assert "is empty" in capsys.readouterr().out
+
+    def test_list_renders_provenance(
+        self, tmp_path, trace_store_env, capsys
+    ):
+        path = tmp_path / "demo.k6"
+        path.write_text(K6_TEXT, encoding="utf-8")
+        assert main(["ingest", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["traces", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "Ingested traces" in out
+        assert "demo" in out and "demo.k6" in out
+
+    def test_list_unknown_name_errors(
+        self, tmp_path, trace_store_env, capsys
+    ):
+        assert main(["traces", "list", "ghost"]) == 2
+        assert "ghost" in capsys.readouterr().err
+
+    def test_verify_reports_ok(self, tmp_path, trace_store_env, capsys):
+        path = tmp_path / "demo.k6"
+        path.write_text(K6_TEXT, encoding="utf-8")
+        assert main(["ingest", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["traces", "verify"]) == 0
+        assert "[traces] demo: ok (3 instrs)" in capsys.readouterr().out
+
+    def test_verify_flags_missing_entry(
+        self, tmp_path, trace_store_env, capsys
+    ):
+        import shutil
+
+        path = tmp_path / "demo.k6"
+        path.write_text(K6_TEXT, encoding="utf-8")
+        assert main(["ingest", str(path)]) == 0
+        capsys.readouterr()
+        # Drop the content-addressed entry, keep the catalog row.
+        for child in trace_store_env.iterdir():
+            if child.is_dir():
+                shutil.rmtree(child)
+        assert main(["traces", "verify"]) == 1
+        assert "missing" in capsys.readouterr().out
+
+
+class TestSweepSuite:
+    AXES = (
+        "size_kb=8;line_bytes=32;ways=8;ule_ways=1;ule_cell=8T;"
+        "ule_scheme=parity,secded;hp_scheme=none;vdd_ule=0.35;"
+        "replacement=lru"
+    )
+    BASE = ["sweep", "--suite", "mix1", "--axes", AXES,
+            "--trace-length", "1500", "--seed", "3"]
+
+    def test_mix_suite_sweep_runs(self, trace_store_env, capsys):
+        assert main(self.BASE) == 0
+        assert "Exploration ranking" in capsys.readouterr().out
+
+    def test_mix_suite_serial_matches_parallel(
+        self, tmp_path, trace_store_env, capsys
+    ):
+        serial = tmp_path / "serial.txt"
+        parallel = tmp_path / "parallel.txt"
+        assert main(self.BASE + ["--out", str(serial)]) == 0
+        assert main(
+            self.BASE + ["--jobs", "2", "--out", str(parallel)]
+        ) == 0
+        capsys.readouterr()
+        assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_unknown_suite_rejected(self, capsys):
+        assert main(
+            ["sweep", "--suite", "mix99", "--axes", self.AXES]
+        ) == 2
+        assert "unknown suite" in capsys.readouterr().err
+
+    def test_explicit_axes_override_wins(self, trace_store_env, capsys):
+        axes = self.AXES + ";suite=smallbench"
+        assert main(
+            ["sweep", "--suite", "mix1", "--axes", axes,
+             "--trace-length", "1500", "--seed", "3"]
+        ) == 0
+        assert "smallbench" in capsys.readouterr().out
+
+    def test_resume_engine_drift_warns(
+        self, tmp_path, trace_store_env, capsys
+    ):
+        import json
+
+        saved = tmp_path / "campaign.json"
+        base = ["sweep", "--axes", self.AXES, "--trace-length", "1500",
+                "--seed", "3"]
+        assert main(base + ["--save-json", str(saved)]) == 0
+        payload = json.loads(saved.read_text())
+        payload["meta"]["engine_fingerprint"] = "not-this-engine"
+        saved.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(base + ["--resume", str(saved)]) == 0
+        err = capsys.readouterr().err
+        assert "re-simulate (engine changed)" in err
+
+    def test_resume_same_engine_is_quiet(
+        self, tmp_path, trace_store_env, capsys
+    ):
+        saved = tmp_path / "campaign.json"
+        base = ["sweep", "--axes", self.AXES, "--trace-length", "1500",
+                "--seed", "3"]
+        assert main(base + ["--save-json", str(saved)]) == 0
+        capsys.readouterr()
+        assert main(base + ["--resume", str(saved)]) == 0
+        assert "engine changed" not in capsys.readouterr().err
+
+
+class TestPopulationSuite:
+    def test_population_mix_suite(self, trace_store_env, capsys):
+        assert main(
+            ["population", "--dies", "4", "--trace-length", "1500",
+             "--suite", "mix2"]
+        ) == 0
+        assert "Die population" in capsys.readouterr().out
+
+    def test_population_unknown_suite_rejected(self, capsys):
+        assert main(
+            ["population", "--dies", "4", "--suite", "nope"]
+        ) == 2
+        assert "nope" in capsys.readouterr().err
+
+
+class TestScheduleWorkloads:
+    def test_schedule_mix_workload(self, trace_store_env, capsys):
+        assert main(
+            ["schedule", "--workload", "mix3", "--trace-length", "2000",
+             "--epoch", "500"]
+        ) == 0
+        assert "mix3" in capsys.readouterr().out
+
+    def test_schedule_ingested_workload(
+        self, tmp_path, trace_store_env, capsys
+    ):
+        path = tmp_path / "demo.k6"
+        path.write_text(K6_TEXT * 40, encoding="utf-8")
+        assert main(["ingest", str(path)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["schedule", "--workload", "demo", "--trace-length", "2000",
+             "--epoch", "60"]
+        ) == 0
+        assert "demo" in capsys.readouterr().out

@@ -1,0 +1,307 @@
+"""Ingestion parser edge cases and ingest→store→load round trips.
+
+The parsers are the trust boundary between the repo and arbitrary
+text files off disk, so the malformed-input behaviour is pinned as
+hard as the happy path: every rejection must carry ``file:line`` so
+a bad line in a million-line trace is one click away.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cpu.trace import InstrKind
+from repro.workloads.ingest import (
+    IngestError,
+    PARSER_VERSION,
+    file_digest,
+    ingest_file,
+    parse_k6,
+    parse_memtrace,
+    parse_trace_lines,
+    sniff_format,
+    trace_from_file,
+)
+from repro.workloads.store import TraceStore
+
+K6_LINES = [
+    "0x00001000 P_MEM_RD 12",
+    "0x00002040 P_MEM_WR 30",
+    "4096 READ 55",
+    "0x00001000 P_MEM_RD 80",
+]
+
+MEMTRACE_LINES = [
+    "0x400100: R 0x1000 8",
+    "0x400104: W 0x2000 8",
+    "0x400150: R 0x1008",
+    "0x400000: W 0x3000 4",
+]
+
+
+class TestParseK6:
+    def test_happy_path_kinds_and_addresses(self):
+        arrays = parse_k6(K6_LINES)
+        assert list(arrays["kind"]) == [
+            InstrKind.LOAD, InstrKind.STORE, InstrKind.LOAD, InstrKind.LOAD
+        ]
+        assert list(arrays["addr"]) == [0x1000, 0x2040, 4096, 0x1000]
+        # No pipeline info in this format: flags stay all-false.
+        assert not arrays["dep_next"].any()
+        assert not arrays["redirect"].any()
+
+    def test_synthetic_pcs_are_a_sequential_loop(self):
+        arrays = parse_k6(K6_LINES)
+        pcs = arrays["pc"].astype(np.int64)
+        assert list(np.diff(pcs)) == [4, 4, 4]
+
+    def test_truncated_line_reports_file_and_line(self):
+        lines = ["0x1000 P_MEM_RD 12", "0x2000 P_MEM_WR"]
+        with pytest.raises(IngestError, match=r"trace\.k6:2: expected"):
+            parse_k6(lines, origin="trace.k6")
+
+    def test_garbage_command_rejected(self):
+        with pytest.raises(IngestError, match=r":1: unknown command 'JMP'"):
+            parse_k6(["0x1000 JMP 12"])
+
+    def test_garbage_address_rejected(self):
+        with pytest.raises(IngestError, match=r":1: bad address"):
+            parse_k6(["zz&& P_MEM_RD 12"])
+
+    def test_garbage_cycle_rejected(self):
+        with pytest.raises(IngestError, match=r":1: bad cycle count"):
+            parse_k6(["0x1000 P_MEM_RD soon"])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(IngestError, match="no records"):
+            parse_k6([])
+
+    def test_comments_and_blanks_skipped(self):
+        lines = ["# header", "", *K6_LINES, "   "]
+        assert len(parse_k6(lines)["addr"]) == len(K6_LINES)
+
+    def test_crlf_endings_normalized(self):
+        lines = [line + "\r\n" for line in K6_LINES]
+        baseline = parse_k6(K6_LINES)
+        crlf = parse_k6(lines)
+        assert (crlf["addr"] == baseline["addr"]).all()
+
+    def test_limit_and_skip_window_records(self):
+        arrays = parse_k6(K6_LINES, limit=2, skip=1)
+        assert list(arrays["addr"]) == [0x2040, 4096]
+
+    def test_fully_skipped_is_empty(self):
+        with pytest.raises(IngestError, match="fully skipped"):
+            parse_k6(K6_LINES, skip=len(K6_LINES))
+
+
+class TestParseMemtrace:
+    def test_kinds_follow_records(self):
+        arrays = parse_memtrace(MEMTRACE_LINES)
+        kinds = list(arrays["kind"])
+        # Record kinds survive; filler/branches are synthesized around
+        # them (see the structure tests below).
+        assert kinds.count(InstrKind.LOAD) == 2
+        assert kinds.count(InstrKind.STORE) == 2
+
+    def test_small_forward_gap_becomes_alu_filler(self):
+        arrays = parse_memtrace(["0x400100: R 0x1000", "0x400110: W 0x2000"])
+        # 0x400104..0x40010c fill as ALU between the two records.
+        assert list(arrays["pc"]) == [
+            0x400100, 0x400104, 0x400108, 0x40010C, 0x400110
+        ]
+        assert list(arrays["kind"][1:4]) == [InstrKind.ALU] * 3
+
+    def test_backward_jump_becomes_redirecting_branch(self):
+        arrays = parse_memtrace(["0x400100: R 0x1000", "0x400000: W 0x2000"])
+        assert list(arrays["kind"]) == [
+            InstrKind.LOAD, InstrKind.BRANCH, InstrKind.STORE
+        ]
+        assert list(arrays["redirect"]) == [False, True, False]
+
+    def test_far_forward_jump_becomes_redirecting_branch(self):
+        arrays = parse_memtrace(["0x400100: R 0x1000", "0x400400: W 0x2000"])
+        assert InstrKind.BRANCH in arrays["kind"]
+        assert arrays["redirect"].sum() == 1
+
+    def test_adjacent_consumer_sets_dep_next(self):
+        arrays = parse_memtrace(["0x400100: R 0x1000", "0x400104: W 0x1000"])
+        assert bool(arrays["dep_next"][0]) is True
+
+    def test_distant_consumer_leaves_dep_next_clear(self):
+        arrays = parse_memtrace(["0x400100: R 0x1000", "0x400140: W 0x1000"])
+        assert bool(arrays["dep_next"][0]) is False
+
+    def test_missing_colon_reports_file_and_line(self):
+        with pytest.raises(IngestError, match=r"pin\.out:1: expected"):
+            parse_memtrace(["0x400100 R 0x1000"], origin="pin.out")
+
+    def test_garbage_operation_rejected(self):
+        with pytest.raises(IngestError, match=r":1: unknown operation 'X'"):
+            parse_memtrace(["0x400100: X 0x1000"])
+
+    def test_truncated_tail_rejected(self):
+        with pytest.raises(IngestError, match=r":1: expected '<R\|W>"):
+            parse_memtrace(["0x400100: R"])
+
+    def test_garbage_size_rejected(self):
+        with pytest.raises(IngestError, match=r":1: bad access size"):
+            parse_memtrace(["0x400100: R 0x1000 big"])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(IngestError, match="no records"):
+            parse_memtrace(["# only a comment"])
+
+    def test_crlf_endings_normalized(self):
+        lines = [line + "\r\n" for line in MEMTRACE_LINES]
+        baseline = parse_memtrace(MEMTRACE_LINES)
+        crlf = parse_memtrace(lines)
+        assert (crlf["pc"] == baseline["pc"]).all()
+        assert (crlf["kind"] == baseline["kind"]).all()
+
+    def test_limit_windows_records_not_instructions(self):
+        arrays = parse_memtrace(MEMTRACE_LINES, limit=2)
+        # Two records plus any synthesized filler between them.
+        assert int((arrays["kind"] != InstrKind.ALU).sum()) == 2
+
+
+class TestDispatchAndSniff:
+    def test_unknown_format_rejected(self):
+        with pytest.raises(IngestError, match="unknown trace format"):
+            parse_trace_lines("vcd", K6_LINES)
+
+    def test_sniffs_k6(self, tmp_path):
+        path = tmp_path / "t.k6"
+        path.write_text("\n".join(K6_LINES) + "\n", encoding="utf-8")
+        assert sniff_format(path) == "k6"
+
+    def test_sniffs_memtrace(self, tmp_path):
+        path = tmp_path / "pin.out"
+        path.write_text("\n".join(MEMTRACE_LINES) + "\n", encoding="utf-8")
+        assert sniff_format(path) == "memtrace"
+
+    def test_sniff_skips_comment_header(self, tmp_path):
+        path = tmp_path / "t.trc"
+        path.write_text(
+            "# produced by dramsim\n\n" + K6_LINES[0] + "\n",
+            encoding="utf-8",
+        )
+        assert sniff_format(path) == "k6"
+
+    def test_sniff_rejects_ambiguous(self, tmp_path):
+        path = tmp_path / "t.bin"
+        path.write_text("what is this\n", encoding="utf-8")
+        with pytest.raises(IngestError, match="cannot infer"):
+            sniff_format(path)
+
+    def test_sniff_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.k6"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(IngestError, match="empty file"):
+            sniff_format(path)
+
+
+class TestIngestRoundTrip:
+    @pytest.fixture
+    def k6_file(self, tmp_path):
+        path = tmp_path / "demo.k6"
+        path.write_text("\n".join(K6_LINES) + "\n", encoding="utf-8")
+        return path
+
+    def test_trace_from_file_defaults_name_to_stem(self, k6_file):
+        trace, fmt = trace_from_file(k6_file)
+        assert (trace.name, fmt) == ("demo", "k6")
+
+    def test_ingest_store_load_digest_round_trip(self, k6_file, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        entry = ingest_file(k6_file, store=store)
+        loaded = store.get(entry.ref())
+        # Force a re-hash: the loaded bytes must re-address themselves.
+        loaded.__dict__.pop("_content_digest", None)
+        assert loaded.content_digest() == entry.digest
+        direct, _ = trace_from_file(k6_file)
+        assert direct.content_digest() == entry.digest
+
+    def test_entry_records_full_provenance(self, k6_file, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        entry = ingest_file(k6_file, store=store, name="mcf")
+        assert entry.name == "mcf"
+        assert entry.source_name == "demo.k6"
+        assert entry.source_digest == file_digest(k6_file)
+        assert entry.format == "k6"
+        assert entry.parser_version == PARSER_VERSION
+
+    def test_reingest_identical_bytes_is_idempotent(self, k6_file, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        first = ingest_file(k6_file, store=store)
+        again = ingest_file(k6_file, store=store)
+        assert again == first
+        assert store.verify() == [("demo", "ok", "4 instrs")]
+
+    def test_name_collision_needs_force(self, k6_file, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        ingest_file(k6_file, store=store)
+        other = k6_file.with_name("other.k6")
+        other.write_text("0x9000 P_MEM_WR 1\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="already maps"):
+            ingest_file(other, store=store, name="demo")
+        entry = ingest_file(other, store=store, name="demo", force=True)
+        assert store.lookup("demo").digest == entry.digest
+
+    def test_memtrace_round_trip(self, tmp_path):
+        path = tmp_path / "pin.out"
+        path.write_text(
+            "\n".join(MEMTRACE_LINES) + "\n#eof\n", encoding="utf-8"
+        )
+        store = TraceStore(tmp_path / "store")
+        entry = ingest_file(path, store=store)
+        assert entry.format == "memtrace"
+        loaded = store.get(entry.ref())
+        direct, _ = trace_from_file(path)
+        assert (loaded.pc == direct.pc).all()
+        assert (loaded.kind == direct.kind).all()
+
+
+FIXTURES = __import__("pathlib").Path(__file__).parent / "fixtures"
+
+#: Parser-output digests of the golden fixtures, pinned at ingest-layer
+#: birth.  A change means PARSER_VERSION must bump — the same bytes now
+#: parse differently, so every cataloged trace is stale.
+GOLDEN_DIGESTS = {
+    "mcf.k6": (
+        "6f824274820036ca67b5b4d640d5743eee322b6e9e33753dad5f9785f2f8d9b9"
+    ),
+    "stream_add.out": (
+        "eb498898cd861aa72c954060a7f70ab08de531669947405e3b368b12653f2ad9"
+    ),
+}
+
+
+class TestGoldenFixtures:
+    @pytest.mark.parametrize("fixture", sorted(GOLDEN_DIGESTS))
+    def test_fixture_digest_is_byte_pinned(self, fixture):
+        trace, _ = trace_from_file(FIXTURES / fixture)
+        assert trace.content_digest() == GOLDEN_DIGESTS[fixture]
+
+    def test_fixtures_cover_both_formats(self):
+        assert trace_from_file(FIXTURES / "mcf.k6")[1] == "k6"
+        assert (
+            trace_from_file(FIXTURES / "stream_add.out")[1] == "memtrace"
+        )
+
+    def test_fixtures_upgrade_mix1_components(self, tmp_path):
+        """The trace-donation path end to end: ingesting fixtures named
+        after mix1 components swaps those components to ingested."""
+        from repro.workloads.source import IngestedSource, as_sources
+        from repro.workloads.suites import MIX_SUITES
+
+        store = TraceStore(tmp_path / "store")
+        for fixture in GOLDEN_DIGESTS:
+            ingest_file(FIXTURES / fixture, store=store)
+        (mix,) = as_sources(
+            (MIX_SUITES["mix1"],), length=400, seed=7, store=store
+        )
+        upgraded = {
+            c.name for c in mix.components
+            if isinstance(c, IngestedSource)
+        }
+        assert upgraded == {"mcf", "stream_add"}

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Tree-hygiene gate: no build debris may be committed.
+
+Scans the *git index* (``git ls-files``), not the working tree —
+pytest and normal imports regenerate ``__pycache__`` on disk all the
+time and that is fine; what must never happen again is those
+directories (or any other generated artifact) getting committed.
+Exits non-zero listing every offending tracked path.
+
+Usage::
+
+    python tools/check_tree.py
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import subprocess
+import sys
+
+#: Glob patterns no tracked path may match.
+FORBIDDEN = (
+    "*__pycache__*",
+    "*.pyc",
+    "*.pyo",
+    "*.egg-info/*",
+    ".pytest_cache/*",
+    ".hypothesis/*",
+    "*.orig",
+    "*.rej",
+)
+
+
+def tracked_files() -> list[str]:
+    """Every path in the git index."""
+    output = subprocess.run(
+        ["git", "ls-files"],
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout
+    return [line for line in output.splitlines() if line]
+
+
+def violations(paths: list[str]) -> list[tuple[str, str]]:
+    """(path, offending pattern) pairs over the tracked files."""
+    found = []
+    for path in paths:
+        for pattern in FORBIDDEN:
+            if fnmatch.fnmatch(path, pattern):
+                found.append((path, pattern))
+                break
+    return found
+
+
+def main() -> int:
+    """Run the gate; print offenders; exit status for CI."""
+    bad = violations(tracked_files())
+    if not bad:
+        print(f"tree clean: no debris among {len(tracked_files())} "
+              "tracked files")
+        return 0
+    print("committed build debris (remove with 'git rm --cached'):")
+    for path, pattern in bad:
+        print(f"  {path}  (matches {pattern})")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Ingestion smoke: golden fixtures → mix sweep → parallel byte-identity.
+
+Drives the real-workload path end to end, the way CI's ``ingestion``
+job (and a first-time user) would:
+
+* ingest both golden fixture traces (``mcf.k6``, ``stream_add.out``)
+  into a throwaway trace store, then audit the catalog with
+  ``traces verify`` — every entry must re-hash to its address;
+* because the fixtures are named after ``mix1`` components, the mix
+  silently upgrades those components from synthetic proxies to the
+  ingested streams (the trace-donation path);
+* run a small sweep over ``--suite mix1`` twice — serial and
+  ``--jobs 2`` — and require the rendered reports byte-identical.
+
+Exits non-zero on any divergence and writes a JSON summary for the CI
+artifact.
+
+Usage::
+
+    python tools/ingestion_smoke.py --out ingestion_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+REPO_SRC = REPO / "src"
+if str(REPO_SRC) not in sys.path:  # pragma: no cover - direct execution
+    sys.path.insert(0, str(REPO_SRC))
+
+FIXTURES = REPO / "tests" / "workloads" / "fixtures"
+
+#: A four-candidate slice of the space: one geometry, ULE cell x scheme.
+SWEEP_AXES = (
+    "size_kb=8;line_bytes=32;ways=8;ule_ways=1;ule_cell=8T,10T;"
+    "ule_scheme=parity,secded;hp_scheme=none;vdd_ule=0.35;"
+    "replacement=lru"
+)
+
+
+def run(out_path: pathlib.Path | None) -> int:
+    """Ingest the fixtures, sweep mix1 twice, compare bytes."""
+    from repro.__main__ import main
+
+    summary: dict = {"fixtures": {}, "sweep": {}}
+    with tempfile.TemporaryDirectory(prefix="ingestion-smoke-") as tmp:
+        tmpdir = pathlib.Path(tmp)
+        os.environ["REPRO_TRACE_STORE"] = str(tmpdir / "store")
+
+        for fixture in ("mcf.k6", "stream_add.out"):
+            path = FIXTURES / fixture
+            if main(["ingest", str(path)]) != 0:
+                print(f"FAIL: ingest {fixture}", file=sys.stderr)
+                return 1
+            summary["fixtures"][fixture] = "ingested"
+        if main(["traces", "verify"]) != 0:
+            print("FAIL: traces verify", file=sys.stderr)
+            return 1
+
+        serial = tmpdir / "serial.txt"
+        parallel = tmpdir / "parallel.txt"
+        base = [
+            "sweep", "--suite", "mix1", "--axes", SWEEP_AXES,
+            "--trace-length", "2000", "--seed", "3",
+        ]
+        if main(base + ["--out", str(serial)]) != 0:
+            print("FAIL: serial mix1 sweep", file=sys.stderr)
+            return 1
+        if main(base + ["--jobs", "2", "--out", str(parallel)]) != 0:
+            print("FAIL: parallel mix1 sweep", file=sys.stderr)
+            return 1
+        identical = serial.read_bytes() == parallel.read_bytes()
+        summary["sweep"] = {
+            "suite": "mix1",
+            "space_points": 4,
+            "serial_bytes": serial.stat().st_size,
+            "parallel_identical": identical,
+        }
+        if not identical:
+            print(
+                "FAIL: serial and --jobs 2 mix1 sweeps diverged",
+                file=sys.stderr,
+            )
+            return 1
+
+    if out_path is not None:
+        out_path.write_text(
+            json.dumps(summary, indent=2) + "\n", encoding="utf-8"
+        )
+    print(
+        "ingestion smoke OK: 2 fixtures ingested+verified, mix1 sweep "
+        "serial == --jobs 2"
+    )
+    return 0
+
+
+def main_cli(argv: list[str] | None = None) -> int:
+    """Parse arguments and run the smoke."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="write a JSON summary here (CI artifact)",
+    )
+    args = parser.parse_args(argv)
+    return run(args.out)
+
+
+if __name__ == "__main__":
+    sys.exit(main_cli())
